@@ -1,0 +1,268 @@
+(* sassi_run: command-line driver for the simulated-GPU SASSI stack.
+
+   Subcommands:
+     list                     - list registered workloads and variants
+     run WORKLOAD             - run a workload, optionally instrumented
+     disasm WORKLOAD          - print the SASS of a workload's kernels
+                                (before and, optionally, after injection) *)
+
+open Cmdliner
+
+let instruments =
+  [ "none"; "opcode"; "branch"; "memdiv"; "value"; "blocks"; "trace"; "stub" ]
+
+let run_workload name variant instrument show_stats =
+  match Workloads.Registry.find_opt name with
+  | None ->
+    Format.eprintf "unknown workload %s; try `sassi_run list`@." name;
+    1
+  | Some w ->
+    let variant =
+      match variant with
+      | Some v -> v
+      | None -> w.Workloads.Workload.default_variant
+    in
+    let device = Gpu.Device.create () in
+    let finish (r : Workloads.Workload.result) =
+      Format.printf "%s/%s (%s): %s@." w.Workloads.Workload.suite
+        w.Workloads.Workload.name variant r.Workloads.Workload.stdout;
+      Format.printf "output digest: %s@." r.Workloads.Workload.output_digest;
+      if show_stats then
+        Format.printf "stats: %a@.launches: %d@." Gpu.Stats.pp
+          r.Workloads.Workload.stats r.Workloads.Workload.launches
+    in
+    (match instrument with
+     | "none" -> finish (w.Workloads.Workload.run device ~variant)
+     | "stub" ->
+       let r =
+         Sassi.Runtime.with_instrumentation device
+           [ (Sassi.Select.before [ Sassi.Select.All ] [],
+              Sassi.Handler.noop) ]
+           (fun _ -> w.Workloads.Workload.run device ~variant)
+       in
+       finish r
+     | "opcode" ->
+       let h = Handlers.Opcode_hist.create device in
+       let r =
+         Sassi.Runtime.with_instrumentation device
+           (Handlers.Opcode_hist.pairs h)
+           (fun _ -> w.Workloads.Workload.run device ~variant)
+       in
+       finish r;
+       let c = Handlers.Opcode_hist.read h in
+       Format.printf
+         "opcode histogram: mem=%d ext=%d ctrl=%d sync=%d numeric=%d tex=%d \
+          total=%d@."
+         c.Handlers.Opcode_hist.memory c.Handlers.Opcode_hist.extended_memory
+         c.Handlers.Opcode_hist.control c.Handlers.Opcode_hist.sync
+         c.Handlers.Opcode_hist.numeric c.Handlers.Opcode_hist.texture
+         c.Handlers.Opcode_hist.total
+     | "branch" ->
+       let h = Handlers.Branch_stats.create device in
+       let r =
+         Sassi.Runtime.with_instrumentation device
+           (Handlers.Branch_stats.pairs h)
+           (fun _ -> w.Workloads.Workload.run device ~variant)
+       in
+       finish r;
+       let s = Handlers.Branch_stats.summary h in
+       Format.printf
+         "branches: static %d (%d divergent), dynamic %d (%d divergent)@."
+         s.Handlers.Branch_stats.static_branches
+         s.Handlers.Branch_stats.static_divergent
+         s.Handlers.Branch_stats.dynamic_branches
+         s.Handlers.Branch_stats.dynamic_divergent
+     | "memdiv" ->
+       let h = Handlers.Mem_divergence.create device in
+       let r =
+         Sassi.Runtime.with_instrumentation device
+           (Handlers.Mem_divergence.pairs h)
+           (fun _ -> w.Workloads.Workload.run device ~variant)
+       in
+       finish r;
+       let pmf = Handlers.Mem_divergence.pmf h in
+       Format.printf "unique-lines PMF:";
+       Array.iteri
+         (fun u f -> if f > 0.005 then Format.printf " %d:%.1f%%" (u + 1) (100. *. f))
+         pmf;
+       Format.printf "@."
+     | "value" ->
+       let h = Handlers.Value_profile.create device in
+       let r =
+         Sassi.Runtime.with_instrumentation device
+           (Handlers.Value_profile.pairs h)
+           (fun _ -> w.Workloads.Workload.run device ~variant)
+       in
+       finish r;
+       let s = Handlers.Value_profile.summary h in
+       Format.printf
+         "value profile: dyn const bits %.0f%%, dyn scalar %.0f%%, static \
+          const bits %.0f%%, static scalar %.0f%%@."
+         s.Handlers.Value_profile.dynamic_const_bits_pct
+         s.Handlers.Value_profile.dynamic_scalar_pct
+         s.Handlers.Value_profile.static_const_bits_pct
+         s.Handlers.Value_profile.static_scalar_pct
+     | "blocks" ->
+       let h = Handlers.Block_profile.create device in
+       let r =
+         Sassi.Runtime.with_instrumentation device
+           (Handlers.Block_profile.pairs h)
+           (fun _ -> w.Workloads.Workload.run device ~variant)
+       in
+       finish r;
+       Format.printf "kernel entries %d, exits %d; hottest blocks:@."
+         (Handlers.Block_profile.entries h)
+         (Handlers.Block_profile.exits h);
+       List.iteri
+         (fun i b ->
+            if i < 8 then
+              Format.printf "  0x%08x: %d warp execs, %d thread execs@."
+                b.Handlers.Block_profile.ins_addr
+                b.Handlers.Block_profile.warp_execs
+                b.Handlers.Block_profile.thread_execs)
+         (Handlers.Block_profile.blocks h)
+     | "trace" ->
+       let tr = Handlers.Mem_trace.create () in
+       let r =
+         Sassi.Runtime.with_instrumentation device
+           (Handlers.Mem_trace.pairs tr)
+           (fun _ -> w.Workloads.Workload.run device ~variant)
+       in
+       finish r;
+       Format.printf "traced %d global warp accesses; cache sweep:@."
+         (Handlers.Mem_trace.length tr);
+       List.iter
+         (fun res -> Format.printf "  %a@." Handlers.Cache_explorer.pp_result res)
+         (Handlers.Cache_explorer.sweep (Handlers.Mem_trace.trace tr)
+            Handlers.Cache_explorer.default_sweep)
+     | other ->
+       Format.eprintf "unknown instrumentation %s@." other);
+    0
+
+let campaign name variant injections seed =
+  match Workloads.Registry.find_opt name with
+  | None ->
+    Format.eprintf "unknown workload %s@." name;
+    1
+  | Some w ->
+    let variant =
+      match variant with
+      | Some v -> v
+      | None -> w.Workloads.Workload.default_variant
+    in
+    Format.printf "Injecting %d faults into %s/%s (%s), seed %d...@."
+      injections w.Workloads.Workload.suite w.Workloads.Workload.name variant
+      seed;
+    let tally = Workloads.Campaign.run ~seed ~injections w ~variant in
+    Format.printf "%a@." Workloads.Campaign.pp tally;
+    0
+
+let list_workloads () =
+  List.iter
+    (fun w ->
+       Format.printf "%-10s %-14s variants: %s@." w.Workloads.Workload.suite
+         w.Workloads.Workload.name
+         (String.concat ", " w.Workloads.Workload.variants))
+    Workloads.Registry.all;
+  0
+
+(* Disassembles one small demo kernel both clean and instrumented. *)
+let disasm name instrumented =
+  match Workloads.Registry.find_opt name with
+  | None ->
+    Format.eprintf "unknown workload %s@." name;
+    1
+  | Some w ->
+    let device = Gpu.Device.create () in
+    let shown = ref [] in
+    let print_kernel k =
+      if not (List.mem k.Sass.Program.name !shown) then begin
+        shown := k.Sass.Program.name :: !shown;
+        Format.printf "%a@." Sass.Program.pp k
+      end
+    in
+    if instrumented then begin
+      let rt = Sassi.Runtime.create () in
+      Sassi.Runtime.attach rt device
+        [ (Sassi.Select.before [ Sassi.Select.Memory_ops ]
+             [ Sassi.Select.Mem_info ],
+           Sassi.Handler.noop) ];
+      (* Piggyback on the transform cache: wrap the transform to print. *)
+      Gpu.Device.set_hcall device (Some (fun _ -> ()));
+      let previous = device.Gpu.State.d_transform in
+      Gpu.Device.set_transform device
+        (Some
+           (fun k ->
+              let k' =
+                match previous with
+                | Some t -> t k
+                | None -> k
+              in
+              print_kernel k';
+              k'))
+    end
+    else
+      Gpu.Device.set_transform device
+        (Some
+           (fun k ->
+              print_kernel k;
+              k));
+    let _ =
+      w.Workloads.Workload.run device
+        ~variant:w.Workloads.Workload.default_variant
+    in
+    0
+
+let workload_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let variant_arg =
+  Arg.(value & opt (some string) None
+       & info [ "v"; "variant" ] ~docv:"VARIANT" ~doc:"Dataset variant.")
+
+let instrument_arg =
+  Arg.(value & opt (enum (List.map (fun s -> (s, s)) instruments)) "none"
+       & info [ "i"; "instrument" ] ~docv:"KIND"
+           ~doc:"Instrumentation: none, opcode, branch, memdiv, value, blocks, trace, stub.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "s"; "stats" ] ~doc:"Print machine statistics.")
+
+let instrumented_arg =
+  Arg.(value & flag
+       & info [ "instrumented" ] ~doc:"Show SASS after SASSI injection.")
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Run a workload on the simulated GPU")
+    Term.(const run_workload $ workload_arg $ variant_arg $ instrument_arg
+          $ stats_arg)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List workloads")
+    Term.(const list_workloads $ const ())
+
+let injections_arg =
+  Arg.(value & opt int 50
+       & info [ "n"; "injections" ] ~docv:"N" ~doc:"Number of injections.")
+
+let seed_arg =
+  Arg.(value & opt int 2025 & info [ "seed" ] ~docv:"SEED")
+
+let campaign_cmd =
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run a fault-injection campaign (Case Study IV)")
+    Term.(const campaign $ workload_arg $ variant_arg $ injections_arg
+          $ seed_arg)
+
+let disasm_cmd =
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a workload's kernels")
+    Term.(const disasm $ workload_arg $ instrumented_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "sassi_run" ~version:"1.0"
+       ~doc:"SASSI on a simulated GPU: selective instrumentation driver")
+    [ run_cmd; list_cmd; disasm_cmd; campaign_cmd ]
+
+let () = exit (Cmd.eval' main)

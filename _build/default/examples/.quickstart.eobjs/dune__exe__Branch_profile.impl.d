@@ -1,0 +1,1 @@
+examples/branch_profile.ml: Array Format Gpu Handlers List Sassi String Sys Workloads

@@ -1,0 +1,1 @@
+examples/memdiv_profile.ml: Array Format Gpu Handlers Sassi String Workloads

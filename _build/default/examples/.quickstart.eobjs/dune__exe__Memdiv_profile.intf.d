@@ -1,0 +1,1 @@
+examples/memdiv_profile.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Gpu Handlers Kernel Sass Sassi Workloads

@@ -1,0 +1,1 @@
+examples/uvm_sharing.ml: Array Format Gpu Handlers List Sassi Sys Workloads

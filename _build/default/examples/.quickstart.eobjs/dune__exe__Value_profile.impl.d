@@ -1,0 +1,1 @@
+examples/value_profile.ml: Array Format Gpu Handlers Int List Sassi Sys Workloads

@@ -1,0 +1,48 @@
+(* Case Study I demo: per-branch SIMT divergence profiling of graph
+   BFS (the paper's Figure 4 handler and Figure 5 plot, as text).
+
+   Run with: dune exec examples/branch_profile.exe [variant]
+   where variant is one of 1M, NY, SF, UT (default NY). *)
+
+let () =
+  let variant = if Array.length Sys.argv > 1 then Sys.argv.(1) else "NY" in
+  let device = Gpu.Device.create () in
+  let bs = Handlers.Branch_stats.create device in
+  let w = Workloads.Wl_bfs_parboil.workload in
+  Format.printf "Profiling parboil/bfs (%s) conditional branches...@." variant;
+  let result =
+    Sassi.Runtime.with_instrumentation device (Handlers.Branch_stats.pairs bs)
+      (fun _ -> w.Workloads.Workload.run device ~variant)
+  in
+  Format.printf "workload says: %s@.@." result.Workloads.Workload.stdout;
+  let branches = Handlers.Branch_stats.branches bs in
+  Format.printf
+    "%-12s %12s %12s %12s %10s  per-branch divergence@."
+    "ins addr" "executions" "divergent" "active thr" "avg occ";
+  List.iter
+    (fun b ->
+       let open Handlers.Branch_stats in
+       let bar =
+         let frac =
+           if b.total = 0 then 0.0
+           else float_of_int b.divergent /. float_of_int b.total
+         in
+         String.make (int_of_float (frac *. 40.0)) '#'
+       in
+       Format.printf "0x%08x %12d %12d %12d %10.1f  %s@." b.ins_addr b.total
+         b.divergent b.active
+         (if b.total = 0 then 0.0
+          else float_of_int b.active /. float_of_int b.total)
+         bar)
+    branches;
+  let s = Handlers.Branch_stats.summary bs in
+  let open Handlers.Branch_stats in
+  Format.printf
+    "@.static: %d branches, %d divergent (%.0f%%)@.dynamic: %d executions, \
+     %d divergent (%.1f%%)@."
+    s.static_branches s.static_divergent
+    (100.0 *. float_of_int s.static_divergent
+     /. float_of_int (max 1 s.static_branches))
+    s.dynamic_branches s.dynamic_divergent
+    (100.0 *. float_of_int s.dynamic_divergent
+     /. float_of_int (max 1 s.dynamic_branches))

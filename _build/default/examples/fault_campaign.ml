@@ -1,0 +1,27 @@
+(* Case Study IV demo: a transient-fault injection campaign on one
+   workload — profile, pick N sites statistically, inject one bit flip
+   per run, and classify outcomes (Figure 10, one bar).
+
+   Run with: dune exec examples/fault_campaign.exe [workload] [n] *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "spmv" in
+  let n =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 40
+  in
+  let w = Workloads.Registry.find name in
+  Format.printf "Injecting %d single-bit register faults into %s/%s...@." n
+    w.Workloads.Workload.suite w.Workloads.Workload.name;
+  let tally =
+    Workloads.Campaign.run ~injections:n w
+      ~variant:w.Workloads.Workload.default_variant
+  in
+  Format.printf "%a@." Workloads.Campaign.pp tally;
+  let m, c, h, s, so, sf = Workloads.Campaign.fractions tally in
+  let bar frac = String.make (int_of_float (frac *. 50.0)) '#' in
+  Format.printf "@.  masked          %s@." (bar m);
+  Format.printf "  crash           %s@." (bar c);
+  Format.printf "  hang            %s@." (bar h);
+  Format.printf "  failure symptom %s@." (bar s);
+  Format.printf "  sdc (stdout)    %s@." (bar so);
+  Format.printf "  sdc (output)    %s@." (bar sf)

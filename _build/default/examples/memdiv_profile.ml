@@ -1,0 +1,57 @@
+(* Case Study II demo: memory address divergence of the two miniFE
+   matrix formats (the paper's Figure 7/8 contrast), printed as a
+   distribution and a compact occupancy x divergence heat map.
+
+   Run with: dune exec examples/memdiv_profile.exe *)
+
+let profile variant =
+  let device = Gpu.Device.create () in
+  let md = Handlers.Mem_divergence.create device in
+  let w = Workloads.Wl_minife.workload in
+  let _ =
+    Sassi.Runtime.with_instrumentation device (Handlers.Mem_divergence.pairs md)
+      (fun _ -> w.Workloads.Workload.run device ~variant)
+  in
+  md
+
+let print_pmf name md =
+  Format.printf "@.miniFE-%s: unique 32B lines per warp access (PMF)@." name;
+  let pmf = Handlers.Mem_divergence.pmf md in
+  Array.iteri
+    (fun u frac ->
+       if frac > 0.004 then
+         Format.printf "  %2d lines: %5.1f%% %s@." (u + 1) (100.0 *. frac)
+           (String.make (int_of_float (frac *. 60.0)) '#'))
+    pmf;
+  Format.printf "  fully diverged: %.1f%% of thread accesses@."
+    (100.0 *. Handlers.Mem_divergence.fully_diverged_fraction md)
+
+let print_matrix name md =
+  Format.printf "@.miniFE-%s occupancy (rows) x unique lines (cols), log scale@."
+    name;
+  let m = Handlers.Mem_divergence.matrix md in
+  let glyph v =
+    if v = 0 then '.'
+    else if v < 10 then '1'
+    else if v < 100 then '2'
+    else if v < 1000 then '3'
+    else if v < 10000 then '4'
+    else '5'
+  in
+  for a = 31 downto 0 do
+    if Array.exists (fun x -> x > 0) m.(a) then begin
+      Format.printf "  %2d | " (a + 1);
+      for u = 0 to 31 do
+        Format.print_char (glyph m.(a).(u))
+      done;
+      Format.print_newline ()
+    end
+  done
+
+let () =
+  let ell = profile "ELL" in
+  let csr = profile "CSR" in
+  print_pmf "ELL" ell;
+  print_pmf "CSR" csr;
+  print_matrix "ELL" ell;
+  print_matrix "CSR" csr

@@ -1,0 +1,37 @@
+(* Heterogeneous CPU+GPU sharing analysis (paper Section 9.4): SASSI
+   device-side tracing correlated with a host-side access hook shows
+   which Unified-Virtual-Memory pages ping-pong between processors.
+   BFS is the classic case: the host reads the frontier counter after
+   every launch, so its page migrates back and forth each iteration.
+
+   Run with: dune exec examples/uvm_sharing.exe [workload] *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "parboil/bfs" in
+  let w = Workloads.Registry.find name in
+  let device = Gpu.Device.create () in
+  let uvm = Handlers.Uvm_profile.create device in
+  Format.printf "Tracing CPU and GPU page touches of %s/%s...@."
+    w.Workloads.Workload.suite w.Workloads.Workload.name;
+  let _ =
+    Sassi.Runtime.with_instrumentation device (Handlers.Uvm_profile.pairs uvm)
+      (fun _ ->
+        w.Workloads.Workload.run device
+          ~variant:w.Workloads.Workload.default_variant)
+  in
+  Handlers.Uvm_profile.detach_host uvm;
+  let s = Handlers.Uvm_profile.summary uvm in
+  let open Handlers.Uvm_profile in
+  Format.printf
+    "@.%d-byte pages: %d CPU-only, %d GPU-only, %d shared; %d estimated \
+     first-touch migrations@."
+    s.page_bytes s.cpu_only s.gpu_only s.shared s.total_migrations;
+  Format.printf "@.hottest migrating pages:@.";
+  Format.printf "%-10s %9s %9s %9s %9s %11s@." "page" "cpu-rd" "cpu-wr"
+    "gpu-rd" "gpu-wr" "migrations";
+  List.iteri
+    (fun i p ->
+       if i < 10 && p.migrations > 0 then
+         Format.printf "0x%08x %9d %9d %9d %9d %11d@." p.page p.cpu_reads
+           p.cpu_writes p.gpu_reads p.gpu_writes p.migrations)
+    (Handlers.Uvm_profile.pages uvm)

@@ -1,0 +1,1 @@
+lib/core/handler.mli: Hctx

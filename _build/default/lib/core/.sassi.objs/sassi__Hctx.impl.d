@@ -1,0 +1,1 @@
+lib/core/hctx.ml: Gpu Sass Select

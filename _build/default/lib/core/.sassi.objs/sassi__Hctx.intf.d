@@ -1,0 +1,1 @@
+lib/core/hctx.mli: Gpu Select

@@ -1,0 +1,1 @@
+lib/core/inject.ml: Abi Array Cfg Gpu Hashtbl Instr Int List Liveness Opcode Option Pred Program Reg Sass Select

@@ -1,0 +1,1 @@
+lib/core/intrinsics.ml: Gpu Hctx List Sass

@@ -1,0 +1,1 @@
+lib/core/params.ml: Abi Gpu Hctx Sass Select

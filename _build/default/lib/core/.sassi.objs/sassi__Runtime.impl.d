@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Fun Gpu Handler Hashtbl Hctx Inject Int List Printf Select

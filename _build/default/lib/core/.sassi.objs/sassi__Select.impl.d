@@ -1,0 +1,1 @@
+lib/core/select.ml: Format List Sass String

@@ -1,0 +1,1 @@
+lib/core/select.mli: Format Sass

@@ -1,0 +1,74 @@
+let frame_bytes = 0x80
+
+let local_space_tag = 0x5
+
+let off_id = 0x00
+
+let off_will_execute = 0x04
+
+let off_fn_addr = 0x08
+
+let off_ins_offset = 0x0c
+
+let off_pr_spill = 0x10
+
+let off_cc_spill = 0x14
+
+let off_gpr_spill = 0x18
+
+let gpr_spill_slots = 16
+
+let off_ins_encoding = 0x58
+
+let aux_base = 0x60
+
+let mem_off_address_lo = 0x00
+
+let mem_off_address_hi = 0x04
+
+let mem_off_properties = 0x08
+
+let mem_off_width = 0x0c
+
+let branch_off_direction = 0x00
+
+let branch_off_target = 0x04
+
+let reg_off_num_dsts = 0x00
+
+let reg_max_dsts = 2
+
+let reg_off_entry k = (0x04 + (8 * k), 0x08 + (8 * k))
+
+let reg_off_num_pdsts = 0x14
+
+let reg_off_pdst _k = 0x18
+
+let prop_is_load = 0x1
+
+let prop_is_store = 0x2
+
+let prop_is_atomic = 0x4
+
+let prop_space_shift = 4
+
+let space_tag = function
+  | Sass.Opcode.Global -> 1
+  | Sass.Opcode.Shared -> 2
+  | Sass.Opcode.Local -> 3
+  | Sass.Opcode.Param -> 4
+  | Sass.Opcode.Tex -> 5
+
+let space_of_tag = function
+  | 1 -> Some Sass.Opcode.Global
+  | 2 -> Some Sass.Opcode.Shared
+  | 3 -> Some Sass.Opcode.Local
+  | 4 -> Some Sass.Opcode.Param
+  | 5 -> Some Sass.Opcode.Tex
+  | _ -> None
+
+let param_regs = [ Sass.Reg.r 4; Sass.Reg.r 5; Sass.Reg.r 6; Sass.Reg.r 7 ]
+
+let max_handler_regs = 16
+
+let spillable_regs = 16

@@ -1,0 +1,94 @@
+(** Stack-frame layout of the injected ABI-compliant call, mirroring
+    the paper's Figure 2 byte-for-byte where it is specified.
+
+    The injected sequence allocates a [frame_bytes] frame below the
+    thread's stack pointer (R1). The [SASSIBeforeParams]/
+    [SASSIAfterParams] object occupies [\[0x00, 0x60)]; the auxiliary
+    object (memory / branch / register params) lives at [aux_base].
+
+    Handler parameter passing follows the compute ABI: a generic
+    64-bit pointer to the base object in R4:R5 and to the auxiliary
+    object in R6:R7, where the high word is the memory-space tag that
+    makes the pointer "generic". *)
+
+val frame_bytes : int
+(** 0x80, as in Figure 2's [IADD R1, R1, -0x80]. *)
+
+val local_space_tag : int
+(** High word of a generic pointer into local memory. *)
+
+(** Field offsets of the base params object (SASSIBeforeParams). *)
+
+val off_id : int
+
+val off_will_execute : int
+
+val off_fn_addr : int
+
+val off_ins_offset : int
+
+val off_pr_spill : int
+
+val off_cc_spill : int
+
+val off_gpr_spill : int
+(** Start of the 16-slot GPR spill array; slot [k] holds [Rk]. *)
+
+val gpr_spill_slots : int
+
+val off_ins_encoding : int
+
+val aux_base : int
+(** 0x60: start of the auxiliary params object. *)
+
+(** Auxiliary object layouts (offsets relative to [aux_base]). *)
+
+val mem_off_address_lo : int
+
+val mem_off_address_hi : int
+
+val mem_off_properties : int
+
+val mem_off_width : int
+
+val branch_off_direction : int
+
+val branch_off_target : int
+
+val reg_off_num_dsts : int
+
+val reg_off_entry : int -> int * int
+(** [(reg_num_offset, value_offset)] of destination slot [k]. *)
+
+val reg_max_dsts : int
+
+val reg_off_num_pdsts : int
+
+val reg_off_pdst : int -> int
+
+(** Memory-access property bits stored in [mem_off_properties]. *)
+
+val prop_is_load : int
+
+val prop_is_store : int
+
+val prop_is_atomic : int
+
+val prop_space_shift : int
+(** The space tag is stored in bits [prop_space_shift..]. *)
+
+val space_tag : Sass.Opcode.space -> int
+
+val space_of_tag : int -> Sass.Opcode.space option
+
+(** Handler parameter registers (compute ABI). *)
+
+val param_regs : Sass.Reg.t list
+(** [R4; R5; R6; R7]. *)
+
+val max_handler_regs : int
+(** 16: the [-maxrregcount] cap imposed on handlers (Section 3.2). *)
+
+val spillable_regs : int
+(** Registers [R0..R15] are caller-saved around a handler call; live
+    ones are spilled to the GPR spill array. *)

@@ -1,0 +1,16 @@
+type t = {
+  name : string;
+  regs : int;
+  fn : Hctx.t -> unit;
+}
+
+let make ?(regs = Abi.max_handler_regs) ~name fn =
+  if regs > Abi.max_handler_regs then
+    invalid_arg
+      (Printf.sprintf
+         "Handler.make %s: %d registers exceed the %d-register cap \
+          (compile handlers with -maxrregcount=%d)"
+         name regs Abi.max_handler_regs Abi.max_handler_regs);
+  { name; regs; fn }
+
+let noop = make ~name:"noop" ~regs:0 (fun _ -> ())

@@ -1,0 +1,22 @@
+(** Instrumentation handlers: the user-provided functions the injected
+    calls transfer to. A handler body uses {!Params} to inspect the
+    instrumented instruction and {!Intrinsics} for warp-wide and
+    memory operations, exactly as the paper's CUDA handlers do.
+
+    Handlers declare a register footprint; footprints above 16 are
+    rejected, mirroring the [-maxrregcount=16] cap SASSI imposes so
+    that worst-case spill cost stays bounded (Section 3.2). *)
+
+type t = private {
+  name : string;
+  regs : int;
+  fn : Hctx.t -> unit;
+}
+
+val make : ?regs:int -> name:string -> (Hctx.t -> unit) -> t
+(** [regs] defaults to 16.
+    @raise Invalid_argument if [regs > Abi.max_handler_regs]. *)
+
+val noop : t
+(** Empty handler ("stub"), used to measure the bare ABI/spill cost of
+    instrumentation (the paper's Section 9.1 experiment). *)

@@ -1,0 +1,38 @@
+(** Handler execution context: what an instrumentation handler sees
+    when its injected call fires. The handler body is host-resident
+    (OCaml) but every device-API operation it performs is charged to
+    the simulated machine through {!charge}, so instrumentation
+    overhead is emergent rather than assumed. *)
+
+type t = {
+  device : Gpu.State.device;
+  launch : Gpu.State.launch;
+  sm : Gpu.State.sm;
+  warp : Gpu.State.warp;
+  site : Select.site;
+  mask : int;  (** active mask at the call *)
+}
+
+val active_lanes : t -> int list
+
+val lane_active : t -> int -> bool
+
+val num_active : t -> int
+
+val leader : t -> int
+(** First active lane (the [__ffs(__ballot(1)) - 1] idiom). *)
+
+val lane_tid : t -> lane:int -> int
+(** Linear thread index within the block. *)
+
+val lane_global_tid : t -> lane:int -> int
+
+val charge : t -> ops:int -> cycles:int -> unit
+(** Account handler work: [ops] device-API operations and [cycles]
+    of added warp latency. *)
+
+val stack_read : t -> lane:int -> off:int -> int
+(** Read a 32-bit word of the injected call's stack frame (the params
+    objects), at byte offset [off] from the lane's stack pointer. *)
+
+val stack_write : t -> lane:int -> off:int -> int -> unit

@@ -1,0 +1,291 @@
+open Sass
+
+type result = {
+  kernel : Sass.Program.kernel;
+  sites : Select.site list;
+}
+
+let sreg r = Instr.SReg r
+
+let imm i = Instr.SImm (i land Gpu.Value.mask)
+
+let r1 = Reg.sp
+
+let stl off src =
+  Instr.make (Opcode.ST (Opcode.Local, Opcode.W32))
+    ~srcs:[ sreg r1; imm off; src ]
+
+let ldl dst off =
+  Instr.make (Opcode.LD (Opcode.Local, Opcode.W32)) ~dsts:[ dst ]
+    ~srcs:[ sreg r1; imm off ]
+
+let iadd ?guard dst a b = Instr.make Opcode.IADD ?guard ~dsts:[ dst ] ~srcs:[ a; b ]
+
+let mov32i dst v = Instr.make Opcode.MOV ~dsts:[ dst ] ~srcs:[ imm v ]
+
+(* Store 0/1 depending on the original instruction's guard into [dst]
+   then to stack offset [off] — the instrWillExecute / direction idiom
+   of Figure 2 (the @P0 IADD / @!P0 IADD pair). *)
+let guarded_flag (guard : Pred.guard) dst off =
+  if Pred.is_always guard then [ iadd dst (sreg Reg.RZ) (imm 1); stl off (sreg dst) ]
+  else
+    let inverse = { guard with Pred.negated = not guard.Pred.negated } in
+    [ iadd ~guard dst (sreg Reg.RZ) (imm 1);
+      iadd ~guard:inverse dst (sreg Reg.RZ) (imm 0);
+      stl off (sreg dst) ]
+
+let r3 = Reg.r 3
+
+let r4 = Reg.r 4
+
+let r5 = Reg.r 5
+
+let r6 = Reg.r 6
+
+let r7 = Reg.r 7
+
+let fn_addr_of kernel_name = (Hashtbl.hash kernel_name land 0xFFFF) lsl 12
+
+(* Properties word for the memory params object. *)
+let mem_properties op =
+  let open Opcode in
+  (if is_mem_read op then Abi.prop_is_load else 0)
+  lor (if is_mem_write op then Abi.prop_is_store else 0)
+  lor (if is_atomic op then Abi.prop_is_atomic else 0)
+  lor
+  (match mem_space op with
+   | Some s -> Abi.space_tag s lsl Abi.prop_space_shift
+   | None -> 0)
+
+let aux_fields what (orig : Instr.t) =
+  match what with
+  | Select.Mem_info ->
+    let space =
+      match Opcode.mem_space orig.Instr.op with
+      | Some s -> s
+      | None -> Opcode.Global
+    in
+    let width =
+      match Opcode.mem_width orig.Instr.op with
+      | Some w -> Opcode.bytes_of_width w
+      | None -> 0
+    in
+    let addr_srcs =
+      match orig.Instr.srcs with
+      | a :: b :: _ when orig.Instr.op <> Opcode.TLD Opcode.W32
+                      && orig.Instr.op <> Opcode.TLD Opcode.W64 -> (a, b)
+      | a :: _ -> (a, imm 0)
+      | [] -> (imm 0, imm 0)
+    in
+    let a, b = addr_srcs in
+    [ iadd r6 a b;
+      stl (Abi.aux_base + Abi.mem_off_address_lo) (sreg r6);
+      iadd r7 (sreg Reg.RZ) (imm (Abi.space_tag space));
+      stl (Abi.aux_base + Abi.mem_off_address_hi) (sreg r7);
+      mov32i r6 (mem_properties orig.Instr.op);
+      stl (Abi.aux_base + Abi.mem_off_properties) (sreg r6);
+      mov32i r6 width;
+      stl (Abi.aux_base + Abi.mem_off_width) (sreg r6) ]
+  | Select.Branch_info ->
+    let target =
+      match orig.Instr.target with
+      | Some t -> t * 8
+      | None -> 0
+    in
+    guarded_flag orig.Instr.guard r6 (Abi.aux_base + Abi.branch_off_direction)
+    @ [ mov32i r6 target;
+        stl (Abi.aux_base + Abi.branch_off_target) (sreg r6) ]
+  | Select.Reg_info ->
+    let dsts = Instr.defs orig in
+    let dsts =
+      if List.length dsts > Abi.reg_max_dsts then
+        List.filteri (fun i _ -> i < Abi.reg_max_dsts) dsts
+      else dsts
+    in
+    let pdsts = Instr.pdefs orig in
+    (* Destination values are stored first, before any scratch
+       register could clobber a destination that happens to be R6. *)
+    List.mapi
+      (fun k d ->
+         let _, val_off = Abi.reg_off_entry k in
+         stl (Abi.aux_base + val_off) (sreg d))
+      dsts
+    @ [ mov32i r6 (List.length dsts);
+        stl (Abi.aux_base + Abi.reg_off_num_dsts) (sreg r6) ]
+    @ List.concat
+        (List.mapi
+           (fun k d ->
+              let reg_off, _ = Abi.reg_off_entry k in
+              [ mov32i r6 (Reg.index d);
+                stl (Abi.aux_base + reg_off) (sreg r6) ])
+           dsts)
+    @ [ mov32i r6 (List.length pdsts);
+        stl (Abi.aux_base + Abi.reg_off_num_pdsts) (sreg r6) ]
+    @ (match pdsts with
+       | p :: _ ->
+         [ mov32i r6 (Pred.index p);
+           stl (Abi.aux_base + Abi.reg_off_pdst 0) (sreg r6) ]
+       | [] -> [])
+
+let call_sequence ~site_id ~kernel_name ~pc ~what ~spills (orig : Instr.t) =
+  let push = iadd r1 (sreg r1) (imm (Gpu.Value.of_signed (-Abi.frame_bytes))) in
+  let spill_code =
+    List.map
+      (fun k -> stl (Abi.off_gpr_spill + (4 * k)) (sreg (Reg.r k)))
+      spills
+  in
+  let pred_spill =
+    [ Instr.make Opcode.P2R ~dsts:[ r3 ];
+      stl Abi.off_pr_spill (sreg r3) ]
+  in
+  let aux = List.concat_map (fun w -> aux_fields w orig) what in
+  let bp =
+    [ iadd r4 (sreg Reg.RZ) (imm site_id);
+      stl Abi.off_id (sreg r4) ]
+    @ guarded_flag orig.Instr.guard r4 Abi.off_will_execute
+    @ [ mov32i r5 (fn_addr_of kernel_name);
+        stl Abi.off_fn_addr (sreg r5);
+        mov32i r4 (pc * 8);
+        stl Abi.off_ins_offset (sreg r4);
+        mov32i r5 (Opcode.encode orig.Instr.op);
+        stl Abi.off_ins_encoding (sreg r5) ]
+  in
+  let params =
+    [ iadd r4 (sreg r1) (imm 0);
+      iadd r5 (sreg Reg.RZ) (imm Abi.local_space_tag);
+      iadd r6 (sreg r1) (imm Abi.aux_base);
+      iadd r7 (sreg Reg.RZ) (imm Abi.local_space_tag) ]
+  in
+  let call =
+    [ Instr.make (Opcode.HCALL site_id)
+        ~srcs:[ sreg r4; sreg r5; sreg r6; sreg r7 ] ]
+  in
+  let restore =
+    [ ldl r3 Abi.off_pr_spill;
+      Instr.make Opcode.R2P ~srcs:[ sreg r3 ] ]
+    @ List.rev_map
+        (fun k -> ldl (Reg.r k) (Abi.off_gpr_spill + (4 * k)))
+        spills
+    @ [ iadd r1 (sreg r1) (imm Abi.frame_bytes) ]
+  in
+  (* Order matters: the auxiliary fields read the original
+     instruction's operand and destination registers, so they are
+     materialized before P2R clobbers R3 or the bp setup clobbers
+     R4/R5. Spills (STL) do not modify registers. *)
+  (push :: spill_code) @ aux @ pred_spill @ bp @ params @ call @ restore
+
+let spill_set live_regs =
+  live_regs
+  |> List.filter_map (fun r ->
+      let k = Reg.index r in
+      if k <> 1 && k < Abi.spillable_regs then Some k else None)
+  |> List.sort_uniq Int.compare
+
+let instrument ~next_id ~specs (k : Program.kernel) =
+  let instrs = k.Program.instrs in
+  let n = Array.length instrs in
+  let liveness = Liveness.analyze instrs in
+  let cfg = Cfg.build instrs in
+  let is_leader = Array.make n false in
+  Array.iter
+    (fun b -> is_leader.(b.Cfg.first) <- true)
+    cfg.Cfg.blocks;
+  let all_matches point pc i =
+    List.filter
+      (fun (spec, _) ->
+         spec.Select.point = point
+         && Select.matches_at spec ~pc ~is_leader:is_leader.(pc) i)
+      specs
+  in
+  let out = ref [] in
+  let out_len = ref 0 in
+  let emit instr =
+    out := instr :: !out;
+    incr out_len
+  in
+  let new_start = Array.make n 0 in
+  let new_self = Array.make n 0 in
+  let sites = ref [] in
+  for pc = 0 to n - 1 do
+    let orig = instrs.(pc) in
+    new_start.(pc) <- !out_len;
+    List.iter
+      (fun (spec, handler) ->
+         let id = !next_id in
+         incr next_id;
+         let spills = spill_set (Liveness.live_gprs_before liveness pc) in
+         List.iter emit
+           (call_sequence ~site_id:id ~kernel_name:k.Program.name ~pc
+              ~what:spec.Select.what ~spills orig);
+         sites :=
+           { Select.s_id = id;
+             s_kernel = k.Program.name;
+             s_old_pc = pc;
+             s_new_pc = 0;  (* patched below *)
+             s_instr = orig;
+             s_point = Select.Before;
+             s_what = spec.Select.what;
+             s_handler = handler }
+           :: !sites)
+      (all_matches Select.Before pc orig);
+    new_self.(pc) <- !out_len;
+    emit orig;
+    List.iter
+      (fun (spec, handler) ->
+         let id = !next_id in
+         incr next_id;
+         let spills = spill_set (Liveness.live_gprs_after liveness pc) in
+         List.iter emit
+           (call_sequence ~site_id:id ~kernel_name:k.Program.name ~pc
+              ~what:spec.Select.what ~spills orig);
+         sites :=
+           { Select.s_id = id;
+             s_kernel = k.Program.name;
+             s_old_pc = pc;
+             s_new_pc = 0;
+             s_instr = orig;
+             s_point = Select.After;
+             s_what = spec.Select.what;
+             s_handler = handler }
+           :: !sites)
+      (all_matches Select.After pc orig)
+  done;
+  let new_instrs = Array.of_list (List.rev !out) in
+  (* Remap branch targets and reconvergence points of the original
+     instructions (injected sequences contain no control flow except
+     HCALL, which carries no target). *)
+  let is_original = Array.make (Array.length new_instrs) false in
+  Array.iter (fun idx -> is_original.(idx) <- true) new_self;
+  Array.iteri
+    (fun idx instr ->
+       if is_original.(idx) then begin
+         let remap = Option.map (fun t -> new_start.(t)) in
+         new_instrs.(idx) <-
+           { instr with
+             Instr.target = remap instr.Instr.target;
+             Instr.reconv = remap instr.Instr.reconv }
+       end)
+    new_instrs;
+  let any_site = !sites <> [] in
+  let sites =
+    List.rev_map
+      (fun s -> { s with Select.s_new_pc = new_self.(s.Select.s_old_pc) })
+      !sites
+  in
+  let kernel =
+    { k with
+      Program.instrs = new_instrs;
+      Program.frame_bytes =
+        (k.Program.frame_bytes + if any_site then Abi.frame_bytes else 0);
+      Program.regs_used = max k.Program.regs_used 8 }
+  in
+  { kernel; sites }
+
+let sequence_length spec instr ~live =
+  let seq =
+    call_sequence ~site_id:0 ~kernel_name:"probe" ~pc:0
+      ~what:spec.Select.what
+      ~spills:(List.init (min live Abi.spillable_regs) (fun i -> i))
+      instr
+  in
+  List.length seq

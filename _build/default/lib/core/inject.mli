@@ -1,0 +1,42 @@
+(** The SASSI instrumentation pass: rewrites a compiled kernel,
+    inserting an ABI-compliant call to an instrumentation handler at
+    every site matched by the given specs (paper, Figure 2).
+
+    The pass runs after register allocation (it is installed as the
+    device's kernel transform, playing the "last pass of ptxas" role)
+    and never renumbers or reorders the original instructions; it only
+    inserts the call sequences and remaps branch targets and
+    reconvergence points.
+
+    Each injected sequence:
+    + allocates a 0x80-byte stack frame ([IADD R1, R1, -0x80]);
+    + spills the live caller-saved registers (R0..R15) into the
+      frame's GPR spill array, and the predicate file via [P2R]/[STL];
+    + materializes the auxiliary params object (memory address and
+      properties, branch direction, or register destinations/values);
+    + materializes the base params object (site id, instrWillExecute,
+      fnAddr, insOffset, insEncoding);
+    + passes generic 64-bit pointers to both objects in R4:R5 and
+      R6:R7 per the compute ABI, and calls the handler ([HCALL]);
+    + restores predicates and spilled registers and pops the frame. *)
+
+type result = {
+  kernel : Sass.Program.kernel;
+  sites : Select.site list;  (** in increasing [s_id] order *)
+}
+
+val instrument :
+  next_id:int ref ->
+  specs:(Select.spec * int) list ->
+  Sass.Program.kernel ->
+  result
+(** [instrument ~next_id ~specs kernel] injects calls for every
+    (spec, handler index) pair. [next_id] is the shared site-id
+    counter, incremented per site so that ids are unique across all
+    kernels instrumented by one runtime. Every matching spec fires, in
+    list order, so multiple handlers can observe the same site (e.g. a
+    basic-block counter plus a kernel-entry counter at PC 0). *)
+
+val sequence_length : Select.spec -> Sass.Instr.t -> live:int -> int
+(** Number of instructions the injected sequence would contain at a
+    site with [live] spilled registers; exposed for overhead tests. *)

@@ -1,0 +1,60 @@
+(** The warp-wide and memory device API available to handler bodies:
+    the CUDA intrinsics the paper's handlers are built from
+    ([__ballot], [__popc], [__ffs], [__shfl], [__all], [atomicAdd],
+    [atomicAnd], ...). Every call charges simulated cost through the
+    handler context, and handler memory traffic flows through the real
+    memory system (caches, transaction counters). *)
+
+val ballot : Hctx.t -> (int -> bool) -> int
+(** [ballot ctx f] evaluates [f lane] for every active lane and
+    returns the mask (CUDA [__ballot]). *)
+
+val all : Hctx.t -> (int -> bool) -> bool
+
+val any : Hctx.t -> (int -> bool) -> bool
+
+val popc : Hctx.t -> int -> int
+
+val ffs : Hctx.t -> int -> int
+
+val shfl : Hctx.t -> (int -> int) -> src_lane:int -> int
+(** Broadcast the value of [src_lane] (CUDA [__shfl]); if the source
+    lane is inactive the leader's value is returned. *)
+
+(** {1 Global-memory operations}
+
+    Handlers keep their counters in device global memory; CUPTI-style
+    callbacks copy them to the host. Single-lane variants model an
+    elected leader performing the access; per-lane variants model all
+    active threads issuing it (e.g. Figure 3's per-thread
+    [atomicAdd]). *)
+
+val read_u32 : Hctx.t -> int -> int
+
+val write_u32 : Hctx.t -> int -> int -> unit
+
+val read_u64 : Hctx.t -> int -> int
+
+val write_u64 : Hctx.t -> int -> int -> unit
+
+val atomic_add_u64 : Hctx.t -> int -> int -> unit
+(** Leader-style single 64-bit [atomicAdd]. *)
+
+val atomic_add_u32 : Hctx.t -> int -> int -> int
+(** Returns the old value. *)
+
+val atomic_and_u32 : Hctx.t -> int -> int -> unit
+
+val atomic_or_u32 : Hctx.t -> int -> int -> unit
+
+val atomic_cas_u32 : Hctx.t -> int -> compare:int -> swap:int -> int
+(** Returns the old value. *)
+
+val per_lane_atomic_add_u64 : Hctx.t -> (int -> int * int) -> unit
+(** [per_lane_atomic_add_u64 ctx f]: every active lane [l] performs
+    [atomicAdd(addr, v)] where [(addr, v) = f l]. Charged with the
+    serialization cost of same-address atomics. *)
+
+val per_lane_atomic_and_u32 : Hctx.t -> (int -> int * int) -> unit
+
+val per_lane_atomic_or_u32 : Hctx.t -> (int -> int * int) -> unit

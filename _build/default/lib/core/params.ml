@@ -1,0 +1,121 @@
+let read ctx lane off =
+  Hctx.charge ctx ~ops:1 ~cycles:2;
+  Hctx.stack_read ctx ~lane ~off
+
+let read_leader ctx off = read ctx (Hctx.leader ctx) off
+
+module Before = struct
+  let id ctx = read_leader ctx Abi.off_id
+
+  let will_execute ctx ~lane = read ctx lane Abi.off_will_execute <> 0
+
+  let fn_addr ctx = read_leader ctx Abi.off_fn_addr
+
+  let ins_offset ctx = read_leader ctx Abi.off_ins_offset
+
+  let ins_addr ctx = fn_addr ctx + ins_offset ctx
+
+  let ins_encoding ctx = read_leader ctx Abi.off_ins_encoding
+
+  let opcode ctx = ctx.Hctx.site.Select.s_instr.Sass.Instr.op
+
+  let is_mem ctx = Sass.Opcode.is_mem (opcode ctx)
+
+  let is_mem_read ctx = Sass.Opcode.is_mem_read (opcode ctx)
+
+  let is_mem_write ctx = Sass.Opcode.is_mem_write (opcode ctx)
+
+  let is_spill_or_fill ctx = Sass.Opcode.is_spill_or_fill (opcode ctx)
+
+  let is_control_xfer ctx = Sass.Opcode.is_control (opcode ctx)
+
+  let is_cond_control_xfer ctx =
+    Sass.Instr.is_cond_branch ctx.Hctx.site.Select.s_instr
+
+  let is_sync ctx = Sass.Opcode.is_sync (opcode ctx)
+
+  let is_numeric ctx = Sass.Opcode.is_numeric (opcode ctx)
+
+  let is_texture ctx = Sass.Opcode.is_texture (opcode ctx)
+
+  let is_atomic ctx = Sass.Opcode.is_atomic (opcode ctx)
+end
+
+module Memory = struct
+  let address ctx ~lane = read ctx lane (Abi.aux_base + Abi.mem_off_address_lo)
+
+  let properties ctx = read_leader ctx (Abi.aux_base + Abi.mem_off_properties)
+
+  let space ctx =
+    match
+      Abi.space_of_tag (properties ctx lsr Abi.prop_space_shift land 0xF)
+    with
+    | Some s -> s
+    | None -> Sass.Opcode.Global
+
+  let is_global ctx = space ctx = Sass.Opcode.Global
+
+  let is_load ctx = properties ctx land Abi.prop_is_load <> 0
+
+  let is_store ctx = properties ctx land Abi.prop_is_store <> 0
+
+  let is_atomic ctx = properties ctx land Abi.prop_is_atomic <> 0
+
+  let width ctx = read_leader ctx (Abi.aux_base + Abi.mem_off_width)
+end
+
+module Cond_branch = struct
+  let direction ctx ~lane =
+    read ctx lane (Abi.aux_base + Abi.branch_off_direction) <> 0
+
+  let target ctx = read_leader ctx (Abi.aux_base + Abi.branch_off_target)
+end
+
+module Registers = struct
+  let num_gpr_dsts ctx = read_leader ctx (Abi.aux_base + Abi.reg_off_num_dsts)
+
+  let dst_reg ctx k =
+    let reg_off, _ = Abi.reg_off_entry k in
+    Sass.Reg.of_index (read_leader ctx (Abi.aux_base + reg_off))
+
+  let value ctx ~lane k =
+    let _, val_off = Abi.reg_off_entry k in
+    read ctx lane (Abi.aux_base + val_off)
+
+  let set_value ctx ~lane k v =
+    Hctx.charge ctx ~ops:2 ~cycles:4;
+    let reg = dst_reg ctx k in
+    let _, val_off = Abi.reg_off_entry k in
+    Hctx.stack_write ctx ~lane ~off:(Abi.aux_base + val_off) v;
+    (* Update the live register and, when the register is caller-saved
+       and therefore restored after the call, its spill slot. *)
+    Gpu.State.reg_set ctx.Hctx.warp ~lane reg v;
+    let idx = Sass.Reg.index reg in
+    if idx < Abi.gpr_spill_slots then
+      Hctx.stack_write ctx ~lane ~off:(Abi.off_gpr_spill + (4 * idx)) v
+
+  let num_pred_dsts ctx = read_leader ctx (Abi.aux_base + Abi.reg_off_num_pdsts)
+
+  let pred_dst ctx =
+    if num_pred_dsts ctx = 0 then
+      invalid_arg "Registers.pred_dst: no predicate destination";
+    Sass.Pred.of_index (read_leader ctx (Abi.aux_base + Abi.reg_off_pdst 0))
+
+  let pred_value ctx ~lane =
+    let p = Sass.Pred.index (pred_dst ctx) in
+    let spill = read ctx lane Abi.off_pr_spill in
+    spill land (1 lsl p) <> 0
+
+  let set_pred_value ctx ~lane v =
+    Hctx.charge ctx ~ops:2 ~cycles:4;
+    let pred = pred_dst ctx in
+    let p = Sass.Pred.index pred in
+    (* Flip both the live predicate and the PR spill word so the R2P
+       restore keeps the change. *)
+    Gpu.State.pred_set ctx.Hctx.warp ~lane pred v;
+    let spill = Hctx.stack_read ctx ~lane ~off:Abi.off_pr_spill in
+    let spill' =
+      if v then spill lor (1 lsl p) else spill land lnot (1 lsl p)
+    in
+    Hctx.stack_write ctx ~lane ~off:Abi.off_pr_spill spill'
+end

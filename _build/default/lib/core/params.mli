@@ -1,0 +1,105 @@
+(** Typed views of the params objects the injected call materialized
+    on the stack — the [SASSIBeforeParams] / [SASSIMemoryParams] /
+    [SASSICondBranchParams] / [SASSIRegisterParams] C++ classes of the
+    paper (Figure 2b/2c), as OCaml accessors over the simulated
+    thread stack.
+
+    Static queries (opcode classes, widths) come from the site table;
+    dynamic per-lane values (instrWillExecute, addresses, directions,
+    register values) read the object fields the injected SASS wrote. *)
+
+module Before : sig
+  val id : Hctx.t -> int
+
+  val will_execute : Hctx.t -> lane:int -> bool
+  (** The guard predicate held for this lane (per-lane field). *)
+
+  val fn_addr : Hctx.t -> int
+
+  val ins_offset : Hctx.t -> int
+
+  val ins_addr : Hctx.t -> int
+  (** [fn_addr + ins_offset]. *)
+
+  val ins_encoding : Hctx.t -> int
+
+  val opcode : Hctx.t -> Sass.Opcode.t
+
+  val is_mem : Hctx.t -> bool
+
+  val is_mem_read : Hctx.t -> bool
+
+  val is_mem_write : Hctx.t -> bool
+
+  val is_spill_or_fill : Hctx.t -> bool
+
+  val is_control_xfer : Hctx.t -> bool
+
+  val is_cond_control_xfer : Hctx.t -> bool
+
+  val is_sync : Hctx.t -> bool
+
+  val is_numeric : Hctx.t -> bool
+
+  val is_texture : Hctx.t -> bool
+
+  val is_atomic : Hctx.t -> bool
+end
+
+module Memory : sig
+  val address : Hctx.t -> lane:int -> int
+  (** The lane's effective address (the low word of the generic
+      pointer the injected code computed). *)
+
+  val space : Hctx.t -> Sass.Opcode.space
+
+  val is_global : Hctx.t -> bool
+  (** The [__isGlobal] filter from the paper's Figure 6 handler. *)
+
+  val is_load : Hctx.t -> bool
+
+  val is_store : Hctx.t -> bool
+
+  val is_atomic : Hctx.t -> bool
+
+  val width : Hctx.t -> int
+  (** Access width in bytes. *)
+end
+
+module Cond_branch : sig
+  val direction : Hctx.t -> lane:int -> bool
+  (** True if this lane will take the branch (Figure 4's
+      [GetDirection]). *)
+
+  val target : Hctx.t -> int
+  (** Branch target address (byte units). *)
+end
+
+module Registers : sig
+  val num_gpr_dsts : Hctx.t -> int
+
+  val dst_reg : Hctx.t -> int -> Sass.Reg.t
+
+  val value : Hctx.t -> lane:int -> int -> int
+  (** Value the instruction wrote to destination [k] in this lane
+      (read from the params object, where the injected code stored
+      the post-execution register). *)
+
+  val set_value : Hctx.t -> lane:int -> int -> int -> unit
+  (** Overwrite destination [k]'s value in this lane: updates the
+      live register file and the spill slot so the rewrite survives
+      the call's register restore. This is the state-modification
+      capability the error-injection study relies on (Section 8). *)
+
+  val num_pred_dsts : Hctx.t -> int
+
+  val pred_dst : Hctx.t -> Sass.Pred.t
+  (** First predicate destination.
+      @raise Invalid_argument if there is none. *)
+
+  val pred_value : Hctx.t -> lane:int -> bool
+  (** Post-execution value of the predicate destination, read from
+      the PR spill word. *)
+
+  val set_pred_value : Hctx.t -> lane:int -> bool -> unit
+end

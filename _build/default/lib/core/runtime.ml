@@ -1,0 +1,54 @@
+type t = {
+  sites : (int, Select.site) Hashtbl.t;
+  next_id : int ref;
+  mutable handlers : Handler.t array;
+}
+
+let create () =
+  { sites = Hashtbl.create 64; next_id = ref 0; handlers = [||] }
+
+let site t id =
+  match Hashtbl.find_opt t.sites id with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Runtime.site: unknown site %d" id)
+
+let sites_for_kernel t name =
+  Hashtbl.fold
+    (fun _ s acc -> if s.Select.s_kernel = name then s :: acc else acc)
+    t.sites []
+  |> List.sort (fun a b -> Int.compare a.Select.s_id b.Select.s_id)
+
+let attach t device pairs =
+  t.handlers <- Array.of_list (List.map snd pairs);
+  let specs = List.mapi (fun i (spec, _) -> (spec, i)) pairs in
+  Gpu.Device.set_transform device
+    (Some
+       (fun kernel ->
+          let r = Inject.instrument ~next_id:t.next_id ~specs kernel in
+          List.iter
+            (fun s -> Hashtbl.replace t.sites s.Select.s_id s)
+            r.Inject.sites;
+          r.Inject.kernel));
+  Gpu.Device.set_hcall device
+    (Some
+       (fun (h : Gpu.State.hcall_ctx) ->
+          let s = site t h.Gpu.State.h_handler in
+          let handler = t.handlers.(s.Select.s_handler) in
+          let ctx =
+            { Hctx.device = h.Gpu.State.h_launch.Gpu.State.l_device;
+              Hctx.launch = h.Gpu.State.h_launch;
+              Hctx.sm = h.Gpu.State.h_sm;
+              Hctx.warp = h.Gpu.State.h_warp;
+              Hctx.site = s;
+              Hctx.mask = h.Gpu.State.h_mask }
+          in
+          handler.Handler.fn ctx))
+
+let detach device =
+  Gpu.Device.set_transform device None;
+  Gpu.Device.set_hcall device None
+
+let with_instrumentation device pairs f =
+  let t = create () in
+  attach t device pairs;
+  Fun.protect ~finally:(fun () -> detach device) (fun () -> f t)

@@ -1,0 +1,26 @@
+(** The SASSI runtime: owns the cross-kernel site table, installs the
+    instrumentation pass as the device's kernel transform (the
+    "SASSI-enabled ptxas" swap from Section 4), and dispatches
+    [HCALL] traps to the registered handlers. *)
+
+type t
+
+val create : unit -> t
+
+val attach : t -> Gpu.Device.t -> (Select.spec * Handler.t) list -> unit
+(** Installs the transform and the trap hook. Kernels launched after
+    this are instrumented (and cached per transform generation). *)
+
+val detach : Gpu.Device.t -> unit
+(** Removes instrumentation; subsequent launches run the original
+    kernels. *)
+
+val site : t -> int -> Select.site
+(** Look up a site by id. *)
+
+val sites_for_kernel : t -> string -> Select.site list
+
+val with_instrumentation :
+  Gpu.Device.t -> (Select.spec * Handler.t) list -> (t -> 'a) -> 'a
+(** [with_instrumentation device pairs f] attaches a fresh runtime,
+    runs [f], and detaches (even on exceptions). *)

@@ -1,0 +1,125 @@
+type point =
+  | Before
+  | After
+
+type instr_class =
+  | All
+  | Memory_ops
+  | Control_xfer
+  | Cond_control
+  | Reg_writes
+  | Reg_reads
+  | Pred_writes
+  | Basic_block
+  | Kernel_entry
+  | Kernel_exit
+
+type what =
+  | Mem_info
+  | Branch_info
+  | Reg_info
+
+type spec = {
+  point : point;
+  classes : instr_class list;
+  what : what list;
+}
+
+let before classes what = { point = Before; classes; what }
+
+let after classes what = { point = After; classes; what }
+
+let class_matches cls (i : Sass.Instr.t) =
+  match cls with
+  | All -> true
+  | Memory_ops -> Sass.Opcode.is_mem i.Sass.Instr.op
+  | Control_xfer -> Sass.Opcode.is_control i.Sass.Instr.op
+  | Cond_control -> Sass.Instr.is_cond_branch i
+  | Reg_writes -> Sass.Instr.writes_gpr i
+  | Reg_reads -> Sass.Instr.reads_gpr i
+  | Pred_writes -> Sass.Instr.writes_pred i
+  | Basic_block | Kernel_entry | Kernel_exit ->
+    (* Positional classes are resolved by the injector, which knows
+       the CFG; they never match through the instruction alone. *)
+    false
+
+let structural_matches cls ~pc ~is_leader (i : Sass.Instr.t) =
+  match cls with
+  | Basic_block -> is_leader
+  | Kernel_entry -> pc = 0
+  | Kernel_exit ->
+    (match i.Sass.Instr.op with
+     | Sass.Opcode.EXIT | Sass.Opcode.RET -> true
+     | _ -> false)
+  | All | Memory_ops | Control_xfer | Cond_control | Reg_writes
+  | Reg_reads | Pred_writes -> class_matches cls i
+
+let matches spec (i : Sass.Instr.t) =
+  let is_hcall =
+    match i.Sass.Instr.op with
+    | Sass.Opcode.HCALL _ -> true
+    | _ -> false
+  in
+  (not is_hcall)
+  && (match spec.point with
+      | Before -> true
+      | After -> not (Sass.Opcode.is_control i.Sass.Instr.op))
+  && List.exists (fun c -> class_matches c i) spec.classes
+
+let matches_at spec ~pc ~is_leader (i : Sass.Instr.t) =
+  let is_hcall =
+    match i.Sass.Instr.op with
+    | Sass.Opcode.HCALL _ -> true
+    | _ -> false
+  in
+  let point_ok =
+    match spec.point with
+    | Before -> true
+    | After -> not (Sass.Opcode.is_control i.Sass.Instr.op)
+  in
+  let structural_needs_before c =
+    match c with
+    | Basic_block | Kernel_entry | Kernel_exit -> spec.point = Before
+    | All | Memory_ops | Control_xfer | Cond_control | Reg_writes
+    | Reg_reads | Pred_writes -> true
+  in
+  (not is_hcall) && point_ok
+  && List.exists
+       (fun c ->
+          structural_needs_before c
+          && structural_matches c ~pc ~is_leader i)
+       spec.classes
+
+type site = {
+  s_id : int;
+  s_kernel : string;
+  s_old_pc : int;
+  s_new_pc : int;
+  s_instr : Sass.Instr.t;
+  s_point : point;
+  s_what : what list;
+  s_handler : int;
+}
+
+let string_of_class = function
+  | All -> "all"
+  | Memory_ops -> "memory"
+  | Control_xfer -> "control"
+  | Cond_control -> "cond-control"
+  | Reg_writes -> "reg-writes"
+  | Reg_reads -> "reg-reads"
+  | Pred_writes -> "pred-writes"
+  | Basic_block -> "basic-block"
+  | Kernel_entry -> "kernel-entry"
+  | Kernel_exit -> "kernel-exit"
+
+let string_of_what = function
+  | Mem_info -> "mem-info"
+  | Branch_info -> "branch-info"
+  | Reg_info -> "reg-info"
+
+let pp_spec ppf s =
+  Format.fprintf ppf "%s:%s:%s"
+    (match s.point with Before -> "before" | After -> "after")
+    (String.concat "," (List.map string_of_class s.classes))
+    (String.concat "," (List.map string_of_what s.what))

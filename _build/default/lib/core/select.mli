@@ -1,0 +1,73 @@
+(** Instrumentation selection: the "where" and "what" of SASSI
+    (paper, Section 3.1-3.2).
+
+    - {e where}: before or after instructions, filtered by instruction
+      class (all instructions, memory ops, control transfers,
+      conditional branches, register reads/writes, ...). "After"
+      instrumentation of control transfers is rejected, as in SASSI.
+    - {e what}: which parameter objects the injected call materializes
+      on the stack and passes to the handler, in addition to the
+      always-present [SASSIBeforeParams]/[SASSIAfterParams] analogue. *)
+
+type point =
+  | Before
+  | After
+
+type instr_class =
+  | All
+  | Memory_ops
+  | Control_xfer
+  | Cond_control
+  | Reg_writes
+  | Reg_reads
+  | Pred_writes
+  | Basic_block  (** first instruction of every basic block *)
+  | Kernel_entry  (** the kernel's first instruction *)
+  | Kernel_exit  (** every [EXIT]/[RET] *)
+
+type what =
+  | Mem_info  (** effective address, width, access properties *)
+  | Branch_info  (** per-lane direction and target of a cond branch *)
+  | Reg_info  (** destination registers and their (new) values *)
+
+type spec = {
+  point : point;
+  classes : instr_class list;  (** union; instruction matches any *)
+  what : what list;
+}
+
+val before : instr_class list -> what list -> spec
+
+val after : instr_class list -> what list -> spec
+
+val class_matches : instr_class -> Sass.Instr.t -> bool
+
+val matches : spec -> Sass.Instr.t -> bool
+(** Class match AND point legality (no [After] on control transfers,
+    no instrumentation of [HCALL] itself). Structural classes
+    ([Basic_block], [Kernel_entry], [Kernel_exit]) never match here —
+    they need CFG position and are resolved through {!matches_at}. *)
+
+val matches_at : spec -> pc:int -> is_leader:bool -> Sass.Instr.t -> bool
+(** Full matching as the injector performs it, with the instruction's
+    position: [is_leader] marks basic-block headers. Structural
+    classes are [Before]-only. *)
+
+(** {1 Sites}
+
+    One instrumentation site = one injected handler call. The site
+    table is built by the injector and consulted by the runtime to
+    reconstruct static information for params objects. *)
+
+type site = {
+  s_id : int;
+  s_kernel : string;
+  s_old_pc : int;  (** PC in the uninstrumented kernel *)
+  s_new_pc : int;  (** PC of the original instruction after injection *)
+  s_instr : Sass.Instr.t;  (** the instrumented (original) instruction *)
+  s_point : point;
+  s_what : what list;
+  s_handler : int;  (** index into the runtime's handler table *)
+}
+
+val pp_spec : Format.formatter -> spec -> unit

@@ -1,0 +1,1 @@
+lib/cupti/callback.ml: Gpu Sass

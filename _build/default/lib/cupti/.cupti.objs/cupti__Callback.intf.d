@@ -1,0 +1,1 @@
+lib/cupti/callback.mli: Gpu

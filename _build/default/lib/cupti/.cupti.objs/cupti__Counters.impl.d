@@ -1,0 +1,1 @@
+lib/cupti/counters.ml: Callback Gpu

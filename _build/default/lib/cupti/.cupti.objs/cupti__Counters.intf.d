@@ -1,0 +1,1 @@
+lib/cupti/counters.mli: Callback Gpu

@@ -1,0 +1,30 @@
+type domain =
+  | Kernel_launch
+  | Kernel_exit
+
+type subscription = int
+
+type kernel_info = {
+  kernel_name : string;
+  invocation : int;
+  launch_id : int;
+  grid : int * int;
+  block : int * int;
+  launch : Gpu.State.launch;
+}
+
+let info_of_launch (l : Gpu.State.launch) =
+  { kernel_name = l.Gpu.State.l_kernel.Sass.Program.name;
+    invocation = l.Gpu.State.l_invocation;
+    launch_id = l.Gpu.State.l_id;
+    grid = (l.Gpu.State.l_grid_x, l.Gpu.State.l_grid_y);
+    block = (l.Gpu.State.l_block_x, l.Gpu.State.l_block_y);
+    launch = l }
+
+let subscribe device domain f =
+  let wrapped l = f (info_of_launch l) in
+  match domain with
+  | Kernel_launch -> Gpu.Device.on_launch device wrapped
+  | Kernel_exit -> Gpu.Device.on_exit device wrapped
+
+let unsubscribe device sub = Gpu.Device.unsubscribe device sub

@@ -1,0 +1,26 @@
+(** The CUPTI callback substrate (paper, Section 3.3): host-side code
+    subscribes to kernel-launch and kernel-exit events to initialize
+    and collect device-side counters. The copy APIs serialize with
+    kernel execution exactly because launches here are synchronous,
+    matching the [cudaMemcpy] serialization the paper relies on to
+    avoid counter races. *)
+
+type domain =
+  | Kernel_launch  (** fired before the kernel starts executing *)
+  | Kernel_exit  (** fired after the kernel has completed *)
+
+type subscription
+
+(** Information handed to callbacks, mirroring what CUPTI exposes. *)
+type kernel_info = {
+  kernel_name : string;
+  invocation : int;  (** per-kernel-name invocation count, from 0 *)
+  launch_id : int;  (** global launch sequence number *)
+  grid : int * int;
+  block : int * int;
+  launch : Gpu.State.launch;  (** full launch record *)
+}
+
+val subscribe : Gpu.Device.t -> domain -> (kernel_info -> unit) -> subscription
+
+val unsubscribe : Gpu.Device.t -> subscription -> unit

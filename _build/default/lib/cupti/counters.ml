@@ -1,0 +1,29 @@
+type t = {
+  device : Gpu.Device.t;
+  base : int;
+  n : int;
+}
+
+let alloc device ~slots =
+  let base = Gpu.Device.malloc device (8 * slots) in
+  Gpu.Device.memset device ~addr:base ~len:(8 * slots) '\000';
+  { device; base; n = slots }
+
+let slots t = t.n
+
+let addr ?(slot = 0) t =
+  if slot < 0 || slot >= t.n then invalid_arg "Counters.addr: slot out of range";
+  t.base + (8 * slot)
+
+let zero t = Gpu.Device.memset t.device ~addr:t.base ~len:(8 * t.n) '\000'
+
+let read t = Gpu.Device.read_u64s t.device ~addr:t.base ~n:t.n
+
+let read_and_zero t =
+  let v = read t in
+  zero t;
+  v
+
+let zero_on_launch t device ~kernel =
+  Callback.subscribe device Callback.Kernel_launch (fun info ->
+      if kernel = "*" || info.Callback.kernel_name = kernel then zero t)

@@ -1,0 +1,27 @@
+(** Device-resident 64-bit counter arrays, the idiom every case-study
+    handler uses: allocate once, zero on kernel launch (via a
+    {!Callback} subscription or explicitly), update from handlers with
+    charged atomics, and copy back to the host on kernel exit. *)
+
+type t
+
+val alloc : Gpu.Device.t -> slots:int -> t
+(** Allocates and zeroes [slots] 64-bit counters in device global
+    memory. *)
+
+val slots : t -> int
+
+val addr : ?slot:int -> t -> int
+(** Device address of the given slot (default 0), to hand to handler
+    atomics. *)
+
+val zero : t -> unit
+
+val read : t -> int array
+(** Host copy of all slots (a [cudaMemcpy] analogue). *)
+
+val read_and_zero : t -> int array
+
+val zero_on_launch : t -> Gpu.Device.t -> kernel:string -> Callback.subscription
+(** Convenience: subscribe a launch callback that zeroes the counters
+    whenever the named kernel launches (["*"] matches any kernel). *)

@@ -1,0 +1,1 @@
+lib/gpu/config.ml: Format

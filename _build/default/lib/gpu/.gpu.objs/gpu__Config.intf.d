@@ -1,0 +1,1 @@
+lib/gpu/config.mli: Format

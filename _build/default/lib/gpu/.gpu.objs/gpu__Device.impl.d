@@ -1,0 +1,1 @@
+lib/gpu/device.ml: Array Config Hashtbl List Memory Memsys Printf Sass Scheduler State Stats Value

@@ -1,0 +1,1 @@
+lib/gpu/exec.ml: Array Config Instr Lazy List Memory Memsys Opcode Pred Program Sass State Stats Trap Value

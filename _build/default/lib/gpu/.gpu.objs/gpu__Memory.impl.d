@@ -1,0 +1,1 @@
+lib/gpu/memory.ml: Bytes Char Int32 Int64 Opcode Sass Trap Value

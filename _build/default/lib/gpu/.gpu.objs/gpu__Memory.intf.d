@@ -1,0 +1,1 @@
+lib/gpu/memory.mli: Bytes Sass

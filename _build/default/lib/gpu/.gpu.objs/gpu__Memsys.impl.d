@@ -1,0 +1,1 @@
+lib/gpu/memsys.ml: Array Cache Config Hashtbl Int List Printf Stats

@@ -1,0 +1,1 @@
+lib/gpu/memsys.mli: Config Stats

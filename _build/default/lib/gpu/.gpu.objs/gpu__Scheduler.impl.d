@@ -1,0 +1,1 @@
+lib/gpu/scheduler.ml: Array Config Exec List Memory Sass State Stats Trap

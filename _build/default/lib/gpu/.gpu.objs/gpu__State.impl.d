@@ -1,0 +1,1 @@
+lib/gpu/state.ml: Array Config Hashtbl Memory Memsys Sass Stats Value

@@ -1,0 +1,1 @@
+lib/gpu/state.mli: Config Hashtbl Memory Memsys Sass Stats

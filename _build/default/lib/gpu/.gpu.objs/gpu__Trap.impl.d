@@ -1,0 +1,1 @@
+lib/gpu/trap.ml: Format Printf Sass

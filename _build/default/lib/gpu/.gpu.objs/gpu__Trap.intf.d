@@ -1,0 +1,1 @@
+lib/gpu/trap.mli: Sass

@@ -1,0 +1,1 @@
+lib/gpu/value.ml: Float Int32 Opcode Sass

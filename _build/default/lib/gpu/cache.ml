@@ -1,0 +1,84 @@
+type outcome =
+  | Hit
+  | Miss
+
+type t = {
+  name : string;
+  sets : int;
+  assoc : int;
+  line_bytes : int;
+  tags : int array;  (* sets * assoc; -1 = invalid *)
+  stamps : int array;  (* LRU timestamps *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~name ~size_bytes ~assoc ~line_bytes =
+  let lines = max 1 (size_bytes / line_bytes) in
+  let sets = max 1 (lines / assoc) in
+  { name;
+    sets;
+    assoc;
+    line_bytes;
+    tags = Array.make (sets * assoc) (-1);
+    stamps = Array.make (sets * assoc) 0;
+    tick = 0;
+    hits = 0;
+    misses = 0 }
+
+let set_of t addr =
+  let line = addr / t.line_bytes in
+  line mod t.sets
+
+let tag_of t addr = addr / t.line_bytes
+
+let access t addr =
+  t.tick <- t.tick + 1;
+  let s = set_of t addr in
+  let tag = tag_of t addr in
+  let base = s * t.assoc in
+  let found = ref (-1) in
+  for w = 0 to t.assoc - 1 do
+    if t.tags.(base + w) = tag then found := w
+  done;
+  if !found >= 0 then begin
+    t.hits <- t.hits + 1;
+    t.stamps.(base + !found) <- t.tick;
+    Hit
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* Fill: evict the LRU way. *)
+    let victim = ref 0 in
+    for w = 1 to t.assoc - 1 do
+      if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+    done;
+    t.tags.(base + !victim) <- tag;
+    t.stamps.(base + !victim) <- t.tick;
+    Miss
+  end
+
+let probe t addr =
+  let s = set_of t addr in
+  let tag = tag_of t addr in
+  let base = s * t.assoc in
+  let found = ref false in
+  for w = 0 to t.assoc - 1 do
+    if t.tags.(base + w) = tag then found := true
+  done;
+  !found
+
+let invalidate_all t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let name t = t.name
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

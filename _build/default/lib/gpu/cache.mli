@@ -1,0 +1,28 @@
+(** Set-associative tag-array cache model with LRU replacement.
+    Tracks hits and misses for the timing model; data always lives in
+    the backing {!Memory.t}, so only tags are modeled. *)
+
+type t
+
+type outcome =
+  | Hit
+  | Miss
+
+val create : name:string -> size_bytes:int -> assoc:int -> line_bytes:int -> t
+
+val access : t -> int -> outcome
+(** Look up the line containing the address; on a miss the line is
+    filled (allocate-on-miss for reads and writes alike). *)
+
+val probe : t -> int -> bool
+(** Non-updating lookup. *)
+
+val invalidate_all : t -> unit
+
+val hits : t -> int
+
+val misses : t -> int
+
+val name : t -> string
+
+val reset_stats : t -> unit

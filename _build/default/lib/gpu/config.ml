@@ -1,0 +1,56 @@
+type t = {
+  num_sms : int;
+  warp_size : int;
+  max_warps_per_sm : int;
+  issue_width : int;
+  global_mem_bytes : int;
+  line_bytes : int;
+  l1_bytes : int;
+  l1_assoc : int;
+  l2_bytes : int;
+  l2_assoc : int;
+  lat_alu : int;
+  lat_mufu : int;
+  lat_shared : int;
+  lat_l1 : int;
+  lat_l2 : int;
+  lat_dram : int;
+  lat_atomic : int;
+  max_cycles : int;
+}
+
+let default =
+  { num_sms = 8;
+    warp_size = 32;
+    max_warps_per_sm = 48;
+    issue_width = 2;
+    global_mem_bytes = 64 * 1024 * 1024;
+    line_bytes = 32;
+    l1_bytes = 16 * 1024;
+    l1_assoc = 4;
+    l2_bytes = 512 * 1024;
+    l2_assoc = 8;
+    lat_alu = 10;
+    lat_mufu = 20;
+    lat_shared = 25;
+    lat_l1 = 30;
+    lat_l2 = 160;
+    lat_dram = 350;
+    lat_atomic = 60;
+    max_cycles = 200_000_000 }
+
+let small =
+  { default with
+    num_sms = 2;
+    max_warps_per_sm = 16;
+    global_mem_bytes = 8 * 1024 * 1024;
+    l1_bytes = 4 * 1024;
+    l2_bytes = 64 * 1024;
+    max_cycles = 20_000_000 }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "GPU: %d SMs x %d warps, warp=%d, issue=%d, %d MiB global, %d B lines"
+    t.num_sms t.max_warps_per_sm t.warp_size t.issue_width
+    (t.global_mem_bytes / (1024 * 1024))
+    t.line_bytes

@@ -1,0 +1,33 @@
+(** Machine configuration for the simulated GPU.
+
+    Defaults approximate one GK104 (Tesla K10) device: 8 SMs, 32-lane
+    warps, a 32 B memory transaction granularity (the paper's case
+    studies use 32 B lines), small L1s and a shared L2. *)
+
+type t = {
+  num_sms : int;
+  warp_size : int;  (** fixed at 32 by the ISA's vote/ballot semantics *)
+  max_warps_per_sm : int;  (** residency limit *)
+  issue_width : int;  (** instructions issued per SM cycle *)
+  global_mem_bytes : int;
+  line_bytes : int;  (** coalescing granularity *)
+  l1_bytes : int;
+  l1_assoc : int;
+  l2_bytes : int;
+  l2_assoc : int;
+  lat_alu : int;
+  lat_mufu : int;
+  lat_shared : int;
+  lat_l1 : int;
+  lat_l2 : int;
+  lat_dram : int;
+  lat_atomic : int;
+  max_cycles : int;  (** per-launch watchdog; exceeding raises {!Trap.Hang} *)
+}
+
+val default : t
+
+val small : t
+(** A 2-SM configuration for fast unit tests. *)
+
+val pp : Format.formatter -> t -> unit

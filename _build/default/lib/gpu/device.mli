@@ -1,0 +1,91 @@
+(** The device API: the CUDA-runtime analogue used by host drivers.
+
+    A device owns global memory, the cache hierarchy, an optional
+    kernel transform (this is where the SASSI instrumentation pass is
+    installed, playing the role of the SASSI-enabled [ptxas]), launch
+    and exit callbacks (the CUPTI analogue), and the handler trap. *)
+
+type t = State.device
+
+(** Kernel launch arguments, written into the constant bank in 4-byte
+    slots in order. Addresses are 32-bit in this machine. *)
+type arg =
+  | I32 of int
+  | F32 of float
+  | Ptr of int
+
+val create : ?cfg:Config.t -> unit -> t
+
+val config : t -> Config.t
+
+(** {1 Memory management} *)
+
+val malloc : t -> int -> int
+(** Bump allocation in global memory, 256-byte aligned.
+    @raise Out_of_memory when the global heap is exhausted. *)
+
+val memset : t -> addr:int -> len:int -> char -> unit
+
+val write_i32s : t -> addr:int -> int array -> unit
+
+val read_i32s : t -> addr:int -> n:int -> int array
+
+val write_f32s : t -> addr:int -> float array -> unit
+
+val read_f32s : t -> addr:int -> n:int -> float array
+
+val write_u64s : t -> addr:int -> int array -> unit
+
+val read_u64s : t -> addr:int -> n:int -> int array
+
+val read_i32 : t -> int -> int
+
+val write_i32 : t -> int -> int -> unit
+
+val read_u64 : t -> int -> int
+
+val write_u64 : t -> int -> int -> unit
+
+val bind_texture : t -> addr:int -> bytes:int -> unit
+
+(** {1 Instrumentation hooks} *)
+
+val set_transform : t -> State.transform option -> unit
+(** Installs (or removes) the backend-compiler kernel transform applied
+    at launch time. Transformed kernels are cached per generation. *)
+
+val set_hcall : t -> (State.hcall_ctx -> unit) option -> unit
+
+val set_host_access_hook :
+  t -> (addr:int -> bytes:int -> write:bool -> unit) option -> unit
+(** Observe all host-side reads/writes of device global memory (the
+    memcpy traffic). Used by heterogeneous CPU+GPU analyses such as
+    {!Handlers.Uvm_profile} (paper Section 9.4). *)
+
+(** {1 Callbacks (CUPTI substrate)} *)
+
+val on_launch : t -> (State.launch -> unit) -> int
+(** Subscribe to kernel-launch events (before execution); returns a
+    subscription id. *)
+
+val on_exit : t -> (State.launch -> unit) -> int
+(** Subscribe to kernel-exit events (after execution). *)
+
+val unsubscribe : t -> int -> unit
+
+(** {1 Kernel launch} *)
+
+val launch :
+  t ->
+  kernel:Sass.Program.kernel ->
+  grid:int * int ->
+  block:int * int ->
+  args:arg list ->
+  Stats.t
+(** Applies the installed transform, runs launch callbacks, executes
+    the kernel to completion, runs exit callbacks, and returns the
+    launch statistics. Exceptions from traps propagate after no
+    callbacks have been skipped on the way in. *)
+
+val invocation_count : t -> string -> int
+(** How many times a kernel of the given name has been launched. *)

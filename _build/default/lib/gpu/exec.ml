@@ -1,0 +1,628 @@
+open Sass
+open State
+
+let iter_lanes mask f =
+  for lane = 0 to warp_size - 1 do
+    if mask land (1 lsl lane) <> 0 then f lane
+  done
+
+let fold_lanes mask f acc =
+  let acc = ref acc in
+  for lane = 0 to warp_size - 1 do
+    if mask land (1 lsl lane) <> 0 then acc := f !acc lane
+  done;
+  !acc
+
+let src_value launch w ~lane = function
+  | Instr.SReg r -> reg_get w ~lane r
+  | Instr.SImm i -> i land Value.mask
+  | Instr.SParam off -> Memory.read launch.l_params ~width:Opcode.W32 off
+  | Instr.SPred p -> if pred_get w ~lane p then 1 else 0
+
+let special_value sm w ~lane = function
+  | Opcode.Sr_tid_x -> tid_x w ~lane
+  | Opcode.Sr_tid_y -> tid_y w ~lane
+  | Opcode.Sr_ntid_x -> w.w_block.b_launch.l_block_x
+  | Opcode.Sr_ntid_y -> w.w_block.b_launch.l_block_y
+  | Opcode.Sr_ctaid_x -> w.w_block.b_x
+  | Opcode.Sr_ctaid_y -> w.w_block.b_y
+  | Opcode.Sr_nctaid_x -> w.w_block.b_launch.l_grid_x
+  | Opcode.Sr_nctaid_y -> w.w_block.b_launch.l_grid_y
+  | Opcode.Sr_laneid -> lane
+  | Opcode.Sr_warpid -> w.w_id
+  | Opcode.Sr_smid -> sm.sm_id
+  | Opcode.Sr_clock -> sm.sm_cycle land Value.mask
+
+let release_barrier_if_ready blk =
+  if blk.b_alive > 0 && blk.b_arrived >= blk.b_alive then begin
+    Array.iter
+      (fun w -> if w.w_status = W_barrier then w.w_status <- W_ready)
+      blk.b_warps;
+    blk.b_arrived <- 0
+  end
+
+(* Remove exiting lanes from every stack entry; returns true if the
+   warp has fully exited. *)
+let retire_lanes w exiting =
+  w.w_stack <-
+    List.filter_map
+      (fun e ->
+         let m = e.e_mask land lnot exiting in
+         if m = 0 then None
+         else begin
+           e.e_mask <- m;
+           Some e
+         end)
+      w.w_stack;
+  w.w_stack = []
+
+let warp_exit w exiting =
+  if retire_lanes w exiting then begin
+    w.w_status <- W_done;
+    let blk = w.w_block in
+    blk.b_alive <- blk.b_alive - 1;
+    release_barrier_if_ready blk
+  end
+
+(* --- Memory access helpers -------------------------------------------- *)
+
+let frame_bytes w = w.w_block.b_launch.l_kernel.Program.frame_bytes
+
+(* Synthetic interleaved physical address so that same-offset accesses
+   from the 32 lanes of a warp coalesce perfectly, as hardware local
+   memory does. *)
+let local_phys w ~lane addr =
+  let launch = w.w_block.b_launch in
+  let warps_per_block =
+    (launch.l_block_x * launch.l_block_y + warp_size - 1) / warp_size
+  in
+  let warp_uid = (w.w_block.b_flat * warps_per_block) + w.w_id in
+  Memsys.local_window
+  + (warp_uid * frame_bytes w * warp_size)
+  + (addr * warp_size) + (lane * 4)
+
+let texture_read launch ~width idx =
+  let dev = launch.l_device in
+  match dev.d_texture with
+  | None ->
+    raise (Trap.Memory_fault
+             { space = Opcode.Tex; addr = idx; kind = Trap.Out_of_bounds })
+  | Some (base, bytes) ->
+    let elt = Opcode.bytes_of_width width in
+    let n = bytes / elt in
+    (* Texture clamp addressing mode; coordinates are signed. *)
+    let idx = Value.signed idx in
+    let idx = if idx < 0 then 0 else if idx >= n then n - 1 else idx in
+    let addr = base + (idx * elt) in
+    (Memory.read dev.d_global ~width addr, addr)
+
+(* --- The main dispatch ------------------------------------------------- *)
+
+let step sm w =
+  (* Reconvergence: pop entries whose PC reached their RPC. *)
+  let rec reconverge () =
+    match w.w_stack with
+    | e :: rest when e.e_rpc >= 0 && e.e_pc = e.e_rpc ->
+      w.w_stack <- rest;
+      reconverge ()
+    | _ -> ()
+  in
+  reconverge ();
+  let e = tos w in
+  let launch = w.w_block.b_launch in
+  let dev = launch.l_device in
+  let cfg = dev.d_cfg in
+  let stats = launch.l_stats in
+  let pc = e.e_pc in
+  let instrs = launch.l_kernel.Program.instrs in
+  if pc < 0 || pc >= Array.length instrs then
+    raise (Trap.Memory_fault
+             { space = Opcode.Global; addr = pc;
+               kind = Trap.Invalid_instruction });
+  let i = instrs.(pc) in
+  let exec_mask =
+    fold_lanes e.e_mask
+      (fun acc lane ->
+         if guard_passes w ~lane i.Instr.guard then acc lor (1 lsl lane)
+         else acc)
+      0
+  in
+  let nactive = Value.popc exec_mask in
+  Stats.count_instr stats i.Instr.op ~active_lanes:nactive;
+  let latency = ref cfg.Config.lat_alu in
+  let next_pc = ref (pc + 1) in
+  let sv lane s = src_value launch w ~lane s in
+  let dst1 () =
+    match i.Instr.dsts with
+    | d :: _ -> d
+    | [] -> invalid_arg "Exec: missing destination"
+  in
+  let src n =
+    match List.nth_opt i.Instr.srcs n with
+    | Some s -> s
+    | None -> invalid_arg "Exec: missing source operand"
+  in
+  (* Hoist operand decoding out of the 32-lane loops: uniform operands
+     (immediates, constant-bank reads) are evaluated once. *)
+  let evaluator s =
+    match s with
+    | Instr.SImm v ->
+      let v = v land Value.mask in
+      fun _ -> v
+    | Instr.SParam off ->
+      let v = Memory.read launch.l_params ~width:Opcode.W32 off in
+      fun _ -> v
+    | Instr.SReg r -> fun lane -> reg_get w ~lane r
+    | Instr.SPred p -> fun lane -> if pred_get w ~lane p then 1 else 0
+  in
+  let unop f =
+    let d = dst1 () in
+    let e0 = evaluator (src 0) in
+    iter_lanes exec_mask (fun lane -> reg_set w ~lane d (f (e0 lane)))
+  in
+  let binop f =
+    let d = dst1 () in
+    let e0 = evaluator (src 0) in
+    let e1 = evaluator (src 1) in
+    iter_lanes exec_mask (fun lane ->
+        reg_set w ~lane d (f (e0 lane) (e1 lane)))
+  in
+  let ternop f =
+    let d = dst1 () in
+    let e0 = evaluator (src 0) in
+    let e1 = evaluator (src 1) in
+    let e2 = evaluator (src 2) in
+    iter_lanes exec_mask (fun lane ->
+        reg_set w ~lane d (f (e0 lane) (e1 lane) (e2 lane)))
+  in
+  let setp f =
+    let p =
+      match i.Instr.pdsts with
+      | p :: _ -> p
+      | [] -> invalid_arg "Exec: SETP without predicate destination"
+    in
+    let e0 = evaluator (src 0) in
+    let e1 = evaluator (src 1) in
+    iter_lanes exec_mask (fun lane ->
+        pred_set w ~lane p (f (e0 lane) (e1 lane)))
+  in
+  (* Effective address for memory ops: src0 + src1. *)
+  let eff_addr =
+    lazy
+      (let e0 = evaluator (src 0) in
+       let e1 = evaluator (src 1) in
+       fun lane -> Value.wrap (e0 lane + e1 lane))
+  in
+  let eff_addr lane = Lazy.force eff_addr lane in
+  let mem_pairs width =
+    fold_lanes exec_mask
+      (fun acc lane -> (eff_addr lane, Opcode.bytes_of_width width) :: acc)
+      []
+  in
+  (match i.Instr.op with
+   | Opcode.IADD -> binop Value.add
+   | Opcode.ISUB -> binop Value.sub
+   | Opcode.IMUL -> binop Value.mul
+   | Opcode.IMAD -> ternop Value.mad
+   | Opcode.IDIV sign ->
+     latency := cfg.Config.lat_mufu * 2;
+     binop (Value.div ~sign)
+   | Opcode.IMOD sign ->
+     latency := cfg.Config.lat_mufu * 2;
+     binop (Value.rem ~sign)
+   | Opcode.IMNMX cmp -> binop (Value.min_max ~cmp)
+   | Opcode.SHL -> binop Value.shl
+   | Opcode.SHR sign -> binop (Value.shr ~sign)
+   | Opcode.LOP logic -> binop (Value.logic logic)
+   | Opcode.BREV -> unop Value.brev
+   | Opcode.POPC -> unop Value.popc
+   | Opcode.FLO -> unop Value.flo
+   | Opcode.ISETP (cmp, sign) -> setp (Value.compare_int ~cmp ~sign)
+   | Opcode.FADD -> binop Value.fadd
+   | Opcode.FSUB -> binop Value.fsub
+   | Opcode.FMUL -> binop Value.fmul
+   | Opcode.FFMA -> ternop Value.ffma
+   | Opcode.FMNMX cmp -> binop (Value.fmin_max ~cmp)
+   | Opcode.MUFU f ->
+     latency := cfg.Config.lat_mufu;
+     unop (Value.mufu f)
+   | Opcode.FSETP cmp -> setp (Value.compare_f32 ~cmp)
+   | Opcode.I2F sign -> unop (Value.i2f ~sign)
+   | Opcode.F2I sign -> unop (Value.f2i ~sign)
+   | Opcode.MOV -> unop (fun v -> v)
+   | Opcode.SEL ->
+     iter_lanes exec_mask (fun lane ->
+         let c = sv lane (src 2) <> 0 in
+         reg_set w ~lane (dst1 ())
+           (if c then sv lane (src 0) else sv lane (src 1)))
+   | Opcode.S2R sr ->
+     iter_lanes exec_mask (fun lane ->
+         reg_set w ~lane (dst1 ()) (special_value sm w ~lane sr))
+   | Opcode.P2R ->
+     iter_lanes exec_mask (fun lane ->
+         let bits =
+           List.fold_left
+             (fun acc j ->
+                if pred_get w ~lane (Pred.p j) then acc lor (1 lsl j) else acc)
+             0 [ 0; 1; 2; 3; 4; 5; 6 ]
+         in
+         reg_set w ~lane (dst1 ()) bits)
+   | Opcode.R2P ->
+     iter_lanes exec_mask (fun lane ->
+         let bits = sv lane (src 0) in
+         List.iter
+           (fun j -> pred_set w ~lane (Pred.p j) (bits land (1 lsl j) <> 0))
+           [ 0; 1; 2; 3; 4; 5; 6 ])
+   | Opcode.PSETP logic ->
+     let p =
+       match i.Instr.pdsts with
+       | p :: _ -> p
+       | [] -> invalid_arg "Exec: PSETP without predicate destination"
+     in
+     iter_lanes exec_mask (fun lane ->
+         let a = sv lane (src 0) <> 0 in
+         let b =
+           match List.nth_opt i.Instr.srcs 1 with
+           | Some s -> sv lane s <> 0
+           | None -> false
+         in
+         let r =
+           match logic with
+           | Opcode.L_and -> a && b
+           | Opcode.L_or -> a || b
+           | Opcode.L_xor -> a <> b
+           | Opcode.L_not -> not a
+         in
+         pred_set w ~lane p r)
+   | Opcode.LD (space, width) ->
+     (match space with
+      | Opcode.Global ->
+        iter_lanes exec_mask (fun lane ->
+            let addr = eff_addr lane in
+            match width with
+            | Opcode.W64 ->
+              (match i.Instr.dsts with
+               | [ lo; hi ] ->
+                 reg_set w ~lane lo
+                   (Memory.read dev.d_global ~width:Opcode.W32 addr);
+                 reg_set w ~lane hi
+                   (Memory.read dev.d_global ~width:Opcode.W32 (addr + 4))
+               | _ -> invalid_arg "Exec: LD.64 needs a register pair")
+            | _ -> reg_set w ~lane (dst1 ()) (Memory.read dev.d_global ~width addr));
+        if nactive > 0 then begin
+          let r =
+            Memsys.global_access dev.d_mem ~sm:sm.sm_id ~stats
+              (mem_pairs width)
+          in
+          latency := r.Memsys.latency
+        end
+      | Opcode.Shared ->
+        iter_lanes exec_mask (fun lane ->
+            let addr = eff_addr lane in
+            reg_set w ~lane (dst1 ())
+              (Memory.read w.w_block.b_shared ~width addr));
+        if nactive > 0 then begin
+          let addrs = fold_lanes exec_mask (fun a l -> eff_addr l :: a) [] in
+          let r = Memsys.shared_access dev.d_mem ~stats addrs in
+          latency := r.Memsys.latency
+        end
+      | Opcode.Local ->
+        let uniform = ref true in
+        let addr0 = ref (-1) in
+        let frame = frame_bytes w in
+        let d = dst1 () in
+        iter_lanes exec_mask (fun lane ->
+            let addr = eff_addr lane in
+            if !addr0 < 0 then addr0 := addr
+            else if addr <> !addr0 then uniform := false;
+            if addr < 0 || addr >= frame then
+              raise (Trap.Memory_fault
+                       { space = Opcode.Local; addr; kind = Trap.Out_of_bounds });
+            reg_set w ~lane d
+              (Memory.read w.w_local ~width ((lane * frame) + addr)));
+        if nactive > 0 then begin
+          let r =
+            if !uniform then begin
+              (* Same frame offset in every lane: the interleaved
+                 physical addresses form one contiguous run. *)
+              let first = Value.ffs exec_mask - 1 in
+              let last = Value.flo exec_mask in
+              Memsys.contiguous_access dev.d_mem ~sm:sm.sm_id ~stats
+                ~first_phys:(local_phys w ~lane:first !addr0)
+                ~last_phys:(local_phys w ~lane:last !addr0)
+                ~width:4
+            end
+            else
+              Memsys.global_access dev.d_mem ~sm:sm.sm_id ~stats
+                (fold_lanes exec_mask
+                   (fun a lane -> (local_phys w ~lane (eff_addr lane), 4) :: a)
+                   [])
+          in
+          latency := r.Memsys.latency
+        end
+      | Opcode.Param ->
+        iter_lanes exec_mask (fun lane ->
+            reg_set w ~lane (dst1 ())
+              (Memory.read launch.l_params ~width (eff_addr lane)))
+      | Opcode.Tex ->
+        iter_lanes exec_mask (fun lane ->
+            let v, _ = texture_read launch ~width (sv lane (src 0)) in
+            reg_set w ~lane (dst1 ()) v);
+        latency := cfg.Config.lat_l1)
+   | Opcode.ST (space, width) ->
+     let ev0 = evaluator (src 2) in
+     let ev1 =
+       match List.nth_opt i.Instr.srcs 3 with
+       | Some s -> evaluator s
+       | None -> fun _ -> 0
+     in
+     let value_src lane k = if k = 0 then ev0 lane else ev1 lane in
+     (match space with
+      | Opcode.Global ->
+        iter_lanes exec_mask (fun lane ->
+            let addr = eff_addr lane in
+            match width with
+            | Opcode.W64 ->
+              Memory.write dev.d_global ~width:Opcode.W32 addr
+                (value_src lane 0);
+              Memory.write dev.d_global ~width:Opcode.W32 (addr + 4)
+                (value_src lane 1)
+            | _ -> Memory.write dev.d_global ~width addr (value_src lane 0));
+        if nactive > 0 then begin
+          let r =
+            Memsys.global_access dev.d_mem ~sm:sm.sm_id ~stats
+              (mem_pairs width)
+          in
+          latency := r.Memsys.latency
+        end
+      | Opcode.Shared ->
+        iter_lanes exec_mask (fun lane ->
+            Memory.write w.w_block.b_shared ~width (eff_addr lane)
+              (value_src lane 0));
+        if nactive > 0 then begin
+          let addrs = fold_lanes exec_mask (fun a l -> eff_addr l :: a) [] in
+          let r = Memsys.shared_access dev.d_mem ~stats addrs in
+          latency := r.Memsys.latency
+        end
+      | Opcode.Local ->
+        let uniform = ref true in
+        let addr0 = ref (-1) in
+        let frame = frame_bytes w in
+        iter_lanes exec_mask (fun lane ->
+            let addr = eff_addr lane in
+            if !addr0 < 0 then addr0 := addr
+            else if addr <> !addr0 then uniform := false;
+            if addr < 0 || addr >= frame then
+              raise (Trap.Memory_fault
+                       { space = Opcode.Local; addr; kind = Trap.Out_of_bounds });
+            Memory.write w.w_local ~width ((lane * frame) + addr)
+              (value_src lane 0));
+        if nactive > 0 then begin
+          let r =
+            if !uniform then begin
+              let first = Value.ffs exec_mask - 1 in
+              let last = Value.flo exec_mask in
+              Memsys.contiguous_access dev.d_mem ~sm:sm.sm_id ~stats
+                ~first_phys:(local_phys w ~lane:first !addr0)
+                ~last_phys:(local_phys w ~lane:last !addr0)
+                ~width:4
+            end
+            else
+              Memsys.global_access dev.d_mem ~sm:sm.sm_id ~stats
+                (fold_lanes exec_mask
+                   (fun a lane -> (local_phys w ~lane (eff_addr lane), 4) :: a)
+                   [])
+          in
+          latency := r.Memsys.latency
+        end
+      | Opcode.Param | Opcode.Tex ->
+        raise (Trap.Memory_fault
+                 { space; addr = 0; kind = Trap.Invalid_instruction }))
+   | Opcode.ATOM (space, aop, width) | Opcode.RED (space, aop, width) ->
+     let has_dst =
+       match i.Instr.op with
+       | Opcode.ATOM _ -> true
+       | _ -> false
+     in
+     let mem_of_space =
+       match space with
+       | Opcode.Global -> dev.d_global
+       | Opcode.Shared -> w.w_block.b_shared
+       | Opcode.Local | Opcode.Param | Opcode.Tex ->
+         raise (Trap.Memory_fault
+                  { space; addr = 0; kind = Trap.Invalid_instruction })
+     in
+     iter_lanes exec_mask (fun lane ->
+         let addr = eff_addr lane in
+         let old = Memory.read mem_of_space ~width addr in
+         let operand = sv lane (src 2) in
+         let nv =
+           match aop with
+           | Opcode.A_add ->
+             (match width with
+              | Opcode.W64 -> old + operand
+              | _ -> Value.add old operand)
+           | Opcode.A_min -> Value.min_max ~cmp:Opcode.Lt old operand
+           | Opcode.A_max -> Value.min_max ~cmp:Opcode.Gt old operand
+           | Opcode.A_exch -> operand
+           | Opcode.A_cas ->
+             let swap = sv lane (src 3) in
+             if old = operand then swap else old
+           | Opcode.A_and -> old land operand
+           | Opcode.A_or -> old lor operand
+           | Opcode.A_xor -> old lxor operand
+         in
+         Memory.write mem_of_space ~width addr nv;
+         if has_dst then reg_set w ~lane (dst1 ()) old);
+     if nactive > 0 then begin
+       let r =
+         match space with
+         | Opcode.Global ->
+           Memsys.atomic_access dev.d_mem ~sm:sm.sm_id ~stats
+             (mem_pairs width)
+         | _ ->
+           let addrs = fold_lanes exec_mask (fun a l -> eff_addr l :: a) [] in
+           Memsys.shared_access dev.d_mem ~stats addrs
+       in
+       latency := r.Memsys.latency + cfg.Config.lat_atomic
+     end
+   | Opcode.TLD width ->
+     iter_lanes exec_mask (fun lane ->
+         let v, _ = texture_read launch ~width (sv lane (src 0)) in
+         match width with
+         | Opcode.W64 ->
+           (match i.Instr.dsts with
+            | [ lo; hi ] ->
+              reg_set w ~lane lo (v land Value.mask);
+              reg_set w ~lane hi ((v lsr 32) land Value.mask)
+            | _ -> invalid_arg "Exec: TLD.64 needs a register pair")
+         | _ -> reg_set w ~lane (dst1 ()) v);
+     if nactive > 0 then begin
+       let pairs =
+         fold_lanes exec_mask
+           (fun a lane ->
+              let _, addr = texture_read launch ~width (sv lane (src 0)) in
+              (Memsys.texture_window + addr, Opcode.bytes_of_width width)
+              :: a)
+           []
+       in
+       let r = Memsys.global_access dev.d_mem ~sm:sm.sm_id ~stats pairs in
+       latency := r.Memsys.latency
+     end
+   | Opcode.MEMBAR -> ()
+   | Opcode.VOTE mode ->
+     let ballot =
+       fold_lanes exec_mask
+         (fun acc lane ->
+            if sv lane (src 0) <> 0 then acc lor (1 lsl lane) else acc)
+         0
+     in
+     (match mode with
+      | Opcode.V_ballot ->
+        iter_lanes exec_mask (fun lane -> reg_set w ~lane (dst1 ()) ballot)
+      | Opcode.V_any ->
+        let r = ballot <> 0 in
+        (match i.Instr.pdsts with
+         | p :: _ -> iter_lanes exec_mask (fun lane -> pred_set w ~lane p r)
+         | [] -> iter_lanes exec_mask (fun lane ->
+             reg_set w ~lane (dst1 ()) (if r then 1 else 0)))
+      | Opcode.V_all ->
+        let r = ballot = exec_mask in
+        (match i.Instr.pdsts with
+         | p :: _ -> iter_lanes exec_mask (fun lane -> pred_set w ~lane p r)
+         | [] -> iter_lanes exec_mask (fun lane ->
+             reg_set w ~lane (dst1 ()) (if r then 1 else 0))))
+   | Opcode.SHFL mode ->
+     (* Read all source values first: dst may alias src. *)
+     let values = Array.make warp_size 0 in
+     iter_lanes exec_mask (fun lane -> values.(lane) <- sv lane (src 0));
+     iter_lanes exec_mask (fun lane ->
+         let b = sv lane (src 1) in
+         let target =
+           match mode with
+           | Opcode.S_idx -> b land 31
+           | Opcode.S_up -> lane - b
+           | Opcode.S_down -> lane + b
+           | Opcode.S_bfly -> lane lxor b
+         in
+         let v =
+           if target < 0 || target >= warp_size
+              || exec_mask land (1 lsl target) = 0
+           then values.(lane)
+           else values.(target)
+         in
+         reg_set w ~lane (dst1 ()) v)
+   | Opcode.BRA ->
+     let target =
+       match i.Instr.target with
+       | Some t -> t
+       | None -> invalid_arg "Exec: unresolved branch"
+     in
+     if Instr.is_cond_branch i then begin
+       stats.Stats.branches <- stats.Stats.branches + 1;
+       let taken = exec_mask in
+       let not_taken = e.e_mask land lnot exec_mask in
+       if taken = 0 then next_pc := pc + 1
+       else if not_taken = 0 then next_pc := target
+       else begin
+         (* Divergence: split the warp. *)
+         stats.Stats.divergent_branches <- stats.Stats.divergent_branches + 1;
+         let rpc =
+           match i.Instr.reconv with
+           | Some r -> r
+           | None -> -1
+         in
+         let rest =
+           match w.w_stack with
+           | _ :: r -> r
+           | [] -> []
+         in
+         let cont =
+           if rpc >= 0 then
+             [ { e_pc = rpc; e_rpc = e.e_rpc; e_mask = e.e_mask } ]
+           else []
+         in
+         let nt_entry = { e_pc = pc + 1; e_rpc = rpc; e_mask = not_taken } in
+         let t_entry = { e_pc = target; e_rpc = rpc; e_mask = taken } in
+         w.w_stack <- (t_entry :: nt_entry :: cont) @ rest;
+         next_pc := -2 (* stack already updated *)
+       end
+     end
+     else next_pc := target
+   | Opcode.CAL ->
+     let target =
+       match i.Instr.target with
+       | Some t -> t
+       | None -> invalid_arg "Exec: unresolved call"
+     in
+     w.w_call_stack <- (pc + 1) :: w.w_call_stack;
+     next_pc := target
+   | Opcode.RET ->
+     (match w.w_call_stack with
+      | ret :: rest ->
+        w.w_call_stack <- rest;
+        next_pc := ret
+      | [] ->
+        (* RET at kernel top level exits, like PTX. *)
+        warp_exit w exec_mask;
+        next_pc := (if w.w_stack = [] then -2 else pc + 1))
+   | Opcode.EXIT ->
+     if exec_mask <> 0 then begin
+       warp_exit w exec_mask;
+       (* If some lanes remain (guarded EXIT), execution continues. *)
+       next_pc := (if w.w_stack = [] then -2 else pc + 1)
+     end
+   | Opcode.BAR ->
+     w.w_status <- W_barrier;
+     w.w_block.b_arrived <- w.w_block.b_arrived + 1;
+     release_barrier_if_ready w.w_block
+   | Opcode.NOP -> ()
+   | Opcode.HCALL id ->
+     stats.Stats.hcalls <- stats.Stats.hcalls + 1;
+     latency := 2 * cfg.Config.lat_alu;
+     (match dev.d_hcall with
+      | None ->
+        raise (Trap.Device_assert
+                 "HCALL executed with no SASSI runtime installed")
+      | Some hook ->
+        w.w_sassi_scratch <- 0;
+        hook
+          { h_launch = launch;
+            h_sm = sm;
+            h_warp = w;
+            h_handler = id;
+            h_pc = pc;
+            h_mask = exec_mask };
+        (* Device-API operations performed by the handler charged
+           their cycle cost into the warp's scratch accumulator. *)
+        latency := !latency + w.w_sassi_scratch;
+        w.w_sassi_scratch <- 0));
+  (* Advance the PC unless control flow already rewrote the stack. *)
+  (match !next_pc with
+   | -2 -> ()
+   | np ->
+     (match w.w_stack with
+      | entry :: _ when entry == e -> e.e_pc <- np
+      | _ -> ()));
+  if w.w_status = W_ready then
+    w.w_ready_at <- sm.sm_cycle + !latency

@@ -1,0 +1,63 @@
+open Sass
+
+type t = {
+  data : Bytes.t;
+  space : Opcode.space;
+}
+
+let create ~space n = { data = Bytes.make n '\000'; space }
+
+let size t = Bytes.length t.data
+
+let space t = t.space
+
+let check t addr bytes =
+  if addr < 0 || addr + bytes > Bytes.length t.data then
+    raise (Trap.Memory_fault
+             { space = t.space; addr; kind = Trap.Out_of_bounds })
+
+let read t ~width addr =
+  match width with
+  | Opcode.W8 ->
+    check t addr 1;
+    Char.code (Bytes.unsafe_get t.data addr)
+  | Opcode.W16 ->
+    check t addr 2;
+    Bytes.get_uint16_le t.data addr
+  | Opcode.W32 ->
+    check t addr 4;
+    Int32.to_int (Bytes.get_int32_le t.data addr) land Value.mask
+  | Opcode.W64 ->
+    check t addr 8;
+    Int64.to_int (Bytes.get_int64_le t.data addr)
+
+let write t ~width addr v =
+  match width with
+  | Opcode.W8 ->
+    check t addr 1;
+    Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
+  | Opcode.W16 ->
+    check t addr 2;
+    Bytes.set_uint16_le t.data addr (v land 0xFFFF)
+  | Opcode.W32 ->
+    check t addr 4;
+    Bytes.set_int32_le t.data addr (Int32.of_int (Value.signed (v land Value.mask)))
+  | Opcode.W64 ->
+    check t addr 8;
+    Bytes.set_int64_le t.data addr (Int64.of_int v)
+
+let read_u64 t addr = read t ~width:Opcode.W64 addr
+
+let write_u64 t addr v = write t ~width:Opcode.W64 addr v
+
+let blit_from_bytes t ~dst src =
+  check t dst (Bytes.length src);
+  Bytes.blit src 0 t.data dst (Bytes.length src)
+
+let blit_to_bytes t ~src dst =
+  check t src (Bytes.length dst);
+  Bytes.blit t.data src dst 0 (Bytes.length dst)
+
+let fill t ~pos ~len c =
+  check t pos len;
+  Bytes.fill t.data pos len c

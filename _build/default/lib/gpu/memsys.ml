@@ -1,0 +1,132 @@
+type t = {
+  cfg : Config.t;
+  l1s : Cache.t array;
+  l2 : Cache.t;
+}
+
+type result = {
+  transactions : int;
+  latency : int;
+}
+
+let global_window = 0
+
+let local_window = 1 lsl 40
+
+let texture_window = 1 lsl 41
+
+let create (cfg : Config.t) =
+  { cfg;
+    l1s =
+      Array.init cfg.Config.num_sms (fun i ->
+          Cache.create
+            ~name:(Printf.sprintf "L1[%d]" i)
+            ~size_bytes:cfg.Config.l1_bytes ~assoc:cfg.Config.l1_assoc
+            ~line_bytes:cfg.Config.line_bytes);
+    l2 =
+      Cache.create ~name:"L2" ~size_bytes:cfg.Config.l2_bytes
+        ~assoc:cfg.Config.l2_assoc ~line_bytes:cfg.Config.line_bytes }
+
+let coalesce ~line_bytes pairs =
+  (* A warp contributes at most 32 accesses, so a small-list dedup
+     beats a hash table by a wide margin on this hot path. *)
+  let lines = ref [] in
+  List.iter
+    (fun (addr, width) ->
+       let first = addr / line_bytes in
+       let last = (addr + width - 1) / line_bytes in
+       for l = first to last do
+         if not (List.mem l !lines) then lines := l :: !lines
+       done)
+    pairs;
+  List.sort Int.compare !lines
+
+let line_latency t ~sm line_addr stats =
+  let cfg = t.cfg in
+  match Cache.access t.l1s.(sm) line_addr with
+  | Cache.Hit ->
+    stats.Stats.l1_hits <- stats.Stats.l1_hits + 1;
+    cfg.Config.lat_l1
+  | Cache.Miss ->
+    stats.Stats.l1_misses <- stats.Stats.l1_misses + 1;
+    (match Cache.access t.l2 line_addr with
+     | Cache.Hit ->
+       stats.Stats.l2_hits <- stats.Stats.l2_hits + 1;
+       cfg.Config.lat_l2
+     | Cache.Miss ->
+       stats.Stats.l2_misses <- stats.Stats.l2_misses + 1;
+       cfg.Config.lat_dram)
+
+let global_access t ~sm ~stats pairs =
+  let cfg = t.cfg in
+  let lines = coalesce ~line_bytes:cfg.Config.line_bytes pairs in
+  let n = List.length lines in
+  stats.Stats.global_transactions <- stats.Stats.global_transactions + n;
+  let worst =
+    List.fold_left
+      (fun acc l ->
+         max acc (line_latency t ~sm (l * cfg.Config.line_bytes) stats))
+      0 lines
+  in
+  (* Additional transactions beyond the first serialize at the L1. *)
+  { transactions = n; latency = worst + (max 0 (n - 1)) * 2 }
+
+(* Local-memory accesses at a uniform frame offset touch the
+   contiguous physical range [first_phys, last_phys + width): the
+   per-lane interleaving guarantees perfect coalescing, so the line
+   set is computed arithmetically instead of through the generic
+   coalescer. This is the hottest path under instrumentation (spill
+   and fill traffic of injected call sequences). *)
+let contiguous_access t ~sm ~stats ~first_phys ~last_phys ~width =
+  let cfg = t.cfg in
+  let lb = cfg.Config.line_bytes in
+  let first = first_phys / lb in
+  let last = (last_phys + width - 1) / lb in
+  let n = last - first + 1 in
+  stats.Stats.global_transactions <- stats.Stats.global_transactions + n;
+  let worst = ref 0 in
+  for l = first to last do
+    let lat = line_latency t ~sm (l * lb) stats in
+    if lat > !worst then worst := lat
+  done;
+  { transactions = n; latency = !worst + ((n - 1) * 2) }
+
+let shared_access t ~stats addrs =
+  let cfg = t.cfg in
+  (* 32 banks, 4-byte wide; same-word accesses broadcast. *)
+  let per_bank = Hashtbl.create 32 in
+  List.iter
+    (fun addr ->
+       let word = addr / 4 in
+       let bank = word mod 32 in
+       let words =
+         match Hashtbl.find_opt per_bank bank with
+         | None -> []
+         | Some ws -> ws
+       in
+       if not (List.mem word words) then
+         Hashtbl.replace per_bank bank (word :: words))
+    addrs;
+  let conflict =
+    Hashtbl.fold (fun _ ws acc -> max acc (List.length ws)) per_bank 1
+  in
+  stats.Stats.shared_conflicts <- stats.Stats.shared_conflicts + (conflict - 1);
+  { transactions = conflict;
+    latency = cfg.Config.lat_shared * conflict }
+
+let atomic_access t ~sm ~stats pairs =
+  let cfg = t.cfg in
+  let base = global_access t ~sm ~stats pairs in
+  let unique_addrs =
+    List.sort_uniq Int.compare (List.map fst pairs) |> List.length
+  in
+  { transactions = base.transactions;
+    latency = base.latency + (cfg.Config.lat_atomic * unique_addrs) }
+
+let l1_stats t ~sm = (Cache.hits t.l1s.(sm), Cache.misses t.l1s.(sm))
+
+let l2_stats t = (Cache.hits t.l2, Cache.misses t.l2)
+
+let invalidate t =
+  Array.iter Cache.invalidate_all t.l1s;
+  Cache.invalidate_all t.l2

@@ -1,0 +1,58 @@
+(** The memory system timing model: a per-SM coalescer and L1, a
+    shared L2, and a DRAM latency term.
+
+    Addresses arriving here are physical: callers place each address
+    space in a disjoint window ({!global_window}, {!local_window},
+    {!texture_window}) so lines from different spaces never alias. *)
+
+type t
+
+type result = {
+  transactions : int;  (** memory transactions after coalescing *)
+  latency : int;  (** cycles until the warp's slowest request returns *)
+}
+
+val create : Config.t -> t
+
+val global_window : int
+(** Base of the global-space physical window (0). *)
+
+val local_window : int
+
+val texture_window : int
+
+val coalesce : line_bytes:int -> (int * int) list -> int list
+(** [coalesce ~line_bytes addr_width_pairs] returns the sorted list of
+    unique line addresses touched — the coalescer the paper's memory
+    divergence study measures. *)
+
+val global_access :
+  t -> sm:int -> stats:Stats.t -> (int * int) list -> result
+(** Coalesced access for one warp: list of (physical address, width in
+    bytes) pairs, one per active lane. Updates cache and transaction
+    statistics. *)
+
+val contiguous_access :
+  t -> sm:int -> stats:Stats.t -> first_phys:int -> last_phys:int ->
+  width:int -> result
+(** Fast path for accesses known to cover a contiguous physical range
+    (per-lane-interleaved local memory at a uniform frame offset):
+    equivalent to {!global_access} over that range but without
+    materializing per-lane pairs. *)
+
+val shared_access : t -> stats:Stats.t -> int list -> result
+(** Shared-memory access with 32-bank conflict modeling; the input is
+    the per-lane byte addresses. Identical addresses broadcast. *)
+
+val atomic_access :
+  t -> sm:int -> stats:Stats.t -> (int * int) list -> result
+(** Atomics serialize per unique address on top of the transaction
+    cost. *)
+
+val l1_stats : t -> sm:int -> int * int
+(** (hits, misses) of one SM's L1 since creation. *)
+
+val l2_stats : t -> int * int
+
+val invalidate : t -> unit
+(** Drops all cache contents (between launches if desired). *)

@@ -1,0 +1,148 @@
+open State
+
+let make_block launch flat =
+  let gx = launch.l_grid_x in
+  let threads = launch.l_block_x * launch.l_block_y in
+  let nwarps = (threads + warp_size - 1) / warp_size in
+  let kernel = launch.l_kernel in
+  let frame = kernel.Sass.Program.frame_bytes in
+  let block =
+    { b_x = flat mod gx;
+      b_y = flat / gx;
+      b_flat = flat;
+      b_shared =
+        Memory.create ~space:Sass.Opcode.Shared
+          (max 4 kernel.Sass.Program.shared_bytes);
+      b_launch = launch;
+      b_warps = [||];
+      b_arrived = 0;
+      b_alive = nwarps }
+  in
+  let make_warp wid =
+    let w =
+      { w_id = wid;
+        w_block = block;
+        w_regs = Array.make (warp_size * 256) 0;
+        w_preds = Array.make (warp_size * 7) false;
+        w_local =
+          Memory.create ~space:Sass.Opcode.Local
+            (max 4 (warp_size * frame));
+        w_stack =
+          [ { e_pc = 0;
+              e_rpc = -1;
+              e_mask = initial_mask ~block_threads:threads ~warp_id:wid } ];
+        w_call_stack = [];
+        w_status = W_ready;
+        w_ready_at = 0;
+        w_sassi_scratch = 0 }
+    in
+    (* ABI: R1 is the stack pointer, initialized to the top of the
+       thread's local frame. *)
+    for lane = 0 to warp_size - 1 do
+      reg_set w ~lane Sass.Reg.sp frame
+    done;
+    w
+  in
+  block.b_warps <- Array.init nwarps make_warp;
+  block
+
+let run_sm_wave sm =
+  let launch = sm.sm_launch in
+  let cfg = launch.l_device.d_cfg in
+  let n = Array.length sm.sm_warps in
+  let alive = ref 0 in
+  Array.iter (fun w -> if w.w_status <> W_done then incr alive) sm.sm_warps;
+  while !alive > 0 do
+    if sm.sm_cycle > cfg.Config.max_cycles then
+      raise (Trap.Hang { cycles = sm.sm_cycle });
+    (* Round-robin pick of a ready warp. *)
+    let found = ref (-1) in
+    let k = ref 0 in
+    while !found < 0 && !k < n do
+      let idx = (sm.sm_rr + !k) mod n in
+      let w = sm.sm_warps.(idx) in
+      if w.w_status = W_ready && w.w_ready_at <= sm.sm_cycle then found := idx;
+      incr k
+    done;
+    if !found >= 0 then begin
+      let idx = !found in
+      sm.sm_rr <- (idx + 1) mod n;
+      let w = sm.sm_warps.(idx) in
+      Exec.step sm w;
+      sm.sm_issued <- sm.sm_issued + 1;
+      if sm.sm_issued mod cfg.Config.issue_width = 0 then
+        sm.sm_cycle <- sm.sm_cycle + 1
+    end
+    else begin
+      (* Nobody ready: advance to the next wakeup. *)
+      let next = ref max_int in
+      Array.iter
+        (fun w ->
+           if w.w_status = W_ready && w.w_ready_at < !next then
+             next := w.w_ready_at)
+        sm.sm_warps;
+      if !next = max_int then begin
+        (* All remaining warps wait at a barrier that can never be
+           released: a deadlock, reported as a hang. *)
+        let still_alive =
+          Array.exists (fun w -> w.w_status <> W_done) sm.sm_warps
+        in
+        if still_alive then raise (Trap.Hang { cycles = sm.sm_cycle })
+        else alive := 0
+      end
+      else sm.sm_cycle <- max (sm.sm_cycle + 1) !next
+    end;
+    (* Recompute alive lazily: cheap because warps only transition to
+       W_done inside Exec.step for this SM's warps. *)
+    if !found >= 0 && !alive > 0 then begin
+      let a = ref 0 in
+      Array.iter (fun w -> if w.w_status <> W_done then incr a) sm.sm_warps;
+      alive := !a
+    end
+  done
+
+let run launch =
+  let dev = launch.l_device in
+  let cfg = dev.d_cfg in
+  let nblocks = launch.l_grid_x * launch.l_grid_y in
+  let threads = launch.l_block_x * launch.l_block_y in
+  let warps_per_block = (threads + warp_size - 1) / warp_size in
+  let blocks_at_once =
+    max 1 (cfg.Config.max_warps_per_sm / max 1 warps_per_block)
+  in
+  let max_cycle = ref 0 in
+  for sm_id = 0 to cfg.Config.num_sms - 1 do
+    let sm =
+      { sm_id; sm_launch = launch; sm_cycle = 0; sm_issued = 0;
+        sm_warps = [||]; sm_rr = 0 }
+    in
+    (* Blocks handled by this SM, in waves of [blocks_at_once]. *)
+    let my_blocks = ref [] in
+    let b = ref sm_id in
+    while !b < nblocks do
+      my_blocks := !b :: !my_blocks;
+      b := !b + cfg.Config.num_sms
+    done;
+    let my_blocks = List.rev !my_blocks in
+    let rec waves = function
+      | [] -> ()
+      | blocks ->
+        let rec take n = function
+          | [] -> ([], [])
+          | x :: rest when n > 0 ->
+            let t, d = take (n - 1) rest in
+            (x :: t, d)
+          | rest -> ([], rest)
+        in
+        let now, later = take blocks_at_once blocks in
+        let made = List.map (make_block launch) now in
+        sm.sm_warps <-
+          Array.concat (List.map (fun blk -> blk.b_warps) made);
+        sm.sm_rr <- 0;
+        run_sm_wave sm;
+        waves later
+    in
+    waves my_blocks;
+    if sm.sm_cycle > !max_cycle then max_cycle := sm.sm_cycle
+  done;
+  launch.l_stats.Stats.cycles <- !max_cycle

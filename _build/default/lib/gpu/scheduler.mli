@@ -1,0 +1,15 @@
+(** Block dispatch and per-SM warp scheduling.
+
+    Blocks are assigned to SMs round-robin; each SM runs waves of
+    resident blocks (bounded by the residency limit) with a
+    round-robin ready-warp scheduler issuing [issue_width]
+    instructions per cycle. SMs are simulated one after another —
+    valid for CUDA's forward-progress model, where blocks may not
+    depend on each other except through atomics. *)
+
+val run : State.launch -> unit
+(** Runs the launch to completion and fills [l_stats.cycles] with the
+    maximum SM cycle count (the kernel time).
+
+    @raise Trap.Hang if the watchdog expires or all live warps are
+    blocked at an unreleasable barrier. *)

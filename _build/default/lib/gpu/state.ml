@@ -1,0 +1,166 @@
+type wstatus =
+  | W_ready
+  | W_barrier
+  | W_done
+
+type stack_entry = {
+  mutable e_pc : int;
+  e_rpc : int;
+  mutable e_mask : int;
+}
+
+type warp = {
+  w_id : int;
+  w_block : block;
+  w_regs : int array;
+  w_preds : bool array;
+  w_local : Memory.t;
+  mutable w_stack : stack_entry list;
+  mutable w_call_stack : int list;
+  mutable w_status : wstatus;
+  mutable w_ready_at : int;
+  mutable w_sassi_scratch : int;
+}
+
+and block = {
+  b_x : int;
+  b_y : int;
+  b_flat : int;
+  b_shared : Memory.t;
+  b_launch : launch;
+  mutable b_warps : warp array;
+  mutable b_arrived : int;
+  mutable b_alive : int;
+}
+
+and sm = {
+  sm_id : int;
+  sm_launch : launch;
+  mutable sm_cycle : int;
+  mutable sm_issued : int;
+  mutable sm_warps : warp array;
+  mutable sm_rr : int;
+}
+
+and launch = {
+  l_device : device;
+  l_kernel : Sass.Program.kernel;
+  l_grid_x : int;
+  l_grid_y : int;
+  l_block_x : int;
+  l_block_y : int;
+  l_params : Memory.t;
+  l_stats : Stats.t;
+  l_id : int;
+  l_invocation : int;
+}
+
+and device = {
+  d_cfg : Config.t;
+  d_global : Memory.t;
+  d_mem : Memsys.t;
+  mutable d_alloc : int;
+  mutable d_transform : transform option;
+  mutable d_transform_gen : int;
+  d_kernel_cache : (string * int, Sass.Program.kernel) Hashtbl.t;
+  mutable d_launch_cbs : (int * (launch -> unit)) list;
+  mutable d_exit_cbs : (int * (launch -> unit)) list;
+  mutable d_cb_next : int;
+  mutable d_hcall : (hcall_ctx -> unit) option;
+  mutable d_launch_count : int;
+  d_invocations : (string, int) Hashtbl.t;
+  mutable d_texture : (int * int) option;
+  mutable d_host_access : (addr:int -> bytes:int -> write:bool -> unit) option;
+}
+
+and transform = Sass.Program.kernel -> Sass.Program.kernel
+
+and hcall_ctx = {
+  h_launch : launch;
+  h_sm : sm;
+  h_warp : warp;
+  h_handler : int;
+  h_pc : int;
+  h_mask : int;
+}
+
+let warp_size = 32
+
+let full_mask = 0xFFFFFFFF
+
+let reg_get w ~lane r =
+  match r with
+  | Sass.Reg.RZ -> 0
+  | Sass.Reg.R i -> w.w_regs.((lane lsl 8) + i)
+
+let reg_set w ~lane r v =
+  match r with
+  | Sass.Reg.RZ -> ()
+  | Sass.Reg.R i -> w.w_regs.((lane lsl 8) + i) <- v land Value.mask
+
+let pred_get w ~lane p =
+  match p with
+  | Sass.Pred.PT -> true
+  | Sass.Pred.P i -> w.w_preds.((lane * 7) + i)
+
+let pred_set w ~lane p v =
+  match p with
+  | Sass.Pred.PT -> ()
+  | Sass.Pred.P i -> w.w_preds.((lane * 7) + i) <- v
+
+let guard_passes w ~lane (g : Sass.Pred.guard) =
+  let v = pred_get w ~lane g.Sass.Pred.pred in
+  if g.Sass.Pred.negated then not v else v
+
+let tos w =
+  match w.w_stack with
+  | [] -> invalid_arg "State.tos: warp has exited"
+  | e :: _ -> e
+
+let active_mask w =
+  match w.w_stack with
+  | [] -> 0
+  | e :: _ -> e.e_mask
+
+let lanes_of_mask mask =
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc)
+  in
+  go 31 []
+
+let active_lanes w = lanes_of_mask (active_mask w)
+
+let popc_mask m = Value.popc m
+
+let lane_linear_tid w lane = (w.w_id * warp_size) + lane
+
+let lane_in_block w lane =
+  let bl = w.w_block.b_launch in
+  lane_linear_tid w lane < bl.l_block_x * bl.l_block_y
+
+let initial_mask ~block_threads ~warp_id =
+  let base = warp_id * warp_size in
+  let live = min warp_size (max 0 (block_threads - base)) in
+  if live >= 32 then full_mask else (1 lsl live) - 1
+
+let tid_x w ~lane =
+  let l = w.w_block.b_launch in
+  lane_linear_tid w lane mod l.l_block_x
+
+let tid_y w ~lane =
+  let l = w.w_block.b_launch in
+  lane_linear_tid w lane / l.l_block_x
+
+let global_tid w ~lane =
+  let l = w.w_block.b_launch in
+  let threads_per_block = l.l_block_x * l.l_block_y in
+  (w.w_block.b_flat * threads_per_block) + lane_linear_tid w lane
+
+let local_read w ~lane ~addr =
+  let frame = w.w_block.b_launch.l_kernel.Sass.Program.frame_bytes in
+  Memory.read w.w_local ~width:Sass.Opcode.W32 ((lane * frame) + addr)
+
+let local_write w ~lane ~addr v =
+  let frame = w.w_block.b_launch.l_kernel.Sass.Program.frame_bytes in
+  Memory.write w.w_local ~width:Sass.Opcode.W32 ((lane * frame) + addr) v

@@ -1,0 +1,152 @@
+(** Mutable machine state: warps, thread blocks, SMs, launches, and
+    the device. Types are concrete because the interpreter
+    ({!Exec}), the scheduler ({!Scheduler}), the device API
+    ({!Device}) and the SASSI runtime all manipulate them directly. *)
+
+type wstatus =
+  | W_ready
+  | W_barrier
+  | W_done
+
+(** One entry of the PDOM divergence stack. The top entry is the
+    warp's current execution state; [e_rpc] is the reconvergence PC at
+    which the entry pops ([-1]: only at exit). *)
+type stack_entry = {
+  mutable e_pc : int;
+  e_rpc : int;
+  mutable e_mask : int;
+}
+
+type warp = {
+  w_id : int;  (** warp index within its block *)
+  w_block : block;
+  w_regs : int array;  (** 32 lanes x 256 registers *)
+  w_preds : bool array;  (** 32 lanes x 7 predicates *)
+  w_local : Memory.t;  (** per-thread stack frames, lane-contiguous *)
+  mutable w_stack : stack_entry list;  (** head = top of stack *)
+  mutable w_call_stack : int list;  (** warp-uniform return PCs *)
+  mutable w_status : wstatus;
+  mutable w_ready_at : int;
+  mutable w_sassi_scratch : int;
+      (** per-warp scratch used by instrumentation runtimes *)
+}
+
+and block = {
+  b_x : int;
+  b_y : int;
+  b_flat : int;
+  b_shared : Memory.t;
+  b_launch : launch;
+  mutable b_warps : warp array;
+  mutable b_arrived : int;  (** warps waiting at the barrier *)
+  mutable b_alive : int;  (** warps not yet exited *)
+}
+
+and sm = {
+  sm_id : int;
+  sm_launch : launch;
+  mutable sm_cycle : int;
+  mutable sm_issued : int;
+  mutable sm_warps : warp array;  (** resident warps *)
+  mutable sm_rr : int;  (** round-robin scheduling pointer *)
+}
+
+and launch = {
+  l_device : device;
+  l_kernel : Sass.Program.kernel;
+  l_grid_x : int;
+  l_grid_y : int;
+  l_block_x : int;
+  l_block_y : int;
+  l_params : Memory.t;  (** constant bank c[0x0] *)
+  l_stats : Stats.t;
+  l_id : int;  (** global launch sequence number *)
+  l_invocation : int;  (** per-kernel-name invocation count *)
+}
+
+and device = {
+  d_cfg : Config.t;
+  d_global : Memory.t;
+  d_mem : Memsys.t;
+  mutable d_alloc : int;
+  mutable d_transform : transform option;
+  mutable d_transform_gen : int;
+  d_kernel_cache : (string * int, Sass.Program.kernel) Hashtbl.t;
+  mutable d_launch_cbs : (int * (launch -> unit)) list;
+  mutable d_exit_cbs : (int * (launch -> unit)) list;
+  mutable d_cb_next : int;
+  mutable d_hcall : (hcall_ctx -> unit) option;
+  mutable d_launch_count : int;
+  d_invocations : (string, int) Hashtbl.t;
+  mutable d_texture : (int * int) option;  (** bound (base, bytes) *)
+  mutable d_host_access : (addr:int -> bytes:int -> write:bool -> unit) option;
+      (** observer of host-side global-memory accesses (the memcpy
+          traffic), for heterogeneous CPU+GPU analyses *)
+}
+
+and transform = Sass.Program.kernel -> Sass.Program.kernel
+
+(** Context passed to the instrumentation-handler trap on [HCALL]. *)
+and hcall_ctx = {
+  h_launch : launch;
+  h_sm : sm;
+  h_warp : warp;
+  h_handler : int;
+  h_pc : int;  (** PC of the [HCALL] instruction *)
+  h_mask : int;  (** active mask at the call *)
+}
+
+val warp_size : int
+
+val full_mask : int
+
+(** {1 Register file access} *)
+
+val reg_get : warp -> lane:int -> Sass.Reg.t -> int
+
+val reg_set : warp -> lane:int -> Sass.Reg.t -> int -> unit
+
+val pred_get : warp -> lane:int -> Sass.Pred.t -> bool
+
+val pred_set : warp -> lane:int -> Sass.Pred.t -> bool -> unit
+
+val guard_passes : warp -> lane:int -> Sass.Pred.guard -> bool
+
+(** {1 Divergence stack} *)
+
+val tos : warp -> stack_entry
+(** @raise Invalid_argument if the warp has exited. *)
+
+val active_mask : warp -> int
+(** Mask of the top entry, 0 if exited. *)
+
+val active_lanes : warp -> int list
+
+val lanes_of_mask : int -> int list
+
+val popc_mask : int -> int
+
+(** {1 Thread identity} *)
+
+val lane_linear_tid : warp -> int -> int
+(** Linear thread index within the block of the given lane. *)
+
+val lane_in_block : warp -> int -> bool
+(** Whether the lane maps to a real thread (last warp may be ragged). *)
+
+val initial_mask : block_threads:int -> warp_id:int -> int
+
+val tid_x : warp -> lane:int -> int
+
+val tid_y : warp -> lane:int -> int
+
+val global_tid : warp -> lane:int -> int
+(** Flat global thread id across the whole grid. *)
+
+(** {1 Local-memory access for instrumentation runtimes} *)
+
+val local_read : warp -> lane:int -> addr:int -> int
+(** 32-bit read from the lane's local frame (frame-relative byte
+    address, as the ABI stack pointer sees it). *)
+
+val local_write : warp -> lane:int -> addr:int -> int -> unit

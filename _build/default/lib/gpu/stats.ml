@@ -1,0 +1,109 @@
+type t = {
+  mutable cycles : int;
+  mutable warp_instrs : int;
+  mutable thread_instrs : int;
+  mutable mem_instrs : int;
+  mutable ctrl_instrs : int;
+  mutable sync_instrs : int;
+  mutable numeric_instrs : int;
+  mutable texture_instrs : int;
+  mutable spill_instrs : int;
+  mutable branches : int;
+  mutable divergent_branches : int;
+  mutable global_transactions : int;
+  mutable shared_conflicts : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable handler_ops : int;
+  mutable handler_cycles : int;
+  mutable hcalls : int;
+}
+
+let create () =
+  { cycles = 0;
+    warp_instrs = 0;
+    thread_instrs = 0;
+    mem_instrs = 0;
+    ctrl_instrs = 0;
+    sync_instrs = 0;
+    numeric_instrs = 0;
+    texture_instrs = 0;
+    spill_instrs = 0;
+    branches = 0;
+    divergent_branches = 0;
+    global_transactions = 0;
+    shared_conflicts = 0;
+    l1_hits = 0;
+    l1_misses = 0;
+    l2_hits = 0;
+    l2_misses = 0;
+    handler_ops = 0;
+    handler_cycles = 0;
+    hcalls = 0 }
+
+let reset t =
+  t.cycles <- 0;
+  t.warp_instrs <- 0;
+  t.thread_instrs <- 0;
+  t.mem_instrs <- 0;
+  t.ctrl_instrs <- 0;
+  t.sync_instrs <- 0;
+  t.numeric_instrs <- 0;
+  t.texture_instrs <- 0;
+  t.spill_instrs <- 0;
+  t.branches <- 0;
+  t.divergent_branches <- 0;
+  t.global_transactions <- 0;
+  t.shared_conflicts <- 0;
+  t.l1_hits <- 0;
+  t.l1_misses <- 0;
+  t.l2_hits <- 0;
+  t.l2_misses <- 0;
+  t.handler_ops <- 0;
+  t.handler_cycles <- 0;
+  t.hcalls <- 0
+
+let accumulate ~into t =
+  into.cycles <- into.cycles + t.cycles;
+  into.warp_instrs <- into.warp_instrs + t.warp_instrs;
+  into.thread_instrs <- into.thread_instrs + t.thread_instrs;
+  into.mem_instrs <- into.mem_instrs + t.mem_instrs;
+  into.ctrl_instrs <- into.ctrl_instrs + t.ctrl_instrs;
+  into.sync_instrs <- into.sync_instrs + t.sync_instrs;
+  into.numeric_instrs <- into.numeric_instrs + t.numeric_instrs;
+  into.texture_instrs <- into.texture_instrs + t.texture_instrs;
+  into.spill_instrs <- into.spill_instrs + t.spill_instrs;
+  into.branches <- into.branches + t.branches;
+  into.divergent_branches <- into.divergent_branches + t.divergent_branches;
+  into.global_transactions <- into.global_transactions + t.global_transactions;
+  into.shared_conflicts <- into.shared_conflicts + t.shared_conflicts;
+  into.l1_hits <- into.l1_hits + t.l1_hits;
+  into.l1_misses <- into.l1_misses + t.l1_misses;
+  into.l2_hits <- into.l2_hits + t.l2_hits;
+  into.l2_misses <- into.l2_misses + t.l2_misses;
+  into.handler_ops <- into.handler_ops + t.handler_ops;
+  into.handler_cycles <- into.handler_cycles + t.handler_cycles;
+  into.hcalls <- into.hcalls + t.hcalls
+
+let count_instr t op ~active_lanes =
+  let open Sass.Opcode in
+  t.warp_instrs <- t.warp_instrs + 1;
+  t.thread_instrs <- t.thread_instrs + active_lanes;
+  if is_mem op then t.mem_instrs <- t.mem_instrs + 1;
+  if is_control op then t.ctrl_instrs <- t.ctrl_instrs + 1;
+  if is_sync op then t.sync_instrs <- t.sync_instrs + 1;
+  if is_numeric op then t.numeric_instrs <- t.numeric_instrs + 1;
+  if is_texture op then t.texture_instrs <- t.texture_instrs + 1;
+  if is_spill_or_fill op then t.spill_instrs <- t.spill_instrs + 1
+
+let pp ppf t =
+  Format.fprintf ppf
+    "cycles=%d warp_instrs=%d thread_instrs=%d mem=%d ctrl=%d sync=%d \
+     numeric=%d tex=%d spill=%d branches=%d divergent=%d trans=%d \
+     l1=%d/%d l2=%d/%d handler_ops=%d hcalls=%d"
+    t.cycles t.warp_instrs t.thread_instrs t.mem_instrs t.ctrl_instrs
+    t.sync_instrs t.numeric_instrs t.texture_instrs t.spill_instrs
+    t.branches t.divergent_branches t.global_transactions t.l1_hits
+    t.l1_misses t.l2_hits t.l2_misses t.handler_ops t.hcalls

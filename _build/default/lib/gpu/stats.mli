@@ -1,0 +1,39 @@
+(** Per-launch performance counters. Warp-level counts count one per
+    issued warp instruction; thread-level counts weight by the number
+    of active lanes. *)
+
+type t = {
+  mutable cycles : int;  (** kernel time: max cycle over SMs *)
+  mutable warp_instrs : int;
+  mutable thread_instrs : int;
+  mutable mem_instrs : int;
+  mutable ctrl_instrs : int;
+  mutable sync_instrs : int;
+  mutable numeric_instrs : int;
+  mutable texture_instrs : int;
+  mutable spill_instrs : int;
+  mutable branches : int;  (** conditional branches executed (warp-level) *)
+  mutable divergent_branches : int;  (** machine-observed warp splits *)
+  mutable global_transactions : int;
+  mutable shared_conflicts : int;  (** extra cycles lost to bank conflicts *)
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable handler_ops : int;  (** device-API operations charged by handlers *)
+  mutable handler_cycles : int;
+  mutable hcalls : int;  (** handler invocations *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val accumulate : into:t -> t -> unit
+(** Adds all counters of the second argument into [into]; [cycles]
+    also accumulates (total device time across launches). *)
+
+val count_instr : t -> Sass.Opcode.t -> active_lanes:int -> unit
+(** Classify and count one issued warp instruction. *)
+
+val pp : Format.formatter -> t -> unit

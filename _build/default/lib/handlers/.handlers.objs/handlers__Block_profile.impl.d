@@ -1,0 +1,1 @@
+lib/handlers/block_profile.ml: Array Cupti Devmap Hctx Int Intrinsics List Params Sassi

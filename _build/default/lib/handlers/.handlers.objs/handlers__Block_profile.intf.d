@@ -1,0 +1,1 @@
+lib/handlers/block_profile.mli: Gpu Sassi

@@ -1,0 +1,1 @@
+lib/handlers/branch_stats.ml: Array Devmap Hctx Int Intrinsics List Params Sassi

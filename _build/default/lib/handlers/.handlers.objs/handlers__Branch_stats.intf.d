@@ -1,0 +1,1 @@
+lib/handlers/branch_stats.mli: Gpu Sassi

@@ -1,0 +1,1 @@
+lib/handlers/cache_explorer.ml: Array Format Gpu List Mem_trace

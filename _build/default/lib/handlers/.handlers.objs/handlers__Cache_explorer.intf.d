@@ -1,0 +1,1 @@
+lib/handlers/cache_explorer.mli: Format Mem_trace

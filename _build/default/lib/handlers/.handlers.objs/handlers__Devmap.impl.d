@@ -1,0 +1,1 @@
+lib/handlers/devmap.ml: Array Gpu Int List Sassi

@@ -1,0 +1,1 @@
+lib/handlers/devmap.mli: Gpu Sassi

@@ -1,0 +1,1 @@
+lib/handlers/error_inject.ml: Gpu Hashtbl Hctx List Option Params Random Sass Sassi

@@ -1,0 +1,1 @@
+lib/handlers/error_inject.mli: Sassi

@@ -1,0 +1,1 @@
+lib/handlers/mem_divergence.ml: Array Cupti Intrinsics Params Sassi

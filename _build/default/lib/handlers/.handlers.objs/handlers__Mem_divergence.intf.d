@@ -1,0 +1,1 @@
+lib/handlers/mem_divergence.mli: Gpu Sassi

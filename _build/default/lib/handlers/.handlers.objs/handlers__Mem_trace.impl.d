@@ -1,0 +1,1 @@
+lib/handlers/mem_trace.ml: Array Hctx List Params Sassi

@@ -1,0 +1,1 @@
+lib/handlers/opcode_hist.ml: Cupti Sassi

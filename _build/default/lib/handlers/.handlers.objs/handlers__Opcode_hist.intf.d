@@ -1,0 +1,1 @@
+lib/handlers/opcode_hist.mli: Gpu Sassi

@@ -1,0 +1,1 @@
+lib/handlers/uvm_profile.ml: Gpu Hashtbl Hctx Int List Params Sassi

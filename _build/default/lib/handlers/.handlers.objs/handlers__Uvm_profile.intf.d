@@ -1,0 +1,1 @@
+lib/handlers/uvm_profile.mli: Gpu Sassi

@@ -1,0 +1,1 @@
+lib/handlers/value_profile.ml: Array Devmap Format Gpu Hctx Intrinsics List Params Sass Sassi String

@@ -1,0 +1,1 @@
+lib/handlers/value_profile.mli: Format Gpu Sassi

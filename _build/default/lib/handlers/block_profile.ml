@@ -1,0 +1,56 @@
+type t = {
+  table : Devmap.t;
+  entry_exit : Cupti.Counters.t;  (** slot 0: entries, slot 1: exits *)
+}
+
+type block_count = {
+  ins_addr : int;
+  warp_execs : int;
+  thread_execs : int;
+}
+
+let create device =
+  { table = Devmap.create device ~capacity:4096 ~val_slots:2;
+    entry_exit = Cupti.Counters.alloc device ~slots:2 }
+
+let block_handler t =
+  Sassi.Handler.make ~name:"block_profile" (fun ctx ->
+      let open Sassi in
+      let stats =
+        Devmap.find_or_insert t.table ~ctx
+          ~key:(Params.Before.ins_addr ctx)
+          ~init:[| 0; 0 |]
+      in
+      Intrinsics.atomic_add_u64 ctx stats 1;
+      Intrinsics.atomic_add_u64 ctx (stats + 8) (Hctx.num_active ctx))
+
+let entry_handler t =
+  Sassi.Handler.make ~name:"kernel_entry" (fun ctx ->
+      Sassi.Intrinsics.atomic_add_u64 ctx
+        (Cupti.Counters.addr ~slot:0 t.entry_exit)
+        1)
+
+let exit_handler t =
+  Sassi.Handler.make ~name:"kernel_exit" (fun ctx ->
+      Sassi.Intrinsics.atomic_add_u64 ctx
+        (Cupti.Counters.addr ~slot:1 t.entry_exit)
+        1)
+
+let pairs t =
+  [ (Sassi.Select.before [ Sassi.Select.Basic_block ] [], block_handler t);
+    (Sassi.Select.before [ Sassi.Select.Kernel_entry ] [], entry_handler t);
+    (Sassi.Select.before [ Sassi.Select.Kernel_exit ] [], exit_handler t) ]
+
+let blocks t =
+  Devmap.entries t.table
+  |> List.map (fun (key, values) ->
+      { ins_addr = key; warp_execs = values.(0); thread_execs = values.(1) })
+  |> List.sort (fun a b -> Int.compare b.warp_execs a.warp_execs)
+
+let entries t = (Cupti.Counters.read t.entry_exit).(0)
+
+let exits t = (Cupti.Counters.read t.entry_exit).(1)
+
+let reset t =
+  Devmap.zero t.table;
+  Cupti.Counters.zero t.entry_exit

@@ -1,0 +1,28 @@
+(** Basic-block execution profiling, built on SASSI's structural
+    instrumentation points (paper Section 3.1: "SASSI supports
+    instrumenting basic block headers as well as kernel entries and
+    exits"). Counts warp- and thread-level executions per block
+    header, plus kernel entries/exits — enough to reconstruct an
+    execution-weighted CFG. *)
+
+type t
+
+type block_count = {
+  ins_addr : int;  (** address of the block's first instruction *)
+  warp_execs : int;
+  thread_execs : int;
+}
+
+val create : Gpu.Device.t -> t
+
+val pairs : t -> (Sassi.Select.spec * Sassi.Handler.t) list
+
+val blocks : t -> block_count list
+(** Sorted by decreasing warp executions. *)
+
+val entries : t -> int
+(** Warp-level kernel entries observed. *)
+
+val exits : t -> int
+
+val reset : t -> unit

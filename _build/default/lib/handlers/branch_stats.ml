@@ -1,0 +1,84 @@
+type t = { table : Devmap.t }
+
+type branch = {
+  ins_addr : int;
+  total : int;
+  active : int;
+  taken : int;
+  not_taken : int;
+  divergent : int;
+}
+
+type summary = {
+  static_branches : int;
+  static_divergent : int;
+  dynamic_branches : int;
+  dynamic_divergent : int;
+}
+
+let slot_total = 0
+
+let slot_active = 1
+
+let slot_taken = 2
+
+let slot_not_taken = 3
+
+let slot_divergent = 4
+
+let create device =
+  { table = Devmap.create device ~capacity:4096 ~val_slots:5 }
+
+(* The Figure 4 handler, step for step: per-lane direction, warp-wide
+   ballots, and leader-elected counter updates. *)
+let handler t =
+  Sassi.Handler.make ~name:"branch_stats" (fun ctx ->
+      let open Sassi in
+      let taken =
+        Intrinsics.ballot ctx (fun lane ->
+            Params.Cond_branch.direction ctx ~lane)
+      in
+      let active = ctx.Hctx.mask in
+      let ntaken = active land lnot taken in
+      let num_active = Intrinsics.popc ctx active in
+      let num_taken = Intrinsics.popc ctx taken in
+      let num_not_taken = Intrinsics.popc ctx ntaken in
+      (* The first active thread writes the results. *)
+      let stats =
+        Devmap.find_or_insert t.table ~ctx
+          ~key:(Params.Before.ins_addr ctx)
+          ~init:[| 0; 0; 0; 0; 0 |]
+      in
+      Intrinsics.atomic_add_u64 ctx (stats + (8 * slot_total)) 1;
+      Intrinsics.atomic_add_u64 ctx (stats + (8 * slot_active)) num_active;
+      Intrinsics.atomic_add_u64 ctx (stats + (8 * slot_taken)) num_taken;
+      Intrinsics.atomic_add_u64 ctx (stats + (8 * slot_not_taken))
+        num_not_taken;
+      if num_taken <> num_active && num_not_taken <> num_active then
+        Intrinsics.atomic_add_u64 ctx (stats + (8 * slot_divergent)) 1)
+
+let pairs t =
+  [ (Sassi.Select.before [ Sassi.Select.Cond_control ]
+       [ Sassi.Select.Branch_info ],
+     handler t) ]
+
+let branches t =
+  Devmap.entries t.table
+  |> List.map (fun (key, values) ->
+      { ins_addr = key;
+        total = values.(slot_total);
+        active = values.(slot_active);
+        taken = values.(slot_taken);
+        not_taken = values.(slot_not_taken);
+        divergent = values.(slot_divergent) })
+  |> List.sort (fun a b -> Int.compare b.total a.total)
+
+let summary t =
+  let bs = branches t in
+  { static_branches = List.length bs;
+    static_divergent =
+      List.length (List.filter (fun b -> b.divergent > 0) bs);
+    dynamic_branches = List.fold_left (fun a b -> a + b.total) 0 bs;
+    dynamic_divergent = List.fold_left (fun a b -> a + b.divergent) 0 bs }
+
+let reset t = Devmap.zero t.table

@@ -1,0 +1,35 @@
+(** Case Study I (paper Section 5): per-branch SIMT control-flow
+    statistics, the Figure 4 handler. For every conditional branch the
+    handler records how often it executed, how many threads were
+    active / took it / fell through, and how often it split the warp. *)
+
+type t
+
+(** Per-branch counters, keyed by static branch address. *)
+type branch = {
+  ins_addr : int;
+  total : int;  (** dynamic executions (warp level) *)
+  active : int;  (** sum of active threads *)
+  taken : int;
+  not_taken : int;
+  divergent : int;  (** executions that split the warp *)
+}
+
+(** Table 1 aggregates. *)
+type summary = {
+  static_branches : int;
+  static_divergent : int;
+  dynamic_branches : int;
+  dynamic_divergent : int;
+}
+
+val create : Gpu.Device.t -> t
+
+val pairs : t -> (Sassi.Select.spec * Sassi.Handler.t) list
+
+val branches : t -> branch list
+(** Sorted by decreasing dynamic execution count (Figure 5's order). *)
+
+val summary : t -> summary
+
+val reset : t -> unit

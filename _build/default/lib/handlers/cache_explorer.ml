@@ -1,0 +1,64 @@
+type config = {
+  c_size_bytes : int;
+  c_assoc : int;
+  c_line_bytes : int;
+}
+
+type result = {
+  r_config : config;
+  r_accesses : int;
+  r_transactions : int;
+  r_hits : int;
+  r_misses : int;
+}
+
+let miss_rate r =
+  if r.r_transactions = 0 then 0.0
+  else float_of_int r.r_misses /. float_of_int r.r_transactions
+
+let replay trace config =
+  let cache =
+    Gpu.Cache.create ~name:"explorer" ~size_bytes:config.c_size_bytes
+      ~assoc:config.c_assoc ~line_bytes:config.c_line_bytes
+  in
+  let accesses = ref 0 in
+  let transactions = ref 0 in
+  List.iter
+    (fun (a : Mem_trace.access) ->
+       incr accesses;
+       let pairs =
+         Array.to_list a.Mem_trace.a_addrs
+         |> List.map (fun addr -> (addr, a.Mem_trace.a_width))
+       in
+       let lines =
+         Gpu.Memsys.coalesce ~line_bytes:config.c_line_bytes pairs
+       in
+       List.iter
+         (fun line ->
+            incr transactions;
+            ignore (Gpu.Cache.access cache (line * config.c_line_bytes)))
+         lines)
+    trace;
+  { r_config = config;
+    r_accesses = !accesses;
+    r_transactions = !transactions;
+    r_hits = Gpu.Cache.hits cache;
+    r_misses = Gpu.Cache.misses cache }
+
+let sweep trace configs = List.map (replay trace) configs
+
+let default_sweep =
+  List.map
+    (fun kib -> { c_size_bytes = kib * 1024; c_assoc = 4; c_line_bytes = 32 })
+    [ 4; 8; 16; 32; 64; 128 ]
+  @ List.map
+      (fun assoc -> { c_size_bytes = 32 * 1024; c_assoc = assoc; c_line_bytes = 32 })
+      [ 1; 2; 8; 16 ]
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%3dKiB %2d-way %2dB lines: %7d accesses, %8d transactions, miss rate \
+     %5.1f%%"
+    (r.r_config.c_size_bytes / 1024)
+    r.r_config.c_assoc r.r_config.c_line_bytes r.r_accesses r.r_transactions
+    (100.0 *. miss_rate r)

@@ -1,0 +1,32 @@
+(** A standalone memory-hierarchy simulator driven by SASSI-collected
+    traces — the paper's Section 9.4 suggestion realized: sweep cache
+    configurations offline over one recorded execution instead of
+    re-running the application. *)
+
+type config = {
+  c_size_bytes : int;
+  c_assoc : int;
+  c_line_bytes : int;
+}
+
+type result = {
+  r_config : config;
+  r_accesses : int;  (** warp-level accesses replayed *)
+  r_transactions : int;  (** after per-warp coalescing *)
+  r_hits : int;
+  r_misses : int;
+}
+
+val miss_rate : result -> float
+
+val replay : Mem_trace.access list -> config -> result
+(** Coalesces each warp access at the configuration's line size, then
+    probes a single cache level (LRU, allocate-on-miss). *)
+
+val sweep : Mem_trace.access list -> config list -> result list
+
+val default_sweep : config list
+(** Cache sizes 4..128 KiB at 4-way/32 B, plus associativity 1..16 at
+    32 KiB. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,63 @@
+type t = {
+  device : Gpu.Device.t;
+  base : int;
+  capacity : int;
+  val_slots : int;
+  stride : int;
+}
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 16
+
+let create device ~capacity ~val_slots =
+  let capacity = round_pow2 capacity in
+  let stride = 8 * (1 + val_slots) in
+  let base = Gpu.Device.malloc device (capacity * stride) in
+  Gpu.Device.memset device ~addr:base ~len:(capacity * stride) '\000';
+  { device; base; capacity; val_slots; stride }
+
+let capacity t = t.capacity
+
+let entry_addr t i = t.base + (i * t.stride)
+
+let find_or_insert t ~ctx ~key ~init =
+  if key = 0 then invalid_arg "Devmap: key must be nonzero";
+  let mask = t.capacity - 1 in
+  let h = (key * 0x9E3779B1) land Gpu.Value.mask in
+  let rec probe i tries =
+    if tries > t.capacity then failwith "Devmap: table full";
+    let ea = entry_addr t (i land mask) in
+    (* One charged CAS per probe, as a device implementation pays. *)
+    let seen =
+      Sassi.Intrinsics.atomic_cas_u32 ctx ea ~compare:0 ~swap:key
+    in
+    if seen = 0 then begin
+      (* Freshly inserted: write initial values. *)
+      Array.iteri
+        (fun k v -> Sassi.Intrinsics.write_u64 ctx (ea + 8 + (8 * k)) v)
+        init;
+      ea + 8
+    end
+    else if seen = key then ea + 8
+    else probe (i + 1) (tries + 1)
+  in
+  probe (h land mask) 0
+
+let zero t =
+  Gpu.Device.memset t.device ~addr:t.base ~len:(t.capacity * t.stride) '\000'
+
+let entries t =
+  let out = ref [] in
+  for i = 0 to t.capacity - 1 do
+    let ea = entry_addr t i in
+    let key = Gpu.Device.read_u64 t.device ea in
+    if key <> 0 then begin
+      let values =
+        Array.init t.val_slots (fun k ->
+            Gpu.Device.read_u64 t.device (ea + 8 + (8 * k)))
+      in
+      out := (key, values) :: !out
+    end
+  done;
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) !out

@@ -1,0 +1,27 @@
+(** A device-global open-addressing hash table keyed by instruction
+    address — the [find(bp->GetInsAddr())] used by the paper's
+    per-branch (Figure 4) and value-profiling (Figure 9) handlers.
+
+    Each entry is a 64-bit key slot followed by [val_slots] 64-bit
+    value slots. Lookup linearly probes with a charged CAS per probe,
+    as a CUDA implementation would. Keys must be nonzero. *)
+
+type t
+
+val create : Gpu.Device.t -> capacity:int -> val_slots:int -> t
+(** [capacity] is rounded up to a power of two. *)
+
+val find_or_insert : t -> ctx:Sassi.Hctx.t -> key:int -> init:int array -> int
+(** Returns the device address of the entry's value area, inserting
+    with the given initial slot values (length <= [val_slots]) when
+    the key is new.
+    @raise Failure when the table is full. *)
+
+val zero : t -> unit
+(** Clears all entries. *)
+
+val entries : t -> (int * int array) list
+(** Host-side scan: (key, values) for every occupied entry, sorted by
+    key. *)
+
+val capacity : t -> int

@@ -1,0 +1,69 @@
+(** Case Study IV (paper Section 8): transient-error injection.
+
+    Three steps, as in the paper:
+    + {b Profile}: instrument after every instruction that writes a
+      general-purpose or predicate register (excluding predicated-off
+      lanes) and count dynamic instructions per thread;
+    + {b Select}: statistically pick injection sites — tuples of
+      (kernel, dynamic invocation, thread, dynamic instruction index,
+      destination seed, bit seed) — on the host;
+    + {b Inject}: re-run with a handler that flips one bit in one
+      destination register (GPR or predicate) of the selected dynamic
+      instruction, then classify the run's outcome.
+
+    Per-thread profile tallies live host-side (they are written by the
+    handler and only ever read after the kernel completes); each
+    update is charged to the simulated machine like the device atomic
+    it stands for. *)
+
+type target = {
+  t_kernel : string;
+  t_invocation : int;
+  t_thread : int;  (** flat global thread id *)
+  t_instr : int;  (** 0-based dynamic instruction index in that thread *)
+  t_dst_seed : int;
+  t_bit_seed : int;
+}
+
+type outcome =
+  | Masked  (** outputs identical to the fault-free run *)
+  | Crash of string  (** architectural trap (bad address, ...) *)
+  | Hang
+  | Failure_symptom of string  (** device-detected failure *)
+  | Sdc_stdout  (** only the secondary (stdout-like) output differs *)
+  | Sdc_output  (** the primary output file differs *)
+
+val outcome_to_string : outcome -> string
+
+(** {1 Profiling pass} *)
+
+module Profile : sig
+  type t
+
+  val create : unit -> t
+
+  val pairs : t -> (Sassi.Select.spec * Sassi.Handler.t) list
+
+  val total_dynamic_instrs : t -> int
+
+  val pick_targets : t -> seed:int -> n:int -> target list
+  (** Uniform over the dynamic-instruction population, with fresh
+      destination and bit seeds per target. *)
+end
+
+(** {1 Injection pass} *)
+
+val injection_pairs :
+  target -> injected:bool ref -> (Sassi.Select.spec * Sassi.Handler.t) list
+(** Handler that fires once at the target site, flipping one bit of a
+    randomly selected destination (GPR value bit, or a predicate
+    destination). Sets [injected] when the flip happened. *)
+
+(** {1 Outcome classification} *)
+
+val classify :
+  reference:string * string -> (unit -> string * string) -> outcome
+(** [classify ~reference run] executes [run] (which returns
+    (primary output digest, secondary output digest)), mapping traps
+    to crash/hang/failure-symptom outcomes and output differences to
+    SDC categories. *)

@@ -1,0 +1,81 @@
+type t = { counters : Cupti.Counters.t }
+
+let line_bytes = 32
+
+let offset_bits = 5
+
+let create device =
+  { counters = Cupti.Counters.alloc device ~slots:(32 * 32) }
+
+(* Figure 6's handler: filter predicated-off lanes, filter non-global
+   accesses, compute each lane's line address, then iteratively elect
+   a leader and retire all lanes matching its line — counting unique
+   lines — and finally tally into the occupancy x divergence matrix. *)
+let handler t =
+  Sassi.Handler.make ~name:"mem_divergence" (fun ctx ->
+      let open Sassi in
+      if Params.Memory.is_global ctx then begin
+        let workset =
+          Intrinsics.ballot ctx (fun lane ->
+              Params.Before.will_execute ctx ~lane)
+        in
+        if workset <> 0 then begin
+          let line lane =
+            Params.Memory.address ctx ~lane lsr offset_bits
+          in
+          let num_active = Intrinsics.popc ctx workset in
+          let rec count_unique workset unique =
+            if workset = 0 then unique
+            else begin
+              let leader = Intrinsics.ffs ctx workset - 1 in
+              let leaders_line = Intrinsics.shfl ctx line ~src_lane:leader in
+              let not_matching =
+                Intrinsics.ballot ctx (fun lane -> line lane <> leaders_line)
+              in
+              count_unique (workset land not_matching) (unique + 1)
+            end
+          in
+          let unique = count_unique workset 0 in
+          let slot = ((num_active - 1) * 32) + (unique - 1) in
+          Intrinsics.atomic_add_u64 ctx
+            (Cupti.Counters.addr ~slot t.counters)
+            1
+        end
+      end)
+
+let pairs t =
+  [ (Sassi.Select.before [ Sassi.Select.Memory_ops ] [ Sassi.Select.Mem_info ],
+     handler t) ]
+
+let matrix t =
+  let flat = Cupti.Counters.read t.counters in
+  Array.init 32 (fun a -> Array.init 32 (fun u -> flat.((a * 32) + u)))
+
+let pmf t =
+  let m = matrix t in
+  let per_unique = Array.make 32 0.0 in
+  let total = ref 0.0 in
+  for a = 0 to 31 do
+    for u = 0 to 31 do
+      let thread_accesses = float_of_int ((a + 1) * m.(a).(u)) in
+      per_unique.(u) <- per_unique.(u) +. thread_accesses;
+      total := !total +. thread_accesses
+    done
+  done;
+  if !total > 0.0 then Array.map (fun x -> x /. !total) per_unique
+  else per_unique
+
+let fully_diverged_fraction t =
+  let m = matrix t in
+  let diag = ref 0.0 in
+  let total = ref 0.0 in
+  for a = 0 to 31 do
+    for u = 0 to 31 do
+      let thread_accesses = float_of_int ((a + 1) * m.(a).(u)) in
+      total := !total +. thread_accesses;
+      if u = a then diag := !diag +. thread_accesses
+    done
+  done;
+  if !total > 0.0 then !diag /. !total else 0.0
+
+let reset t = Cupti.Counters.zero t.counters

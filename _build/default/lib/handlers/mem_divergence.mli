@@ -1,0 +1,28 @@
+(** Case Study II (paper Section 6): memory address divergence, the
+    Figure 6 handler. For every global-memory warp access the handler
+    counts the unique 32-byte cache lines requested and tallies a
+    32x32 (active-threads x unique-lines) matrix — the data behind
+    Figures 7 and 8. *)
+
+type t
+
+val line_bytes : int
+(** 32, the granularity the paper uses. *)
+
+val create : Gpu.Device.t -> t
+
+val pairs : t -> (Sassi.Select.spec * Sassi.Handler.t) list
+
+val matrix : t -> int array array
+(** [m.(active-1).(unique-1)]: number of warp-level accesses with that
+    occupancy and divergence (Figure 8's plot). *)
+
+val pmf : t -> float array
+(** [pmf.(u-1)]: fraction of {e thread-level} accesses issued from
+    warps requesting [u] unique lines (Figure 7's distribution). *)
+
+val fully_diverged_fraction : t -> float
+(** Fraction of thread-level accesses from warps where every active
+    thread requested a distinct line. *)
+
+val reset : t -> unit

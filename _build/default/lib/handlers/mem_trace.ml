@@ -1,0 +1,59 @@
+type access = {
+  a_pc : int;
+  a_write : bool;
+  a_width : int;
+  a_addrs : int array;
+}
+
+type t = {
+  capacity : int;
+  mutable entries : access list;  (* reversed *)
+  mutable n : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 1_000_000) () =
+  { capacity; entries = []; n = 0; dropped = 0 }
+
+let handler t =
+  Sassi.Handler.make ~name:"mem_trace" (fun ctx ->
+      let open Sassi in
+      if Params.Memory.is_global ctx then begin
+        let lanes =
+          List.filter
+            (fun lane -> Params.Before.will_execute ctx ~lane)
+            (Hctx.active_lanes ctx)
+        in
+        if lanes <> [] then begin
+          if t.n >= t.capacity then t.dropped <- t.dropped + 1
+          else begin
+            let access =
+              { a_pc = Params.Before.ins_addr ctx;
+                a_write = Params.Memory.is_store ctx;
+                a_width = Params.Memory.width ctx;
+                a_addrs =
+                  Array.of_list
+                    (List.map
+                       (fun lane -> Params.Memory.address ctx ~lane)
+                       lanes) }
+            in
+            t.entries <- access :: t.entries;
+            t.n <- t.n + 1
+          end
+        end
+      end)
+
+let pairs t =
+  [ (Sassi.Select.before [ Sassi.Select.Memory_ops ] [ Sassi.Select.Mem_info ],
+     handler t) ]
+
+let trace t = List.rev t.entries
+
+let length t = t.n
+
+let dropped t = t.dropped
+
+let clear t =
+  t.entries <- [];
+  t.n <- 0;
+  t.dropped <- 0

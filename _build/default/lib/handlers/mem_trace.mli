@@ -1,0 +1,30 @@
+(** Memory-trace collection (paper Section 9.4, "Driving other
+    simulators"): a SASSI handler that records every global-memory
+    warp access — PC, read/write, width, and the per-lane effective
+    addresses — into a host-side trace that separate tools (such as
+    {!Cache_explorer}) replay. *)
+
+type access = {
+  a_pc : int;  (** instruction address *)
+  a_write : bool;
+  a_width : int;  (** bytes per lane *)
+  a_addrs : int array;  (** effective address of each executing lane *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the trace (default 1_000_000 accesses); further
+    accesses are counted but not stored. *)
+
+val pairs : t -> (Sassi.Select.spec * Sassi.Handler.t) list
+
+val trace : t -> access list
+(** In execution order. *)
+
+val length : t -> int
+
+val dropped : t -> int
+(** Accesses beyond capacity. *)
+
+val clear : t -> unit

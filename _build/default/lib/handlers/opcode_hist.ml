@@ -1,0 +1,45 @@
+type t = { counters : Cupti.Counters.t }
+
+type counts = {
+  memory : int;
+  extended_memory : int;
+  control : int;
+  sync : int;
+  numeric : int;
+  texture : int;
+  total : int;
+}
+
+let create device = { counters = Cupti.Counters.alloc device ~slots:7 }
+
+(* The handler mirrors Figure 3: all active threads bump each matching
+   category. *)
+let handler t =
+  Sassi.Handler.make ~name:"opcode_hist" (fun ctx ->
+      let bump slot =
+        Sassi.Intrinsics.per_lane_atomic_add_u64 ctx (fun lane ->
+            if Sassi.Params.Before.will_execute ctx ~lane then
+              (Cupti.Counters.addr ~slot t.counters, 1)
+            else (Cupti.Counters.addr ~slot t.counters, 0))
+      in
+      if Sassi.Params.Before.is_mem ctx then begin
+        bump 0;
+        if Sassi.Params.Memory.width ctx > 4 then bump 1
+      end;
+      if Sassi.Params.Before.is_control_xfer ctx then bump 2;
+      if Sassi.Params.Before.is_sync ctx then bump 3;
+      if Sassi.Params.Before.is_numeric ctx then bump 4;
+      if Sassi.Params.Before.is_texture ctx then bump 5;
+      bump 6)
+
+let pairs t =
+  [ (Sassi.Select.before [ Sassi.Select.All ] [ Sassi.Select.Mem_info ],
+     handler t) ]
+
+let read t =
+  match Cupti.Counters.read t.counters with
+  | [| memory; extended_memory; control; sync; numeric; texture; total |] ->
+    { memory; extended_memory; control; sync; numeric; texture; total }
+  | _ -> assert false
+
+let reset t = Cupti.Counters.zero t.counters

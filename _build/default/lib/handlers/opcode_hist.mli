@@ -1,0 +1,27 @@
+(** The pedagogical handler of the paper's Figure 3: classify every
+    dynamic instruction into six overlapping categories with
+    per-thread [atomicAdd]s into a device counter array. *)
+
+type t
+
+type counts = {
+  memory : int;
+  extended_memory : int;  (** memory accesses wider than 4 bytes *)
+  control : int;
+  sync : int;
+  numeric : int;
+  texture : int;
+  total : int;
+}
+
+val create : Gpu.Device.t -> t
+(** Allocates the device counters. *)
+
+val pairs : t -> (Sassi.Select.spec * Sassi.Handler.t) list
+(** Instrumentation to pass to {!Sassi.Runtime.attach}: before all
+    instructions, with memory info. *)
+
+val read : t -> counts
+(** Copy the counters to the host (thread-level dynamic counts). *)
+
+val reset : t -> unit

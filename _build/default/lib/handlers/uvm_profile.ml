@@ -1,0 +1,137 @@
+type owner =
+  | Cpu
+  | Gpu_owner
+
+type page_record = {
+  mutable cpu_reads : int;
+  mutable cpu_writes : int;
+  mutable gpu_reads : int;
+  mutable gpu_writes : int;
+  mutable migrations : int;
+  mutable owner : owner;
+}
+
+type page_stats = {
+  page : int;
+  cpu_reads : int;
+  cpu_writes : int;
+  gpu_reads : int;
+  gpu_writes : int;
+  migrations : int;
+}
+
+type summary = {
+  page_bytes : int;
+  cpu_only : int;
+  gpu_only : int;
+  shared : int;
+  total_migrations : int;
+}
+
+type t = {
+  device : Gpu.Device.t;
+  page_bytes : int;
+  table : (int, page_record) Hashtbl.t;
+}
+
+let record t page owner_side ~write =
+  let r =
+    match Hashtbl.find_opt t.table page with
+    | Some r -> r
+    | None ->
+      let r =
+        { cpu_reads = 0; cpu_writes = 0; gpu_reads = 0; gpu_writes = 0;
+          migrations = 0; owner = owner_side }
+      in
+      Hashtbl.replace t.table page r;
+      r
+  in
+  if r.owner <> owner_side then begin
+    (* First-touch migration: the page moves to the toucher. *)
+    r.migrations <- r.migrations + 1;
+    r.owner <- owner_side
+  end;
+  (match owner_side, write with
+   | Cpu, false -> r.cpu_reads <- r.cpu_reads + 1
+   | Cpu, true -> r.cpu_writes <- r.cpu_writes + 1
+   | Gpu_owner, false -> r.gpu_reads <- r.gpu_reads + 1
+   | Gpu_owner, true -> r.gpu_writes <- r.gpu_writes + 1)
+
+let create ?(page_bytes = 4096) device =
+  let t = { device; page_bytes; table = Hashtbl.create 256 } in
+  Gpu.Device.set_host_access_hook device
+    (Some
+       (fun ~addr ~bytes ~write ->
+          let first = addr / page_bytes in
+          let last = (addr + max 1 bytes - 1) / page_bytes in
+          for p = first to last do
+            record t p Cpu ~write
+          done));
+  t
+
+(* Device side: one charged page-touch record per unique page a warp
+   access covers (the real prototype logs to a device buffer; we
+   charge equivalently and correlate host-side). *)
+let handler t =
+  Sassi.Handler.make ~name:"uvm_profile" (fun ctx ->
+      let open Sassi in
+      if Params.Memory.is_global ctx then begin
+        let write = Params.Memory.is_store ctx in
+        let pages = ref [] in
+        List.iter
+          (fun lane ->
+             if Params.Before.will_execute ctx ~lane then begin
+               let p = Params.Memory.address ctx ~lane / t.page_bytes in
+               if not (List.mem p !pages) then pages := p :: !pages
+             end)
+          (Hctx.active_lanes ctx);
+        Hctx.charge ctx ~ops:(List.length !pages) ~cycles:4;
+        List.iter (fun p -> record t p Gpu_owner ~write) !pages
+      end)
+
+let pairs t =
+  [ (Sassi.Select.before [ Sassi.Select.Memory_ops ] [ Sassi.Select.Mem_info ],
+     handler t) ]
+
+let detach_host t = Gpu.Device.set_host_access_hook t.device None
+
+let pages t =
+  Hashtbl.fold
+    (fun page (r : page_record) acc ->
+       { page;
+         cpu_reads = r.cpu_reads;
+         cpu_writes = r.cpu_writes;
+         gpu_reads = r.gpu_reads;
+         gpu_writes = r.gpu_writes;
+         migrations = r.migrations }
+       :: acc)
+    t.table []
+  |> List.sort (fun a b ->
+      match Int.compare b.migrations a.migrations with
+      | 0 ->
+        Int.compare
+          (b.cpu_reads + b.cpu_writes + b.gpu_reads + b.gpu_writes)
+          (a.cpu_reads + a.cpu_writes + a.gpu_reads + a.gpu_writes)
+      | c -> c)
+
+let summary t =
+  let cpu_only = ref 0 and gpu_only = ref 0 and shared = ref 0 in
+  let migrations = ref 0 in
+  Hashtbl.iter
+    (fun _ (r : page_record) ->
+       let cpu = r.cpu_reads + r.cpu_writes > 0 in
+       let gpu = r.gpu_reads + r.gpu_writes > 0 in
+       (match cpu, gpu with
+        | true, true -> incr shared
+        | true, false -> incr cpu_only
+        | false, true -> incr gpu_only
+        | false, false -> ());
+       migrations := !migrations + r.migrations)
+    t.table;
+  { page_bytes = t.page_bytes;
+    cpu_only = !cpu_only;
+    gpu_only = !gpu_only;
+    shared = !shared;
+    total_migrations = !migrations }
+
+let reset t = Hashtbl.reset t.table

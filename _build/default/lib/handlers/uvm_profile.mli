@@ -1,0 +1,42 @@
+(** Heterogeneous (CPU + GPU) sharing analysis, the paper's Section
+    9.4 Unified-Virtual-Memory prototype: device-side SASSI
+    instrumentation traces the pages GPU threads touch while a
+    host-side hook traces the pages the CPU touches (the memcpy
+    traffic); correlating the streams yields per-page sharing and an
+    estimate of page migrations in a UVM system that moves a page on
+    first touch by the other processor. *)
+
+type page_stats = {
+  page : int;  (** page number *)
+  cpu_reads : int;
+  cpu_writes : int;
+  gpu_reads : int;
+  gpu_writes : int;
+  migrations : int;  (** ownership changes after first touch *)
+}
+
+type summary = {
+  page_bytes : int;
+  cpu_only : int;  (** pages touched only by the CPU *)
+  gpu_only : int;
+  shared : int;  (** pages touched by both processors *)
+  total_migrations : int;
+}
+
+type t
+
+val create : ?page_bytes:int -> Gpu.Device.t -> t
+(** Installs the host-access hook immediately; GPU-side tracing comes
+    from attaching {!pairs}. [page_bytes] defaults to 4096. *)
+
+val pairs : t -> (Sassi.Select.spec * Sassi.Handler.t) list
+
+val detach_host : t -> unit
+(** Removes the host-access hook. *)
+
+val pages : t -> page_stats list
+(** Sorted by decreasing migration count, then by total touches. *)
+
+val summary : t -> summary
+
+val reset : t -> unit

@@ -1,0 +1,156 @@
+type t = { table : Devmap.t }
+
+type instr_profile = {
+  ins_addr : int;
+  weight : int;
+  num_dsts : int;
+  reg_nums : int array;
+  constant_ones : int array;
+  constant_zeros : int array;
+  is_scalar : bool array;
+}
+
+type summary = {
+  dynamic_const_bits_pct : float;
+  dynamic_scalar_pct : float;
+  static_const_bits_pct : float;
+  static_scalar_pct : float;
+}
+
+(* Value slots per entry: weight, numDsts, then per destination
+   (max 2): regNum, constantOnes, constantZeros, isScalar. *)
+let slots_per_dst = 4
+
+let val_slots = 2 + (2 * slots_per_dst)
+
+let slot_weight = 0
+
+let slot_num_dsts = 1
+
+let dst_slot k field = 2 + (k * slots_per_dst) + field
+
+let create device =
+  { table = Devmap.create device ~capacity:8192 ~val_slots }
+
+(* Figure 9's handler. *)
+let handler t =
+  Sassi.Handler.make ~name:"value_profile" (fun ctx ->
+      let open Sassi in
+      (* Only lanes whose guard held actually produced a value. *)
+      let executed =
+        Intrinsics.ballot ctx (fun lane ->
+            Params.Before.will_execute ctx ~lane)
+      in
+      let num_dsts = Params.Registers.num_gpr_dsts ctx in
+      if num_dsts > 0 && executed <> 0 then begin
+        let leader = Intrinsics.ffs ctx executed - 1 in
+        let executed_lane lane = executed land (1 lsl lane) <> 0 in
+        let init = Array.make val_slots 0 in
+        init.(slot_num_dsts) <- num_dsts;
+        for d = 0 to num_dsts - 1 do
+          init.(dst_slot d 0) <-
+            Sass.Reg.index (Params.Registers.dst_reg ctx d);
+          init.(dst_slot d 1) <- 0xFFFFFFFF;  (* constantOnes *)
+          init.(dst_slot d 2) <- 0xFFFFFFFF;  (* constantZeros *)
+          init.(dst_slot d 3) <- 1  (* isScalar *)
+        done;
+        let stats =
+          Devmap.find_or_insert t.table ~ctx
+            ~key:(Params.Before.ins_addr ctx)
+            ~init
+        in
+        Intrinsics.atomic_add_u64 ctx (stats + (8 * slot_weight)) 1;
+        for d = 0 to num_dsts - 1 do
+          (* Read each lane's value once, as the CUDA handler's
+             valueInReg register read does (Figure 9). *)
+          let values = Array.make 32 0xFFFFFFFF in
+          List.iter
+            (fun lane ->
+               if executed_lane lane then
+                 values.(lane) <- Params.Registers.value ctx ~lane d)
+            (Hctx.active_lanes ctx);
+          (* Atomic ANDs track constant bits across every thread;
+             masked lanes contribute the AND identity. *)
+          Intrinsics.per_lane_atomic_and_u32 ctx (fun lane ->
+              (stats + (8 * dst_slot d 1), values.(lane)));
+          Intrinsics.per_lane_atomic_and_u32 ctx (fun lane ->
+              ( stats + (8 * dst_slot d 2),
+                if executed_lane lane then
+                  lnot values.(lane) land Gpu.Value.mask
+                else 0xFFFFFFFF ));
+          (* Scalar check: do all executed lanes agree with the leader? *)
+          let leader_value = values.(leader) in
+          let all_same =
+            Intrinsics.all ctx (fun lane ->
+                (not (executed_lane lane)) || values.(lane) = leader_value)
+          in
+          Intrinsics.atomic_and_u32 ctx
+            (stats + (8 * dst_slot d 3))
+            (if all_same then 1 else 0)
+        done
+      end)
+
+let pairs t =
+  [ (Sassi.Select.after [ Sassi.Select.Reg_writes ] [ Sassi.Select.Reg_info ],
+     handler t) ]
+
+let profiles t =
+  Devmap.entries t.table
+  |> List.map (fun (key, values) ->
+      let num_dsts = min 2 values.(slot_num_dsts) in
+      { ins_addr = key;
+        weight = values.(slot_weight);
+        num_dsts;
+        reg_nums = Array.init num_dsts (fun d -> values.(dst_slot d 0));
+        constant_ones =
+          Array.init num_dsts (fun d -> values.(dst_slot d 1) land 0xFFFFFFFF);
+        constant_zeros =
+          Array.init num_dsts (fun d -> values.(dst_slot d 2) land 0xFFFFFFFF);
+        is_scalar = Array.init num_dsts (fun d -> values.(dst_slot d 3) <> 0) })
+
+let constant_bit_count p k =
+  Gpu.Value.popc (p.constant_ones.(k) lor p.constant_zeros.(k))
+
+let summary t =
+  let ps = profiles t in
+  let dyn_bits = ref 0.0 and dyn_const = ref 0.0 in
+  let dyn_writes = ref 0.0 and dyn_scalar = ref 0.0 in
+  let st_bits = ref 0.0 and st_const = ref 0.0 in
+  let st_writes = ref 0.0 and st_scalar = ref 0.0 in
+  List.iter
+    (fun p ->
+       let w = float_of_int p.weight in
+       for d = 0 to p.num_dsts - 1 do
+         let const = float_of_int (constant_bit_count p d) in
+         dyn_bits := !dyn_bits +. (32.0 *. w);
+         dyn_const := !dyn_const +. (const *. w);
+         st_bits := !st_bits +. 32.0;
+         st_const := !st_const +. const;
+         dyn_writes := !dyn_writes +. w;
+         st_writes := !st_writes +. 1.0;
+         if p.is_scalar.(d) then begin
+           dyn_scalar := !dyn_scalar +. w;
+           st_scalar := !st_scalar +. 1.0
+         end
+       done)
+    ps;
+  let pct num den = if den > 0.0 then 100.0 *. num /. den else 0.0 in
+  { dynamic_const_bits_pct = pct !dyn_const !dyn_bits;
+    dynamic_scalar_pct = pct !dyn_scalar !dyn_writes;
+    static_const_bits_pct = pct !st_const !st_bits;
+    static_scalar_pct = pct !st_scalar !st_writes }
+
+let pp_register_profile ppf p =
+  for d = 0 to p.num_dsts - 1 do
+    let scalar_mark = if p.is_scalar.(d) then "*" else "" in
+    let bits =
+      String.init 32 (fun i ->
+          let bit = 31 - i in
+          let one = p.constant_ones.(d) land (1 lsl bit) <> 0 in
+          let zero = p.constant_zeros.(d) land (1 lsl bit) <> 0 in
+          if one then '1' else if zero then '0' else 'T')
+    in
+    Format.fprintf ppf "R%d%s <- [%s]@." p.reg_nums.(d) scalar_mark bits
+  done
+
+let reset t = Devmap.zero t.table

@@ -1,0 +1,44 @@
+(** Case Study III (paper Section 7): value profiling, the Figure 9
+    handler. After every register-writing instruction it tracks, per
+    static instruction and destination register:
+    - which bits of the written values were constant across the whole
+      run ([constantOnes] / [constantZeros] via atomic AND), and
+    - whether the write was scalar (all threads in the warp wrote the
+      same value). *)
+
+type t
+
+type instr_profile = {
+  ins_addr : int;
+  weight : int;  (** dynamic executions (warp level) *)
+  num_dsts : int;
+  reg_nums : int array;
+  constant_ones : int array;  (** bits always 1, per destination *)
+  constant_zeros : int array;  (** bits always 0 *)
+  is_scalar : bool array;
+}
+
+(** Table 2 aggregates (percentages in [0, 100]). *)
+type summary = {
+  dynamic_const_bits_pct : float;
+  dynamic_scalar_pct : float;
+  static_const_bits_pct : float;
+  static_scalar_pct : float;
+}
+
+val create : Gpu.Device.t -> t
+
+val pairs : t -> (Sassi.Select.spec * Sassi.Handler.t) list
+
+val profiles : t -> instr_profile list
+
+val summary : t -> summary
+
+val constant_bit_count : instr_profile -> int -> int
+(** Bits of destination [k] that never varied. *)
+
+val pp_register_profile : Format.formatter -> instr_profile -> unit
+(** The per-register [00000000000000TTTT...] rendering from
+    Section 7.2. *)
+
+val reset : t -> unit

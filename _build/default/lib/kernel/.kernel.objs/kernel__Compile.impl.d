@@ -1,0 +1,1 @@
+lib/kernel/compile.ml: Ast Emit Lower Opt Printf Regalloc Sass Typecheck

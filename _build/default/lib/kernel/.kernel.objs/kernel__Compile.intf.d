@@ -1,0 +1,1 @@
+lib/kernel/compile.mli: Ast Sass Vir

@@ -1,0 +1,1 @@
+lib/kernel/emit.ml: Array Gpu Hashtbl List Option Printf Sass Vir

@@ -1,0 +1,1 @@
+lib/kernel/emit.mli: Sass Vir

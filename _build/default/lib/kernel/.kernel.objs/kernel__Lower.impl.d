@@ -1,0 +1,1 @@
+lib/kernel/lower.ml: Array Ast Gpu Hashtbl List Printf Sass Vir

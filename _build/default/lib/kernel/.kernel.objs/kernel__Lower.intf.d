@@ -1,0 +1,1 @@
+lib/kernel/lower.mli: Ast Vir

@@ -1,0 +1,1 @@
+lib/kernel/opt.ml: Array Gpu Hashtbl List Sass Vir

@@ -1,0 +1,1 @@
+lib/kernel/opt.mli: Vir

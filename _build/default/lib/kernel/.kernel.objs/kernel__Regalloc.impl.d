@@ -1,0 +1,1 @@
+lib/kernel/regalloc.ml: Array Hashtbl List Printf Sass Vir

@@ -1,0 +1,1 @@
+lib/kernel/regalloc.mli: Vir

@@ -1,0 +1,1 @@
+lib/kernel/typecheck.ml: Ast Format List Printf Result Sass

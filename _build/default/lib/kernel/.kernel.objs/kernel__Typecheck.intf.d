@@ -1,0 +1,1 @@
+lib/kernel/typecheck.mli: Ast

@@ -1,0 +1,1 @@
+lib/kernel/vir.ml: Array Format Hashtbl Int List Printf Sass Set

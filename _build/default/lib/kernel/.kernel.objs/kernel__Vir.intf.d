@@ -1,0 +1,1 @@
+lib/kernel/vir.mli: Format Sass

@@ -1,0 +1,106 @@
+type ty =
+  | I32
+  | F32
+  | Bool
+
+type ibin =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Udiv
+  | Urem
+  | Min
+  | Max
+  | Shl
+  | Shr
+  | Ashr
+  | And
+  | Or
+  | Xor
+
+type fbin =
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fmin
+  | Fmax
+
+type exp =
+  | Int of int
+  | Float of float
+  | Var of string
+  | Param of int
+  | Special of Sass.Opcode.special
+  | Shared_base of string
+  | Ibin of ibin * exp * exp
+  | Fbin of fbin * exp * exp
+  | Ffma of exp * exp * exp
+  | Icmp of Sass.Opcode.cmp * exp * exp
+  | Ucmp of Sass.Opcode.cmp * exp * exp
+  | Fcmp of Sass.Opcode.cmp * exp * exp
+  | Not of exp
+  | Andb of exp * exp
+  | Orb of exp * exp
+  | Select of exp * exp * exp
+  | I2f of exp
+  | F2i of exp
+  | U2f of exp
+  | Funary of Sass.Opcode.mufu * exp
+  | Popc of exp
+  | Brev of exp
+  | Ffs of exp
+  | Load of Sass.Opcode.space * ty * exp
+  | Load8 of Sass.Opcode.space * exp
+  | Tex of ty * exp
+  | Ballot of exp
+  | Shfl of Sass.Opcode.shfl * exp * exp
+
+type atom =
+  | Aadd
+  | Amin
+  | Amax
+  | Aexch
+  | Aand
+  | Aor
+  | Axor
+
+type stmt =
+  | Let of string * ty * exp
+  | Set of string * exp
+  | Store of Sass.Opcode.space * exp * exp
+  | Store8 of Sass.Opcode.space * exp * exp
+  | If of exp * stmt list * stmt list
+  | While of exp * stmt list
+  | For of string * exp * exp * stmt list
+  | Atomic of atom * Sass.Opcode.space * exp * exp
+  | Atomic_ret of string * atom * Sass.Opcode.space * exp * exp
+  | Atomic_cas of string * Sass.Opcode.space * exp * exp * exp
+  | Sync
+  | Exit_if of exp
+  | Nop_mark of int
+
+type kernel = {
+  k_name : string;
+  k_params : (string * ty) list;
+  k_shared : (string * int) list;
+  k_body : stmt list;
+}
+
+let atom_to_sass = function
+  | Aadd -> Sass.Opcode.A_add
+  | Amin -> Sass.Opcode.A_min
+  | Amax -> Sass.Opcode.A_max
+  | Aexch -> Sass.Opcode.A_exch
+  | Aand -> Sass.Opcode.A_and
+  | Aor -> Sass.Opcode.A_or
+  | Axor -> Sass.Opcode.A_xor
+
+let exp_equal (a : exp) (b : exp) = a = b
+
+let pp_ty ppf = function
+  | I32 -> Format.pp_print_string ppf "i32"
+  | F32 -> Format.pp_print_string ppf "f32"
+  | Bool -> Format.pp_print_string ppf "bool"

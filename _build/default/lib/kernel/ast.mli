@@ -1,0 +1,112 @@
+(** The kernel language: a typed, CUDA-like shader AST.
+
+    This plays the role of the front-end output (PTX-producing
+    languages in the paper): workloads are written in this language
+    and compiled by the backend ({!Compile}) down to SASS, with the
+    SASSI pass running last.
+
+    Scalars are 32-bit; [F32] expressions carry IEEE-754 single
+    bit patterns in the same 32-bit registers as [I32]. Addresses are
+    [I32] byte offsets within an explicit memory space. *)
+
+type ty =
+  | I32
+  | F32
+  | Bool  (** predicate-valued; only from comparisons and logic *)
+
+type ibin =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** signed *)
+  | Rem  (** signed *)
+  | Udiv
+  | Urem
+  | Min
+  | Max
+  | Shl
+  | Shr  (** logical *)
+  | Ashr  (** arithmetic *)
+  | And
+  | Or
+  | Xor
+
+type fbin =
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv  (** emitted as MUFU.RCP + FMUL *)
+  | Fmin
+  | Fmax
+
+type exp =
+  | Int of int
+  | Float of float
+  | Var of string
+  | Param of int  (** i-th kernel parameter (4-byte slot) *)
+  | Special of Sass.Opcode.special
+  | Shared_base of string  (** byte offset of a declared shared array *)
+  | Ibin of ibin * exp * exp
+  | Fbin of fbin * exp * exp
+  | Ffma of exp * exp * exp  (** a*b + c, single rounding *)
+  | Icmp of Sass.Opcode.cmp * exp * exp  (** signed compare *)
+  | Ucmp of Sass.Opcode.cmp * exp * exp  (** unsigned compare *)
+  | Fcmp of Sass.Opcode.cmp * exp * exp
+  | Not of exp
+  | Andb of exp * exp
+  | Orb of exp * exp
+  | Select of exp * exp * exp  (** Select (cond, if_true, if_false) *)
+  | I2f of exp
+  | F2i of exp
+  | U2f of exp
+  | Funary of Sass.Opcode.mufu * exp
+  | Popc of exp
+  | Brev of exp
+  | Ffs of exp  (** 1-based lowest set bit; 0 for zero (CUDA [__ffs]) *)
+  | Load of Sass.Opcode.space * ty * exp  (** 4-byte load *)
+  | Load8 of Sass.Opcode.space * exp  (** byte load, zero-extended *)
+  | Tex of ty * exp  (** texture fetch by element index *)
+  | Ballot of exp  (** warp ballot of a boolean *)
+  | Shfl of Sass.Opcode.shfl * exp * exp  (** value, lane/delta *)
+
+type atom =
+  | Aadd
+  | Amin
+  | Amax
+  | Aexch
+  | Aand
+  | Aor
+  | Axor
+
+type stmt =
+  | Let of string * ty * exp  (** declare-and-init a mutable local *)
+  | Set of string * exp
+  | Store of Sass.Opcode.space * exp * exp  (** 4-byte store: addr, value *)
+  | Store8 of Sass.Opcode.space * exp * exp
+  | If of exp * stmt list * stmt list
+  | While of exp * stmt list
+  | For of string * exp * exp * stmt list
+      (** [For (i, lo, hi, body)]: signed [i] from [lo] while [i < hi],
+          step 1 *)
+  | Atomic of atom * Sass.Opcode.space * exp * exp  (** no result *)
+  | Atomic_ret of string * atom * Sass.Opcode.space * exp * exp
+      (** old value assigned to an already-declared variable *)
+  | Atomic_cas of string * Sass.Opcode.space * exp * exp * exp
+      (** [Atomic_cas (old, addr, compare, swap)] *)
+  | Sync  (** __syncthreads *)
+  | Exit_if of exp  (** guarded thread exit *)
+  | Nop_mark of int
+      (** no-op carrying a marker id, useful for instrumentation tests *)
+
+type kernel = {
+  k_name : string;
+  k_params : (string * ty) list;
+  k_shared : (string * int) list;  (** shared arrays: name, size in bytes *)
+  k_body : stmt list;
+}
+
+val atom_to_sass : atom -> Sass.Opcode.atom_op
+
+val exp_equal : exp -> exp -> bool
+
+val pp_ty : Format.formatter -> ty -> unit

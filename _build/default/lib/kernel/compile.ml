@@ -1,0 +1,49 @@
+exception Compile_error of string
+
+type options = {
+  max_regs : int;
+  opt_level : int;
+}
+
+let default_options = { max_regs = 63; opt_level = 1 }
+
+let compile_vir ?(options = default_options) k =
+  (match Typecheck.check k with
+   | Ok () -> ()
+   | Error e -> raise (Compile_error (Typecheck.error_to_string e)));
+  let lowered =
+    try Lower.lower k with
+    | Lower.Lower_error m ->
+      raise (Compile_error (Printf.sprintf "%s: %s" k.Ast.k_name m))
+  in
+  Opt.optimize ~level:options.opt_level lowered.Lower.items
+
+let compile ?(options = default_options) k =
+  (match Typecheck.check k with
+   | Ok () -> ()
+   | Error e -> raise (Compile_error (Typecheck.error_to_string e)));
+  let lowered =
+    try Lower.lower k with
+    | Lower.Lower_error m ->
+      raise (Compile_error (Printf.sprintf "%s: %s" k.Ast.k_name m))
+  in
+  let optimized = Opt.optimize ~level:options.opt_level lowered.Lower.items in
+  let allocated =
+    try Regalloc.allocate ~max_regs:options.max_regs optimized with
+    | Regalloc.Alloc_error m ->
+      raise (Compile_error (Printf.sprintf "%s: %s" k.Ast.k_name m))
+  in
+  let kernel =
+    try
+      Emit.emit ~name:k.Ast.k_name ~nparams:lowered.Lower.nparams
+        ~shared_bytes:lowered.Lower.shared_bytes
+        ~frame_bytes:allocated.Regalloc.frame_bytes allocated.Regalloc.items
+    with
+    | Emit.Emit_error m ->
+      raise (Compile_error (Printf.sprintf "%s: %s" k.Ast.k_name m))
+  in
+  match Sass.Program.validate kernel with
+  | Ok () -> kernel
+  | Error m ->
+    raise (Compile_error (Printf.sprintf "%s: emitted invalid SASS: %s"
+                            k.Ast.k_name m))

@@ -1,0 +1,19 @@
+(** The backend compiler driver: typecheck, lower, optimize, allocate
+    registers, and emit SASS. This is the [ptxas] analogue; the SASSI
+    instrumentation pass runs after it, on the emitted kernel. *)
+
+exception Compile_error of string
+
+type options = {
+  max_regs : int;  (** register budget ([-maxrregcount]) *)
+  opt_level : int;  (** 0: none, 1: fold/propagate/DCE (default) *)
+}
+
+val default_options : options
+
+val compile : ?options:options -> Ast.kernel -> Sass.Program.kernel
+(** @raise Compile_error on type, lowering, allocation, or emission
+    failures (with a readable message). *)
+
+val compile_vir : ?options:options -> Ast.kernel -> Vir.item array
+(** Stops after optimization; exposed for tests and ablations. *)

@@ -1,0 +1,255 @@
+(** Builder combinators for the kernel AST. Workloads [open Dsl] and
+    write kernels in a CUDA-like style:
+
+    {[
+      let vadd =
+        Dsl.kernel "vadd" ~params:[ ptr "a"; ptr "b"; ptr "out"; int "n" ]
+          (fun p ->
+             [ let_ "gid" (global_tid_x ());
+               exit_if (v "gid" >=! p 3);
+               let_ "off" (v "gid" *! int_ 4);
+               let_f "s" (ldg_f (p 0 +! v "off") +.. ldg_f (p 1 +! v "off"));
+               st_global_f (p 2 +! v "off") (vf "s") ])
+    ]}
+
+    Integer operators are suffixed with [!] and float operators with
+    [..]; comparisons yield booleans usable in [if_], [while_],
+    [exit_if], and [select]. *)
+
+open Ast
+
+(* --- Parameter declaration -------------------------------------------- *)
+
+let ptr name = (name, I32)
+
+let int name = (name, I32)
+
+let flt name = (name, F32)
+
+(* --- Expressions -------------------------------------------------------- *)
+
+let int_ n = Int n
+
+let f32 x = Float x
+
+let v name = Var name
+
+let vf name = Var name
+
+let tid_x = Special Sass.Opcode.Sr_tid_x
+
+let tid_y = Special Sass.Opcode.Sr_tid_y
+
+let ntid_x = Special Sass.Opcode.Sr_ntid_x
+
+let ntid_y = Special Sass.Opcode.Sr_ntid_y
+
+let ctaid_x = Special Sass.Opcode.Sr_ctaid_x
+
+let ctaid_y = Special Sass.Opcode.Sr_ctaid_y
+
+let nctaid_x = Special Sass.Opcode.Sr_nctaid_x
+
+let nctaid_y = Special Sass.Opcode.Sr_nctaid_y
+
+let laneid = Special Sass.Opcode.Sr_laneid
+
+let warpid = Special Sass.Opcode.Sr_warpid
+
+let global_tid_x () =
+  Ibin (Add, Ibin (Mul, ctaid_x, ntid_x), tid_x)
+
+(* Integer ops *)
+let ( +! ) a b = Ibin (Add, a, b)
+
+let ( -! ) a b = Ibin (Sub, a, b)
+
+let ( *! ) a b = Ibin (Mul, a, b)
+
+let ( /! ) a b = Ibin (Div, a, b)
+
+let ( %! ) a b = Ibin (Rem, a, b)
+
+let ( <<! ) a b = Ibin (Shl, a, b)
+
+let ( >>! ) a b = Ibin (Shr, a, b)
+
+let ( >>>! ) a b = Ibin (Ashr, a, b)
+
+let ( &! ) a b = Ibin (And, a, b)
+
+let ( |! ) a b = Ibin (Or, a, b)
+
+let ( ^! ) a b = Ibin (Xor, a, b)
+
+let imin a b = Ibin (Min, a, b)
+
+let imax a b = Ibin (Max, a, b)
+
+let udiv a b = Ibin (Udiv, a, b)
+
+let urem a b = Ibin (Urem, a, b)
+
+(* Integer comparisons *)
+let ( <! ) a b = Icmp (Sass.Opcode.Lt, a, b)
+
+let ( <=! ) a b = Icmp (Sass.Opcode.Le, a, b)
+
+let ( >! ) a b = Icmp (Sass.Opcode.Gt, a, b)
+
+let ( >=! ) a b = Icmp (Sass.Opcode.Ge, a, b)
+
+let ( ==! ) a b = Icmp (Sass.Opcode.Eq, a, b)
+
+let ( <>! ) a b = Icmp (Sass.Opcode.Ne, a, b)
+
+(* Float ops *)
+let ( +.. ) a b = Fbin (Fadd, a, b)
+
+let ( -.. ) a b = Fbin (Fsub, a, b)
+
+let ( *.. ) a b = Fbin (Fmul, a, b)
+
+let ( /.. ) a b = Fbin (Fdiv, a, b)
+
+let fmin a b = Fbin (Fmin, a, b)
+
+let fmax a b = Fbin (Fmax, a, b)
+
+let ffma a b c = Ffma (a, b, c)
+
+let sqrt_ a = Funary (Sass.Opcode.Sqrt, a)
+
+let rsqrt a = Funary (Sass.Opcode.Rsq, a)
+
+let rcp a = Funary (Sass.Opcode.Rcp, a)
+
+let exp2 a = Funary (Sass.Opcode.Ex2, a)
+
+let log2 a = Funary (Sass.Opcode.Lg2, a)
+
+let sin_ a = Funary (Sass.Opcode.Sin, a)
+
+let cos_ a = Funary (Sass.Opcode.Cos, a)
+
+let fabs a = Fbin (Fmax, a, Fbin (Fsub, Float 0.0, a))
+
+(* Float comparisons *)
+let ( <.. ) a b = Fcmp (Sass.Opcode.Lt, a, b)
+
+let ( <=.. ) a b = Fcmp (Sass.Opcode.Le, a, b)
+
+let ( >.. ) a b = Fcmp (Sass.Opcode.Gt, a, b)
+
+let ( >=.. ) a b = Fcmp (Sass.Opcode.Ge, a, b)
+
+let ( ==.. ) a b = Fcmp (Sass.Opcode.Eq, a, b)
+
+(* Booleans *)
+let not_ a = Not a
+
+let ( &&? ) a b = Andb (a, b)
+
+let ( ||? ) a b = Orb (a, b)
+
+let select c a b = Select (c, a, b)
+
+(* Conversions *)
+let i2f a = I2f a
+
+let u2f a = U2f a
+
+let f2i a = F2i a
+
+let popc a = Popc a
+
+let brev a = Brev a
+
+let ffs a = Ffs a
+
+let ballot c = Ballot c
+
+let shfl_idx v lane = Shfl (Sass.Opcode.S_idx, v, lane)
+
+let shfl_down v delta = Shfl (Sass.Opcode.S_down, v, delta)
+
+let shfl_up v delta = Shfl (Sass.Opcode.S_up, v, delta)
+
+let shfl_bfly v mask = Shfl (Sass.Opcode.S_bfly, v, mask)
+
+(* Memory *)
+let ldg addr = Load (Sass.Opcode.Global, I32, addr)
+
+let ldg_f addr = Load (Sass.Opcode.Global, F32, addr)
+
+let ldg8 addr = Load8 (Sass.Opcode.Global, addr)
+
+let lds addr = Load (Sass.Opcode.Shared, I32, addr)
+
+let lds_f addr = Load (Sass.Opcode.Shared, F32, addr)
+
+let tex_i idx = Tex (I32, idx)
+
+let tex_f idx = Tex (F32, idx)
+
+let shared_base name = Shared_base name
+
+(* --- Statements --------------------------------------------------------- *)
+
+let let_ name e = Let (name, I32, e)
+
+let let_f name e = Let (name, F32, e)
+
+let set name e = Set (name, e)
+
+let st_global addr value = Store (Sass.Opcode.Global, addr, value)
+
+let st_global_f addr value = Store (Sass.Opcode.Global, addr, value)
+
+let st_global8 addr value = Store8 (Sass.Opcode.Global, addr, value)
+
+let st_shared addr value = Store (Sass.Opcode.Shared, addr, value)
+
+let st_shared_f addr value = Store (Sass.Opcode.Shared, addr, value)
+
+let if_ c then_s else_s = If (c, then_s, else_s)
+
+let when_ c then_s = If (c, then_s, [])
+
+let while_ c body = While (c, body)
+
+let for_ name lo hi body = For (name, lo, hi, body)
+
+let atomic_add addr value = Atomic (Aadd, Sass.Opcode.Global, addr, value)
+
+let atomic_max addr value = Atomic (Amax, Sass.Opcode.Global, addr, value)
+
+let atomic_min addr value = Atomic (Amin, Sass.Opcode.Global, addr, value)
+
+let atomic_add_shared addr value = Atomic (Aadd, Sass.Opcode.Shared, addr, value)
+
+let atomic_add_ret dst addr value =
+  Atomic_ret (dst, Aadd, Sass.Opcode.Global, addr, value)
+
+let atomic_exch_ret dst addr value =
+  Atomic_ret (dst, Aexch, Sass.Opcode.Global, addr, value)
+
+let atomic_cas dst addr compare swap =
+  Atomic_cas (dst, Sass.Opcode.Global, addr, compare, swap)
+
+let sync = Sync
+
+let exit_if c = Exit_if c
+
+let nop_mark id = Nop_mark id
+
+(* --- Kernels ------------------------------------------------------------ *)
+
+let kernel name ~params ?(shared = []) body_fn =
+  let param i =
+    if i >= List.length params then
+      invalid_arg (Printf.sprintf "%s: parameter %d out of range" name i);
+    Param i
+  in
+  { k_name = name; k_params = params; k_shared = shared;
+    k_body = body_fn param }

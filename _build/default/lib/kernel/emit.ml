@@ -1,0 +1,62 @@
+exception Emit_error of string
+
+let to_sass_guard (g : Vir.guard) =
+  match g.Vir.g_pred with
+  | None -> Sass.Pred.always
+  | Some p ->
+    { Sass.Pred.pred = Sass.Pred.p p; Sass.Pred.negated = g.Vir.g_neg }
+
+let to_sass_src = function
+  | Vir.VReg n -> Sass.Instr.SReg (if n = 255 then Sass.Reg.RZ else Sass.Reg.r n)
+  | Vir.VImm i -> Sass.Instr.SImm i
+  | Vir.VParam off -> Sass.Instr.SParam off
+  | Vir.VPred p -> Sass.Instr.SPred (Sass.Pred.p p)
+
+let emit ~name ~nparams ~shared_bytes ~frame_bytes items =
+  let prologue = frame_bytes > 0 in
+  let base = if prologue then 1 else 0 in
+  (* First pass: label positions in final instruction indices. *)
+  let labels = Hashtbl.create 16 in
+  let pos = ref base in
+  Array.iter
+    (fun it ->
+       match it with
+       | Vir.Label l ->
+         if Hashtbl.mem labels l then
+           raise (Emit_error (Printf.sprintf "duplicate label %s" l));
+         Hashtbl.replace labels l !pos
+       | Vir.Ins _ -> incr pos)
+    items;
+  let resolve l =
+    match Hashtbl.find_opt labels l with
+    | Some p -> p
+    | None -> raise (Emit_error (Printf.sprintf "undefined label %s" l))
+  in
+  let out = ref [] in
+  if prologue then
+    out :=
+      [ Sass.Instr.make Sass.Opcode.IADD ~dsts:[ Sass.Reg.sp ]
+          ~srcs:[ Sass.Instr.SReg Sass.Reg.sp;
+                  Sass.Instr.SImm (Gpu.Value.of_signed (-frame_bytes)) ] ];
+  Array.iter
+    (fun it ->
+       match it with
+       | Vir.Label _ -> ()
+       | Vir.Ins i ->
+         let target = Option.map resolve i.Vir.vtarget in
+         let instr =
+           Sass.Instr.make i.Vir.vop
+             ~guard:(to_sass_guard i.Vir.vguard)
+             ~dsts:(List.map (fun d -> Sass.Reg.r d) i.Vir.vdsts)
+             ~pdsts:(List.map Sass.Pred.p i.Vir.vpdsts)
+             ~srcs:(List.map to_sass_src i.Vir.vsrcs)
+             ?target
+         in
+         out := instr :: !out)
+    items;
+  let instrs = Array.of_list (List.rev !out) in
+  let kernel =
+    Sass.Program.make ~name ~param_bytes:(4 * nparams) ~frame_bytes
+      ~shared_bytes instrs
+  in
+  Sass.Program.annotate_reconvergence kernel

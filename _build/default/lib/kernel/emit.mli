@@ -1,0 +1,13 @@
+(** Final SASS emission: physical-register VIR items to a
+    {!Sass.Program.kernel}, with label resolution, the stack-frame
+    prologue, and reconvergence-point annotation. *)
+
+exception Emit_error of string
+
+val emit :
+  name:string ->
+  nparams:int ->
+  shared_bytes:int ->
+  frame_bytes:int ->
+  Vir.item array ->
+  Sass.Program.kernel

@@ -1,0 +1,395 @@
+open Ast
+open Vir
+
+exception Lower_error of string
+
+type result = {
+  items : Vir.item array;
+  shared_bytes : int;
+  nparams : int;
+}
+
+type env = {
+  mutable code : item list;  (* reversed *)
+  vars : (string, int) Hashtbl.t;
+  shared_off : (string, int) Hashtbl.t;
+  mutable next_reg : int;
+  mutable next_pred : int;
+  mutable next_label : int;
+}
+
+let emit env it = env.code <- it :: env.code
+
+let fresh_reg env =
+  let r = env.next_reg in
+  env.next_reg <- r + 1;
+  r
+
+let fresh_pred env =
+  let p = env.next_pred in
+  env.next_pred <- p + 1;
+  p
+
+let fresh_label env prefix =
+  let l = env.next_label in
+  env.next_label <- l + 1;
+  Printf.sprintf ".L%s_%d" prefix l
+
+let f32imm f = VImm (Gpu.Value.bits_of_f32 f)
+
+let open_of_ibin = function
+  | Add -> Sass.Opcode.IADD
+  | Sub -> Sass.Opcode.ISUB
+  | Mul -> Sass.Opcode.IMUL
+  | Div -> Sass.Opcode.IDIV Sass.Opcode.Signed
+  | Rem -> Sass.Opcode.IMOD Sass.Opcode.Signed
+  | Udiv -> Sass.Opcode.IDIV Sass.Opcode.Unsigned
+  | Urem -> Sass.Opcode.IMOD Sass.Opcode.Unsigned
+  | Min -> Sass.Opcode.IMNMX Sass.Opcode.Lt
+  | Max -> Sass.Opcode.IMNMX Sass.Opcode.Gt
+  | Shl -> Sass.Opcode.SHL
+  | Shr -> Sass.Opcode.SHR Sass.Opcode.Unsigned
+  | Ashr -> Sass.Opcode.SHR Sass.Opcode.Signed
+  | And -> Sass.Opcode.LOP Sass.Opcode.L_and
+  | Or -> Sass.Opcode.LOP Sass.Opcode.L_or
+  | Xor -> Sass.Opcode.LOP Sass.Opcode.L_xor
+
+(* Lower an expression to a value source. Boolean expressions must go
+   through [lower_cond]. *)
+let rec lower_exp env e : vsrc =
+  match e with
+  | Int n -> VImm (n land Gpu.Value.mask)
+  | Float f -> f32imm f
+  | Var v ->
+    (match Hashtbl.find_opt env.vars v with
+     | Some r -> VReg r
+     | None -> raise (Lower_error (Printf.sprintf "unbound variable %s" v)))
+  | Param i -> VParam (4 * i)
+  | Special s ->
+    let d = fresh_reg env in
+    emit env (ins (Sass.Opcode.S2R s) ~dsts:[ d ]);
+    VReg d
+  | Shared_base name ->
+    (match Hashtbl.find_opt env.shared_off name with
+     | Some off -> VImm off
+     | None ->
+       raise (Lower_error (Printf.sprintf "unknown shared array %s" name)))
+  | Ibin (op, a, b) ->
+    let va = lower_exp env a in
+    let vb = lower_exp env b in
+    let d = fresh_reg env in
+    emit env (ins (open_of_ibin op) ~dsts:[ d ] ~srcs:[ va; vb ]);
+    VReg d
+  | Fbin (Fdiv, a, b) ->
+    let va = lower_exp env a in
+    let vb = lower_exp env b in
+    let rcp = fresh_reg env in
+    emit env (ins (Sass.Opcode.MUFU Sass.Opcode.Rcp) ~dsts:[ rcp ] ~srcs:[ vb ]);
+    let d = fresh_reg env in
+    emit env (ins Sass.Opcode.FMUL ~dsts:[ d ] ~srcs:[ va; VReg rcp ]);
+    VReg d
+  | Fbin (op, a, b) ->
+    let sass_op =
+      match op with
+      | Fadd -> Sass.Opcode.FADD
+      | Fsub -> Sass.Opcode.FSUB
+      | Fmul -> Sass.Opcode.FMUL
+      | Fmin -> Sass.Opcode.FMNMX Sass.Opcode.Lt
+      | Fmax -> Sass.Opcode.FMNMX Sass.Opcode.Gt
+      | Fdiv -> assert false
+    in
+    let va = lower_exp env a in
+    let vb = lower_exp env b in
+    let d = fresh_reg env in
+    emit env (ins sass_op ~dsts:[ d ] ~srcs:[ va; vb ]);
+    VReg d
+  | Ffma (a, b, c) ->
+    let va = lower_exp env a in
+    let vb = lower_exp env b in
+    let vc = lower_exp env c in
+    let d = fresh_reg env in
+    emit env (ins Sass.Opcode.FFMA ~dsts:[ d ] ~srcs:[ va; vb; vc ]);
+    VReg d
+  | Icmp _ | Ucmp _ | Fcmp _ | Not _ | Andb _ | Orb _ ->
+    raise (Lower_error "boolean expression in value context")
+  | Select (c, a, b) ->
+    let p = lower_cond env c in
+    let va = lower_exp env a in
+    let vb = lower_exp env b in
+    let d = fresh_reg env in
+    emit env (ins Sass.Opcode.SEL ~dsts:[ d ] ~srcs:[ va; vb; VPred p ]);
+    VReg d
+  | I2f a ->
+    let va = lower_exp env a in
+    let d = fresh_reg env in
+    emit env (ins (Sass.Opcode.I2F Sass.Opcode.Signed) ~dsts:[ d ] ~srcs:[ va ]);
+    VReg d
+  | U2f a ->
+    let va = lower_exp env a in
+    let d = fresh_reg env in
+    emit env
+      (ins (Sass.Opcode.I2F Sass.Opcode.Unsigned) ~dsts:[ d ] ~srcs:[ va ]);
+    VReg d
+  | F2i a ->
+    let va = lower_exp env a in
+    let d = fresh_reg env in
+    emit env (ins (Sass.Opcode.F2I Sass.Opcode.Signed) ~dsts:[ d ] ~srcs:[ va ]);
+    VReg d
+  | Funary (f, a) ->
+    let va = lower_exp env a in
+    let d = fresh_reg env in
+    emit env (ins (Sass.Opcode.MUFU f) ~dsts:[ d ] ~srcs:[ va ]);
+    VReg d
+  | Popc a ->
+    let va = lower_exp env a in
+    let d = fresh_reg env in
+    emit env (ins Sass.Opcode.POPC ~dsts:[ d ] ~srcs:[ va ]);
+    VReg d
+  | Brev a ->
+    let va = lower_exp env a in
+    let d = fresh_reg env in
+    emit env (ins Sass.Opcode.BREV ~dsts:[ d ] ~srcs:[ va ]);
+    VReg d
+  | Ffs a ->
+    (* __ffs: BREV; FLO; 32 - flo; 0 when input is 0 (flo = -1). *)
+    let va = lower_exp env a in
+    let rev = fresh_reg env in
+    emit env (ins Sass.Opcode.BREV ~dsts:[ rev ] ~srcs:[ va ]);
+    let fl = fresh_reg env in
+    emit env (ins Sass.Opcode.FLO ~dsts:[ fl ] ~srcs:[ VReg rev ]);
+    let p = fresh_pred env in
+    emit env
+      (ins (Sass.Opcode.ISETP (Sass.Opcode.Eq, Sass.Opcode.Signed))
+         ~pdsts:[ p ]
+         ~srcs:[ VReg fl; VImm Gpu.Value.mask ]);
+    let d = fresh_reg env in
+    emit env (ins Sass.Opcode.ISUB ~dsts:[ d ] ~srcs:[ VImm 32; VReg fl ]);
+    emit env (ins Sass.Opcode.SEL ~dsts:[ d ] ~srcs:[ VImm 0; VReg d; VPred p ]);
+    VReg d
+  | Load (space, _ty, addr) ->
+    let base, off = lower_addr env addr in
+    let d = fresh_reg env in
+    emit env
+      (ins (Sass.Opcode.LD (space, Sass.Opcode.W32)) ~dsts:[ d ]
+         ~srcs:[ base; off ]);
+    VReg d
+  | Load8 (space, addr) ->
+    let base, off = lower_addr env addr in
+    let d = fresh_reg env in
+    emit env
+      (ins (Sass.Opcode.LD (space, Sass.Opcode.W8)) ~dsts:[ d ]
+         ~srcs:[ base; off ]);
+    VReg d
+  | Tex (_ty, idx) ->
+    let vi = lower_exp env idx in
+    let d = fresh_reg env in
+    emit env (ins (Sass.Opcode.TLD Sass.Opcode.W32) ~dsts:[ d ] ~srcs:[ vi ]);
+    VReg d
+  | Ballot c ->
+    let p = lower_cond env c in
+    let d = fresh_reg env in
+    emit env
+      (ins (Sass.Opcode.VOTE Sass.Opcode.V_ballot) ~dsts:[ d ]
+         ~srcs:[ VPred p ]);
+    VReg d
+  | Shfl (mode, v, lane) ->
+    let vv = lower_exp env v in
+    let vl = lower_exp env lane in
+    let d = fresh_reg env in
+    emit env (ins (Sass.Opcode.SHFL mode) ~dsts:[ d ] ~srcs:[ vv; vl ]);
+    VReg d
+
+(* Addressing peephole: Add(a, b) splits into base + offset operands. *)
+and lower_addr env addr =
+  match addr with
+  | Ibin (Add, a, b) ->
+    let va = lower_exp env a in
+    let vb = lower_exp env b in
+    (va, vb)
+  | _ ->
+    let va = lower_exp env addr in
+    (va, VImm 0)
+
+(* Lower a boolean expression to a virtual predicate. *)
+and lower_cond env c : int =
+  match c with
+  | Icmp (cmp, a, b) ->
+    let va = lower_exp env a in
+    let vb = lower_exp env b in
+    let p = fresh_pred env in
+    emit env
+      (ins (Sass.Opcode.ISETP (cmp, Sass.Opcode.Signed)) ~pdsts:[ p ]
+         ~srcs:[ va; vb ]);
+    p
+  | Ucmp (cmp, a, b) ->
+    let va = lower_exp env a in
+    let vb = lower_exp env b in
+    let p = fresh_pred env in
+    emit env
+      (ins (Sass.Opcode.ISETP (cmp, Sass.Opcode.Unsigned)) ~pdsts:[ p ]
+         ~srcs:[ va; vb ]);
+    p
+  | Fcmp (cmp, a, b) ->
+    let va = lower_exp env a in
+    let vb = lower_exp env b in
+    let p = fresh_pred env in
+    emit env (ins (Sass.Opcode.FSETP cmp) ~pdsts:[ p ] ~srcs:[ va; vb ]);
+    p
+  | Not a ->
+    let pa = lower_cond env a in
+    let p = fresh_pred env in
+    emit env
+      (ins (Sass.Opcode.PSETP Sass.Opcode.L_not) ~pdsts:[ p ]
+         ~srcs:[ VPred pa ]);
+    p
+  | Andb (a, b) ->
+    let pa = lower_cond env a in
+    let pb = lower_cond env b in
+    let p = fresh_pred env in
+    emit env
+      (ins (Sass.Opcode.PSETP Sass.Opcode.L_and) ~pdsts:[ p ]
+         ~srcs:[ VPred pa; VPred pb ]);
+    p
+  | Orb (a, b) ->
+    let pa = lower_cond env a in
+    let pb = lower_cond env b in
+    let p = fresh_pred env in
+    emit env
+      (ins (Sass.Opcode.PSETP Sass.Opcode.L_or) ~pdsts:[ p ]
+         ~srcs:[ VPred pa; VPred pb ]);
+    p
+  | _ -> raise (Lower_error "value expression in boolean context")
+
+let assign_var env v src =
+  let d =
+    match Hashtbl.find_opt env.vars v with
+    | Some r -> r
+    | None ->
+      let r = fresh_reg env in
+      Hashtbl.replace env.vars v r;
+      r
+  in
+  emit env (ins Sass.Opcode.MOV ~dsts:[ d ] ~srcs:[ src ])
+
+let rec lower_stmt env s =
+  match s with
+  | Let (v, _ty, e) ->
+    let src = lower_exp env e in
+    (* A fresh register per declaration (shadowing-safe). *)
+    Hashtbl.remove env.vars v;
+    assign_var env v src
+  | Set (v, e) ->
+    let src = lower_exp env e in
+    (match Hashtbl.find_opt env.vars v with
+     | Some d -> emit env (ins Sass.Opcode.MOV ~dsts:[ d ] ~srcs:[ src ])
+     | None -> raise (Lower_error (Printf.sprintf "assignment to unbound %s" v)))
+  | Store (space, addr, v) ->
+    let base, off = lower_addr env addr in
+    let vv = lower_exp env v in
+    emit env
+      (ins (Sass.Opcode.ST (space, Sass.Opcode.W32)) ~srcs:[ base; off; vv ])
+  | Store8 (space, addr, v) ->
+    let base, off = lower_addr env addr in
+    let vv = lower_exp env v in
+    emit env
+      (ins (Sass.Opcode.ST (space, Sass.Opcode.W8)) ~srcs:[ base; off; vv ])
+  | If (c, then_s, else_s) ->
+    let p = lower_cond env c in
+    let l_end = fresh_label env "endif" in
+    (match else_s with
+     | [] ->
+       emit env
+         (ins Sass.Opcode.BRA
+            ~guard:{ g_pred = Some p; g_neg = true }
+            ~target:l_end);
+       List.iter (lower_stmt env) then_s;
+       emit env (Label l_end)
+     | _ ->
+       let l_else = fresh_label env "else" in
+       emit env
+         (ins Sass.Opcode.BRA
+            ~guard:{ g_pred = Some p; g_neg = true }
+            ~target:l_else);
+       List.iter (lower_stmt env) then_s;
+       emit env (ins Sass.Opcode.BRA ~target:l_end);
+       emit env (Label l_else);
+       List.iter (lower_stmt env) else_s;
+       emit env (Label l_end))
+  | While (c, body) ->
+    let l_head = fresh_label env "while" in
+    let l_end = fresh_label env "endwhile" in
+    emit env (Label l_head);
+    let p = lower_cond env c in
+    emit env
+      (ins Sass.Opcode.BRA
+         ~guard:{ g_pred = Some p; g_neg = true }
+         ~target:l_end);
+    List.iter (lower_stmt env) body;
+    emit env (ins Sass.Opcode.BRA ~target:l_head);
+    emit env (Label l_end)
+  | For (v, lo, hi, body) ->
+    lower_stmt env (Let (v, I32, lo));
+    lower_stmt env
+      (While
+         ( Icmp (Sass.Opcode.Lt, Var v, hi),
+           body @ [ Set (v, Ibin (Add, Var v, Int 1)) ] ))
+  | Atomic (aop, space, addr, v) ->
+    let base, off = lower_addr env addr in
+    let vv = lower_exp env v in
+    emit env
+      (ins (Sass.Opcode.RED (space, atom_to_sass aop, Sass.Opcode.W32))
+         ~srcs:[ base; off; vv ])
+  | Atomic_ret (dst, aop, space, addr, v) ->
+    let base, off = lower_addr env addr in
+    let vv = lower_exp env v in
+    let d =
+      match Hashtbl.find_opt env.vars dst with
+      | Some r -> r
+      | None -> raise (Lower_error (Printf.sprintf "unbound %s" dst))
+    in
+    emit env
+      (ins (Sass.Opcode.ATOM (space, atom_to_sass aop, Sass.Opcode.W32))
+         ~dsts:[ d ]
+         ~srcs:[ base; off; vv ])
+  | Atomic_cas (dst, space, addr, cmp, swap) ->
+    let base, off = lower_addr env addr in
+    let vc = lower_exp env cmp in
+    let vs = lower_exp env swap in
+    let d =
+      match Hashtbl.find_opt env.vars dst with
+      | Some r -> r
+      | None -> raise (Lower_error (Printf.sprintf "unbound %s" dst))
+    in
+    emit env
+      (ins (Sass.Opcode.ATOM (space, Sass.Opcode.A_cas, Sass.Opcode.W32))
+         ~dsts:[ d ]
+         ~srcs:[ base; off; vc; vs ])
+  | Sync -> emit env (ins Sass.Opcode.BAR)
+  | Exit_if c ->
+    let p = lower_cond env c in
+    emit env
+      (ins Sass.Opcode.EXIT ~guard:{ g_pred = Some p; g_neg = false })
+  | Nop_mark id -> emit env (ins Sass.Opcode.NOP ~srcs:[ VImm id ])
+
+let lower (k : kernel) =
+  let env =
+    { code = [];
+      vars = Hashtbl.create 32;
+      shared_off = Hashtbl.create 8;
+      next_reg = 0;
+      next_pred = 0;
+      next_label = 0 }
+  in
+  let shared_bytes =
+    List.fold_left
+      (fun off (name, bytes) ->
+         Hashtbl.replace env.shared_off name off;
+         (* 8-byte align each array. *)
+         off + ((bytes + 7) land lnot 7))
+      0 k.k_shared
+  in
+  List.iter (lower_stmt env) k.k_body;
+  emit env (ins Sass.Opcode.EXIT);
+  { items = Array.of_list (List.rev env.code);
+    shared_bytes;
+    nparams = List.length k.k_params }

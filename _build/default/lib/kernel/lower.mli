@@ -1,0 +1,15 @@
+(** Lowering from the kernel AST to the virtual-register IR.
+
+    Assumes the kernel already passed {!Typecheck.check}. Booleans
+    lower to virtual predicates; [For] desugars to [While] with a
+    C-style re-evaluated bound; a trailing [EXIT] is appended. *)
+
+exception Lower_error of string
+
+type result = {
+  items : Vir.item array;
+  shared_bytes : int;  (** total static shared memory *)
+  nparams : int;
+}
+
+val lower : Ast.kernel -> result

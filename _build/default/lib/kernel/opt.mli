@@ -1,0 +1,20 @@
+(** Backend optimizations over the virtual-register IR:
+    integer/float constant folding, block-local copy and constant
+    propagation, and liveness-based dead-code elimination. Run before
+    register allocation; all passes preserve semantics for any lane
+    mask (guarded instructions are treated as barriers to killing). *)
+
+val constant_fold : Vir.item array -> Vir.item array
+
+val cse : Vir.item array -> Vir.item array
+(** Block-local common-subexpression elimination by value numbering
+    over pure operations (including non-volatile special-register
+    reads, so repeated S2Rs collapse). *)
+
+val copy_propagate : Vir.item array -> Vir.item array
+
+val dead_code_eliminate : Vir.item array -> Vir.item array
+
+val optimize : ?level:int -> Vir.item array -> Vir.item array
+(** [level 0]: nothing; [level 1] (default): fold + propagate + DCE to
+    a fixpoint (bounded). *)

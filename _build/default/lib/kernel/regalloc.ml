@@ -1,0 +1,188 @@
+open Vir
+
+exception Alloc_error of string
+
+type result = {
+  items : Vir.item array;
+  frame_bytes : int;
+  regs_used : int;
+  spilled : int;
+}
+
+let scratch_count = 4
+
+(* Linear scan over sorted intervals. Returns (assignment, spilled). *)
+let scan ~pool intervals =
+  let assignment : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let spilled : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let free = ref pool in
+  (* active: (end, vreg, phys) sorted by end ascending *)
+  let active = ref [] in
+  let expire start =
+    let rec go = function
+      | (e, _, phys) :: rest when e < start ->
+        free := phys :: !free;
+        go rest
+      | rest -> rest
+    in
+    active := go !active
+  in
+  let insert_active entry =
+    let rec go = function
+      | [] -> [ entry ]
+      | ((e, _, _) as hd) :: rest ->
+        let e_new, _, _ = entry in
+        if e_new <= e then entry :: hd :: rest else hd :: go rest
+    in
+    active := go !active
+  in
+  List.iter
+    (fun (v, (start, stop)) ->
+       expire start;
+       match !free with
+       | phys :: rest ->
+         free := rest;
+         Hashtbl.replace assignment v phys;
+         insert_active (stop, v, phys)
+       | [] ->
+         (* Spill the interval that ends last. *)
+         (match List.rev !active with
+          | (e_last, v_last, phys_last) :: _ when e_last > stop ->
+            Hashtbl.remove assignment v_last;
+            Hashtbl.replace spilled v_last ();
+            active :=
+              List.filter (fun (_, v', _) -> v' <> v_last) !active;
+            Hashtbl.replace assignment v phys_last;
+            insert_active (stop, v, phys_last)
+          | _ -> Hashtbl.replace spilled v ()))
+    intervals;
+  (assignment, spilled)
+
+let allocate ?(max_regs = 63) items =
+  if max_regs < 8 then
+    raise (Alloc_error "max_regs must be at least 8");
+  let cfg = build_cfg items in
+  let lv = liveness items cfg in
+  let reg_ranges = reg_live_ranges items cfg lv in
+  let pred_ranges = pred_live_ranges items cfg lv in
+  (* Physical GPR pool: R0, R2..R(max-1), minus the top scratch_count
+     registers reserved for spill code. *)
+  let all_regs =
+    0 :: List.init (max_regs - 2) (fun i -> i + 2)
+  in
+  let rec split_at n l =
+    if n = 0 then ([], l)
+    else
+      match l with
+      | [] -> ([], [])
+      | x :: rest ->
+        let a, b = split_at (n - 1) rest in
+        (x :: a, b)
+  in
+  let nalloc = List.length all_regs - scratch_count in
+  if nalloc < 1 then raise (Alloc_error "no allocatable registers");
+  let pool, scratch = split_at nalloc all_regs in
+  let scratch = Array.of_list scratch in
+  let assignment, spilled_tbl = scan ~pool reg_ranges in
+  let pred_pool = [ 0; 1; 2; 3; 4; 5; 6 ] in
+  let pred_assignment, pred_spilled = scan ~pool:pred_pool pred_ranges in
+  if Hashtbl.length pred_spilled > 0 then
+    raise
+      (Alloc_error
+         "predicate pressure exceeds 7 physical predicates; restructure \
+          the kernel");
+  (* Frame slots for spilled vregs. *)
+  let slot_of : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let next_slot = ref 0 in
+  Hashtbl.iter
+    (fun v () ->
+       Hashtbl.replace slot_of v !next_slot;
+       incr next_slot)
+    spilled_tbl;
+  let frame_bytes = (!next_slot * 4 + 15) land lnot 15 in
+  let phys_of v =
+    match Hashtbl.find_opt assignment v with
+    | Some p -> p
+    | None -> raise (Alloc_error (Printf.sprintf "virtual v%d unallocated" v))
+  in
+  let ppred_of p =
+    match Hashtbl.find_opt pred_assignment p with
+    | Some q -> q
+    | None -> raise (Alloc_error (Printf.sprintf "predicate vp%d unallocated" p))
+  in
+  let is_spilled v = Hashtbl.mem slot_of v in
+  let regs_used = ref 2 (* R0,R1 at least *) in
+  let see_phys p = if p + 1 > !regs_used then regs_used := p + 1 in
+  let out = ref [] in
+  let emit it = out := it :: !out in
+  Array.iter
+    (fun it ->
+       match it with
+       | Label _ -> emit it
+       | Ins i ->
+         (* Fill spilled sources into scratch registers. *)
+         let next_scratch = ref 0 in
+         let take_scratch () =
+           if !next_scratch >= Array.length scratch then
+             raise (Alloc_error "too many spilled operands in one instruction");
+           let s = scratch.(!next_scratch) in
+           incr next_scratch;
+           s
+         in
+         let srcs =
+           List.map
+             (fun s ->
+                match s with
+                | VReg v when is_spilled v ->
+                  let slot = Hashtbl.find slot_of v in
+                  let sc = take_scratch () in
+                  see_phys sc;
+                  emit
+                    (ins (Sass.Opcode.LD (Sass.Opcode.Local, Sass.Opcode.W32))
+                       ~dsts:[ sc ]
+                       ~srcs:[ VReg 1; VImm (slot * 4) ]);
+                  VReg sc
+                | VReg v ->
+                  let p = phys_of v in
+                  see_phys p;
+                  VReg p
+                | VPred p -> VPred (ppred_of p)
+                | VImm _ | VParam _ -> s)
+             i.vsrcs
+         in
+         let guard =
+           match i.vguard.g_pred with
+           | None -> i.vguard
+           | Some p -> { i.vguard with g_pred = Some (ppred_of p) }
+         in
+         let spill_after = ref [] in
+         let dsts =
+           List.map
+             (fun d ->
+                if is_spilled d then begin
+                  let slot = Hashtbl.find slot_of d in
+                  let sc = scratch.(0) in
+                  see_phys sc;
+                  spill_after :=
+                    ins (Sass.Opcode.ST (Sass.Opcode.Local, Sass.Opcode.W32))
+                      ~guard
+                      ~srcs:[ VReg 1; VImm (slot * 4); VReg sc ]
+                    :: !spill_after;
+                  sc
+                end
+                else begin
+                  let p = phys_of d in
+                  see_phys p;
+                  p
+                end)
+             i.vdsts
+         in
+         let pdsts = List.map ppred_of i.vpdsts in
+         emit (Ins { i with vguard = guard; vdsts = dsts; vpdsts = pdsts;
+                     vsrcs = srcs });
+         List.iter emit (List.rev !spill_after))
+    items;
+  { items = Array.of_list (List.rev !out);
+    frame_bytes;
+    regs_used = !regs_used;
+    spilled = Hashtbl.length spilled_tbl }

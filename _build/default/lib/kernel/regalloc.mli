@@ -1,0 +1,23 @@
+(** Linear-scan register allocation.
+
+    Maps virtual registers to physical GPRs ([R0], [R2..Rmax]; [R1] is
+    the ABI stack pointer) and virtual predicates to [P0..P6].
+    Intervals that do not fit are spilled to the thread's local-memory
+    frame, with fills/spills through reserved scratch registers.
+
+    After allocation, every [VReg n] in the returned items denotes the
+    physical register [Rn] and every [VPred n] the physical [Pn]. *)
+
+exception Alloc_error of string
+
+type result = {
+  items : Vir.item array;
+  frame_bytes : int;  (** spill area, 16-byte rounded *)
+  regs_used : int;
+  spilled : int;  (** number of spilled virtual registers *)
+}
+
+val allocate : ?max_regs:int -> Vir.item array -> result
+(** @raise Alloc_error when predicate pressure exceeds the 7 physical
+    predicates (predicates are not spillable here), or when [max_regs]
+    leaves no allocatable registers. *)

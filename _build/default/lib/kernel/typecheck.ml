@@ -1,0 +1,226 @@
+open Ast
+
+type error = {
+  where : string;
+  message : string;
+}
+
+let error_to_string e = Printf.sprintf "%s: %s" e.where e.message
+
+let ( let* ) = Result.bind
+
+let rec type_of_exp ~params ~shared ~locals e =
+  let recur e = type_of_exp ~params ~shared ~locals e in
+  let expect want e what =
+    let* t = recur e in
+    if t = want then Ok ()
+    else
+      Error
+        (Format.asprintf "%s must be %a, got %a" what pp_ty want pp_ty t)
+  in
+  match e with
+  | Int _ -> Ok I32
+  | Float _ -> Ok F32
+  | Var v ->
+    (match List.assoc_opt v locals with
+     | Some t -> Ok t
+     | None -> Error (Printf.sprintf "unbound variable %s" v))
+  | Param i ->
+    (match List.nth_opt params i with
+     | Some (_, t) when t <> Bool -> Ok t
+     | Some (n, _) -> Error (Printf.sprintf "parameter %s cannot be bool" n)
+     | None -> Error (Printf.sprintf "parameter index %d out of range" i))
+  | Special _ -> Ok I32
+  | Shared_base name ->
+    if List.mem_assoc name shared then Ok I32
+    else Error (Printf.sprintf "unknown shared array %s" name)
+  | Ibin (_, a, b) ->
+    let* () = expect I32 a "integer operand" in
+    let* () = expect I32 b "integer operand" in
+    Ok I32
+  | Fbin (_, a, b) ->
+    let* () = expect F32 a "float operand" in
+    let* () = expect F32 b "float operand" in
+    Ok F32
+  | Ffma (a, b, c) ->
+    let* () = expect F32 a "ffma operand" in
+    let* () = expect F32 b "ffma operand" in
+    let* () = expect F32 c "ffma operand" in
+    Ok F32
+  | Icmp (_, a, b) | Ucmp (_, a, b) ->
+    let* () = expect I32 a "compare operand" in
+    let* () = expect I32 b "compare operand" in
+    Ok Bool
+  | Fcmp (_, a, b) ->
+    let* () = expect F32 a "compare operand" in
+    let* () = expect F32 b "compare operand" in
+    Ok Bool
+  | Not a ->
+    let* () = expect Bool a "logic operand" in
+    Ok Bool
+  | Andb (a, b) | Orb (a, b) ->
+    let* () = expect Bool a "logic operand" in
+    let* () = expect Bool b "logic operand" in
+    Ok Bool
+  | Select (c, a, b) ->
+    let* () = expect Bool c "select condition" in
+    let* ta = recur a in
+    let* tb = recur b in
+    if ta = Bool then Error "select arms cannot be bool"
+    else if ta = tb then Ok ta
+    else Error "select arms must have the same type"
+  | I2f a | U2f a ->
+    let* () = expect I32 a "conversion operand" in
+    Ok F32
+  | F2i a ->
+    let* () = expect F32 a "conversion operand" in
+    Ok I32
+  | Funary (_, a) ->
+    let* () = expect F32 a "mufu operand" in
+    Ok F32
+  | Popc a | Brev a | Ffs a ->
+    let* () = expect I32 a "bit operand" in
+    Ok I32
+  | Load (space, t, addr) ->
+    let* () = expect I32 addr "address" in
+    (match space, t with
+     | _, Bool -> Error "cannot load bool"
+     | Sass.Opcode.Tex, _ -> Error "use Tex for texture fetches"
+     | _, _ -> Ok t)
+  | Load8 (space, addr) ->
+    let* () = expect I32 addr "address" in
+    (match space with
+     | Sass.Opcode.Tex -> Error "use Tex for texture fetches"
+     | _ -> Ok I32)
+  | Tex (t, idx) ->
+    let* () = expect I32 idx "texture index" in
+    if t = Bool then Error "cannot fetch bool texture" else Ok t
+  | Ballot a ->
+    let* () = expect Bool a "ballot operand" in
+    Ok I32
+  | Shfl (_, v, lane) ->
+    let* tv = recur v in
+    let* () = expect I32 lane "shuffle lane" in
+    if tv = Bool then Error "cannot shuffle bool" else Ok tv
+
+let check k =
+  let params = k.k_params in
+  let shared = k.k_shared in
+  let fail where message = Error { where; message } in
+  let rec check_stmts ~locals ~where stmts =
+    match stmts with
+    | [] -> Ok locals
+    | s :: rest ->
+      let* locals = check_stmt ~locals ~where s in
+      check_stmts ~locals ~where rest
+  and check_exp ~locals ~where want e what =
+    match type_of_exp ~params ~shared ~locals e with
+    | Error m -> fail where m
+    | Ok t ->
+      if t = want then Ok ()
+      else
+        fail where
+          (Format.asprintf "%s must be %a, got %a" what pp_ty want pp_ty t)
+  and check_value_exp ~locals ~where e what =
+    match type_of_exp ~params ~shared ~locals e with
+    | Error m -> fail where m
+    | Ok Bool -> fail where (what ^ " cannot be bool")
+    | Ok t -> Ok t
+  and check_stmt ~locals ~where s =
+    match s with
+    | Let (v, t, e) ->
+      if t = Bool then
+        fail where
+          (Printf.sprintf
+             "local %s: bool locals are not allowed (use Select)" v)
+      else if List.mem_assoc v locals then
+        fail where (Printf.sprintf "variable %s already declared" v)
+      else (
+        match type_of_exp ~params ~shared ~locals e with
+        | Error m -> fail where m
+        | Ok te ->
+          if te = t then Ok ((v, t) :: locals)
+          else
+            fail where
+              (Format.asprintf "let %s: declared %a but initializer is %a" v
+                 pp_ty t pp_ty te))
+    | Set (v, e) ->
+      (match List.assoc_opt v locals with
+       | None -> fail where (Printf.sprintf "assignment to unbound %s" v)
+       | Some t ->
+         let* () = check_exp ~locals ~where t e ("assignment to " ^ v) in
+         Ok locals)
+    | Store (space, addr, v) ->
+      (match space with
+       | Sass.Opcode.Param -> fail where "the constant bank is read-only"
+       | Sass.Opcode.Tex -> fail where "textures cannot be stored to"
+       | _ ->
+         let* () = check_exp ~locals ~where I32 addr "store address" in
+         let* _ = check_value_exp ~locals ~where v "stored value" in
+         Ok locals)
+    | Store8 (space, addr, v) ->
+      (match space with
+       | Sass.Opcode.Param -> fail where "the constant bank is read-only"
+       | Sass.Opcode.Tex -> fail where "textures cannot be stored to"
+       | _ ->
+         let* () = check_exp ~locals ~where I32 addr "store address" in
+         let* () = check_exp ~locals ~where I32 v "stored byte" in
+         Ok locals)
+    | If (c, t, f) ->
+      let* () = check_exp ~locals ~where Bool c "if condition" in
+      let* _ = check_stmts ~locals ~where:(where ^ "/if-then") t in
+      let* _ = check_stmts ~locals ~where:(where ^ "/if-else") f in
+      Ok locals
+    | While (c, body) ->
+      let* () = check_exp ~locals ~where Bool c "while condition" in
+      let* _ = check_stmts ~locals ~where:(where ^ "/while") body in
+      Ok locals
+    | For (v, lo, hi, body) ->
+      let* () = check_exp ~locals ~where I32 lo "for lower bound" in
+      let* () = check_exp ~locals ~where I32 hi "for upper bound" in
+      if List.mem_assoc v locals then
+        fail where (Printf.sprintf "for variable %s shadows a local" v)
+      else
+        let* _ =
+          check_stmts ~locals:((v, I32) :: locals) ~where:(where ^ "/for") body
+        in
+        Ok locals
+    | Atomic (_, space, addr, v) ->
+      (match space with
+       | Sass.Opcode.Global | Sass.Opcode.Shared ->
+         let* () = check_exp ~locals ~where I32 addr "atomic address" in
+         let* () = check_exp ~locals ~where I32 v "atomic operand" in
+         Ok locals
+       | _ -> fail where "atomics require global or shared space")
+    | Atomic_ret (dst, _, space, addr, v) ->
+      (match space with
+       | Sass.Opcode.Global | Sass.Opcode.Shared ->
+         (match List.assoc_opt dst locals with
+          | Some I32 ->
+            let* () = check_exp ~locals ~where I32 addr "atomic address" in
+            let* () = check_exp ~locals ~where I32 v "atomic operand" in
+            Ok locals
+          | Some _ -> fail where "atomic result variable must be i32"
+          | None ->
+            fail where (Printf.sprintf "atomic result %s is unbound" dst))
+       | _ -> fail where "atomics require global or shared space")
+    | Atomic_cas (dst, space, addr, cmp, swap) ->
+      (match space with
+       | Sass.Opcode.Global | Sass.Opcode.Shared ->
+         (match List.assoc_opt dst locals with
+          | Some I32 ->
+            let* () = check_exp ~locals ~where I32 addr "cas address" in
+            let* () = check_exp ~locals ~where I32 cmp "cas compare" in
+            let* () = check_exp ~locals ~where I32 swap "cas swap" in
+            Ok locals
+          | Some _ -> fail where "cas result variable must be i32"
+          | None -> fail where (Printf.sprintf "cas result %s is unbound" dst))
+       | _ -> fail where "atomics require global or shared space")
+    | Sync -> Ok locals
+    | Exit_if c ->
+      let* () = check_exp ~locals ~where Bool c "exit condition" in
+      Ok locals
+    | Nop_mark _ -> Ok locals
+  in
+  let* _ = check_stmts ~locals:[] ~where:k.k_name k.k_body in
+  Ok ()

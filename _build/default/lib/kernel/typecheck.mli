@@ -1,0 +1,23 @@
+(** Static checks for kernel ASTs: variable scoping and types,
+    parameter indices, shared-array names, space legality (the
+    constant bank is read-only, textures cannot be stored to), and
+    the no-[Bool]-locals rule (booleans live in predicate registers
+    and may not be stored in variables; materialize them with
+    [Select]). *)
+
+type error = {
+  where : string;  (** enclosing kernel and statement context *)
+  message : string;
+}
+
+val check : Ast.kernel -> (unit, error) result
+
+val error_to_string : error -> string
+
+val type_of_exp :
+  params:(string * Ast.ty) list ->
+  shared:(string * int) list ->
+  locals:(string * Ast.ty) list ->
+  Ast.exp ->
+  (Ast.ty, string) result
+(** Exposed for tests. *)

@@ -1,0 +1,80 @@
+(** The backend's virtual-register IR (the PTX analogue): SASS opcodes
+    over unbounded virtual registers and virtual predicates, with
+    symbolic labels. Lowering produces it; optimization and register
+    allocation rewrite it; {!Emit} turns it into SASS. *)
+
+type vsrc =
+  | VReg of int
+  | VImm of int
+  | VParam of int  (** byte offset in the constant bank *)
+  | VPred of int
+
+type guard = {
+  g_pred : int option;  (** [None]: always execute *)
+  g_neg : bool;
+}
+
+val always : guard
+
+type vinstr = {
+  vop : Sass.Opcode.t;
+  vguard : guard;
+  vdsts : int list;  (** virtual registers written *)
+  vpdsts : int list;  (** virtual predicates written *)
+  vsrcs : vsrc list;
+  vtarget : string option;  (** branch target label *)
+}
+
+type item =
+  | Label of string
+  | Ins of vinstr
+
+val ins :
+  ?guard:guard ->
+  ?dsts:int list ->
+  ?pdsts:int list ->
+  ?srcs:vsrc list ->
+  ?target:string ->
+  Sass.Opcode.t ->
+  item
+
+val reg_uses : vinstr -> int list
+
+val pred_uses : vinstr -> int list
+
+val has_side_effect : vinstr -> bool
+(** Memory writes, atomics, control flow, barriers: instructions DCE
+    must keep even if their results are dead. *)
+
+(** {1 CFG and liveness over item arrays} *)
+
+type cfg
+
+val build_cfg : item array -> cfg
+
+val block_count : cfg -> int
+
+val block_range : cfg -> int -> int * int
+(** Item-index range (first, last) of a block, inclusive. *)
+
+val block_succs : cfg -> int -> int list
+
+val block_of_item : cfg -> int -> int
+
+type liveness
+
+val liveness : item array -> cfg -> liveness
+
+val live_out_regs : liveness -> block:int -> int list
+
+val live_out_preds : liveness -> block:int -> int list
+
+val reg_live_ranges : item array -> cfg -> liveness -> (int * (int * int)) list
+(** Conservative live interval (first, last item index) per virtual
+    register, suitable for linear-scan allocation. *)
+
+val pred_live_ranges : item array -> cfg -> liveness -> (int * (int * int)) list
+
+val pp_item : Format.formatter -> item -> unit
+
+val pp_items : Format.formatter -> item array -> unit

@@ -1,0 +1,1 @@
+lib/sass/cfg.ml: Array Format Instr Int List Opcode Pred

@@ -1,0 +1,1 @@
+lib/sass/cfg.mli: Format Instr

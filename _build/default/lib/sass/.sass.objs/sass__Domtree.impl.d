@@ -1,0 +1,1 @@
+lib/sass/domtree.ml: Array Cfg List

@@ -1,0 +1,1 @@
+lib/sass/domtree.mli: Cfg

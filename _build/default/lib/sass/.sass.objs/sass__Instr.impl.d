@@ -1,0 +1,1 @@
+lib/sass/instr.ml: Format List Opcode Pred Reg

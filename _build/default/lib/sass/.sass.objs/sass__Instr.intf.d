@@ -1,0 +1,1 @@
+lib/sass/instr.mli: Format Opcode Pred Reg

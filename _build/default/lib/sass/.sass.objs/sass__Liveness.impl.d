@@ -1,0 +1,1 @@
+lib/sass/liveness.ml: Array Cfg Instr List Pred Reg

@@ -1,0 +1,1 @@
+lib/sass/liveness.mli: Instr Pred Reg

@@ -1,0 +1,1 @@
+lib/sass/opcode.ml: Format Printf

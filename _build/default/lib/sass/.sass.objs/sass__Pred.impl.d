@@ -1,0 +1,1 @@
+lib/sass/pred.ml: Format Int Printf

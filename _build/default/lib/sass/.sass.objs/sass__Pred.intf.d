@@ -1,0 +1,1 @@
+lib/sass/pred.mli: Format

@@ -1,0 +1,1 @@
+lib/sass/program.ml: Array Cfg Domtree Format Instr List Opcode Printf Reg

@@ -1,0 +1,1 @@
+lib/sass/program.mli: Format Instr

@@ -1,0 +1,1 @@
+lib/sass/reg.ml: Format Int Printf

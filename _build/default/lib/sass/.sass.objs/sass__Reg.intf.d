@@ -1,0 +1,1 @@
+lib/sass/reg.mli: Format

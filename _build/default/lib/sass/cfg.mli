@@ -1,0 +1,31 @@
+(** Control-flow graph over an instruction array.
+
+    PCs are instruction indices. Basic blocks are maximal straight-line
+    ranges; [CAL] and [HCALL] are treated as straight-line (they return
+    to the following instruction). *)
+
+type block = {
+  id : int;
+  first : int;  (** PC of first instruction *)
+  last : int;  (** PC of last instruction (inclusive) *)
+  succs : int list;  (** successor block ids *)
+  preds : int list;  (** predecessor block ids *)
+}
+
+type t = {
+  blocks : block array;
+  block_of_pc : int array;  (** PC -> block id *)
+}
+
+val instr_successors : Instr.t array -> int -> int list
+(** Successor PCs of the instruction at the given PC. *)
+
+val build : Instr.t array -> t
+
+val block_at : t -> int -> block
+(** Block containing the given PC. *)
+
+val exit_blocks : t -> int list
+(** Ids of blocks with no successors. *)
+
+val pp : Format.formatter -> t -> unit

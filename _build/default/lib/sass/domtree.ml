@@ -1,0 +1,97 @@
+(* Immediate post-dominators via Cooper-Harvey-Kennedy on the reversed
+   CFG. Nodes are block ids 0..n-1 plus a virtual exit node [n] that
+   every exit block points to (in the reversed graph, the virtual exit
+   is the root). *)
+
+type t = {
+  idom : int array;  (* immediate post-dominator; n = virtual exit *)
+  virtual_exit : int;
+}
+
+let post_dominators (cfg : Cfg.t) =
+  let n = Array.length cfg.Cfg.blocks in
+  let virtual_exit = n in
+  (* Reversed graph: edges succ -> pred become pred lists = succs of the
+     original, so "predecessors" of node b in the reversed graph are the
+     original successors of b... We need, for the dominator algorithm
+     rooted at virtual_exit, preds(b) in the reversed graph = original
+     successors of b (plus virtual_exit for exit blocks). *)
+  let rev_preds b =
+    if b = virtual_exit then []
+    else
+      let succs = cfg.Cfg.blocks.(b).Cfg.succs in
+      if succs = [] then [ virtual_exit ] else succs
+  in
+  (* Reverse postorder of the reversed graph starting from the root
+     (virtual exit): DFS following reversed edges, i.e. original
+     predecessor edges, plus edges from virtual_exit to exit blocks. *)
+  let rev_succs b =
+    if b = virtual_exit then Cfg.exit_blocks cfg
+    else cfg.Cfg.blocks.(b).Cfg.preds
+  in
+  let visited = Array.make (n + 1) false in
+  let postorder = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs (rev_succs b);
+      postorder := b :: !postorder
+    end
+  in
+  dfs virtual_exit;
+  let rpo = Array.of_list !postorder in
+  let rpo_number = Array.make (n + 1) (-1) in
+  Array.iteri (fun i b -> rpo_number.(b) <- i) rpo;
+  let idom = Array.make (n + 1) (-1) in
+  idom.(virtual_exit) <- virtual_exit;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while rpo_number.(!f1) > rpo_number.(!f2) do f1 := idom.(!f1) done;
+      while rpo_number.(!f2) > rpo_number.(!f1) do f2 := idom.(!f2) done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+         if b <> virtual_exit && rpo_number.(b) >= 0 then begin
+           let preds =
+             List.filter (fun p -> idom.(p) <> -1 && rpo_number.(p) >= 0)
+               (rev_preds b)
+           in
+           match preds with
+           | [] -> ()
+           | first :: rest ->
+             let new_idom = List.fold_left intersect first rest in
+             if idom.(b) <> new_idom then begin
+               idom.(b) <- new_idom;
+               changed := true
+             end
+         end)
+      rpo
+  done;
+  { idom; virtual_exit }
+
+let ipdom t b =
+  let d = t.idom.(b) in
+  if d = t.virtual_exit || d = -1 then None else Some d
+
+let post_dominates t a b =
+  let rec walk x =
+    if x = a then true
+    else if x = t.virtual_exit || x = -1 then a = t.virtual_exit
+    else
+      let next = t.idom.(x) in
+      if next = x then x = a
+      else walk next
+  in
+  walk b
+
+let reconvergence_pc cfg t pc =
+  let b = cfg.Cfg.block_of_pc.(pc) in
+  match ipdom t b with
+  | None -> None
+  | Some d -> Some cfg.Cfg.blocks.(d).Cfg.first

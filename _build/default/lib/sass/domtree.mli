@@ -1,0 +1,26 @@
+(** Post-dominator analysis, used to compute SIMT reconvergence points.
+
+    The immediate post-dominator of a conditional branch's block is the
+    earliest program point through which every path from the branch to
+    kernel exit must pass — exactly where NVIDIA's divergence stack
+    reconverges the warp (paper, Section 5). *)
+
+type t
+
+val post_dominators : Cfg.t -> t
+(** Computes immediate post-dominators with the iterative
+    Cooper-Harvey-Kennedy algorithm over the reversed CFG, using a
+    virtual exit node that all exit blocks reach. *)
+
+val ipdom : t -> int -> int option
+(** [ipdom t b] is the immediate post-dominator block of block [b], or
+    [None] if only the virtual exit post-dominates [b]. *)
+
+val post_dominates : t -> int -> int -> bool
+(** [post_dominates t a b] is true iff block [a] post-dominates
+    block [b] (reflexive). *)
+
+val reconvergence_pc : Cfg.t -> t -> int -> int option
+(** [reconvergence_pc cfg t pc] is the reconvergence PC for a
+    conditional branch at [pc]: the first instruction of the branch
+    block's immediate post-dominator. *)

@@ -1,0 +1,103 @@
+type src =
+  | SReg of Reg.t
+  | SImm of int
+  | SParam of int
+  | SPred of Pred.t
+
+type t = {
+  op : Opcode.t;
+  guard : Pred.guard;
+  dsts : Reg.t list;
+  pdsts : Pred.t list;
+  srcs : src list;
+  target : int option;
+  reconv : int option;
+}
+
+let make ?(guard = Pred.always) ?(dsts = []) ?(pdsts = []) ?(srcs = [])
+    ?target ?reconv op =
+  { op; guard; dsts; pdsts; srcs; target; reconv }
+
+let defs t = List.filter (fun r -> not (Reg.is_zero r)) t.dsts
+
+let src_regs srcs =
+  List.filter_map
+    (function
+      | SReg r when not (Reg.is_zero r) -> Some r
+      | SReg _ | SImm _ | SParam _ | SPred _ -> None)
+    srcs
+
+let uses t = src_regs t.srcs
+
+let all_preds = [ Pred.p 0; Pred.p 1; Pred.p 2; Pred.p 3;
+                  Pred.p 4; Pred.p 5; Pred.p 6 ]
+
+let pdefs t =
+  let explicit = List.filter (fun p -> not (Pred.is_true p)) t.pdsts in
+  match t.op with
+  | Opcode.R2P -> all_preds
+  | _ -> explicit
+
+let puses t =
+  let guard_pred =
+    if Pred.is_true t.guard.pred then []
+    else [ t.guard.pred ]
+  in
+  let srcs =
+    List.filter_map
+      (function
+        | SPred p when not (Pred.is_true p) -> Some p
+        | SPred _ | SReg _ | SImm _ | SParam _ -> None)
+      t.srcs
+  in
+  let implicit =
+    match t.op with
+    | Opcode.P2R -> all_preds
+    | _ -> []
+  in
+  guard_pred @ srcs @ implicit
+
+let writes_gpr t = defs t <> []
+
+let writes_pred t = pdefs t <> []
+
+let reads_gpr t = uses t <> []
+
+let is_cond_branch t =
+  Opcode.is_branch t.op && not (Pred.is_always t.guard)
+
+let pp_src ppf = function
+  | SReg r -> Reg.pp ppf r
+  | SImm i -> Format.fprintf ppf "0x%x" (i land 0xffffffff)
+  | SParam off -> Format.fprintf ppf "c[0x0][0x%x]" off
+  | SPred p -> Pred.pp ppf p
+
+let pp ppf t =
+  let open Format in
+  Pred.pp_guard ppf t.guard;
+  Opcode.pp ppf t.op;
+  let operands =
+    List.map (fun r -> `R r) t.dsts
+    @ List.map (fun p -> `P p) t.pdsts
+    @ List.map (fun s -> `S s) t.srcs
+  in
+  (match t.op with
+   | Opcode.HCALL _ -> ()
+   | _ ->
+     List.iteri
+       (fun i o ->
+          pp_print_string ppf (if i = 0 then " " else ", ");
+          match o with
+          | `R r -> Reg.pp ppf r
+          | `P p -> Pred.pp ppf p
+          | `S s -> pp_src ppf s)
+       operands);
+  (match t.target with
+   | Some pc -> fprintf ppf " -> 0x%x" (pc * 8)
+   | None -> ());
+  (match t.reconv with
+   | Some pc -> fprintf ppf " (reconv 0x%x)" (pc * 8)
+   | None -> ());
+  pp_print_string ppf " ;"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,78 @@
+(** SASS-like machine instructions.
+
+    Operand conventions (positional, by opcode family):
+    - [LD]/[TLD]: [dsts = [d]] ([W64]: [[dlo; dhi]]),
+      [srcs = [base; offset]]; effective address = base + offset.
+    - [ST]: [srcs = [base; offset; v]] ([W64]: [[base; offset; vlo; vhi]]).
+    - [ATOM]/[RED]: [srcs = [base; offset; operand]]
+      ([A_cas]: [[base; offset; compare; swap]]); [ATOM] returns the old
+      value in [dsts].
+    - [ISETP]/[FSETP]: [pdsts = [p]], [srcs = [a; b]].
+    - [SEL]: [srcs = [a; b; SPred p]].
+    - [VOTE]: [dsts = [d]] (ballot) or [pdsts = [p]] (any/all),
+      [srcs = [SPred source]].
+    - [SHFL]: [srcs = [value; lane_or_delta]].
+    - [P2R]: reads the whole predicate file; [R2P] writes it.
+    - [BRA]/[CAL]: target program counter in [target].
+    - [HCALL]: parameter registers [R4..R7] appear in [srcs] so that
+      liveness sees them.
+
+    The [reconv] field of a conditional [BRA] holds the reconvergence
+    PC (immediate post-dominator), filled by
+    {!Program.annotate_reconvergence}. *)
+
+type src =
+  | SReg of Reg.t
+  | SImm of int  (** 32-bit immediate, stored in [0, 2{^32}) *)
+  | SParam of int  (** byte offset into the kernel-parameter constant bank *)
+  | SPred of Pred.t
+
+type t = {
+  op : Opcode.t;
+  guard : Pred.guard;
+  dsts : Reg.t list;
+  pdsts : Pred.t list;
+  srcs : src list;
+  target : int option;  (** branch/call target PC *)
+  reconv : int option;  (** reconvergence PC for conditional branches *)
+}
+
+val make :
+  ?guard:Pred.guard ->
+  ?dsts:Reg.t list ->
+  ?pdsts:Pred.t list ->
+  ?srcs:src list ->
+  ?target:int ->
+  ?reconv:int ->
+  Opcode.t ->
+  t
+
+(** {1 Register def/use sets} *)
+
+val defs : t -> Reg.t list
+(** General-purpose registers written (excluding [RZ]). *)
+
+val uses : t -> Reg.t list
+(** General-purpose registers read, including the guard's source via
+    none (guards are predicates) and address/value operands. *)
+
+val pdefs : t -> Pred.t list
+(** Predicates written (excluding [PT]). [R2P] defines [P0..P6]. *)
+
+val puses : t -> Pred.t list
+(** Predicates read, including the guard. [P2R] uses [P0..P6]. *)
+
+val writes_gpr : t -> bool
+(** True if the instruction architecturally writes at least one
+    general-purpose register (the SASSI "register write" class). *)
+
+val writes_pred : t -> bool
+
+val reads_gpr : t -> bool
+
+val is_cond_branch : t -> bool
+(** A [BRA] under a non-[PT] guard. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,337 @@
+type cmp =
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+type logic =
+  | L_and
+  | L_or
+  | L_xor
+  | L_not
+
+type sign =
+  | Signed
+  | Unsigned
+
+type mufu =
+  | Rcp
+  | Sqrt
+  | Rsq
+  | Ex2
+  | Lg2
+  | Sin
+  | Cos
+
+type space =
+  | Global
+  | Shared
+  | Local
+  | Param
+  | Tex
+
+type width =
+  | W8
+  | W16
+  | W32
+  | W64
+
+type atom_op =
+  | A_add
+  | A_min
+  | A_max
+  | A_exch
+  | A_cas
+  | A_and
+  | A_or
+  | A_xor
+
+type vote =
+  | V_ballot
+  | V_any
+  | V_all
+
+type shfl =
+  | S_idx
+  | S_up
+  | S_down
+  | S_bfly
+
+type special =
+  | Sr_tid_x
+  | Sr_tid_y
+  | Sr_ntid_x
+  | Sr_ntid_y
+  | Sr_ctaid_x
+  | Sr_ctaid_y
+  | Sr_nctaid_x
+  | Sr_nctaid_y
+  | Sr_laneid
+  | Sr_warpid
+  | Sr_smid
+  | Sr_clock
+
+type t =
+  | IADD
+  | ISUB
+  | IMUL
+  | IMAD
+  | IDIV of sign
+  | IMOD of sign
+  | IMNMX of cmp
+  | SHL
+  | SHR of sign
+  | LOP of logic
+  | BREV
+  | POPC
+  | FLO
+  | ISETP of cmp * sign
+  | FADD
+  | FSUB
+  | FMUL
+  | FFMA
+  | FMNMX of cmp
+  | MUFU of mufu
+  | FSETP of cmp
+  | I2F of sign
+  | F2I of sign
+  | MOV
+  | SEL
+  | S2R of special
+  | P2R
+  | R2P
+  | PSETP of logic
+  | LD of space * width
+  | ST of space * width
+  | ATOM of space * atom_op * width
+  | RED of space * atom_op * width
+  | TLD of width
+  | MEMBAR
+  | VOTE of vote
+  | SHFL of shfl
+  | BRA
+  | CAL
+  | RET
+  | EXIT
+  | BAR
+  | NOP
+  | HCALL of int
+
+let is_mem = function
+  | LD _ | ST _ | ATOM _ | RED _ | TLD _ -> true
+  | IADD | ISUB | IMUL | IMAD | IDIV _ | IMOD _ | IMNMX _ | SHL | SHR _
+  | LOP _ | BREV | POPC | FLO | ISETP _ | FADD | FSUB | FMUL | FFMA
+  | FMNMX _ | MUFU _ | FSETP _ | I2F _ | F2I _ | MOV | SEL | S2R _ | P2R
+  | R2P | PSETP _ | MEMBAR | VOTE _ | SHFL _ | BRA | CAL | RET | EXIT
+  | BAR | NOP | HCALL _ -> false
+
+let is_mem_read = function
+  | LD _ | ATOM _ | TLD _ -> true
+  | _ -> false
+
+let is_mem_write = function
+  | ST _ | ATOM _ | RED _ -> true
+  | _ -> false
+
+let is_atomic = function
+  | ATOM _ | RED _ -> true
+  | _ -> false
+
+let is_spill_or_fill = function
+  | LD (Local, _) | ST (Local, _) -> true
+  | _ -> false
+
+let is_texture = function
+  | TLD _ | LD (Tex, _) -> true
+  | _ -> false
+
+let is_control = function
+  | BRA | CAL | RET | EXIT | HCALL _ -> true
+  | _ -> false
+
+let is_branch = function
+  | BRA -> true
+  | _ -> false
+
+let is_sync = function
+  | BAR | MEMBAR -> true
+  | _ -> false
+
+let is_numeric = function
+  | IADD | ISUB | IMUL | IMAD | IDIV _ | IMOD _ | IMNMX _ | SHL | SHR _
+  | LOP _ | BREV | POPC | FLO | ISETP _ | FADD | FSUB | FMUL | FFMA
+  | FMNMX _ | MUFU _ | FSETP _ | I2F _ | F2I _ -> true
+  | MOV | SEL | S2R _ | P2R | R2P | PSETP _ | LD _ | ST _ | ATOM _
+  | RED _ | TLD _ | MEMBAR | VOTE _ | SHFL _ | BRA | CAL | RET | EXIT
+  | BAR | NOP | HCALL _ -> false
+
+let is_warp_wide = function
+  | VOTE _ | SHFL _ -> true
+  | _ -> false
+
+let mem_space = function
+  | LD (s, _) | ST (s, _) | ATOM (s, _, _) | RED (s, _, _) -> Some s
+  | TLD _ -> Some Tex
+  | _ -> None
+
+let mem_width = function
+  | LD (_, w) | ST (_, w) | ATOM (_, _, w) | RED (_, _, w) | TLD w -> Some w
+  | _ -> None
+
+let bytes_of_width = function
+  | W8 -> 1
+  | W16 -> 2
+  | W32 -> 4
+  | W64 -> 8
+
+(* A compact, stable encoding: class bits in the high nibble so that
+   handlers can recover coarse classes from [insEncoding] alone. *)
+let encode t =
+  let base = function
+    | IADD -> 1 | ISUB -> 2 | IMUL -> 3 | IMAD -> 4
+    | IDIV _ -> 5 | IMOD _ -> 6 | IMNMX _ -> 7 | SHL -> 8 | SHR _ -> 9
+    | LOP _ -> 10 | BREV -> 11 | POPC -> 12 | FLO -> 13 | ISETP _ -> 14
+    | FADD -> 15 | FSUB -> 16 | FMUL -> 17 | FFMA -> 18 | FMNMX _ -> 19
+    | MUFU _ -> 20 | FSETP _ -> 21 | I2F _ -> 22 | F2I _ -> 23
+    | MOV -> 24 | SEL -> 25 | S2R _ -> 26 | P2R -> 27 | R2P -> 28
+    | PSETP _ -> 29 | LD _ -> 30 | ST _ -> 31 | ATOM _ -> 32 | RED _ -> 33
+    | TLD _ -> 34 | MEMBAR -> 35 | VOTE _ -> 36 | SHFL _ -> 37
+    | BRA -> 38 | CAL -> 39 | RET -> 40 | EXIT -> 41 | BAR -> 42
+    | NOP -> 43 | HCALL _ -> 44
+  in
+  let class_bits =
+    (if is_mem t then 0x100 else 0)
+    lor (if is_control t then 0x200 else 0)
+    lor (if is_sync t then 0x400 else 0)
+    lor (if is_numeric t then 0x800 else 0)
+    lor (if is_texture t then 0x1000 else 0)
+    lor (if is_mem_read t then 0x2000 else 0)
+    lor (if is_mem_write t then 0x4000 else 0)
+    lor (if is_atomic t then 0x8000 else 0)
+  in
+  class_bits lor base t
+
+let string_of_cmp = function
+  | Lt -> "LT"
+  | Le -> "LE"
+  | Gt -> "GT"
+  | Ge -> "GE"
+  | Eq -> "EQ"
+  | Ne -> "NE"
+
+let string_of_logic = function
+  | L_and -> "AND"
+  | L_or -> "OR"
+  | L_xor -> "XOR"
+  | L_not -> "NOT"
+
+let string_of_sign = function
+  | Signed -> ""
+  | Unsigned -> ".U32"
+
+let string_of_mufu = function
+  | Rcp -> "RCP"
+  | Sqrt -> "SQRT"
+  | Rsq -> "RSQ"
+  | Ex2 -> "EX2"
+  | Lg2 -> "LG2"
+  | Sin -> "SIN"
+  | Cos -> "COS"
+
+let string_of_space = function
+  | Global -> "E"
+  | Shared -> "S"
+  | Local -> "L"
+  | Param -> "C"
+  | Tex -> "T"
+
+let string_of_width = function
+  | W8 -> ".8"
+  | W16 -> ".16"
+  | W32 -> ""
+  | W64 -> ".64"
+
+let string_of_atom = function
+  | A_add -> "ADD"
+  | A_min -> "MIN"
+  | A_max -> "MAX"
+  | A_exch -> "EXCH"
+  | A_cas -> "CAS"
+  | A_and -> "AND"
+  | A_or -> "OR"
+  | A_xor -> "XOR"
+
+let string_of_special = function
+  | Sr_tid_x -> "SR_TID.X"
+  | Sr_tid_y -> "SR_TID.Y"
+  | Sr_ntid_x -> "SR_NTID.X"
+  | Sr_ntid_y -> "SR_NTID.Y"
+  | Sr_ctaid_x -> "SR_CTAID.X"
+  | Sr_ctaid_y -> "SR_CTAID.Y"
+  | Sr_nctaid_x -> "SR_NCTAID.X"
+  | Sr_nctaid_y -> "SR_NCTAID.Y"
+  | Sr_laneid -> "SR_LANEID"
+  | Sr_warpid -> "SR_WARPID"
+  | Sr_smid -> "SR_SMID"
+  | Sr_clock -> "SR_CLOCK"
+
+let to_string = function
+  | IADD -> "IADD"
+  | ISUB -> "ISUB"
+  | IMUL -> "IMUL"
+  | IMAD -> "IMAD"
+  | IDIV s -> "IDIV" ^ string_of_sign s
+  | IMOD s -> "IMOD" ^ string_of_sign s
+  | IMNMX c -> "IMNMX." ^ string_of_cmp c
+  | SHL -> "SHL"
+  | SHR s -> "SHR" ^ string_of_sign s
+  | LOP l -> "LOP." ^ string_of_logic l
+  | BREV -> "BREV"
+  | POPC -> "POPC"
+  | FLO -> "FLO"
+  | ISETP (c, s) -> "ISETP." ^ string_of_cmp c ^ string_of_sign s
+  | FADD -> "FADD"
+  | FSUB -> "FSUB"
+  | FMUL -> "FMUL"
+  | FFMA -> "FFMA"
+  | FMNMX c -> "FMNMX." ^ string_of_cmp c
+  | MUFU f -> "MUFU." ^ string_of_mufu f
+  | FSETP c -> "FSETP." ^ string_of_cmp c
+  | I2F s -> "I2F" ^ string_of_sign s
+  | F2I s -> "F2I" ^ string_of_sign s
+  | MOV -> "MOV"
+  | SEL -> "SEL"
+  | S2R s -> "S2R." ^ string_of_special s
+  | P2R -> "P2R"
+  | R2P -> "R2P"
+  | PSETP l -> "PSETP." ^ string_of_logic l
+  | LD (s, w) -> "LD" ^ string_of_space s ^ string_of_width w
+  | ST (s, w) -> "ST" ^ string_of_space s ^ string_of_width w
+  | ATOM (s, a, w) ->
+    "ATOM" ^ string_of_space s ^ "." ^ string_of_atom a ^ string_of_width w
+  | RED (s, a, w) ->
+    "RED" ^ string_of_space s ^ "." ^ string_of_atom a ^ string_of_width w
+  | TLD w -> "TLD" ^ string_of_width w
+  | MEMBAR -> "MEMBAR"
+  | VOTE V_ballot -> "VOTE.BALLOT"
+  | VOTE V_any -> "VOTE.ANY"
+  | VOTE V_all -> "VOTE.ALL"
+  | SHFL S_idx -> "SHFL.IDX"
+  | SHFL S_up -> "SHFL.UP"
+  | SHFL S_down -> "SHFL.DOWN"
+  | SHFL S_bfly -> "SHFL.BFLY"
+  | BRA -> "BRA"
+  | CAL -> "CAL"
+  | RET -> "RET"
+  | EXIT -> "EXIT"
+  | BAR -> "BAR.SYNC"
+  | NOP -> "NOP"
+  | HCALL id -> Printf.sprintf "JCAL sassi_handler_%d" id
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let pp_space ppf s = Format.pp_print_string ppf (string_of_space s)
+
+let pp_width ppf w = Format.pp_print_string ppf (string_of_width w)

@@ -1,0 +1,200 @@
+(** Opcodes of the SASS-like ISA, with the instruction-class taxonomy
+    that SASSI exposes to instrumentation handlers ([IsMem],
+    [IsControlXfer], [IsNumeric], ...).
+
+    The ISA is a Kepler-flavoured subset: 32-bit integer and
+    single-precision float arithmetic, predicate-setting compares,
+    warp-wide vote/shuffle operations, loads/stores over explicit
+    memory spaces, atomics, and SIMT control flow. Two documented
+    simplifications relative to real SASS: [IDIV]/[IMOD] exist as
+    single opcodes (real Kepler expands division inline), and
+    texture access is the single [TLD] opcode reading a bound
+    texture buffer. *)
+
+(** Comparison operators for [ISETP]/[FSETP]/[IMNMX]. *)
+type cmp =
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+(** Bitwise logic operators for [LOP]. *)
+type logic =
+  | L_and
+  | L_or
+  | L_xor
+  | L_not  (** unary: second source ignored *)
+
+(** Signedness of shifts, compares and conversions. *)
+type sign =
+  | Signed
+  | Unsigned
+
+(** Hardware transcendental unit functions ([MUFU]). *)
+type mufu =
+  | Rcp
+  | Sqrt
+  | Rsq
+  | Ex2
+  | Lg2
+  | Sin
+  | Cos
+
+(** Memory spaces. [Param] is the constant bank holding kernel
+    parameters; [Tex] is the texture path. *)
+type space =
+  | Global
+  | Shared
+  | Local
+  | Param
+  | Tex
+
+(** Access widths in bytes. [W64] reads/writes a register pair. *)
+type width =
+  | W8
+  | W16
+  | W32
+  | W64
+
+(** Atomic operations. *)
+type atom_op =
+  | A_add
+  | A_min
+  | A_max
+  | A_exch
+  | A_cas
+  | A_and
+  | A_or
+  | A_xor
+
+(** Warp-vote modes. *)
+type vote =
+  | V_ballot
+  | V_any
+  | V_all
+
+(** Warp-shuffle modes. *)
+type shfl =
+  | S_idx
+  | S_up
+  | S_down
+  | S_bfly
+
+(** Special registers readable through [S2R]. *)
+type special =
+  | Sr_tid_x
+  | Sr_tid_y
+  | Sr_ntid_x
+  | Sr_ntid_y
+  | Sr_ctaid_x
+  | Sr_ctaid_y
+  | Sr_nctaid_x
+  | Sr_nctaid_y
+  | Sr_laneid
+  | Sr_warpid
+  | Sr_smid
+  | Sr_clock
+
+type t =
+  (* Integer arithmetic *)
+  | IADD
+  | ISUB
+  | IMUL
+  | IMAD  (** d = a*b + c *)
+  | IDIV of sign
+  | IMOD of sign
+  | IMNMX of cmp  (** min/max selected by [Lt]/[Gt] *)
+  | SHL
+  | SHR of sign
+  | LOP of logic
+  | BREV  (** bit reverse *)
+  | POPC
+  | FLO  (** find leading one (highest set bit index, -1 if none) *)
+  | ISETP of cmp * sign
+  (* Float arithmetic *)
+  | FADD
+  | FSUB
+  | FMUL
+  | FFMA
+  | FMNMX of cmp
+  | MUFU of mufu
+  | FSETP of cmp
+  | I2F of sign
+  | F2I of sign
+  (* Data movement *)
+  | MOV
+  | SEL  (** d = pred ? a : b *)
+  | S2R of special
+  | P2R  (** pack predicate file into a register *)
+  | R2P  (** unpack a register into the predicate file *)
+  | PSETP of logic  (** predicate logic *)
+  (* Memory *)
+  | LD of space * width
+  | ST of space * width
+  | ATOM of space * atom_op * width
+  | RED of space * atom_op * width  (** reduction: atomic without return *)
+  | TLD of width  (** texture load *)
+  | MEMBAR
+  (* Warp-wide *)
+  | VOTE of vote
+  | SHFL of shfl
+  (* Control *)
+  | BRA
+  | CAL
+  | RET
+  | EXIT
+  | BAR  (** block-wide barrier (__syncthreads) *)
+  | NOP
+  | HCALL of int
+      (** SASSI handler call: transfers to instrumentation handler
+          [id]. Disassembles as [JCAL sassi_handler_<id>]. *)
+
+(** {1 Instruction classes (the SASSI taxonomy)} *)
+
+val is_mem : t -> bool
+(** Touches memory (loads, stores, atomics, texture). *)
+
+val is_mem_read : t -> bool
+
+val is_mem_write : t -> bool
+
+val is_atomic : t -> bool
+
+val is_spill_or_fill : t -> bool
+(** Local-space load/store (the ABI uses local memory for spills). *)
+
+val is_texture : t -> bool
+
+val is_control : t -> bool
+(** Transfers control: [BRA], [CAL], [RET], [EXIT], [HCALL]. *)
+
+val is_branch : t -> bool
+
+val is_sync : t -> bool
+(** Synchronization: [BAR], [MEMBAR]. *)
+
+val is_numeric : t -> bool
+(** Integer/float arithmetic and conversions. *)
+
+val is_warp_wide : t -> bool
+(** Vote/shuffle operations. *)
+
+val mem_space : t -> space option
+
+val mem_width : t -> width option
+
+val bytes_of_width : width -> int
+
+val encode : t -> int
+(** Stable small integer encoding, used as the static
+    [insEncoding] field of SASSI params objects. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val pp_space : Format.formatter -> space -> unit
+
+val pp_width : Format.formatter -> width -> unit

@@ -1,0 +1,46 @@
+type t =
+  | P of int
+  | PT
+
+let p i =
+  if i < 0 || i > 6 then invalid_arg "Pred.p: predicate out of range";
+  P i
+
+let index = function
+  | P i -> i
+  | PT -> 7
+
+let of_index i =
+  if i = 7 then PT
+  else p i
+
+let is_true = function
+  | PT -> true
+  | P _ -> false
+
+let equal a b = index a = index b
+
+let compare a b = Int.compare (index a) (index b)
+
+let to_string = function
+  | P i -> Printf.sprintf "P%d" i
+  | PT -> "PT"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+type guard = {
+  pred : t;
+  negated : bool;
+}
+
+let always = { pred = PT; negated = false }
+
+let on pred = { pred; negated = false }
+
+let on_not pred = { pred; negated = true }
+
+let is_always g = is_true g.pred && not g.negated
+
+let pp_guard ppf g =
+  if is_always g then ()
+  else Format.fprintf ppf "@@%s%s " (if g.negated then "!" else "") (to_string g.pred)

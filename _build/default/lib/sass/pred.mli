@@ -1,0 +1,45 @@
+(** Predicate registers and instruction guards.
+
+    The ISA has seven writable 1-bit predicate registers [P0..P6] and
+    the hardwired true predicate [PT]. Every instruction carries a
+    guard ([@P3], [@!P0], ...) selecting the lanes that execute it. *)
+
+type t =
+  | P of int  (** [P i] with [0 <= i <= 6] *)
+  | PT  (** hardwired true *)
+
+val p : int -> t
+(** @raise Invalid_argument if out of range. *)
+
+val index : t -> int
+(** Dense index in [0, 7]; [PT] maps to 7. *)
+
+val of_index : int -> t
+
+val is_true : t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** {1 Guards} *)
+
+type guard = {
+  pred : t;
+  negated : bool;
+}
+
+val always : guard
+(** Guard that never masks a lane ([@PT]). *)
+
+val on : t -> guard
+
+val on_not : t -> guard
+
+val is_always : guard -> bool
+
+val pp_guard : Format.formatter -> guard -> unit

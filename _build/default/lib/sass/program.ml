@@ -1,0 +1,81 @@
+type kernel = {
+  name : string;
+  instrs : Instr.t array;
+  param_bytes : int;
+  frame_bytes : int;
+  shared_bytes : int;
+  regs_used : int;
+}
+
+let compute_regs_used instrs =
+  let hi = ref 0 in
+  let see = function
+    | Reg.R i -> if i + 1 > !hi then hi := i + 1
+    | Reg.RZ -> ()
+  in
+  Array.iter
+    (fun i ->
+       List.iter see i.Instr.dsts;
+       List.iter
+         (function
+           | Instr.SReg r -> see r
+           | Instr.SImm _ | Instr.SParam _ | Instr.SPred _ -> ())
+         i.Instr.srcs)
+    instrs;
+  !hi
+
+let make ~name ?(param_bytes = 0) ?(frame_bytes = 0) ?(shared_bytes = 0)
+    instrs =
+  { name; instrs; param_bytes; frame_bytes; shared_bytes;
+    regs_used = compute_regs_used instrs }
+
+let annotate_reconvergence k =
+  let cfg = Cfg.build k.instrs in
+  let pdom = Domtree.post_dominators cfg in
+  let instrs =
+    Array.mapi
+      (fun pc i ->
+         if Instr.is_cond_branch i then
+           { i with Instr.reconv = Domtree.reconvergence_pc cfg pdom pc }
+         else i)
+      k.instrs
+  in
+  { k with instrs }
+
+let validate k =
+  let n = Array.length k.instrs in
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  if n = 0 then fail "kernel %s is empty" k.name;
+  Array.iteri
+    (fun pc i ->
+       (match i.Instr.op with
+        | Opcode.BRA | Opcode.CAL ->
+          (match i.Instr.target with
+           | None -> fail "pc %d: unresolved control target" pc
+           | Some t ->
+             if t < 0 || t >= n then fail "pc %d: target %d out of range" pc t)
+        | _ -> ());
+       (match i.Instr.reconv with
+        | Some r when r < 0 || r >= n ->
+          fail "pc %d: reconvergence point %d out of range" pc r
+        | Some _ | None -> ()))
+    k.instrs;
+  let has_exit =
+    Array.exists (fun i -> i.Instr.op = Opcode.EXIT) k.instrs
+  in
+  if not has_exit then fail "kernel %s has no EXIT" k.name;
+  match !err with
+  | Some e -> Error e
+  | None -> Ok ()
+
+let instruction_count k = Array.length k.instrs
+
+let pp ppf k =
+  Format.fprintf ppf "// kernel %s: %d instrs, %d regs, %d param bytes, \
+                      %d frame bytes, %d shared bytes@."
+    k.name (Array.length k.instrs) k.regs_used k.param_bytes k.frame_bytes
+    k.shared_bytes;
+  Array.iteri
+    (fun pc i -> Format.fprintf ppf "  /*%04x*/ %a@." (pc * 8) Instr.pp i)
+    k.instrs

@@ -1,0 +1,34 @@
+(** Compiled kernels: the unit the backend compiler emits, the SASSI
+    pass rewrites, and the GPU loads. *)
+
+type kernel = {
+  name : string;
+  instrs : Instr.t array;
+  param_bytes : int;  (** size of the kernel-parameter constant bank *)
+  frame_bytes : int;  (** per-thread local stack frame (spills + SASSI) *)
+  shared_bytes : int;  (** static shared memory per thread block *)
+  regs_used : int;  (** highest GPR index used + 1 *)
+}
+
+val make :
+  name:string ->
+  ?param_bytes:int ->
+  ?frame_bytes:int ->
+  ?shared_bytes:int ->
+  Instr.t array ->
+  kernel
+(** Builds a kernel; [regs_used] is computed from the instructions. *)
+
+val annotate_reconvergence : kernel -> kernel
+(** Fills the [reconv] field of every conditional branch with its
+    immediate post-dominator PC (the backend compiler's reconvergence
+    analysis). Idempotent. *)
+
+val validate : kernel -> (unit, string) result
+(** Structural checks: resolved branch targets in range, terminating
+    [EXIT] reachable, register indices in range. *)
+
+val instruction_count : kernel -> int
+
+val pp : Format.formatter -> kernel -> unit
+(** Full disassembly listing. *)

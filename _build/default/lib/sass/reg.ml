@@ -1,0 +1,31 @@
+type t =
+  | R of int
+  | RZ
+
+let r i =
+  if i < 0 || i > 254 then invalid_arg "Reg.r: register out of range";
+  R i
+
+let sp = R 1
+
+let index = function
+  | R i -> i
+  | RZ -> 255
+
+let of_index i =
+  if i = 255 then RZ
+  else r i
+
+let is_zero = function
+  | RZ -> true
+  | R _ -> false
+
+let equal a b = index a = index b
+
+let compare a b = Int.compare (index a) (index b)
+
+let to_string = function
+  | R i -> Printf.sprintf "R%d" i
+  | RZ -> "RZ"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

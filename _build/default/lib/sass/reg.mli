@@ -1,0 +1,32 @@
+(** General-purpose registers of the SASS-like ISA.
+
+    Registers are 32 bits wide. [RZ] is the hardwired zero register:
+    reads return 0 and writes are discarded, mirroring NVIDIA's
+    [R255]/[RZ] convention. [R 1] is reserved by the ABI as the stack
+    pointer into thread-local memory. *)
+
+type t =
+  | R of int  (** [R i] with [0 <= i <= 254] *)
+  | RZ  (** hardwired zero *)
+
+val r : int -> t
+(** [r i] is [R i]. @raise Invalid_argument if [i] is out of range. *)
+
+val sp : t
+(** The ABI stack pointer, [R 1]. *)
+
+val index : t -> int
+(** Dense index in [0, 255]; [RZ] maps to 255. *)
+
+val of_index : int -> t
+(** Inverse of {!index}. *)
+
+val is_zero : t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/workloads/campaign.ml: Format Gpu Handlers List Sassi Workload

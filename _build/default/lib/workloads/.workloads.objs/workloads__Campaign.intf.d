@@ -1,0 +1,1 @@
+lib/workloads/campaign.mli: Format Gpu Handlers Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_bfs_parboil.ml: Array Datasets Gpu Kernel Printf Workload

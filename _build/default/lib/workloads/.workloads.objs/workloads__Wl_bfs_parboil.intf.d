@@ -1,0 +1,1 @@
+lib/workloads/wl_bfs_parboil.mli: Datasets Kernel Workload

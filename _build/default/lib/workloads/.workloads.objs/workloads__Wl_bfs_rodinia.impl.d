@@ -1,0 +1,1 @@
+lib/workloads/wl_bfs_rodinia.ml: Array Datasets Gpu Kernel Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_bfs_rodinia.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_btree.ml: Array Datasets Gpu Kernel List Printf Workload

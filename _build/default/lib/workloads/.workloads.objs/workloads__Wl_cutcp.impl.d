@@ -1,0 +1,1 @@
+lib/workloads/wl_cutcp.ml: Datasets Gpu Kernel Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_heartwall.ml: Datasets Gpu Kernel Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_histo.ml: Array Gpu Kernel Printf Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_hotspot.ml: Datasets Gpu Kernel Workload

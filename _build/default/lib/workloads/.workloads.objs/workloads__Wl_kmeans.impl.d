@@ -1,0 +1,1 @@
+lib/workloads/wl_kmeans.ml: Datasets Gpu Kernel Printf Workload

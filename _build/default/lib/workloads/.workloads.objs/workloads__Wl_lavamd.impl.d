@@ -1,0 +1,1 @@
+lib/workloads/wl_lavamd.ml: Array Datasets Gpu Kernel Rng Workload

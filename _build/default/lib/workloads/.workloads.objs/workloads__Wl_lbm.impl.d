@@ -1,0 +1,1 @@
+lib/workloads/wl_lbm.ml: Array Datasets Gpu Kernel Rng Workload

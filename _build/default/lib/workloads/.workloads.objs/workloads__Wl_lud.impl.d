@@ -1,0 +1,1 @@
+lib/workloads/wl_lud.ml: Array Gpu Kernel Printf Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_minife.ml: Array Datasets Gpu Kernel Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_mriq.ml: Array Datasets Gpu Kernel Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_mummer.ml: Array Datasets Gpu Kernel Printf Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_nn.ml: Array Datasets Gpu Kernel Printf Workload

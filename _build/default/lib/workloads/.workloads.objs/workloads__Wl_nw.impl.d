@@ -1,0 +1,1 @@
+lib/workloads/wl_nw.ml: Array Datasets Gpu Kernel Printf Workload

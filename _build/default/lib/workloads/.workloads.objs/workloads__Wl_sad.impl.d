@@ -1,0 +1,1 @@
+lib/workloads/wl_sad.ml: Datasets Gpu Kernel Workload

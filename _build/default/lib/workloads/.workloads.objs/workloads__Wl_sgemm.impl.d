@@ -1,0 +1,1 @@
+lib/workloads/wl_sgemm.ml: Array Datasets Gpu Kernel Printf Workload

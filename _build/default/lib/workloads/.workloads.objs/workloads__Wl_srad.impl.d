@@ -1,0 +1,1 @@
+lib/workloads/wl_srad.ml: Array Gpu Kernel Rng Workload

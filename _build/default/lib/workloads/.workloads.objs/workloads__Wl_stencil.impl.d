@@ -1,0 +1,1 @@
+lib/workloads/wl_stencil.ml: Datasets Gpu Kernel Workload

@@ -1,0 +1,1 @@
+lib/workloads/wl_tpacf.ml: Array Gpu Kernel Printf Rng Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Buffer Digest Gpu Int32 String

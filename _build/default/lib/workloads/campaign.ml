@@ -1,0 +1,81 @@
+type tally = {
+  masked : int;
+  crashes : int;
+  hangs : int;
+  failure_symptoms : int;
+  sdc_stdout : int;
+  sdc_output : int;
+  total : int;
+}
+
+let tally_of_outcomes outcomes =
+  let t =
+    ref { masked = 0; crashes = 0; hangs = 0; failure_symptoms = 0;
+          sdc_stdout = 0; sdc_output = 0; total = 0 }
+  in
+  List.iter
+    (fun o ->
+       let c = !t in
+       t :=
+         (match o with
+          | Handlers.Error_inject.Masked -> { c with masked = c.masked + 1 }
+          | Handlers.Error_inject.Crash _ -> { c with crashes = c.crashes + 1 }
+          | Handlers.Error_inject.Hang -> { c with hangs = c.hangs + 1 }
+          | Handlers.Error_inject.Failure_symptom _ ->
+            { c with failure_symptoms = c.failure_symptoms + 1 }
+          | Handlers.Error_inject.Sdc_stdout ->
+            { c with sdc_stdout = c.sdc_stdout + 1 }
+          | Handlers.Error_inject.Sdc_output ->
+            { c with sdc_output = c.sdc_output + 1 });
+       t := { !t with total = !t.total + 1 })
+    outcomes;
+  !t
+
+let run ?(cfg = Gpu.Config.default) ?(seed = 2025) ~injections w ~variant =
+  (* Step 0: golden reference. *)
+  let golden =
+    let dev = Gpu.Device.create ~cfg () in
+    let r = w.Workload.run dev ~variant in
+    (r.Workload.output_digest, r.Workload.stdout)
+  in
+  (* Step 1: profiling run (Section 8.1 step 1). *)
+  let profile = Handlers.Error_inject.Profile.create () in
+  let devp = Gpu.Device.create ~cfg () in
+  let _ =
+    Sassi.Runtime.with_instrumentation devp
+      (Handlers.Error_inject.Profile.pairs profile)
+      (fun _ -> w.Workload.run devp ~variant)
+  in
+  (* Step 2: statistical site selection on the host. *)
+  let targets =
+    Handlers.Error_inject.Profile.pick_targets profile ~seed ~n:injections
+  in
+  (* Step 3: one injection per run, classify the outcome. *)
+  let outcomes =
+    List.map
+      (fun target ->
+         let injected = ref false in
+         Handlers.Error_inject.classify ~reference:golden (fun () ->
+             let dev = Gpu.Device.create ~cfg () in
+             let r =
+               Sassi.Runtime.with_instrumentation dev
+                 (Handlers.Error_inject.injection_pairs target ~injected)
+                 (fun _ -> w.Workload.run dev ~variant)
+             in
+             (r.Workload.output_digest, r.Workload.stdout)))
+      targets
+  in
+  tally_of_outcomes outcomes
+
+let fractions t =
+  let f x = if t.total = 0 then 0.0 else float_of_int x /. float_of_int t.total in
+  (f t.masked, f t.crashes, f t.hangs, f t.failure_symptoms,
+   f t.sdc_stdout, f t.sdc_output)
+
+let pp ppf t =
+  let m, c, h, s, so, sf = fractions t in
+  Format.fprintf ppf
+    "masked %.1f%%  crash %.1f%%  hang %.1f%%  symptom %.1f%%  \
+     sdc-stdout %.1f%%  sdc-output %.1f%%  (n=%d)"
+    (100. *. m) (100. *. c) (100. *. h) (100. *. s) (100. *. so)
+    (100. *. sf) t.total

@@ -1,0 +1,31 @@
+(** Error-injection campaign driver (paper Section 8's experimental
+    flow): golden run, profiling run, statistical site selection, then
+    one injection per run with outcome classification. *)
+
+type tally = {
+  masked : int;
+  crashes : int;
+  hangs : int;
+  failure_symptoms : int;
+  sdc_stdout : int;
+  sdc_output : int;
+  total : int;
+}
+
+val run :
+  ?cfg:Gpu.Config.t ->
+  ?seed:int ->
+  injections:int ->
+  Workload.t ->
+  variant:string ->
+  tally
+(** Runs the full three-step flow on fresh devices. Each injection run
+    re-executes the workload with exactly one bit flip. *)
+
+val tally_of_outcomes : Handlers.Error_inject.outcome list -> tally
+
+val pp : Format.formatter -> tally -> unit
+
+val fractions : tally -> float * float * float * float * float * float
+(** (masked, crash, hang, symptom, sdc-stdout, sdc-output) as
+    fractions of total. *)

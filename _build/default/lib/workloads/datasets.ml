@@ -1,0 +1,161 @@
+type graph = {
+  num_nodes : int;
+  row_offsets : int array;
+  columns : int array;
+  source : int;
+}
+
+let graph_of_adjacency num_nodes adj source =
+  let row_offsets = Array.make (num_nodes + 1) 0 in
+  for v = 0 to num_nodes - 1 do
+    row_offsets.(v + 1) <- row_offsets.(v) + List.length adj.(v)
+  done;
+  let columns = Array.make (max 1 row_offsets.(num_nodes)) 0 in
+  for v = 0 to num_nodes - 1 do
+    List.iteri
+      (fun i u -> columns.(row_offsets.(v) + i) <- u)
+      (List.rev adj.(v))
+  done;
+  { num_nodes; row_offsets; columns; source }
+
+let scale_free_graph ~seed ~nodes ~avg_degree =
+  let rng = Rng.create ~seed in
+  let adj = Array.make nodes [] in
+  let n_endpoints = ref 2 in
+  let endpoint_arr = Array.make (nodes * (avg_degree + 2) * 2) 0 in
+  for v = 1 to nodes - 1 do
+    let degree = 1 + Rng.geometric rng ~p:(1.0 /. float_of_int avg_degree) in
+    for _ = 1 to degree do
+      (* Preferential attachment: pick an endpoint seen before. *)
+      let u = endpoint_arr.(Rng.int rng !n_endpoints) mod v in
+      adj.(v) <- u :: adj.(v);
+      adj.(u) <- v :: adj.(u);
+      if !n_endpoints + 2 < Array.length endpoint_arr then begin
+        endpoint_arr.(!n_endpoints) <- u;
+        endpoint_arr.(!n_endpoints + 1) <- v;
+        n_endpoints := !n_endpoints + 2
+      end
+    done
+  done;
+  graph_of_adjacency nodes adj 0
+
+let road_graph ~seed ~width ~height =
+  let rng = Rng.create ~seed in
+  let nodes = width * height in
+  let adj = Array.make nodes [] in
+  let id x y = (y * width) + x in
+  let add a b =
+    adj.(a) <- b :: adj.(a);
+    adj.(b) <- a :: adj.(b)
+  in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      (* Keep ~85% of grid edges; add sparse diagonals ("highways"). *)
+      if x + 1 < width && Rng.int rng 100 < 85 then add (id x y) (id (x + 1) y);
+      if y + 1 < height && Rng.int rng 100 < 85 then add (id x y) (id x (y + 1));
+      if x + 1 < width && y + 1 < height && Rng.int rng 100 < 4 then
+        add (id x y) (id (x + 1) (y + 1))
+    done
+  done;
+  graph_of_adjacency nodes adj (id (width / 2) (height / 2))
+
+type csr = {
+  rows : int;
+  cols : int;
+  offsets : int array;
+  indices : int array;
+  values : float array;
+}
+
+let banded_matrix ~seed ~n ~band =
+  let rng = Rng.create ~seed in
+  let offsets = Array.make (n + 1) 0 in
+  let idx = ref [] in
+  let vals = ref [] in
+  let count = ref 0 in
+  for r = 0 to n - 1 do
+    for d = -band to band do
+      let c = r + d in
+      if c >= 0 && c < n then begin
+        idx := c :: !idx;
+        vals := (1.0 +. Rng.float rng 1.0) :: !vals;
+        incr count
+      end
+    done;
+    offsets.(r + 1) <- !count
+  done;
+  { rows = n;
+    cols = n;
+    offsets;
+    indices = Array.of_list (List.rev !idx);
+    values = Array.of_list (List.rev !vals) }
+
+let irregular_matrix ~seed ~n ~avg_nnz =
+  let rng = Rng.create ~seed in
+  let offsets = Array.make (n + 1) 0 in
+  let idx = ref [] in
+  let vals = ref [] in
+  let count = ref 0 in
+  for r = 0 to n - 1 do
+    (* Skewed row lengths: most rows short, a few very long. *)
+    let len =
+      let base = 1 + Rng.int rng avg_nnz in
+      if Rng.int rng 20 = 0 then base * 8 else base
+    in
+    let cols = Array.init len (fun _ -> Rng.int rng n) in
+    Array.sort Int.compare cols;
+    Array.iter
+      (fun c ->
+         idx := c :: !idx;
+         vals := (0.5 +. Rng.float rng 1.5) :: !vals;
+         incr count)
+      cols;
+    offsets.(r + 1) <- !count
+  done;
+  { rows = n;
+    cols = n;
+    offsets;
+    indices = Array.of_list (List.rev !idx);
+    values = Array.of_list (List.rev !vals) }
+
+let csr_to_ell m =
+  let width = ref 0 in
+  for r = 0 to m.rows - 1 do
+    width := max !width (m.offsets.(r + 1) - m.offsets.(r))
+  done;
+  let width = max 1 !width in
+  let indices = Array.make (m.rows * width) 0 in
+  let values = Array.make (m.rows * width) 0.0 in
+  for r = 0 to m.rows - 1 do
+    let len = m.offsets.(r + 1) - m.offsets.(r) in
+    let last_col =
+      if len > 0 then m.indices.(m.offsets.(r + 1) - 1) else 0
+    in
+    for k = 0 to width - 1 do
+      (* Column-major layout: element k of row r at [k * rows + r]. *)
+      let slot = (k * m.rows) + r in
+      if k < len then begin
+        indices.(slot) <- m.indices.(m.offsets.(r) + k);
+        values.(slot) <- m.values.(m.offsets.(r) + k)
+      end
+      else begin
+        indices.(slot) <- last_col;
+        values.(slot) <- 0.0
+      end
+    done
+  done;
+  (width, indices, values)
+
+let floats ~seed ~n ~scale =
+  let rng = Rng.create ~seed in
+  Array.init n (fun _ -> Rng.float rng scale)
+
+let ints ~seed ~n ~bound =
+  let rng = Rng.create ~seed in
+  Array.init n (fun _ -> Rng.int rng bound)
+
+let points2d ~seed ~n =
+  let rng = Rng.create ~seed in
+  let xs = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let ys = Array.init n (fun _ -> Rng.float rng 1.0) in
+  (xs, ys)

@@ -1,0 +1,50 @@
+(** Synthetic dataset generators standing in for the paper's inputs.
+
+    The BFS graphs match the structural features that drive the
+    paper's divergence numbers: the "1M"-style input is a scale-free
+    random graph (skewed degrees, small diameter, wide frontiers);
+    NY/SF/UT are road-network-like grid graphs (degree <= 4, huge
+    diameter, narrow frontiers). Sparse matrices come in a banded,
+    uniform-row-length flavour (ELL-friendly) and an irregular
+    random-row-length flavour (CSR-typical). *)
+
+(** Graph in CSR form. *)
+type graph = {
+  num_nodes : int;
+  row_offsets : int array;  (** length num_nodes + 1 *)
+  columns : int array;
+  source : int;
+}
+
+val scale_free_graph : seed:int -> nodes:int -> avg_degree:int -> graph
+(** Preferential-attachment-flavoured random graph ("1M"-like). *)
+
+val road_graph : seed:int -> width:int -> height:int -> graph
+(** Grid graph with random edge deletions and a few diagonals
+    (NY/SF/UT-like). *)
+
+(** Sparse matrix in CSR form. *)
+type csr = {
+  rows : int;
+  cols : int;
+  offsets : int array;
+  indices : int array;
+  values : float array;
+}
+
+val banded_matrix : seed:int -> n:int -> band:int -> csr
+(** Fixed-bandwidth matrix: near-uniform row lengths (ELL-friendly). *)
+
+val irregular_matrix : seed:int -> n:int -> avg_nnz:int -> csr
+(** Skewed random row lengths and scattered columns. *)
+
+val csr_to_ell : csr -> int * int array * float array
+(** [(width, indices, values)] in column-major ELL layout with
+    zero-padding; indices of padded slots repeat the row's last valid
+    column (the standard trick to keep accesses in range). *)
+
+val floats : seed:int -> n:int -> scale:float -> float array
+
+val ints : seed:int -> n:int -> bound:int -> int array
+
+val points2d : seed:int -> n:int -> float array * float array

@@ -1,0 +1,47 @@
+let all =
+  [ (* Parboil *)
+    Wl_bfs_parboil.workload;
+    Wl_sgemm.workload;
+    Wl_spmv.workload;
+    Wl_tpacf.workload;
+    Wl_mriq.workload;
+    Wl_gridding.workload;
+    Wl_cutcp.workload;
+    Wl_histo.workload;
+    Wl_stencil.workload;
+    Wl_sad.workload;
+    Wl_lbm.workload;
+    (* Rodinia *)
+    Wl_bfs_rodinia.workload;
+    Wl_gaussian.workload;
+    Wl_heartwall.workload;
+    Wl_srad.v1;
+    Wl_srad.v2;
+    Wl_streamcluster.workload;
+    Wl_nn.workload;
+    Wl_hotspot.workload;
+    Wl_lud.workload;
+    Wl_btree.workload;
+    Wl_pathfinder.workload;
+    Wl_backprop.workload;
+    Wl_kmeans.workload;
+    Wl_lavamd.workload;
+    Wl_nw.workload;
+    Wl_mummer.workload;
+    (* miniFE *)
+    Wl_minife.workload ]
+
+let qualified w = w.Workload.suite ^ "/" ^ w.Workload.name
+
+let find_opt name =
+  let by_qualified = List.find_opt (fun w -> qualified w = name) all in
+  match by_qualified with
+  | Some w -> Some w
+  | None -> List.find_opt (fun w -> w.Workload.name = name) all
+
+let find name =
+  match find_opt name with
+  | Some w -> w
+  | None -> raise Not_found
+
+let names () = List.map qualified all

@@ -1,0 +1,14 @@
+(** All registered workloads, addressable by suite-qualified name. *)
+
+val all : Workload.t list
+(** Every benchmark, in (suite, name) order. *)
+
+val find : string -> Workload.t
+(** Lookup by ["name"] or ["suite/name"]; Parboil and Rodinia both
+    ship a "bfs", so the bare name resolves Parboil first.
+    @raise Not_found if unknown. *)
+
+val find_opt : string -> Workload.t option
+
+val names : unit -> string list
+(** Suite-qualified names of every workload. *)

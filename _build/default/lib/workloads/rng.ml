@@ -1,0 +1,32 @@
+type t = { mutable state : int }
+
+let create ~seed = { state = (seed lxor 0x3E3779B97F4A7C15) lor 1 }
+
+let next t =
+  let x = t.state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  t.state <- x;
+  x
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  next t mod bound
+
+let float t bound = float_of_int (next t land 0xFFFFFF) /. 16777216.0 *. bound
+
+let bool t = next t land 1 = 0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let geometric t ~p =
+  let rec go n = if n >= 64 || float t 1.0 < p then n else go (n + 1) in
+  go 0

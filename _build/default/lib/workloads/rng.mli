@@ -1,0 +1,19 @@
+(** Deterministic xorshift RNG for dataset generation, independent of
+    OCaml's stdlib so datasets are stable across runs and versions. *)
+
+type t
+
+val create : seed:int -> t
+
+val int : t -> int -> int
+(** Uniform in [0, bound). *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+
+val geometric : t -> p:float -> int
+(** Geometric variate (number of failures before success), capped. *)

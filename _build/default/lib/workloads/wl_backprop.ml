@@ -1,0 +1,72 @@
+(* Rodinia BACKPROP: one hidden-layer feed-forward pass plus a weight
+   adjustment pass — dense dot products, uniform control flow. The
+   sigmoid uses the hardware EX2 unit. *)
+
+open Kernel.Dsl
+
+let inputs = 256
+
+let hidden = 64
+
+let kernel_forward =
+  kernel "backprop_forward"
+    ~params:[ ptr "in"; ptr "w"; ptr "hid"; int "nin"; int "nhid" ]
+    (fun p ->
+      [ let_ "j" (global_tid_x ());
+        exit_if (v "j" >=! p 4);
+        let_f "sum" (f32 0.0);
+        for_ "i" (int_ 0) (p 3)
+          [ set "sum"
+              (ffma
+                 (ldg_f (p 0 +! (v "i" <<! int_ 2)))
+                 (ldg_f (p 1 +! (((v "i" *! p 4) +! v "j") <<! int_ 2)))
+                 (v "sum")) ];
+        (* sigmoid(x) ~ 1 / (1 + 2^(-1.4427 x)) *)
+        st_global_f (p 2 +! (v "j" <<! int_ 2))
+          (rcp (f32 1.0 +.. exp2 (f32 0.0 -.. (v "sum" *.. f32 1.4427)))) ])
+
+let kernel_adjust =
+  kernel "backprop_adjust"
+    ~params:[ ptr "w"; ptr "in"; ptr "delta"; int "nin"; int "nhid";
+              flt "eta" ]
+    (fun p ->
+      [ let_ "gid" (global_tid_x ());
+        exit_if (v "gid" >=! (p 3 *! p 4));
+        let_ "i" (v "gid" /! p 4);
+        let_ "j" (v "gid" %! p 4);
+        st_global_f (p 0 +! (v "gid" <<! int_ 2))
+          (ffma (p 5)
+             (ldg_f (p 1 +! (v "i" <<! int_ 2))
+              *.. ldg_f (p 2 +! (v "j" <<! int_ 2)))
+             (ldg_f (p 0 +! (v "gid" <<! int_ 2)))) ])
+
+let run device ~variant =
+  ignore variant;
+  let fwd = Kernel.Compile.compile kernel_forward in
+  let adj = Kernel.Compile.compile kernel_adjust in
+  let acc, count = Workload.launcher device in
+  let input = Workload.upload_f32 device (Datasets.floats ~seed:1 ~n:inputs ~scale:1.0) in
+  let w =
+    Workload.upload_f32 device
+      (Datasets.floats ~seed:2 ~n:(inputs * hidden) ~scale:0.1)
+  in
+  let hid = Workload.alloc_i32 device hidden in
+  let delta = Workload.upload_f32 device (Datasets.floats ~seed:3 ~n:hidden ~scale:0.1) in
+  let gridf, blockf = Workload.grid_1d ~threads:hidden ~block:64 in
+  Workload.launch ~acc ~count device ~kernel:fwd ~grid:gridf ~block:blockf
+    ~args:[ Gpu.Device.Ptr input; Gpu.Device.Ptr w; Gpu.Device.Ptr hid;
+            Gpu.Device.I32 inputs; Gpu.Device.I32 hidden ];
+  let grida, blocka = Workload.grid_1d ~threads:(inputs * hidden) ~block:128 in
+  Workload.launch ~acc ~count device ~kernel:adj ~grid:grida ~block:blocka
+    ~args:[ Gpu.Device.Ptr w; Gpu.Device.Ptr input; Gpu.Device.Ptr delta;
+            Gpu.Device.I32 inputs; Gpu.Device.I32 hidden;
+            Gpu.Device.F32 0.3 ];
+  { Workload.output_digest =
+      Workload.combine_digests
+        [ Workload.digest_f32 device ~addr:hid ~n:hidden;
+          Workload.digest_f32 device ~addr:w ~n:(inputs * hidden) ];
+    stdout = "passes=2";
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"backprop" ~suite:"rodinia" run

@@ -1,0 +1,4 @@
+(** Rodinia BACKPROP: one hidden-layer forward pass plus weight
+    adjustment. *)
+
+val workload : Workload.t

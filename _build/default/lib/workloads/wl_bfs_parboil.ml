@@ -1,0 +1,92 @@
+(* Parboil-style BFS: frontier-queue traversal. Each thread dequeues a
+   node, scans its CSR adjacency list (degree-dependent loop — the
+   divergence source), claims unvisited neighbours with an atomic CAS
+   and appends them to the next frontier through an atomic counter.
+   The host iterates until the frontier is empty.
+
+   Variants map to the paper's datasets by structure: "1M" is a
+   scale-free random graph (wide frontiers, skewed degrees); NY/SF/UT
+   are road-network-like grids (narrow frontiers, huge diameter). *)
+
+open Kernel.Dsl
+
+let kernel_bfs =
+  kernel "bfs_parboil"
+    ~params:
+      [ ptr "row_offsets"; ptr "columns"; ptr "levels"; ptr "frontier_in";
+        int "in_count"; ptr "frontier_out"; ptr "out_count"; int "level" ]
+    (fun p ->
+      [ let_ "gid" (global_tid_x ());
+        exit_if (v "gid" >=! p 4);
+        let_ "node" (ldg (p 3 +! (v "gid" <<! int_ 2)));
+        let_ "start" (ldg (p 0 +! (v "node" <<! int_ 2)));
+        let_ "stop" (ldg (p 0 +! (v "node" <<! int_ 2) +! int_ 4));
+        let_ "old" (int_ 0);
+        let_ "idx" (int_ 0);
+        for_ "i" (v "start") (v "stop")
+          [ let_ "nbr" (ldg (p 1 +! (v "i" <<! int_ 2)));
+            (* Cheap unvisited test first, as the real code does. *)
+            if_ (ldg (p 2 +! (v "nbr" <<! int_ 2)) ==! int_ (-1))
+              [ atomic_cas "old"
+                  (p 2 +! (v "nbr" <<! int_ 2))
+                  (int_ (-1)) (p 7);
+                when_ (v "old" ==! int_ (-1))
+                  [ atomic_add_ret "idx" (p 6) (int_ 1);
+                    st_global (p 5 +! (v "idx" <<! int_ 2)) (v "nbr") ] ]
+              [] ] ])
+
+let graph_of_variant variant =
+  match variant with
+  | "1M" -> Datasets.scale_free_graph ~seed:11 ~nodes:6144 ~avg_degree:8
+  | "NY" -> Datasets.road_graph ~seed:21 ~width:56 ~height:44
+  | "SF" -> Datasets.road_graph ~seed:31 ~width:72 ~height:52
+  | "UT" -> Datasets.road_graph ~seed:41 ~width:48 ~height:40
+  | v -> invalid_arg ("bfs: unknown variant " ^ v)
+
+let run device ~variant =
+  let g = graph_of_variant variant in
+  let compiled = Kernel.Compile.compile kernel_bfs in
+  let acc, count = Workload.launcher device in
+  let n = g.Datasets.num_nodes in
+  let row_offsets = Workload.upload_i32 device g.Datasets.row_offsets in
+  let columns = Workload.upload_i32 device g.Datasets.columns in
+  let levels_init = Array.make n (-1) in
+  levels_init.(g.Datasets.source) <- 0;
+  let levels = Workload.upload_i32 device levels_init in
+  let max_frontier = n in
+  let frontier_a = Workload.alloc_i32 device max_frontier in
+  let frontier_b = Workload.alloc_i32 device max_frontier in
+  let out_count = Workload.alloc_i32 device 1 in
+  Gpu.Device.write_i32 device frontier_a g.Datasets.source;
+  let rec loop fin fout in_count level =
+    if in_count > 0 && level < n then begin
+      Gpu.Device.write_i32 device out_count 0;
+      let grid, block = Workload.grid_1d ~threads:in_count ~block:64 in
+      Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+        ~args:
+          [ Gpu.Device.Ptr row_offsets; Gpu.Device.Ptr columns;
+            Gpu.Device.Ptr levels; Gpu.Device.Ptr fin;
+            Gpu.Device.I32 in_count; Gpu.Device.Ptr fout;
+            Gpu.Device.Ptr out_count; Gpu.Device.I32 (level + 1) ];
+      let produced = Gpu.Device.read_i32 device out_count in
+      loop fout fin (min produced max_frontier) (level + 1)
+    end
+    else level
+  in
+  let rounds = loop frontier_a frontier_b 1 0 in
+  let depth = max 0 (rounds - 1) in
+  let final_levels = Gpu.Device.read_i32s device ~addr:levels ~n in
+  let visited =
+    Array.fold_left
+      (fun a l -> if Gpu.Value.signed l >= 0 then a + 1 else a)
+      0 final_levels
+  in
+  { Workload.output_digest = Workload.digest_i32 device ~addr:levels ~n;
+    stdout = Printf.sprintf "visited=%d depth=%d" visited depth;
+    stats = acc;
+    launches = !count }
+
+let workload =
+  Workload.make ~name:"bfs" ~suite:"parboil"
+    ~variants:[ "1M"; "NY"; "SF"; "UT" ]
+    ~default_variant:"NY" run

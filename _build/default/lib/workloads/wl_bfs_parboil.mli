@@ -1,0 +1,9 @@
+(** Parboil BFS: frontier-queue breadth-first search over CSR graphs.
+    Variants select graph structure: "1M" scale-free, "NY"/"SF"/"UT"
+    road-network-like grids. *)
+
+val workload : Workload.t
+
+val kernel_bfs : Kernel.Ast.kernel
+
+val graph_of_variant : string -> Datasets.graph

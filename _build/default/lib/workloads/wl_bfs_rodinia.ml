@@ -1,0 +1,70 @@
+(* Rodinia-style BFS: level-synchronous, node-per-thread. Every thread
+   checks whether its node is in the current frontier mask; frontier
+   threads relax all neighbours. A different implementation of the
+   same problem than the Parboil queue version — the paper uses the
+   pair to show divergence depends on implementation, not just
+   algorithm. *)
+
+open Kernel.Dsl
+
+let kernel_bfs =
+  kernel "bfs_rodinia"
+    ~params:
+      [ ptr "row_offsets"; ptr "columns"; ptr "mask"; ptr "next_mask";
+        ptr "visited"; ptr "cost"; int "n"; ptr "changed" ]
+    (fun p ->
+      [ let_ "gid" (global_tid_x ());
+        exit_if (v "gid" >=! p 6);
+        when_ (ldg (p 2 +! (v "gid" <<! int_ 2)) ==! int_ 1)
+          [ st_global (p 2 +! (v "gid" <<! int_ 2)) (int_ 0);
+            let_ "my_cost" (ldg (p 5 +! (v "gid" <<! int_ 2)));
+            let_ "start" (ldg (p 0 +! (v "gid" <<! int_ 2)));
+            let_ "stop" (ldg (p 0 +! (v "gid" <<! int_ 2) +! int_ 4));
+            let_ "old" (int_ 0);
+            for_ "i" (v "start") (v "stop")
+              [ let_ "nbr" (ldg (p 1 +! (v "i" <<! int_ 2)));
+                atomic_cas "old" (p 4 +! (v "nbr" <<! int_ 2)) (int_ 0)
+                  (int_ 1);
+                when_ (v "old" ==! int_ 0)
+                  [ st_global (p 5 +! (v "nbr" <<! int_ 2))
+                      (v "my_cost" +! int_ 1);
+                    st_global (p 3 +! (v "nbr" <<! int_ 2)) (int_ 1);
+                    atomic_add (p 7) (int_ 1) ] ] ] ])
+
+let run device ~variant =
+  ignore variant;
+  let g = Datasets.scale_free_graph ~seed:77 ~nodes:4096 ~avg_degree:6 in
+  let compiled = Kernel.Compile.compile kernel_bfs in
+  let acc, count = Workload.launcher device in
+  let n = g.Datasets.num_nodes in
+  let row_offsets = Workload.upload_i32 device g.Datasets.row_offsets in
+  let columns = Workload.upload_i32 device g.Datasets.columns in
+  let mask_init = Array.make n 0 in
+  mask_init.(g.Datasets.source) <- 1;
+  let mask = Workload.upload_i32 device mask_init in
+  let next_mask = Workload.alloc_i32 device n in
+  let visited_init = Array.make n 0 in
+  visited_init.(g.Datasets.source) <- 1;
+  let visited = Workload.upload_i32 device visited_init in
+  let cost = Workload.alloc_i32 device n in
+  let changed = Workload.alloc_i32 device 1 in
+  let grid, block = Workload.grid_1d ~threads:n ~block:128 in
+  let rec loop current next iters =
+    Gpu.Device.write_i32 device changed 0;
+    Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+      ~args:
+        [ Gpu.Device.Ptr row_offsets; Gpu.Device.Ptr columns;
+          Gpu.Device.Ptr current; Gpu.Device.Ptr next;
+          Gpu.Device.Ptr visited; Gpu.Device.Ptr cost; Gpu.Device.I32 n;
+          Gpu.Device.Ptr changed ];
+    if Gpu.Device.read_i32 device changed > 0 && iters < n then
+      loop next current (iters + 1)
+    else iters
+  in
+  let iters = loop mask next_mask 0 in
+  { Workload.output_digest = Workload.digest_i32 device ~addr:cost ~n;
+    stdout = Printf.sprintf "iterations=%d" iters;
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"bfs" ~suite:"rodinia" run

@@ -1,0 +1,3 @@
+(** Rodinia BFS: level-synchronous node-per-thread traversal. *)
+
+val workload : Workload.t

@@ -1,0 +1,97 @@
+(* Rodinia B+TREE: batched key lookups walking a B+ tree. All threads
+   descend the same shallow tree, so node addresses and fanout
+   computations are identical across a warp — the paper's strongest
+   scalar-value benchmark (76% dynamic scalar). *)
+
+open Kernel.Dsl
+
+let order = 8  (* keys per node *)
+
+let levels = 4
+
+(* Node layout: order keys then order child indices (i32 each). *)
+let kernel_btree =
+  kernel "btree"
+    ~params:[ ptr "nodes"; ptr "queries"; ptr "answers"; int "nq" ]
+    (fun p ->
+      let node_stride = 2 * order * 4 in
+      [ let_ "q" (global_tid_x ());
+        exit_if (v "q" >=! p 3);
+        let_ "key" (ldg (p 1 +! (v "q" <<! int_ 2)));
+        let_ "node" (int_ 0);
+        for_ "level" (int_ 0) (int_ levels)
+          [ (* Scan keys in the node to find the child slot. *)
+            let_ "slot" (int_ 0);
+            while_
+              ((v "slot" <! int_ (order - 1))
+               &&? (v "key"
+                    >=! ldg
+                          (p 0
+                           +! (v "node" *! int_ node_stride)
+                           +! ((v "slot" +! int_ 1) <<! int_ 2))))
+              [ set "slot" (v "slot" +! int_ 1) ];
+            set "node"
+              (ldg
+                 (p 0
+                  +! (v "node" *! int_ node_stride)
+                  +! int_ (order * 4)
+                  +! (v "slot" <<! int_ 2))) ];
+        st_global (p 2 +! (v "q" <<! int_ 2)) (v "node") ])
+
+(* A complete [order]-way tree with sorted key ranges; internal nodes
+   store child ids, last-level nodes store their range base as the
+   answer payload. Ids are assigned in preorder and written as data,
+   so layout order does not matter. *)
+let build_tree () =
+  let span_root = 1 lsl 20 in
+  let entries_per_node = 2 * order in
+  let nodes_acc = ref [] in
+  let node_count = ref 0 in
+  let rec build lo hi depth =
+    let id = !node_count in
+    incr node_count;
+    let slot = Array.make entries_per_node 0 in
+    nodes_acc := (id, slot) :: !nodes_acc;
+    let width = max 1 ((hi - lo) / order) in
+    for k = 0 to order - 1 do
+      slot.(k) <- lo + (k * width)
+    done;
+    if depth + 1 < levels then
+      for c = 0 to order - 1 do
+        slot.(order + c) <-
+          build (lo + (c * width)) (lo + ((c + 1) * width)) (depth + 1)
+      done
+    else
+      for c = 0 to order - 1 do
+        slot.(order + c) <- lo + (c * width)
+      done;
+    id
+  in
+  ignore (build 0 span_root 0);
+  let n = !node_count in
+  let flat = Array.make (n * entries_per_node) 0 in
+  List.iter
+    (fun (id, slot) ->
+       Array.blit slot 0 flat (id * entries_per_node) entries_per_node)
+    !nodes_acc;
+  (flat, span_root)
+
+let run device ~variant =
+  ignore variant;
+  let nq = 2048 in
+  let compiled = Kernel.Compile.compile kernel_btree in
+  let acc, count = Workload.launcher device in
+  let flat, span = build_tree () in
+  let nodes = Workload.upload_i32 device flat in
+  let queries = Workload.upload_i32 device (Datasets.ints ~seed:71 ~n:nq ~bound:span) in
+  let answers = Workload.alloc_i32 device nq in
+  let grid, block = Workload.grid_1d ~threads:nq ~block:128 in
+  Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+    ~args:[ Gpu.Device.Ptr nodes; Gpu.Device.Ptr queries;
+            Gpu.Device.Ptr answers; Gpu.Device.I32 nq ];
+  { Workload.output_digest = Workload.digest_i32 device ~addr:answers ~n:nq;
+    stdout = Printf.sprintf "queries=%d" nq;
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"b+tree" ~suite:"rodinia" run

@@ -1,0 +1,8 @@
+(** Rodinia B+TREE: batched key lookups over a shared shallow tree
+    (scalar-value heavy). *)
+
+val workload : Workload.t
+
+val build_tree : unit -> int array * int
+(** The flattened node array and root key span; exposed so tests can
+    run the host-side reference search. *)

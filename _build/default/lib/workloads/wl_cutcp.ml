@@ -1,0 +1,52 @@
+(* Parboil CUTCP: cutoff Coulombic potential. Each thread owns one
+   lattice point and loops over the atom list, accumulating charge
+   only inside the cutoff radius — a data-dependent branch nested in a
+   uniform loop. *)
+
+open Kernel.Dsl
+
+let lattice = 48
+
+let kernel_cutcp =
+  kernel "cutcp"
+    ~params:[ ptr "ax"; ptr "ay"; ptr "aq"; ptr "potential"; int "natoms";
+              flt "cutoff2" ]
+    (fun p ->
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! int_ (lattice * lattice));
+        let_f "px" (i2f (v "i" %! int_ lattice) *.. f32 (1.0 /. 8.0));
+        let_f "py" (i2f (v "i" /! int_ lattice) *.. f32 (1.0 /. 8.0));
+        let_f "energy" (f32 0.0);
+        for_ "a" (int_ 0) (p 4)
+          [ let_f "dx" (ldg_f (p 0 +! (v "a" <<! int_ 2)) -.. v "px");
+            let_f "dy" (ldg_f (p 1 +! (v "a" <<! int_ 2)) -.. v "py");
+            let_f "r2" (ffma (v "dx") (v "dx") (v "dy" *.. v "dy"));
+            when_ (v "r2" <.. p 5)
+              [ set "energy"
+                  (v "energy"
+                   +.. (ldg_f (p 2 +! (v "a" <<! int_ 2))
+                        *.. rsqrt (v "r2" +.. f32 0.01))) ] ];
+        st_global_f (p 3 +! (v "i" <<! int_ 2)) (v "energy") ])
+
+let run device ~variant =
+  ignore variant;
+  let natoms = 96 in
+  let compiled = Kernel.Compile.compile kernel_cutcp in
+  let acc, count = Workload.launcher device in
+  let scale = float_of_int lattice /. 8.0 in
+  let ax = Workload.upload_f32 device (Datasets.floats ~seed:1 ~n:natoms ~scale) in
+  let ay = Workload.upload_f32 device (Datasets.floats ~seed:2 ~n:natoms ~scale) in
+  let aq = Workload.upload_f32 device (Datasets.floats ~seed:3 ~n:natoms ~scale:2.0) in
+  let potential = Workload.alloc_i32 device (lattice * lattice) in
+  let grid, block = Workload.grid_1d ~threads:(lattice * lattice) ~block:128 in
+  Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+    ~args:[ Gpu.Device.Ptr ax; Gpu.Device.Ptr ay; Gpu.Device.Ptr aq;
+            Gpu.Device.Ptr potential; Gpu.Device.I32 natoms;
+            Gpu.Device.F32 1.5 ];
+  { Workload.output_digest =
+      Workload.digest_f32 device ~addr:potential ~n:(lattice * lattice);
+    stdout = "done";
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"cutcp" ~suite:"parboil" run

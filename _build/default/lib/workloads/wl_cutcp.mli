@@ -1,0 +1,4 @@
+(** Parboil CUTCP: cutoff Coulombic potential with a
+    data-dependent cutoff branch. *)
+
+val workload : Workload.t

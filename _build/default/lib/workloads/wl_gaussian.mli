@@ -1,0 +1,4 @@
+(** Rodinia GAUSSIAN: elimination with Fan1/Fan2/Fan3 kernels
+    launched per pivot (launch-bound). *)
+
+val workload : Workload.t

@@ -1,0 +1,56 @@
+(* Parboil MRI-Gridding (structurally): each thread scatters one
+   k-space sample into a neighbourhood of grid cells with atomics.
+   Sample coordinates are random, so the scatter is address-divergent
+   and atomic-heavy — the paper lists mri-gridding among the most
+   memory-divergent codes. *)
+
+open Kernel.Dsl
+
+let grid_dim = 64
+
+let kernel_gridding =
+  kernel "mri_gridding"
+    ~params:[ ptr "sx"; ptr "sy"; ptr "sval"; ptr "grid"; int "n" ]
+    (fun p ->
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! p 4);
+        let_ "gx" (ldg (p 0 +! (v "i" <<! int_ 2)));
+        let_ "gy" (ldg (p 1 +! (v "i" <<! int_ 2)));
+        let_ "value" (ldg (p 2 +! (v "i" <<! int_ 2)));
+        (* 3x3 neighbourhood scatter with clamping. *)
+        for_ "dy" (int_ 0) (int_ 3)
+          [ for_ "dx" (int_ 0) (int_ 3)
+              [ let_ "cx"
+                  (imin (imax (v "gx" +! v "dx" -! int_ 1) (int_ 0))
+                     (int_ (grid_dim - 1)));
+                let_ "cy"
+                  (imin (imax (v "gy" +! v "dy" -! int_ 1) (int_ 0))
+                     (int_ (grid_dim - 1)));
+                atomic_add
+                  (p 3 +! (((v "cy" *! int_ grid_dim) +! v "cx") <<! int_ 2))
+                  (v "value") ] ] ])
+
+let run device ~variant =
+  ignore variant;
+  let n = 2048 in
+  let compiled = Kernel.Compile.compile kernel_gridding in
+  let acc, count = Workload.launcher device in
+  let sx = Workload.upload_i32 device (Datasets.ints ~seed:1 ~n ~bound:grid_dim) in
+  let sy = Workload.upload_i32 device (Datasets.ints ~seed:2 ~n ~bound:grid_dim) in
+  let sval = Workload.upload_i32 device (Datasets.ints ~seed:3 ~n ~bound:100) in
+  let grid_buf = Workload.alloc_i32 device (grid_dim * grid_dim) in
+  let grid, block = Workload.grid_1d ~threads:n ~block:128 in
+  Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+    ~args:[ Gpu.Device.Ptr sx; Gpu.Device.Ptr sy; Gpu.Device.Ptr sval;
+            Gpu.Device.Ptr grid_buf; Gpu.Device.I32 n ];
+  let total =
+    Array.fold_left ( + ) 0
+      (Gpu.Device.read_i32s device ~addr:grid_buf ~n:(grid_dim * grid_dim))
+  in
+  { Workload.output_digest =
+      Workload.digest_i32 device ~addr:grid_buf ~n:(grid_dim * grid_dim);
+    stdout = Printf.sprintf "mass=%d" total;
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"mri-gridding" ~suite:"parboil" run

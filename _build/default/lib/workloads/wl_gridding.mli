@@ -1,0 +1,4 @@
+(** Parboil MRI-Gridding (structurally): atomic 3x3 scatter of
+    samples into a grid (address divergent). *)
+
+val workload : Workload.t

@@ -1,0 +1,77 @@
+(* Rodinia HEARTWALL (structurally): ultrasound wall tracking. Each
+   thread tracks one sample point: it searches a neighbourhood with an
+   early-exit correlation loop whose trip count depends on the local
+   image data. Nested data-dependent branches make this the paper's
+   most divergent benchmark (~42% dynamic). *)
+
+open Kernel.Dsl
+
+let img = 96
+
+let kernel_heartwall =
+  kernel "heartwall"
+    ~params:[ ptr "image"; ptr "px"; ptr "py"; ptr "out"; int "npoints";
+              int "dim" ]
+    (fun p ->
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! p 4);
+        let_ "x" (ldg (p 1 +! (v "i" <<! int_ 2)));
+        let_ "y" (ldg (p 2 +! (v "i" <<! int_ 2)));
+        let_ "best" (int_ 0x7FFFFFFF);
+        let_ "bestpos" (int_ 0);
+        let_ "center"
+          (ldg (p 0 +! (((v "y" *! p 5) +! v "x") <<! int_ 2)));
+        (* Search a 5x5 window around the point. *)
+        for_ "dy" (int_ 0) (int_ 5)
+          [ for_ "dx" (int_ 0) (int_ 5)
+              [ let_ "cx"
+                  (imin (imax (v "x" +! v "dx" -! int_ 2) (int_ 0))
+                     (p 5 -! int_ 1));
+                let_ "cy"
+                  (imin (imax (v "y" +! v "dy" -! int_ 2) (int_ 0))
+                     (p 5 -! int_ 1));
+                let_ "cost" (int_ 0);
+                let_ "k" (int_ 0);
+                (* Early-exit correlation walk: trip count depends on
+                   accumulated mismatch, i.e. on the data. *)
+                while_ ((v "k" <! int_ 12) &&? (v "cost" <! v "best"))
+                  [ let_ "sx" ((v "cx" +! (v "k" %! int_ 4)) %! p 5);
+                    let_ "sy" ((v "cy" +! (v "k" /! int_ 4)) %! p 5);
+                    let_ "pix"
+                      (ldg (p 0 +! (((v "sy" *! p 5) +! v "sx") <<! int_ 2)));
+                    set "cost"
+                      (v "cost"
+                       +! imax (v "pix" -! v "center")
+                            (v "center" -! v "pix"));
+                    set "k" (v "k" +! int_ 1) ];
+                when_ (v "cost" <! v "best")
+                  [ set "best" (v "cost");
+                    set "bestpos" ((v "cy" *! p 5) +! v "cx") ] ] ];
+        st_global (p 3 +! (v "i" <<! int_ 2)) (v "bestpos") ])
+
+let run device ~variant =
+  ignore variant;
+  let npoints = 512 in
+  let compiled = Kernel.Compile.compile kernel_heartwall in
+  let acc, count = Workload.launcher device in
+  let image =
+    Workload.upload_i32 device
+      (Datasets.ints ~seed:7 ~n:(img * img) ~bound:255)
+  in
+  let px = Workload.upload_i32 device (Datasets.ints ~seed:8 ~n:npoints ~bound:img) in
+  let py = Workload.upload_i32 device (Datasets.ints ~seed:9 ~n:npoints ~bound:img) in
+  let out = Workload.alloc_i32 device npoints in
+  let grid, block = Workload.grid_1d ~threads:npoints ~block:128 in
+  (* The real code tracks across frames: iterate a few times. *)
+  for _ = 1 to 3 do
+    Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+      ~args:[ Gpu.Device.Ptr image; Gpu.Device.Ptr px; Gpu.Device.Ptr py;
+              Gpu.Device.Ptr out; Gpu.Device.I32 npoints;
+              Gpu.Device.I32 img ]
+  done;
+  { Workload.output_digest = Workload.digest_i32 device ~addr:out ~n:npoints;
+    stdout = "frames=3";
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"heartwall" ~suite:"rodinia" run

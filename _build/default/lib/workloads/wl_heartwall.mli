@@ -1,0 +1,4 @@
+(** Rodinia HEARTWALL (structurally): window search with
+    early-exit correlation loops (most divergent benchmark). *)
+
+val workload : Workload.t

@@ -1,0 +1,49 @@
+(* Parboil HISTO: histogramming with a heavily skewed input
+   distribution, so many threads update the same bins — atomic
+   contention plus address divergence. The paper notes histo launches
+   tens of thousands of small kernels; we model that with many small
+   chunked launches. *)
+
+open Kernel.Dsl
+
+let bins = 256
+
+let kernel_histo =
+  kernel "histo"
+    ~params:[ ptr "input"; ptr "hist"; int "offset"; int "n" ]
+    (fun p ->
+      [ let_ "i" ((global_tid_x ()) +! p 2);
+        exit_if (v "i" >=! p 3);
+        let_ "value" (ldg (p 0 +! (v "i" <<! int_ 2)));
+        atomic_add (p 1 +! (v "value" <<! int_ 2)) (int_ 1) ])
+
+let run device ~variant =
+  ignore variant;
+  let n = 16384 in
+  let chunk = 1024 in
+  let compiled = Kernel.Compile.compile kernel_histo in
+  let acc, count = Workload.launcher device in
+  (* Skewed distribution: square a uniform variate. *)
+  let rng = Rng.create ~seed:23 in
+  let data =
+    Array.init n (fun _ ->
+        let u = Rng.float rng 1.0 in
+        int_of_float (u *. u *. float_of_int (bins - 1)))
+  in
+  let input = Workload.upload_i32 device data in
+  let hist = Workload.alloc_i32 device bins in
+  let offset = ref 0 in
+  while !offset < n do
+    let grid, block = Workload.grid_1d ~threads:chunk ~block:128 in
+    Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+      ~args:[ Gpu.Device.Ptr input; Gpu.Device.Ptr hist;
+              Gpu.Device.I32 !offset; Gpu.Device.I32 n ];
+    offset := !offset + chunk
+  done;
+  let h = Gpu.Device.read_i32s device ~addr:hist ~n:bins in
+  { Workload.output_digest = Workload.digest_i32 device ~addr:hist ~n:bins;
+    stdout = Printf.sprintf "max_bin=%d" (Array.fold_left max 0 h);
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"histo" ~suite:"parboil" run

@@ -1,0 +1,4 @@
+(** Parboil HISTO: skewed histogramming with atomics, launched in
+    many small chunks. *)
+
+val workload : Workload.t

@@ -1,0 +1,87 @@
+(* Rodinia HOTSPOT: thermal simulation — a 2-D stencil on temperature
+   with a power term, tiled through shared memory. *)
+
+open Kernel.Dsl
+
+let dim = 96
+
+let tile = 16
+
+let kernel_hotspot =
+  kernel "hotspot"
+    ~params:[ ptr "temp"; ptr "power"; ptr "out"; int "dim" ]
+    ~shared:[ ("ts", (tile * tile * 4)) ]
+    (fun p ->
+      let clamp e lo hi = imin (imax e lo) hi in
+      let shared_at sx sy =
+        lds_f (shared_base "ts" +! (((sy *! int_ tile) +! sx) <<! int_ 2))
+      in
+      let global_at gx gy =
+        ldg_f
+          (p 0
+           +! (((clamp gy (int_ 0) (p 3 -! int_ 1) *! p 3)
+                +! clamp gx (int_ 0) (p 3 -! int_ 1))
+               <<! int_ 2))
+      in
+      [ let_ "tx" tid_x;
+        let_ "ty" tid_y;
+        let_ "x" ((ctaid_x *! int_ tile) +! v "tx");
+        let_ "y" ((ctaid_y *! int_ tile) +! v "ty");
+        let_ "i" ((v "y" *! p 3) +! v "x");
+        (* Stage the tile. *)
+        st_shared_f
+          (shared_base "ts" +! (((v "ty" *! int_ tile) +! v "tx") <<! int_ 2))
+          (ldg_f (p 0 +! (v "i" <<! int_ 2)));
+        sync;
+        (* Interior lanes read the staged tile; halo lanes branch to
+           clamped global reads — the boundary divergence the real
+           kernel exhibits. *)
+        let_f "c" (shared_at (v "tx") (v "ty"));
+        let_f "n" (f32 0.0);
+        if_ (v "ty" >! int_ 0)
+          [ set "n" (shared_at (v "tx") (v "ty" -! int_ 1)) ]
+          [ set "n" (global_at (v "x") (v "y" -! int_ 1)) ];
+        let_f "s" (f32 0.0);
+        if_ (v "ty" <! int_ (tile - 1))
+          [ set "s" (shared_at (v "tx") (v "ty" +! int_ 1)) ]
+          [ set "s" (global_at (v "x") (v "y" +! int_ 1)) ];
+        let_f "w" (f32 0.0);
+        if_ (v "tx" >! int_ 0)
+          [ set "w" (shared_at (v "tx" -! int_ 1) (v "ty")) ]
+          [ set "w" (global_at (v "x" -! int_ 1) (v "y")) ];
+        let_f "e" (f32 0.0);
+        if_ (v "tx" <! int_ (tile - 1))
+          [ set "e" (shared_at (v "tx" +! int_ 1) (v "ty")) ]
+          [ set "e" (global_at (v "x" +! int_ 1) (v "y")) ];
+        let_f "pw" (ldg_f (p 1 +! (v "i" <<! int_ 2)));
+        st_global_f (p 2 +! (v "i" <<! int_ 2))
+          (v "c"
+           +.. (f32 0.2
+                *.. (v "n" +.. v "s" +.. v "w" +.. v "e"
+                     -.. (f32 4.0 *.. v "c") +.. v "pw"))) ])
+
+let run device ~variant =
+  ignore variant;
+  let n = dim * dim in
+  let compiled = Kernel.Compile.compile kernel_hotspot in
+  let acc, count = Workload.launcher device in
+  let temp = Workload.upload_f32 device (Datasets.floats ~seed:41 ~n ~scale:80.0) in
+  let power = Workload.upload_f32 device (Datasets.floats ~seed:42 ~n ~scale:2.0) in
+  let out = Workload.alloc_i32 device n in
+  let bufs = ref (temp, out) in
+  for _ = 1 to 4 do
+    let src, dst = !bufs in
+    Workload.launch ~acc ~count device ~kernel:compiled
+      ~grid:(dim / tile, dim / tile)
+      ~block:(tile, tile)
+      ~args:[ Gpu.Device.Ptr src; Gpu.Device.Ptr power; Gpu.Device.Ptr dst;
+              Gpu.Device.I32 dim ];
+    bufs := (dst, src)
+  done;
+  let final, _ = !bufs in
+  { Workload.output_digest = Workload.digest_f32 device ~addr:final ~n;
+    stdout = "iters=4";
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"hotspot" ~suite:"rodinia" run

@@ -1,0 +1,4 @@
+(** Rodinia HOTSPOT: thermal stencil with shared-memory tiles and
+    halo branches. *)
+
+val workload : Workload.t

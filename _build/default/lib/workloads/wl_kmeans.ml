@@ -1,0 +1,56 @@
+(* Rodinia KMEANS: the assignment kernel — each point scans all
+   centers over all dimensions, tracking the nearest. Uniform loops;
+   only the running-min select differs per lane. *)
+
+open Kernel.Dsl
+
+let dims = 8
+
+let clusters = 6
+
+let kernel_kmeans =
+  kernel "kmeans_assign"
+    ~params:[ ptr "points"; ptr "centers"; ptr "membership"; int "n" ]
+    (fun p ->
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! p 3);
+        let_f "best" (f32 1e30);
+        let_ "bestc" (int_ 0);
+        for_ "c" (int_ 0) (int_ clusters)
+          [ let_f "d2" (f32 0.0);
+            for_ "d" (int_ 0) (int_ dims)
+              [ let_f "diff"
+                  (ldg_f (p 0 +! (((v "i" *! int_ dims) +! v "d") <<! int_ 2))
+                   -.. ldg_f
+                         (p 1 +! (((v "c" *! int_ dims) +! v "d") <<! int_ 2)));
+                set "d2" (ffma (v "diff") (v "diff") (v "d2")) ];
+            set "bestc" (select (v "d2" <.. v "best") (v "c") (v "bestc"));
+            set "best" (fmin (v "d2") (v "best")) ];
+        st_global (p 2 +! (v "i" <<! int_ 2)) (v "bestc") ])
+
+let run device ~variant =
+  ignore variant;
+  let n = 1024 in
+  let compiled = Kernel.Compile.compile kernel_kmeans in
+  let acc, count = Workload.launcher device in
+  let points =
+    Workload.upload_f32 device (Datasets.floats ~seed:1 ~n:(n * dims) ~scale:1.0)
+  in
+  let centers =
+    Workload.upload_f32 device
+      (Datasets.floats ~seed:2 ~n:(clusters * dims) ~scale:1.0)
+  in
+  let membership = Workload.alloc_i32 device n in
+  let grid, block = Workload.grid_1d ~threads:n ~block:128 in
+  (* A few host-side refinement rounds relaunch the assignment. *)
+  for _ = 1 to 3 do
+    Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+      ~args:[ Gpu.Device.Ptr points; Gpu.Device.Ptr centers;
+              Gpu.Device.Ptr membership; Gpu.Device.I32 n ]
+  done;
+  { Workload.output_digest = Workload.digest_i32 device ~addr:membership ~n;
+    stdout = Printf.sprintf "clusters=%d" clusters;
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"kmeans" ~suite:"rodinia" run

@@ -1,0 +1,4 @@
+(** Rodinia KMEANS: cluster-assignment kernel over all
+    centers/dimensions. *)
+
+val workload : Workload.t

@@ -1,0 +1,73 @@
+(* Rodinia LAVAMD (structurally): particles in a 2-D box grid
+   interacting with neighbours inside a cutoff. One thread per
+   particle, loops over the 3x3 neighbour boxes and their particles,
+   with the cutoff test splitting warps on particle positions. *)
+
+open Kernel.Dsl
+
+let boxes = 6  (* boxes per side *)
+
+let per_box = 16
+
+let kernel_lavamd =
+  kernel "lavamd"
+    ~params:[ ptr "px"; ptr "py"; ptr "charge"; ptr "force"; int "n";
+              flt "cutoff2" ]
+    (fun p ->
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! p 4);
+        let_f "xi" (ldg_f (p 0 +! (v "i" <<! int_ 2)));
+        let_f "yi" (ldg_f (p 1 +! (v "i" <<! int_ 2)));
+        let_ "bx" (f2i (v "xi" *.. f32 (float_of_int boxes)));
+        let_ "by" (f2i (v "yi" *.. f32 (float_of_int boxes)));
+        let_f "acc" (f32 0.0);
+        for_ "nb" (int_ 0) (int_ 9)
+          [ let_ "ox" ((v "nb" %! int_ 3) -! int_ 1);
+            let_ "oy" ((v "nb" /! int_ 3) -! int_ 1);
+            let_ "cx" (imin (imax (v "bx" +! v "ox") (int_ 0)) (int_ (boxes - 1)));
+            let_ "cy" (imin (imax (v "by" +! v "oy") (int_ 0)) (int_ (boxes - 1)));
+            let_ "base" ((((v "cy" *! int_ boxes) +! v "cx") *! int_ per_box));
+            for_ "k" (int_ 0) (int_ per_box)
+              [ let_ "j" (v "base" +! v "k");
+                let_f "dx" (ldg_f (p 0 +! (v "j" <<! int_ 2)) -.. v "xi");
+                let_f "dy" (ldg_f (p 1 +! (v "j" <<! int_ 2)) -.. v "yi");
+                let_f "r2" (ffma (v "dx") (v "dx") (v "dy" *.. v "dy"));
+                when_ ((v "r2" <.. p 5) &&? (v "r2" >.. f32 0.000001))
+                  [ set "acc"
+                      (ffma
+                         (ldg_f (p 2 +! (v "j" <<! int_ 2)))
+                         (rcp (v "r2" +.. f32 0.01))
+                         (v "acc")) ] ] ];
+        st_global_f (p 3 +! (v "i" <<! int_ 2)) (v "acc") ])
+
+let run device ~variant =
+  ignore variant;
+  let n = boxes * boxes * per_box in
+  let compiled = Kernel.Compile.compile kernel_lavamd in
+  let acc, count = Workload.launcher device in
+  (* Particles laid out box-major so each box's slice is contiguous. *)
+  let rng = Rng.create ~seed:83 in
+  let px = Array.make n 0.0 and py = Array.make n 0.0 in
+  for b = 0 to (boxes * boxes) - 1 do
+    let bx = b mod boxes and by = b / boxes in
+    for k = 0 to per_box - 1 do
+      let i = (b * per_box) + k in
+      px.(i) <- (float_of_int bx +. Rng.float rng 1.0) /. float_of_int boxes;
+      py.(i) <- (float_of_int by +. Rng.float rng 1.0) /. float_of_int boxes
+    done
+  done;
+  let dpx = Workload.upload_f32 device px in
+  let dpy = Workload.upload_f32 device py in
+  let charge = Workload.upload_f32 device (Datasets.floats ~seed:84 ~n ~scale:1.0) in
+  let force = Workload.alloc_i32 device n in
+  let grid, block = Workload.grid_1d ~threads:n ~block:128 in
+  Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+    ~args:[ Gpu.Device.Ptr dpx; Gpu.Device.Ptr dpy; Gpu.Device.Ptr charge;
+            Gpu.Device.Ptr force; Gpu.Device.I32 n;
+            Gpu.Device.F32 0.05 ];
+  { Workload.output_digest = Workload.digest_f32 device ~addr:force ~n;
+    stdout = "done";
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"lavaMD" ~suite:"rodinia" run

@@ -1,0 +1,4 @@
+(** Rodinia LAVAMD (structurally): boxed particles interacting
+    within a cutoff. *)
+
+val workload : Workload.t

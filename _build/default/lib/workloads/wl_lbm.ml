@@ -1,0 +1,85 @@
+(* Parboil LBM: lattice-Boltzmann fluid step, D2Q5 flavour. Each cell
+   gathers its five distribution values, relaxes them toward
+   equilibrium and streams the result — wide, float-heavy, and
+   branch-light except for the obstacle test. *)
+
+open Kernel.Dsl
+
+let dim = 64
+
+let q = 5  (* rest, +x, -x, +y, -y *)
+
+let kernel_lbm =
+  kernel "lbm"
+    ~params:[ ptr "src"; ptr "dst"; ptr "obstacle"; int "dim" ]
+    (fun p ->
+      let f k idx = ldg_f (p 0 +! (((int_ k *! (p 3 *! p 3)) +! idx) <<! int_ 2)) in
+      let stf k idx value =
+        st_global_f (p 1 +! (((int_ k *! (p 3 *! p 3)) +! idx) <<! int_ 2)) value
+      in
+      let relax fi feq = ffma (f32 0.6) (feq -.. fi) fi in
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! (p 3 *! p 3));
+        let_ "x" (v "i" %! p 3);
+        let_ "y" (v "i" /! p 3);
+        (* Gather with periodic wrap. *)
+        let_ "xe" ((v "x" +! int_ 1) %! p 3);
+        let_ "xw" ((v "x" +! p 3 -! int_ 1) %! p 3);
+        let_ "yn" ((v "y" +! int_ 1) %! p 3);
+        let_ "ys" ((v "y" +! p 3 -! int_ 1) %! p 3);
+        let_f "f0" (f 0 (v "i"));
+        let_f "f1" (f 1 ((v "y" *! p 3) +! v "xw"));
+        let_f "f2" (f 2 ((v "y" *! p 3) +! v "xe"));
+        let_f "f3" (f 3 ((v "ys" *! p 3) +! v "x"));
+        let_f "f4" (f 4 ((v "yn" *! p 3) +! v "x"));
+        if_ (ldg (p 2 +! (v "i" <<! int_ 2)) ==! int_ 1)
+          [ (* Obstacle: bounce-back. *)
+            stf 0 (v "i") (v "f0");
+            stf 1 (v "i") (v "f2");
+            stf 2 (v "i") (v "f1");
+            stf 3 (v "i") (v "f4");
+            stf 4 (v "i") (v "f3") ]
+          [ let_f "rho"
+              (v "f0" +.. v "f1" +.. v "f2" +.. v "f3" +.. v "f4");
+            let_f "ux" ((v "f1" -.. v "f2") /.. (v "rho" +.. f32 0.001));
+            let_f "uy" ((v "f3" -.. v "f4") /.. (v "rho" +.. f32 0.001));
+            let_f "feq0" (v "rho" *.. f32 0.2);
+            let_f "feq1" (v "rho" *.. (f32 0.2 +.. (f32 0.1 *.. v "ux")));
+            let_f "feq2" (v "rho" *.. (f32 0.2 -.. (f32 0.1 *.. v "ux")));
+            let_f "feq3" (v "rho" *.. (f32 0.2 +.. (f32 0.1 *.. v "uy")));
+            let_f "feq4" (v "rho" *.. (f32 0.2 -.. (f32 0.1 *.. v "uy")));
+            stf 0 (v "i") (relax (v "f0") (v "feq0"));
+            stf 1 (v "i") (relax (v "f1") (v "feq1"));
+            stf 2 (v "i") (relax (v "f2") (v "feq2"));
+            stf 3 (v "i") (relax (v "f3") (v "feq3"));
+            stf 4 (v "i") (relax (v "f4") (v "feq4")) ] ])
+
+let run device ~variant =
+  ignore variant;
+  let cells = dim * dim in
+  let compiled = Kernel.Compile.compile kernel_lbm in
+  let acc, count = Workload.launcher device in
+  let src = Workload.upload_f32 device (Datasets.floats ~seed:3 ~n:(q * cells) ~scale:1.0) in
+  let dst = Workload.alloc_i32 device (q * cells) in
+  let rng = Rng.create ~seed:19 in
+  let obstacle =
+    Workload.upload_i32 device
+      (Array.init cells (fun _ -> if Rng.int rng 100 < 6 then 1 else 0))
+  in
+  let grid, block = Workload.grid_1d ~threads:cells ~block:128 in
+  let bufs = ref (src, dst) in
+  for _ = 1 to 4 do
+    let s, d = !bufs in
+    Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+      ~args:[ Gpu.Device.Ptr s; Gpu.Device.Ptr d; Gpu.Device.Ptr obstacle;
+              Gpu.Device.I32 dim ];
+    bufs := (d, s)
+  done;
+  let final, _ = !bufs in
+  { Workload.output_digest =
+      Workload.digest_f32 device ~addr:final ~n:(q * cells);
+    stdout = "steps=4";
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"lbm" ~suite:"parboil" run

@@ -1,0 +1,7 @@
+(** Parboil LBM: D2Q5 lattice-Boltzmann step with obstacle
+    bounce-back. *)
+
+val workload : Workload.t
+
+val kernel_lbm : Kernel.Ast.kernel
+(** Exposed for conservation-law tests. *)

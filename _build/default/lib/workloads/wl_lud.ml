@@ -1,0 +1,53 @@
+(* Rodinia LUD: LU decomposition. One kernel per pivot updates the
+   trailing submatrix (the perimeter/internal split of the real code
+   collapsed into a single triangular-guard kernel — divergence at the
+   triangle boundary, shrinking launches). *)
+
+open Kernel.Dsl
+
+let kernel_lud_step =
+  kernel "lud_step"
+    ~params:[ ptr "a"; int "n"; int "k" ]
+    (fun p ->
+      [ let_ "gid" (global_tid_x ());
+        let_ "span" (p 1 -! p 2 -! int_ 1);
+        exit_if (v "gid" >=! (v "span" *! v "span"));
+        let_ "i" ((v "gid" /! v "span") +! p 2 +! int_ 1);
+        let_ "j" ((v "gid" %! v "span") +! p 2 +! int_ 1);
+        let_f "pivot" (ldg_f (p 0 +! (((p 2 *! p 1) +! p 2) <<! int_ 2)));
+        let_f "lik"
+          (ldg_f (p 0 +! (((v "i" *! p 1) +! p 2) <<! int_ 2))
+           /.. v "pivot");
+        (* First column of the step stores the L factor. *)
+        when_ (v "j" ==! (p 2 +! int_ 1))
+          [ st_global_f (p 0 +! (((v "i" *! p 1) +! p 2) <<! int_ 2))
+              (v "lik") ];
+        st_global_f (p 0 +! (((v "i" *! p 1) +! v "j") <<! int_ 2))
+          (ldg_f (p 0 +! (((v "i" *! p 1) +! v "j") <<! int_ 2))
+           -.. (v "lik"
+                *.. ldg_f (p 0 +! (((p 2 *! p 1) +! v "j") <<! int_ 2)))) ])
+
+let run device ~variant =
+  ignore variant;
+  let n = 48 in
+  let compiled = Kernel.Compile.compile kernel_lud_step in
+  let acc, count = Workload.launcher device in
+  let rng = Rng.create ~seed:61 in
+  let a_host =
+    Array.init (n * n) (fun i ->
+        let r = i / n and c = i mod n in
+        if r = c then 8.0 +. Rng.float rng 2.0 else Rng.float rng 1.0)
+  in
+  let a = Workload.upload_f32 device a_host in
+  for k = 0 to n - 2 do
+    let span = n - k - 1 in
+    let grid, block = Workload.grid_1d ~threads:(span * span) ~block:64 in
+    Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+      ~args:[ Gpu.Device.Ptr a; Gpu.Device.I32 n; Gpu.Device.I32 k ]
+  done;
+  { Workload.output_digest = Workload.digest_f32 device ~addr:a ~n:(n * n);
+    stdout = Printf.sprintf "steps=%d" (n - 1);
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"lud" ~suite:"rodinia" run

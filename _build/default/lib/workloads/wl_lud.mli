@@ -1,0 +1,4 @@
+(** Rodinia LUD: LU decomposition, one trailing-submatrix update
+    kernel per pivot. *)
+
+val workload : Workload.t

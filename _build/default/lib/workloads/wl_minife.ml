@@ -1,0 +1,105 @@
+(* miniFE: the finite-element mini-app's CG solver inner loop, with
+   the sparse matrix stored either in CSR (threads walk disjoint row
+   segments — highly address divergent) or column-major ELL
+   (consecutive threads read consecutive words — well coalesced).
+   This pair generates the paper's Figure 7/8 contrast. *)
+
+open Kernel.Dsl
+
+let kernel_matvec_csr =
+  kernel "minife_csr"
+    ~params:[ ptr "offsets"; ptr "indices"; ptr "values"; ptr "x"; ptr "y";
+              int "n" ]
+    (fun p ->
+      [ let_ "row" (global_tid_x ());
+        exit_if (v "row" >=! p 5);
+        let_ "start" (ldg (p 0 +! (v "row" <<! int_ 2)));
+        let_ "stop" (ldg (p 0 +! (v "row" <<! int_ 2) +! int_ 4));
+        let_f "sum" (f32 0.0);
+        for_ "j" (v "start") (v "stop")
+          [ set "sum"
+              (ffma
+                 (ldg_f (p 2 +! (v "j" <<! int_ 2)))
+                 (ldg_f
+                    (p 3 +! (ldg (p 1 +! (v "j" <<! int_ 2)) <<! int_ 2)))
+                 (v "sum")) ];
+        st_global_f (p 4 +! (v "row" <<! int_ 2)) (v "sum") ])
+
+let kernel_matvec_ell =
+  kernel "minife_ell"
+    ~params:[ ptr "indices"; ptr "values"; ptr "x"; ptr "y"; int "n";
+              int "width" ]
+    (fun p ->
+      [ let_ "row" (global_tid_x ());
+        exit_if (v "row" >=! p 4);
+        let_f "sum" (f32 0.0);
+        for_ "k" (int_ 0) (p 5)
+          [ let_ "slot" ((v "k" *! p 4) +! v "row");
+            set "sum"
+              (ffma
+                 (ldg_f (p 1 +! (v "slot" <<! int_ 2)))
+                 (ldg_f
+                    (p 2 +! (ldg (p 0 +! (v "slot" <<! int_ 2)) <<! int_ 2)))
+                 (v "sum")) ];
+        st_global_f (p 3 +! (v "row" <<! int_ 2)) (v "sum") ])
+
+(* y = y + alpha * x, used between matvecs like the CG update. *)
+let kernel_axpy =
+  kernel "minife_axpy"
+    ~params:[ ptr "y"; ptr "x"; flt "alpha"; int "n" ]
+    (fun p ->
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! p 3);
+        st_global_f (p 0 +! (v "i" <<! int_ 2))
+          (ffma (p 2)
+             (ldg_f (p 1 +! (v "i" <<! int_ 2)))
+             (ldg_f (p 0 +! (v "i" <<! int_ 2)))) ])
+
+let run device ~variant =
+  let n = 2048 in
+  let m = Datasets.banded_matrix ~seed:8 ~n ~band:3 in
+  let acc, count = Workload.launcher device in
+  let x = Workload.upload_f32 device (Datasets.floats ~seed:10 ~n ~scale:1.0) in
+  let y = Workload.alloc_i32 device n in
+  let grid, block = Workload.grid_1d ~threads:n ~block:128 in
+  let iterations = 4 in
+  (match variant with
+   | "CSR" ->
+     let compiled = Kernel.Compile.compile kernel_matvec_csr in
+     let offsets = Workload.upload_i32 device m.Datasets.offsets in
+     let indices = Workload.upload_i32 device m.Datasets.indices in
+     let values = Workload.upload_f32 device m.Datasets.values in
+     for _ = 1 to iterations do
+       Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+         ~args:[ Gpu.Device.Ptr offsets; Gpu.Device.Ptr indices;
+                 Gpu.Device.Ptr values; Gpu.Device.Ptr x; Gpu.Device.Ptr y;
+                 Gpu.Device.I32 n ]
+     done
+   | "ELL" ->
+     let width, eidx, evals = Datasets.csr_to_ell m in
+     let compiled = Kernel.Compile.compile kernel_matvec_ell in
+     let indices = Workload.upload_i32 device eidx in
+     let values = Workload.upload_f32 device evals in
+     for _ = 1 to iterations do
+       Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+         ~args:[ Gpu.Device.Ptr indices; Gpu.Device.Ptr values;
+                 Gpu.Device.Ptr x; Gpu.Device.Ptr y; Gpu.Device.I32 n;
+                 Gpu.Device.I32 width ]
+     done
+   | v -> invalid_arg ("minife: unknown variant " ^ v));
+  let axpy = Kernel.Compile.compile kernel_axpy in
+  Workload.launch ~acc ~count device ~kernel:axpy ~grid ~block
+    ~args:[ Gpu.Device.Ptr x; Gpu.Device.Ptr y; Gpu.Device.F32 0.5;
+            Gpu.Device.I32 n ];
+  let s = Gpu.Device.read_f32s device ~addr:y ~n:2 in
+  { Workload.output_digest =
+      Workload.combine_digests
+        [ Workload.digest_f32 device ~addr:y ~n;
+          Workload.digest_f32 device ~addr:x ~n ];
+    stdout = Printf.sprintf "y0=%.4f y1=%.4f" s.(0) s.(1);
+    stats = acc;
+    launches = !count }
+
+let workload =
+  Workload.make ~name:"miniFE" ~suite:"minife" ~variants:[ "ELL"; "CSR" ]
+    ~default_variant:"ELL" run

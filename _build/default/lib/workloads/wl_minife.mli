@@ -1,0 +1,4 @@
+(** miniFE: CG-style sparse mat-vec in CSR or column-major ELL
+    (variants "CSR"/"ELL") plus an axpy kernel. *)
+
+val workload : Workload.t

@@ -1,0 +1,55 @@
+(* Parboil MRI-Q: non-Cartesian MRI reconstruction, Q computation.
+   Each thread owns one voxel and accumulates cos/sin contributions
+   from every k-space sample — uniform control flow, transcendental
+   heavy. *)
+
+open Kernel.Dsl
+
+let kernel_mriq =
+  kernel "mriq"
+    ~params:[ ptr "kx"; ptr "ky"; ptr "phi"; ptr "x"; ptr "y"; ptr "qr";
+              ptr "qi"; int "numx"; int "numk" ]
+    (fun p ->
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! p 7);
+        let_f "xi" (ldg_f (p 3 +! (v "i" <<! int_ 2)));
+        let_f "yi" (ldg_f (p 4 +! (v "i" <<! int_ 2)));
+        let_f "sumr" (f32 0.0);
+        let_f "sumi" (f32 0.0);
+        for_ "k" (int_ 0) (p 8)
+          [ let_f "arg"
+              (ffma
+                 (ldg_f (p 0 +! (v "k" <<! int_ 2)))
+                 (v "xi")
+                 (ldg_f (p 1 +! (v "k" <<! int_ 2)) *.. v "yi"));
+            let_f "mag" (ldg_f (p 2 +! (v "k" <<! int_ 2)));
+            set "sumr" (ffma (v "mag") (cos_ (v "arg")) (v "sumr"));
+            set "sumi" (ffma (v "mag") (sin_ (v "arg")) (v "sumi")) ];
+        st_global_f (p 5 +! (v "i" <<! int_ 2)) (v "sumr");
+        st_global_f (p 6 +! (v "i" <<! int_ 2)) (v "sumi") ])
+
+let run device ~variant =
+  ignore variant;
+  let numx = 2048 and numk = 48 in
+  let compiled = Kernel.Compile.compile kernel_mriq in
+  let acc, count = Workload.launcher device in
+  let up seed n = Workload.upload_f32 device (Datasets.floats ~seed ~n ~scale:3.0) in
+  let kx = up 1 numk and ky = up 2 numk and phi = up 3 numk in
+  let x = up 4 numx and y = up 5 numx in
+  let qr = Workload.alloc_i32 device numx in
+  let qi = Workload.alloc_i32 device numx in
+  let grid, block = Workload.grid_1d ~threads:numx ~block:128 in
+  Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+    ~args:[ Gpu.Device.Ptr kx; Gpu.Device.Ptr ky; Gpu.Device.Ptr phi;
+            Gpu.Device.Ptr x; Gpu.Device.Ptr y; Gpu.Device.Ptr qr;
+            Gpu.Device.Ptr qi; Gpu.Device.I32 numx; Gpu.Device.I32 numk ];
+  let s = Gpu.Device.read_f32s device ~addr:qr ~n:1 in
+  { Workload.output_digest =
+      Workload.combine_digests
+        [ Workload.digest_f32 device ~addr:qr ~n:numx;
+          Workload.digest_f32 device ~addr:qi ~n:numx ];
+    stdout = Printf.sprintf "qr0=%.4f" s.(0);
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"mri-q" ~suite:"parboil" run

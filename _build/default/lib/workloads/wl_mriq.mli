@@ -1,0 +1,4 @@
+(** Parboil MRI-Q: per-voxel cos/sin accumulation over k-space
+    samples (uniform, transcendental heavy). *)
+
+val workload : Workload.t

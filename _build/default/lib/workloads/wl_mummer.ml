@@ -1,0 +1,69 @@
+(* Rodinia MUMMERGPU (structurally): DNA read alignment. The reference
+   string is bound as a texture (the real code's distinguishing
+   feature); each thread extends one query against a candidate
+   reference position until a mismatch — a data-dependent loop with
+   texture loads. *)
+
+open Kernel.Dsl
+
+let ref_len = 4096
+
+let query_len = 16
+
+let kernel_mummer =
+  kernel "mummer"
+    ~params:[ ptr "queries"; ptr "starts"; ptr "lengths"; int "nq";
+              int "reflen" ]
+    (fun p ->
+      [ let_ "q" (global_tid_x ());
+        exit_if (v "q" >=! p 3);
+        let_ "start" (ldg (p 1 +! (v "q" <<! int_ 2)));
+        let_ "matched" (int_ 0);
+        let_ "going" (int_ 1);
+        while_ ((v "matched" <! int_ query_len) &&? (v "going" ==! int_ 1))
+          [ let_ "pos" (v "start" +! v "matched");
+            if_ (v "pos" >=! p 4)
+              [ set "going" (int_ 0) ]
+              [ (* Reference comes through the texture path. *)
+                let_ "rc" (tex_i (v "pos"));
+                let_ "qc"
+                  (ldg (p 0 +! (((v "q" *! int_ query_len) +! v "matched")
+                                <<! int_ 2)));
+                if_ (v "rc" ==! v "qc")
+                  [ set "matched" (v "matched" +! int_ 1) ]
+                  [ set "going" (int_ 0) ] ] ];
+        st_global (p 2 +! (v "q" <<! int_ 2)) (v "matched") ])
+
+let run device ~variant =
+  ignore variant;
+  let nq = 1024 in
+  let compiled = Kernel.Compile.compile kernel_mummer in
+  let acc, count = Workload.launcher device in
+  let reference = Datasets.ints ~seed:1 ~n:ref_len ~bound:4 in
+  let ref_addr = Workload.upload_i32 device reference in
+  Gpu.Device.bind_texture device ~addr:ref_addr ~bytes:(4 * ref_len);
+  let rng = Rng.create ~seed:91 in
+  (* Queries copy a reference substring then mutate a random suffix,
+     giving a realistic spread of match lengths. *)
+  let starts = Array.init nq (fun _ -> Rng.int rng (ref_len - query_len)) in
+  let queries =
+    Array.init (nq * query_len) (fun i ->
+        let q = i / query_len and k = i mod query_len in
+        let faithful = Rng.int rng query_len in
+        if k < faithful then reference.(starts.(q) + k) else Rng.int rng 4)
+  in
+  let dq = Workload.upload_i32 device queries in
+  let ds = Workload.upload_i32 device starts in
+  let lengths = Workload.alloc_i32 device nq in
+  let grid, block = Workload.grid_1d ~threads:nq ~block:128 in
+  Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+    ~args:[ Gpu.Device.Ptr dq; Gpu.Device.Ptr ds; Gpu.Device.Ptr lengths;
+            Gpu.Device.I32 nq; Gpu.Device.I32 ref_len ];
+  let l = Gpu.Device.read_i32s device ~addr:lengths ~n:nq in
+  let avg = float_of_int (Array.fold_left ( + ) 0 l) /. float_of_int nq in
+  { Workload.output_digest = Workload.digest_i32 device ~addr:lengths ~n:nq;
+    stdout = Printf.sprintf "avg_match=%.2f" avg;
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"mummergpu" ~suite:"rodinia" run

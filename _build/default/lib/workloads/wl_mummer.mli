@@ -1,0 +1,4 @@
+(** Rodinia MUMMERGPU (structurally): query extension against a
+    texture-bound reference string (data-dependent match loops). *)
+
+val workload : Workload.t

@@ -1,0 +1,38 @@
+(* Rodinia NN: nearest neighbour — one distance per record, a single
+   tiny kernel dominated by launch overhead (the paper's smallest
+   workload: k = 0.1 ms). *)
+
+open Kernel.Dsl
+
+let kernel_nn =
+  kernel "nn"
+    ~params:[ ptr "lat"; ptr "lon"; ptr "dist"; flt "tlat"; flt "tlon";
+              int "n" ]
+    (fun p ->
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! p 5);
+        let_f "dlat" (ldg_f (p 0 +! (v "i" <<! int_ 2)) -.. p 3);
+        let_f "dlon" (ldg_f (p 1 +! (v "i" <<! int_ 2)) -.. p 4);
+        st_global_f (p 2 +! (v "i" <<! int_ 2))
+          (sqrt_ (ffma (v "dlat") (v "dlat") (v "dlon" *.. v "dlon"))) ])
+
+let run device ~variant =
+  ignore variant;
+  let n = 2048 in
+  let compiled = Kernel.Compile.compile kernel_nn in
+  let acc, count = Workload.launcher device in
+  let lat = Workload.upload_f32 device (Datasets.floats ~seed:1 ~n ~scale:90.0) in
+  let lon = Workload.upload_f32 device (Datasets.floats ~seed:2 ~n ~scale:180.0) in
+  let dist = Workload.alloc_i32 device n in
+  let grid, block = Workload.grid_1d ~threads:n ~block:128 in
+  Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+    ~args:[ Gpu.Device.Ptr lat; Gpu.Device.Ptr lon; Gpu.Device.Ptr dist;
+            Gpu.Device.F32 45.0; Gpu.Device.F32 90.0; Gpu.Device.I32 n ];
+  let d = Gpu.Device.read_f32s device ~addr:dist ~n in
+  let best = Array.fold_left min d.(0) d in
+  { Workload.output_digest = Workload.digest_f32 device ~addr:dist ~n;
+    stdout = Printf.sprintf "best=%.4f" best;
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"nn" ~suite:"rodinia" run

@@ -1,0 +1,4 @@
+(** Rodinia NN: nearest-neighbour distance computation (tiny
+    kernel, launch bound). *)
+
+val workload : Workload.t

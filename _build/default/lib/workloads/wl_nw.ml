@@ -1,0 +1,69 @@
+(* Rodinia NW: Needleman-Wunsch sequence alignment. The score matrix
+   fills along anti-diagonals, one kernel launch per diagonal, with
+   threads covering the diagonal cells. *)
+
+open Kernel.Dsl
+
+let seqlen = 96
+
+let kernel_nw_diag =
+  kernel "nw_diag"
+    ~params:[ ptr "score"; ptr "seq1"; ptr "seq2"; int "n"; int "diag";
+              int "penalty" ]
+    (fun p ->
+      [ let_ "t" (global_tid_x ());
+        (* Cells (i, j) with i + j = diag, 1 <= i, j <= n. *)
+        let_ "i" (imax (int_ 1) (p 4 -! p 3) +! v "t");
+        let_ "j" (p 4 -! v "i");
+        exit_if ((v "i" >! p 3) ||? (v "j" <! int_ 1) ||? (v "j" >! p 3));
+        let_ "w" (p 3 +! int_ 1);
+        let_ "m"
+          (ldg (p 0 +! ((((v "i" -! int_ 1) *! v "w") +! v "j" -! int_ 1)
+                        <<! int_ 2)));
+        let_ "del"
+          (ldg (p 0 +! ((((v "i" -! int_ 1) *! v "w") +! v "j") <<! int_ 2)));
+        let_ "ins"
+          (ldg (p 0 +! (((v "i" *! v "w") +! v "j" -! int_ 1) <<! int_ 2)));
+        let_ "same"
+          (select
+             (ldg (p 1 +! ((v "i" -! int_ 1) <<! int_ 2))
+              ==! ldg (p 2 +! ((v "j" -! int_ 1) <<! int_ 2)))
+             (int_ 2) (int_ (-1)));
+        st_global (p 0 +! (((v "i" *! v "w") +! v "j") <<! int_ 2))
+          (imax (v "m" +! v "same")
+             (imax (v "del" -! p 5) (v "ins" -! p 5))) ])
+
+let run device ~variant =
+  ignore variant;
+  let n = seqlen in
+  let w = n + 1 in
+  let compiled = Kernel.Compile.compile kernel_nw_diag in
+  let acc, count = Workload.launcher device in
+  let score_init = Array.make (w * w) 0 in
+  for k = 0 to n do
+    score_init.(k) <- -k;  (* first row *)
+    score_init.(k * w) <- -k  (* first column *)
+  done;
+  let score =
+    Workload.upload_i32 device
+      (Array.map (fun x -> x land Gpu.Value.mask) score_init)
+  in
+  let seq1 = Workload.upload_i32 device (Datasets.ints ~seed:1 ~n ~bound:4) in
+  let seq2 = Workload.upload_i32 device (Datasets.ints ~seed:2 ~n ~bound:4) in
+  for diag = 2 to 2 * n do
+    let cells = min (diag - 1) (min n ((2 * n) - diag + 1)) in
+    let grid, block = Workload.grid_1d ~threads:cells ~block:64 in
+    Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+      ~args:[ Gpu.Device.Ptr score; Gpu.Device.Ptr seq1;
+              Gpu.Device.Ptr seq2; Gpu.Device.I32 n; Gpu.Device.I32 diag;
+              Gpu.Device.I32 1 ]
+  done;
+  let final_score =
+    Gpu.Value.signed (Gpu.Device.read_i32 device (score + (4 * ((n * w) + n))))
+  in
+  { Workload.output_digest = Workload.digest_i32 device ~addr:score ~n:(w * w);
+    stdout = Printf.sprintf "score=%d" final_score;
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"nw" ~suite:"rodinia" run

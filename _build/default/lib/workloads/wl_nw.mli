@@ -1,0 +1,4 @@
+(** Rodinia NW: Needleman-Wunsch score matrix filled along
+    anti-diagonals, one launch per diagonal. *)
+
+val workload : Workload.t

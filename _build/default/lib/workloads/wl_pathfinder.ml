@@ -1,0 +1,52 @@
+(* Rodinia PATHFINDER: dynamic programming over a grid, one kernel per
+   row; each thread extends the best path through its column with
+   clamped neighbour reads. *)
+
+open Kernel.Dsl
+
+let cols = 2048
+
+let rows = 16
+
+let kernel_pathfinder =
+  kernel "pathfinder"
+    ~params:[ ptr "wall_row"; ptr "prev"; ptr "next"; int "cols" ]
+    (fun p ->
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! p 3);
+        let_ "left"
+          (ldg (p 1 +! (imax (v "i" -! int_ 1) (int_ 0) <<! int_ 2)));
+        let_ "center" (ldg (p 1 +! (v "i" <<! int_ 2)));
+        let_ "right"
+          (ldg (p 1 +! (imin (v "i" +! int_ 1) (p 3 -! int_ 1) <<! int_ 2)));
+        st_global (p 2 +! (v "i" <<! int_ 2))
+          (ldg (p 0 +! (v "i" <<! int_ 2))
+           +! imin (imin (v "left") (v "center")) (v "right")) ])
+
+let run device ~variant =
+  ignore variant;
+  let compiled = Kernel.Compile.compile kernel_pathfinder in
+  let acc, count = Workload.launcher device in
+  let wall =
+    Array.init rows (fun r ->
+        Workload.upload_i32 device
+          (Datasets.ints ~seed:(100 + r) ~n:cols ~bound:10))
+  in
+  let a = Workload.upload_i32 device (Datasets.ints ~seed:99 ~n:cols ~bound:10) in
+  let b = Workload.alloc_i32 device cols in
+  let grid, block = Workload.grid_1d ~threads:cols ~block:128 in
+  let bufs = ref (a, b) in
+  for r = 0 to rows - 1 do
+    let prev, next = !bufs in
+    Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+      ~args:[ Gpu.Device.Ptr wall.(r); Gpu.Device.Ptr prev;
+              Gpu.Device.Ptr next; Gpu.Device.I32 cols ];
+    bufs := (next, prev)
+  done;
+  let final, _ = !bufs in
+  { Workload.output_digest = Workload.digest_i32 device ~addr:final ~n:cols;
+    stdout = Printf.sprintf "rows=%d" rows;
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"pathfinder" ~suite:"rodinia" run

@@ -1,0 +1,4 @@
+(** Rodinia PATHFINDER: row-by-row dynamic programming with
+    clamped neighbour reads. *)
+
+val workload : Workload.t

@@ -1,0 +1,62 @@
+(* Parboil SAD: sum-of-absolute-differences block matching from the
+   H.264 encoder. One thread per (block, candidate offset) pair,
+   fully regular 8x8 inner loops. *)
+
+open Kernel.Dsl
+
+let img = 64  (* square frame *)
+
+let blk = 8
+
+let offsets = 4  (* candidate displacements per block *)
+
+let kernel_sad =
+  kernel "sad"
+    ~params:[ ptr "cur"; ptr "ref"; ptr "sads"; int "nblocks" ]
+    (fun p ->
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! (p 3 *! int_ offsets));
+        let_ "block" (v "i" /! int_ offsets);
+        let_ "cand" (v "i" %! int_ offsets);
+        let_ "bx" ((v "block" %! int_ (img / blk)) *! int_ blk);
+        let_ "by" ((v "block" /! int_ (img / blk)) *! int_ blk);
+        (* Candidate displacement: right/down by cand pixels (clamped). *)
+        let_ "rx" (imin (v "bx" +! v "cand") (int_ (img - blk)));
+        let_ "ry" (imin (v "by" +! v "cand") (int_ (img - blk)));
+        let_ "sum" (int_ 0);
+        for_ "dy" (int_ 0) (int_ blk)
+          [ for_ "dx" (int_ 0) (int_ blk)
+              [ let_ "c"
+                  (ldg
+                     (p 0
+                      +! ((((v "by" +! v "dy") *! int_ img) +! v "bx"
+                           +! v "dx")
+                          <<! int_ 2)));
+                let_ "r"
+                  (ldg
+                     (p 1
+                      +! ((((v "ry" +! v "dy") *! int_ img) +! v "rx"
+                           +! v "dx")
+                          <<! int_ 2)));
+                set "sum" (v "sum" +! imax (v "c" -! v "r") (v "r" -! v "c")) ] ];
+        st_global (p 2 +! (v "i" <<! int_ 2)) (v "sum") ])
+
+let run device ~variant =
+  ignore variant;
+  let nblocks = (img / blk) * (img / blk) in
+  let compiled = Kernel.Compile.compile kernel_sad in
+  let acc, count = Workload.launcher device in
+  let cur = Workload.upload_i32 device (Datasets.ints ~seed:1 ~n:(img * img) ~bound:256) in
+  let reff = Workload.upload_i32 device (Datasets.ints ~seed:2 ~n:(img * img) ~bound:256) in
+  let sads = Workload.alloc_i32 device (nblocks * offsets) in
+  let grid, block = Workload.grid_1d ~threads:(nblocks * offsets) ~block:128 in
+  Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+    ~args:[ Gpu.Device.Ptr cur; Gpu.Device.Ptr reff; Gpu.Device.Ptr sads;
+            Gpu.Device.I32 nblocks ];
+  { Workload.output_digest =
+      Workload.digest_i32 device ~addr:sads ~n:(nblocks * offsets);
+    stdout = "done";
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"sad" ~suite:"parboil" run

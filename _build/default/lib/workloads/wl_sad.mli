@@ -1,0 +1,3 @@
+(** Parboil SAD: 8x8 block sum-of-absolute-differences matching. *)
+
+val workload : Workload.t

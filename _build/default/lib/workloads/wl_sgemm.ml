@@ -1,0 +1,77 @@
+(* Parboil SGEMM: square single-precision matrix multiply with 16x16
+   shared-memory tiling. Fully uniform control flow — the paper's
+   exemplar of a 0%-divergence benchmark. *)
+
+open Kernel.Dsl
+
+let tile = 16
+
+let kernel_sgemm =
+  kernel "sgemm"
+    ~params:[ ptr "a"; ptr "b"; ptr "c"; int "n" ]
+    ~shared:[ ("as_", tile * tile * 4); ("bs", tile * tile * 4) ]
+    (fun p ->
+      [ let_ "tx" tid_x;
+        let_ "ty" tid_y;
+        let_ "row" ((ctaid_y *! int_ tile) +! v "ty");
+        let_ "col" ((ctaid_x *! int_ tile) +! v "tx");
+        let_f "acc" (f32 0.0);
+        let_ "ntiles" (p 3 /! int_ tile);
+        for_ "t" (int_ 0) (v "ntiles")
+          [ (* Load one A and one B element into the tiles. *)
+            st_shared_f
+              (shared_base "as_"
+               +! (((v "ty" *! int_ tile) +! v "tx") <<! int_ 2))
+              (ldg_f
+                 (p 0
+                  +! (((v "row" *! p 3) +! (v "t" *! int_ tile) +! v "tx")
+                      <<! int_ 2)));
+            st_shared_f
+              (shared_base "bs"
+               +! (((v "ty" *! int_ tile) +! v "tx") <<! int_ 2))
+              (ldg_f
+                 (p 1
+                  +! (((((v "t" *! int_ tile) +! v "ty") *! p 3) +! v "col")
+                      <<! int_ 2)));
+            sync;
+            for_ "k" (int_ 0) (int_ tile)
+              [ set "acc"
+                  (ffma
+                     (lds_f
+                        (shared_base "as_"
+                         +! (((v "ty" *! int_ tile) +! v "k") <<! int_ 2)))
+                     (lds_f
+                        (shared_base "bs"
+                         +! (((v "k" *! int_ tile) +! v "tx") <<! int_ 2)))
+                     (v "acc")) ];
+            sync ];
+        st_global_f (p 2 +! (((v "row" *! p 3) +! v "col") <<! int_ 2))
+          (v "acc") ])
+
+let size_of_variant = function
+  | "small" -> 48
+  | "medium" -> 80
+  | v -> invalid_arg ("sgemm: unknown variant " ^ v)
+
+let run device ~variant =
+  let n = size_of_variant variant in
+  let compiled = Kernel.Compile.compile kernel_sgemm in
+  let acc, count = Workload.launcher device in
+  let a = Workload.upload_f32 device (Datasets.floats ~seed:5 ~n:(n * n) ~scale:1.0) in
+  let b = Workload.upload_f32 device (Datasets.floats ~seed:6 ~n:(n * n) ~scale:1.0) in
+  let c = Workload.alloc_i32 device (n * n) in
+  Workload.launch ~acc ~count device ~kernel:compiled
+    ~grid:(n / tile, n / tile)
+    ~block:(tile, tile)
+    ~args:[ Gpu.Device.Ptr a; Gpu.Device.Ptr b; Gpu.Device.Ptr c;
+            Gpu.Device.I32 n ];
+  let sample = Gpu.Device.read_f32s device ~addr:c ~n:4 in
+  { Workload.output_digest = Workload.digest_f32 device ~addr:c ~n:(n * n);
+    stdout = Printf.sprintf "c00=%.4f c01=%.4f" sample.(0) sample.(1);
+    stats = acc;
+    launches = !count }
+
+let workload =
+  Workload.make ~name:"sgemm" ~suite:"parboil"
+    ~variants:[ "small"; "medium" ]
+    ~default_variant:"small" run

@@ -1,0 +1,4 @@
+(** Parboil SGEMM: 16x16 shared-memory tiled matrix multiply
+    (variants "small"/"medium"; fully convergent control flow). *)
+
+val workload : Workload.t

@@ -1,0 +1,56 @@
+(* Parboil SpMV: scalar CSR kernel, one thread per row. Row-length
+   variance drives both control divergence (loop trip counts) and
+   memory address divergence (threads walk disjoint row segments). *)
+
+open Kernel.Dsl
+
+let kernel_spmv =
+  kernel "spmv"
+    ~params:[ ptr "offsets"; ptr "indices"; ptr "values"; ptr "x"; ptr "y";
+              int "n" ]
+    (fun p ->
+      [ let_ "row" (global_tid_x ());
+        exit_if (v "row" >=! p 5);
+        let_ "start" (ldg (p 0 +! (v "row" <<! int_ 2)));
+        let_ "stop" (ldg (p 0 +! (v "row" <<! int_ 2) +! int_ 4));
+        let_f "sum" (f32 0.0);
+        for_ "j" (v "start") (v "stop")
+          [ let_ "col" (ldg (p 1 +! (v "j" <<! int_ 2)));
+            set "sum"
+              (ffma
+                 (ldg_f (p 2 +! (v "j" <<! int_ 2)))
+                 (ldg_f (p 3 +! (v "col" <<! int_ 2)))
+                 (v "sum")) ];
+        st_global_f (p 4 +! (v "row" <<! int_ 2)) (v "sum") ])
+
+let matrix_of_variant = function
+  | "small" -> Datasets.irregular_matrix ~seed:3 ~n:1024 ~avg_nnz:5
+  | "medium" -> Datasets.irregular_matrix ~seed:4 ~n:2048 ~avg_nnz:8
+  | "large" -> Datasets.irregular_matrix ~seed:5 ~n:4096 ~avg_nnz:10
+  | v -> invalid_arg ("spmv: unknown variant " ^ v)
+
+let run device ~variant =
+  let m = matrix_of_variant variant in
+  let compiled = Kernel.Compile.compile kernel_spmv in
+  let acc, count = Workload.launcher device in
+  let n = m.Datasets.rows in
+  let offsets = Workload.upload_i32 device m.Datasets.offsets in
+  let indices = Workload.upload_i32 device m.Datasets.indices in
+  let values = Workload.upload_f32 device m.Datasets.values in
+  let x = Workload.upload_f32 device (Datasets.floats ~seed:9 ~n ~scale:1.0) in
+  let y = Workload.alloc_i32 device n in
+  let grid, block = Workload.grid_1d ~threads:n ~block:128 in
+  Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+    ~args:[ Gpu.Device.Ptr offsets; Gpu.Device.Ptr indices;
+            Gpu.Device.Ptr values; Gpu.Device.Ptr x; Gpu.Device.Ptr y;
+            Gpu.Device.I32 n ];
+  let s = Gpu.Device.read_f32s device ~addr:y ~n:2 in
+  { Workload.output_digest = Workload.digest_f32 device ~addr:y ~n;
+    stdout = Printf.sprintf "y0=%.4f y1=%.4f" s.(0) s.(1);
+    stats = acc;
+    launches = !count }
+
+let workload =
+  Workload.make ~name:"spmv" ~suite:"parboil"
+    ~variants:[ "small"; "medium"; "large" ]
+    ~default_variant:"small" run

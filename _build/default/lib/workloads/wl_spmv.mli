@@ -1,0 +1,4 @@
+(** Parboil SpMV: scalar CSR kernel, one thread per row
+    (variants "small"/"medium"/"large"). *)
+
+val workload : Workload.t

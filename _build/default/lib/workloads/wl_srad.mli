@@ -1,0 +1,7 @@
+(** Rodinia SRAD v1/v2: anisotropic diffusion; v1 is branch-free
+    in the interior, v2 gates updates on image content. *)
+
+
+val v1 : Workload.t
+
+val v2 : Workload.t

@@ -1,0 +1,52 @@
+(* Parboil STENCIL: 2-D 5-point Jacobi iteration, ping-ponging two
+   grids over many launches. Regular, coalesced, boundary-guarded. *)
+
+open Kernel.Dsl
+
+let dim = 96
+
+let kernel_stencil =
+  kernel "stencil"
+    ~params:[ ptr "src"; ptr "dst"; int "dim" ]
+    (fun p ->
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! (p 2 *! p 2));
+        let_ "x" (v "i" %! p 2);
+        let_ "y" (v "i" /! p 2);
+        if_
+          ((v "x" ==! int_ 0) ||? (v "y" ==! int_ 0)
+           ||? (v "x" ==! (p 2 -! int_ 1))
+           ||? (v "y" ==! (p 2 -! int_ 1)))
+          [ st_global_f (p 1 +! (v "i" <<! int_ 2))
+              (ldg_f (p 0 +! (v "i" <<! int_ 2))) ]
+          [ let_f "c" (ldg_f (p 0 +! (v "i" <<! int_ 2)));
+            let_f "nn" (ldg_f (p 0 +! ((v "i" -! p 2) <<! int_ 2)));
+            let_f "ss" (ldg_f (p 0 +! ((v "i" +! p 2) <<! int_ 2)));
+            let_f "ww" (ldg_f (p 0 +! ((v "i" -! int_ 1) <<! int_ 2)));
+            let_f "ee" (ldg_f (p 0 +! ((v "i" +! int_ 1) <<! int_ 2)));
+            st_global_f (p 1 +! (v "i" <<! int_ 2))
+              (ffma (f32 0.5) (v "c")
+                 (f32 0.125 *.. (v "nn" +.. v "ss" +.. v "ww" +.. v "ee"))) ] ])
+
+let run device ~variant =
+  ignore variant;
+  let n = dim * dim in
+  let compiled = Kernel.Compile.compile kernel_stencil in
+  let acc, count = Workload.launcher device in
+  let a = Workload.upload_f32 device (Datasets.floats ~seed:17 ~n ~scale:10.0) in
+  let b = Workload.alloc_i32 device n in
+  let grid, block = Workload.grid_1d ~threads:n ~block:128 in
+  let bufs = ref (a, b) in
+  for _ = 1 to 6 do
+    let src, dst = !bufs in
+    Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+      ~args:[ Gpu.Device.Ptr src; Gpu.Device.Ptr dst; Gpu.Device.I32 dim ];
+    bufs := (dst, src)
+  done;
+  let final, _ = !bufs in
+  { Workload.output_digest = Workload.digest_f32 device ~addr:final ~n;
+    stdout = "iters=6";
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"stencil" ~suite:"parboil" run

@@ -1,0 +1,4 @@
+(** Parboil STENCIL: 2-D 5-point Jacobi iterations with boundary
+    guards. *)
+
+val workload : Workload.t

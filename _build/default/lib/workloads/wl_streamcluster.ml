@@ -1,0 +1,55 @@
+(* Rodinia STREAMCLUSTER: online clustering. The hot kernel computes,
+   for each point, the cost of switching to a candidate center —
+   uniform loops over dimensions, re-launched for many candidates
+   (the paper records >11k launches and 0% divergence). *)
+
+open Kernel.Dsl
+
+let dims = 8
+
+let kernel_sc =
+  kernel "streamcluster"
+    ~params:[ ptr "points"; ptr "center"; ptr "assign_cost"; int "npoints" ]
+    (fun p ->
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! p 3);
+        let_f "d2" (f32 0.0);
+        for_ "d" (int_ 0) (int_ dims)
+          [ let_f "diff"
+              (ldg_f (p 0 +! (((v "i" *! int_ dims) +! v "d") <<! int_ 2))
+               -.. ldg_f (p 1 +! (v "d" <<! int_ 2)));
+            set "d2" (ffma (v "diff") (v "diff") (v "d2")) ];
+        (* Keep the min cost seen so far. *)
+        let_f "old" (ldg_f (p 2 +! (v "i" <<! int_ 2)));
+        st_global_f (p 2 +! (v "i" <<! int_ 2)) (fmin (v "old") (v "d2")) ])
+
+let run device ~variant =
+  ignore variant;
+  let npoints = 1024 in
+  let ncenters = 24 in
+  let compiled = Kernel.Compile.compile kernel_sc in
+  let acc, count = Workload.launcher device in
+  let points =
+    Workload.upload_f32 device
+      (Datasets.floats ~seed:3 ~n:(npoints * dims) ~scale:1.0)
+  in
+  let cost =
+    Workload.upload_f32 device (Array.make npoints 1e30)
+  in
+  let grid, block = Workload.grid_1d ~threads:npoints ~block:128 in
+  let rng = Rng.create ~seed:55 in
+  for _ = 1 to ncenters do
+    let center =
+      Workload.upload_f32 device
+        (Array.init dims (fun _ -> Rng.float rng 1.0))
+    in
+    Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+      ~args:[ Gpu.Device.Ptr points; Gpu.Device.Ptr center;
+              Gpu.Device.Ptr cost; Gpu.Device.I32 npoints ]
+  done;
+  { Workload.output_digest = Workload.digest_f32 device ~addr:cost ~n:npoints;
+    stdout = Printf.sprintf "centers=%d" ncenters;
+    stats = acc;
+    launches = !count }
+
+let workload = Workload.make ~name:"streamcluster" ~suite:"rodinia" run

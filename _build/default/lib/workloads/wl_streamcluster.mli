@@ -1,0 +1,4 @@
+(** Rodinia STREAMCLUSTER: per-point distance to candidate
+    centers, relaunched per center (convergent). *)
+
+val workload : Workload.t

@@ -1,0 +1,71 @@
+(* Parboil TPACF: two-point angular correlation. Each thread owns one
+   point, loops over the whole set computing dot products, and walks a
+   bin-edge table with a data-dependent loop before updating a shared
+   histogram atomically — the paper's most divergent Parboil code. *)
+
+open Kernel.Dsl
+
+let nbins = 16
+
+let kernel_tpacf =
+  kernel "tpacf"
+    ~params:[ ptr "xs"; ptr "ys"; ptr "zs"; ptr "binb"; ptr "hist"; int "n" ]
+    (fun p ->
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! p 5);
+        let_f "xi" (ldg_f (p 0 +! (v "i" <<! int_ 2)));
+        let_f "yi" (ldg_f (p 1 +! (v "i" <<! int_ 2)));
+        let_f "zi" (ldg_f (p 2 +! (v "i" <<! int_ 2)));
+        for_ "j" (v "i" +! int_ 1) (p 5)
+          [ let_f "dot"
+              (ffma (v "xi")
+                 (ldg_f (p 0 +! (v "j" <<! int_ 2)))
+                 (ffma (v "yi")
+                    (ldg_f (p 1 +! (v "j" <<! int_ 2)))
+                    (v "zi" *.. ldg_f (p 2 +! (v "j" <<! int_ 2)))));
+            (* Data-dependent bin search over the edge table. *)
+            let_ "bin" (int_ 0);
+            while_
+              ((v "bin" <! int_ (nbins - 1))
+               &&? (v "dot" <.. ldg_f (p 3 +! (v "bin" <<! int_ 2))))
+              [ set "bin" (v "bin" +! int_ 1) ];
+            atomic_add (p 4 +! (v "bin" <<! int_ 2)) (int_ 1) ] ])
+
+let run device ~variant =
+  ignore variant;
+  let n = 512 in
+  let compiled = Kernel.Compile.compile kernel_tpacf in
+  let acc, count = Workload.launcher device in
+  (* Unit vectors on the sphere. *)
+  let rng = Rng.create ~seed:13 in
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 and zs = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let theta = Rng.float rng 6.2831853 in
+    let u = Rng.float rng 2.0 -. 1.0 in
+    let r = sqrt (1.0 -. (u *. u)) in
+    xs.(i) <- r *. cos theta;
+    ys.(i) <- r *. sin theta;
+    zs.(i) <- u
+  done;
+  let binb =
+    Array.init nbins (fun b ->
+        cos (float_of_int (b + 1) *. 3.14159265 /. float_of_int nbins))
+  in
+  let dxs = Workload.upload_f32 device xs in
+  let dys = Workload.upload_f32 device ys in
+  let dzs = Workload.upload_f32 device zs in
+  let dbinb = Workload.upload_f32 device binb in
+  let hist = Workload.alloc_i32 device nbins in
+  let grid, block = Workload.grid_1d ~threads:n ~block:128 in
+  Workload.launch ~acc ~count device ~kernel:compiled ~grid ~block
+    ~args:[ Gpu.Device.Ptr dxs; Gpu.Device.Ptr dys; Gpu.Device.Ptr dzs;
+            Gpu.Device.Ptr dbinb; Gpu.Device.Ptr hist; Gpu.Device.I32 n ];
+  let h = Gpu.Device.read_i32s device ~addr:hist ~n:nbins in
+  let total = Array.fold_left ( + ) 0 h in
+  { Workload.output_digest = Workload.digest_i32 device ~addr:hist ~n:nbins;
+    stdout = Printf.sprintf "pairs=%d bin0=%d" total h.(0);
+    stats = acc;
+    launches = !count }
+
+let workload =
+  Workload.make ~name:"tpacf" ~suite:"parboil" ~variants:[ "small" ] run

@@ -1,0 +1,4 @@
+(** Parboil TPACF: two-point angular correlation with a
+    data-dependent histogram bin search (highly divergent). *)
+
+val workload : Workload.t

@@ -1,0 +1,60 @@
+type result = {
+  output_digest : string;
+  stdout : string;
+  stats : Gpu.Stats.t;
+  launches : int;
+}
+
+type t = {
+  name : string;
+  suite : string;
+  variants : string list;
+  default_variant : string;
+  run : Gpu.Device.t -> variant:string -> result;
+}
+
+let make ~name ~suite ?(variants = [ "default" ]) ?default_variant run =
+  let default_variant =
+    match default_variant with
+    | Some v -> v
+    | None ->
+      (match variants with
+       | v :: _ -> v
+       | [] -> invalid_arg "Workload.make: no variants")
+  in
+  { name; suite; variants; default_variant; run }
+
+let digest_i32 device ~addr ~n =
+  let values = Gpu.Device.read_i32s device ~addr ~n in
+  let b = Buffer.create (n * 4) in
+  Array.iter (fun v -> Buffer.add_int32_le b (Int32.of_int v)) values;
+  Digest.to_hex (Digest.bytes (Buffer.to_bytes b))
+
+let digest_f32 device ~addr ~n = digest_i32 device ~addr ~n
+
+let combine_digests ds = Digest.to_hex (Digest.string (String.concat "|" ds))
+
+let upload_i32 device values =
+  let addr = Gpu.Device.malloc device (4 * max 1 (Array.length values)) in
+  Gpu.Device.write_i32s device ~addr values;
+  addr
+
+let upload_f32 device values =
+  let addr = Gpu.Device.malloc device (4 * max 1 (Array.length values)) in
+  Gpu.Device.write_f32s device ~addr values;
+  addr
+
+let alloc_i32 device n =
+  let addr = Gpu.Device.malloc device (4 * max 1 n) in
+  Gpu.Device.memset device ~addr ~len:(4 * max 1 n) '\000';
+  addr
+
+let launcher _device = (Gpu.Stats.create (), ref 0)
+
+let launch ~acc ~count device ~kernel ~grid ~block ~args =
+  let stats = Gpu.Device.launch device ~kernel ~grid ~block ~args in
+  Gpu.Stats.accumulate ~into:acc stats;
+  incr count
+
+let grid_1d ~threads ~block =
+  (((threads + block - 1) / block, 1), (block, 1))

@@ -1,0 +1,62 @@
+(** The common workload interface: every benchmark registers a name,
+    suite, dataset variants, and a driver that allocates its inputs on
+    a device, launches its kernels (through {!Gpu.Device.launch}, so
+    installed instrumentation applies), and returns a digest of its
+    outputs for correctness and SDC comparison. *)
+
+type result = {
+  output_digest : string;  (** primary output buffer(s) *)
+  stdout : string;  (** short textual summary (the "stdout" channel) *)
+  stats : Gpu.Stats.t;  (** accumulated over all kernel launches *)
+  launches : int;
+}
+
+type t = {
+  name : string;
+  suite : string;  (** "parboil", "rodinia" or "minife" *)
+  variants : string list;
+  default_variant : string;
+  run : Gpu.Device.t -> variant:string -> result;
+}
+
+val make :
+  name:string ->
+  suite:string ->
+  ?variants:string list ->
+  ?default_variant:string ->
+  (Gpu.Device.t -> variant:string -> result) ->
+  t
+
+(** {1 Driver helpers} *)
+
+val digest_i32 : Gpu.Device.t -> addr:int -> n:int -> string
+
+val digest_f32 : Gpu.Device.t -> addr:int -> n:int -> string
+(** Digests the bit patterns: deterministic and rounding-exact. *)
+
+val combine_digests : string list -> string
+
+val upload_i32 : Gpu.Device.t -> int array -> int
+(** malloc + write; returns the device address. *)
+
+val upload_f32 : Gpu.Device.t -> float array -> int
+
+val alloc_i32 : Gpu.Device.t -> int -> int
+(** Zeroed device array of n 32-bit words. *)
+
+val launcher : Gpu.Device.t -> Gpu.Stats.t * int ref
+(** [(acc, count)] to pass to {!launch}: accumulated statistics and a
+    launch counter. *)
+
+val launch :
+  acc:Gpu.Stats.t ->
+  count:int ref ->
+  Gpu.Device.t ->
+  kernel:Sass.Program.kernel ->
+  grid:int * int ->
+  block:int * int ->
+  args:Gpu.Device.arg list ->
+  unit
+
+val grid_1d : threads:int -> block:int -> (int * int) * (int * int)
+(** Grid/block shape covering [threads] with 1-D blocks of [block]. *)

@@ -1,0 +1,1 @@
+test/cache_testable.ml: Gpu

@@ -1,0 +1,1 @@
+test/datasets_access.ml: Workloads

@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Array Cache_testable Gpu Instr List Opcode Pred Printf Program QCheck QCheck_alcotest Reg Sass Test

@@ -1,0 +1,1 @@
+test/test_handlers.ml: Alcotest Array Cupti Digest Gpu Handlers Kernel List Sassi String

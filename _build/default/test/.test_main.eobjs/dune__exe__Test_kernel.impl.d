@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Ast Compile Float Gpu Kernel List Opt Printf QCheck QCheck_alcotest Result Sass Typecheck Vir

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Float Format Gen Gpu Handlers Kernel List QCheck QCheck_alcotest Sass Sassi Str String Test Workloads

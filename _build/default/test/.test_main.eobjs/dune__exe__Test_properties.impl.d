@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Format Gpu Kernel List QCheck QCheck_alcotest Result Sass Sassi

@@ -1,0 +1,1 @@
+test/test_sass.ml: Alcotest Array Cfg Domtree Format Instr Int List Liveness Opcode Pred Program QCheck QCheck_alcotest Reg Result Sass

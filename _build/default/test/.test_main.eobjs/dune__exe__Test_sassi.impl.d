@@ -1,0 +1,1 @@
+test/test_sassi.ml: Alcotest Array Gpu Kernel List Printf Sass Sassi

@@ -1,0 +1,1 @@
+test/test_structural.ml: Alcotest Array Gpu Handlers Int Kernel List Sass Sassi

@@ -1,0 +1,1 @@
+test/test_workload_refs.ml: Alcotest Array Gpu Kernel Printf Workloads

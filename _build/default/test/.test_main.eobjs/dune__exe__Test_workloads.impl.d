@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Datasets_access Gpu List Printf Queue Scanf Workloads

@@ -1,0 +1,10 @@
+(* Tiny wrapper exposing a deterministic 2-set x 2-way cache for LRU
+   behaviour tests. *)
+
+let make_cache () =
+  Gpu.Cache.create ~name:"test" ~size_bytes:128 ~assoc:2 ~line_bytes:32
+
+let miss c addr =
+  match Gpu.Cache.access c addr with
+  | Gpu.Cache.Miss -> true
+  | Gpu.Cache.Hit -> false

@@ -1,0 +1,4 @@
+(* Re-exports workload-internal dataset constructions for host
+   reference computations in tests. *)
+
+let bfs_graph variant = Workloads.Wl_bfs_parboil.graph_of_variant variant

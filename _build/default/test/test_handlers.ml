@@ -1,0 +1,421 @@
+(* Tests for the CUPTI substrate and the four case-study handler
+   libraries, checking their measurements against ground truth the
+   machine statistics provide. *)
+
+open Kernel.Dsl
+
+let check = Alcotest.check
+
+let device () = Gpu.Device.create ~cfg:Gpu.Config.small ()
+
+let vadd =
+  kernel "h_vadd" ~params:[ ptr "a"; ptr "b"; ptr "out"; int "n" ] (fun p ->
+      [ let_ "gid" (global_tid_x ());
+        exit_if (v "gid" >=! p 3);
+        let_ "off" (v "gid" <<! int_ 2);
+        let_ "s" (ldg (p 0 +! v "off") +! ldg (p 1 +! v "off"));
+        st_global (p 2 +! v "off") (v "s") ])
+
+let run_vadd dev n =
+  let a = Gpu.Device.malloc dev (4 * n) in
+  let b = Gpu.Device.malloc dev (4 * n) in
+  let out = Gpu.Device.malloc dev (4 * n) in
+  Gpu.Device.write_i32s dev ~addr:a (Array.init n (fun i -> i));
+  Gpu.Device.write_i32s dev ~addr:b (Array.init n (fun i -> i * 2));
+  Gpu.Device.launch dev ~kernel:(Kernel.Compile.compile vadd)
+    ~grid:((n + 63) / 64, 1)
+    ~block:(64, 1)
+    ~args:[ Gpu.Device.Ptr a; Gpu.Device.Ptr b; Gpu.Device.Ptr out;
+            Gpu.Device.I32 n ]
+
+(* --- CUPTI -------------------------------------------------------------- *)
+
+let test_counters_roundtrip () =
+  let dev = device () in
+  let c = Cupti.Counters.alloc dev ~slots:4 in
+  check (Alcotest.array Alcotest.int) "zeroed" [| 0; 0; 0; 0 |]
+    (Cupti.Counters.read c);
+  Gpu.Device.write_u64 dev (Cupti.Counters.addr ~slot:2 c) 77;
+  check Alcotest.int "slot 2" 77 (Cupti.Counters.read c).(2);
+  let v = Cupti.Counters.read_and_zero c in
+  check Alcotest.int "read_and_zero returns" 77 v.(2);
+  check Alcotest.int "then zero" 0 (Cupti.Counters.read c).(2)
+
+let test_callbacks_fire () =
+  let dev = device () in
+  let launches = ref [] in
+  let exits = ref [] in
+  let sub =
+    Cupti.Callback.subscribe dev Cupti.Callback.Kernel_launch (fun info ->
+        launches := (info.Cupti.Callback.kernel_name,
+                     info.Cupti.Callback.invocation) :: !launches)
+  in
+  let _ =
+    Cupti.Callback.subscribe dev Cupti.Callback.Kernel_exit (fun info ->
+        exits := info.Cupti.Callback.kernel_name :: !exits)
+  in
+  let _ = run_vadd dev 64 in
+  let _ = run_vadd dev 64 in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "launch callbacks with invocation ids"
+    [ ("h_vadd", 1); ("h_vadd", 0) ]
+    !launches;
+  check Alcotest.int "exit callbacks" 2 (List.length !exits);
+  Cupti.Callback.unsubscribe dev sub;
+  let _ = run_vadd dev 64 in
+  check Alcotest.int "unsubscribed" 2 (List.length !launches)
+
+(* --- Opcode histogram (Figure 3) ---------------------------------------- *)
+
+let test_opcode_hist () =
+  let dev = device () in
+  let hist = Handlers.Opcode_hist.create dev in
+  let n = 128 in
+  let stats =
+    Sassi.Runtime.with_instrumentation dev (Handlers.Opcode_hist.pairs hist)
+      (fun _ -> run_vadd dev n)
+  in
+  let counts = Handlers.Opcode_hist.read hist in
+  (* vadd: 3 memory ops per thread. *)
+  check Alcotest.int "memory = 3n" (3 * n)
+    counts.Handlers.Opcode_hist.memory;
+  check Alcotest.int "no texture" 0 counts.Handlers.Opcode_hist.texture;
+  check Alcotest.int "no wide accesses" 0
+    counts.Handlers.Opcode_hist.extended_memory;
+  check Alcotest.bool "sync >= 0 and control > 0" true
+    (counts.Handlers.Opcode_hist.control > 0);
+  (* Total thread-level instructions must match the machine's count of
+     executed thread instructions for original (non-injected) code.
+     The machine counts issued lanes including masked-off warps'
+     instructions, so the handler count (guard-respecting) is <=. *)
+  check Alcotest.bool "total близко to machine" true
+    (counts.Handlers.Opcode_hist.total <= stats.Gpu.Stats.thread_instrs);
+  check Alcotest.bool "total positive" true
+    (counts.Handlers.Opcode_hist.total > 0)
+
+(* --- Branch stats (Case Study I) ----------------------------------------- *)
+
+let branchy =
+  kernel "h_branchy" ~params:[ ptr "out"; int "n" ] (fun p ->
+      [ let_ "gid" (global_tid_x ());
+        exit_if (v "gid" >=! p 1);
+        let_ "r" (int_ 0);
+        (* Divergent branch: half a warp each way. *)
+        if_ (v "gid" %! int_ 2 ==! int_ 0)
+          [ set "r" (int_ 1) ]
+          [ set "r" (int_ 2) ];
+        (* Uniform branch: all threads agree. *)
+        if_ (p 1 >! int_ 0) [ set "r" (v "r" +! int_ 10) ] [];
+        st_global (p 0 +! (v "gid" <<! int_ 2)) (v "r") ])
+
+let test_branch_stats () =
+  let dev = device () in
+  let bs = Handlers.Branch_stats.create dev in
+  let n = 256 in
+  let out = Gpu.Device.malloc dev (4 * n) in
+  let stats =
+    Sassi.Runtime.with_instrumentation dev (Handlers.Branch_stats.pairs bs)
+      (fun _ ->
+        Gpu.Device.launch dev ~kernel:(Kernel.Compile.compile branchy)
+          ~grid:(n / 64, 1) ~block:(64, 1)
+          ~args:[ Gpu.Device.Ptr out; Gpu.Device.I32 n ])
+  in
+  let s = Handlers.Branch_stats.summary bs in
+  (* Handler's dynamic divergence must agree with the machine's own
+     divergent-branch counter. *)
+  check Alcotest.int "handler divergence = machine divergence"
+    stats.Gpu.Stats.divergent_branches
+    s.Handlers.Branch_stats.dynamic_divergent;
+  check Alcotest.int "handler branches = machine cond branches"
+    stats.Gpu.Stats.branches s.Handlers.Branch_stats.dynamic_branches;
+  (* The mod-2 branch diverges in every warp; the n>0 and gid>=n
+     branches never do. *)
+  check Alcotest.bool "some divergent static branch" true
+    (s.Handlers.Branch_stats.static_divergent >= 1);
+  check Alcotest.bool "some non-divergent static branch" true
+    (s.Handlers.Branch_stats.static_branches
+     > s.Handlers.Branch_stats.static_divergent);
+  (* Per-branch records. *)
+  let bl = Handlers.Branch_stats.branches bs in
+  check Alcotest.bool "sorted by weight" true
+    (let rec sorted = function
+       | a :: (b :: _ as rest) ->
+         a.Handlers.Branch_stats.total >= b.Handlers.Branch_stats.total
+         && sorted rest
+       | _ -> true
+     in
+     sorted bl);
+  List.iter
+    (fun b ->
+       check Alcotest.int "taken + not_taken = active"
+         b.Handlers.Branch_stats.active
+         (b.Handlers.Branch_stats.taken + b.Handlers.Branch_stats.not_taken))
+    bl
+
+(* --- Memory divergence (Case Study II) ----------------------------------- *)
+
+let stride_kernel name stride =
+  kernel name ~params:[ ptr "data"; ptr "out" ] (fun p ->
+      [ let_ "gid" (global_tid_x ());
+        let_ "x" (ldg (p 0 +! (v "gid" *! int_ (4 * stride))));
+        st_global (p 1 +! (v "gid" <<! int_ 2)) (v "x") ])
+
+let run_memdiv stride =
+  let dev = device () in
+  let md = Handlers.Mem_divergence.create dev in
+  let data = Gpu.Device.malloc dev (4 * 32 * 64) in
+  let out = Gpu.Device.malloc dev (4 * 64) in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev (Handlers.Mem_divergence.pairs md)
+      (fun _ ->
+        Gpu.Device.launch dev
+          ~kernel:(Kernel.Compile.compile (stride_kernel "h_stride" stride))
+          ~grid:(2, 1) ~block:(32, 1)
+          ~args:[ Gpu.Device.Ptr data; Gpu.Device.Ptr out ])
+  in
+  md
+
+let test_mem_divergence_unit_stride () =
+  let md = run_memdiv 1 in
+  let pmf = Handlers.Mem_divergence.pmf md in
+  (* Unit stride, 4B elements, 32B lines: loads touch 4 unique lines;
+     the unit-stride stores to out touch 4 as well. All mass at u=4. *)
+  check (Alcotest.float 1e-9) "all accesses at 4 unique lines" 1.0 pmf.(3);
+  let m = Handlers.Mem_divergence.matrix md in
+  check Alcotest.bool "full warps" true (m.(31).(3) > 0)
+
+let test_mem_divergence_full_divergence () =
+  let md = run_memdiv 32 in
+  let pmf = Handlers.Mem_divergence.pmf md in
+  (* The strided loads are fully diverged (32 unique lines); the
+     stores are still unit-stride (4 lines). Loads and stores are
+     issued in equal numbers, so each gets half the thread accesses. *)
+  check (Alcotest.float 1e-9) "half of accesses fully diverged" 0.5 pmf.(31);
+  check (Alcotest.float 1e-9) "half at 4 lines" 0.5 pmf.(3);
+  check Alcotest.bool "diverged fraction" true
+    (Handlers.Mem_divergence.fully_diverged_fraction md >= 0.49)
+
+(* --- Value profile (Case Study III) -------------------------------------- *)
+
+let test_value_profile () =
+  let dev = device () in
+  let vp = Handlers.Value_profile.create dev in
+  (* x = 5 is scalar with all bits constant; y = tid is neither. *)
+  let k =
+    kernel "h_values" ~params:[ ptr "out" ] (fun p ->
+        [ let_ "t" tid_x;
+          let_ "x" (int_ 5 +! (v "t" *! int_ 0));
+          let_ "y" (v "t" +! int_ 0);
+          st_global (p 0 +! (v "t" <<! int_ 2)) (v "x" +! v "y") ])
+  in
+  let compiled =
+    Kernel.Compile.compile
+      ~options:{ Kernel.Compile.max_regs = 63; opt_level = 0 }
+      k
+  in
+  let out = Gpu.Device.malloc dev (4 * 64) in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev (Handlers.Value_profile.pairs vp)
+      (fun _ ->
+        Gpu.Device.launch dev ~kernel:compiled ~grid:(1, 1) ~block:(64, 1)
+          ~args:[ Gpu.Device.Ptr out ])
+  in
+  let profiles = Handlers.Value_profile.profiles vp in
+  check Alcotest.bool "profiles collected" true (profiles <> []);
+  (* Find a scalar all-constant write (the x = 5 MOV) and a
+     non-scalar one (the tid S2R). *)
+  let scalar_const =
+    List.exists
+      (fun p ->
+         p.Handlers.Value_profile.num_dsts > 0
+         && p.Handlers.Value_profile.is_scalar.(0)
+         && Handlers.Value_profile.constant_bit_count p 0 = 32)
+      profiles
+  in
+  let varying =
+    List.exists
+      (fun p ->
+         p.Handlers.Value_profile.num_dsts > 0
+         && not p.Handlers.Value_profile.is_scalar.(0))
+      profiles
+  in
+  check Alcotest.bool "found scalar constant write" true scalar_const;
+  check Alcotest.bool "found varying write" true varying;
+  let s = Handlers.Value_profile.summary vp in
+  check Alcotest.bool "const bits pct sane" true
+    (s.Handlers.Value_profile.dynamic_const_bits_pct > 0.0
+     && s.Handlers.Value_profile.dynamic_const_bits_pct <= 100.0);
+  check Alcotest.bool "scalar pct sane" true
+    (s.Handlers.Value_profile.static_scalar_pct > 0.0
+     && s.Handlers.Value_profile.static_scalar_pct <= 100.0)
+
+let test_value_profile_tid_bits () =
+  (* A warp's tid values 0..63 use 6 low bits: the 26 high bits are
+     constant zero and the write is non-scalar. *)
+  let dev = device () in
+  let vp = Handlers.Value_profile.create dev in
+  let k =
+    kernel "h_tidbits" ~params:[ ptr "out" ] (fun p ->
+        [ let_ "t" tid_x;
+          st_global (p 0 +! (v "t" <<! int_ 2)) (v "t") ])
+  in
+  let out = Gpu.Device.malloc dev (4 * 64) in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev (Handlers.Value_profile.pairs vp)
+      (fun _ ->
+        Gpu.Device.launch dev
+          ~kernel:
+            (Kernel.Compile.compile
+               ~options:{ Kernel.Compile.max_regs = 63; opt_level = 0 }
+               k)
+          ~grid:(1, 1) ~block:(64, 1)
+          ~args:[ Gpu.Device.Ptr out ])
+  in
+  let tid_profile =
+    List.find_opt
+      (fun p ->
+         p.Handlers.Value_profile.num_dsts > 0
+         && (not p.Handlers.Value_profile.is_scalar.(0))
+         && Handlers.Value_profile.constant_bit_count p 0 = 26)
+      (Handlers.Value_profile.profiles vp)
+  in
+  check Alcotest.bool "tid write: 26 constant bits, non-scalar" true
+    (tid_profile <> None)
+
+(* --- Error injection (Case Study IV) -------------------------------------- *)
+
+let digest_output dev addr n =
+  Digest.to_hex (Digest.string (String.concat ","
+    (Array.to_list (Array.map string_of_int
+       (Gpu.Device.read_i32s dev ~addr ~n)))))
+
+let test_error_injection_profile_and_pick () =
+  let dev = device () in
+  let profile = Handlers.Error_inject.Profile.create () in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev
+      (Handlers.Error_inject.Profile.pairs profile)
+      (fun _ -> run_vadd dev 64)
+  in
+  let total = Handlers.Error_inject.Profile.total_dynamic_instrs profile in
+  check Alcotest.bool "profiled dynamic instrs" true (total > 64);
+  let targets =
+    Handlers.Error_inject.Profile.pick_targets profile ~seed:42 ~n:10
+  in
+  check Alcotest.int "10 targets" 10 (List.length targets);
+  let targets' =
+    Handlers.Error_inject.Profile.pick_targets profile ~seed:42 ~n:10
+  in
+  check Alcotest.bool "deterministic picks" true (targets = targets');
+  List.iter
+    (fun t ->
+       check Alcotest.string "kernel name" "h_vadd"
+         t.Handlers.Error_inject.t_kernel;
+       check Alcotest.bool "thread in range" true
+         (t.Handlers.Error_inject.t_thread >= 0
+          && t.Handlers.Error_inject.t_thread < 64))
+    targets
+
+let test_error_injection_flips () =
+  (* Golden run. *)
+  let n = 64 in
+  let dev0 = device () in
+  let _ = run_vadd dev0 n in
+  (* Profile on a fresh device. *)
+  let devp = device () in
+  let profile = Handlers.Error_inject.Profile.create () in
+  let _ =
+    Sassi.Runtime.with_instrumentation devp
+      (Handlers.Error_inject.Profile.pairs profile)
+      (fun _ -> run_vadd devp n)
+  in
+  let targets =
+    Handlers.Error_inject.Profile.pick_targets profile ~seed:7 ~n:20
+  in
+  let fired = ref 0 in
+  let outcomes =
+    List.map
+      (fun target ->
+         let injected = ref false in
+         let dev = device () in
+         let a = Gpu.Device.malloc dev (4 * n) in
+         let b = Gpu.Device.malloc dev (4 * n) in
+         let out = Gpu.Device.malloc dev (4 * n) in
+         Gpu.Device.write_i32s dev ~addr:a (Array.init n (fun i -> i));
+         Gpu.Device.write_i32s dev ~addr:b (Array.init n (fun i -> i * 2));
+         let run () =
+           let _ =
+             Sassi.Runtime.with_instrumentation dev
+               (Handlers.Error_inject.injection_pairs target ~injected)
+               (fun _ ->
+                 Gpu.Device.launch dev ~kernel:(Kernel.Compile.compile vadd)
+                   ~grid:((n + 63) / 64, 1)
+                   ~block:(64, 1)
+                   ~args:[ Gpu.Device.Ptr a; Gpu.Device.Ptr b;
+                           Gpu.Device.Ptr out; Gpu.Device.I32 n ])
+           in
+           (digest_output dev out n, "")
+         in
+         let reference =
+           (* Fault-free digest computed on an identical clean device. *)
+           let devr = device () in
+           let ar = Gpu.Device.malloc devr (4 * n) in
+           let br = Gpu.Device.malloc devr (4 * n) in
+           let outr = Gpu.Device.malloc devr (4 * n) in
+           Gpu.Device.write_i32s devr ~addr:ar (Array.init n (fun i -> i));
+           Gpu.Device.write_i32s devr ~addr:br (Array.init n (fun i -> i * 2));
+           let _ =
+             Gpu.Device.launch devr ~kernel:(Kernel.Compile.compile vadd)
+               ~grid:((n + 63) / 64, 1)
+               ~block:(64, 1)
+               ~args:[ Gpu.Device.Ptr ar; Gpu.Device.Ptr br;
+                       Gpu.Device.Ptr outr; Gpu.Device.I32 n ]
+           in
+           (digest_output devr outr n, "")
+         in
+         let o = Handlers.Error_inject.classify ~reference run in
+         if !injected then incr fired;
+         o)
+      targets
+  in
+  check Alcotest.int "every run injected" (List.length targets) !fired;
+  let sdc =
+    List.length
+      (List.filter
+         (function
+           | Handlers.Error_inject.Sdc_output -> true
+           | _ -> false)
+         outcomes)
+  in
+  let masked =
+    List.length
+      (List.filter (fun o -> o = Handlers.Error_inject.Masked) outcomes)
+  in
+  (* In a tiny arithmetic kernel most flips of live data registers
+     corrupt the output; some flips land in dead bits/registers. *)
+  check Alcotest.bool "some corruptions" true (sdc > 0);
+  check Alcotest.bool "sdc + masked + others = all" true
+    (sdc + masked <= List.length outcomes)
+
+let suite =
+  [ ("cupti",
+     [ Alcotest.test_case "counters" `Quick test_counters_roundtrip;
+       Alcotest.test_case "callbacks" `Quick test_callbacks_fire ]);
+    ("handlers.opcode_hist",
+     [ Alcotest.test_case "figure 3 handler" `Quick test_opcode_hist ]);
+    ("handlers.branch_stats",
+     [ Alcotest.test_case "case study I" `Quick test_branch_stats ]);
+    ("handlers.mem_divergence",
+     [ Alcotest.test_case "unit stride" `Quick test_mem_divergence_unit_stride;
+       Alcotest.test_case "full divergence" `Quick
+         test_mem_divergence_full_divergence ]);
+    ("handlers.value_profile",
+     [ Alcotest.test_case "scalar + const bits" `Quick test_value_profile;
+       Alcotest.test_case "tid bit profile" `Quick
+         test_value_profile_tid_bits ]);
+    ("handlers.error_inject",
+     [ Alcotest.test_case "profile + pick" `Quick
+         test_error_injection_profile_and_pick;
+       Alcotest.test_case "flips change outcomes" `Quick
+         test_error_injection_flips ]) ]

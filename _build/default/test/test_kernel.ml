@@ -1,0 +1,567 @@
+(* Tests for the kernel language and backend compiler: typechecking,
+   lowering, optimization, register allocation (with forced spills),
+   and end-to-end execution equivalence across compiler configurations. *)
+
+open Kernel
+open Kernel.Dsl
+
+let check = Alcotest.check
+
+let device () = Gpu.Device.create ~cfg:Gpu.Config.small ()
+
+let run_kernel ?options dev k ~grid ~block ~args =
+  let compiled = Compile.compile ?options k in
+  Gpu.Device.launch dev ~kernel:compiled ~grid ~block ~args
+
+(* --- Typecheck ---------------------------------------------------------- *)
+
+let test_typecheck_ok () =
+  let k =
+    kernel "tc_ok" ~params:[ ptr "out"; int "n" ] (fun p ->
+        [ let_ "gid" (global_tid_x ());
+          exit_if (v "gid" >=! p 1);
+          st_global (p 0 +! (v "gid" <<! int_ 2)) (v "gid") ])
+  in
+  check Alcotest.bool "ok" true (Result.is_ok (Typecheck.check k))
+
+let expect_type_error k =
+  match Typecheck.check k with
+  | Ok () -> Alcotest.fail "expected a type error"
+  | Error _ -> ()
+
+let test_typecheck_errors () =
+  expect_type_error
+    (kernel "unbound" ~params:[] (fun _ -> [ st_global (v "nope") (int_ 0) ]));
+  expect_type_error
+    (kernel "badparam" ~params:[ ptr "a" ] (fun _ ->
+         [ st_global (Ast.Param 3) (int_ 0) ]));
+  expect_type_error
+    (kernel "booll" ~params:[] (fun _ ->
+         [ Ast.Let ("b", Ast.Bool, int_ 0 <! int_ 1) ]));
+  expect_type_error
+    (kernel "mixed" ~params:[] (fun _ ->
+         [ let_ "x" (int_ 1 +! f32 2.0) ]));
+  expect_type_error
+    (kernel "storeparam" ~params:[ ptr "a" ] (fun p ->
+         [ Ast.Store (Sass.Opcode.Param, p 0, int_ 0) ]));
+  expect_type_error
+    (kernel "setunbound" ~params:[] (fun _ -> [ set "q" (int_ 1) ]));
+  expect_type_error
+    (kernel "dup" ~params:[] (fun _ ->
+         [ let_ "x" (int_ 0); let_ "x" (int_ 1) ]));
+  expect_type_error
+    (kernel "ifcond" ~params:[] (fun _ -> [ when_ (Ast.Int 1) [] ]))
+
+(* --- End-to-end compilation + execution -------------------------------- *)
+
+let vadd =
+  kernel "dsl_vadd" ~params:[ ptr "a"; ptr "b"; ptr "out"; int "n" ] (fun p ->
+      [ let_ "gid" (global_tid_x ());
+        exit_if (v "gid" >=! p 3);
+        let_ "off" (v "gid" <<! int_ 2);
+        let_ "s" (ldg (p 0 +! v "off") +! ldg (p 1 +! v "off"));
+        st_global (p 2 +! v "off") (v "s") ])
+
+let test_compiled_vadd () =
+  let dev = device () in
+  let n = 500 in
+  let a = Gpu.Device.malloc dev (4 * n) in
+  let b = Gpu.Device.malloc dev (4 * n) in
+  let out = Gpu.Device.malloc dev (4 * n) in
+  Gpu.Device.write_i32s dev ~addr:a (Array.init n (fun i -> i));
+  Gpu.Device.write_i32s dev ~addr:b (Array.init n (fun i -> 1000 + i));
+  let _ =
+    run_kernel dev vadd
+      ~grid:((n + 63) / 64, 1)
+      ~block:(64, 1)
+      ~args:[ Gpu.Device.Ptr a; Gpu.Device.Ptr b; Gpu.Device.Ptr out;
+              Gpu.Device.I32 n ]
+  in
+  let result = Gpu.Device.read_i32s dev ~addr:out ~n in
+  for idx = 0 to n - 1 do
+    if result.(idx) <> 1000 + (2 * idx) then
+      Alcotest.failf "out[%d] = %d" idx result.(idx)
+  done
+
+let test_control_flow () =
+  (* out[i] = if i mod 3 = 0 then sum(0..i) else i*i, with a while loop *)
+  let k =
+    kernel "ctl" ~params:[ ptr "out"; int "n" ] (fun p ->
+        [ let_ "gid" (global_tid_x ());
+          exit_if (v "gid" >=! p 1);
+          let_ "r" (int_ 0);
+          if_ (v "gid" %! int_ 3 ==! int_ 0)
+            [ let_ "i" (int_ 0);
+              while_ (v "i" <=! v "gid")
+                [ set "r" (v "r" +! v "i");
+                  set "i" (v "i" +! int_ 1) ] ]
+            [ set "r" (v "gid" *! v "gid") ];
+          st_global (p 0 +! (v "gid" <<! int_ 2)) (v "r") ])
+  in
+  let dev = device () in
+  let n = 200 in
+  let out = Gpu.Device.malloc dev (4 * n) in
+  let _ =
+    run_kernel dev k ~grid:(4, 1) ~block:(64, 1)
+      ~args:[ Gpu.Device.Ptr out; Gpu.Device.I32 n ]
+  in
+  let result = Gpu.Device.read_i32s dev ~addr:out ~n in
+  for i = 0 to n - 1 do
+    let expected = if i mod 3 = 0 then i * (i + 1) / 2 else i * i in
+    if result.(i) <> expected then
+      Alcotest.failf "ctl out[%d] = %d, want %d" i result.(i) expected
+  done
+
+let test_for_loop_and_floats () =
+  (* out[i] = sum_{j<8} (i + j) * 0.5 *)
+  let k =
+    kernel "floats" ~params:[ ptr "out"; int "n" ] (fun p ->
+        [ let_ "gid" (global_tid_x ());
+          exit_if (v "gid" >=! p 1);
+          let_f "acc" (f32 0.0);
+          for_ "j" (int_ 0) (int_ 8)
+            [ set "acc" (v "acc" +.. (i2f (v "gid" +! v "j") *.. f32 0.5)) ];
+          st_global_f (p 0 +! (v "gid" <<! int_ 2)) (v "acc") ])
+  in
+  let dev = device () in
+  let n = 64 in
+  let out = Gpu.Device.malloc dev (4 * n) in
+  let _ =
+    run_kernel dev k ~grid:(1, 1) ~block:(64, 1)
+      ~args:[ Gpu.Device.Ptr out; Gpu.Device.I32 n ]
+  in
+  let result = Gpu.Device.read_f32s dev ~addr:out ~n in
+  for i = 0 to n - 1 do
+    let expected = ref 0.0 in
+    for j = 0 to 7 do
+      expected := !expected +. (float_of_int (i + j) *. 0.5)
+    done;
+    check (Alcotest.float 1e-4) (Printf.sprintf "f[%d]" i) !expected result.(i)
+  done
+
+let test_shared_and_atomics () =
+  (* Block-wide reduction into a global counter via shared memory. *)
+  let k =
+    kernel "reduce" ~params:[ ptr "data"; ptr "total"; int "n" ]
+      ~shared:[ ("acc", 4) ]
+      (fun p ->
+        [ let_ "gid" (global_tid_x ());
+          when_ (tid_x ==! int_ 0) [ st_shared (shared_base "acc") (int_ 0) ];
+          sync;
+          when_ (v "gid" <! p 2)
+            [ atomic_add_shared (shared_base "acc")
+                (ldg (p 0 +! (v "gid" <<! int_ 2))) ];
+          sync;
+          when_ (tid_x ==! int_ 0)
+            [ atomic_add (p 1) (lds (shared_base "acc")) ] ])
+  in
+  let dev = device () in
+  let n = 256 in
+  let data = Gpu.Device.malloc dev (4 * n) in
+  let total = Gpu.Device.malloc dev 4 in
+  Gpu.Device.write_i32s dev ~addr:data (Array.init n (fun i -> i + 1));
+  let _ =
+    run_kernel dev k ~grid:(4, 1) ~block:(64, 1)
+      ~args:[ Gpu.Device.Ptr data; Gpu.Device.Ptr total; Gpu.Device.I32 n ]
+  in
+  check Alcotest.int "sum 1..256" (n * (n + 1) / 2)
+    (Gpu.Device.read_i32 dev total)
+
+(* Force spilling with a register-pressure kernel and check that the
+   result matches the unconstrained compilation. *)
+let pressure_kernel =
+  kernel "pressure" ~params:[ ptr "out"; int "n" ] (fun p ->
+      let decls =
+        List.init 24 (fun i ->
+            let_ (Printf.sprintf "x%d" i)
+              ((v "gid" *! int_ (i + 1)) +! int_ (i * i)))
+      in
+      let total =
+        List.fold_left
+          (fun acc i -> acc +! v (Printf.sprintf "x%d" i))
+          (int_ 0)
+          (List.init 24 (fun i -> i))
+      in
+      [ let_ "gid" (global_tid_x ()); exit_if (v "gid" >=! p 1) ]
+      @ decls
+      @ [ st_global (p 0 +! (v "gid" <<! int_ 2)) total ])
+
+let run_pressure ?options () =
+  let dev = device () in
+  let n = 128 in
+  let out = Gpu.Device.malloc dev (4 * n) in
+  let _ =
+    run_kernel ?options dev pressure_kernel ~grid:(2, 1) ~block:(64, 1)
+      ~args:[ Gpu.Device.Ptr out; Gpu.Device.I32 n ]
+  in
+  Gpu.Device.read_i32s dev ~addr:out ~n
+
+let test_spilling_correct () =
+  let unconstrained = run_pressure () in
+  let constrained =
+    run_pressure ~options:{ Compile.max_regs = 12; Compile.opt_level = 1 } ()
+  in
+  check (Alcotest.array Alcotest.int) "spilled = unspilled" unconstrained
+    constrained;
+  (* Verify the constrained compile really spills. *)
+  let k =
+    Compile.compile ~options:{ Compile.max_regs = 12; Compile.opt_level = 1 }
+      pressure_kernel
+  in
+  check Alcotest.bool "has frame" true (k.Sass.Program.frame_bytes > 0);
+  let has_spill =
+    Array.exists
+      (fun i -> Sass.Opcode.is_spill_or_fill i.Sass.Instr.op)
+      k.Sass.Program.instrs
+  in
+  check Alcotest.bool "emits STL/LDL" true has_spill
+
+let test_opt_levels_equivalent () =
+  let o0 = run_pressure ~options:{ Compile.max_regs = 63; opt_level = 0 } () in
+  let o1 = run_pressure ~options:{ Compile.max_regs = 63; opt_level = 1 } () in
+  check (Alcotest.array Alcotest.int) "O0 = O1" o0 o1
+
+let test_opt_reduces_instructions () =
+  let k0 = Compile.compile ~options:{ Compile.max_regs = 63; opt_level = 0 } vadd in
+  let k1 = Compile.compile ~options:{ Compile.max_regs = 63; opt_level = 1 } vadd in
+  check Alcotest.bool "O1 smaller" true
+    (Sass.Program.instruction_count k1 < Sass.Program.instruction_count k0)
+
+let test_constant_folding () =
+  let items =
+    [| Vir.ins Sass.Opcode.IADD ~dsts:[ 0 ] ~srcs:[ Vir.VImm 2; Vir.VImm 3 ];
+       Vir.ins (Sass.Opcode.ST (Sass.Opcode.Global, Sass.Opcode.W32))
+         ~srcs:[ Vir.VImm 0; Vir.VImm 0; Vir.VReg 0 ];
+       Vir.ins Sass.Opcode.EXIT |]
+  in
+  let folded = Opt.constant_fold items in
+  (match folded.(0) with
+   | Vir.Ins { Vir.vop = Sass.Opcode.MOV; vsrcs = [ Vir.VImm 5 ]; _ } -> ()
+   | _ -> Alcotest.fail "IADD 2 3 not folded to MOV 5")
+
+let test_dce_removes_dead () =
+  let items =
+    [| Vir.ins Sass.Opcode.MOV ~dsts:[ 0 ] ~srcs:[ Vir.VImm 1 ];
+       Vir.ins Sass.Opcode.MOV ~dsts:[ 1 ] ~srcs:[ Vir.VImm 2 ];
+       Vir.ins (Sass.Opcode.ST (Sass.Opcode.Global, Sass.Opcode.W32))
+         ~srcs:[ Vir.VImm 0; Vir.VImm 0; Vir.VReg 0 ];
+       Vir.ins Sass.Opcode.EXIT |]
+  in
+  let after = Opt.dead_code_eliminate items in
+  check Alcotest.int "dead MOV removed" 3 (Array.length after)
+
+let test_ffs_sequence () =
+  (* __ffs via BREV/FLO lowering, against the reference. *)
+  let k =
+    kernel "ffsk" ~params:[ ptr "inp"; ptr "out"; int "n" ] (fun p ->
+        [ let_ "gid" (global_tid_x ());
+          exit_if (v "gid" >=! p 2);
+          let_ "off" (v "gid" <<! int_ 2);
+          st_global (p 1 +! v "off") (ffs (ldg (p 0 +! v "off"))) ])
+  in
+  let dev = device () in
+  let inputs = [| 0; 1; 2; 0x80000000; 0xFFFFFFFF; 0x20; 0x30; 12345 |] in
+  let n = Array.length inputs in
+  let inp = Gpu.Device.malloc dev (4 * n) in
+  let out = Gpu.Device.malloc dev (4 * n) in
+  Gpu.Device.write_i32s dev ~addr:inp inputs;
+  let _ =
+    run_kernel dev k ~grid:(1, 1) ~block:(32, 1)
+      ~args:[ Gpu.Device.Ptr inp; Gpu.Device.Ptr out; Gpu.Device.I32 n ]
+  in
+  let result = Gpu.Device.read_i32s dev ~addr:out ~n in
+  Array.iteri
+    (fun i x ->
+       check Alcotest.int (Printf.sprintf "ffs(0x%x)" x) (Gpu.Value.ffs x)
+         result.(i))
+    inputs
+
+let test_select_and_compare () =
+  let k =
+    kernel "sel" ~params:[ ptr "out"; int "n" ] (fun p ->
+        [ let_ "gid" (global_tid_x ());
+          exit_if (v "gid" >=! p 1);
+          let_ "r"
+            (select
+               ((v "gid" %! int_ 2 ==! int_ 0) &&? (v "gid" <! int_ 20))
+               (v "gid" *! int_ 10)
+               (int_ 0 -! v "gid"));
+          st_global (p 0 +! (v "gid" <<! int_ 2)) (v "r") ])
+  in
+  let dev = device () in
+  let n = 40 in
+  let out = Gpu.Device.malloc dev (4 * n) in
+  let _ =
+    run_kernel dev k ~grid:(1, 1) ~block:(64, 1)
+      ~args:[ Gpu.Device.Ptr out; Gpu.Device.I32 n ]
+  in
+  let result = Gpu.Device.read_i32s dev ~addr:out ~n in
+  for i = 0 to n - 1 do
+    let expected =
+      if i mod 2 = 0 && i < 20 then i * 10 else Gpu.Value.of_signed (-i)
+    in
+    check Alcotest.int (Printf.sprintf "sel[%d]" i) expected result.(i)
+  done
+
+(* --- QCheck: random arithmetic expressions compile and evaluate
+   to the same value as a host-side reference interpreter. ------------- *)
+
+let rec host_eval gid e =
+  match e with
+  | Ast.Int n -> n land Gpu.Value.mask
+  | Ast.Var "gid" -> gid
+  | Ast.Ibin (op, a, b) ->
+    let va = host_eval gid a and vb = host_eval gid b in
+    (match op with
+     | Ast.Add -> Gpu.Value.add va vb
+     | Ast.Sub -> Gpu.Value.sub va vb
+     | Ast.Mul -> Gpu.Value.mul va vb
+     | Ast.Min -> Gpu.Value.min_max ~cmp:Sass.Opcode.Lt va vb
+     | Ast.Max -> Gpu.Value.min_max ~cmp:Sass.Opcode.Gt va vb
+     | Ast.And -> va land vb
+     | Ast.Or -> va lor vb
+     | Ast.Xor -> va lxor vb
+     | Ast.Shl -> Gpu.Value.shl va (vb land 7)
+     | _ -> assert false)
+  | _ -> assert false
+
+let gen_arith_exp =
+  let open QCheck.Gen in
+  let leaf =
+    oneof [ map (fun n -> Ast.Int n) (int_bound 1000); return (Ast.Var "gid") ]
+  in
+  let op =
+    oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Min; Ast.Max; Ast.And; Ast.Or;
+             Ast.Xor ]
+  in
+  fix
+    (fun self depth ->
+       if depth = 0 then leaf
+       else
+         frequency
+           [ (1, leaf);
+             (3,
+              map3
+                (fun o a b -> Ast.Ibin (o, a, b))
+                op (self (depth - 1)) (self (depth - 1))) ])
+    3
+
+let prop_compiled_arith_matches_reference =
+  QCheck.Test.make ~name:"compiled arithmetic matches host reference"
+    ~count:60
+    (QCheck.make gen_arith_exp)
+    (fun e ->
+       let k =
+         kernel "qarith" ~params:[ ptr "out" ] (fun p ->
+             [ let_ "gid" (global_tid_x ());
+               st_global (p 0 +! (v "gid" <<! int_ 2)) e ])
+       in
+       let dev = device () in
+       let out = Gpu.Device.malloc dev (4 * 32) in
+       let _ =
+         run_kernel dev k ~grid:(1, 1) ~block:(32, 1)
+           ~args:[ Gpu.Device.Ptr out ]
+       in
+       let result = Gpu.Device.read_i32s dev ~addr:out ~n:32 in
+       let ok = ref true in
+       for gid = 0 to 31 do
+         if result.(gid) <> host_eval gid e then ok := false
+       done;
+       !ok)
+
+let prop_opt_equivalence =
+  QCheck.Test.make ~name:"opt levels agree on random arithmetic" ~count:40
+    (QCheck.make gen_arith_exp)
+    (fun e ->
+       let k =
+         kernel "qopt" ~params:[ ptr "out" ] (fun p ->
+             [ let_ "gid" (global_tid_x ());
+               st_global (p 0 +! (v "gid" <<! int_ 2)) e ])
+       in
+       let run lvl =
+         let dev = device () in
+         let out = Gpu.Device.malloc dev (4 * 32) in
+         let _ =
+           run_kernel
+             ~options:{ Compile.max_regs = 63; opt_level = lvl }
+             dev k ~grid:(1, 1) ~block:(32, 1)
+             ~args:[ Gpu.Device.Ptr out ]
+         in
+         Gpu.Device.read_i32s dev ~addr:out ~n:32
+       in
+       run 0 = run 1)
+
+(* --- CSE ---------------------------------------------------------------- *)
+
+let test_cse_collapses_s2r () =
+  (* Lowering emits one S2R per Special use; CSE must collapse them. *)
+  let k =
+    kernel "cse_s2r" ~params:[ ptr "out" ] (fun p ->
+        [ st_global (p 0 +! (tid_x <<! int_ 2)) (tid_x +! tid_x) ])
+  in
+  let count_s2r items =
+    Array.fold_left
+      (fun a it ->
+         match it with
+         | Kernel.Vir.Ins { Kernel.Vir.vop = Sass.Opcode.S2R _; _ } -> a + 1
+         | _ -> a)
+      0 items
+  in
+  let o0 = Compile.compile_vir ~options:{ Compile.max_regs = 63; opt_level = 0 } k in
+  let o1 = Compile.compile_vir k in
+  check Alcotest.bool "O0 has several S2R" true (count_s2r o0 >= 3);
+  check Alcotest.int "O1 has one S2R" 1 (count_s2r o1)
+
+let test_cse_respects_redefinition () =
+  (* x + 1 computed, x changed, x + 1 again: must NOT be merged. *)
+  let k =
+    kernel "cse_redef" ~params:[ ptr "out" ] (fun p ->
+        [ let_ "x" tid_x;
+          let_ "a" (v "x" +! int_ 1);
+          set "x" (v "x" *! int_ 3);
+          let_ "b" (v "x" +! int_ 1);
+          st_global (p 0 +! (tid_x <<! int_ 2)) (v "a" *! int_ 1000 +! v "b") ])
+  in
+  let dev = device () in
+  let out = Gpu.Device.malloc dev (4 * 32) in
+  let _ =
+    run_kernel dev k ~grid:(1, 1) ~block:(32, 1) ~args:[ Gpu.Device.Ptr out ]
+  in
+  let result = Gpu.Device.read_i32s dev ~addr:out ~n:32 in
+  for t = 0 to 31 do
+    let expected = ((t + 1) * 1000) + ((t * 3) + 1) in
+    check Alcotest.int (Printf.sprintf "cse[%d]" t) expected result.(t)
+  done
+
+let cse_suite =
+  ("kernel.cse",
+   [ Alcotest.test_case "collapses S2R" `Quick test_cse_collapses_s2r;
+     Alcotest.test_case "respects redefinition" `Quick
+       test_cse_respects_redefinition ])
+
+(* --- Remaining DSL surface: bytes, unsigned ops, shuffles, MUFU -------- *)
+
+let test_byte_loads_stores () =
+  let dev = device () in
+  let inp = Gpu.Device.malloc dev 64 in
+  let out = Gpu.Device.malloc dev (4 * 32) in
+  (* Bytes 0..31 hold tid*5 land 0xFF via Store8, then Load8 them back
+     into words. *)
+  let k =
+    kernel "bytes" ~params:[ ptr "buf"; ptr "out" ] (fun p ->
+        [ let_ "t" tid_x;
+          st_global8 (p 0 +! v "t") ((v "t" *! int_ 5) &! int_ 0xFF);
+          sync;
+          st_global (p 1 +! (v "t" <<! int_ 2)) (ldg8 (p 0 +! v "t")) ])
+  in
+  let _ =
+    run_kernel dev k ~grid:(1, 1) ~block:(32, 1)
+      ~args:[ Gpu.Device.Ptr inp; Gpu.Device.Ptr out ]
+  in
+  let result = Gpu.Device.read_i32s dev ~addr:out ~n:32 in
+  for t = 0 to 31 do
+    check Alcotest.int (Printf.sprintf "byte %d" t) (t * 5 land 0xFF)
+      result.(t)
+  done
+
+let test_unsigned_div_rem () =
+  let dev = device () in
+  let out = Gpu.Device.malloc dev (4 * 32) in
+  (* 0xFFFFFFF0 udiv 3 differs from signed division. *)
+  let k =
+    kernel "udivk" ~params:[ ptr "out" ] (fun p ->
+        [ let_ "t" tid_x;
+          let_ "x" (int_ 0xFFFFFFF0 +! v "t");
+          st_global (p 0 +! (v "t" <<! int_ 2))
+            (udiv (v "x") (int_ 3) +! urem (v "x") (int_ 7)) ])
+  in
+  let _ =
+    run_kernel dev k ~grid:(1, 1) ~block:(8, 1) ~args:[ Gpu.Device.Ptr out ]
+  in
+  let result = Gpu.Device.read_i32s dev ~addr:out ~n:8 in
+  for t = 0 to 7 do
+    let x = (0xFFFFFFF0 + t) land 0xFFFFFFFF in
+    check Alcotest.int (Printf.sprintf "u %d" t) ((x / 3) + (x mod 7))
+      result.(t)
+  done
+
+let test_shfl_variants () =
+  let dev = device () in
+  let out = Gpu.Device.malloc dev (4 * 96) in
+  let k =
+    kernel "shflv" ~params:[ ptr "out" ] (fun p ->
+        [ let_ "t" tid_x;
+          st_global (p 0 +! (v "t" <<! int_ 2)) (shfl_up (v "t") (int_ 1));
+          st_global (p 0 +! int_ 128 +! (v "t" <<! int_ 2))
+            (shfl_down (v "t") (int_ 2));
+          st_global (p 0 +! int_ 256 +! (v "t" <<! int_ 2))
+            (shfl_bfly (v "t") (int_ 1)) ])
+  in
+  let _ =
+    run_kernel dev k ~grid:(1, 1) ~block:(32, 1) ~args:[ Gpu.Device.Ptr out ]
+  in
+  let result = Gpu.Device.read_i32s dev ~addr:out ~n:96 in
+  for t = 0 to 31 do
+    let up = if t - 1 < 0 then t else t - 1 in
+    let down = if t + 2 > 31 then t else t + 2 in
+    check Alcotest.int (Printf.sprintf "up %d" t) up result.(t);
+    check Alcotest.int (Printf.sprintf "down %d" t) down result.(32 + t);
+    check Alcotest.int (Printf.sprintf "bfly %d" t) (t lxor 1) result.(64 + t)
+  done
+
+let test_mufu_vs_host () =
+  let dev = device () in
+  let out = Gpu.Device.malloc dev (4 * 32) in
+  let k =
+    kernel "mufuk" ~params:[ ptr "out" ] (fun p ->
+        [ let_ "t" tid_x;
+          let_f "x" (i2f (v "t" +! int_ 1) *.. f32 0.25);
+          st_global_f (p 0 +! (v "t" <<! int_ 2))
+            (sqrt_ (v "x") +.. exp2 (v "x" *.. f32 0.5)
+             +.. log2 (v "x" +.. f32 1.0)) ])
+  in
+  let _ =
+    run_kernel dev k ~grid:(1, 1) ~block:(32, 1) ~args:[ Gpu.Device.Ptr out ]
+  in
+  let result = Gpu.Device.read_f32s dev ~addr:out ~n:32 in
+  for t = 0 to 31 do
+    let f32 x = Gpu.Value.f32_of_bits (Gpu.Value.bits_of_f32 x) in
+    let x = f32 (float_of_int (t + 1) *. 0.25) in
+    let expected =
+      f32 (f32 (f32 (sqrt x) +. f32 (Float.exp2 (f32 (x *. 0.5))))
+           +. f32 (Float.log2 (f32 (x +. 1.0))))
+    in
+    check (Alcotest.float 1e-4) (Printf.sprintf "mufu %d" t) expected
+      result.(t)
+  done
+
+let surface_suite =
+  ("kernel.surface",
+   [ Alcotest.test_case "byte load/store" `Quick test_byte_loads_stores;
+     Alcotest.test_case "unsigned div/rem" `Quick test_unsigned_div_rem;
+     Alcotest.test_case "shfl variants" `Quick test_shfl_variants;
+     Alcotest.test_case "mufu vs host" `Quick test_mufu_vs_host ])
+
+let suite =
+  let qt = QCheck_alcotest.to_alcotest in
+  [ ("kernel.typecheck",
+     [ Alcotest.test_case "accepts valid" `Quick test_typecheck_ok;
+       Alcotest.test_case "rejects invalid" `Quick test_typecheck_errors ]);
+    ("kernel.compile",
+     [ Alcotest.test_case "vadd end-to-end" `Quick test_compiled_vadd;
+       Alcotest.test_case "control flow" `Quick test_control_flow;
+       Alcotest.test_case "for + floats" `Quick test_for_loop_and_floats;
+       Alcotest.test_case "shared + atomics" `Quick test_shared_and_atomics;
+       Alcotest.test_case "ffs lowering" `Quick test_ffs_sequence;
+       Alcotest.test_case "select + logic" `Quick test_select_and_compare;
+       qt prop_compiled_arith_matches_reference ]);
+    ("kernel.regalloc",
+     [ Alcotest.test_case "spilling correct" `Quick test_spilling_correct ]);
+    ("kernel.opt",
+     [ Alcotest.test_case "levels equivalent" `Quick test_opt_levels_equivalent;
+       Alcotest.test_case "O1 reduces size" `Quick test_opt_reduces_instructions;
+       Alcotest.test_case "constant folding" `Quick test_constant_folding;
+       Alcotest.test_case "dce" `Quick test_dce_removes_dead;
+       qt prop_opt_equivalence ]);
+    cse_suite;
+    surface_suite ]

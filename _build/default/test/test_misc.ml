@@ -1,0 +1,412 @@
+(* Broader unit coverage: device API edge cases, shared-memory bank
+   conflicts, multi-wave scheduling, runtime site table, disassembly
+   output, and workload helpers. *)
+
+open Kernel.Dsl
+
+let check = Alcotest.check
+
+let device () = Gpu.Device.create ~cfg:Gpu.Config.small ()
+
+(* --- Device API ---------------------------------------------------------- *)
+
+let test_malloc_alignment () =
+  let dev = device () in
+  let a = Gpu.Device.malloc dev 10 in
+  let b = Gpu.Device.malloc dev 10 in
+  check Alcotest.int "256-aligned a" 0 (a mod 256);
+  check Alcotest.int "256-aligned b" 0 (b mod 256);
+  check Alcotest.bool "disjoint" true (b >= a + 10)
+
+let test_malloc_oom () =
+  let dev = device () in
+  match Gpu.Device.malloc dev (1 lsl 30) with
+  | _ -> Alcotest.fail "expected Out_of_memory"
+  | exception Out_of_memory -> ()
+
+let test_f32_u64_roundtrips () =
+  let dev = device () in
+  let a = Gpu.Device.malloc dev 64 in
+  Gpu.Device.write_f32s dev ~addr:a [| 1.5; -2.25; 0.0; 1e20 |];
+  let back = Gpu.Device.read_f32s dev ~addr:a ~n:4 in
+  check (Alcotest.float 0.0) "f32 1.5" 1.5 back.(0);
+  check (Alcotest.float 0.0) "f32 -2.25" (-2.25) back.(1);
+  Gpu.Device.write_u64s dev ~addr:a [| 0x1_2345_6789; 42 |];
+  let u = Gpu.Device.read_u64s dev ~addr:a ~n:2 in
+  check Alcotest.int "u64 big" 0x1_2345_6789 u.(0);
+  check Alcotest.int "u64 small" 42 u.(1)
+
+let test_invocation_counts () =
+  let dev = device () in
+  let k =
+    Kernel.Compile.compile
+      (kernel "inv_k" ~params:[ ptr "out" ] (fun p ->
+           [ st_global (p 0) (int_ 1) ]))
+  in
+  let out = Gpu.Device.malloc dev 4 in
+  check Alcotest.int "0 before" 0 (Gpu.Device.invocation_count dev "inv_k");
+  for _ = 1 to 3 do
+    ignore
+      (Gpu.Device.launch dev ~kernel:k ~grid:(1, 1) ~block:(32, 1)
+         ~args:[ Gpu.Device.Ptr out ])
+  done;
+  check Alcotest.int "3 after" 3 (Gpu.Device.invocation_count dev "inv_k")
+
+let test_launch_validation () =
+  let dev = device () in
+  let k =
+    Kernel.Compile.compile
+      (kernel "val_k" ~params:[] (fun _ -> [ nop_mark 1 ]))
+  in
+  (match Gpu.Device.launch dev ~kernel:k ~grid:(0, 1) ~block:(32, 1) ~args:[] with
+   | _ -> Alcotest.fail "empty grid accepted"
+   | exception Invalid_argument _ -> ());
+  (match Gpu.Device.launch dev ~kernel:k ~grid:(1, 1) ~block:(2048, 1) ~args:[] with
+   | _ -> Alcotest.fail "oversized block accepted"
+   | exception Invalid_argument _ -> ())
+
+let test_transform_cache_generation () =
+  (* Changing the transform must invalidate the kernel cache. *)
+  let dev = device () in
+  let calls = ref 0 in
+  let transform tag k =
+    incr calls;
+    ignore tag;
+    k
+  in
+  let k =
+    Kernel.Compile.compile
+      (kernel "cache_k" ~params:[ ptr "out" ] (fun p ->
+           [ st_global (p 0) (int_ 3) ]))
+  in
+  let out = Gpu.Device.malloc dev 4 in
+  let launch () =
+    ignore
+      (Gpu.Device.launch dev ~kernel:k ~grid:(1, 1) ~block:(32, 1)
+         ~args:[ Gpu.Device.Ptr out ])
+  in
+  Gpu.Device.set_transform dev (Some (transform 1));
+  launch ();
+  launch ();
+  check Alcotest.int "cached after first" 1 !calls;
+  Gpu.Device.set_transform dev (Some (transform 2));
+  launch ();
+  check Alcotest.int "new generation recompiles" 2 !calls
+
+(* --- Shared-memory bank conflicts ----------------------------------------- *)
+
+let test_bank_conflicts () =
+  let dev = device () in
+  (* stride-32 word accesses: all 32 lanes hit bank 0 -> 31 extra. *)
+  let k stride name =
+    Kernel.Compile.compile
+      (kernel name ~params:[ ptr "out" ] ~shared:[ ("buf", 4 * 32 * 32) ]
+         (fun p ->
+           [ let_ "t" tid_x;
+             st_shared (shared_base "buf" +! (v "t" *! int_ (4 * stride)))
+               (v "t");
+             st_global (p 0 +! (v "t" <<! int_ 2)) (v "t") ]))
+  in
+  let out = Gpu.Device.malloc dev (4 * 32) in
+  let run kern =
+    Gpu.Device.launch dev ~kernel:kern ~grid:(1, 1) ~block:(32, 1)
+      ~args:[ Gpu.Device.Ptr out ]
+  in
+  let s1 = run (k 1 "bank1") in
+  let s32 = run (k 32 "bank32") in
+  check Alcotest.int "unit stride: no conflicts" 0
+    s1.Gpu.Stats.shared_conflicts;
+  check Alcotest.int "stride 32: fully serialized" 31
+    s32.Gpu.Stats.shared_conflicts
+
+(* --- Multi-wave scheduling -------------------------------------------------- *)
+
+let test_many_blocks_waves () =
+  (* More blocks than fit at once: residency limit 16 warps/SM in the
+     small config, so 64 blocks x 2 warps = 4 waves per SM. *)
+  let dev = device () in
+  let n = 64 * 64 in
+  let out = Gpu.Device.malloc dev (4 * n) in
+  let k =
+    Kernel.Compile.compile
+      (kernel "waves" ~params:[ ptr "out" ] (fun p ->
+           [ let_ "gid" (global_tid_x ());
+             st_global (p 0 +! (v "gid" <<! int_ 2)) (v "gid" *! int_ 7) ]))
+  in
+  let _ =
+    Gpu.Device.launch dev ~kernel:k ~grid:(64, 1) ~block:(64, 1)
+      ~args:[ Gpu.Device.Ptr out ]
+  in
+  let result = Gpu.Device.read_i32s dev ~addr:out ~n in
+  for i = 0 to n - 1 do
+    if result.(i) <> i * 7 then Alcotest.failf "waves out[%d]" i
+  done
+
+let test_2d_grid_and_block () =
+  let dev = device () in
+  let w = 16 and h = 8 in
+  let out = Gpu.Device.malloc dev (4 * w * h * 4) in
+  let k =
+    Kernel.Compile.compile
+      (kernel "grid2d" ~params:[ ptr "out" ] (fun p ->
+           [ let_ "x" ((ctaid_x *! ntid_x) +! tid_x);
+             let_ "y" ((ctaid_y *! ntid_y) +! tid_y);
+             let_ "i" ((v "y" *! int_ (w * 2)) +! v "x");
+             st_global (p 0 +! (v "i" <<! int_ 2))
+               ((v "x" *! int_ 1000) +! v "y") ]))
+  in
+  let _ =
+    Gpu.Device.launch dev ~kernel:k ~grid:(2, 2) ~block:(w, h)
+      ~args:[ Gpu.Device.Ptr out ]
+  in
+  let result = Gpu.Device.read_i32s dev ~addr:out ~n:(w * h * 4) in
+  for y = 0 to (h * 2) - 1 do
+    for x = 0 to (w * 2) - 1 do
+      let got = result.((y * w * 2) + x) in
+      if got <> (x * 1000) + y then
+        Alcotest.failf "2d (%d,%d) = %d" x y got
+    done
+  done
+
+(* --- Runtime site table ------------------------------------------------------ *)
+
+let test_runtime_site_table () =
+  let dev = device () in
+  let rt = Sassi.Runtime.create () in
+  Sassi.Runtime.attach rt dev
+    [ (Sassi.Select.before [ Sassi.Select.Memory_ops ]
+         [ Sassi.Select.Mem_info ],
+       Sassi.Handler.noop) ];
+  let k =
+    Kernel.Compile.compile
+      (kernel "sites_k" ~params:[ ptr "a"; ptr "out" ] (fun p ->
+           [ let_ "t" tid_x;
+             let_ "x" (ldg (p 0 +! (v "t" <<! int_ 2)));
+             st_global (p 1 +! (v "t" <<! int_ 2)) (v "x") ]))
+  in
+  let a = Gpu.Device.malloc dev (4 * 32) in
+  let out = Gpu.Device.malloc dev (4 * 32) in
+  let _ =
+    Gpu.Device.launch dev ~kernel:k ~grid:(1, 1) ~block:(32, 1)
+      ~args:[ Gpu.Device.Ptr a; Gpu.Device.Ptr out ]
+  in
+  let sites = Sassi.Runtime.sites_for_kernel rt "sites_k" in
+  check Alcotest.int "2 memory sites" 2 (List.length sites);
+  List.iter
+    (fun s ->
+       check Alcotest.bool "site is memory" true
+         (Sass.Opcode.is_mem s.Sassi.Select.s_instr.Sass.Instr.op);
+       let s' = Sassi.Runtime.site rt s.Sassi.Select.s_id in
+       check Alcotest.int "lookup by id" s.Sassi.Select.s_old_pc
+         s'.Sassi.Select.s_old_pc)
+    sites;
+  Sassi.Runtime.detach dev
+
+(* --- Disassembly --------------------------------------------------------------- *)
+
+let test_disassembly_landmarks () =
+  let k =
+    Kernel.Compile.compile
+      (kernel "dis_k" ~params:[ ptr "a"; ptr "out" ] (fun p ->
+           [ let_ "t" tid_x;
+             when_ (v "t" <! int_ 8)
+               [ st_global (p 1 +! (v "t" <<! int_ 2))
+                   (ldg (p 0 +! (v "t" <<! int_ 2))) ] ]))
+  in
+  let text = Format.asprintf "%a" Sass.Program.pp k in
+  List.iter
+    (fun needle ->
+       if not
+            (String.length text >= String.length needle
+             && (let re = Str.regexp_string needle in
+                 try
+                   ignore (Str.search_forward re text 0);
+                   true
+                 with Not_found -> false))
+       then Alcotest.failf "disassembly missing %S in:\n%s" needle text)
+    [ "S2R.SR_TID.X"; "ISETP"; "@!P0 BRA"; "LDE"; "STE"; "EXIT";
+      "(reconv" ]
+
+let test_instrumented_disassembly_landmarks () =
+  let k =
+    Kernel.Compile.compile
+      (kernel "dis_i" ~params:[ ptr "out" ] (fun p ->
+           [ st_global (p 0) (int_ 1) ]))
+  in
+  let r =
+    Sassi.Inject.instrument ~next_id:(ref 0)
+      ~specs:[ (Sassi.Select.before [ Sassi.Select.Memory_ops ]
+                  [ Sassi.Select.Mem_info ], 0) ]
+      k
+  in
+  let text = Format.asprintf "%a" Sass.Program.pp r.Sassi.Inject.kernel in
+  List.iter
+    (fun needle ->
+       let re = Str.regexp_string needle in
+       (try ignore (Str.search_forward re text 0) with
+        | Not_found -> Alcotest.failf "injected code missing %S:\n%s" needle text))
+    [ "IADD R1, R1, 0xffffff80";  (* frame push *)
+      "P2R R3"; "R2P"; "JCAL sassi_handler_0";
+      "IADD R1, R1, 0x80"  (* frame pop *) ]
+
+(* --- Workload helpers ------------------------------------------------------------ *)
+
+let test_digest_stability () =
+  let dev = device () in
+  let a = Gpu.Device.malloc dev 64 in
+  Gpu.Device.write_i32s dev ~addr:a (Array.init 16 (fun i -> i));
+  let d1 = Workloads.Workload.digest_i32 dev ~addr:a ~n:16 in
+  let d2 = Workloads.Workload.digest_i32 dev ~addr:a ~n:16 in
+  check Alcotest.string "stable" d1 d2;
+  Gpu.Device.write_i32 dev a 999;
+  let d3 = Workloads.Workload.digest_i32 dev ~addr:a ~n:16 in
+  check Alcotest.bool "sensitive" true (d1 <> d3);
+  check Alcotest.bool "combine differs" true
+    (Workloads.Workload.combine_digests [ d1; d3 ]
+     <> Workloads.Workload.combine_digests [ d3; d1 ])
+
+let test_grid_1d () =
+  check (Alcotest.pair (Alcotest.pair Alcotest.int Alcotest.int)
+           (Alcotest.pair Alcotest.int Alcotest.int))
+    "exact" ((2, 1), (64, 1))
+    (Workloads.Workload.grid_1d ~threads:128 ~block:64);
+  let (gx, _), _ = Workloads.Workload.grid_1d ~threads:129 ~block:64 in
+  check Alcotest.int "round up" 3 gx
+
+(* --- Model-based cache check: LRU against a naive reference ----------- *)
+
+let prop_cache_matches_reference =
+  let open QCheck in
+  Test.make ~name:"cache behaves as reference LRU" ~count:200
+    (list_of_size (Gen.int_range 10 200) (int_bound 1023))
+    (fun addrs ->
+       let sets = 4 and assoc = 2 and line = 32 in
+       let cache =
+         Gpu.Cache.create ~name:"mbt" ~size_bytes:(sets * assoc * line)
+           ~assoc ~line_bytes:line
+       in
+       (* Reference: per set, a most-recent-first list of tags. *)
+       let reference = Array.make sets [] in
+       let ok = ref true in
+       List.iter
+         (fun addr ->
+            let tag = addr / line in
+            let s = tag mod sets in
+            let hit_model = List.mem tag reference.(s) in
+            let outcome = Gpu.Cache.access cache addr in
+            let hit_real = outcome = Gpu.Cache.Hit in
+            if hit_model <> hit_real then ok := false;
+            let without = List.filter (fun t -> t <> tag) reference.(s) in
+            let rec take n = function
+              | [] -> []
+              | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+            in
+            reference.(s) <- tag :: take (assoc - 1) without)
+         addrs;
+       !ok)
+
+let model_suite =
+  ("misc.cache-model",
+   [ QCheck_alcotest.to_alcotest prop_cache_matches_reference ])
+
+(* --- Value edge cases + campaign tally -------------------------------- *)
+
+let test_value_edges () =
+  (* rcp(0) -> +inf bits; f2i(NaN) -> 0; f2i saturates. *)
+  let inf_bits = Gpu.Value.mufu Sass.Opcode.Rcp (Gpu.Value.bits_of_f32 0.0) in
+  check Alcotest.bool "rcp 0 is inf" true
+    (Float.is_integer (Gpu.Value.f32_of_bits inf_bits) = false
+     || Float.is_nan (Gpu.Value.f32_of_bits inf_bits)
+     || Gpu.Value.f32_of_bits inf_bits = Float.infinity);
+  check Alcotest.int "f2i nan" 0
+    (Gpu.Value.f2i ~sign:Sass.Opcode.Signed
+       (Gpu.Value.bits_of_f32 Float.nan));
+  check Alcotest.int "f2i saturate hi" 0x7FFFFFFF
+    (Gpu.Value.f2i ~sign:Sass.Opcode.Signed (Gpu.Value.bits_of_f32 1e20));
+  check Alcotest.int "f2i unsigned clamp" 0
+    (Gpu.Value.f2i ~sign:Sass.Opcode.Unsigned
+       (Gpu.Value.bits_of_f32 (-5.0)));
+  check Alcotest.int "u2f big" (Gpu.Value.bits_of_f32 4294967040.0)
+    (Gpu.Value.i2f ~sign:Sass.Opcode.Unsigned 0xFFFFFF00);
+  check Alcotest.int "i2f negative"
+    (Gpu.Value.bits_of_f32 (-1.0))
+    (Gpu.Value.i2f ~sign:Sass.Opcode.Signed (Gpu.Value.of_signed (-1)))
+
+let test_campaign_tally () =
+  let open Handlers.Error_inject in
+  let t =
+    Workloads.Campaign.tally_of_outcomes
+      [ Masked; Masked; Crash "x"; Hang; Failure_symptom "y"; Sdc_stdout;
+        Sdc_output; Sdc_output ]
+  in
+  check Alcotest.int "masked" 2 t.Workloads.Campaign.masked;
+  check Alcotest.int "crash" 1 t.Workloads.Campaign.crashes;
+  check Alcotest.int "hang" 1 t.Workloads.Campaign.hangs;
+  check Alcotest.int "symptom" 1 t.Workloads.Campaign.failure_symptoms;
+  check Alcotest.int "sdc stdout" 1 t.Workloads.Campaign.sdc_stdout;
+  check Alcotest.int "sdc output" 2 t.Workloads.Campaign.sdc_output;
+  check Alcotest.int "total" 8 t.Workloads.Campaign.total;
+  let m, c, _, _, _, so = Workloads.Campaign.fractions t in
+  check (Alcotest.float 1e-9) "masked frac" 0.25 m;
+  check (Alcotest.float 1e-9) "crash frac" 0.125 c;
+  check (Alcotest.float 1e-9) "sdc frac" 0.25 so
+
+let test_classify_categories () =
+  let open Handlers.Error_inject in
+  let golden = ("d", "s") in
+  check Alcotest.bool "masked" true
+    (classify ~reference:golden (fun () -> ("d", "s")) = Masked);
+  check Alcotest.bool "sdc output" true
+    (classify ~reference:golden (fun () -> ("x", "s")) = Sdc_output);
+  check Alcotest.bool "sdc stdout" true
+    (classify ~reference:golden (fun () -> ("d", "x")) = Sdc_stdout);
+  check Alcotest.bool "hang" true
+    (classify ~reference:golden (fun () -> raise (Gpu.Trap.Hang { cycles = 1 }))
+     = Hang);
+  (match
+     classify ~reference:golden (fun () ->
+         raise
+           (Gpu.Trap.Memory_fault
+              { space = Sass.Opcode.Global; addr = 0;
+                kind = Gpu.Trap.Out_of_bounds }))
+   with
+   | Crash _ -> ()
+   | o -> Alcotest.failf "expected crash, got %s" (outcome_to_string o));
+  (match
+     classify ~reference:golden (fun () ->
+         raise (Gpu.Trap.Device_assert "bad"))
+   with
+   | Failure_symptom _ -> ()
+   | o -> Alcotest.failf "expected symptom, got %s" (outcome_to_string o))
+
+let edge_suite =
+  ("misc.edges",
+   [ Alcotest.test_case "value edges" `Quick test_value_edges;
+     Alcotest.test_case "campaign tally" `Quick test_campaign_tally;
+     Alcotest.test_case "classify" `Quick test_classify_categories ])
+
+let suite =
+  [ ("misc.device",
+     [ Alcotest.test_case "malloc alignment" `Quick test_malloc_alignment;
+       Alcotest.test_case "malloc OOM" `Quick test_malloc_oom;
+       Alcotest.test_case "f32/u64 roundtrip" `Quick test_f32_u64_roundtrips;
+       Alcotest.test_case "invocation counts" `Quick test_invocation_counts;
+       Alcotest.test_case "launch validation" `Quick test_launch_validation;
+       Alcotest.test_case "transform cache" `Quick
+         test_transform_cache_generation ]);
+    ("misc.machine",
+     [ Alcotest.test_case "bank conflicts" `Quick test_bank_conflicts;
+       Alcotest.test_case "multi-wave scheduling" `Quick
+         test_many_blocks_waves;
+       Alcotest.test_case "2d grid/block" `Quick test_2d_grid_and_block ]);
+    ("misc.runtime",
+     [ Alcotest.test_case "site table" `Quick test_runtime_site_table ]);
+    ("misc.disasm",
+     [ Alcotest.test_case "landmarks" `Quick test_disassembly_landmarks;
+       Alcotest.test_case "instrumented landmarks" `Quick
+         test_instrumented_disassembly_landmarks ]);
+    ("misc.workload-helpers",
+     [ Alcotest.test_case "digests" `Quick test_digest_stability;
+       Alcotest.test_case "grid_1d" `Quick test_grid_1d ]);
+    model_suite;
+    edge_suite ]

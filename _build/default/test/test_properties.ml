@@ -1,0 +1,195 @@
+(* Whole-stack property tests over randomly generated structured
+   kernels: compile -> run on the simulator, and check that
+   (1) SASSI instrumentation with an empty handler never changes
+       results (the pass's central correctness obligation),
+   (2) register-constrained compilation (spilling) agrees with
+       unconstrained compilation,
+   (3) the machine's dynamic warp-instruction count equals the number
+       of handler calls under before-All instrumentation. *)
+
+open Kernel.Dsl
+
+let device () = Gpu.Device.create ~cfg:Gpu.Config.small ()
+
+(* --- Random structured kernel generator -------------------------------- *)
+
+(* Expressions over: gid, a small set of declared variables, constants.
+   Statements: assignments, bounded if/else, bounded for loops, global
+   stores/loads over a private slice (each thread owns out[gid] and
+   in[gid], so random kernels are race-free by construction). *)
+
+let gen_kernel =
+  let open QCheck.Gen in
+  let var_names = [ "v0"; "v1"; "v2" ] in
+  let gen_exp depth =
+    fix
+      (fun self depth ->
+         let leaf =
+           oneof
+             [ map (fun n -> Kernel.Ast.Int (n - 500)) (int_bound 1000);
+               return (Kernel.Ast.Var "gid");
+               oneofl (List.map (fun n -> Kernel.Ast.Var n) var_names) ]
+         in
+         if depth = 0 then leaf
+         else
+           frequency
+             [ (2, leaf);
+               (3,
+                map3
+                  (fun o a b -> Kernel.Ast.Ibin (o, a, b))
+                  (oneofl
+                     [ Kernel.Ast.Add; Kernel.Ast.Sub; Kernel.Ast.Mul; Kernel.Ast.Min; Kernel.Ast.Max; Kernel.Ast.And;
+                       Kernel.Ast.Or; Kernel.Ast.Xor ])
+                  (self (depth - 1)) (self (depth - 1)));
+               (1,
+                map
+                  (fun a -> Kernel.Ast.Ibin (Kernel.Ast.Shl, a, Kernel.Ast.Int 1))
+                  (self (depth - 1))) ])
+      depth
+  in
+  let gen_cond depth =
+    map3
+      (fun cmp a b -> Kernel.Ast.Icmp (cmp, a, b))
+      (oneofl [ Sass.Opcode.Lt; Sass.Opcode.Le; Sass.Opcode.Gt;
+                Sass.Opcode.Eq; Sass.Opcode.Ne ])
+      (gen_exp depth) (gen_exp depth)
+  in
+  let gen_assign =
+    map2 (fun name e -> set name e) (oneofl var_names) (gen_exp 2)
+  in
+  let rec gen_stmt depth =
+    if depth = 0 then gen_assign
+    else
+      frequency
+        [ (4, gen_assign);
+          (2,
+           map3
+             (fun c t f -> if_ c t f)
+             (gen_cond 1)
+             (list_size (int_range 1 3) (gen_stmt (depth - 1)))
+             (list_size (int_range 0 2) (gen_stmt (depth - 1))));
+          (1,
+           map2
+             (fun bound body ->
+                for_ "i" (int_ 0) (int_ (1 + bound))
+                  (body
+                   @ [ set "v0" (v "v0" +! v "i") ]))
+             (int_bound 5)
+             (list_size (int_range 1 2) (gen_stmt 0))) ]
+  in
+  list_size (int_range 2 6) (gen_stmt 2) >|= fun body ->
+  kernel "qk" ~params:[ ptr "inp"; ptr "out" ] (fun p ->
+      [ let_ "gid" (global_tid_x ());
+        let_ "v0" (ldg (p 0 +! (v "gid" <<! int_ 2)));
+        let_ "v1" (v "gid" *! int_ 3);
+        let_ "v2" (int_ 7) ]
+      @ body
+      @ [ st_global (p 1 +! (v "gid" <<! int_ 2))
+            ((v "v0" ^! v "v1") +! v "v2") ])
+
+let arb_kernel =
+  QCheck.make gen_kernel ~print:(fun k ->
+      Format.asprintf "%a" Sass.Program.pp (Kernel.Compile.compile k))
+
+let run_kernel ?options ?instrument k =
+  let dev = device () in
+  let n = 64 in
+  let inp = Gpu.Device.malloc dev (4 * n) in
+  let out = Gpu.Device.malloc dev (4 * n) in
+  Gpu.Device.write_i32s dev ~addr:inp (Array.init n (fun i -> (i * 37) + 11));
+  let compiled = Kernel.Compile.compile ?options k in
+  let launch () =
+    Gpu.Device.launch dev ~kernel:compiled ~grid:(1, 1) ~block:(n, 1)
+      ~args:[ Gpu.Device.Ptr inp; Gpu.Device.Ptr out ]
+  in
+  let stats =
+    match instrument with
+    | None -> launch ()
+    | Some pairs ->
+      Sassi.Runtime.with_instrumentation dev pairs (fun _ -> launch ())
+  in
+  (Gpu.Device.read_i32s dev ~addr:out ~n, stats)
+
+let prop_instrumentation_preserves_semantics =
+  QCheck.Test.make ~name:"noop instrumentation never changes results"
+    ~count:40 arb_kernel (fun k ->
+      let base, _ = run_kernel k in
+      let inst, _ =
+        run_kernel
+          ~instrument:
+            [ (Sassi.Select.before [ Sassi.Select.All ]
+                 [ Sassi.Select.Mem_info ],
+               Sassi.Handler.noop) ]
+          k
+      in
+      base = inst)
+
+let prop_after_instrumentation_preserves_semantics =
+  QCheck.Test.make ~name:"after-reg-writes instrumentation never changes \
+                          results"
+    ~count:30 arb_kernel (fun k ->
+      let base, _ = run_kernel k in
+      let inst, _ =
+        run_kernel
+          ~instrument:
+            [ (Sassi.Select.after [ Sassi.Select.Reg_writes ]
+                 [ Sassi.Select.Reg_info ],
+               Sassi.Handler.noop) ]
+          k
+      in
+      base = inst)
+
+let prop_spilling_equivalence =
+  QCheck.Test.make ~name:"register-constrained compilation agrees" ~count:30
+    arb_kernel (fun k ->
+      let a, _ = run_kernel k in
+      let b, _ =
+        run_kernel ~options:{ Kernel.Compile.max_regs = 10; opt_level = 1 } k
+      in
+      a = b)
+
+let prop_hcalls_match_instruction_count =
+  QCheck.Test.make ~name:"hcalls = baseline warp instructions" ~count:25
+    arb_kernel (fun k ->
+      let _, base_stats = run_kernel k in
+      let _, inst_stats =
+        run_kernel
+          ~instrument:
+            [ (Sassi.Select.before [ Sassi.Select.All ] [],
+               Sassi.Handler.noop) ]
+          k
+      in
+      inst_stats.Gpu.Stats.hcalls = base_stats.Gpu.Stats.warp_instrs)
+
+let prop_optimize_idempotent =
+  QCheck.Test.make ~name:"optimize is idempotent on lowered kernels"
+    ~count:30 arb_kernel (fun k ->
+      let once = Kernel.Compile.compile_vir k in
+      let twice = Kernel.Opt.optimize once in
+      (* A second full optimization round must not change the code. *)
+      twice = once)
+
+let prop_instrumented_kernel_valid =
+  QCheck.Test.make ~name:"instrumented kernels always validate" ~count:30
+    arb_kernel (fun k ->
+      let compiled = Kernel.Compile.compile k in
+      let r =
+        Sassi.Inject.instrument ~next_id:(ref 0)
+          ~specs:
+            [ (Sassi.Select.before [ Sassi.Select.All ]
+                 [ Sassi.Select.Mem_info ], 0);
+              (Sassi.Select.after [ Sassi.Select.Reg_writes ]
+                 [ Sassi.Select.Reg_info ], 0) ]
+          compiled
+      in
+      Result.is_ok (Sass.Program.validate r.Sassi.Inject.kernel))
+
+let suite =
+  let qt = QCheck_alcotest.to_alcotest in
+  [ ("properties.whole-stack",
+     [ qt prop_instrumentation_preserves_semantics;
+       qt prop_after_instrumentation_preserves_semantics;
+       qt prop_spilling_equivalence;
+       qt prop_hcalls_match_instruction_count;
+       qt prop_optimize_idempotent;
+       qt prop_instrumented_kernel_valid ]) ]

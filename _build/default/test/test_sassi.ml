@@ -1,0 +1,471 @@
+(* Tests for the SASSI core: the injection pass, params objects,
+   intrinsics, and runtime dispatch. *)
+
+open Kernel.Dsl
+
+let check = Alcotest.check
+
+let device () = Gpu.Device.create ~cfg:Gpu.Config.small ()
+
+let vadd =
+  kernel "s_vadd" ~params:[ ptr "a"; ptr "b"; ptr "out"; int "n" ] (fun p ->
+      [ let_ "gid" (global_tid_x ());
+        exit_if (v "gid" >=! p 3);
+        let_ "off" (v "gid" <<! int_ 2);
+        let_ "s" (ldg (p 0 +! v "off") +! ldg (p 1 +! v "off"));
+        st_global (p 2 +! v "off") (v "s") ])
+
+let setup_vadd dev n =
+  let a = Gpu.Device.malloc dev (4 * n) in
+  let b = Gpu.Device.malloc dev (4 * n) in
+  let out = Gpu.Device.malloc dev (4 * n) in
+  Gpu.Device.write_i32s dev ~addr:a (Array.init n (fun i -> i * 3));
+  Gpu.Device.write_i32s dev ~addr:b (Array.init n (fun i -> i + 7));
+  (a, b, out)
+
+let launch_vadd dev compiled (a, b, out) n =
+  Gpu.Device.launch dev ~kernel:compiled
+    ~grid:((n + 63) / 64, 1)
+    ~block:(64, 1)
+    ~args:[ Gpu.Device.Ptr a; Gpu.Device.Ptr b; Gpu.Device.Ptr out;
+            Gpu.Device.I32 n ]
+
+(* --- Select ------------------------------------------------------------- *)
+
+let test_select_matching () =
+  let ld =
+    Sass.Instr.make (Sass.Opcode.LD (Sass.Opcode.Global, Sass.Opcode.W32))
+      ~dsts:[ Sass.Reg.r 0 ]
+      ~srcs:[ Sass.Instr.SReg (Sass.Reg.r 2); Sass.Instr.SImm 0 ]
+  in
+  let bra =
+    Sass.Instr.make Sass.Opcode.BRA ~guard:(Sass.Pred.on (Sass.Pred.p 0))
+      ~target:3
+  in
+  let open Sassi.Select in
+  check Alcotest.bool "mem matches LD" true (matches (before [ Memory_ops ] []) ld);
+  check Alcotest.bool "mem !matches BRA" false
+    (matches (before [ Memory_ops ] []) bra);
+  check Alcotest.bool "cond matches guarded BRA" true
+    (matches (before [ Cond_control ] []) bra);
+  check Alcotest.bool "no after on branches" false
+    (matches (after [ All ] []) bra);
+  check Alcotest.bool "after on LD ok" true (matches (after [ All ] []) ld);
+  check Alcotest.bool "reg writes" true
+    (matches (after [ Reg_writes ] []) ld);
+  check Alcotest.bool "all matches" true (matches (before [ All ] []) ld)
+
+(* --- Semantics preservation -------------------------------------------- *)
+
+let test_instrumentation_preserves_results () =
+  let n = 500 in
+  let compiled = Kernel.Compile.compile vadd in
+  (* Baseline. *)
+  let dev1 = device () in
+  let bufs1 = setup_vadd dev1 n in
+  let base_stats = launch_vadd dev1 compiled bufs1 n in
+  let _, _, out1 = bufs1 in
+  let expected = Gpu.Device.read_i32s dev1 ~addr:out1 ~n in
+  (* Instrumented with a noop handler before every instruction. *)
+  let dev2 = device () in
+  let bufs2 = setup_vadd dev2 n in
+  let inst_stats =
+    Sassi.Runtime.with_instrumentation dev2
+      [ (Sassi.Select.before [ Sassi.Select.All ] [], Sassi.Handler.noop) ]
+      (fun _ -> launch_vadd dev2 compiled bufs2 n)
+  in
+  let _, _, out2 = bufs2 in
+  let got = Gpu.Device.read_i32s dev2 ~addr:out2 ~n in
+  check (Alcotest.array Alcotest.int) "results identical" expected got;
+  (* One handler call per original warp instruction. *)
+  check Alcotest.int "hcalls = baseline warp instrs"
+    base_stats.Gpu.Stats.warp_instrs inst_stats.Gpu.Stats.hcalls;
+  check Alcotest.bool "instrumentation adds instructions" true
+    (inst_stats.Gpu.Stats.warp_instrs > 3 * base_stats.Gpu.Stats.warp_instrs);
+  check Alcotest.bool "instrumentation adds cycles" true
+    (inst_stats.Gpu.Stats.cycles > base_stats.Gpu.Stats.cycles)
+
+(* Instrumentation must also preserve a spilling, divergent kernel. *)
+let spill_div_kernel =
+  kernel "s_spilldiv" ~params:[ ptr "out"; int "n" ] (fun p ->
+      let decls =
+        List.init 20 (fun i ->
+            let_ (Printf.sprintf "y%d" i) ((v "gid" +! int_ i) *! int_ (i + 3)))
+      in
+      let total =
+        List.fold_left
+          (fun acc i -> acc +! v (Printf.sprintf "y%d" i))
+          (int_ 0)
+          (List.init 20 (fun i -> i))
+      in
+      [ let_ "gid" (global_tid_x ());
+        exit_if (v "gid" >=! p 1);
+        let_ "acc" (int_ 0);
+        if_ (v "gid" %! int_ 3 ==! int_ 0)
+          [ for_ "i" (int_ 0) (v "gid" %! int_ 9)
+              [ set "acc" (v "acc" +! v "i") ] ]
+          [ set "acc" (v "gid" *! int_ 2) ] ]
+      @ decls
+      @ [ st_global (p 0 +! (v "gid" <<! int_ 2)) (total +! v "acc") ])
+
+let test_instrumented_spilling_kernel () =
+  let n = 128 in
+  let compiled =
+    Kernel.Compile.compile
+      ~options:{ Kernel.Compile.max_regs = 14; opt_level = 1 }
+      spill_div_kernel
+  in
+  let run instrumented =
+    let dev = device () in
+    let out = Gpu.Device.malloc dev (4 * n) in
+    let go () =
+      Gpu.Device.launch dev ~kernel:compiled ~grid:(2, 1) ~block:(64, 1)
+        ~args:[ Gpu.Device.Ptr out; Gpu.Device.I32 n ]
+    in
+    let _ =
+      if instrumented then
+        Sassi.Runtime.with_instrumentation dev
+          [ (Sassi.Select.before [ Sassi.Select.All ]
+               [ Sassi.Select.Mem_info ],
+             Sassi.Handler.noop) ]
+          (fun _ -> go ())
+      else go ()
+    in
+    Gpu.Device.read_i32s dev ~addr:out ~n
+  in
+  check (Alcotest.array Alcotest.int) "spilling kernel preserved" (run false)
+    (run true)
+
+(* --- Params objects ------------------------------------------------------ *)
+
+let test_before_params () =
+  let n = 64 in
+  let compiled = Kernel.Compile.compile vadd in
+  let seen_opcodes = ref [] in
+  let seen_ids = ref [] in
+  let handler =
+    Sassi.Handler.make ~name:"probe" (fun ctx ->
+        let op = Sassi.Params.Before.opcode ctx in
+        seen_opcodes := op :: !seen_opcodes;
+        seen_ids := Sassi.Params.Before.id ctx :: !seen_ids;
+        (* will_execute must hold for at least the active lanes of an
+           unguarded instruction. *)
+        if Sass.Pred.is_always
+            ctx.Sassi.Hctx.site.Sassi.Select.s_instr.Sass.Instr.guard
+        then
+          List.iter
+            (fun lane ->
+               if not (Sassi.Params.Before.will_execute ctx ~lane) then
+                 Alcotest.fail "unguarded instr must will_execute")
+            (Sassi.Hctx.active_lanes ctx))
+  in
+  let dev = device () in
+  let bufs = setup_vadd dev n in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev
+      [ (Sassi.Select.before [ Sassi.Select.Memory_ops ]
+           [ Sassi.Select.Mem_info ],
+         handler) ]
+      (fun _ -> launch_vadd dev compiled bufs n)
+  in
+  check Alcotest.bool "saw loads" true
+    (List.exists
+       (fun op -> Sass.Opcode.is_mem_read op)
+       !seen_opcodes);
+  check Alcotest.bool "saw stores" true
+    (List.exists (fun op -> Sass.Opcode.is_mem_write op) !seen_opcodes);
+  check Alcotest.bool "site ids reported" true
+    (List.for_all (fun id -> id >= 0) !seen_ids)
+
+let test_memory_params_addresses () =
+  (* Strided stores: lane l stores to out + 4*gid. The handler checks
+     the mp.address field matches. *)
+  let n = 64 in
+  let compiled = Kernel.Compile.compile vadd in
+  let dev = device () in
+  let ((a, _, _) as bufs) = setup_vadd dev n in
+  ignore a;
+  let failures = ref 0 in
+  let handler =
+    Sassi.Handler.make ~name:"addrcheck" (fun ctx ->
+        if Sassi.Params.Memory.is_global ctx then begin
+          check Alcotest.int "width" 4 (Sassi.Params.Memory.width ctx);
+          let leader = Sassi.Hctx.leader ctx in
+          let addr0 = Sassi.Params.Memory.address ctx ~lane:leader in
+          (* Unit-stride kernel: consecutive active lanes differ by 4. *)
+          List.iter
+            (fun lane ->
+               let addr = Sassi.Params.Memory.address ctx ~lane in
+               if addr - addr0 <> 4 * (lane - leader) then incr failures)
+            (Sassi.Hctx.active_lanes ctx)
+        end)
+  in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev
+      [ (Sassi.Select.before [ Sassi.Select.Memory_ops ]
+           [ Sassi.Select.Mem_info ],
+         handler) ]
+      (fun _ -> launch_vadd dev compiled bufs n)
+  in
+  check Alcotest.int "no address mismatches" 0 !failures
+
+let test_branch_params_direction () =
+  (* tid < 16 branch: ballot of directions must have 16 bits set. *)
+  let k =
+    kernel "s_branch" ~params:[ ptr "out" ] (fun p ->
+        [ let_ "t" tid_x;
+          let_ "r" (int_ 0);
+          if_ (v "t" <! int_ 16) [ set "r" (int_ 1) ] [ set "r" (int_ 2) ];
+          st_global (p 0 +! (v "t" <<! int_ 2)) (v "r") ])
+  in
+  let compiled = Kernel.Compile.compile k in
+  let dev = device () in
+  let out = Gpu.Device.malloc dev (4 * 32) in
+  let taken_counts = ref [] in
+  let handler =
+    Sassi.Handler.make ~name:"brcheck" (fun ctx ->
+        let taken =
+          Sassi.Intrinsics.ballot ctx (fun lane ->
+              Sassi.Params.Cond_branch.direction ctx ~lane)
+        in
+        taken_counts := Gpu.Value.popc taken :: !taken_counts)
+  in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev
+      [ (Sassi.Select.before [ Sassi.Select.Cond_control ]
+           [ Sassi.Select.Branch_info ],
+         handler) ]
+      (fun _ ->
+        Gpu.Device.launch dev ~kernel:compiled ~grid:(1, 1) ~block:(32, 1)
+          ~args:[ Gpu.Device.Ptr out ])
+  in
+  (* The compiler emits @!p BRA else for (t < 16): 16 lanes go one way. *)
+  check Alcotest.bool "one cond branch seen" true (!taken_counts <> []);
+  List.iter
+    (fun c -> check Alcotest.int "16 lanes taken" 16 c)
+    !taken_counts
+
+let test_register_params_values () =
+  (* After reg-writing instructions, check that Registers.value returns
+     what actually landed in the register file. *)
+  let k =
+    kernel "s_regs" ~params:[ ptr "out" ] (fun p ->
+        [ let_ "t" tid_x;
+          let_ "x" ((v "t" *! int_ 5) +! int_ 3);
+          st_global (p 0 +! (v "t" <<! int_ 2)) (v "x") ])
+  in
+  let compiled = Kernel.Compile.compile k in
+  let dev = device () in
+  let out = Gpu.Device.malloc dev (4 * 32) in
+  let mismatches = ref 0 in
+  let handler =
+    Sassi.Handler.make ~name:"valcheck" (fun ctx ->
+        let n = Sassi.Params.Registers.num_gpr_dsts ctx in
+        for k = 0 to n - 1 do
+          let reg = Sassi.Params.Registers.dst_reg ctx k in
+          let idx = Sass.Reg.index reg in
+          List.iter
+            (fun lane ->
+               let from_params = Sassi.Params.Registers.value ctx ~lane k in
+               (* Scratch registers R3..R7 are mid-call at handler time;
+                  their architectural value lives in the spill slot. *)
+               let authoritative =
+                 if idx >= 3 && idx <= 7 then
+                   Sassi.Hctx.stack_read ctx ~lane
+                     ~off:(Sassi.Abi.off_gpr_spill + (4 * idx))
+                 else Gpu.State.reg_get ctx.Sassi.Hctx.warp ~lane reg
+               in
+               if from_params <> authoritative then incr mismatches)
+            (Sassi.Hctx.active_lanes ctx)
+        done)
+  in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev
+      [ (Sassi.Select.after [ Sassi.Select.Reg_writes ]
+           [ Sassi.Select.Reg_info ],
+         handler) ]
+      (fun _ ->
+        Gpu.Device.launch dev ~kernel:compiled ~grid:(1, 1) ~block:(32, 1)
+          ~args:[ Gpu.Device.Ptr out ])
+  in
+  check Alcotest.int "register values agree" 0 !mismatches
+
+let test_set_value_persists () =
+  (* An after-handler forces the first destination register to 42 for
+     lane 7 on the marked instruction; the store must write 42. *)
+  let k =
+    kernel "s_setval" ~params:[ ptr "out" ] (fun p ->
+        [ let_ "t" tid_x;
+          nop_mark 99;
+          let_ "x" (v "t" +! int_ 1000);
+          st_global (p 0 +! (v "t" <<! int_ 2)) (v "x") ])
+  in
+  let compiled = Kernel.Compile.compile k in
+  let dev = device () in
+  let out = Gpu.Device.malloc dev (4 * 32) in
+  let injected = ref false in
+  let handler =
+    Sassi.Handler.make ~name:"inject42" (fun ctx ->
+        (* Target the IADD that computes x = t + 1000. *)
+        let i = ctx.Sassi.Hctx.site.Sassi.Select.s_instr in
+        let is_target =
+          match i.Sass.Instr.op, i.Sass.Instr.srcs with
+          | Sass.Opcode.IADD, [ _; Sass.Instr.SImm 1000 ] -> true
+          | _ -> false
+        in
+        if is_target && not !injected then begin
+          injected := true;
+          Sassi.Params.Registers.set_value ctx ~lane:7 0 42
+        end)
+  in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev
+      [ (Sassi.Select.after [ Sassi.Select.Reg_writes ]
+           [ Sassi.Select.Reg_info ],
+         handler) ]
+      (fun _ ->
+        Gpu.Device.launch dev ~kernel:compiled ~grid:(1, 1) ~block:(32, 1)
+          ~args:[ Gpu.Device.Ptr out ])
+  in
+  check Alcotest.bool "handler fired" true !injected;
+  let result = Gpu.Device.read_i32s dev ~addr:out ~n:32 in
+  check Alcotest.int "lane 7 corrupted" 42 result.(7);
+  check Alcotest.int "lane 6 clean" 1006 result.(6);
+  check Alcotest.int "lane 8 clean" 1008 result.(8)
+
+(* --- Intrinsics + counters ---------------------------------------------- *)
+
+let test_counter_accumulation () =
+  (* Count dynamic memory instructions (thread-level) with a device
+     counter, Figure 3 style, and compare with machine statistics. *)
+  let n = 300 in
+  let compiled = Kernel.Compile.compile vadd in
+  let dev = device () in
+  let bufs = setup_vadd dev n in
+  let counter = Gpu.Device.malloc dev 8 in
+  Gpu.Device.write_u64 dev counter 0;
+  let handler =
+    Sassi.Handler.make ~name:"memcount" (fun ctx ->
+        if Sassi.Params.Before.is_mem ctx then
+          Sassi.Intrinsics.per_lane_atomic_add_u64 ctx (fun lane ->
+              if Sassi.Params.Before.will_execute ctx ~lane then (counter, 1)
+              else (counter, 0)))
+  in
+  let stats =
+    Sassi.Runtime.with_instrumentation dev
+      [ (Sassi.Select.before [ Sassi.Select.Memory_ops ]
+           [ Sassi.Select.Mem_info ],
+         handler) ]
+      (fun _ -> launch_vadd dev compiled bufs n)
+  in
+  (* vadd: 2 loads + 1 store per thread, n threads. *)
+  check Alcotest.int "3n memory ops" (3 * n) (Gpu.Device.read_u64 dev counter);
+  check Alcotest.bool "handler ops charged" true
+    (stats.Gpu.Stats.handler_ops > 0)
+
+let test_inject_sequence_shape () =
+  (* The injected code at a memory site must contain the Figure 2
+     landmarks: frame push/pop, spills, P2R/R2P, param setup, HCALL. *)
+  let compiled = Kernel.Compile.compile vadd in
+  let next_id = ref 0 in
+  let r =
+    Sassi.Inject.instrument ~next_id
+      ~specs:[ (Sassi.Select.before [ Sassi.Select.Memory_ops ]
+                  [ Sassi.Select.Mem_info ], 0) ]
+      compiled
+  in
+  let k = r.Sassi.Inject.kernel in
+  check Alcotest.bool "frame grew" true
+    (k.Sass.Program.frame_bytes >= compiled.Sass.Program.frame_bytes + 0x80);
+  check Alcotest.int "3 sites (2 loads + 1 store)" 3
+    (List.length r.Sassi.Inject.sites);
+  let ops = Array.map (fun i -> i.Sass.Instr.op) k.Sass.Program.instrs in
+  let count p = Array.fold_left (fun a op -> if p op then a + 1 else a) 0 ops in
+  check Alcotest.int "3 HCALLs" 3
+    (count (function Sass.Opcode.HCALL _ -> true | _ -> false));
+  check Alcotest.int "3 P2R" 3
+    (count (fun op -> op = Sass.Opcode.P2R));
+  check Alcotest.int "3 R2P" 3
+    (count (fun op -> op = Sass.Opcode.R2P));
+  check Alcotest.bool "has STL spills" true
+    (count Sass.Opcode.is_spill_or_fill > 6);
+  (match Sass.Program.validate k with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "instrumented kernel invalid: %s" e);
+  (* Original instructions survive unchanged (modulo target remap). *)
+  List.iter
+    (fun s ->
+       let orig = s.Sassi.Select.s_instr in
+       let now = k.Sass.Program.instrs.(s.Sassi.Select.s_new_pc) in
+       check Alcotest.bool "opcode preserved" true
+         (now.Sass.Instr.op = orig.Sass.Instr.op))
+    r.Sassi.Inject.sites
+
+let test_handler_reg_cap () =
+  (match Sassi.Handler.make ~name:"big" ~regs:17 (fun _ -> ()) with
+   | _ -> Alcotest.fail "expected rejection"
+   | exception Invalid_argument _ -> ());
+  let h = Sassi.Handler.make ~name:"ok" ~regs:16 (fun _ -> ()) in
+  check Alcotest.int "16 accepted" 16 h.Sassi.Handler.regs
+
+(* Instrumenting a kernel with divergence: handler ballots must see
+   partial masks, and reconvergence still works. *)
+let test_divergent_instrumentation () =
+  let k =
+    kernel "s_div" ~params:[ ptr "out" ] (fun p ->
+        [ let_ "t" tid_x;
+          let_ "r" (int_ 0);
+          if_ (v "t" <! int_ 10)
+            [ set "r" (v "t" *! int_ 2) ]
+            [ set "r" (v "t" +! int_ 100) ];
+          st_global (p 0 +! (v "t" <<! int_ 2)) (v "r") ])
+  in
+  let compiled = Kernel.Compile.compile k in
+  let dev = device () in
+  let out = Gpu.Device.malloc dev (4 * 32) in
+  let masks = ref [] in
+  let handler =
+    Sassi.Handler.make ~name:"masks" (fun ctx ->
+        masks := Sassi.Hctx.num_active ctx :: !masks)
+  in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev
+      [ (Sassi.Select.before [ Sassi.Select.All ] [], handler) ]
+      (fun _ ->
+        Gpu.Device.launch dev ~kernel:compiled ~grid:(1, 1) ~block:(32, 1)
+          ~args:[ Gpu.Device.Ptr out ])
+  in
+  let result = Gpu.Device.read_i32s dev ~addr:out ~n:32 in
+  for t = 0 to 31 do
+    let expected = if t < 10 then t * 2 else t + 100 in
+    check Alcotest.int (Printf.sprintf "div out[%d]" t) expected result.(t)
+  done;
+  check Alcotest.bool "saw partial masks" true
+    (List.exists (fun c -> c = 10) !masks
+     && List.exists (fun c -> c = 22) !masks);
+  check Alcotest.bool "saw full masks" true
+    (List.exists (fun c -> c = 32) !masks)
+
+let suite =
+  [ ("sassi.select",
+     [ Alcotest.test_case "matching" `Quick test_select_matching ]);
+    ("sassi.inject",
+     [ Alcotest.test_case "preserves results" `Quick
+         test_instrumentation_preserves_results;
+       Alcotest.test_case "preserves spilling kernel" `Quick
+         test_instrumented_spilling_kernel;
+       Alcotest.test_case "sequence shape" `Quick test_inject_sequence_shape;
+       Alcotest.test_case "divergent kernel" `Quick
+         test_divergent_instrumentation ]);
+    ("sassi.params",
+     [ Alcotest.test_case "before params" `Quick test_before_params;
+       Alcotest.test_case "memory addresses" `Quick
+         test_memory_params_addresses;
+       Alcotest.test_case "branch direction" `Quick
+         test_branch_params_direction;
+       Alcotest.test_case "register values" `Quick
+         test_register_params_values;
+       Alcotest.test_case "set_value persists" `Quick test_set_value_persists ]);
+    ("sassi.runtime",
+     [ Alcotest.test_case "counters" `Quick test_counter_accumulation;
+       Alcotest.test_case "handler reg cap" `Quick test_handler_reg_cap ]) ]

@@ -1,0 +1,285 @@
+(* Tests for the structural instrumentation points (basic-block
+   headers, kernel entry/exit) and the block-profile handler. *)
+
+open Kernel.Dsl
+
+let check = Alcotest.check
+
+let device () = Gpu.Device.create ~cfg:Gpu.Config.small ()
+
+(* if/else kernel: 4 static blocks (entry, then, else, join). *)
+let branchy =
+  kernel "blk_branchy" ~params:[ ptr "out" ] (fun p ->
+      [ let_ "t" tid_x;
+        let_ "r" (int_ 0);
+        if_ (v "t" <! int_ 8)
+          [ set "r" (int_ 1) ]
+          [ set "r" (int_ 2) ];
+        st_global (p 0 +! (v "t" <<! int_ 2)) (v "r") ])
+
+let test_matches_at () =
+  let open Sassi.Select in
+  let mov =
+    Sass.Instr.make Sass.Opcode.MOV ~dsts:[ Sass.Reg.r 0 ]
+      ~srcs:[ Sass.Instr.SImm 0 ]
+  in
+  let exit_i = Sass.Instr.make Sass.Opcode.EXIT in
+  check Alcotest.bool "leader matches basic block" true
+    (matches_at (before [ Basic_block ] []) ~pc:5 ~is_leader:true mov);
+  check Alcotest.bool "non-leader does not" false
+    (matches_at (before [ Basic_block ] []) ~pc:5 ~is_leader:false mov);
+  check Alcotest.bool "pc0 is kernel entry" true
+    (matches_at (before [ Kernel_entry ] []) ~pc:0 ~is_leader:true mov);
+  check Alcotest.bool "pc1 is not entry" false
+    (matches_at (before [ Kernel_entry ] []) ~pc:1 ~is_leader:false mov);
+  check Alcotest.bool "EXIT matches kernel exit" true
+    (matches_at (before [ Kernel_exit ] []) ~pc:9 ~is_leader:false exit_i);
+  check Alcotest.bool "MOV does not match exit" false
+    (matches_at (before [ Kernel_exit ] []) ~pc:9 ~is_leader:false mov);
+  check Alcotest.bool "structural classes are before-only" false
+    (matches_at (after [ Basic_block ] []) ~pc:5 ~is_leader:true mov);
+  check Alcotest.bool "plain matches rejects structural" false
+    (matches (before [ Basic_block ] []) mov)
+
+let test_block_profile_counts () =
+  let dev = device () in
+  let bp = Handlers.Block_profile.create dev in
+  let out = Gpu.Device.malloc dev (4 * 64) in
+  let compiled = Kernel.Compile.compile branchy in
+  let nwarps = 2 (* one block of 64 threads *) in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev (Handlers.Block_profile.pairs bp)
+      (fun _ ->
+        Gpu.Device.launch dev ~kernel:compiled ~grid:(1, 1) ~block:(64, 1)
+          ~args:[ Gpu.Device.Ptr out ])
+  in
+  check Alcotest.int "entries = warps" nwarps
+    (Handlers.Block_profile.entries bp);
+  check Alcotest.int "exits = warps" nwarps (Handlers.Block_profile.exits bp);
+  let blocks = Handlers.Block_profile.blocks bp in
+  (* Entry, then, else, join blocks; warp 0 diverges (t<8 splits it),
+     warp 1 goes entirely to the else side. *)
+  check Alcotest.int "4 static blocks" 4 (List.length blocks);
+  let execs =
+    List.map (fun b -> b.Handlers.Block_profile.warp_execs) blocks
+    |> List.sort Int.compare
+  in
+  (* then-block: 1 warp; else-block: 2 warps; entry and join: 2 each. *)
+  check (Alcotest.list Alcotest.int) "warp execs" [ 1; 2; 2; 2 ] execs;
+  let threads =
+    List.fold_left
+      (fun a b -> a + b.Handlers.Block_profile.thread_execs)
+      0 blocks
+  in
+  (* entry 64 + then 8 + else 56 + join 64 *)
+  check Alcotest.int "thread execs" 192 threads
+
+let test_multiple_specs_same_site () =
+  (* Block + entry handlers both fire at PC 0. *)
+  let dev = device () in
+  let hits = ref [] in
+  let mk tag =
+    Sassi.Handler.make ~name:tag (fun _ -> hits := tag :: !hits)
+  in
+  let k =
+    Kernel.Compile.compile
+      (kernel "blk_tiny" ~params:[ ptr "out" ] (fun p ->
+           [ st_global (p 0) (int_ 7) ]))
+  in
+  let out = Gpu.Device.malloc dev 4 in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev
+      [ (Sassi.Select.before [ Sassi.Select.Basic_block ] [], mk "block");
+        (Sassi.Select.before [ Sassi.Select.Kernel_entry ] [], mk "entry") ]
+      (fun _ ->
+        Gpu.Device.launch dev ~kernel:k ~grid:(1, 1) ~block:(32, 1)
+          ~args:[ Gpu.Device.Ptr out ])
+  in
+  check Alcotest.bool "both handlers fired" true
+    (List.mem "block" !hits && List.mem "entry" !hits);
+  check Alcotest.int "result still correct" 7 (Gpu.Device.read_i32 dev out)
+
+let test_loop_block_counts () =
+  (* A loop body block must be counted once per iteration per warp. *)
+  let dev = device () in
+  let bp = Handlers.Block_profile.create dev in
+  let k =
+    Kernel.Compile.compile
+      (kernel "blk_loop" ~params:[ ptr "out" ] (fun p ->
+           [ let_ "acc" (int_ 0);
+             for_ "i" (int_ 0) (int_ 5)
+               [ set "acc" (v "acc" +! v "i") ];
+             st_global (p 0 +! (tid_x <<! int_ 2)) (v "acc") ]))
+  in
+  let out = Gpu.Device.malloc dev (4 * 32) in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev (Handlers.Block_profile.pairs bp)
+      (fun _ ->
+        Gpu.Device.launch dev ~kernel:k ~grid:(1, 1) ~block:(32, 1)
+          ~args:[ Gpu.Device.Ptr out ])
+  in
+  let blocks = Handlers.Block_profile.blocks bp in
+  check Alcotest.bool "some block executed 5 times (loop body)" true
+    (List.exists
+       (fun b -> b.Handlers.Block_profile.warp_execs = 5)
+       blocks);
+  check Alcotest.int "loop result" 10 (Gpu.Device.read_i32 dev out)
+
+(* --- Memory trace + cache explorer (paper Sec. 9.4) -------------------- *)
+
+let test_mem_trace_collection () =
+  let dev = device () in
+  let tr = Handlers.Mem_trace.create () in
+  let k =
+    Kernel.Compile.compile
+      (kernel "trace_me" ~params:[ ptr "a"; ptr "out" ] (fun p ->
+           [ let_ "t" tid_x;
+             let_ "x" (ldg (p 0 +! (v "t" <<! int_ 2)));
+             st_global (p 1 +! (v "t" <<! int_ 2)) (v "x" +! int_ 1) ]))
+  in
+  let a = Gpu.Device.malloc dev (4 * 32) in
+  let out = Gpu.Device.malloc dev (4 * 32) in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev (Handlers.Mem_trace.pairs tr)
+      (fun _ ->
+        Gpu.Device.launch dev ~kernel:k ~grid:(1, 1) ~block:(32, 1)
+          ~args:[ Gpu.Device.Ptr a; Gpu.Device.Ptr out ])
+  in
+  let trace = Handlers.Mem_trace.trace tr in
+  check Alcotest.int "one load + one store traced" 2 (List.length trace);
+  (match trace with
+   | [ load; store ] ->
+     check Alcotest.bool "load first" false load.Handlers.Mem_trace.a_write;
+     check Alcotest.bool "store second" true store.Handlers.Mem_trace.a_write;
+     check Alcotest.int "32 lanes" 32
+       (Array.length load.Handlers.Mem_trace.a_addrs);
+     check Alcotest.int "load base addr" a load.Handlers.Mem_trace.a_addrs.(0);
+     check Alcotest.int "store base addr" out
+       store.Handlers.Mem_trace.a_addrs.(0)
+   | _ -> Alcotest.fail "unexpected trace shape")
+
+let test_cache_explorer_monotone () =
+  (* Replay a strided trace: bigger caches cannot miss more. *)
+  let dev = device () in
+  let tr = Handlers.Mem_trace.create () in
+  let k =
+    Kernel.Compile.compile
+      (kernel "trace_stride" ~params:[ ptr "a"; ptr "out" ] (fun p ->
+           [ let_ "gid" (global_tid_x ());
+             let_ "acc" (int_ 0);
+             for_ "i" (int_ 0) (int_ 8)
+               [ set "acc"
+                   (v "acc"
+                    +! ldg (p 0 +! (((v "gid" *! int_ 8) +! v "i") <<! int_ 2))) ];
+             st_global (p 1 +! (v "gid" <<! int_ 2)) (v "acc") ]))
+  in
+  let a = Gpu.Device.malloc dev (4 * 8 * 256) in
+  let out = Gpu.Device.malloc dev (4 * 256) in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev (Handlers.Mem_trace.pairs tr)
+      (fun _ ->
+        Gpu.Device.launch dev ~kernel:k ~grid:(4, 1) ~block:(64, 1)
+          ~args:[ Gpu.Device.Ptr a; Gpu.Device.Ptr out ])
+  in
+  let trace = Handlers.Mem_trace.trace tr in
+  check Alcotest.bool "trace nonempty" true (List.length trace >= 72);
+  let small =
+    Handlers.Cache_explorer.replay trace
+      { Handlers.Cache_explorer.c_size_bytes = 1024; c_assoc = 4;
+        c_line_bytes = 32 }
+  in
+  let large =
+    Handlers.Cache_explorer.replay trace
+      { Handlers.Cache_explorer.c_size_bytes = 256 * 1024; c_assoc = 4;
+        c_line_bytes = 32 }
+  in
+  check Alcotest.bool "same transactions" true
+    (small.Handlers.Cache_explorer.r_transactions
+     = large.Handlers.Cache_explorer.r_transactions);
+  check Alcotest.bool "bigger cache misses no more" true
+    (large.Handlers.Cache_explorer.r_misses
+     <= small.Handlers.Cache_explorer.r_misses);
+  check Alcotest.bool "hits + misses = transactions" true
+    (small.Handlers.Cache_explorer.r_hits
+     + small.Handlers.Cache_explorer.r_misses
+     = small.Handlers.Cache_explorer.r_transactions)
+
+let test_trace_capacity () =
+  let tr = Handlers.Mem_trace.create ~capacity:1 () in
+  let dev = device () in
+  let k =
+    Kernel.Compile.compile
+      (kernel "trace_cap" ~params:[ ptr "out" ] (fun p ->
+           [ st_global (p 0) (int_ 1);
+             st_global (p 0 +! int_ 4) (int_ 2) ]))
+  in
+  let out = Gpu.Device.malloc dev 64 in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev (Handlers.Mem_trace.pairs tr)
+      (fun _ ->
+        Gpu.Device.launch dev ~kernel:k ~grid:(1, 1) ~block:(32, 1)
+          ~args:[ Gpu.Device.Ptr out ])
+  in
+  check Alcotest.int "capacity respected" 1 (Handlers.Mem_trace.length tr);
+  check Alcotest.int "dropped counted" 1 (Handlers.Mem_trace.dropped tr)
+
+let trace_suite =
+  ("sassi.memtrace",
+   [ Alcotest.test_case "collection" `Quick test_mem_trace_collection;
+     Alcotest.test_case "cache explorer" `Quick test_cache_explorer_monotone;
+     Alcotest.test_case "capacity" `Quick test_trace_capacity ])
+
+(* --- UVM sharing profile (paper Sec. 9.4 heterogeneous analysis) ------- *)
+
+let test_uvm_profile () =
+  let dev = device () in
+  let uvm = Handlers.Uvm_profile.create ~page_bytes:4096 dev in
+  let k =
+    Kernel.Compile.compile
+      (kernel "uvm_k" ~params:[ ptr "a"; ptr "out" ] (fun p ->
+           [ let_ "t" tid_x;
+             st_global (p 1 +! (v "t" <<! int_ 2))
+               (ldg (p 0 +! (v "t" <<! int_ 2)) +! int_ 1) ]))
+  in
+  let a = Gpu.Device.malloc dev 4096 in
+  let out = Gpu.Device.malloc dev 4096 in
+  (* CPU writes input. *)
+  Gpu.Device.write_i32s dev ~addr:a (Array.init 32 (fun i -> i));
+  let _ =
+    Sassi.Runtime.with_instrumentation dev (Handlers.Uvm_profile.pairs uvm)
+      (fun _ ->
+        Gpu.Device.launch dev ~kernel:k ~grid:(1, 1) ~block:(32, 1)
+          ~args:[ Gpu.Device.Ptr a; Gpu.Device.Ptr out ])
+  in
+  (* CPU reads the output back. *)
+  let result = Gpu.Device.read_i32s dev ~addr:out ~n:32 in
+  Handlers.Uvm_profile.detach_host uvm;
+  check Alcotest.int "result" 1 result.(0);
+  let s = Handlers.Uvm_profile.summary uvm in
+  (* Input page: CPU write then GPU read -> shared, 1 migration.
+     Output page: GPU write then CPU read -> shared, 1 migration. *)
+  check Alcotest.int "two shared pages" 2 s.Handlers.Uvm_profile.shared;
+  check Alcotest.int "two migrations" 2
+    s.Handlers.Uvm_profile.total_migrations;
+  let ps = Handlers.Uvm_profile.pages uvm in
+  check Alcotest.int "two pages tracked" 2 (List.length ps);
+  (* After detaching, host accesses are no longer recorded. *)
+  let _ = Gpu.Device.read_i32s dev ~addr:out ~n:32 in
+  check Alcotest.int "detached"
+    s.Handlers.Uvm_profile.total_migrations
+    (Handlers.Uvm_profile.summary uvm).Handlers.Uvm_profile.total_migrations
+
+let uvm_suite =
+  ("sassi.uvm",
+   [ Alcotest.test_case "page sharing + migrations" `Quick test_uvm_profile ])
+
+let suite =
+  [ ("sassi.structural",
+     [ Alcotest.test_case "matches_at" `Quick test_matches_at;
+       Alcotest.test_case "block profile counts" `Quick
+         test_block_profile_counts;
+       Alcotest.test_case "multiple specs per site" `Quick
+         test_multiple_specs_same_site;
+       Alcotest.test_case "loop block counts" `Quick test_loop_block_counts ]);
+    trace_suite;
+    uvm_suite ]

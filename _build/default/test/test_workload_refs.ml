@@ -1,0 +1,225 @@
+(* Host-reference and conservation-law checks for more workloads:
+   each recomputes the expected answer (or an invariant) on the host
+   from the same seeded datasets the driver generates. *)
+
+let check = Alcotest.check
+
+let fresh () = Gpu.Device.create ~cfg:Gpu.Config.default ()
+
+(* --- SAD: recompute one (block, candidate) cell ------------------------ *)
+
+let test_sad_against_host () =
+  let img = 64 and blk = 8 and offsets = 4 in
+  let cur = Workloads.Datasets.ints ~seed:1 ~n:(img * img) ~bound:256 in
+  let reff = Workloads.Datasets.ints ~seed:2 ~n:(img * img) ~bound:256 in
+  let host_sad block cand =
+    let bx = block mod (img / blk) * blk in
+    let by = block / (img / blk) * blk in
+    let rx = min (bx + cand) (img - blk) in
+    let ry = min (by + cand) (img - blk) in
+    let s = ref 0 in
+    for dy = 0 to blk - 1 do
+      for dx = 0 to blk - 1 do
+        let c = cur.(((by + dy) * img) + bx + dx) in
+        let r = reff.(((ry + dy) * img) + rx + dx) in
+        s := !s + abs (c - r)
+      done
+    done;
+    !s
+  in
+  (* Re-run the workload and pull its output buffer via the digest of
+     a re-computed host array: simplest is to recompute the full
+     expected array and compare digests through a fresh device run. *)
+  let dev = fresh () in
+  let r = Workloads.Wl_sad.workload.Workloads.Workload.run dev ~variant:"default" in
+  ignore r;
+  (* The output buffer address is workload-internal; instead check a
+     couple of cells by reproducing the whole expected array and its
+     digest against a second device run's digest. *)
+  let nblocks = (img / blk) * (img / blk) in
+  let expected =
+    Array.init (nblocks * offsets) (fun i ->
+        host_sad (i / offsets) (i mod offsets))
+  in
+  let dev2 = fresh () in
+  let sads_addr_probe = Workloads.Workload.upload_i32 dev2 expected in
+  let expected_digest =
+    Workloads.Workload.digest_i32 dev2 ~addr:sads_addr_probe
+      ~n:(nblocks * offsets)
+  in
+  let dev3 = fresh () in
+  let r3 =
+    Workloads.Wl_sad.workload.Workloads.Workload.run dev3 ~variant:"default"
+  in
+  check Alcotest.string "sad digest matches host reference" expected_digest
+    r3.Workloads.Workload.output_digest
+
+(* --- Pathfinder: full host DP ------------------------------------------ *)
+
+let test_pathfinder_against_host () =
+  let cols = 2048 and rows = 16 in
+  let wall =
+    Array.init rows (fun r ->
+        Workloads.Datasets.ints ~seed:(100 + r) ~n:cols ~bound:10)
+  in
+  let first = Workloads.Datasets.ints ~seed:99 ~n:cols ~bound:10 in
+  let prev = ref (Array.copy first) in
+  for r = 0 to rows - 1 do
+    let next =
+      Array.init cols (fun i ->
+          let left = !prev.(max (i - 1) 0) in
+          let center = !prev.(i) in
+          let right = !prev.(min (i + 1) (cols - 1)) in
+          wall.(r).(i) + min (min left center) right)
+    in
+    prev := next
+  done;
+  let dev = fresh () in
+  let expected_addr = Workloads.Workload.upload_i32 dev !prev in
+  let expected_digest =
+    Workloads.Workload.digest_i32 dev ~addr:expected_addr ~n:cols
+  in
+  let dev2 = fresh () in
+  let r =
+    Workloads.Wl_pathfinder.workload.Workloads.Workload.run dev2
+      ~variant:"default"
+  in
+  check Alcotest.string "pathfinder digest matches host DP" expected_digest
+    r.Workloads.Workload.output_digest
+
+(* --- Gridding: mass conservation ---------------------------------------- *)
+
+let test_gridding_mass_conservation () =
+  (* Every sample scatters its value into exactly 9 cells (clamping
+     redirects but never drops), so grid mass = 9 * sum(values). *)
+  let n = 2048 in
+  let sval = Workloads.Datasets.ints ~seed:3 ~n ~bound:100 in
+  let expected_mass = 9 * Array.fold_left ( + ) 0 sval in
+  let dev = fresh () in
+  let r =
+    Workloads.Wl_gridding.workload.Workloads.Workload.run dev
+      ~variant:"default"
+  in
+  check Alcotest.string "gridding mass"
+    (Printf.sprintf "mass=%d" expected_mass)
+    r.Workloads.Workload.stdout
+
+(* --- kmeans: membership against host ------------------------------------ *)
+
+let test_kmeans_against_host () =
+  let n = 1024 and dims = 8 and clusters = 6 in
+  let points = Workloads.Datasets.floats ~seed:1 ~n:(n * dims) ~scale:1.0 in
+  let centers =
+    Workloads.Datasets.floats ~seed:2 ~n:(clusters * dims) ~scale:1.0
+  in
+  (* Reproduce the kernel's f32 arithmetic: FFMA accumulation. *)
+  let f32 x = Gpu.Value.f32_of_bits (Gpu.Value.bits_of_f32 x) in
+  let host_assign i =
+    let best = ref infinity and bestc = ref 0 in
+    for c = 0 to clusters - 1 do
+      let d2 = ref 0.0 in
+      for d = 0 to dims - 1 do
+        let diff = f32 (f32 points.((i * dims) + d) -. f32 centers.((c * dims) + d)) in
+        d2 := f32 ((diff *. diff) +. !d2)
+      done;
+      if !d2 < !best then begin
+        best := !d2;
+        bestc := c
+      end
+    done;
+    !bestc
+  in
+  let expected = Array.init n host_assign in
+  let dev = fresh () in
+  let addr = Workloads.Workload.upload_i32 dev expected in
+  let expected_digest = Workloads.Workload.digest_i32 dev ~addr ~n in
+  let dev2 = fresh () in
+  let r =
+    Workloads.Wl_kmeans.workload.Workloads.Workload.run dev2
+      ~variant:"default"
+  in
+  check Alcotest.string "kmeans membership matches host" expected_digest
+    r.Workloads.Workload.output_digest
+
+(* --- b+tree: queries against host search -------------------------------- *)
+
+let test_btree_against_host () =
+  let order = 8 and levels = 4 in
+  let flat, span = Workloads.Wl_btree.build_tree () in
+  let nq = 2048 in
+  let queries = Workloads.Datasets.ints ~seed:71 ~n:nq ~bound:span in
+  let stride = 2 * order in
+  let host_search key =
+    let node = ref 0 in
+    for _ = 1 to levels do
+      let slot = ref 0 in
+      while
+        !slot < order - 1 && key >= flat.((!node * stride) + !slot + 1)
+      do
+        incr slot
+      done;
+      node := flat.((!node * stride) + order + !slot)
+    done;
+    !node
+  in
+  let expected = Array.map host_search queries in
+  let dev = fresh () in
+  let addr = Workloads.Workload.upload_i32 dev expected in
+  let expected_digest = Workloads.Workload.digest_i32 dev ~addr ~n:nq in
+  let dev2 = fresh () in
+  let r =
+    Workloads.Wl_btree.workload.Workloads.Workload.run dev2 ~variant:"default"
+  in
+  check Alcotest.string "b+tree answers match host search" expected_digest
+    r.Workloads.Workload.output_digest
+
+(* --- LBM: mass conservation ----------------------------------------------- *)
+
+let test_lbm_mass_conservation () =
+  (* Both bounce-back and BGK relaxation preserve per-cell mass sums,
+     and streaming only permutes values, so total mass is invariant. *)
+  let dim = 64 in
+  let q = 5 in
+  let cells = dim * dim in
+  let initial = Workloads.Datasets.floats ~seed:3 ~n:(q * cells) ~scale:1.0 in
+  let mass0 = Array.fold_left ( +. ) 0.0 initial in
+  (* Run the workload and recover the final distributions through the
+     stdout-independent digest is opaque; instead re-run the kernel
+     host-side? Simpler: rely on the workload exposing mass via its
+     stats? It does not - so re-run device side and read memory
+     through a custom driver replicating the workload. *)
+  let dev = fresh () in
+  let src = Workloads.Workload.upload_f32 dev initial in
+  let dst = Workloads.Workload.alloc_i32 dev (q * cells) in
+  let rng = Workloads.Rng.create ~seed:19 in
+  let obstacle =
+    Workloads.Workload.upload_i32 dev
+      (Array.init cells (fun _ -> if Workloads.Rng.int rng 100 < 6 then 1 else 0))
+  in
+  let compiled = Kernel.Compile.compile Workloads.Wl_lbm.kernel_lbm in
+  let grid, block = Workloads.Workload.grid_1d ~threads:cells ~block:128 in
+  let bufs = ref (src, dst) in
+  for _ = 1 to 4 do
+    let s, d = !bufs in
+    ignore
+      (Gpu.Device.launch dev ~kernel:compiled ~grid ~block
+         ~args:[ Gpu.Device.Ptr s; Gpu.Device.Ptr d; Gpu.Device.Ptr obstacle;
+                 Gpu.Device.I32 dim ]);
+    bufs := (d, s)
+  done;
+  let final, _ = !bufs in
+  let final_dist = Gpu.Device.read_f32s dev ~addr:final ~n:(q * cells) in
+  let mass1 = Array.fold_left ( +. ) 0.0 final_dist in
+  check Alcotest.bool "mass conserved within f32 tolerance" true
+    (abs_float (mass1 -. mass0) /. mass0 < 1e-3)
+
+let suite =
+  [ ("workloads.host-references",
+     [ Alcotest.test_case "sad" `Quick test_sad_against_host;
+       Alcotest.test_case "pathfinder" `Quick test_pathfinder_against_host;
+       Alcotest.test_case "gridding mass" `Quick
+         test_gridding_mass_conservation;
+       Alcotest.test_case "kmeans" `Quick test_kmeans_against_host;
+       Alcotest.test_case "b+tree" `Quick test_btree_against_host;
+       Alcotest.test_case "lbm mass conservation" `Quick
+         test_lbm_mass_conservation ]) ]
