@@ -1,0 +1,27 @@
+# Convenience targets; `make ci` is what a pipeline should run.
+
+.PHONY: all build test fmt ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Format check only where ocamlformat exists; the toolchain image
+# does not ship it, and dune's @fmt alias fails hard without it.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+ci: fmt
+	dune build
+	dune runtest
+
+clean:
+	dune clean

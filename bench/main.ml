@@ -426,6 +426,42 @@ let scaling () =
         | _ -> Printf.printf "\n%!"))
     scaling_rows
 
+(* --- Activity tracing overhead --------------------------------------------- *)
+
+let tracing_rows =
+  [ ("parboil/spmv", "small"); ("parboil/sgemm", "small");
+    ("rodinia/bfs", "default") ]
+
+let tracing () =
+  section
+    "Extension: activity-tracing overhead (CUPTI-style Activity API) - \
+     wall-clock with the collector installed vs. plain, plus record \
+     volume and drop accounting";
+  Printf.printf "%-24s %-8s | %7s %7s %6s | %9s %9s %9s\n" "benchmark"
+    "variant" "t0(s)" "t1(s)" "ratio" "records" "dropped" "stall-cyc";
+  List.iter
+    (fun (name, variant) ->
+       let w = wl name in
+       let _, t_plain = timed (fun () -> run_plain w variant) in
+       let device = fresh () in
+       Cupti.Activity.enable_all ~capacity:(1 lsl 18) device;
+       let _, t_traced =
+         timed (fun () -> w.Workloads.Workload.run device ~variant)
+       in
+       let records = Cupti.Activity.records device in
+       let dropped = Cupti.Activity.dropped device in
+       let tl = Trace.Timeline.build records in
+       let stall_cycles =
+         List.fold_left (fun a (_, _, c) -> a + c) 0
+           (Trace.Timeline.stall_breakdown tl)
+       in
+       Cupti.Activity.disable device;
+       Printf.printf "%-24s %-8s | %7.2f %7.2f %5.1fx | %9d %9d %9d\n%!"
+         name variant t_plain t_traced
+         (t_traced /. max 1e-6 t_plain)
+         (List.length records) dropped stall_cycles)
+    tracing_rows
+
 (* --- Bechamel micro-suite ---------------------------------------------------- *)
 
 let bechamel () =
@@ -498,6 +534,7 @@ let all () =
   table3 ();
   cachesim ();
   scaling ();
+  tracing ();
   bechamel ()
 
 let () =
@@ -525,12 +562,13 @@ let () =
          | "table3" -> table3 ()
          | "cachesim" -> cachesim ()
          | "scaling" -> scaling ()
+         | "tracing" -> tracing ()
          | "bechamel" -> bechamel ()
          | "all" -> all ()
          | other ->
            Printf.eprintf
              "unknown experiment %s (table1|fig5|fig7|fig8|table2|fig10|\
-              table3|cachesim|bechamel|all)\n"
+              table3|cachesim|scaling|tracing|bechamel|all)\n"
              other;
            exit 1)
        cmds);

@@ -11,7 +11,41 @@ open Cmdliner
 let instruments =
   [ "none"; "opcode"; "branch"; "memdiv"; "value"; "blocks"; "trace"; "stub" ]
 
-let run_workload name variant instrument show_stats =
+(* "kernel,mem,warp" -> activity kinds; [Error] names the bad kind. *)
+let parse_trace_filter = function
+  | None -> Ok Cupti.Activity.all_kinds
+  | Some spec ->
+    let parts =
+      String.split_on_char ',' spec
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    List.fold_left
+      (fun acc p ->
+         match (acc, Cupti.Activity.kind_of_string p) with
+         | Error e, _ -> Error e
+         | Ok _, None -> Error p
+         | Ok ks, Some k -> Ok (k :: ks))
+      (Ok []) parts
+    |> Result.map List.rev
+
+let dump_trace device path =
+  let records = Cupti.Activity.records device in
+  let dropped = Cupti.Activity.dropped device in
+  (try
+     if Filename.check_suffix path ".ndjson" then
+       Trace.Ndjson.write_file path records
+     else Trace.Chrome.write_file path records
+   with Sys_error m ->
+     Format.eprintf "cannot write trace: %s@." m;
+     exit 1);
+  Format.printf "trace: %d activity records (%d dropped) -> %s@."
+    (List.length records) dropped path;
+  let tl = Trace.Timeline.build records in
+  Format.printf "%a" Trace.Timeline.pp_summary tl
+
+let run_workload name variant instrument show_stats trace_out trace_filter
+    trace_capacity =
   match Workloads.Registry.find_opt name with
   | None ->
     Format.eprintf "unknown workload %s; try `sassi_run list`@." name;
@@ -23,6 +57,26 @@ let run_workload name variant instrument show_stats =
       | None -> w.Workloads.Workload.default_variant
     in
     let device = Gpu.Device.create () in
+    (match (trace_out, parse_trace_filter trace_filter) with
+     | _, Error bad ->
+       Format.eprintf
+         "unknown trace kind %s (expected kernel, block, warp, mem, cache, \
+          handler, fault)@."
+         bad;
+       exit 1
+     | None, Ok _ -> ()
+     | Some path, Ok kinds ->
+       (* Fail on an unwritable output before simulating, not after. *)
+       (try close_out (open_out path)
+        with Sys_error m ->
+          Format.eprintf "cannot write trace: %s@." m;
+          exit 1);
+       if trace_capacity <= 0 then begin
+         Format.eprintf "--trace-capacity must be positive (got %d)@."
+           trace_capacity;
+         exit 1
+       end;
+       Cupti.Activity.enable ~capacity:trace_capacity device kinds);
     let finish (r : Workloads.Workload.result) =
       Format.printf "%s/%s (%s): %s@." w.Workloads.Workload.suite
         w.Workloads.Workload.name variant r.Workloads.Workload.stdout;
@@ -137,6 +191,9 @@ let run_workload name variant instrument show_stats =
             Handlers.Cache_explorer.default_sweep)
      | other ->
        Format.eprintf "unknown instrumentation %s@." other);
+    (match trace_out with
+     | Some path -> dump_trace device path
+     | None -> ());
     0
 
 let campaign name variant injections seed =
@@ -228,6 +285,25 @@ let instrument_arg =
 let stats_arg =
   Arg.(value & flag & info [ "s"; "stats" ] ~doc:"Print machine statistics.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Collect activity records and write them to $(docv): \
+                 Chrome trace_event JSON (load in chrome://tracing or \
+                 Perfetto), or NDJSON when $(docv) ends in .ndjson.")
+
+let trace_filter_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-filter" ] ~docv:"KINDS"
+           ~doc:"Comma-separated activity kinds to record: kernel, block, \
+                 warp, mem, cache, handler, fault (default: all).")
+
+let trace_capacity_arg =
+  Arg.(value & opt int 262144
+       & info [ "trace-capacity" ] ~docv:"N"
+           ~doc:"Ring-buffer capacity in records; the oldest records are \
+                 dropped (and counted) on overflow.")
+
 let instrumented_arg =
   Arg.(value & flag
        & info [ "instrumented" ] ~doc:"Show SASS after SASSI injection.")
@@ -235,7 +311,7 @@ let instrumented_arg =
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run a workload on the simulated GPU")
     Term.(const run_workload $ workload_arg $ variant_arg $ instrument_arg
-          $ stats_arg)
+          $ stats_arg $ trace_arg $ trace_filter_arg $ trace_capacity_arg)
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List workloads")

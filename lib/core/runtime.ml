@@ -34,6 +34,19 @@ let attach t device pairs =
        (fun (h : Gpu.State.hcall_ctx) ->
           let s = site t h.Gpu.State.h_handler in
           let handler = t.handlers.(s.Select.s_handler) in
+          let dev = h.Gpu.State.h_launch.Gpu.State.l_device in
+          (match dev.Gpu.State.d_tracer with
+           | Some c when Trace.Collector.wants c Trace.Record.Handler ->
+             let sm = h.Gpu.State.h_sm in
+             Trace.Collector.emit c
+               (Trace.Record.make
+                  ~cycle:
+                    (dev.Gpu.State.d_trace_base + sm.Gpu.State.sm_cycle)
+                  ~sm:sm.Gpu.State.sm_id
+                  ~warp:(Gpu.State.warp_uid h.Gpu.State.h_warp)
+                  (Trace.Record.Handler_invoke
+                     { site = s.Select.s_id; pc = h.Gpu.State.h_pc }))
+           | _ -> ());
           let ctx =
             { Hctx.device = h.Gpu.State.h_launch.Gpu.State.l_device;
               Hctx.launch = h.Gpu.State.h_launch;

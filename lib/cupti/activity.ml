@@ -1,0 +1,78 @@
+type kind =
+  | Kernel
+  | Block
+  | Warp
+  | Mem
+  | Cache
+  | Handler
+  | Fault
+
+let all_kinds = [ Kernel; Block; Warp; Mem; Cache; Handler; Fault ]
+
+let category = function
+  | Kernel -> Trace.Record.Kernel
+  | Block -> Trace.Record.Block
+  | Warp -> Trace.Record.Warp
+  | Mem -> Trace.Record.Mem
+  | Cache -> Trace.Record.Cache
+  | Handler -> Trace.Record.Handler
+  | Fault -> Trace.Record.Fault
+
+let kind_of_string s =
+  match Trace.Record.category_of_string s with
+  | Some Trace.Record.Kernel -> Some Kernel
+  | Some Trace.Record.Block -> Some Block
+  | Some Trace.Record.Warp -> Some Warp
+  | Some Trace.Record.Mem -> Some Mem
+  | Some Trace.Record.Cache -> Some Cache
+  | Some Trace.Record.Handler -> Some Handler
+  | Some Trace.Record.Fault -> Some Fault
+  | None -> None
+
+type overflow =
+  | Drop_oldest
+  | Drop_newest
+  | Deliver of (Trace.Record.t array -> unit)
+
+let enable ?(capacity = 262144) ?(overflow = Drop_oldest) device kinds =
+  let policy =
+    match overflow with
+    | Drop_oldest -> Trace.Ring.Drop_oldest
+    | Drop_newest -> Trace.Ring.Drop_newest
+    | Deliver f -> Trace.Ring.Flush_callback f
+  in
+  let categories = List.map category kinds in
+  let c = Trace.Collector.create ~capacity ~policy ~categories () in
+  Gpu.Device.set_tracer device (Some c)
+
+let enable_all ?capacity ?overflow device =
+  enable ?capacity ?overflow device all_kinds
+
+let disable device = Gpu.Device.set_tracer device None
+
+let collector device = Gpu.Device.tracer device
+
+let enabled device =
+  match collector device with
+  | Some _ -> true
+  | None -> false
+
+let flush device =
+  match collector device with
+  | Some c -> Trace.Collector.flush c
+  | None -> []
+
+let records device =
+  match collector device with
+  | Some c -> Trace.Collector.records c
+  | None -> []
+
+let dropped device =
+  match collector device with
+  | Some c -> Trace.Collector.dropped c
+  | None -> 0
+
+let delivered device =
+  match collector device with
+  | Some c -> Trace.Collector.flushed c
+  | None -> 0

@@ -22,7 +22,9 @@ let create ?(cfg = Config.default) () =
     d_launch_count = 0;
     d_invocations = Hashtbl.create 16;
     d_texture = None;
-    d_host_access = None }
+    d_host_access = None;
+    d_tracer = None;
+    d_trace_base = 0 }
 
 let config t = t.d_cfg
 
@@ -103,6 +105,18 @@ let set_transform t tr =
 
 let set_hcall t h = t.d_hcall <- h
 
+let set_tracer t tracer =
+  t.d_tracer <- tracer;
+  (* Mirror into the memory system, which emits L1/L2 probe records
+     directly; filter there so an uninterested collector keeps the
+     memsys fast path branch-only. *)
+  Memsys.set_trace_sink t.d_mem
+    (match tracer with
+     | Some c when Trace.Collector.wants c Trace.Record.Cache -> Some c
+     | _ -> None)
+
+let tracer t = t.d_tracer
+
 let on_launch t f =
   let id = t.d_cb_next in
   t.d_cb_next <- id + 1;
@@ -175,9 +189,33 @@ let launch t ~kernel ~grid ~block ~args =
       l_invocation = invocation }
   in
   t.d_launch_count <- t.d_launch_count + 1;
+  (match t.d_tracer with
+   | Some c when Trace.Collector.wants c Trace.Record.Kernel ->
+     Trace.Collector.emit c
+       (Trace.Record.make ~cycle:t.d_trace_base ~sm:(-1) ~warp:(-1)
+          (Trace.Record.Kernel_launch
+             { name = kernel.Sass.Program.name;
+               launch_id = launch.l_id;
+               grid;
+               block }))
+   | _ -> ());
   List.iter (fun (_, f) -> f launch) t.d_launch_cbs;
   Scheduler.run launch;
   List.iter (fun (_, f) -> f launch) t.d_exit_cbs;
+  (match t.d_tracer with
+   | Some c ->
+     let cycles = launch.l_stats.Stats.cycles in
+     if Trace.Collector.wants c Trace.Record.Kernel then
+       Trace.Collector.emit c
+         (Trace.Record.make ~cycle:(t.d_trace_base + cycles) ~sm:(-1)
+            ~warp:(-1)
+            (Trace.Record.Kernel_exit
+               { name = kernel.Sass.Program.name;
+                 launch_id = launch.l_id;
+                 cycles }));
+     (* Later launches start after this one on the trace timeline. *)
+     t.d_trace_base <- t.d_trace_base + cycles
+   | None -> ());
   launch.l_stats
 
 let invocation_count t name =

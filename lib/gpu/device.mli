@@ -56,6 +56,14 @@ val set_transform : t -> State.transform option -> unit
 
 val set_hcall : t -> (State.hcall_ctx -> unit) option -> unit
 
+val set_tracer : t -> Trace.Collector.t option -> unit
+(** Install (or remove) the activity-record collector. Emission sites
+    across the scheduler, interpreter, and memory system check this
+    with a single branch, so a device without a tracer pays nothing.
+    Prefer {!Cupti.Activity} for the user-facing API. *)
+
+val tracer : t -> Trace.Collector.t option
+
 val set_host_access_hook :
   t -> (addr:int -> bytes:int -> write:bool -> unit) option -> unit
 (** Observe all host-side reads/writes of device global memory (the

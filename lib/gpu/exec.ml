@@ -96,6 +96,26 @@ let texture_read launch ~width idx =
     let addr = base + (idx * elt) in
     (Memory.read dev.d_global ~width addr, addr)
 
+(* --- Activity tracing -------------------------------------------------- *)
+
+(* One warp-level memory transaction record; the [None] branch is the
+   whole cost when tracing is off. *)
+let trace_mem dev sm w ~space ~write ~width ~lanes (r : Memsys.result) =
+  match dev.d_tracer with
+  | None -> ()
+  | Some c ->
+    if Trace.Collector.wants c Trace.Record.Mem then
+      Trace.Collector.emit c
+        (Trace.Record.make
+           ~cycle:(dev.d_trace_base + sm.sm_cycle)
+           ~sm:sm.sm_id ~warp:(warp_uid w)
+           (Trace.Record.Mem_access
+              { space;
+                write;
+                bytes = Opcode.bytes_of_width width;
+                lanes;
+                transactions = r.Memsys.transactions }))
+
 (* --- The main dispatch ------------------------------------------------- *)
 
 let step sm w =
@@ -129,6 +149,14 @@ let step sm w =
   in
   let nactive = Value.popc exec_mask in
   Stats.count_instr stats i.Instr.op ~active_lanes:nactive;
+  (match dev.d_tracer with
+   | Some _ ->
+     (* Stamp the context attached to L1/L2 probe records emitted
+        from inside the memory system. *)
+     Memsys.set_trace_ctx dev.d_mem
+       ~cycle:(dev.d_trace_base + sm.sm_cycle)
+       ~warp:(warp_uid w)
+   | None -> ());
   let latency = ref cfg.Config.lat_alu in
   let next_pc = ref (pc + 1) in
   let sv lane s = src_value launch w ~lane s in
@@ -294,6 +322,8 @@ let step sm w =
             Memsys.global_access dev.d_mem ~sm:sm.sm_id ~stats
               (mem_pairs width)
           in
+          trace_mem dev sm w ~space:Trace.Record.Sp_global ~write:false
+            ~width ~lanes:nactive r;
           latency := r.Memsys.latency
         end
       | Opcode.Shared ->
@@ -304,6 +334,8 @@ let step sm w =
         if nactive > 0 then begin
           let addrs = fold_lanes exec_mask (fun a l -> eff_addr l :: a) [] in
           let r = Memsys.shared_access dev.d_mem ~stats addrs in
+          trace_mem dev sm w ~space:Trace.Record.Sp_shared ~write:false
+            ~width ~lanes:nactive r;
           latency := r.Memsys.latency
         end
       | Opcode.Local ->
@@ -338,6 +370,8 @@ let step sm w =
                    (fun a lane -> (local_phys w ~lane (eff_addr lane), 4) :: a)
                    [])
           in
+          trace_mem dev sm w ~space:Trace.Record.Sp_local ~write:false
+            ~width ~lanes:nactive r;
           latency := r.Memsys.latency
         end
       | Opcode.Param ->
@@ -373,6 +407,8 @@ let step sm w =
             Memsys.global_access dev.d_mem ~sm:sm.sm_id ~stats
               (mem_pairs width)
           in
+          trace_mem dev sm w ~space:Trace.Record.Sp_global ~write:true
+            ~width ~lanes:nactive r;
           latency := r.Memsys.latency
         end
       | Opcode.Shared ->
@@ -382,6 +418,8 @@ let step sm w =
         if nactive > 0 then begin
           let addrs = fold_lanes exec_mask (fun a l -> eff_addr l :: a) [] in
           let r = Memsys.shared_access dev.d_mem ~stats addrs in
+          trace_mem dev sm w ~space:Trace.Record.Sp_shared ~write:true
+            ~width ~lanes:nactive r;
           latency := r.Memsys.latency
         end
       | Opcode.Local ->
@@ -413,6 +451,8 @@ let step sm w =
                    (fun a lane -> (local_phys w ~lane (eff_addr lane), 4) :: a)
                    [])
           in
+          trace_mem dev sm w ~space:Trace.Record.Sp_local ~write:true
+            ~width ~lanes:nactive r;
           latency := r.Memsys.latency
         end
       | Opcode.Param | Opcode.Tex ->
@@ -464,6 +504,13 @@ let step sm w =
            let addrs = fold_lanes exec_mask (fun a l -> eff_addr l :: a) [] in
            Memsys.shared_access dev.d_mem ~stats addrs
        in
+       let tr_space =
+         match space with
+         | Opcode.Global -> Trace.Record.Sp_global
+         | _ -> Trace.Record.Sp_shared
+       in
+       trace_mem dev sm w ~space:tr_space ~write:true ~width ~lanes:nactive
+         r;
        latency := r.Memsys.latency + cfg.Config.lat_atomic
      end
    | Opcode.TLD width ->
@@ -487,6 +534,8 @@ let step sm w =
            []
        in
        let r = Memsys.global_access dev.d_mem ~sm:sm.sm_id ~stats pairs in
+       trace_mem dev sm w ~space:Trace.Record.Sp_texture ~write:false ~width
+         ~lanes:nactive r;
        latency := r.Memsys.latency
      end
    | Opcode.MEMBAR -> ()
@@ -594,8 +643,40 @@ let step sm w =
      end
    | Opcode.BAR ->
      w.w_status <- W_barrier;
+     (* Stamp the arrival cycle: if the barrier releases, each
+        released warp's stamp gives its stall duration. The stamp is
+        never earlier than the warp's previous ready time, so
+        scheduling is unchanged whether or not tracing is on. *)
+     w.w_ready_at <- sm.sm_cycle;
      w.w_block.b_arrived <- w.w_block.b_arrived + 1;
-     release_barrier_if_ready w.w_block
+     (match dev.d_tracer with
+      | Some c when Trace.Collector.wants c Trace.Record.Warp ->
+        Trace.Collector.emit c
+          (Trace.Record.make
+             ~cycle:(dev.d_trace_base + sm.sm_cycle)
+             ~sm:sm.sm_id ~warp:(warp_uid w)
+             (Trace.Record.Warp_barrier
+                { pc; arrived = w.w_block.b_arrived }))
+      | _ -> ());
+     release_barrier_if_ready w.w_block;
+     (match dev.d_tracer with
+      | Some c
+        when w.w_status = W_ready
+             && Trace.Collector.wants c Trace.Record.Warp ->
+        (* The barrier released in this step: every warp of the block
+           now ready was stalled since its own arrival stamp. *)
+        Array.iter
+          (fun w' ->
+             if w'.w_status = W_ready && sm.sm_cycle > w'.w_ready_at then
+               Trace.Collector.emit c
+                 (Trace.Record.make
+                    ~cycle:(dev.d_trace_base + w'.w_ready_at)
+                    ~sm:sm.sm_id ~warp:(warp_uid w')
+                    (Trace.Record.Warp_stall
+                       { reason = Trace.Record.Stall_barrier;
+                         cycles = sm.sm_cycle - w'.w_ready_at })))
+          w.w_block.b_warps
+      | _ -> ())
    | Opcode.NOP -> ()
    | Opcode.HCALL id ->
      stats.Stats.hcalls <- stats.Stats.hcalls + 1;
@@ -624,5 +705,29 @@ let step sm w =
      (match w.w_stack with
       | entry :: _ when entry == e -> e.e_pc <- np
       | _ -> ()));
+  (match dev.d_tracer with
+   | None -> ()
+   | Some c ->
+     if Trace.Collector.wants c Trace.Record.Warp then begin
+       let cycle = dev.d_trace_base + sm.sm_cycle in
+       let uid = warp_uid w in
+       Trace.Collector.emit c
+         (Trace.Record.make ~cycle ~sm:sm.sm_id ~warp:uid
+            (Trace.Record.Warp_issue
+               { pc;
+                 op = Opcode.to_string i.Instr.op;
+                 active = nactive }));
+       (* Anything beyond the baseline ALU latency keeps the warp out
+          of the issue pool: record it as a stall span. *)
+       if !latency > cfg.Config.lat_alu then
+         Trace.Collector.emit c
+           (Trace.Record.make ~cycle ~sm:sm.sm_id ~warp:uid
+              (Trace.Record.Warp_stall
+                 { reason =
+                     (if Opcode.is_mem i.Instr.op then
+                        Trace.Record.Stall_memory
+                      else Trace.Record.Stall_exec);
+                   cycles = !latency }))
+     end);
   if w.w_status = W_ready then
     w.w_ready_at <- sm.sm_cycle + !latency

@@ -2,6 +2,12 @@ type t = {
   cfg : Config.t;
   l1s : Cache.t array;
   l2 : Cache.t;
+  (* Activity-trace sink for L1/L2 probe events. The interpreter
+     stamps the context (cycle, warp) before issuing accesses; both
+     stay untouched while tracing is off. *)
+  mutable tr_sink : Trace.Collector.t option;
+  mutable tr_cycle : int;
+  mutable tr_warp : int;
 }
 
 type result = {
@@ -25,7 +31,24 @@ let create (cfg : Config.t) =
             ~line_bytes:cfg.Config.line_bytes);
     l2 =
       Cache.create ~name:"L2" ~size_bytes:cfg.Config.l2_bytes
-        ~assoc:cfg.Config.l2_assoc ~line_bytes:cfg.Config.line_bytes }
+        ~assoc:cfg.Config.l2_assoc ~line_bytes:cfg.Config.line_bytes;
+    tr_sink = None;
+    tr_cycle = 0;
+    tr_warp = -1 }
+
+let set_trace_sink t sink = t.tr_sink <- sink
+
+let set_trace_ctx t ~cycle ~warp =
+  t.tr_cycle <- cycle;
+  t.tr_warp <- warp
+
+let trace_probe t ~sm ~level ~hit =
+  match t.tr_sink with
+  | None -> ()
+  | Some c ->
+    Trace.Collector.emit c
+      (Trace.Record.make ~cycle:t.tr_cycle ~sm ~warp:t.tr_warp
+         (Trace.Record.Cache_access { level; hit }))
 
 let coalesce ~line_bytes pairs =
   (* A warp contributes at most 32 accesses, so a small-list dedup
@@ -46,15 +69,19 @@ let line_latency t ~sm line_addr stats =
   match Cache.access t.l1s.(sm) line_addr with
   | Cache.Hit ->
     stats.Stats.l1_hits <- stats.Stats.l1_hits + 1;
+    trace_probe t ~sm ~level:Trace.Record.L1 ~hit:true;
     cfg.Config.lat_l1
   | Cache.Miss ->
     stats.Stats.l1_misses <- stats.Stats.l1_misses + 1;
+    trace_probe t ~sm ~level:Trace.Record.L1 ~hit:false;
     (match Cache.access t.l2 line_addr with
      | Cache.Hit ->
        stats.Stats.l2_hits <- stats.Stats.l2_hits + 1;
+       trace_probe t ~sm ~level:Trace.Record.L2 ~hit:true;
        cfg.Config.lat_l2
      | Cache.Miss ->
        stats.Stats.l2_misses <- stats.Stats.l2_misses + 1;
+       trace_probe t ~sm ~level:Trace.Record.L2 ~hit:false;
        cfg.Config.lat_dram)
 
 let global_access t ~sm ~stats pairs =

@@ -56,3 +56,14 @@ val l2_stats : t -> int * int
 
 val invalidate : t -> unit
 (** Drops all cache contents (between launches if desired). *)
+
+(** {1 Activity tracing} *)
+
+val set_trace_sink : t -> Trace.Collector.t option -> unit
+(** Install (or remove) the collector receiving L1/L2 probe records.
+    Pass [Some c] only when [c] wants the [Cache] category; the sink
+    emits unconditionally. *)
+
+val set_trace_ctx : t -> cycle:int -> warp:int -> unit
+(** Stamp the context attached to subsequent probe records; called by
+    the interpreter before issuing accesses while tracing. *)

@@ -136,6 +136,19 @@ let run launch =
         in
         let now, later = take blocks_at_once blocks in
         let made = List.map (make_block launch) now in
+        (match dev.d_tracer with
+         | Some c when Trace.Collector.wants c Trace.Record.Block ->
+           List.iter
+             (fun blk ->
+                Trace.Collector.emit c
+                  (Trace.Record.make
+                     ~cycle:(dev.d_trace_base + sm.sm_cycle) ~sm:sm_id
+                     ~warp:(-1)
+                     (Trace.Record.Block_dispatch
+                        { block = blk.b_flat;
+                          warps = Array.length blk.b_warps })))
+             made
+         | _ -> ());
         sm.sm_warps <-
           Array.concat (List.map (fun blk -> blk.b_warps) made);
         sm.sm_rr <- 0;

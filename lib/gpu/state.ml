@@ -71,6 +71,8 @@ and device = {
   d_invocations : (string, int) Hashtbl.t;
   mutable d_texture : (int * int) option;
   mutable d_host_access : (addr:int -> bytes:int -> write:bool -> unit) option;
+  mutable d_tracer : Trace.Collector.t option;
+  mutable d_trace_base : int;
 }
 
 and transform = Sass.Program.kernel -> Sass.Program.kernel
@@ -134,6 +136,13 @@ let active_lanes w = lanes_of_mask (active_mask w)
 let popc_mask m = Value.popc m
 
 let lane_linear_tid w lane = (w.w_id * warp_size) + lane
+
+(* Launch-unique warp id: warps of concurrently resident blocks would
+   otherwise collide on [w_id] in activity records. *)
+let warp_uid w =
+  let l = w.w_block.b_launch in
+  let wpb = (l.l_block_x * l.l_block_y + warp_size - 1) / warp_size in
+  (w.w_block.b_flat * wpb) + w.w_id
 
 let lane_in_block w lane =
   let bl = w.w_block.b_launch in

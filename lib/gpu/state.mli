@@ -82,6 +82,12 @@ and device = {
   mutable d_host_access : (addr:int -> bytes:int -> write:bool -> unit) option;
       (** observer of host-side global-memory accesses (the memcpy
           traffic), for heterogeneous CPU+GPU analyses *)
+  mutable d_tracer : Trace.Collector.t option;
+      (** activity-record collector; [None] keeps every emission site
+          on its single-branch fast path *)
+  mutable d_trace_base : int;
+      (** cycle offset of the current launch on the device-wide trace
+          timeline (accumulated cycles of earlier launches) *)
 }
 
 and transform = Sass.Program.kernel -> Sass.Program.kernel
@@ -130,6 +136,10 @@ val popc_mask : int -> int
 
 val lane_linear_tid : warp -> int -> int
 (** Linear thread index within the block of the given lane. *)
+
+val warp_uid : warp -> int
+(** Launch-unique warp id ([block index * warps per block + w_id]);
+    the warp key used in activity records. *)
 
 val lane_in_block : warp -> int -> bool
 (** Whether the lane maps to a real thread (last warp may be ragged). *)

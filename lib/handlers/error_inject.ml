@@ -142,16 +142,36 @@ let injection_handler target ~injected =
                  let total = num_gpr + num_pred in
                  if total > 0 then begin
                    let pick = target.t_dst_seed mod total in
-                   if pick < num_gpr then begin
-                     let old = Params.Registers.value ctx ~lane pick in
-                     let bit = target.t_bit_seed mod 32 in
-                     Params.Registers.set_value ctx ~lane pick
-                       (old lxor (1 lsl bit))
-                   end
-                   else begin
-                     let old = Params.Registers.pred_value ctx ~lane in
-                     Params.Registers.set_pred_value ctx ~lane (not old)
-                   end;
+                   let bit, kind =
+                     if pick < num_gpr then begin
+                       let old = Params.Registers.value ctx ~lane pick in
+                       let bit = target.t_bit_seed mod 32 in
+                       Params.Registers.set_value ctx ~lane pick
+                         (old lxor (1 lsl bit));
+                       (bit, "register")
+                     end
+                     else begin
+                       let old = Params.Registers.pred_value ctx ~lane in
+                       Params.Registers.set_pred_value ctx ~lane (not old);
+                       (-1, "predicate")
+                     end
+                   in
+                   (match ctx.Hctx.device.Gpu.State.d_tracer with
+                    | Some c
+                      when Trace.Collector.wants c Trace.Record.Fault ->
+                      let sm = ctx.Hctx.sm in
+                      Trace.Collector.emit c
+                        (Trace.Record.make
+                           ~cycle:
+                             (ctx.Hctx.device.Gpu.State.d_trace_base
+                              + sm.Gpu.State.sm_cycle)
+                           ~sm:sm.Gpu.State.sm_id
+                           ~warp:(Gpu.State.warp_uid ctx.Hctx.warp)
+                           (Trace.Record.Fault_inject
+                              { thread = target.t_thread;
+                                bit;
+                                target = kind }))
+                    | _ -> ());
                    injected := true
                  end
                end;

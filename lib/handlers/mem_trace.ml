@@ -5,15 +5,13 @@ type access = {
   a_addrs : int array;
 }
 
-type t = {
-  capacity : int;
-  mutable entries : access list;  (* reversed *)
-  mutable n : int;
-  mutable dropped : int;
-}
+(* Storage rides on the activity tracer's ring buffer; [Drop_newest]
+   keeps the historical contract — beyond capacity, new accesses are
+   counted but not stored. *)
+type t = access Trace.Ring.t
 
 let create ?(capacity = 1_000_000) () =
-  { capacity; entries = []; n = 0; dropped = 0 }
+  Trace.Ring.create ~policy:Trace.Ring.Drop_newest ~capacity ()
 
 let handler t =
   Sassi.Handler.make ~name:"mem_trace" (fun ctx ->
@@ -24,36 +22,26 @@ let handler t =
             (fun lane -> Params.Before.will_execute ctx ~lane)
             (Hctx.active_lanes ctx)
         in
-        if lanes <> [] then begin
-          if t.n >= t.capacity then t.dropped <- t.dropped + 1
-          else begin
-            let access =
-              { a_pc = Params.Before.ins_addr ctx;
-                a_write = Params.Memory.is_store ctx;
-                a_width = Params.Memory.width ctx;
-                a_addrs =
-                  Array.of_list
-                    (List.map
-                       (fun lane -> Params.Memory.address ctx ~lane)
-                       lanes) }
-            in
-            t.entries <- access :: t.entries;
-            t.n <- t.n + 1
-          end
-        end
+        if lanes <> [] then
+          Trace.Ring.push t
+            { a_pc = Params.Before.ins_addr ctx;
+              a_write = Params.Memory.is_store ctx;
+              a_width = Params.Memory.width ctx;
+              a_addrs =
+                Array.of_list
+                  (List.map
+                     (fun lane -> Params.Memory.address ctx ~lane)
+                     lanes) }
       end)
 
 let pairs t =
   [ (Sassi.Select.before [ Sassi.Select.Memory_ops ] [ Sassi.Select.Mem_info ],
      handler t) ]
 
-let trace t = List.rev t.entries
+let trace t = Trace.Ring.to_list t
 
-let length t = t.n
+let length t = Trace.Ring.length t
 
-let dropped t = t.dropped
+let dropped t = Trace.Ring.dropped t
 
-let clear t =
-  t.entries <- [];
-  t.n <- 0;
-  t.dropped <- 0
+let clear t = Trace.Ring.clear t

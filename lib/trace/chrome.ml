@@ -1,0 +1,175 @@
+let escape b s =
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s
+
+let kernel_pid = 0
+
+let pid_of r = if r.Record.sm < 0 then kernel_pid else r.Record.sm + 1
+
+let tid_of r =
+  match r.Record.payload with
+  | Record.Kernel_launch { launch_id; _ } | Record.Kernel_exit { launch_id; _ }
+    -> launch_id
+  | _ -> max 0 r.Record.warp
+
+(* One trace event. [ph] is the Chrome phase; [dur] only applies to
+   "X" events. [args] are extra key/value pairs, values pre-rendered
+   as JSON. *)
+let event b ~first ~name ~cat ~ph ~ts ?dur ~pid ~tid ~args () =
+  if not !first then Buffer.add_string b ",\n";
+  first := false;
+  Buffer.add_string b "{\"name\":\"";
+  escape b name;
+  Buffer.add_string b "\",\"cat\":\"";
+  escape b cat;
+  Buffer.add_string b "\",\"ph\":\"";
+  Buffer.add_string b ph;
+  Buffer.add_string b (Printf.sprintf "\",\"ts\":%d" ts);
+  (match dur with
+   | Some d -> Buffer.add_string b (Printf.sprintf ",\"dur\":%d" d)
+   | None -> ());
+  Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid tid);
+  (match args with
+   | [] -> ()
+   | args ->
+     Buffer.add_string b ",\"args\":{";
+     List.iteri
+       (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          escape b k;
+          Buffer.add_string b "\":";
+          Buffer.add_string b v)
+       args;
+     Buffer.add_char b '}');
+  (match ph with
+   | "i" -> Buffer.add_string b ",\"s\":\"t\"}"
+   | _ -> Buffer.add_char b '}')
+
+let str s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  escape b s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_buffer b records =
+  let first = ref true in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  (* Name the processes and threads we are about to reference. *)
+  let pids = Hashtbl.create 16 in
+  let tids = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+       Hashtbl.replace pids (pid_of r) ();
+       Hashtbl.replace tids (pid_of r, tid_of r) ())
+    records;
+  let sorted_pids =
+    Hashtbl.fold (fun p () acc -> p :: acc) pids [] |> List.sort Int.compare
+  in
+  List.iter
+    (fun pid ->
+       let pname =
+         if pid = kernel_pid then "kernels"
+         else Printf.sprintf "SM %d" (pid - 1)
+       in
+       event b ~first ~name:"process_name" ~cat:"__metadata" ~ph:"M" ~ts:0
+         ~pid ~tid:0 ~args:[ ("name", str pname) ] ())
+    sorted_pids;
+  let sorted_tids =
+    Hashtbl.fold (fun k () acc -> k :: acc) tids [] |> List.sort compare
+  in
+  List.iter
+    (fun (pid, tid) ->
+       let tname =
+         if pid = kernel_pid then Printf.sprintf "launch %d" tid
+         else Printf.sprintf "warp %d" tid
+       in
+       event b ~first ~name:"thread_name" ~cat:"__metadata" ~ph:"M" ~ts:0
+         ~pid ~tid ~args:[ ("name", str tname) ] ())
+    sorted_tids;
+  List.iter
+    (fun r ->
+       let cat = Record.category_to_string (Record.category r) in
+       let name = Record.name r in
+       let ts = r.Record.cycle in
+       let pid = pid_of r in
+       let tid = tid_of r in
+       let ev = event b ~first ~name ~cat ~pid ~tid in
+       match r.Record.payload with
+       | Record.Kernel_launch { grid = gx, gy; block = bx, by; _ } ->
+         ev ~ph:"i" ~ts
+           ~args:
+             [ ("grid", Printf.sprintf "[%d,%d]" gx gy);
+               ("block", Printf.sprintf "[%d,%d]" bx by) ]
+           ()
+       | Record.Kernel_exit { cycles; _ } ->
+         (* The exit record is stamped at the end of the launch; the
+            kernel span covers the preceding [cycles]. *)
+         ev ~ph:"X" ~ts:(max 0 (ts - cycles)) ~dur:(max 1 cycles)
+           ~args:[ ("cycles", string_of_int cycles) ]
+           ()
+       | Record.Block_dispatch { block; warps } ->
+         ev ~ph:"i" ~ts
+           ~args:
+             [ ("block", string_of_int block);
+               ("warps", string_of_int warps) ]
+           ()
+       | Record.Warp_issue { pc; active; _ } ->
+         ev ~ph:"i" ~ts
+           ~args:
+             [ ("pc", string_of_int pc); ("active", string_of_int active) ]
+           ()
+       | Record.Warp_stall { cycles; reason } ->
+         ev ~ph:"X" ~ts ~dur:(max 1 cycles)
+           ~args:[ ("reason", str (Record.stall_reason_to_string reason)) ]
+           ()
+       | Record.Warp_barrier { pc; arrived } ->
+         ev ~ph:"i" ~ts
+           ~args:
+             [ ("pc", string_of_int pc); ("arrived", string_of_int arrived) ]
+           ()
+       | Record.Mem_access { bytes; lanes; transactions; _ } ->
+         ev ~ph:"i" ~ts
+           ~args:
+             [ ("bytes", string_of_int bytes);
+               ("lanes", string_of_int lanes);
+               ("transactions", string_of_int transactions) ]
+           ()
+       | Record.Cache_access _ -> ev ~ph:"i" ~ts ~args:[] ()
+       | Record.Handler_invoke { site; pc } ->
+         ev ~ph:"i" ~ts
+           ~args:[ ("site", string_of_int site); ("pc", string_of_int pc) ]
+           ()
+       | Record.Fault_inject { thread; bit; _ } ->
+         ev ~ph:"i" ~ts
+           ~args:
+             [ ("thread", string_of_int thread); ("bit", string_of_int bit) ]
+           ())
+    records;
+  Buffer.add_string b "\n]}\n"
+
+let to_string records =
+  let b = Buffer.create 65536 in
+  to_buffer b records;
+  Buffer.contents b
+
+let to_channel oc records =
+  let b = Buffer.create 65536 in
+  to_buffer b records;
+  Buffer.output_buffer oc b
+
+let write_file path records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> to_channel oc records)

@@ -1,0 +1,83 @@
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let record_to_string (r : Record.t) =
+  let common =
+    Printf.sprintf "\"kind\":%S,\"cycle\":%d,\"sm\":%d,\"warp\":%d"
+      (Record.category_to_string (Record.category r))
+      r.Record.cycle r.Record.sm r.Record.warp
+  in
+  let rest =
+    match r.Record.payload with
+    | Record.Kernel_launch { name; launch_id; grid = gx, gy; block = bx, by }
+      ->
+      Printf.sprintf
+        "\"event\":\"kernel_launch\",\"name\":\"%s\",\"launch\":%d,\"grid\":[%d,%d],\"block\":[%d,%d]"
+        (escape name) launch_id gx gy bx by
+    | Record.Kernel_exit { name; launch_id; cycles } ->
+      Printf.sprintf
+        "\"event\":\"kernel_exit\",\"name\":\"%s\",\"launch\":%d,\"cycles\":%d"
+        (escape name) launch_id cycles
+    | Record.Block_dispatch { block; warps } ->
+      Printf.sprintf "\"event\":\"block_dispatch\",\"block\":%d,\"warps\":%d"
+        block warps
+    | Record.Warp_issue { pc; op; active } ->
+      Printf.sprintf
+        "\"event\":\"warp_issue\",\"pc\":%d,\"op\":\"%s\",\"active\":%d" pc
+        (escape op) active
+    | Record.Warp_stall { reason; cycles } ->
+      Printf.sprintf "\"event\":\"warp_stall\",\"reason\":%S,\"cycles\":%d"
+        (Record.stall_reason_to_string reason)
+        cycles
+    | Record.Warp_barrier { pc; arrived } ->
+      Printf.sprintf "\"event\":\"warp_barrier\",\"pc\":%d,\"arrived\":%d" pc
+        arrived
+    | Record.Mem_access { space; write; bytes; lanes; transactions } ->
+      Printf.sprintf
+        "\"event\":\"mem_access\",\"space\":%S,\"write\":%b,\"bytes\":%d,\"lanes\":%d,\"transactions\":%d"
+        (Record.mem_space_to_string space)
+        write bytes lanes transactions
+    | Record.Cache_access { level; hit } ->
+      Printf.sprintf "\"event\":\"cache_access\",\"level\":%S,\"hit\":%b"
+        (Record.cache_level_to_string level)
+        hit
+    | Record.Handler_invoke { site; pc } ->
+      Printf.sprintf "\"event\":\"handler_invoke\",\"site\":%d,\"pc\":%d" site
+        pc
+    | Record.Fault_inject { thread; bit; target } ->
+      Printf.sprintf
+        "\"event\":\"fault_inject\",\"thread\":%d,\"bit\":%d,\"target\":%S"
+        thread bit target
+  in
+  "{" ^ common ^ "," ^ rest ^ "}"
+
+let to_channel oc records =
+  List.iter
+    (fun r ->
+       output_string oc (record_to_string r);
+       output_char oc '\n')
+    records
+
+let write_file path records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> to_channel oc records)
+
+let sink oc batch =
+  Array.iter
+    (fun r ->
+       output_string oc (record_to_string r);
+       output_char oc '\n')
+    batch

@@ -1,0 +1,243 @@
+type side_stats = {
+  mutable issues : int;
+  mutable stall_events : int array;
+  mutable stall_cycles : int array;
+  mutable mem_accesses : int;
+  mutable mem_transactions : int;
+  mutable barriers : int;
+  mutable first_cycle : int;
+  mutable last_cycle : int;
+  mutable blocks : int;
+}
+
+type t = {
+  kernels : (string * int * int) list;
+  sms : (int * side_stats) list;
+  warps : ((int * int) * side_stats) list;
+  total : side_stats;
+  cache_probes : (int * int) * (int * int);
+  handler_invokes : int;
+  faults : int;
+}
+
+let reason_index = function
+  | Record.Stall_memory -> 0
+  | Record.Stall_barrier -> 1
+  | Record.Stall_exec -> 2
+
+let reasons = [| Record.Stall_memory; Record.Stall_barrier; Record.Stall_exec |]
+
+let n_reasons = Array.length reasons
+
+let fresh () =
+  { issues = 0;
+    stall_events = Array.make n_reasons 0;
+    stall_cycles = Array.make n_reasons 0;
+    mem_accesses = 0;
+    mem_transactions = 0;
+    barriers = 0;
+    first_cycle = max_int;
+    last_cycle = 0;
+    blocks = 0 }
+
+let touch s cycle =
+  if cycle < s.first_cycle then s.first_cycle <- cycle;
+  if cycle > s.last_cycle then s.last_cycle <- cycle
+
+let build records =
+  let sms = Hashtbl.create 16 in
+  let warps = Hashtbl.create 256 in
+  let total = fresh () in
+  let kernels = ref [] in
+  let l1h = ref 0 and l1m = ref 0 and l2h = ref 0 and l2m = ref 0 in
+  let handlers = ref 0 and faults = ref 0 in
+  let get tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some s -> s
+    | None ->
+      let s = fresh () in
+      Hashtbl.replace tbl key s;
+      s
+  in
+  let sides (r : Record.t) =
+    let ss =
+      if r.Record.sm >= 0 then [ get sms r.Record.sm ] else []
+    in
+    let ss =
+      if r.Record.sm >= 0 && r.Record.warp >= 0 then
+        get warps (r.Record.sm, r.Record.warp) :: ss
+      else ss
+    in
+    total :: ss
+  in
+  List.iter
+    (fun (r : Record.t) ->
+       let apply f = List.iter f (sides r) in
+       (match r.Record.payload with
+        | Record.Kernel_launch _ -> ()
+        | Record.Kernel_exit { name; launch_id; cycles } ->
+          kernels := (name, launch_id, cycles) :: !kernels
+        | Record.Block_dispatch _ -> apply (fun s -> s.blocks <- s.blocks + 1)
+        | Record.Warp_issue _ -> apply (fun s -> s.issues <- s.issues + 1)
+        | Record.Warp_stall { reason; cycles } ->
+          let i = reason_index reason in
+          apply (fun s ->
+              s.stall_events.(i) <- s.stall_events.(i) + 1;
+              s.stall_cycles.(i) <- s.stall_cycles.(i) + cycles)
+        | Record.Warp_barrier _ ->
+          apply (fun s -> s.barriers <- s.barriers + 1)
+        | Record.Mem_access { transactions; _ } ->
+          apply (fun s ->
+              s.mem_accesses <- s.mem_accesses + 1;
+              s.mem_transactions <- s.mem_transactions + transactions)
+        | Record.Cache_access { level; hit } ->
+          (match (level, hit) with
+           | Record.L1, true -> incr l1h
+           | Record.L1, false -> incr l1m
+           | Record.L2, true -> incr l2h
+           | Record.L2, false -> incr l2m)
+        | Record.Handler_invoke _ -> incr handlers
+        | Record.Fault_inject _ -> incr faults);
+       apply (fun s -> touch s r.Record.cycle))
+    records;
+  let sorted tbl =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { kernels = List.rev !kernels;
+    sms = sorted sms;
+    warps = sorted warps;
+    total;
+    cache_probes = ((!l1h, !l1m), (!l2h, !l2m));
+    handler_invokes = !handlers;
+    faults = !faults }
+
+let stall_breakdown t =
+  Array.to_list reasons
+  |> List.map (fun r ->
+      let i = reason_index r in
+      (r, t.total.stall_events.(i), t.total.stall_cycles.(i)))
+  |> List.sort (fun (_, _, a) (_, _, b) -> Int.compare b a)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, id, cycles) ->
+       Format.fprintf ppf "kernel %-24s launch %-3d %10d cycles@." name id
+         cycles)
+    t.kernels;
+  Format.fprintf ppf "stall breakdown:@.";
+  List.iter
+    (fun (r, events, cycles) ->
+       Format.fprintf ppf "  %-8s %10d events %12d warp-cycles@."
+         (Record.stall_reason_to_string r)
+         events cycles)
+    (stall_breakdown t);
+  let (l1h, l1m), (l2h, l2m) = t.cache_probes in
+  Format.fprintf ppf
+    "issues %d, mem accesses %d (%d transactions), barriers %d@."
+    t.total.issues t.total.mem_accesses t.total.mem_transactions
+    t.total.barriers;
+  if l1h + l1m + l2h + l2m > 0 then
+    Format.fprintf ppf "cache probes: L1 %d/%d, L2 %d/%d (hits/misses)@." l1h
+      l1m l2h l2m;
+  if t.handler_invokes > 0 then
+    Format.fprintf ppf "handler invocations: %d@." t.handler_invokes;
+  if t.faults > 0 then Format.fprintf ppf "faults injected: %d@." t.faults;
+  List.iter
+    (fun (sm, s) ->
+       Format.fprintf ppf
+         "SM %-2d: %6d issues %5d blocks, cycles %d..%d, stalls \
+          m/b/e %d/%d/%d@."
+         sm s.issues s.blocks
+         (if s.first_cycle = max_int then 0 else s.first_cycle)
+         s.last_cycle s.stall_cycles.(0) s.stall_cycles.(1)
+         s.stall_cycles.(2))
+    t.sms;
+  Format.fprintf ppf "@]"
+
+let render_warps ?(width = 64) ?(sm = 0) ?(max_warps = 24) records =
+  let records =
+    List.filter (fun (r : Record.t) -> r.Record.sm = sm) records
+  in
+  let lo = ref max_int and hi = ref 0 in
+  List.iter
+    (fun (r : Record.t) ->
+       if r.Record.cycle < !lo then lo := r.Record.cycle;
+       let last =
+         match r.Record.payload with
+         | Record.Warp_stall { cycles; _ } -> r.Record.cycle + cycles
+         | _ -> r.Record.cycle
+       in
+       if last > !hi then hi := last)
+    records;
+  if !lo > !hi then Printf.sprintf "(no records for SM %d)\n" sm
+  else begin
+    let span = max 1 (!hi - !lo + 1) in
+    let bucket c = min (width - 1) ((c - !lo) * width / span) in
+    (* Per warp, per bucket: issue count and stall cycles by reason. *)
+    let rows = Hashtbl.create 64 in
+    let get w =
+      match Hashtbl.find_opt rows w with
+      | Some a -> a
+      | None ->
+        let a = Array.make_matrix width (1 + n_reasons) 0 in
+        Hashtbl.replace rows w a;
+        a
+    in
+    List.iter
+      (fun (r : Record.t) ->
+         if r.Record.warp >= 0 then
+           let a = get r.Record.warp in
+           match r.Record.payload with
+           | Record.Warp_issue _ ->
+             let b = bucket r.Record.cycle in
+             a.(b).(0) <- a.(b).(0) + 1
+           | Record.Warp_stall { reason; cycles } ->
+             let i = 1 + reason_index reason in
+             let b0 = bucket r.Record.cycle in
+             let b1 = bucket (r.Record.cycle + cycles) in
+             for b = b0 to b1 do
+               a.(b).(i) <- a.(b).(i) + max 1 (cycles / max 1 (b1 - b0 + 1))
+             done
+           | _ -> ())
+      records;
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "SM %d, cycles %d..%d (%d cycles per column); # issue, M mem \
+          stall, B barrier, E exec stall\n"
+         sm !lo !hi (span / width));
+    let warps =
+      Hashtbl.fold (fun w _ acc -> w :: acc) rows [] |> List.sort Int.compare
+    in
+    List.iteri
+      (fun i w ->
+         if i < max_warps then begin
+           let a = Hashtbl.find rows w in
+           Buffer.add_string buf (Printf.sprintf "  warp %3d |" w);
+           Array.iter
+             (fun cell ->
+                let issue = cell.(0) in
+                let mstall = cell.(1) and bstall = cell.(2) in
+                let estall = cell.(3) in
+                let stall = mstall + bstall + estall in
+                let c =
+                  if issue = 0 && stall = 0 then '.'
+                  else if stall > issue * 4 then
+                    if mstall >= bstall && mstall >= estall then 'M'
+                    else if bstall >= estall then 'B'
+                    else 'E'
+                  else '#'
+                in
+                Buffer.add_char buf c)
+             a;
+           Buffer.add_string buf "|\n"
+         end)
+      warps;
+    if List.length warps > max_warps then
+      Buffer.add_string buf
+        (Printf.sprintf "  ... %d more warps not shown\n"
+           (List.length warps - max_warps));
+    Buffer.contents buf
+  end

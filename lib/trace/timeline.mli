@@ -1,0 +1,49 @@
+(** Trace-driven analysis: fold a stream of activity records into
+    per-SM and per-warp timelines, stall breakdowns, and an ASCII
+    rendering of warp activity — the in-memory counterpart of the
+    Chrome/Perfetto export. *)
+
+type side_stats = {
+  mutable issues : int;
+  mutable stall_events : int array;  (** indexed by {!reason_index} *)
+  mutable stall_cycles : int array;
+  mutable mem_accesses : int;
+  mutable mem_transactions : int;
+  mutable barriers : int;
+  mutable first_cycle : int;  (** [max_int] when no event seen *)
+  mutable last_cycle : int;
+  mutable blocks : int;  (** block dispatches (SM timelines only) *)
+}
+
+type t = {
+  kernels : (string * int * int) list;
+      (** (name, launch id, cycles), in completion order *)
+  sms : (int * side_stats) list;  (** sorted by SM id *)
+  warps : ((int * int) * side_stats) list;  (** keyed by (sm, warp) *)
+  total : side_stats;
+  cache_probes : (int * int) * (int * int);
+      (** ((l1 hits, l1 misses), (l2 hits, l2 misses)) *)
+  handler_invokes : int;
+  faults : int;
+}
+
+val reason_index : Record.stall_reason -> int
+
+val reasons : Record.stall_reason array
+(** Inverse of {!reason_index}. *)
+
+val build : Record.t list -> t
+
+val stall_breakdown : t -> (Record.stall_reason * int * int) list
+(** (reason, events, cycles), every reason present, sorted by cycles
+    descending. *)
+
+val pp_summary : Format.formatter -> t -> unit
+
+val render_warps :
+  ?width:int -> ?sm:int -> ?max_warps:int -> Record.t list -> string
+(** ASCII timeline, one row per warp: ['#'] issuing, ['M'] memory
+    stall, ['B'] barrier stall, ['E'] execution-pipe stall, ['.']
+    idle. [width] buckets (default 64) span the traced cycle range;
+    [sm] restricts to one SM (default 0); at most [max_warps] rows
+    (default 24). *)

@@ -1,0 +1,456 @@
+(* Tests for the activity-tracing subsystem: ring-buffer overflow
+   policies, the Activity API, sink validity (Chrome trace_event and
+   NDJSON, checked with a small JSON parser), timeline aggregation,
+   and the zero-perturbation guarantee (tracing must not change
+   simulation results). *)
+
+open Kernel.Dsl
+
+let check = Alcotest.check
+
+let device () = Gpu.Device.create ~cfg:Gpu.Config.small ()
+
+(* --- A tiny strict JSON parser, enough to validate sink output ------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let next () =
+      if !pos >= n then raise (Bad "eof");
+      let c = s.[!pos] in
+      incr pos;
+      c
+    in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      let g = next () in
+      if g <> c then raise (Bad (Printf.sprintf "expected %c got %c" c g))
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match next () with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+          (match next () with
+           | '"' -> Buffer.add_char b '"'
+           | '\\' -> Buffer.add_char b '\\'
+           | '/' -> Buffer.add_char b '/'
+           | 'n' -> Buffer.add_char b '\n'
+           | 't' -> Buffer.add_char b '\t'
+           | 'r' -> Buffer.add_char b '\r'
+           | 'b' -> Buffer.add_char b '\b'
+           | 'f' -> Buffer.add_char b '\012'
+           | 'u' ->
+             let h = String.init 4 (fun _ -> next ()) in
+             Buffer.add_string b (Printf.sprintf "\\u%s" h)
+           | c -> raise (Bad (Printf.sprintf "bad escape %c" c)));
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          go ()
+      in
+      go ()
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+        expect '{';
+        skip_ws ();
+        if peek () = Some '}' then begin
+          expect '}';
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> members ((k, v) :: acc)
+            | '}' -> Obj (List.rev ((k, v) :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad object sep %c" c))
+          in
+          members []
+        end
+      | Some '[' ->
+        expect '[';
+        skip_ws ();
+        if peek () = Some ']' then begin
+          expect ']';
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> elements (v :: acc)
+            | ']' -> Arr (List.rev (v :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad array sep %c" c))
+          in
+          elements []
+        end
+      | Some 't' ->
+        pos := !pos + 4;
+        Bool true
+      | Some 'f' ->
+        pos := !pos + 5;
+        Bool false
+      | Some 'n' ->
+        pos := !pos + 4;
+        Null
+      | Some _ ->
+        let start = !pos in
+        while
+          !pos < n
+          &&
+          match s.[!pos] with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false
+        do
+          incr pos
+        done;
+        if !pos = start then raise (Bad "bad value");
+        Num (float_of_string (String.sub s start (!pos - start)))
+      | None -> raise (Bad "eof")
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+
+  let mem k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+  let num k o =
+    match mem k o with Some (Num f) -> Some f | _ -> None
+
+  let str k o =
+    match mem k o with Some (Str s) -> Some s | _ -> None
+end
+
+(* --- Ring buffer --------------------------------------------------------- *)
+
+let test_ring_drop_oldest () =
+  let r = Trace.Ring.create ~capacity:4 () in
+  for i = 0 to 5 do
+    Trace.Ring.push r i
+  done;
+  check (Alcotest.list Alcotest.int) "oldest evicted" [ 2; 3; 4; 5 ]
+    (Trace.Ring.to_list r);
+  check Alcotest.int "length" 4 (Trace.Ring.length r);
+  check Alcotest.int "dropped" 2 (Trace.Ring.dropped r);
+  check Alcotest.int "pushed" 6 (Trace.Ring.pushed r);
+  check Alcotest.int "accounting" (Trace.Ring.pushed r)
+    (Trace.Ring.length r + Trace.Ring.dropped r + Trace.Ring.flushed r)
+
+let test_ring_drop_newest () =
+  let r = Trace.Ring.create ~policy:Trace.Ring.Drop_newest ~capacity:4 () in
+  for i = 0 to 5 do
+    Trace.Ring.push r i
+  done;
+  check (Alcotest.list Alcotest.int) "newest refused" [ 0; 1; 2; 3 ]
+    (Trace.Ring.to_list r);
+  check Alcotest.int "dropped" 2 (Trace.Ring.dropped r);
+  check Alcotest.int "accounting" (Trace.Ring.pushed r)
+    (Trace.Ring.length r + Trace.Ring.dropped r + Trace.Ring.flushed r)
+
+let test_ring_flush_callback () =
+  let batches = ref [] in
+  let r =
+    Trace.Ring.create
+      ~policy:(Trace.Ring.Flush_callback (fun b -> batches := b :: !batches))
+      ~capacity:4 ()
+  in
+  for i = 0 to 5 do
+    Trace.Ring.push r i
+  done;
+  check Alcotest.int "one batch delivered" 1 (List.length !batches);
+  check (Alcotest.array Alcotest.int) "batch oldest-first" [| 0; 1; 2; 3 |]
+    (List.hd !batches);
+  check (Alcotest.list Alcotest.int) "resident tail" [ 4; 5 ]
+    (Trace.Ring.to_list r);
+  check Alcotest.int "flushed" 4 (Trace.Ring.flushed r);
+  check Alcotest.int "dropped" 0 (Trace.Ring.dropped r);
+  check Alcotest.int "accounting" (Trace.Ring.pushed r)
+    (Trace.Ring.length r + Trace.Ring.dropped r + Trace.Ring.flushed r)
+
+let test_ring_flush_and_clear () =
+  let r = Trace.Ring.create ~capacity:3 () in
+  for i = 0 to 4 do
+    Trace.Ring.push r i
+  done;
+  let drained = Trace.Ring.flush r in
+  check (Alcotest.list Alcotest.int) "flush returns resident" [ 2; 3; 4 ]
+    drained;
+  check Alcotest.int "empty after flush" 0 (Trace.Ring.length r);
+  check Alcotest.int "counters survive flush" 2 (Trace.Ring.dropped r);
+  Trace.Ring.push r 9;
+  Trace.Ring.clear r;
+  check Alcotest.int "clear resets pushed" 0 (Trace.Ring.pushed r);
+  check Alcotest.int "clear resets dropped" 0 (Trace.Ring.dropped r);
+  check
+    (Alcotest.testable
+       (fun ppf _ -> Format.fprintf ppf "<exn>")
+       (fun a b -> a = b))
+    "capacity must be positive" true
+    (try
+       ignore (Trace.Ring.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- A traced kernel run -------------------------------------------------- *)
+
+let saxpy =
+  kernel "t_saxpy" ~params:[ ptr "x"; ptr "y"; flt "a"; int "n" ] (fun p ->
+      [ let_ "i" (global_tid_x ());
+        exit_if (v "i" >=! p 3);
+        let_ "off" (v "i" <<! int_ 2);
+        st_global_f (p 1 +! v "off")
+          (ffma (p 2) (ldg_f (p 0 +! v "off")) (ldg_f (p 1 +! v "off"))) ])
+
+let run_saxpy dev n =
+  let x = Workloads.Workload.upload_f32 dev (Array.init n float_of_int) in
+  let y = Workloads.Workload.upload_f32 dev (Array.make n 1.0) in
+  let grid, block = Workloads.Workload.grid_1d ~threads:n ~block:64 in
+  Gpu.Device.launch dev ~kernel:(Kernel.Compile.compile saxpy) ~grid ~block
+    ~args:
+      [ Gpu.Device.Ptr x; Gpu.Device.Ptr y; Gpu.Device.F32 2.0;
+        Gpu.Device.I32 n ]
+
+let traced_records ?(kinds = Cupti.Activity.all_kinds) ?(n = 256) () =
+  let dev = device () in
+  Cupti.Activity.enable dev kinds;
+  let stats = run_saxpy dev n in
+  let records = Cupti.Activity.records dev in
+  Cupti.Activity.disable dev;
+  (stats, records)
+
+(* --- Activity API --------------------------------------------------------- *)
+
+let test_activity_lifecycle () =
+  let dev = device () in
+  check Alcotest.bool "disabled initially" false (Cupti.Activity.enabled dev);
+  Cupti.Activity.enable_all dev;
+  check Alcotest.bool "enabled" true (Cupti.Activity.enabled dev);
+  let _ = run_saxpy dev 256 in
+  check Alcotest.bool "records collected" true
+    (Cupti.Activity.records dev <> []);
+  let drained = Cupti.Activity.flush dev in
+  check Alcotest.bool "flush drains" true (drained <> []);
+  check Alcotest.int "empty after flush" 0
+    (List.length (Cupti.Activity.records dev));
+  Cupti.Activity.disable dev;
+  check Alcotest.bool "disabled again" false (Cupti.Activity.enabled dev);
+  let _ = run_saxpy dev 256 in
+  check Alcotest.int "no collection when disabled" 0
+    (List.length (Cupti.Activity.records dev))
+
+let test_activity_filter () =
+  let _, records =
+    traced_records ~kinds:[ Cupti.Activity.Kernel; Cupti.Activity.Mem ] ()
+  in
+  check Alcotest.bool "nonempty" true (records <> []);
+  check Alcotest.bool "only requested kinds" true
+    (List.for_all
+       (fun r ->
+          match Trace.Record.category r with
+          | Trace.Record.Kernel | Trace.Record.Mem -> true
+          | _ -> false)
+       records);
+  let has cat = List.exists (fun r -> Trace.Record.category r = cat) records in
+  check Alcotest.bool "kernel records present" true (has Trace.Record.Kernel);
+  check Alcotest.bool "mem records present" true (has Trace.Record.Mem)
+
+let test_activity_deliver () =
+  let batches = ref 0 in
+  let delivered = ref 0 in
+  let dev = device () in
+  Cupti.Activity.enable ~capacity:512
+    ~overflow:
+      (Cupti.Activity.Deliver
+         (fun b ->
+            incr batches;
+            delivered := !delivered + Array.length b))
+    dev Cupti.Activity.all_kinds;
+  let _ = run_saxpy dev 1024 in
+  check Alcotest.bool "callback fired" true (!batches > 0);
+  check Alcotest.int "delivered counter matches" !delivered
+    (Cupti.Activity.delivered dev);
+  check Alcotest.int "nothing dropped under Deliver" 0
+    (Cupti.Activity.dropped dev);
+  Cupti.Activity.disable dev
+
+(* --- Zero perturbation ---------------------------------------------------- *)
+
+let test_tracing_preserves_stats () =
+  let plain = run_saxpy (device ()) 512 in
+  let traced, _ = traced_records ~n:512 () in
+  check Alcotest.string "identical Gpu.Stats"
+    (Format.asprintf "%a" Gpu.Stats.pp plain)
+    (Format.asprintf "%a" Gpu.Stats.pp traced)
+
+(* --- Sinks ---------------------------------------------------------------- *)
+
+let test_chrome_json_valid () =
+  let _, records = traced_records () in
+  check Alcotest.bool "trace nonempty" true (records <> []);
+  let json =
+    match Json.parse (Trace.Chrome.to_string records) with
+    | j -> j
+    | exception Json.Bad m -> Alcotest.failf "unparseable Chrome JSON: %s" m
+  in
+  let events =
+    match Json.mem "traceEvents" json with
+    | Some (Json.Arr es) -> es
+    | _ -> Alcotest.fail "missing traceEvents array"
+  in
+  check Alcotest.bool "has events" true (events <> []);
+  (* Every event carries the mandatory trace_event fields. *)
+  List.iter
+    (fun e ->
+       if Json.str "ph" e = None then Alcotest.fail "event without ph";
+       if Json.str "name" e = None then Alcotest.fail "event without name";
+       match Json.str "ph" e with
+       | Some "M" -> ()
+       | _ ->
+         if Json.num "ts" e = None then Alcotest.fail "event without ts";
+         if Json.num "pid" e = None || Json.num "tid" e = None then
+           Alcotest.fail "event without pid/tid")
+    events;
+  (* Timestamps are monotone within each (pid, tid) track. *)
+  let last = Hashtbl.create 64 in
+  let regressions = ref 0 in
+  List.iter
+    (fun e ->
+       match (Json.str "ph" e, Json.num "ts" e) with
+       | Some "M", _ | _, None -> ()
+       | _, Some ts ->
+         let key = (Json.num "pid" e, Json.num "tid" e) in
+         (match Hashtbl.find_opt last key with
+          | Some prev when ts < prev -> incr regressions
+          | _ -> ());
+         Hashtbl.replace last key ts)
+    events;
+  check Alcotest.int "monotone ts per track" 0 !regressions;
+  (* The taxonomy's load-bearing event names made it through. *)
+  let names = List.filter_map (fun e -> Json.str "name" e) events in
+  let has_prefix p =
+    List.exists
+      (fun n -> String.length n >= String.length p && String.sub n 0 (String.length p) = p)
+      names
+  in
+  List.iter
+    (fun prefix ->
+       check Alcotest.bool (prefix ^ " event present") true (has_prefix prefix))
+    [ "kernel:t_saxpy"; "warp_issue:"; "mem_ld:" ]
+
+let test_ndjson_valid () =
+  let _, records = traced_records () in
+  let lines = List.map Trace.Ndjson.record_to_string records in
+  check Alcotest.int "one line per record" (List.length records)
+    (List.length lines);
+  List.iter
+    (fun line ->
+       match Json.parse line with
+       | Json.Obj _ as o ->
+         if Json.str "kind" o = None then Alcotest.fail "line without kind";
+         if Json.num "cycle" o = None then Alcotest.fail "line without cycle"
+       | _ -> Alcotest.fail "NDJSON line is not an object"
+       | exception Json.Bad m -> Alcotest.failf "unparseable line: %s" m)
+    lines
+
+(* --- Timeline aggregation -------------------------------------------------- *)
+
+let test_timeline_build () =
+  let stats, records = traced_records () in
+  let tl = Trace.Timeline.build records in
+  check Alcotest.int "one kernel" 1 (List.length tl.Trace.Timeline.kernels);
+  let name, _, cycles = List.hd tl.Trace.Timeline.kernels in
+  check Alcotest.string "kernel name" "t_saxpy" name;
+  check Alcotest.int "kernel cycles match stats" stats.Gpu.Stats.cycles cycles;
+  check Alcotest.bool "issues counted" true
+    (tl.Trace.Timeline.total.Trace.Timeline.issues > 0);
+  check Alcotest.bool "mem accesses counted" true
+    (tl.Trace.Timeline.total.Trace.Timeline.mem_accesses > 0);
+  let breakdown = Trace.Timeline.stall_breakdown tl in
+  check Alcotest.int "every stall reason present"
+    (Array.length Trace.Timeline.reasons)
+    (List.length breakdown);
+  List.iter
+    (fun (_, events, cycles) ->
+       check Alcotest.bool "non-negative stalls" true
+         (events >= 0 && cycles >= 0))
+    breakdown;
+  let art = Trace.Timeline.render_warps ~width:32 records in
+  check Alcotest.bool "ascii render nonempty" true
+    (String.length art > 0 && String.contains art '#')
+
+(* --- Mem_trace on the ring backend ---------------------------------------- *)
+
+let test_mem_trace_capacity () =
+  let dev = device () in
+  let mt = Handlers.Mem_trace.create ~capacity:8 () in
+  let _ =
+    Sassi.Runtime.with_instrumentation dev (Handlers.Mem_trace.pairs mt)
+      (fun _ -> run_saxpy dev 512)
+  in
+  check Alcotest.int "capped at capacity" 8 (Handlers.Mem_trace.length mt);
+  check Alcotest.bool "overflow counted" true
+    (Handlers.Mem_trace.dropped mt > 0);
+  (* Drop_newest: the stored prefix is the first accesses, in order. *)
+  let tr = Handlers.Mem_trace.trace mt in
+  check Alcotest.int "trace length" 8 (List.length tr);
+  Handlers.Mem_trace.clear mt;
+  check Alcotest.int "cleared" 0 (Handlers.Mem_trace.length mt);
+  check Alcotest.int "cleared dropped" 0 (Handlers.Mem_trace.dropped mt)
+
+let suite =
+  [ ( "trace.ring",
+      [ Alcotest.test_case "drop-oldest" `Quick test_ring_drop_oldest;
+        Alcotest.test_case "drop-newest" `Quick test_ring_drop_newest;
+        Alcotest.test_case "flush-callback" `Quick test_ring_flush_callback;
+        Alcotest.test_case "flush-and-clear" `Quick test_ring_flush_and_clear
+      ] );
+    ( "trace.activity",
+      [ Alcotest.test_case "lifecycle" `Quick test_activity_lifecycle;
+        Alcotest.test_case "kind filter" `Quick test_activity_filter;
+        Alcotest.test_case "deliver callback" `Quick test_activity_deliver;
+        Alcotest.test_case "stats unperturbed" `Quick
+          test_tracing_preserves_stats
+      ] );
+    ( "trace.sinks",
+      [ Alcotest.test_case "chrome json" `Quick test_chrome_json_valid;
+        Alcotest.test_case "ndjson" `Quick test_ndjson_valid
+      ] );
+    ( "trace.analysis",
+      [ Alcotest.test_case "timeline" `Quick test_timeline_build;
+        Alcotest.test_case "mem_trace ring backend" `Quick
+          test_mem_trace_capacity
+      ] )
+  ]
