@@ -1,6 +1,9 @@
 # Convenience targets; `make ci` is what a pipeline should run.
 
-.PHONY: all build test fmt ci clean
+.PHONY: all build test fmt ci clean profile
+
+# Workload for `make profile`, e.g. `make profile WORKLOAD=parboil/sgemm`.
+WORKLOAD ?= rodinia/bfs
 
 all: build
 
@@ -22,6 +25,10 @@ fmt:
 ci: fmt
 	dune build
 	dune runtest
+	dune exec bin/sassi_run.exe -- --query-metrics > /dev/null
+
+profile: build
+	dune exec bin/sassi_run.exe -- run $(WORKLOAD) --profile
 
 clean:
 	dune clean

@@ -44,8 +44,25 @@ let dump_trace device path =
   let tl = Trace.Timeline.build records in
   Format.printf "%a" Trace.Timeline.pp_summary tl
 
+(* "ipc,l1_hit_rate" -> metrics from the registry; exits on unknown
+   names before any simulation runs. *)
+let parse_metrics = function
+  | None -> None
+  | Some spec ->
+    let names =
+      String.split_on_char ',' spec
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    (match Prof.Metrics.resolve names with
+     | Ok ms -> Some ms
+     | Error e ->
+       Format.eprintf "%s@." e;
+       exit 1)
+
 let run_workload name variant instrument show_stats trace_out trace_filter
-    trace_capacity =
+    trace_capacity profile pc_sampling_period metrics_spec profile_out
+    stats_json =
   match Workloads.Registry.find_opt name with
   | None ->
     Format.eprintf "unknown workload %s; try `sassi_run list`@." name;
@@ -56,7 +73,19 @@ let run_workload name variant instrument show_stats trace_out trace_filter
       | Some v -> v
       | None -> w.Workloads.Workload.default_variant
     in
+    let metric_list = parse_metrics metrics_spec in
+    let profiling = profile || profile_out <> None || metric_list <> None in
+    if profiling && pc_sampling_period <= 0 then begin
+      Format.eprintf "--pc-sampling-period must be positive (got %d)@."
+        pc_sampling_period;
+      exit 1
+    end;
     let device = Gpu.Device.create () in
+    let sampling =
+      if profiling then
+        Some (Cupti.Pc_sampling.enable ~period:pc_sampling_period device)
+      else None
+    in
     (match (trace_out, parse_trace_filter trace_filter) with
      | _, Error bad ->
        Format.eprintf
@@ -77,7 +106,9 @@ let run_workload name variant instrument show_stats trace_out trace_filter
          exit 1
        end;
        Cupti.Activity.enable ~capacity:trace_capacity device kinds);
+    let last_result = ref None in
     let finish (r : Workloads.Workload.result) =
+      last_result := Some r;
       Format.printf "%s/%s (%s): %s@." w.Workloads.Workload.suite
         w.Workloads.Workload.name variant r.Workloads.Workload.stdout;
       Format.printf "output digest: %s@." r.Workloads.Workload.output_digest;
@@ -194,6 +225,35 @@ let run_workload name variant instrument show_stats trace_out trace_filter
     (match trace_out with
      | Some path -> dump_trace device path
      | None -> ());
+    (match (sampling, !last_result) with
+     | Some s, Some r ->
+       Cupti.Pc_sampling.disable device;
+       let report =
+         Cupti.Pc_sampling.report ?metrics:metric_list
+           ~stats:r.Workloads.Workload.stats device s
+       in
+       (match profile_out with
+        | None -> print_string (Prof.Report.to_text report)
+        | Some path ->
+          (try Prof.Report.write_file path report
+           with Sys_error m ->
+             Format.eprintf "cannot write profile: %s@." m;
+             exit 1);
+          Format.printf "profile: %d warp samples (%d sampler hits) -> %s@."
+            (Prof.Pc_sampling.total_samples s)
+            (Prof.Pc_sampling.hits s)
+            path)
+     | _ -> ());
+    (match !last_result with
+     | Some r when stats_json ->
+       let fields =
+         ("launches", Trace.Json.Int r.Workloads.Workload.launches)
+         :: List.map
+              (fun (n, v) -> (n, Trace.Json.Int v))
+              (Gpu.Stats.to_assoc r.Workloads.Workload.stats)
+       in
+       print_endline (Trace.Json.to_string (Trace.Json.Obj fields))
+     | _ -> ());
     0
 
 let campaign name variant injections seed =
@@ -308,10 +368,40 @@ let instrumented_arg =
   Arg.(value & flag
        & info [ "instrumented" ] ~doc:"Show SASS after SASSI injection.")
 
+let profile_arg =
+  Arg.(value & flag
+       & info [ "p"; "profile" ]
+           ~doc:"Enable PC sampling and print an nvprof-style report \
+                 (metrics, stall breakdown, hotspot tables) after the run.")
+
+let pc_sampling_period_arg =
+  Arg.(value & opt int Cupti.Pc_sampling.default_period
+       & info [ "pc-sampling-period" ] ~docv:"N"
+           ~doc:"Issue slots between PC samples (smaller = denser).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "m"; "metrics" ] ~docv:"NAMES"
+           ~doc:"Comma-separated metrics to report (implies --profile); \
+                 see --query-metrics for the list.")
+
+let profile_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile-out" ] ~docv:"FILE"
+           ~doc:"Write the profile report to $(docv) (implies --profile); \
+                 format by extension: .json, .csv, else text.")
+
+let stats_json_arg =
+  Arg.(value & flag
+       & info [ "stats-json" ]
+           ~doc:"Print the launch statistics as one JSON object.")
+
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run a workload on the simulated GPU")
     Term.(const run_workload $ workload_arg $ variant_arg $ instrument_arg
-          $ stats_arg $ trace_arg $ trace_filter_arg $ trace_capacity_arg)
+          $ stats_arg $ trace_arg $ trace_filter_arg $ trace_capacity_arg
+          $ profile_arg $ pc_sampling_period_arg $ metrics_arg
+          $ profile_out_arg $ stats_json_arg)
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List workloads")
@@ -335,8 +425,27 @@ let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a workload's kernels")
     Term.(const disasm $ workload_arg $ instrumented_arg)
 
+(* `sassi_run --query-metrics` works at top level, like nvprof. *)
+let query_metrics_arg =
+  Arg.(value & flag
+       & info [ "query-metrics" ]
+           ~doc:"List the derived metrics available to $(b,run --metrics).")
+
+let default_term =
+  Term.(ret
+          (const (fun query ->
+               if query then begin
+                 List.iter
+                   (fun (name, unit_, desc) ->
+                      Format.printf "%-28s %-12s %s@." name unit_ desc)
+                   (Cupti.Metrics.query ());
+                 `Ok 0
+               end
+               else `Help (`Pager, None))
+           $ query_metrics_arg))
+
 let main =
-  Cmd.group
+  Cmd.group ~default:default_term
     (Cmd.info "sassi_run" ~version:"1.0"
        ~doc:"SASSI on a simulated GPU: selective instrumentation driver")
     [ run_cmd; list_cmd; disasm_cmd; campaign_cmd ]

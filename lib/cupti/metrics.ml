@@ -1,0 +1,12 @@
+let names () = Prof.Metrics.names ()
+
+let query () =
+  List.map
+    (fun m ->
+       (Prof.Metrics.name m, Prof.Metrics.unit_ m, Prof.Metrics.description m))
+    Prof.Metrics.registry
+
+let compute ?sampling ~cfg stats name =
+  match Prof.Metrics.find name with
+  | None -> None
+  | Some m -> Prof.Metrics.compute { Prof.Metrics.stats; cfg; sampling } m

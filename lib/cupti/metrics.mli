@@ -1,0 +1,17 @@
+(** CUPTI-style metric API ([cuptiMetricGetValue] analogue): query
+    the registry of derived metrics and compute them from launch
+    statistics. *)
+
+val names : unit -> string list
+
+val query : unit -> (string * string * string) list
+(** [(name, unit, description)] for every known metric, in
+    presentation order — the [--query-metrics] listing. *)
+
+val compute :
+  ?sampling:Prof.Pc_sampling.t ->
+  cfg:Gpu.Config.t ->
+  Gpu.Stats.t ->
+  string ->
+  Prof.Metrics.value option
+(** [None] for unknown names or metrics undefined on this run. *)

@@ -1,0 +1,17 @@
+type t = Prof.Pc_sampling.t
+
+let default_period = Prof.Pc_sampling.default_period
+
+let enable ?period device =
+  let sampling = Prof.Pc_sampling.create ?period () in
+  Prof.Pc_sampling.attach sampling device;
+  sampling
+
+let disable device = Prof.Pc_sampling.detach device
+
+let enabled device = Gpu.Device.sampler device <> None
+
+let report ?top ?metrics ~stats device sampling =
+  Prof.Report.build ?top ?metrics
+    ~cfg:(Gpu.Device.config device)
+    ~stats sampling

@@ -1,0 +1,26 @@
+(** CUPTI-style PC-sampling activity API
+    ([cuptiActivityConfigurePCSampling] analogue): enable sampling on
+    a device, run kernels, read back hotspot data. A thin veneer over
+    {!Prof.Pc_sampling}. *)
+
+type t = Prof.Pc_sampling.t
+
+val default_period : int
+
+val enable : ?period:int -> Gpu.Device.t -> t
+(** Install a fresh sampler on the device and return it.
+    @raise Invalid_argument if sampling is already enabled or
+    [period <= 0]. *)
+
+val disable : Gpu.Device.t -> unit
+(** Stop sampling; data accumulated so far stays readable on [t]. *)
+
+val enabled : Gpu.Device.t -> bool
+
+val report :
+  ?top:int ->
+  ?metrics:Prof.Metrics.t list ->
+  stats:Gpu.Stats.t ->
+  Gpu.Device.t ->
+  t ->
+  Prof.Report.t

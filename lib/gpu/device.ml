@@ -24,7 +24,8 @@ let create ?(cfg = Config.default) () =
     d_texture = None;
     d_host_access = None;
     d_tracer = None;
-    d_trace_base = 0 }
+    d_trace_base = 0;
+    d_sampler = None }
 
 let config t = t.d_cfg
 
@@ -116,6 +117,10 @@ let set_tracer t tracer =
      | _ -> None)
 
 let tracer t = t.d_tracer
+
+let set_sampler t sp = t.d_sampler <- sp
+
+let sampler t = t.d_sampler
 
 let on_launch t f =
   let id = t.d_cb_next in

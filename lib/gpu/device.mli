@@ -64,6 +64,14 @@ val set_tracer : t -> Trace.Collector.t option -> unit
 
 val tracer : t -> Trace.Collector.t option
 
+val set_sampler : t -> State.sampler option -> unit
+(** Install (or remove) the statistical PC sampler called from the
+    warp scheduler. Like the tracer, a device without a sampler pays
+    a single branch per issue slot. Prefer {!Cupti.Pc_sampling} for
+    the user-facing API. *)
+
+val sampler : t -> State.sampler option
+
 val set_host_access_hook :
   t -> (addr:int -> bytes:int -> write:bool -> unit) option -> unit
 (** Observe all host-side reads/writes of device global memory (the

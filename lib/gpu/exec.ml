@@ -322,6 +322,11 @@ let step sm w =
             Memsys.global_access dev.d_mem ~sm:sm.sm_id ~stats
               (mem_pairs width)
           in
+          stats.Stats.gld_requested_bytes <-
+            stats.Stats.gld_requested_bytes
+            + (nactive * Opcode.bytes_of_width width);
+          stats.Stats.gld_transactions <-
+            stats.Stats.gld_transactions + r.Memsys.transactions;
           trace_mem dev sm w ~space:Trace.Record.Sp_global ~write:false
             ~width ~lanes:nactive r;
           latency := r.Memsys.latency
@@ -407,6 +412,11 @@ let step sm w =
             Memsys.global_access dev.d_mem ~sm:sm.sm_id ~stats
               (mem_pairs width)
           in
+          stats.Stats.gst_requested_bytes <-
+            stats.Stats.gst_requested_bytes
+            + (nactive * Opcode.bytes_of_width width);
+          stats.Stats.gst_transactions <-
+            stats.Stats.gst_transactions + r.Memsys.transactions;
           trace_mem dev sm w ~space:Trace.Record.Sp_global ~write:true
             ~width ~lanes:nactive r;
           latency := r.Memsys.latency
@@ -729,5 +739,13 @@ let step sm w =
                       else Trace.Record.Stall_exec);
                    cycles = !latency }))
      end);
+  (* PC sampling: remember the latency class of this instruction so
+     a sample taken while the warp waits out [latency] can attribute
+     the stall (memory vs. execution dependency). Single branch when
+     no sampler is installed. *)
+  (match dev.d_sampler with
+   | None -> ()
+   | Some _ ->
+     w.w_stall_code <- (if Opcode.is_mem i.Instr.op then 1 else 0));
   if w.w_status = W_ready then
     w.w_ready_at <- sm.sm_cycle + !latency

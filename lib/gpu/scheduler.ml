@@ -34,6 +34,7 @@ let make_block launch flat =
         w_call_stack = [];
         w_status = W_ready;
         w_ready_at = 0;
+        w_stall_code = 0;
         w_sassi_scratch = 0 }
     in
     (* ABI: R1 is the stack pointer, initialized to the top of the
@@ -46,9 +47,24 @@ let make_block launch flat =
   block.b_warps <- Array.init nwarps make_warp;
   block
 
+(* Spend sampling credit and fire the PC-sampling hook when it runs
+   out. Credit is denominated in issue slots so the sampling rate is
+   independent of how busy the SM is; the [None] branch is the whole
+   cost when profiling is off. *)
+let spend_sample_credit dev sm slots =
+  match dev.d_sampler with
+  | None -> ()
+  | Some sp ->
+    sp.sp_credit <- sp.sp_credit - slots;
+    if sp.sp_credit <= 0 then begin
+      sp.sp_credit <- sp.sp_period;
+      sp.sp_hit sm
+    end
+
 let run_sm_wave sm =
   let launch = sm.sm_launch in
-  let cfg = launch.l_device.d_cfg in
+  let dev = launch.l_device in
+  let cfg = dev.d_cfg in
   let n = Array.length sm.sm_warps in
   let alive = ref 0 in
   Array.iter (fun w -> if w.w_status <> W_done then incr alive) sm.sm_warps;
@@ -71,7 +87,8 @@ let run_sm_wave sm =
       Exec.step sm w;
       sm.sm_issued <- sm.sm_issued + 1;
       if sm.sm_issued mod cfg.Config.issue_width = 0 then
-        sm.sm_cycle <- sm.sm_cycle + 1
+        sm.sm_cycle <- sm.sm_cycle + 1;
+      spend_sample_credit dev sm 1
     end
     else begin
       (* Nobody ready: advance to the next wakeup. *)
@@ -90,7 +107,15 @@ let run_sm_wave sm =
         if still_alive then raise (Trap.Hang { cycles = sm.sm_cycle })
         else alive := 0
       end
-      else sm.sm_cycle <- max (sm.sm_cycle + 1) !next
+      else begin
+        let before = sm.sm_cycle in
+        sm.sm_cycle <- max (sm.sm_cycle + 1) !next;
+        (* Idle cycles are unissued slots: they count toward the
+           sampling period so stall-heavy phases are sampled at the
+           same rate as busy ones. *)
+        spend_sample_credit dev sm
+          ((sm.sm_cycle - before) * cfg.Config.issue_width)
+      end
     end;
     (* Recompute alive lazily: cheap because warps only transition to
        W_done inside Exec.step for this SM's warps. *)
@@ -152,10 +177,19 @@ let run launch =
         sm.sm_warps <-
           Array.concat (List.map (fun blk -> blk.b_warps) made);
         sm.sm_rr <- 0;
+        let wave_start = sm.sm_cycle in
         run_sm_wave sm;
+        (* Occupancy accounting: every warp of the wave stays resident
+           (occupying an SM warp slot) until the wave retires. *)
+        let stats = launch.l_stats in
+        stats.Stats.resident_warp_cycles <-
+          stats.Stats.resident_warp_cycles
+          + (Array.length sm.sm_warps * (sm.sm_cycle - wave_start));
         waves later
     in
     waves my_blocks;
+    launch.l_stats.Stats.sm_active_cycles <-
+      launch.l_stats.Stats.sm_active_cycles + sm.sm_cycle;
     if sm.sm_cycle > !max_cycle then max_cycle := sm.sm_cycle
   done;
   launch.l_stats.Stats.cycles <- !max_cycle

@@ -19,6 +19,7 @@ type warp = {
   mutable w_call_stack : int list;
   mutable w_status : wstatus;
   mutable w_ready_at : int;
+  mutable w_stall_code : int;
   mutable w_sassi_scratch : int;
 }
 
@@ -73,9 +74,16 @@ and device = {
   mutable d_host_access : (addr:int -> bytes:int -> write:bool -> unit) option;
   mutable d_tracer : Trace.Collector.t option;
   mutable d_trace_base : int;
+  mutable d_sampler : sampler option;
 }
 
 and transform = Sass.Program.kernel -> Sass.Program.kernel
+
+and sampler = {
+  sp_period : int;
+  mutable sp_credit : int;
+  sp_hit : sm -> unit;
+}
 
 and hcall_ctx = {
   h_launch : launch;

@@ -27,6 +27,10 @@ type warp = {
   mutable w_call_stack : int list;  (** warp-uniform return PCs *)
   mutable w_status : wstatus;
   mutable w_ready_at : int;
+  mutable w_stall_code : int;
+      (** latency class of the last issued instruction (0 = execution
+          dependency, 1 = memory dependency); maintained only while a
+          PC sampler is installed, read by stall attribution *)
   mutable w_sassi_scratch : int;
       (** per-warp scratch used by instrumentation runtimes *)
 }
@@ -88,9 +92,24 @@ and device = {
   mutable d_trace_base : int;
       (** cycle offset of the current launch on the device-wide trace
           timeline (accumulated cycles of earlier launches) *)
+  mutable d_sampler : sampler option;
+      (** PC-sampling hook; [None] keeps the scheduler's sampling site
+          on its single-branch fast path *)
 }
 
 and transform = Sass.Program.kernel -> Sass.Program.kernel
+
+(** Statistical PC sampler installed on a device. The scheduler
+    spends one credit per issue slot (idle cycles spend
+    [issue_width] each) and calls [sp_hit] with the current SM every
+    time the credit runs out, then rearms with [sp_period]. The hook
+    must only observe state — perturbing the simulation would break
+    the profiled-equals-unprofiled invariant. *)
+and sampler = {
+  sp_period : int;
+  mutable sp_credit : int;
+  sp_hit : sm -> unit;
+}
 
 (** Context passed to the instrumentation-handler trap on [HCALL]. *)
 and hcall_ctx = {

@@ -11,11 +11,17 @@ type t = {
   mutable branches : int;
   mutable divergent_branches : int;
   mutable global_transactions : int;
+  mutable gld_requested_bytes : int;
+  mutable gld_transactions : int;
+  mutable gst_requested_bytes : int;
+  mutable gst_transactions : int;
   mutable shared_conflicts : int;
   mutable l1_hits : int;
   mutable l1_misses : int;
   mutable l2_hits : int;
   mutable l2_misses : int;
+  mutable resident_warp_cycles : int;
+  mutable sm_active_cycles : int;
   mutable handler_ops : int;
   mutable handler_cycles : int;
   mutable hcalls : int;
@@ -34,14 +40,50 @@ let create () =
     branches = 0;
     divergent_branches = 0;
     global_transactions = 0;
+    gld_requested_bytes = 0;
+    gld_transactions = 0;
+    gst_requested_bytes = 0;
+    gst_transactions = 0;
     shared_conflicts = 0;
     l1_hits = 0;
     l1_misses = 0;
     l2_hits = 0;
     l2_misses = 0;
+    resident_warp_cycles = 0;
+    sm_active_cycles = 0;
     handler_ops = 0;
     handler_cycles = 0;
     hcalls = 0 }
+
+(* The single source of truth for counter names: pp, --stats-json and
+   the derived-metrics engine all read counters through this list. *)
+let to_assoc t =
+  [ ("cycles", t.cycles);
+    ("warp_instrs", t.warp_instrs);
+    ("thread_instrs", t.thread_instrs);
+    ("mem_instrs", t.mem_instrs);
+    ("ctrl_instrs", t.ctrl_instrs);
+    ("sync_instrs", t.sync_instrs);
+    ("numeric_instrs", t.numeric_instrs);
+    ("texture_instrs", t.texture_instrs);
+    ("spill_instrs", t.spill_instrs);
+    ("branches", t.branches);
+    ("divergent_branches", t.divergent_branches);
+    ("global_transactions", t.global_transactions);
+    ("gld_requested_bytes", t.gld_requested_bytes);
+    ("gld_transactions", t.gld_transactions);
+    ("gst_requested_bytes", t.gst_requested_bytes);
+    ("gst_transactions", t.gst_transactions);
+    ("shared_conflicts", t.shared_conflicts);
+    ("l1_hits", t.l1_hits);
+    ("l1_misses", t.l1_misses);
+    ("l2_hits", t.l2_hits);
+    ("l2_misses", t.l2_misses);
+    ("resident_warp_cycles", t.resident_warp_cycles);
+    ("sm_active_cycles", t.sm_active_cycles);
+    ("handler_ops", t.handler_ops);
+    ("handler_cycles", t.handler_cycles);
+    ("hcalls", t.hcalls) ]
 
 let reset t =
   t.cycles <- 0;
@@ -56,11 +98,17 @@ let reset t =
   t.branches <- 0;
   t.divergent_branches <- 0;
   t.global_transactions <- 0;
+  t.gld_requested_bytes <- 0;
+  t.gld_transactions <- 0;
+  t.gst_requested_bytes <- 0;
+  t.gst_transactions <- 0;
   t.shared_conflicts <- 0;
   t.l1_hits <- 0;
   t.l1_misses <- 0;
   t.l2_hits <- 0;
   t.l2_misses <- 0;
+  t.resident_warp_cycles <- 0;
+  t.sm_active_cycles <- 0;
   t.handler_ops <- 0;
   t.handler_cycles <- 0;
   t.hcalls <- 0
@@ -78,11 +126,18 @@ let accumulate ~into t =
   into.branches <- into.branches + t.branches;
   into.divergent_branches <- into.divergent_branches + t.divergent_branches;
   into.global_transactions <- into.global_transactions + t.global_transactions;
+  into.gld_requested_bytes <- into.gld_requested_bytes + t.gld_requested_bytes;
+  into.gld_transactions <- into.gld_transactions + t.gld_transactions;
+  into.gst_requested_bytes <- into.gst_requested_bytes + t.gst_requested_bytes;
+  into.gst_transactions <- into.gst_transactions + t.gst_transactions;
   into.shared_conflicts <- into.shared_conflicts + t.shared_conflicts;
   into.l1_hits <- into.l1_hits + t.l1_hits;
   into.l1_misses <- into.l1_misses + t.l1_misses;
   into.l2_hits <- into.l2_hits + t.l2_hits;
   into.l2_misses <- into.l2_misses + t.l2_misses;
+  into.resident_warp_cycles <-
+    into.resident_warp_cycles + t.resident_warp_cycles;
+  into.sm_active_cycles <- into.sm_active_cycles + t.sm_active_cycles;
   into.handler_ops <- into.handler_ops + t.handler_ops;
   into.handler_cycles <- into.handler_cycles + t.handler_cycles;
   into.hcalls <- into.hcalls + t.hcalls
@@ -99,11 +154,7 @@ let count_instr t op ~active_lanes =
   if is_spill_or_fill op then t.spill_instrs <- t.spill_instrs + 1
 
 let pp ppf t =
-  Format.fprintf ppf
-    "cycles=%d warp_instrs=%d thread_instrs=%d mem=%d ctrl=%d sync=%d \
-     numeric=%d tex=%d spill=%d branches=%d divergent=%d trans=%d \
-     l1=%d/%d l2=%d/%d handler_ops=%d hcalls=%d"
-    t.cycles t.warp_instrs t.thread_instrs t.mem_instrs t.ctrl_instrs
-    t.sync_instrs t.numeric_instrs t.texture_instrs t.spill_instrs
-    t.branches t.divergent_branches t.global_transactions t.l1_hits
-    t.l1_misses t.l2_hits t.l2_misses t.handler_ops t.hcalls
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+    (fun ppf (name, v) -> Format.fprintf ppf "%s=%d" name v)
+    ppf (to_assoc t)

@@ -15,17 +15,34 @@ type t = {
   mutable branches : int;  (** conditional branches executed (warp-level) *)
   mutable divergent_branches : int;  (** machine-observed warp splits *)
   mutable global_transactions : int;
+  mutable gld_requested_bytes : int;
+      (** bytes requested by global-space loads (lanes x width) *)
+  mutable gld_transactions : int;
+      (** cache-line transactions serving global-space loads *)
+  mutable gst_requested_bytes : int;  (** as above, for stores *)
+  mutable gst_transactions : int;
   mutable shared_conflicts : int;  (** extra cycles lost to bank conflicts *)
   mutable l1_hits : int;
   mutable l1_misses : int;
   mutable l2_hits : int;
   mutable l2_misses : int;
+  mutable resident_warp_cycles : int;
+      (** sum over SM waves of resident warps x wave cycles; the
+          numerator of achieved occupancy *)
+  mutable sm_active_cycles : int;
+      (** sum of per-SM cycle counts over SMs that ran blocks (cycles
+          itself is the max, i.e. the kernel time) *)
   mutable handler_ops : int;  (** device-API operations charged by handlers *)
   mutable handler_cycles : int;
   mutable hcalls : int;  (** handler invocations *)
 }
 
 val create : unit -> t
+
+val to_assoc : t -> (string * int) list
+(** All counters as (name, value) pairs, in declaration order. The
+    single source of truth for counter names: {!pp}, [--stats-json]
+    and the {!Prof.Metrics} engine all go through it. *)
 
 val reset : t -> unit
 

@@ -1,0 +1,111 @@
+type instr_row = {
+  ir_kernel : string;
+  ir_pc : int;
+  ir_disasm : string;
+  ir_block : int;
+  ir_samples : int;
+  ir_by_reason : int array;  (* indexed by Stall.index *)
+}
+
+type block_row = {
+  br_kernel : string;
+  br_block : int;
+  br_first : int;
+  br_last : int;
+  br_samples : int;
+  br_by_reason : int array;
+}
+
+let instr_rows sampling =
+  Pc_sampling.fold_kernels sampling
+    (fun acc kernel counts ->
+       let instrs = kernel.Sass.Program.instrs in
+       let cfg = Sass.Cfg.build instrs in
+       let n = Array.length instrs in
+       let acc = ref acc in
+       for pc = 0 to n - 1 do
+         let by_reason =
+           Array.init Stall.count (fun r -> counts.((pc * Stall.count) + r))
+         in
+         let total = Array.fold_left ( + ) 0 by_reason in
+         if total > 0 then
+           acc :=
+             { ir_kernel = kernel.Sass.Program.name;
+               ir_pc = pc;
+               ir_disasm = Sass.Instr.to_string instrs.(pc);
+               ir_block = cfg.Sass.Cfg.block_of_pc.(pc);
+               ir_samples = total;
+               ir_by_reason = by_reason }
+             :: !acc
+       done;
+       !acc)
+    []
+
+let block_rows sampling =
+  Pc_sampling.fold_kernels sampling
+    (fun acc kernel counts ->
+       let instrs = kernel.Sass.Program.instrs in
+       let cfg = Sass.Cfg.build instrs in
+       let nblocks = Array.length cfg.Sass.Cfg.blocks in
+       let samples = Array.make nblocks 0 in
+       let by_reason = Array.init nblocks (fun _ -> Array.make Stall.count 0) in
+       Array.iteri
+         (fun i c ->
+            if c > 0 then begin
+              let pc = i / Stall.count and r = i mod Stall.count in
+              let b = cfg.Sass.Cfg.block_of_pc.(pc) in
+              samples.(b) <- samples.(b) + c;
+              by_reason.(b).(r) <- by_reason.(b).(r) + c
+            end)
+         counts;
+       let acc = ref acc in
+       for b = nblocks - 1 downto 0 do
+         if samples.(b) > 0 then begin
+           let blk = cfg.Sass.Cfg.blocks.(b) in
+           acc :=
+             { br_kernel = kernel.Sass.Program.name;
+               br_block = b;
+               br_first = blk.Sass.Cfg.first;
+               br_last = blk.Sass.Cfg.last;
+               br_samples = samples.(b);
+               br_by_reason = by_reason.(b) }
+             :: !acc
+         end
+       done;
+       !acc)
+    []
+
+(* Rank by descending sample count; ties break on (kernel, pc) so
+   reports are deterministic. *)
+let take n l =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n l
+
+let sort_instrs key rows =
+  List.sort
+    (fun a b ->
+       match compare (key b) (key a) with
+       | 0 -> compare (a.ir_kernel, a.ir_pc) (b.ir_kernel, b.ir_pc)
+       | c -> c)
+    rows
+
+let top_instrs ?(n = 10) sampling =
+  take n (sort_instrs (fun r -> r.ir_samples) (instr_rows sampling))
+
+let top_by_reason ?(n = 10) sampling reason =
+  let i = Stall.index reason in
+  instr_rows sampling
+  |> List.filter (fun r -> r.ir_by_reason.(i) > 0)
+  |> sort_instrs (fun r -> r.ir_by_reason.(i))
+  |> take n
+
+let top_blocks ?(n = 10) sampling =
+  block_rows sampling
+  |> List.sort (fun a b ->
+      match compare b.br_samples a.br_samples with
+      | 0 -> compare (a.br_kernel, a.br_block) (b.br_kernel, b.br_block)
+      | c -> c)
+  |> take n

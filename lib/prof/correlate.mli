@@ -1,0 +1,36 @@
+(** Source correlation: map sampled PCs through the program and its
+    CFG back to instructions and basic blocks, and rank hotspots.
+
+    All rankings sort by descending sample count with (kernel, pc)
+    tie-breaks, so output is deterministic. *)
+
+type instr_row = {
+  ir_kernel : string;
+  ir_pc : int;
+  ir_disasm : string;  (** disassembly of the instruction at [ir_pc] *)
+  ir_block : int;  (** basic-block id from {!Sass.Cfg} *)
+  ir_samples : int;
+  ir_by_reason : int array;  (** indexed by {!Stall.index} *)
+}
+
+type block_row = {
+  br_kernel : string;
+  br_block : int;
+  br_first : int;  (** PC of the block's first instruction *)
+  br_last : int;  (** PC of the block's last instruction (inclusive) *)
+  br_samples : int;
+  br_by_reason : int array;
+}
+
+val instr_rows : Pc_sampling.t -> instr_row list
+(** Every sampled instruction, kernels in name order, PCs ascending. *)
+
+val block_rows : Pc_sampling.t -> block_row list
+
+val top_instrs : ?n:int -> Pc_sampling.t -> instr_row list
+(** Top [n] (default 10) instructions by total samples. *)
+
+val top_by_reason : ?n:int -> Pc_sampling.t -> Stall.t -> instr_row list
+(** Top [n] instructions by samples attributed to one stall reason. *)
+
+val top_blocks : ?n:int -> Pc_sampling.t -> block_row list

@@ -1,0 +1,138 @@
+type value =
+  | Scalar of float
+  | Breakdown of (string * float) list
+
+type env = {
+  stats : Gpu.Stats.t;
+  cfg : Gpu.Config.t;
+  sampling : Pc_sampling.t option;
+}
+
+type t = {
+  name : string;
+  description : string;
+  unit_ : string;
+  compute : env -> value option;
+}
+
+let name m = m.name
+
+let description m = m.description
+
+let unit_ m = m.unit_
+
+let ratio num den =
+  if den = 0 then None else Some (float_of_int num /. float_of_int den)
+
+let pct num den = Option.map (fun r -> 100. *. r) (ratio num den)
+
+let scalar f env = Option.map (fun v -> Scalar v) (f env)
+
+let registry =
+  let open Gpu.Stats in
+  [ { name = "ipc";
+      description = "Warp instructions issued per device cycle";
+      unit_ = "instr/cycle";
+      compute = scalar (fun e -> ratio e.stats.warp_instrs e.stats.cycles) };
+    { name = "achieved_occupancy";
+      description =
+        "Average resident warps per SM cycle over the SM warp capacity";
+      unit_ = "ratio";
+      compute =
+        scalar (fun e ->
+            ratio e.stats.resident_warp_cycles
+              (e.stats.sm_active_cycles * e.cfg.Gpu.Config.max_warps_per_sm)) };
+    { name = "branch_efficiency";
+      description = "Percentage of branches that did not diverge";
+      unit_ = "%";
+      compute =
+        scalar (fun e ->
+            pct
+              (e.stats.branches - e.stats.divergent_branches)
+              e.stats.branches) };
+    { name = "warp_execution_efficiency";
+      description =
+        "Average active threads per warp instruction over the warp size";
+      unit_ = "%";
+      compute =
+        scalar (fun e ->
+            pct e.stats.thread_instrs
+              (e.stats.warp_instrs * e.cfg.Gpu.Config.warp_size)) };
+    { name = "gld_efficiency";
+      description =
+        "Requested global-load bytes over bytes moved by load transactions";
+      unit_ = "%";
+      compute =
+        scalar (fun e ->
+            pct e.stats.gld_requested_bytes
+              (e.stats.gld_transactions * e.cfg.Gpu.Config.line_bytes)) };
+    { name = "gst_efficiency";
+      description =
+        "Requested global-store bytes over bytes moved by store transactions";
+      unit_ = "%";
+      compute =
+        scalar (fun e ->
+            pct e.stats.gst_requested_bytes
+              (e.stats.gst_transactions * e.cfg.Gpu.Config.line_bytes)) };
+    { name = "l1_hit_rate";
+      description = "L1 data-cache hit rate over global transactions";
+      unit_ = "%";
+      compute =
+        scalar (fun e ->
+            pct e.stats.l1_hits (e.stats.l1_hits + e.stats.l1_misses)) };
+    { name = "l2_hit_rate";
+      description = "L2 cache hit rate over L1 misses";
+      unit_ = "%";
+      compute =
+        scalar (fun e ->
+            pct e.stats.l2_hits (e.stats.l2_hits + e.stats.l2_misses)) };
+    { name = "dram_throughput";
+      description = "Bytes fetched from DRAM (L2 misses) per device cycle";
+      unit_ = "bytes/cycle";
+      compute =
+        scalar (fun e ->
+            ratio
+              (e.stats.l2_misses * e.cfg.Gpu.Config.line_bytes)
+              e.stats.cycles) };
+    { name = "stall_breakdown";
+      description =
+        "Percentage of PC samples per stall reason (needs --profile)";
+      unit_ = "%";
+      compute =
+        (fun e ->
+          match e.sampling with
+          | None -> None
+          | Some sampling ->
+            let totals = Pc_sampling.stall_totals sampling in
+            let sum = Array.fold_left ( + ) 0 totals in
+            if sum = 0 then None
+            else
+              Some
+                (Breakdown
+                   (Array.to_list
+                      (Array.mapi
+                         (fun i c ->
+                            ( Stall.to_string (Stall.of_index i),
+                              100. *. float_of_int c /. float_of_int sum ))
+                         totals)))) } ]
+
+let names () = List.map (fun m -> m.name) registry
+
+let find n = List.find_opt (fun m -> m.name = n) registry
+
+let resolve requested =
+  let unknown = List.filter (fun n -> find n = None) requested in
+  match unknown with
+  | [] -> Ok (List.filter_map find requested)
+  | _ ->
+    Error
+      (Printf.sprintf "unknown metric(s): %s (try --query-metrics)"
+         (String.concat ", " unknown))
+
+let compute env m = m.compute env
+
+let value_to_string = function
+  | Scalar v -> Printf.sprintf "%.6g" v
+  | Breakdown parts ->
+    String.concat ", "
+      (List.map (fun (n, v) -> Printf.sprintf "%s=%.1f%%" n v) parts)

@@ -1,0 +1,40 @@
+(** Derived-metrics engine: nvprof-named metrics computed from
+    {!Gpu.Stats} counters (and, for [stall_breakdown], from PC
+    samples). Metrics live in a registry with descriptions so the CLI
+    can list them ([--query-metrics]) and validate [--metrics]
+    selections up front. *)
+
+type value =
+  | Scalar of float
+  | Breakdown of (string * float) list
+      (** named percentages, e.g. the stall-reason breakdown *)
+
+type env = {
+  stats : Gpu.Stats.t;
+  cfg : Gpu.Config.t;
+  sampling : Pc_sampling.t option;
+}
+
+type t
+
+val name : t -> string
+
+val description : t -> string
+
+val unit_ : t -> string
+
+val registry : t list
+(** All known metrics, in presentation order. *)
+
+val names : unit -> string list
+
+val find : string -> t option
+
+val resolve : string list -> (t list, string) result
+(** Look up a [--metrics] selection, reporting every unknown name. *)
+
+val compute : env -> t -> value option
+(** [None] when the metric is undefined for this run (zero
+    denominator, or no sampling data for [stall_breakdown]). *)
+
+val value_to_string : value -> string

@@ -1,0 +1,57 @@
+(** Statistical PC sampling (nvprof/CUPTI style).
+
+    A sampler periodically snapshots every resident warp of the SM
+    being scheduled: the warp's current PC and an attributed stall
+    reason. Samples accumulate in per-kernel, per-PC histograms that
+    {!Correlate} maps back to instructions and basic blocks.
+
+    The sampling period is denominated in issue slots (idle cycles
+    spend [issue_width] slots each), so busy and stall-bound phases
+    are sampled at the same rate. The hook only observes simulator
+    state: a profiled run produces bit-identical {!Gpu.Stats} to an
+    unprofiled one. *)
+
+type t
+
+val default_period : int
+(** 64 issue slots, the [--pc-sampling-period] default. *)
+
+val create : ?period:int -> unit -> t
+(** @raise Invalid_argument if [period <= 0]. *)
+
+val period : t -> int
+
+val hits : t -> int
+(** Number of times the sampler fired (credit exhaustions). *)
+
+val total_samples : t -> int
+(** Number of warp samples accumulated (each hit samples every
+    resident warp of one SM). *)
+
+val attach : t -> Gpu.Device.t -> unit
+(** Install on a device.
+    @raise Invalid_argument if a sampler is already installed. *)
+
+val detach : Gpu.Device.t -> unit
+(** Remove any installed sampler; accumulated histograms survive. *)
+
+val sampler : t -> Gpu.State.sampler
+(** The raw scheduler hook, for callers managing installation
+    themselves. *)
+
+val fold_kernels :
+  t -> ('a -> Sass.Program.kernel -> int array -> 'a) -> 'a -> 'a
+(** Fold over sampled kernels in name order. The [int array] holds
+    [pc * Stall.count + Stall.index reason] sample counts. *)
+
+val fold_pcs :
+  t ->
+  ('a -> Sass.Program.kernel -> int -> total:int -> by_reason:int array -> 'a) ->
+  'a ->
+  'a
+(** Fold over every PC with at least one sample, kernels in name
+    order and PCs ascending. [by_reason] is indexed by {!Stall.index}. *)
+
+val stall_totals : t -> int array
+(** Device-wide sample totals per stall reason, indexed by
+    {!Stall.index}. *)

@@ -1,0 +1,25 @@
+type session = {
+  s_device : Gpu.Device.t;
+  s_sampling : Pc_sampling.t;
+  mutable s_active : bool;
+}
+
+let start ?period device =
+  let sampling = Pc_sampling.create ?period () in
+  Pc_sampling.attach sampling device;
+  { s_device = device; s_sampling = sampling; s_active = true }
+
+let sampling s = s.s_sampling
+
+let active s = s.s_active
+
+let stop s =
+  if s.s_active then begin
+    Pc_sampling.detach s.s_device;
+    s.s_active <- false
+  end
+
+let report ?top ?metrics ~stats s =
+  Report.build ?top ?metrics
+    ~cfg:(Gpu.Device.config s.s_device)
+    ~stats s.s_sampling

@@ -1,0 +1,21 @@
+(** Convenience profiling sessions: attach a PC sampler to a device,
+    run kernels, build a report. *)
+
+type session
+
+val start : ?period:int -> Gpu.Device.t -> session
+(** Create a sampler and install it.
+    @raise Invalid_argument if a sampler is already installed or
+    [period <= 0]. *)
+
+val sampling : session -> Pc_sampling.t
+
+val active : session -> bool
+
+val stop : session -> unit
+(** Detach the sampler; accumulated samples remain readable.
+    Idempotent. *)
+
+val report :
+  ?top:int -> ?metrics:Metrics.t list -> stats:Gpu.Stats.t -> session ->
+  Report.t

@@ -1,0 +1,229 @@
+type metric_result = {
+  m_name : string;
+  m_unit : string;
+  m_description : string;
+  m_value : Metrics.value option;
+}
+
+type t = {
+  r_period : int;
+  r_hits : int;
+  r_total_samples : int;
+  r_metrics : metric_result list;
+  r_stalls : (string * int) list;
+  r_instrs : Correlate.instr_row list;
+  r_blocks : Correlate.block_row list;
+  r_top_by_reason : (string * Correlate.instr_row list) list;
+}
+
+let build ?(top = 10) ?metrics ~cfg ~stats sampling =
+  let selected =
+    match metrics with Some ms -> ms | None -> Metrics.registry
+  in
+  let env = { Metrics.stats; cfg; sampling = Some sampling } in
+  let metric_results =
+    List.map
+      (fun m ->
+         { m_name = Metrics.name m;
+           m_unit = Metrics.unit_ m;
+           m_description = Metrics.description m;
+           m_value = Metrics.compute env m })
+      selected
+  in
+  let totals = Pc_sampling.stall_totals sampling in
+  let stalls =
+    Array.to_list
+      (Array.mapi
+         (fun i c -> (Stall.to_string (Stall.of_index i), c))
+         totals)
+  in
+  let by_reason =
+    (* Only stall reasons that actually occurred get a table. *)
+    List.filter_map
+      (fun reason ->
+         if totals.(Stall.index reason) = 0 then None
+         else
+           Some
+             ( Stall.to_string reason,
+               Correlate.top_by_reason ~n:top sampling reason ))
+      (Array.to_list Stall.all)
+  in
+  { r_period = Pc_sampling.period sampling;
+    r_hits = Pc_sampling.hits sampling;
+    r_total_samples = Pc_sampling.total_samples sampling;
+    r_metrics = metric_results;
+    r_stalls = stalls;
+    r_instrs = Correlate.top_instrs ~n:top sampling;
+    r_blocks = Correlate.top_blocks ~n:top sampling;
+    r_top_by_reason = by_reason }
+
+(* ---------- text ---------- *)
+
+let pct part whole =
+  if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
+
+let instr_table ?(key = fun r -> r.Correlate.ir_samples) b rows total =
+  Buffer.add_string b
+    (Printf.sprintf "%8s %6s  %-24s %4s %5s  %s\n" "samples" "%" "kernel"
+       "pc" "block" "instruction");
+  List.iter
+    (fun r ->
+       Buffer.add_string b
+         (Printf.sprintf "%8d %5.1f%%  %-24s %4d %5d  %s\n" (key r)
+            (pct (key r) total)
+            r.Correlate.ir_kernel r.Correlate.ir_pc r.Correlate.ir_block
+            r.Correlate.ir_disasm))
+    rows
+
+let to_text t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "== PC sampling ==\n";
+  Buffer.add_string b
+    (Printf.sprintf "period: %d issue slots   hits: %d   warp samples: %d\n"
+       t.r_period t.r_hits t.r_total_samples);
+  Buffer.add_string b "\n== Metrics ==\n";
+  List.iter
+    (fun m ->
+       let v =
+         match m.m_value with
+         | None -> "n/a"
+         | Some v -> Metrics.value_to_string v
+       in
+       Buffer.add_string b
+         (Printf.sprintf "%-28s %-14s %-12s %s\n" m.m_name v m.m_unit
+            m.m_description))
+    t.r_metrics;
+  Buffer.add_string b "\n== Stall breakdown ==\n";
+  List.iter
+    (fun (name, c) ->
+       Buffer.add_string b
+         (Printf.sprintf "%-20s %5.1f%%  (%d samples)\n" name
+            (pct c t.r_total_samples)
+            c))
+    t.r_stalls;
+  Buffer.add_string b
+    (Printf.sprintf "\n== Hotspot instructions (top %d by samples) ==\n"
+       (List.length t.r_instrs));
+  instr_table b t.r_instrs t.r_total_samples;
+  Buffer.add_string b "\n== Hot basic blocks ==\n";
+  Buffer.add_string b
+    (Printf.sprintf "%8s %6s  %-24s %5s %11s\n" "samples" "%" "kernel"
+       "block" "pc range");
+  List.iter
+    (fun r ->
+       Buffer.add_string b
+         (Printf.sprintf "%8d %5.1f%%  %-24s %5d %4d..%-4d\n"
+            r.Correlate.br_samples
+            (pct r.Correlate.br_samples t.r_total_samples)
+            r.Correlate.br_kernel r.Correlate.br_block r.Correlate.br_first
+            r.Correlate.br_last))
+    t.r_blocks;
+  List.iter
+    (fun (reason, rows) ->
+       Buffer.add_string b
+         (Printf.sprintf "\n== Top instructions by %s ==\n" reason);
+       (* The samples column counts this reason only, matching the
+          ranking. *)
+       let key =
+         match
+           List.find_opt
+             (fun r -> Stall.to_string r = reason)
+             (Array.to_list Stall.all)
+         with
+         | Some r -> fun row -> row.Correlate.ir_by_reason.(Stall.index r)
+         | None -> fun row -> row.Correlate.ir_samples
+       in
+       instr_table ~key b rows t.r_total_samples)
+    t.r_top_by_reason;
+  Buffer.contents b
+
+(* ---------- csv ---------- *)
+
+let csv_quote s = "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+
+let to_csv t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "kernel,pc,block,samples";
+  Array.iter
+    (fun r -> Buffer.add_string b ("," ^ Stall.to_string r))
+    Stall.all;
+  Buffer.add_string b ",disasm\n";
+  List.iter
+    (fun r ->
+       Buffer.add_string b
+         (Printf.sprintf "%s,%d,%d,%d" r.Correlate.ir_kernel r.Correlate.ir_pc
+            r.Correlate.ir_block r.Correlate.ir_samples);
+       Array.iter
+         (fun c -> Buffer.add_string b (Printf.sprintf ",%d" c))
+         r.Correlate.ir_by_reason;
+       Buffer.add_string b ("," ^ csv_quote r.Correlate.ir_disasm ^ "\n"))
+    t.r_instrs;
+  Buffer.contents b
+
+(* ---------- json ---------- *)
+
+let json_of_value = function
+  | None -> Trace.Json.Null
+  | Some (Metrics.Scalar v) -> Trace.Json.Float v
+  | Some (Metrics.Breakdown parts) ->
+    Trace.Json.Obj (List.map (fun (n, v) -> (n, Trace.Json.Float v)) parts)
+
+let json_of_instr r =
+  Trace.Json.Obj
+    [ ("kernel", Trace.Json.Str r.Correlate.ir_kernel);
+      ("pc", Trace.Json.Int r.Correlate.ir_pc);
+      ("block", Trace.Json.Int r.Correlate.ir_block);
+      ("samples", Trace.Json.Int r.Correlate.ir_samples);
+      ( "by_reason",
+        Trace.Json.Obj
+          (Array.to_list
+             (Array.mapi
+                (fun i c ->
+                   (Stall.to_string (Stall.of_index i), Trace.Json.Int c))
+                r.Correlate.ir_by_reason)) );
+      ("disasm", Trace.Json.Str r.Correlate.ir_disasm) ]
+
+let to_json t =
+  Trace.Json.Obj
+    [ ("period", Trace.Json.Int t.r_period);
+      ("hits", Trace.Json.Int t.r_hits);
+      ("total_samples", Trace.Json.Int t.r_total_samples);
+      ( "metrics",
+        Trace.Json.List
+          (List.map
+             (fun m ->
+                Trace.Json.Obj
+                  [ ("name", Trace.Json.Str m.m_name);
+                    ("unit", Trace.Json.Str m.m_unit);
+                    ("value", json_of_value m.m_value);
+                    ("description", Trace.Json.Str m.m_description) ])
+             t.r_metrics) );
+      ( "stalls",
+        Trace.Json.Obj
+          (List.map (fun (n, c) -> (n, Trace.Json.Int c)) t.r_stalls) );
+      ("hotspots", Trace.Json.List (List.map json_of_instr t.r_instrs));
+      ( "blocks",
+        Trace.Json.List
+          (List.map
+             (fun r ->
+                Trace.Json.Obj
+                  [ ("kernel", Trace.Json.Str r.Correlate.br_kernel);
+                    ("block", Trace.Json.Int r.Correlate.br_block);
+                    ("first", Trace.Json.Int r.Correlate.br_first);
+                    ("last", Trace.Json.Int r.Correlate.br_last);
+                    ("samples", Trace.Json.Int r.Correlate.br_samples) ])
+             t.r_blocks) ) ]
+
+let to_json_string t = Trace.Json.to_string (to_json t)
+
+let write_file path t =
+  if Filename.check_suffix path ".json" then
+    Trace.Json.write_file path (to_json t)
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+         output_string oc
+           (if Filename.check_suffix path ".csv" then to_csv t else to_text t))
+  end

@@ -1,0 +1,43 @@
+(** Profiling reports: metrics, stall breakdown, and ranked hotspot
+    tables rendered as aligned text, CSV, or JSON. *)
+
+type metric_result = {
+  m_name : string;
+  m_unit : string;
+  m_description : string;
+  m_value : Metrics.value option;  (** [None]: undefined for this run *)
+}
+
+type t = {
+  r_period : int;
+  r_hits : int;
+  r_total_samples : int;
+  r_metrics : metric_result list;
+  r_stalls : (string * int) list;  (** stall reason -> sample count *)
+  r_instrs : Correlate.instr_row list;  (** top instructions by samples *)
+  r_blocks : Correlate.block_row list;  (** top basic blocks by samples *)
+  r_top_by_reason : (string * Correlate.instr_row list) list;
+      (** per-stall-reason top instructions (reasons with samples only) *)
+}
+
+val build :
+  ?top:int ->
+  ?metrics:Metrics.t list ->
+  cfg:Gpu.Config.t ->
+  stats:Gpu.Stats.t ->
+  Pc_sampling.t ->
+  t
+(** [top] bounds every ranked table (default 10); [metrics] defaults
+    to the whole registry. *)
+
+val to_text : t -> string
+
+val to_csv : t -> string
+(** The instruction hotspot table; [disasm] is CSV-quoted. *)
+
+val to_json : t -> Trace.Json.t
+
+val to_json_string : t -> string
+
+val write_file : string -> t -> unit
+(** Format chosen by extension: [.json], [.csv], else text. *)

@@ -1,0 +1,29 @@
+type t =
+  | Selected
+  | Exec_dep
+  | Mem_dep
+  | Sync
+
+let all = [| Selected; Exec_dep; Mem_dep; Sync |]
+
+let count = Array.length all
+
+let index = function
+  | Selected -> 0
+  | Exec_dep -> 1
+  | Mem_dep -> 2
+  | Sync -> 3
+
+let of_index i = all.(i)
+
+let to_string = function
+  | Selected -> "selected"
+  | Exec_dep -> "exec_dependency"
+  | Mem_dep -> "memory_dependency"
+  | Sync -> "sync"
+
+let description = function
+  | Selected -> "warp was eligible to issue when sampled (not stalled)"
+  | Exec_dep -> "waiting on the result of an arithmetic or shared-memory op"
+  | Mem_dep -> "waiting on an outstanding global-memory access"
+  | Sync -> "waiting at a thread-block barrier"

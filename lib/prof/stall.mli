@@ -1,0 +1,23 @@
+(** Stall reasons attributed to PC samples, mirroring the buckets of
+    CUPTI's [CUpti_ActivityPCSamplingStallReason] that this machine
+    can distinguish. *)
+
+type t =
+  | Selected  (** warp was eligible to issue when sampled *)
+  | Exec_dep  (** waiting on an arithmetic/shared-memory result *)
+  | Mem_dep  (** waiting on an outstanding global-memory access *)
+  | Sync  (** waiting at a thread-block barrier *)
+
+val all : t array
+
+val count : int
+
+val index : t -> int
+(** Dense index in [0, count); inverse of {!of_index}. *)
+
+val of_index : int -> t
+
+val to_string : t -> string
+(** nvprof-style snake_case name, e.g. ["memory_dependency"]. *)
+
+val description : t -> string

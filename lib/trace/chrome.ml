@@ -1,15 +1,6 @@
-let escape b s =
-  String.iter
-    (fun c ->
-       match c with
-       | '"' -> Buffer.add_string b "\\\""
-       | '\\' -> Buffer.add_string b "\\\\"
-       | '\n' -> Buffer.add_string b "\\n"
-       | '\t' -> Buffer.add_string b "\\t"
-       | c when Char.code c < 0x20 ->
-         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char b c)
-    s
+(* All string escaping goes through the shared Json helper so every
+   sink agrees on what a valid JSON string is. *)
+let escape b s = Json.escape_to b s
 
 let kernel_pid = 0
 

@@ -1,0 +1,85 @@
+(* Minimal JSON document builder shared by every JSON-emitting sink
+   (NDJSON and Chrome trace sinks, the profiler report writer, bench
+   summaries, --stats-json). One escaping routine, one number
+   formatter, so all emitters agree on validity. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_to b s =
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | '\r' -> Buffer.add_string b "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  escape_to b s;
+  Buffer.contents b
+
+(* JSON has no NaN/infinity literals; map them to null. *)
+let float_repr f =
+  match Float.classify_float f with
+  | Float.FP_nan | Float.FP_infinite -> "null"
+  | _ -> Printf.sprintf "%.12g" f
+
+let rec to_buffer b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | Str s ->
+    Buffer.add_char b '"';
+    escape_to b s;
+    Buffer.add_char b '"'
+  | List vs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+         if i > 0 then Buffer.add_char b ',';
+         to_buffer b v)
+      vs;
+    Buffer.add_char b ']'
+  | Obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_char b ',';
+         Buffer.add_char b '"';
+         escape_to b k;
+         Buffer.add_string b "\":";
+         to_buffer b v)
+      kvs;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  to_buffer b v;
+  Buffer.contents b
+
+let to_channel oc v =
+  let b = Buffer.create 4096 in
+  to_buffer b v;
+  Buffer.output_buffer oc b
+
+let write_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       to_channel oc v;
+       output_char oc '\n')

@@ -1,0 +1,28 @@
+(** Minimal JSON document builder: the single escaping/serialization
+    helper behind every JSON emitter in the tree (trace sinks,
+    profiler reports, bench summaries, [--stats-json]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** NaN and infinities serialize as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape_to : Buffer.t -> string -> unit
+(** Append the JSON string-escaped form of the argument (without
+    surrounding quotes). *)
+
+val escape : string -> string
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+
+val to_channel : out_channel -> t -> unit
+
+val write_file : string -> t -> unit
+(** Serialize to a file with a trailing newline.
+    @raise Sys_error on unwritable paths. *)

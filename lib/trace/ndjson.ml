@@ -1,16 +1,6 @@
-let escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-       match c with
-       | '"' -> Buffer.add_string b "\\\""
-       | '\\' -> Buffer.add_string b "\\\\"
-       | '\n' -> Buffer.add_string b "\\n"
-       | c when Char.code c < 0x20 ->
-         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* All string escaping goes through the shared Json helper so every
+   sink agrees on what a valid JSON string is. *)
+let escape = Json.escape
 
 let record_to_string (r : Record.t) =
   let common =
