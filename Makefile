@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what a pipeline should run.
 
-.PHONY: all build test fmt ci clean profile
+.PHONY: all build test fmt ci clean profile telemetry
 
 # Workload for `make profile`, e.g. `make profile WORKLOAD=parboil/sgemm`.
 WORKLOAD ?= rodinia/bfs
@@ -26,9 +26,37 @@ ci: fmt
 	dune build
 	dune runtest
 	dune exec bin/sassi_run.exe -- --query-metrics > /dev/null
+	dune exec bin/sassi_run.exe -- --build-info > /dev/null
+	@# Compare smoke test: two identical runs must diff clean (exit 0).
+	@tmp=$$(mktemp -d); \
+	dune exec bin/sassi_run.exe -- run parboil/sgemm --variant small \
+	  --manifest $$tmp/a.json > /dev/null; \
+	dune exec bin/sassi_run.exe -- run parboil/sgemm --variant small \
+	  --manifest $$tmp/b.json > /dev/null; \
+	dune exec bin/sassi_run.exe -- compare $$tmp/a.json $$tmp/b.json \
+	  || { echo "ci: identical runs reported a regression"; rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp
+	@# Seeded regression: shrinking L1 on a cache-sensitive workload
+	@# (spmv reuses its row pointers; sgemm streams and would not move)
+	@# must trip the comparator (exit 1).
+	@tmp=$$(mktemp -d); \
+	dune exec bin/sassi_run.exe -- run parboil/spmv --variant small \
+	  --manifest $$tmp/base.json > /dev/null; \
+	dune exec bin/sassi_run.exe -- run parboil/spmv --variant small \
+	  --l1-bytes 512 --manifest $$tmp/bad.json > /dev/null; \
+	if dune exec bin/sassi_run.exe -- compare $$tmp/base.json $$tmp/bad.json > /dev/null; then \
+	  echo "ci: seeded regression was not detected"; rm -rf $$tmp; exit 1; \
+	fi; \
+	rm -rf $$tmp; \
+	echo "ci: compare smoke + seeded-regression checks passed"
 
 profile: build
 	dune exec bin/sassi_run.exe -- run $(WORKLOAD) --profile
+
+# Histogram/series summary for one workload, e.g.
+# `make telemetry WORKLOAD=parboil/spmv`.
+telemetry: build
+	dune exec bin/sassi_run.exe -- run $(WORKLOAD) --telemetry
 
 clean:
 	dune clean

@@ -557,6 +557,101 @@ let profiling () =
   Printf.printf "\nprofiling-json: %s\n%!"
     (Trace.Json.to_string (Trace.Json.List (List.rev !summaries)))
 
+(* --- Telemetry: overhead, invariance, and memory-latency histograms ---------- *)
+
+let telemetry_rows =
+  [ ("parboil/sgemm", "small"); ("parboil/spmv", "small");
+    ("rodinia/bfs", "default"); ("parboil/stencil", "default") ]
+
+(* Coalesced vs divergent access patterns for the histogram study:
+   sgemm streams unit-stride tiles, spmv chases sparse columns. *)
+let telemetry_hist_rows = [ ("parboil/sgemm", "small"); ("parboil/spmv", "small") ]
+
+let write_bench_manifest name variant (r : Workloads.Workload.result)
+    (t : Cupti.Telemetry.t) wall =
+  let dir = "bench-manifests" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path =
+    Filename.concat dir
+      (String.map (fun c -> if c = '/' then '-' else c) name
+       ^ "-" ^ variant ^ ".json")
+  in
+  let m =
+    { Telemetry.Manifest.m_workload = name;
+      m_variant = variant;
+      m_instrument = "none";
+      m_seed = 0;
+      m_argv = Array.to_list Sys.argv;
+      m_wall_time_s = wall;
+      m_build = Telemetry.Build_info.collect ();
+      m_config = Gpu.Config.to_assoc cfg;
+      m_counters =
+        ("launches", r.Workloads.Workload.launches)
+        :: Gpu.Stats.to_assoc r.Workloads.Workload.stats
+        @ Cupti.Telemetry.counters t;
+      m_metrics = [];
+      m_histograms = Cupti.Telemetry.histograms t }
+  in
+  Telemetry.Manifest.write path m;
+  path
+
+let telemetry () =
+  section
+    "Extension: telemetry overhead and invariance - wall-clock with the \
+     metrics sink installed vs. plain, Stats equality (the sink must only \
+     observe), and run manifests for `sassi_run compare`";
+  Printf.printf "%-24s %-8s | %7s %7s %7s | %9s %6s | %s\n" "benchmark"
+    "variant" "t0(s)" "t1(s)" "ratio" "series" "stats" "manifest";
+  List.iter
+    (fun (name, variant) ->
+       let w = wl name in
+       let base, t_plain = timed (fun () -> run_plain w variant) in
+       let device = fresh () in
+       let t = Cupti.Telemetry.enable device in
+       let r, t_tel =
+         timed (fun () -> w.Workloads.Workload.run device ~variant)
+       in
+       Cupti.Telemetry.disable device;
+       let identical =
+         Gpu.Stats.to_assoc base.Workloads.Workload.stats
+         = Gpu.Stats.to_assoc r.Workloads.Workload.stats
+       in
+       let manifest = write_bench_manifest name variant r t t_tel in
+       Printf.printf "%-24s %-8s | %7.2f %7.2f %6.2fx | %9d %6s | %s\n%!"
+         name variant t_plain t_tel
+         (t_tel /. max 1e-6 t_plain)
+         (Telemetry.Series.length (Cupti.Telemetry.series t))
+         (if identical then "same" else "DRIFT")
+         manifest)
+    telemetry_rows;
+  Printf.printf
+    "\nMemory-request latency histograms (log2 buckets): coalesced \
+     (sgemm) vs divergent (spmv) access patterns\n";
+  List.iter
+    (fun (name, variant) ->
+       let w = wl name in
+       let device = fresh () in
+       let t = Cupti.Telemetry.enable device in
+       let _ = w.Workloads.Workload.run device ~variant in
+       Cupti.Telemetry.disable device;
+       List.iter
+         (fun (hname, h) ->
+            match hname with
+            | "sassi_mem_request_latency_cycles"
+            | "sassi_mem_transactions_per_access" ->
+              Printf.printf "\n%s (%s) %s:\n%s" name variant hname
+                (Telemetry.Hist.render h)
+            | _ -> ())
+         (List.filter_map
+            (fun (s : Telemetry.Registry.spec) ->
+               match s.Telemetry.Registry.sp_instrument with
+               | Telemetry.Registry.Histogram h ->
+                 Some (s.Telemetry.Registry.sp_name, h)
+               | _ -> None)
+            (Telemetry.Registry.specs (Cupti.Telemetry.registry t)));
+       Printf.printf "%!")
+    telemetry_hist_rows
+
 (* --- Bechamel micro-suite ---------------------------------------------------- *)
 
 let bechamel () =
@@ -631,6 +726,7 @@ let all () =
   scaling ();
   tracing ();
   profiling ();
+  telemetry ();
   bechamel ()
 
 let () =
@@ -660,12 +756,14 @@ let () =
          | "scaling" -> scaling ()
          | "tracing" -> tracing ()
          | "profiling" -> profiling ()
+         | "telemetry" -> telemetry ()
          | "bechamel" -> bechamel ()
          | "all" -> all ()
          | other ->
            Printf.eprintf
              "unknown experiment %s (table1|fig5|fig7|fig8|table2|fig10|\
-              table3|cachesim|scaling|tracing|profiling|bechamel|all)\n"
+              table3|cachesim|scaling|tracing|profiling|telemetry|bechamel|\
+              all)\n"
              other;
            exit 1)
        cmds);

@@ -44,6 +44,15 @@ let dump_trace device path =
   let tl = Trace.Timeline.build records in
   Format.printf "%a" Trace.Timeline.pp_summary tl
 
+(* Numeric flags are validated up front, before any simulation or
+   file I/O, so a bad value always dies with the same one-line error
+   regardless of which features are enabled. *)
+let check_positive name v =
+  if v <= 0 then begin
+    Format.eprintf "%s must be positive (got %d)@." name v;
+    exit 1
+  end
+
 (* "ipc,l1_hit_rate" -> metrics from the registry; exits on unknown
    names before any simulation runs. *)
 let parse_metrics = function
@@ -62,7 +71,14 @@ let parse_metrics = function
 
 let run_workload name variant instrument show_stats trace_out trace_filter
     trace_capacity profile pc_sampling_period metrics_spec profile_out
-    stats_json =
+    stats_json telemetry telemetry_interval telemetry_out manifest_out seed
+    l1_bytes =
+  check_positive "--trace-capacity" trace_capacity;
+  check_positive "--pc-sampling-period" pc_sampling_period;
+  check_positive "--telemetry-interval" telemetry_interval;
+  (match l1_bytes with
+   | Some b -> check_positive "--l1-bytes" b
+   | None -> ());
   match Workloads.Registry.find_opt name with
   | None ->
     Format.eprintf "unknown workload %s; try `sassi_run list`@." name;
@@ -75,15 +91,23 @@ let run_workload name variant instrument show_stats trace_out trace_filter
     in
     let metric_list = parse_metrics metrics_spec in
     let profiling = profile || profile_out <> None || metric_list <> None in
-    if profiling && pc_sampling_period <= 0 then begin
-      Format.eprintf "--pc-sampling-period must be positive (got %d)@."
-        pc_sampling_period;
-      exit 1
-    end;
-    let device = Gpu.Device.create () in
+    let cfg =
+      match l1_bytes with
+      | None -> Gpu.Config.default
+      | Some b -> { Gpu.Config.default with Gpu.Config.l1_bytes = b }
+    in
+    let device = Gpu.Device.create ~cfg () in
     let sampling =
       if profiling then
         Some (Cupti.Pc_sampling.enable ~period:pc_sampling_period device)
+      else None
+    in
+    let telemetry_on =
+      telemetry || telemetry_out <> None || manifest_out <> None
+    in
+    let tele =
+      if telemetry_on then
+        Some (Cupti.Telemetry.enable ~interval:telemetry_interval device)
       else None
     in
     (match (trace_out, parse_trace_filter trace_filter) with
@@ -100,12 +124,8 @@ let run_workload name variant instrument show_stats trace_out trace_filter
         with Sys_error m ->
           Format.eprintf "cannot write trace: %s@." m;
           exit 1);
-       if trace_capacity <= 0 then begin
-         Format.eprintf "--trace-capacity must be positive (got %d)@."
-           trace_capacity;
-         exit 1
-       end;
        Cupti.Activity.enable ~capacity:trace_capacity device kinds);
+    let wall_start = Unix.gettimeofday () in
     let last_result = ref None in
     let finish (r : Workloads.Workload.result) =
       last_result := Some r;
@@ -222,6 +242,7 @@ let run_workload name variant instrument show_stats trace_out trace_filter
             Handlers.Cache_explorer.default_sweep)
      | other ->
        Format.eprintf "unknown instrumentation %s@." other);
+    let wall_time_s = Unix.gettimeofday () -. wall_start in
     (match trace_out with
      | Some path -> dump_trace device path
      | None -> ());
@@ -244,6 +265,80 @@ let run_workload name variant instrument show_stats trace_out trace_filter
             (Prof.Pc_sampling.hits s)
             path)
      | _ -> ());
+    (match tele with
+     | None -> ()
+     | Some t ->
+       (match telemetry_out with
+        | Some path ->
+          (try Telemetry.Export.write_file path (Cupti.Telemetry.registry t)
+           with Sys_error m ->
+             Format.eprintf "cannot write telemetry: %s@." m;
+             exit 1);
+          Format.printf "telemetry: %d instruments -> %s@."
+            (List.length
+               (Telemetry.Registry.specs (Cupti.Telemetry.registry t)))
+            path
+        | None -> ());
+       if telemetry then begin
+         Format.printf "telemetry histograms:@.";
+         List.iter
+           (fun (hname, s) ->
+              if s.Telemetry.Hist.s_count > 0 then
+                Format.printf
+                  "  %-36s n=%-9d p50=%-9.1f p99=%-9.1f max=%d@." hname
+                  s.Telemetry.Hist.s_count s.Telemetry.Hist.s_p50
+                  s.Telemetry.Hist.s_p99 s.Telemetry.Hist.s_max)
+           (Cupti.Telemetry.histograms t);
+         Format.printf "telemetry series: %d rows (%d dropped)@."
+           (Telemetry.Series.length (Cupti.Telemetry.series t))
+           (Telemetry.Series.dropped (Cupti.Telemetry.series t))
+       end);
+    (match (manifest_out, !last_result) with
+     | Some path, Some r ->
+       let env =
+         { Prof.Metrics.stats = r.Workloads.Workload.stats; cfg; sampling }
+       in
+       let metrics =
+         List.concat_map
+           (fun m ->
+              match Prof.Metrics.compute env m with
+              | Some (Prof.Metrics.Scalar v) -> [ (Prof.Metrics.name m, v) ]
+              | Some (Prof.Metrics.Breakdown kvs) ->
+                List.map
+                  (fun (k, v) -> (Prof.Metrics.name m ^ "/" ^ k, v))
+                  kvs
+              | None -> [])
+           Prof.Metrics.registry
+       in
+       let counters =
+         (("launches", r.Workloads.Workload.launches)
+          :: Gpu.Stats.to_assoc r.Workloads.Workload.stats)
+         @ (match tele with
+            | Some t -> Cupti.Telemetry.counters t
+            | None -> [])
+       in
+       let m =
+         { Telemetry.Manifest.m_workload = name;
+           m_variant = variant;
+           m_instrument = instrument;
+           m_seed = seed;
+           m_argv = Array.to_list Sys.argv;
+           m_wall_time_s = wall_time_s;
+           m_build = Telemetry.Build_info.collect ();
+           m_config = Gpu.Config.to_assoc cfg;
+           m_counters = counters;
+           m_metrics = metrics;
+           m_histograms =
+             (match tele with
+              | Some t -> Cupti.Telemetry.histograms t
+              | None -> []) }
+       in
+       (try Telemetry.Manifest.write path m
+        with Sys_error msg ->
+          Format.eprintf "cannot write manifest: %s@." msg;
+          exit 1);
+       Format.printf "manifest -> %s@." path
+     | _ -> ());
     (match !last_result with
      | Some r when stats_json ->
        let fields =
@@ -255,6 +350,29 @@ let run_workload name variant instrument show_stats trace_out trace_filter
        print_endline (Trace.Json.to_string (Trace.Json.Obj fields))
      | _ -> ());
     0
+
+(* Diff two run manifests; exit 0 when clean, 1 on regressions past
+   threshold, 2 when a manifest cannot be read. *)
+let compare_manifests path_a path_b threshold all =
+  if threshold < 0.0 then begin
+    Format.eprintf "--threshold must be non-negative (got %g)@." threshold;
+    exit 1
+  end;
+  let read path =
+    match Telemetry.Manifest.read path with
+    | Ok m -> m
+    | Error e ->
+      Format.eprintf "%s@." e;
+      exit 2
+    | exception Sys_error m ->
+      Format.eprintf "%s@." m;
+      exit 2
+  in
+  let a = read path_a in
+  let b = read path_b in
+  let r = Telemetry.Compare.diff ~threshold a b in
+  print_string (Telemetry.Compare.render ~all r);
+  if Telemetry.Compare.regressions r <> [] then 1 else 0
 
 let campaign name variant injections seed =
   match Workloads.Registry.find_opt name with
@@ -396,12 +514,80 @@ let stats_json_arg =
        & info [ "stats-json" ]
            ~doc:"Print the launch statistics as one JSON object.")
 
+let telemetry_arg =
+  Arg.(value & flag
+       & info [ "t"; "telemetry" ]
+           ~doc:"Collect histogram metrics and time-series gauges and \
+                 print a summary after the run.")
+
+let telemetry_interval_arg =
+  Arg.(value & opt int Cupti.Telemetry.default_interval
+       & info [ "telemetry-interval" ] ~docv:"N"
+           ~doc:"Cycles between time-series samples.")
+
+let telemetry_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "telemetry-out" ] ~docv:"FILE"
+           ~doc:"Write the metric registry to $(docv) (implies \
+                 --telemetry): JSON when $(docv) ends in .json, \
+                 Prometheus text exposition otherwise.")
+
+let manifest_arg =
+  Arg.(value & opt (some string) None
+       & info [ "manifest" ] ~docv:"FILE"
+           ~doc:"Write a run manifest (workload, config, seed, argv, \
+                 wall time, build info, counters, metrics, histogram \
+                 summaries) to $(docv); implies --telemetry. Feed two \
+                 manifests to $(b,sassi_run compare).")
+
+let run_seed_arg =
+  Arg.(value & opt int 0
+       & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Run seed recorded in the manifest.")
+
+let l1_bytes_arg =
+  Arg.(value & opt (some int) None
+       & info [ "l1-bytes" ] ~docv:"BYTES"
+           ~doc:"Override the per-SM L1 size (default \
+                 $(b,Gpu.Config.default)); used by CI to seed a known \
+                 perf regression.")
+
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run a workload on the simulated GPU")
     Term.(const run_workload $ workload_arg $ variant_arg $ instrument_arg
           $ stats_arg $ trace_arg $ trace_filter_arg $ trace_capacity_arg
           $ profile_arg $ pc_sampling_period_arg $ metrics_arg
-          $ profile_out_arg $ stats_json_arg)
+          $ profile_out_arg $ stats_json_arg $ telemetry_arg
+          $ telemetry_interval_arg $ telemetry_out_arg $ manifest_arg
+          $ run_seed_arg $ l1_bytes_arg)
+
+let manifest_a_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BASELINE.json")
+
+let manifest_b_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"CANDIDATE.json")
+
+let threshold_arg =
+  Arg.(value & opt float 2.0
+       & info [ "threshold" ] ~docv:"PCT"
+           ~doc:"Relative moves within $(docv) percent count as \
+                 unchanged.")
+
+let compare_all_arg =
+  Arg.(value & flag
+       & info [ "all" ] ~doc:"Also list rows that did not move past the \
+                              threshold.")
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Diff two run manifests and rank regressions"
+       ~man:
+         [ `S Manpage.s_exit_status;
+           `P "0 on no regressions past threshold; 1 when at least one \
+               regression is found; 2 when a manifest cannot be read." ])
+    Term.(const compare_manifests $ manifest_a_arg $ manifest_b_arg
+          $ threshold_arg $ compare_all_arg)
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List workloads")
@@ -431,10 +617,21 @@ let query_metrics_arg =
        & info [ "query-metrics" ]
            ~doc:"List the derived metrics available to $(b,run --metrics).")
 
+let build_info_arg =
+  Arg.(value & flag
+       & info [ "build-info" ]
+           ~doc:"Print version, dune profile, compiler, and host, then \
+                 exit. The same fields are embedded in run manifests.")
+
 let default_term =
   Term.(ret
-          (const (fun query ->
-               if query then begin
+          (const (fun query build_info ->
+               if build_info then begin
+                 Format.printf "%a@." Telemetry.Build_info.pp
+                   (Telemetry.Build_info.collect ());
+                 `Ok 0
+               end
+               else if query then begin
                  List.iter
                    (fun (name, unit_, desc) ->
                       Format.printf "%-28s %-12s %s@." name unit_ desc)
@@ -442,12 +639,12 @@ let default_term =
                  `Ok 0
                end
                else `Help (`Pager, None))
-           $ query_metrics_arg))
+           $ query_metrics_arg $ build_info_arg))
 
 let main =
   Cmd.group ~default:default_term
     (Cmd.info "sassi_run" ~version:"1.0"
        ~doc:"SASSI on a simulated GPU: selective instrumentation driver")
-    [ run_cmd; list_cmd; disasm_cmd; campaign_cmd ]
+    [ run_cmd; list_cmd; disasm_cmd; campaign_cmd; compare_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -55,7 +55,19 @@ let attach t device pairs =
               Hctx.site = s;
               Hctx.mask = h.Gpu.State.h_mask }
           in
-          handler.Handler.fn ctx))
+          handler.Handler.fn ctx;
+          (* Device-API cycles the handler charged into the warp's
+             scratch accumulator are still there: the interpreter
+             folds them into the HCALL latency after we return. *)
+          (match dev.Gpu.State.d_telemetry with
+           | None -> ()
+           | Some tm ->
+             Telemetry.Hist.observe tm.Gpu.State.tm_handler_cycles
+               h.Gpu.State.h_warp.Gpu.State.w_sassi_scratch;
+             let sites = tm.Gpu.State.tm_handler_sites in
+             (match Hashtbl.find_opt sites s.Select.s_id with
+              | Some r -> incr r
+              | None -> Hashtbl.add sites s.Select.s_id (ref 1)))))
 
 let detach device =
   Gpu.Device.set_transform device None;

@@ -1,0 +1,44 @@
+(** CUPTI-style metrics API (exposed as [Cupti.Telemetry]): enable
+    histogram and time-series collection on a device, run kernels,
+    export through {!Telemetry.Export} or fold into a run manifest.
+
+    Enabling installs a {!Gpu.State.telemetry} sink observed from the
+    memory system, branch unit, barrier release, scheduler, and SASSI
+    handler trap. The sink only observes: {!Gpu.Stats} stay
+    bit-identical with telemetry on or off, and a device without
+    telemetry pays one branch per observation site. *)
+
+type t
+
+val default_interval : int
+(** Cycles between time-series samples (1000). *)
+
+val series_columns : string array
+(** Gauge names of the series rows, in sample order: occupancy,
+    issue rate, L1/L2 hit rate, DRAM queue depth. *)
+
+val enable : ?interval:int -> Gpu.Device.t -> t
+(** Install a fresh sink and its registry on the device.
+    @raise Invalid_argument if telemetry is already enabled or
+    [interval <= 0]. *)
+
+val disable : Gpu.Device.t -> unit
+(** Stop collecting; data accumulated so far stays readable on [t]. *)
+
+val enabled : Gpu.Device.t -> bool
+
+val registry : t -> Telemetry.Registry.t
+(** All instruments, for the exporters. *)
+
+val series : t -> Telemetry.Series.t
+
+val interval : t -> int
+
+val handler_sites : t -> (int * int) list
+(** (site id, invocation count), sorted by site id. *)
+
+val counters : t -> (string * int) list
+(** Registered counters read now, in registration order. *)
+
+val histograms : t -> (string * Telemetry.Hist.summary) list
+(** Registered histograms summarized now, in registration order. *)

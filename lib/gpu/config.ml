@@ -48,6 +48,28 @@ let small =
     l2_bytes = 64 * 1024;
     max_cycles = 20_000_000 }
 
+(* Field order matches the record so a manifest's config dump reads
+   like this file. *)
+let to_assoc t =
+  [ ("num_sms", t.num_sms);
+    ("warp_size", t.warp_size);
+    ("max_warps_per_sm", t.max_warps_per_sm);
+    ("issue_width", t.issue_width);
+    ("global_mem_bytes", t.global_mem_bytes);
+    ("line_bytes", t.line_bytes);
+    ("l1_bytes", t.l1_bytes);
+    ("l1_assoc", t.l1_assoc);
+    ("l2_bytes", t.l2_bytes);
+    ("l2_assoc", t.l2_assoc);
+    ("lat_alu", t.lat_alu);
+    ("lat_mufu", t.lat_mufu);
+    ("lat_shared", t.lat_shared);
+    ("lat_l1", t.lat_l1);
+    ("lat_l2", t.lat_l2);
+    ("lat_dram", t.lat_dram);
+    ("lat_atomic", t.lat_atomic);
+    ("max_cycles", t.max_cycles) ]
+
 let pp ppf t =
   Format.fprintf ppf
     "GPU: %d SMs x %d warps, warp=%d, issue=%d, %d MiB global, %d B lines"

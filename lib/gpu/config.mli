@@ -30,4 +30,8 @@ val default : t
 val small : t
 (** A 2-SM configuration for fast unit tests. *)
 
+val to_assoc : t -> (string * int) list
+(** Every field as a (name, value) pair, in declaration order; the
+    config section of run manifests. *)
+
 val pp : Format.formatter -> t -> unit

@@ -25,7 +25,8 @@ let create ?(cfg = Config.default) () =
     d_host_access = None;
     d_tracer = None;
     d_trace_base = 0;
-    d_sampler = None }
+    d_sampler = None;
+    d_telemetry = None }
 
 let config t = t.d_cfg
 
@@ -121,6 +122,20 @@ let tracer t = t.d_tracer
 let set_sampler t sp = t.d_sampler <- sp
 
 let sampler t = t.d_sampler
+
+let set_telemetry t tm =
+  t.d_telemetry <- tm;
+  (* Mirror the memory-request histograms into the memory system,
+     which observes accesses directly. *)
+  Memsys.set_telemetry_sink t.d_mem
+    (match tm with
+     | Some x ->
+       Some
+         { Memsys.tm_latency = x.tm_mem_latency;
+           Memsys.tm_transactions = x.tm_mem_transactions }
+     | None -> None)
+
+let telemetry t = t.d_telemetry
 
 let on_launch t f =
   let id = t.d_cb_next in

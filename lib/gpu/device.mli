@@ -72,6 +72,16 @@ val set_sampler : t -> State.sampler option -> unit
 
 val sampler : t -> State.sampler option
 
+val set_telemetry : t -> State.telemetry option -> unit
+(** Install (or remove) the metrics sink. The memory-request
+    histograms are mirrored into the memory system, which observes
+    coalesced accesses directly; all other sites check the device
+    field with a single branch. The sink must only observe —
+    installed telemetry leaves {!Gpu.Stats} bit-identical. Prefer
+    {!Cupti.Telemetry} for the user-facing API. *)
+
+val telemetry : t -> State.telemetry option
+
 val set_host_access_hook :
   t -> (addr:int -> bytes:int -> write:bool -> unit) option -> unit
 (** Observe all host-side reads/writes of device global memory (the

@@ -599,6 +599,10 @@ let step sm w =
      in
      if Instr.is_cond_branch i then begin
        stats.Stats.branches <- stats.Stats.branches + 1;
+       (match dev.d_telemetry with
+        | None -> ()
+        | Some tm ->
+          Telemetry.Hist.observe tm.tm_branch_lanes (popc_mask exec_mask));
        let taken = exec_mask in
        let not_taken = e.e_mask land lnot exec_mask in
        if taken = 0 then next_pc := pc + 1
@@ -606,6 +610,11 @@ let step sm w =
        else begin
          (* Divergence: split the warp. *)
          stats.Stats.divergent_branches <- stats.Stats.divergent_branches + 1;
+         (match dev.d_telemetry with
+          | None -> ()
+          | Some tm ->
+            Telemetry.Hist.observe tm.tm_divergent_taken_lanes
+              (popc_mask taken));
          let rpc =
            match i.Instr.reconv with
            | Some r -> r
@@ -669,6 +678,17 @@ let step sm w =
                 { pc; arrived = w.w_block.b_arrived }))
       | _ -> ());
      release_barrier_if_ready w.w_block;
+     (match dev.d_telemetry with
+      | Some tm when w.w_status = W_ready ->
+        (* The barrier released: every warp of the block now ready was
+           waiting since its own arrival stamp (0 for the releaser). *)
+        Array.iter
+          (fun w' ->
+             if w'.w_status = W_ready then
+               Telemetry.Hist.observe tm.tm_barrier_wait
+                 (sm.sm_cycle - w'.w_ready_at))
+          w.w_block.b_warps
+      | _ -> ());
      (match dev.d_tracer with
       | Some c
         when w.w_status = W_ready

@@ -8,6 +8,15 @@ type t = {
   mutable tr_sink : Trace.Collector.t option;
   mutable tr_cycle : int;
   mutable tr_warp : int;
+  (* Telemetry histograms for request latency and transactions per
+     coalesced access; [None] keeps both observation sites on their
+     single-branch fast path. *)
+  mutable tm_sink : tm_sink option;
+}
+
+and tm_sink = {
+  tm_latency : Telemetry.Hist.t;
+  tm_transactions : Telemetry.Hist.t;
 }
 
 type result = {
@@ -34,9 +43,19 @@ let create (cfg : Config.t) =
         ~assoc:cfg.Config.l2_assoc ~line_bytes:cfg.Config.line_bytes;
     tr_sink = None;
     tr_cycle = 0;
-    tr_warp = -1 }
+    tr_warp = -1;
+    tm_sink = None }
 
 let set_trace_sink t sink = t.tr_sink <- sink
+
+let set_telemetry_sink t sink = t.tm_sink <- sink
+
+let observe_access t (r : result) =
+  match t.tm_sink with
+  | None -> ()
+  | Some tm ->
+    Telemetry.Hist.observe tm.tm_latency r.latency;
+    Telemetry.Hist.observe tm.tm_transactions r.transactions
 
 let set_trace_ctx t ~cycle ~warp =
   t.tr_cycle <- cycle;
@@ -96,7 +115,9 @@ let global_access t ~sm ~stats pairs =
       0 lines
   in
   (* Additional transactions beyond the first serialize at the L1. *)
-  { transactions = n; latency = worst + (max 0 (n - 1)) * 2 }
+  let r = { transactions = n; latency = worst + (max 0 (n - 1)) * 2 } in
+  observe_access t r;
+  r
 
 (* Local-memory accesses at a uniform frame offset touch the
    contiguous physical range [first_phys, last_phys + width): the
@@ -116,7 +137,9 @@ let contiguous_access t ~sm ~stats ~first_phys ~last_phys ~width =
     let lat = line_latency t ~sm (l * lb) stats in
     if lat > !worst then worst := lat
   done;
-  { transactions = n; latency = !worst + ((n - 1) * 2) }
+  let r = { transactions = n; latency = !worst + ((n - 1) * 2) } in
+  observe_access t r;
+  r
 
 let shared_access t ~stats addrs =
   let cfg = t.cfg in

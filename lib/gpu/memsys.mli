@@ -67,3 +67,18 @@ val set_trace_sink : t -> Trace.Collector.t option -> unit
 val set_trace_ctx : t -> cycle:int -> warp:int -> unit
 (** Stamp the context attached to subsequent probe records; called by
     the interpreter before issuing accesses while tracing. *)
+
+(** {1 Telemetry} *)
+
+type tm_sink = {
+  tm_latency : Telemetry.Hist.t;
+      (** observes each coalesced access's latency in cycles *)
+  tm_transactions : Telemetry.Hist.t;
+      (** observes each coalesced access's transaction count *)
+}
+
+val set_telemetry_sink : t -> tm_sink option -> unit
+(** Install (or remove) histograms observing every global/local
+    coalesced access ({!global_access} and {!contiguous_access};
+    atomics observe their underlying access once). [None] keeps the
+    observation sites on a single-branch fast path. *)

@@ -61,6 +61,57 @@ let spend_sample_credit dev sm slots =
       sp.sp_hit sm
     end
 
+(* Take one telemetry series sample: gauges are deltas of the
+   cumulative launch statistics since the previous sample. SMs
+   simulate sequentially, so counter movement while one SM runs is
+   that SM's; [tm_base] is re-seeded per SM by {!run}. Column order
+   must match [Cupti.Telemetry.series_columns]. *)
+let telemetry_sample dev sm tm =
+  let stats = sm.sm_launch.l_stats in
+  let base = tm.tm_base in
+  let cyc = sm.sm_cycle in
+  let dcyc = float_of_int (max 1 (cyc - base.ts_cycle)) in
+  let rate hits misses bh bm =
+    let dh = hits - bh and dm = misses - bm in
+    if dh + dm = 0 then 0. else float_of_int dh /. float_of_int (dh + dm)
+  in
+  let occupancy =
+    float_of_int (Array.length sm.sm_warps)
+    /. float_of_int (max 1 dev.d_cfg.Config.max_warps_per_sm)
+  in
+  let issue_rate = float_of_int (sm.sm_issued - base.ts_issued) /. dcyc in
+  (* Little's law: outstanding DRAM requests = arrival rate x DRAM
+     latency, with L2 misses as the arrivals over the interval. *)
+  let dram_queue_depth =
+    float_of_int
+      ((stats.Stats.l2_misses - base.ts_l2_misses)
+       * dev.d_cfg.Config.lat_dram)
+    /. dcyc
+  in
+  Telemetry.Series.sample tm.tm_series
+    ~cycle:(dev.d_trace_base + cyc) ~sm:sm.sm_id
+    [| occupancy;
+       issue_rate;
+       rate stats.Stats.l1_hits stats.Stats.l1_misses
+         base.ts_l1_hits base.ts_l1_misses;
+       rate stats.Stats.l2_hits stats.Stats.l2_misses
+         base.ts_l2_hits base.ts_l2_misses;
+       dram_queue_depth |];
+  base.ts_cycle <- cyc;
+  base.ts_issued <- sm.sm_issued;
+  base.ts_l1_hits <- stats.Stats.l1_hits;
+  base.ts_l1_misses <- stats.Stats.l1_misses;
+  base.ts_l2_hits <- stats.Stats.l2_hits;
+  base.ts_l2_misses <- stats.Stats.l2_misses;
+  tm.tm_next_sample <- cyc + tm.tm_interval
+
+(* Single-branch tick checked once per scheduling decision; a device
+   without telemetry pays only the [None] match. *)
+let telemetry_tick dev sm =
+  match dev.d_telemetry with
+  | None -> ()
+  | Some tm -> if sm.sm_cycle >= tm.tm_next_sample then telemetry_sample dev sm tm
+
 let run_sm_wave sm =
   let launch = sm.sm_launch in
   let dev = launch.l_device in
@@ -88,7 +139,8 @@ let run_sm_wave sm =
       sm.sm_issued <- sm.sm_issued + 1;
       if sm.sm_issued mod cfg.Config.issue_width = 0 then
         sm.sm_cycle <- sm.sm_cycle + 1;
-      spend_sample_credit dev sm 1
+      spend_sample_credit dev sm 1;
+      telemetry_tick dev sm
     end
     else begin
       (* Nobody ready: advance to the next wakeup. *)
@@ -114,7 +166,8 @@ let run_sm_wave sm =
            sampling period so stall-heavy phases are sampled at the
            same rate as busy ones. *)
         spend_sample_credit dev sm
-          ((sm.sm_cycle - before) * cfg.Config.issue_width)
+          ((sm.sm_cycle - before) * cfg.Config.issue_width);
+        telemetry_tick dev sm
       end
     end;
     (* Recompute alive lazily: cheap because warps only transition to
@@ -141,6 +194,20 @@ let run launch =
       { sm_id; sm_launch = launch; sm_cycle = 0; sm_issued = 0;
         sm_warps = [||]; sm_rr = 0 }
     in
+    (* Re-seed the series baseline: each SM starts its own clock at 0,
+       and the cumulative launch counters carry earlier SMs' work. *)
+    (match dev.d_telemetry with
+     | None -> ()
+     | Some tm ->
+       let b = tm.tm_base in
+       let stats = launch.l_stats in
+       b.ts_cycle <- 0;
+       b.ts_issued <- 0;
+       b.ts_l1_hits <- stats.Stats.l1_hits;
+       b.ts_l1_misses <- stats.Stats.l1_misses;
+       b.ts_l2_hits <- stats.Stats.l2_hits;
+       b.ts_l2_misses <- stats.Stats.l2_misses;
+       tm.tm_next_sample <- tm.tm_interval);
     (* Blocks handled by this SM, in waves of [blocks_at_once]. *)
     let my_blocks = ref [] in
     let b = ref sm_id in

@@ -75,6 +75,7 @@ and device = {
   mutable d_tracer : Trace.Collector.t option;
   mutable d_trace_base : int;
   mutable d_sampler : sampler option;
+  mutable d_telemetry : telemetry option;
 }
 
 and transform = Sass.Program.kernel -> Sass.Program.kernel
@@ -83,6 +84,29 @@ and sampler = {
   sp_period : int;
   mutable sp_credit : int;
   sp_hit : sm -> unit;
+}
+
+and telemetry = {
+  tm_interval : int;
+  tm_mem_latency : Telemetry.Hist.t;
+  tm_mem_transactions : Telemetry.Hist.t;
+  tm_branch_lanes : Telemetry.Hist.t;
+  tm_divergent_taken_lanes : Telemetry.Hist.t;
+  tm_barrier_wait : Telemetry.Hist.t;
+  tm_handler_cycles : Telemetry.Hist.t;
+  tm_handler_sites : (int, int ref) Hashtbl.t;
+  tm_series : Telemetry.Series.t;
+  mutable tm_next_sample : int;
+  tm_base : tm_snapshot;
+}
+
+and tm_snapshot = {
+  mutable ts_cycle : int;
+  mutable ts_issued : int;
+  mutable ts_l1_hits : int;
+  mutable ts_l1_misses : int;
+  mutable ts_l2_hits : int;
+  mutable ts_l2_misses : int;
 }
 
 and hcall_ctx = {

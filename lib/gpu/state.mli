@@ -95,6 +95,9 @@ and device = {
   mutable d_sampler : sampler option;
       (** PC-sampling hook; [None] keeps the scheduler's sampling site
           on its single-branch fast path *)
+  mutable d_telemetry : telemetry option;
+      (** metrics sink; [None] keeps every histogram and series
+          sampling site on its single-branch fast path *)
 }
 
 and transform = Sass.Program.kernel -> Sass.Program.kernel
@@ -109,6 +112,45 @@ and sampler = {
   sp_period : int;
   mutable sp_credit : int;
   sp_hit : sm -> unit;
+}
+
+(** Telemetry sink installed on a device (see {!Cupti.Telemetry}).
+    Histograms are observed directly from the hot paths (memory
+    system, branch unit, barrier release, SASSI handler trap); the
+    series sampler snapshots machine gauges every [tm_interval]
+    cycles of each SM. Like the tracer and the PC sampler, the sink
+    must only observe — installed telemetry leaves {!Stats}
+    bit-identical. *)
+and telemetry = {
+  tm_interval : int;  (** cycles between series samples *)
+  tm_mem_latency : Telemetry.Hist.t;
+      (** per-warp-request memory latency, cycles *)
+  tm_mem_transactions : Telemetry.Hist.t;
+      (** cache-line transactions per coalesced access *)
+  tm_branch_lanes : Telemetry.Hist.t;
+      (** active lanes at each executed conditional branch *)
+  tm_divergent_taken_lanes : Telemetry.Hist.t;
+      (** lanes taking the branch at each divergent split *)
+  tm_barrier_wait : Telemetry.Hist.t;
+      (** cycles each warp waited at a released barrier *)
+  tm_handler_cycles : Telemetry.Hist.t;
+      (** device-API cycles charged per SASSI handler invocation *)
+  tm_handler_sites : (int, int ref) Hashtbl.t;
+      (** invocation count per instrumentation site id *)
+  tm_series : Telemetry.Series.t;
+  mutable tm_next_sample : int;  (** next sm_cycle to sample at *)
+  tm_base : tm_snapshot;  (** stat values at the last sample *)
+}
+
+(** Cumulative-counter snapshot backing the series gauges: gauges are
+    deltas of {!Stats} counters over one sampling interval. *)
+and tm_snapshot = {
+  mutable ts_cycle : int;
+  mutable ts_issued : int;
+  mutable ts_l1_hits : int;
+  mutable ts_l1_misses : int;
+  mutable ts_l2_hits : int;
+  mutable ts_l2_misses : int;
 }
 
 (** Context passed to the instrumentation-handler trap on [HCALL]. *)

@@ -141,6 +141,15 @@ let to_text t =
 
 let csv_quote s = "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
 
+(* RFC 4180: any field containing a comma, quote, or line break must
+   be quoted, with embedded quotes doubled. Kernel names, metric
+   values (stall breakdowns are comma-separated), and descriptions
+   all can need this; disasm stays always-quoted. *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then csv_quote s
+  else s
+
 let to_csv t =
   let b = Buffer.create 1024 in
   Buffer.add_string b "kernel,pc,block,samples";
@@ -151,13 +160,28 @@ let to_csv t =
   List.iter
     (fun r ->
        Buffer.add_string b
-         (Printf.sprintf "%s,%d,%d,%d" r.Correlate.ir_kernel r.Correlate.ir_pc
-            r.Correlate.ir_block r.Correlate.ir_samples);
+         (Printf.sprintf "%s,%d,%d,%d"
+            (csv_field r.Correlate.ir_kernel)
+            r.Correlate.ir_pc r.Correlate.ir_block r.Correlate.ir_samples);
        Array.iter
          (fun c -> Buffer.add_string b (Printf.sprintf ",%d" c))
          r.Correlate.ir_by_reason;
        Buffer.add_string b ("," ^ csv_quote r.Correlate.ir_disasm ^ "\n"))
     t.r_instrs;
+  Buffer.add_string b "\nmetric,value,unit,description\n";
+  List.iter
+    (fun m ->
+       let v =
+         match m.m_value with
+         | None -> "n/a"
+         | Some v -> Metrics.value_to_string v
+       in
+       Buffer.add_string b
+         (String.concat ","
+            [ csv_field m.m_name; csv_field v; csv_field m.m_unit;
+              csv_field m.m_description ]
+          ^ "\n"))
+    t.r_metrics;
   Buffer.contents b
 
 (* ---------- json ---------- *)

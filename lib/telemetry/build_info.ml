@@ -1,0 +1,61 @@
+(* Provenance stamp embedded in run manifests and printed by
+   [sassi_run --build-info]: comparing two runs is only meaningful
+   when you know what built them and where they ran. The dune profile
+   and compiler version are baked in at build time (see the rule
+   generating [build_env.ml]); the host is read at run time. *)
+
+type t = {
+  bi_version : string;
+  bi_profile : string;
+  bi_ocaml : string;
+  bi_host : string;
+  bi_os : string;
+  bi_word_size : int;
+}
+
+let version = "1.0"
+
+let host () =
+  try Unix.gethostname () with
+  | _ ->
+    (match Sys.getenv_opt "HOSTNAME" with
+     | Some h -> h
+     | None -> "unknown")
+
+let collect () =
+  { bi_version = version;
+    bi_profile = Build_env.profile;
+    bi_ocaml = Build_env.ocaml_version;
+    bi_host = host ();
+    bi_os = Sys.os_type;
+    bi_word_size = Sys.word_size }
+
+let to_json t =
+  Trace.Json.Obj
+    [ ("version", Trace.Json.Str t.bi_version);
+      ("profile", Trace.Json.Str t.bi_profile);
+      ("ocaml", Trace.Json.Str t.bi_ocaml);
+      ("host", Trace.Json.Str t.bi_host);
+      ("os", Trace.Json.Str t.bi_os);
+      ("word_size", Trace.Json.Int t.bi_word_size) ]
+
+let str_field j key =
+  match Trace.Json.member key j with
+  | Some (Trace.Json.Str s) -> s
+  | _ -> "unknown"
+
+let of_json j =
+  { bi_version = str_field j "version";
+    bi_profile = str_field j "profile";
+    bi_ocaml = str_field j "ocaml";
+    bi_host = str_field j "host";
+    bi_os = str_field j "os";
+    bi_word_size =
+      (match Trace.Json.member "word_size" j with
+       | Some (Trace.Json.Int n) -> n
+       | _ -> 0) }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "sassi_run %s (dune profile %s, ocaml %s, %d-bit %s, host %s)"
+    t.bi_version t.bi_profile t.bi_ocaml t.bi_word_size t.bi_os t.bi_host

@@ -1,0 +1,22 @@
+(** Build and host provenance, embedded in run manifests so compared
+    runs are stamped with what produced them. *)
+
+type t = {
+  bi_version : string;
+  bi_profile : string;  (** dune build profile, baked in at build time *)
+  bi_ocaml : string;  (** compiler version, baked in at build time *)
+  bi_host : string;
+  bi_os : string;
+  bi_word_size : int;
+}
+
+val version : string
+
+val collect : unit -> t
+
+val to_json : t -> Trace.Json.t
+
+val of_json : Trace.Json.t -> t
+(** Tolerant: missing fields read as ["unknown"] / [0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,241 @@
+(* Run-comparison regression diffing: given two manifests (baseline A,
+   candidate B), pair up every counter, derived metric, and histogram
+   quantile, compute relative deltas, classify each as regression /
+   improvement / unchanged by the metric's polarity, and rank the
+   result. Regressions past the threshold make `sassi_run compare`
+   exit non-zero, which is what lets CI enforce "no perf regressions"
+   on the simulator. *)
+
+type direction =
+  | Higher_better
+  | Lower_better
+  | Neutral
+
+type cls =
+  | Regression
+  | Improvement
+  | Unchanged
+  | Info
+
+type row = {
+  c_name : string;
+  c_a : float;
+  c_b : float;
+  c_delta_pct : float;  (** (b - a) / a * 100; infinite when a = 0 <> b *)
+  c_direction : direction;
+  c_class : cls;
+}
+
+type result = {
+  cr_threshold : float;
+  cr_a : Manifest.t;
+  cr_b : Manifest.t;
+  cr_rows : row list;  (** regressions first, ranked by |delta| *)
+}
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let has_suffix s suf =
+  let n = String.length s and m = String.length suf in
+  n >= m && String.sub s (n - m) m = suf
+
+(* Polarity by name. Wall-clock time is deliberately Neutral: it is
+   host-noise, not simulated performance, so it never gates CI; the
+   cycle count is the latency gate. *)
+let direction name =
+  let lower =
+    [ "cycles"; "latency"; "wait"; "misses"; "conflicts"; "stall";
+      "transactions_per_access"; "overhead"; "dropped" ]
+  in
+  let higher =
+    [ "ipc"; "efficiency"; "hit_rate"; "occupancy"; "throughput" ]
+  in
+  if name = "wall_time_s" || has_suffix name "/count" || name = "launches"
+  then Neutral
+  else if List.exists (contains_sub name) lower then Lower_better
+  else if List.exists (contains_sub name) higher then Higher_better
+  else Neutral
+
+let delta_pct a b =
+  if a = 0. then begin
+    if b = 0. then 0.
+    else if b > 0. then Float.infinity
+    else Float.neg_infinity
+  end
+  else (b -. a) /. Float.abs a *. 100.
+
+let classify ~threshold dir delta =
+  if Float.is_nan delta then Info
+  else
+    match dir with
+    | Neutral -> Info
+    | Higher_better ->
+      if delta < -.threshold then Regression
+      else if delta > threshold then Improvement
+      else Unchanged
+    | Lower_better ->
+      if delta > threshold then Regression
+      else if delta < -.threshold then Improvement
+      else Unchanged
+
+(* All comparable (name, value) pairs of one manifest: counters,
+   derived metrics, and the tail behaviour of each histogram. *)
+let numeric_series (m : Manifest.t) =
+  List.map (fun (k, v) -> (k, float_of_int v)) m.Manifest.m_counters
+  @ m.Manifest.m_metrics
+  @ List.concat_map
+      (fun (k, s) ->
+         [ (k ^ "/p50", s.Hist.s_p50);
+           (k ^ "/p99", s.Hist.s_p99);
+           (k ^ "/max", float_of_int s.Hist.s_max);
+           (k ^ "/count", float_of_int s.Hist.s_count) ])
+      m.Manifest.m_histograms
+  @ [ ("wall_time_s", m.Manifest.m_wall_time_s) ]
+
+let rank_key r =
+  (* Regressions first, then improvements, then the rest; each group
+     ranked by |delta|, infinite deltas first. *)
+  let group =
+    match r.c_class with
+    | Regression -> 0
+    | Improvement -> 1
+    | Unchanged -> 2
+    | Info -> 3
+  in
+  let mag =
+    if Float.is_nan r.c_delta_pct then 0. else Float.abs r.c_delta_pct
+  in
+  (group, -.mag)
+
+let diff ?(threshold = 2.0) (a : Manifest.t) (b : Manifest.t) =
+  let sb = numeric_series b in
+  let rows =
+    List.filter_map
+      (fun (name, va) ->
+         match List.assoc_opt name sb with
+         | None -> None
+         | Some vb ->
+           let d = delta_pct va vb in
+           let dir = direction name in
+           Some
+             { c_name = name;
+               c_a = va;
+               c_b = vb;
+               c_delta_pct = d;
+               c_direction = dir;
+               c_class = classify ~threshold dir d })
+      (numeric_series a)
+  in
+  let rows =
+    List.stable_sort (fun x y -> compare (rank_key x) (rank_key y)) rows
+  in
+  { cr_threshold = threshold; cr_a = a; cr_b = b; cr_rows = rows }
+
+let regressions t =
+  List.filter (fun r -> r.c_class = Regression) t.cr_rows
+
+let improvements t =
+  List.filter (fun r -> r.c_class = Improvement) t.cr_rows
+
+let cls_to_string = function
+  | Regression -> "REGRESSION"
+  | Improvement -> "improvement"
+  | Unchanged -> "unchanged"
+  | Info -> "info"
+
+let direction_to_string = function
+  | Higher_better -> "higher=better"
+  | Lower_better -> "lower=better"
+  | Neutral -> "neutral"
+
+let fmt_value v =
+  if Float.is_nan v then "n/a"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+let fmt_delta d =
+  if Float.is_nan d then "   n/a"
+  else if d = Float.infinity then "  +inf"
+  else if d = Float.neg_infinity then "  -inf"
+  else Printf.sprintf "%+.2f%%" d
+
+(* Ranked human-readable table. [all] includes unchanged/info rows;
+   the default shows only rows that moved. *)
+let render ?(all = false) t =
+  let b = Buffer.create 2048 in
+  let hdr (m : Manifest.t) tag =
+    Buffer.add_string b
+      (Printf.sprintf "%s: %s/%s (%s, seed %d)  wall %.2fs  [%s]\n" tag
+         m.Manifest.m_workload m.Manifest.m_variant m.Manifest.m_instrument
+         m.Manifest.m_seed m.Manifest.m_wall_time_s
+         (Format.asprintf "%a" Build_info.pp m.Manifest.m_build))
+  in
+  hdr t.cr_a "A";
+  hdr t.cr_b "B";
+  if
+    t.cr_a.Manifest.m_workload <> t.cr_b.Manifest.m_workload
+    || t.cr_a.Manifest.m_variant <> t.cr_b.Manifest.m_variant
+  then
+    Buffer.add_string b
+      "warning: manifests come from different workloads; the diff below \
+       compares apples to oranges\n";
+  Buffer.add_string b
+    (Printf.sprintf "threshold: %.2f%%\n\n" t.cr_threshold);
+  Buffer.add_string b
+    (Printf.sprintf "%-36s %14s %14s %9s  %-14s %s\n" "metric" "A" "B"
+       "delta" "polarity" "class");
+  let shown =
+    List.filter
+      (fun r ->
+         all
+         || (match r.c_class with
+             | Regression | Improvement -> true
+             | Unchanged | Info -> false))
+      t.cr_rows
+  in
+  List.iter
+    (fun r ->
+       Buffer.add_string b
+         (Printf.sprintf "%-36s %14s %14s %9s  %-14s %s\n" r.c_name
+            (fmt_value r.c_a) (fmt_value r.c_b)
+            (fmt_delta r.c_delta_pct)
+            (direction_to_string r.c_direction)
+            (cls_to_string r.c_class)))
+    shown;
+  if shown = [] then
+    Buffer.add_string b "  (no metric moved past the threshold)\n";
+  let nr = List.length (regressions t) in
+  let ni = List.length (improvements t) in
+  Buffer.add_string b
+    (Printf.sprintf
+       "\n%d regression%s, %d improvement%s past %.2f%% over %d compared \
+        metrics\n"
+       nr
+       (if nr = 1 then "" else "s")
+       ni
+       (if ni = 1 then "" else "s")
+       t.cr_threshold (List.length t.cr_rows));
+  Buffer.contents b
+
+let to_json t =
+  Trace.Json.Obj
+    [ ("threshold_pct", Trace.Json.Float t.cr_threshold);
+      ("a", Manifest.to_json t.cr_a);
+      ("b", Manifest.to_json t.cr_b);
+      ( "rows",
+        Trace.Json.List
+          (List.map
+             (fun r ->
+                Trace.Json.Obj
+                  [ ("name", Trace.Json.Str r.c_name);
+                    ("a", Trace.Json.Float r.c_a);
+                    ("b", Trace.Json.Float r.c_b);
+                    ("delta_pct", Trace.Json.Float r.c_delta_pct);
+                    ( "polarity",
+                      Trace.Json.Str (direction_to_string r.c_direction) );
+                    ("class", Trace.Json.Str (cls_to_string r.c_class)) ])
+             t.cr_rows) ) ]

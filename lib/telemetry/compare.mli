@@ -1,0 +1,52 @@
+(** Run-comparison regression diffing over two manifests (baseline A
+    vs. candidate B): relative deltas per counter / metric / histogram
+    quantile, classified by polarity and ranked regressions-first. *)
+
+type direction =
+  | Higher_better
+  | Lower_better
+  | Neutral
+
+type cls =
+  | Regression
+  | Improvement
+  | Unchanged
+  | Info
+
+type row = {
+  c_name : string;
+  c_a : float;
+  c_b : float;
+  c_delta_pct : float;  (** (b - a) / a * 100; infinite when a = 0 <> b *)
+  c_direction : direction;
+  c_class : cls;
+}
+
+type result = {
+  cr_threshold : float;
+  cr_a : Manifest.t;
+  cr_b : Manifest.t;
+  cr_rows : row list;  (** regressions first, ranked by |delta| *)
+}
+
+val direction : string -> direction
+(** Polarity inferred from the metric name; [wall_time_s] is Neutral
+    by design (host noise must not gate CI). *)
+
+val diff : ?threshold:float -> Manifest.t -> Manifest.t -> result
+(** [threshold] is a percentage (default 2.0): moves within it are
+    Unchanged. Only names present in both manifests are compared. *)
+
+val regressions : result -> row list
+
+val improvements : result -> row list
+
+val render : ?all:bool -> result -> string
+(** Ranked table with provenance header; [all] includes rows that did
+    not move past the threshold. *)
+
+val to_json : result -> Trace.Json.t
+
+val cls_to_string : cls -> string
+
+val direction_to_string : direction -> string

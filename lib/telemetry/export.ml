@@ -1,0 +1,162 @@
+(* Exporters over a registry: Prometheus text exposition format 0.0.4
+   and JSON (through the shared Trace.Json serializer). Histograms
+   export cumulative buckets with power-of-two upper bounds, which is
+   exactly the native bucket layout, so no re-binning happens. *)
+
+let sanitize_name s =
+  String.map
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+       | _ -> '_')
+    s
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+       match c with
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '"' -> Buffer.add_string b "\\\""
+       | '\n' -> Buffer.add_string b "\\n"
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+              Printf.sprintf "%s=\"%s\"" (sanitize_name k)
+                (escape_label_value v))
+           labels)
+    ^ "}"
+
+(* Extra labels merge after the spec's own (e.g. the [le] of a
+   histogram bucket). *)
+let render_labels2 labels extra = render_labels (labels @ extra)
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let prometheus_to_buffer b registry =
+  let seen_header = Hashtbl.create 16 in
+  let header name kind help =
+    (* One HELP/TYPE pair per metric name even when several labeled
+       series share it. *)
+    if not (Hashtbl.mem seen_header name) then begin
+      Hashtbl.add seen_header name ();
+      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (s : Registry.spec) ->
+       let name = sanitize_name s.Registry.sp_name in
+       match s.Registry.sp_instrument with
+       | Registry.Counter read ->
+         header name "counter" s.Registry.sp_help;
+         Buffer.add_string b
+           (Printf.sprintf "%s%s %d\n" name
+              (render_labels s.Registry.sp_labels)
+              (read ()))
+       | Registry.Gauge read ->
+         header name "gauge" s.Registry.sp_help;
+         let v = read () in
+         let repr =
+           match Float.classify_float v with
+           | Float.FP_nan -> "NaN"
+           | Float.FP_infinite -> if v > 0. then "+Inf" else "-Inf"
+           | _ -> float_repr v
+         in
+         Buffer.add_string b
+           (Printf.sprintf "%s%s %s\n" name
+              (render_labels s.Registry.sp_labels)
+              repr)
+       | Registry.Histogram h ->
+         header name "histogram" s.Registry.sp_help;
+         let buckets = Hist.buckets h in
+         let cum = ref 0 in
+         let top =
+           (* Highest non-empty bucket: buckets above it add nothing
+              but noise to the exposition. *)
+           let t = ref (-1) in
+           Array.iteri (fun i c -> if c > 0 then t := i) buckets;
+           !t
+         in
+         for k = 0 to top do
+           cum := !cum + buckets.(k);
+           let _, hi = Hist.bucket_bounds k in
+           Buffer.add_string b
+             (Printf.sprintf "%s_bucket%s %d\n" name
+                (render_labels2 s.Registry.sp_labels
+                   [ ("le", string_of_int hi) ])
+                !cum)
+         done;
+         Buffer.add_string b
+           (Printf.sprintf "%s_bucket%s %d\n" name
+              (render_labels2 s.Registry.sp_labels [ ("le", "+Inf") ])
+              (Hist.count h));
+         Buffer.add_string b
+           (Printf.sprintf "%s_sum%s %d\n" name
+              (render_labels s.Registry.sp_labels)
+              (Hist.sum h));
+         Buffer.add_string b
+           (Printf.sprintf "%s_count%s %d\n" name
+              (render_labels s.Registry.sp_labels)
+              (Hist.count h)))
+    (Registry.specs registry)
+
+let prometheus registry =
+  let b = Buffer.create 4096 in
+  prometheus_to_buffer b registry;
+  Buffer.contents b
+
+let summary_to_json (s : Hist.summary) =
+  Trace.Json.Obj
+    [ ("count", Trace.Json.Int s.Hist.s_count);
+      ("sum", Trace.Json.Int s.Hist.s_sum);
+      ("min", Trace.Json.Int s.Hist.s_min);
+      ("max", Trace.Json.Int s.Hist.s_max);
+      ("mean", Trace.Json.Float s.Hist.s_mean);
+      ("p50", Trace.Json.Float s.Hist.s_p50);
+      ("p90", Trace.Json.Float s.Hist.s_p90);
+      ("p99", Trace.Json.Float s.Hist.s_p99) ]
+
+let spec_to_json (s : Registry.spec) =
+  let value =
+    match s.Registry.sp_instrument with
+    | Registry.Counter read ->
+      [ ("type", Trace.Json.Str "counter"); ("value", Trace.Json.Int (read ())) ]
+    | Registry.Gauge read ->
+      [ ("type", Trace.Json.Str "gauge"); ("value", Trace.Json.Float (read ())) ]
+    | Registry.Histogram h ->
+      [ ("type", Trace.Json.Str "histogram");
+        ("summary", summary_to_json (Hist.summarize h)) ]
+  in
+  Trace.Json.Obj
+    (( "name", Trace.Json.Str s.Registry.sp_name )
+     :: ( "labels",
+          Trace.Json.Obj
+            (List.map (fun (k, v) -> (k, Trace.Json.Str v))
+               s.Registry.sp_labels) )
+     :: ("help", Trace.Json.Str s.Registry.sp_help)
+     :: value)
+
+let to_json registry =
+  Trace.Json.List (List.map spec_to_json (Registry.specs registry))
+
+let write_file path registry =
+  if Filename.check_suffix path ".json" then
+    Trace.Json.write_file path (to_json registry)
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (prometheus registry))
+  end

@@ -1,0 +1,16 @@
+(** Registry exporters: Prometheus text exposition format and JSON.
+    Histograms export their native power-of-two buckets cumulatively
+    ([le] upper bounds), plus [_sum] and [_count]. *)
+
+val sanitize_name : string -> string
+(** Map to the Prometheus metric-name alphabet ([A-Za-z0-9_:]). *)
+
+val prometheus : Registry.t -> string
+
+val summary_to_json : Hist.summary -> Trace.Json.t
+
+val to_json : Registry.t -> Trace.Json.t
+
+val write_file : string -> Registry.t -> unit
+(** JSON when the path ends in [.json], Prometheus text otherwise.
+    @raise Sys_error on unwritable paths. *)

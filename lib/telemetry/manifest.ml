@@ -1,0 +1,150 @@
+(* The run manifest: a single JSON document capturing everything
+   needed to reproduce and compare a run — workload identity, machine
+   config, seed, command line, wall time, build provenance, the full
+   counter dump, derived metrics, and histogram summaries. `sassi_run
+   compare` consumes two of these. *)
+
+let schema = "sassi-manifest/1"
+
+type t = {
+  m_workload : string;
+  m_variant : string;
+  m_instrument : string;
+  m_seed : int;
+  m_argv : string list;
+  m_wall_time_s : float;
+  m_build : Build_info.t;
+  m_config : (string * int) list;
+  m_counters : (string * int) list;
+  m_metrics : (string * float) list;
+  m_histograms : (string * Hist.summary) list;
+}
+
+let to_json t =
+  Trace.Json.Obj
+    [ ("schema", Trace.Json.Str schema);
+      ("workload", Trace.Json.Str t.m_workload);
+      ("variant", Trace.Json.Str t.m_variant);
+      ("instrument", Trace.Json.Str t.m_instrument);
+      ("seed", Trace.Json.Int t.m_seed);
+      ( "argv",
+        Trace.Json.List (List.map (fun a -> Trace.Json.Str a) t.m_argv) );
+      ("wall_time_s", Trace.Json.Float t.m_wall_time_s);
+      ("build", Build_info.to_json t.m_build);
+      ( "config",
+        Trace.Json.Obj
+          (List.map (fun (k, v) -> (k, Trace.Json.Int v)) t.m_config) );
+      ( "counters",
+        Trace.Json.Obj
+          (List.map (fun (k, v) -> (k, Trace.Json.Int v)) t.m_counters) );
+      ( "metrics",
+        Trace.Json.Obj
+          (List.map (fun (k, v) -> (k, Trace.Json.Float v)) t.m_metrics) );
+      ( "histograms",
+        Trace.Json.Obj
+          (List.map
+             (fun (k, s) -> (k, Export.summary_to_json s))
+             t.m_histograms) ) ]
+
+let write path t = Trace.Json.write_file path (to_json t)
+
+(* ---------- reading ---------- *)
+
+let str j key ~default =
+  match Trace.Json.member key j with
+  | Some (Trace.Json.Str s) -> s
+  | _ -> default
+
+let num = function
+  | Trace.Json.Int i -> Some (float_of_int i)
+  | Trace.Json.Float f -> Some f
+  | Trace.Json.Null -> Some Float.nan (* NaN round-trips as null *)
+  | _ -> None
+
+let int_pairs j key =
+  match Trace.Json.member key j with
+  | Some (Trace.Json.Obj kvs) ->
+    List.filter_map
+      (fun (k, v) ->
+         match v with
+         | Trace.Json.Int i -> Some (k, i)
+         | _ -> None)
+      kvs
+  | _ -> []
+
+let float_pairs j key =
+  match Trace.Json.member key j with
+  | Some (Trace.Json.Obj kvs) ->
+    List.filter_map (fun (k, v) -> Option.map (fun f -> (k, f)) (num v)) kvs
+  | _ -> []
+
+let summary_of_json j =
+  let i key =
+    match Trace.Json.member key j with
+    | Some (Trace.Json.Int n) -> n
+    | _ -> 0
+  in
+  let f key =
+    match Option.bind (Trace.Json.member key j) num with
+    | Some v -> v
+    | None -> 0.
+  in
+  { Hist.s_count = i "count";
+    Hist.s_sum = i "sum";
+    Hist.s_min = i "min";
+    Hist.s_max = i "max";
+    Hist.s_mean = f "mean";
+    Hist.s_p50 = f "p50";
+    Hist.s_p90 = f "p90";
+    Hist.s_p99 = f "p99" }
+
+let of_json j =
+  match Trace.Json.member "schema" j with
+  | Some (Trace.Json.Str s) when s = schema ->
+    Ok
+      { m_workload = str j "workload" ~default:"unknown";
+        m_variant = str j "variant" ~default:"unknown";
+        m_instrument = str j "instrument" ~default:"none";
+        m_seed =
+          (match Trace.Json.member "seed" j with
+           | Some (Trace.Json.Int n) -> n
+           | _ -> 0);
+        m_argv =
+          (match Trace.Json.member "argv" j with
+           | Some (Trace.Json.List vs) ->
+             List.filter_map
+               (function Trace.Json.Str s -> Some s | _ -> None)
+               vs
+           | _ -> []);
+        m_wall_time_s =
+          (match Option.bind (Trace.Json.member "wall_time_s" j) num with
+           | Some v -> v
+           | None -> 0.);
+        m_build =
+          (match Trace.Json.member "build" j with
+           | Some b -> Build_info.of_json b
+           | None -> Build_info.of_json (Trace.Json.Obj []));
+        m_config = int_pairs j "config";
+        m_counters = int_pairs j "counters";
+        m_metrics = float_pairs j "metrics";
+        m_histograms =
+          (match Trace.Json.member "histograms" j with
+           | Some (Trace.Json.Obj kvs) ->
+             List.map (fun (k, v) -> (k, summary_of_json v)) kvs
+           | _ -> []) }
+  | Some (Trace.Json.Str other) ->
+    Error (Printf.sprintf "unsupported manifest schema %S (want %S)" other schema)
+  | _ -> Error (Printf.sprintf "not a run manifest (missing %S field)" "schema")
+
+let of_string s =
+  match Trace.Json.of_string s with
+  | Error e -> Error e
+  | Ok j -> of_json j
+
+let read path =
+  match Trace.Json.parse_file path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok j ->
+    (match of_json j with
+     | Error e -> Error (Printf.sprintf "%s: %s" path e)
+     | Ok m -> Ok m)

@@ -1,0 +1,32 @@
+(** Run manifests: one JSON document per run with identity, config,
+    seed, command line, wall time, build provenance, counters, derived
+    metrics, and histogram summaries. The input to {!Compare}. *)
+
+val schema : string
+
+type t = {
+  m_workload : string;
+  m_variant : string;
+  m_instrument : string;
+  m_seed : int;
+  m_argv : string list;
+  m_wall_time_s : float;
+  m_build : Build_info.t;
+  m_config : (string * int) list;
+  m_counters : (string * int) list;
+  m_metrics : (string * float) list;
+  m_histograms : (string * Hist.summary) list;
+}
+
+val to_json : t -> Trace.Json.t
+
+val write : string -> t -> unit
+(** @raise Sys_error on unwritable paths. *)
+
+val of_json : Trace.Json.t -> (t, string) result
+
+val of_string : string -> (t, string) result
+
+val read : string -> (t, string) result
+(** Parse a manifest file; errors are prefixed with the path.
+    @raise Sys_error on unreadable paths. *)

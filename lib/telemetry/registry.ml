@@ -1,0 +1,48 @@
+(* A labeled instrument registry: the exporters' single entry point.
+   Instruments are registered once (at enable time, not on the hot
+   path) and read lazily at export time, so a registered gauge costs
+   nothing until someone scrapes it. *)
+
+type instrument =
+  | Counter of (unit -> int)
+  | Gauge of (unit -> float)
+  | Histogram of Hist.t
+
+type spec = {
+  sp_name : string;
+  sp_help : string;
+  sp_labels : (string * string) list;
+  sp_instrument : instrument;
+}
+
+type t = { mutable specs : spec list (* reverse registration order *) }
+
+let create () = { specs = [] }
+
+let mem t name labels =
+  List.exists
+    (fun s -> s.sp_name = name && s.sp_labels = labels)
+    t.specs
+
+let register t ?(labels = []) ~help name instrument =
+  if mem t name labels then
+    invalid_arg
+      (Printf.sprintf "Telemetry.Registry: duplicate instrument %s" name);
+  t.specs <-
+    { sp_name = name; sp_help = help; sp_labels = labels;
+      sp_instrument = instrument }
+    :: t.specs
+
+let counter t ?labels ~help name =
+  let r = ref 0 in
+  register t ?labels ~help name (Counter (fun () -> !r));
+  r
+
+let gauge t ?labels ~help name f = register t ?labels ~help name (Gauge f)
+
+let histogram t ?labels ~help name =
+  let h = Hist.create () in
+  register t ?labels ~help name (Histogram h);
+  h
+
+let specs t = List.rev t.specs

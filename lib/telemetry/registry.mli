@@ -1,0 +1,39 @@
+(** Labeled registry of counters, gauges, and histograms. Registration
+    happens once at enable time; instruments are only read when an
+    exporter walks the registry. *)
+
+type instrument =
+  | Counter of (unit -> int)
+  | Gauge of (unit -> float)
+  | Histogram of Hist.t
+
+type spec = {
+  sp_name : string;
+  sp_help : string;
+  sp_labels : (string * string) list;
+  sp_instrument : instrument;
+}
+
+type t
+
+val create : unit -> t
+
+val register :
+  t -> ?labels:(string * string) list -> help:string -> string -> instrument
+  -> unit
+(** @raise Invalid_argument on a duplicate (name, labels) pair. *)
+
+val counter :
+  t -> ?labels:(string * string) list -> help:string -> string -> int ref
+(** Register a counter and return the cell to increment. *)
+
+val gauge :
+  t -> ?labels:(string * string) list -> help:string -> string
+  -> (unit -> float) -> unit
+
+val histogram :
+  t -> ?labels:(string * string) list -> help:string -> string -> Hist.t
+(** Register a fresh histogram and return it. *)
+
+val specs : t -> spec list
+(** In registration order. *)

@@ -26,3 +26,16 @@ val to_channel : out_channel -> t -> unit
 val write_file : string -> t -> unit
 (** Serialize to a file with a trailing newline.
     @raise Sys_error on unwritable paths. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document. Integer literals without a fraction or
+    exponent parse as [Int] (falling back to [Float] when out of
+    native range); [\uXXXX] escapes decode to UTF-8, including
+    surrogate pairs. The whole input must be consumed. *)
+
+val parse_file : string -> (t, string) result
+(** {!of_string} on a whole file.
+    @raise Sys_error on unreadable paths. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing keys and non-objects. *)

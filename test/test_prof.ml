@@ -278,13 +278,55 @@ let test_report_text () =
   check Alcotest.bool "top bound respected" true
     (List.length r.Prof.Report.r_instrs <= 5)
 
+(* Minimal RFC 4180 field parser: the test reads rows back the way a
+   spreadsheet would, so quoting bugs fail loudly. *)
+let csv_fields line =
+  let b = Buffer.create 16 in
+  let fields = ref [] in
+  let n = String.length line in
+  let rec go i inq =
+    if i >= n then fields := Buffer.contents b :: !fields
+    else
+      let c = line.[i] in
+      if inq then
+        if c = '"' then
+          if i + 1 < n && line.[i + 1] = '"' then begin
+            Buffer.add_char b '"';
+            go (i + 2) true
+          end
+          else go (i + 1) false
+        else begin
+          Buffer.add_char b c;
+          go (i + 1) true
+        end
+      else if c = '"' then go (i + 1) true
+      else if c = ',' then begin
+        fields := Buffer.contents b :: !fields;
+        Buffer.clear b;
+        go (i + 1) false
+      end
+      else begin
+        Buffer.add_char b c;
+        go (i + 1) false
+      end
+  in
+  go 0 false;
+  List.rev !fields
+
 let test_report_csv () =
   let r = profiled_report () in
   let csv = Prof.Report.to_csv r in
-  let lines =
-    String.split_on_char '\n' csv |> List.filter (fun l -> l <> "")
+  (* The blank line separates the hotspot section from the metrics
+     section. *)
+  let rec split_sections acc = function
+    | [] -> (List.rev acc, [])
+    | "" :: rest -> (List.rev acc, List.filter (fun l -> l <> "") rest)
+    | l :: rest -> split_sections (l :: acc) rest
   in
-  (match lines with
+  let hotspot_lines, metric_lines =
+    split_sections [] (String.split_on_char '\n' csv)
+  in
+  (match hotspot_lines with
    | header :: rows ->
      check Alcotest.string "csv header"
        "kernel,pc,block,samples,selected,exec_dependency,memory_dependency,\
@@ -295,14 +337,37 @@ let test_report_csv () =
        (List.length rows);
      List.iter
        (fun row ->
-          (* disasm is quoted, so splitting the prefix is stable *)
-          let fields = String.split_on_char ',' row in
-          check Alcotest.bool "row has at least 9 fields" true
-            (List.length fields >= 9);
+          check Alcotest.int "hotspot row has 9 fields" 9
+            (List.length (csv_fields row));
           check Alcotest.bool "disasm quoted" true
             (String.length row > 0 && row.[String.length row - 1] = '"'))
        rows
-   | [] -> Alcotest.fail "empty csv")
+   | [] -> Alcotest.fail "empty csv");
+  (match metric_lines with
+   | header :: rows ->
+     check Alcotest.string "metrics header" "metric,value,unit,description"
+       header;
+     check Alcotest.int "one row per metric"
+       (List.length r.Prof.Report.r_metrics)
+       (List.length rows);
+     List.iter
+       (fun row ->
+          check Alcotest.int "metric row has 4 fields" 4
+            (List.length (csv_fields row)))
+       rows;
+     (* stall_breakdown's value is comma-separated, so naive splitting
+        over-counts unless the field was quoted (RFC 4180). *)
+     (match
+        List.find_opt
+          (fun row -> List.hd (csv_fields row) = "stall_breakdown")
+          rows
+      with
+      | None -> Alcotest.fail "no stall_breakdown metric row"
+      | Some row ->
+        let v = List.nth (csv_fields row) 1 in
+        check Alcotest.bool "breakdown value contains commas" true
+          (String.contains v ','))
+   | [] -> Alcotest.fail "no metrics section in csv")
 
 let test_report_json () =
   let r = profiled_report () in
