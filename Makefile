@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what a pipeline should run.
 
-.PHONY: all build test fmt ci clean profile telemetry
+.PHONY: all build test fmt lint ci clean profile telemetry
 
 # Workload for `make profile`, e.g. `make profile WORKLOAD=parboil/sgemm`.
 WORKLOAD ?= rodinia/bfs
@@ -22,11 +22,18 @@ fmt:
 	  echo "ocamlformat not installed; skipping format check"; \
 	fi
 
+# Static analysis over every registered workload's kernels; exits
+# non-zero on any error-severity finding (warnings are printed).
+lint: build
+	dune exec bin/sassi_run.exe -- lint all
+
 ci: fmt
 	dune build
 	dune runtest
 	dune exec bin/sassi_run.exe -- --query-metrics > /dev/null
 	dune exec bin/sassi_run.exe -- --build-info > /dev/null
+	@# Verifier gate: zero error-severity findings across the suite.
+	dune exec bin/sassi_run.exe -- lint all
 	@# Compare smoke test: two identical runs must diff clean (exit 0).
 	@tmp=$$(mktemp -d); \
 	dune exec bin/sassi_run.exe -- run parboil/sgemm --variant small \

@@ -13,6 +13,7 @@
      table2  - value profiling: const bits & scalar % (Case Study III)
      fig10   - error injection outcomes (Case Study IV)
      table3  - instrumentation overheads (T wall-clock, K kernel cycles)
+     analysis - static-analyzer wall time per kernel across the suite
      bechamel - wall-clock microbenchmarks, one Test.make per table *)
 
 let quick = ref false
@@ -712,6 +713,57 @@ let bechamel () =
     merged;
   Printf.printf "%!"
 
+(* --- analysis: static-analyzer wall time per kernel --------------------- *)
+
+(* The verifier is meant to run inside the compiler on every build, so
+   its cost must stay O(instructions x dataflow passes). This prints
+   the measured per-kernel wall time across the whole workload suite
+   alongside the instruction count, so a super-linear regression shows
+   up as ns/instr drifting with kernel size. *)
+let analysis () =
+  section "analysis: static-analysis wall time per kernel (a compiler-pass budget)";
+  let reps = if !quick then 5 else 20 in
+  Printf.printf "  %-26s %7s %7s %9s %9s %9s\n" "kernel" "instrs" "blocks"
+    "findings" "us/run" "ns/instr";
+  let total_instrs = ref 0 and total_us = ref 0.0 in
+  List.iter
+    (fun w ->
+       let device = fresh () in
+       let kernels = ref [] in
+       Gpu.Device.set_transform device
+         (Some
+            (fun k ->
+               if not (List.mem_assoc k.Sass.Program.name !kernels) then
+                 kernels := (k.Sass.Program.name, k) :: !kernels;
+               k));
+       let _ =
+         w.Workloads.Workload.run device
+           ~variant:w.Workloads.Workload.default_variant
+       in
+       List.iter
+         (fun (kname, k) ->
+            let instrs = Array.length k.Sass.Program.instrs in
+            let cfg_k = Sass.Cfg.build k.Sass.Program.instrs in
+            let nblocks = Array.length cfg_k.Sass.Cfg.blocks in
+            let findings = Analysis.Verifier.verify k in
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to reps do
+              ignore (Analysis.Verifier.verify k)
+            done;
+            let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+            total_instrs := !total_instrs + instrs;
+            total_us := !total_us +. (dt *. 1e6);
+            Printf.printf "  %-26s %7d %7d %9d %9.1f %9.1f\n" kname instrs
+              nblocks
+              (List.length findings)
+              (dt *. 1e6)
+              (dt *. 1e9 /. float_of_int instrs))
+         (List.rev !kernels))
+    Workloads.Registry.all;
+  Printf.printf
+    "  total: %d instrs, %.1f us for one verify of every kernel\n%!"
+    !total_instrs !total_us
+
 (* --- Driver -------------------------------------------------------------------- *)
 
 let all () =
@@ -727,6 +779,7 @@ let all () =
   tracing ();
   profiling ();
   telemetry ();
+  analysis ();
   bechamel ()
 
 let () =
@@ -757,13 +810,14 @@ let () =
          | "tracing" -> tracing ()
          | "profiling" -> profiling ()
          | "telemetry" -> telemetry ()
+         | "analysis" -> analysis ()
          | "bechamel" -> bechamel ()
          | "all" -> all ()
          | other ->
            Printf.eprintf
              "unknown experiment %s (table1|fig5|fig7|fig8|table2|fig10|\
-              table3|cachesim|scaling|tracing|profiling|telemetry|bechamel|\
-              all)\n"
+              table3|cachesim|scaling|tracing|profiling|telemetry|analysis|\
+              bechamel|all)\n"
              other;
            exit 1)
        cmds);

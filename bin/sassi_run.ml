@@ -4,7 +4,9 @@
      list                     - list registered workloads and variants
      run WORKLOAD             - run a workload, optionally instrumented
      disasm WORKLOAD          - print the SASS of a workload's kernels
-                                (before and, optionally, after injection) *)
+                                (before and, optionally, after injection)
+     lint WORKLOAD|all        - static analysis over compiled kernels
+     analyze WORKLOAD         - per-site instrumentation cost model *)
 
 open Cmdliner
 
@@ -448,6 +450,242 @@ let disasm name instrumented =
     in
     0
 
+(* Runs a workload once uninstrumented, capturing every kernel the
+   device compiles (in launch order) along with the run result — the
+   shared front half of `lint` and `analyze`. *)
+let capture_kernels w variant =
+  let device = Gpu.Device.create () in
+  let kernels = ref [] in
+  Gpu.Device.set_transform device
+    (Some
+       (fun k ->
+          if not (List.mem_assoc k.Sass.Program.name !kernels) then
+            kernels := (k.Sass.Program.name, k) :: !kernels;
+          k));
+  let r = w.Workloads.Workload.run device ~variant in
+  (List.rev !kernels, r)
+
+let lint name variant json =
+  let targets =
+    if name = "all" then
+      Some (List.map (fun w -> (w, None)) Workloads.Registry.all)
+    else
+      match Workloads.Registry.find_opt name with
+      | None -> None
+      | Some w -> Some [ (w, variant) ]
+  in
+  match targets with
+  | None ->
+    Format.eprintf "unknown workload %s; try `sassi_run list` or `all`@." name;
+    1
+  | Some targets ->
+    let total_err = ref 0 and total_warn = ref 0 in
+    let wl_json = ref [] in
+    List.iter
+      (fun (w, variant) ->
+         let variant =
+           match variant with
+           | Some v -> v
+           | None -> w.Workloads.Workload.default_variant
+         in
+         let kernels, _ = capture_kernels w variant in
+         let kernel_objs =
+           List.map
+             (fun (kname, k) ->
+                let findings = Analysis.Verifier.verify k in
+                let e, wn, _ = Analysis.Verifier.summary findings in
+                total_err := !total_err + e;
+                total_warn := !total_warn + wn;
+                if not json then begin
+                  Format.printf "%s/%s (%s) kernel %s: %d error(s), %d \
+                                 warning(s)@."
+                    w.Workloads.Workload.suite w.Workloads.Workload.name
+                    variant kname e wn;
+                  List.iter
+                    (fun f -> Format.printf "  %a@." Analysis.Finding.pp f)
+                    findings
+                end;
+                ( kname,
+                  Trace.Json.List (List.map Analysis.Finding.to_json findings)
+                ))
+             kernels
+         in
+         wl_json :=
+           Trace.Json.Obj
+             [ ("workload", Trace.Json.Str w.Workloads.Workload.name);
+               ("variant", Trace.Json.Str variant);
+               ("kernels", Trace.Json.Obj kernel_objs) ]
+           :: !wl_json)
+      targets;
+    if json then
+      print_endline
+        (Trace.Json.to_string
+           (Trace.Json.Obj
+              [ ("workloads", Trace.Json.List (List.rev !wl_json));
+                ("errors", Trace.Json.Int !total_err);
+                ("warnings", Trace.Json.Int !total_warn) ]))
+    else
+      Format.printf "lint: %d error(s), %d warning(s)@." !total_err
+        !total_warn;
+    if !total_err > 0 then 1 else 0
+
+(* Handler pairs for an instrumentation kind; the specs drive the
+   static cost model, the handlers the validation run. *)
+let pairs_for device = function
+  | "none" | "stub" ->
+    [ (Sassi.Select.before [ Sassi.Select.All ] [], Sassi.Handler.noop) ]
+  | "opcode" -> Handlers.Opcode_hist.pairs (Handlers.Opcode_hist.create device)
+  | "branch" ->
+    Handlers.Branch_stats.pairs (Handlers.Branch_stats.create device)
+  | "memdiv" ->
+    Handlers.Mem_divergence.pairs (Handlers.Mem_divergence.create device)
+  | "value" ->
+    Handlers.Value_profile.pairs (Handlers.Value_profile.create device)
+  | "blocks" ->
+    Handlers.Block_profile.pairs (Handlers.Block_profile.create device)
+  | "trace" -> Handlers.Mem_trace.pairs (Handlers.Mem_trace.create ())
+  | other ->
+    Format.eprintf "unknown instrumentation %s@." other;
+    exit 1
+
+let analyze name variant instrument json dump_cfg dump_live validate =
+  match Workloads.Registry.find_opt name with
+  | None ->
+    Format.eprintf "unknown workload %s; try `sassi_run list`@." name;
+    1
+  | Some w ->
+    let variant =
+      match variant with
+      | Some v -> v
+      | None -> w.Workloads.Workload.default_variant
+    in
+    let kernels, baseline = capture_kernels w variant in
+    let specs = List.map fst (pairs_for (Gpu.Device.create ()) instrument) in
+    let costs =
+      List.map
+        (fun (kname, k) -> (kname, k, Analysis.Cost.analyze ~specs k))
+        kernels
+    in
+    (match dump_cfg with
+     | None -> ()
+     | Some path ->
+       let doc =
+         String.concat "\n"
+           (List.map
+              (fun (kname, k) ->
+                 let instrs = k.Sass.Program.instrs in
+                 let live =
+                   if dump_live then Some (Sass.Liveness.analyze instrs)
+                   else None
+                 in
+                 Analysis.Dot.render ?live ~name:kname instrs
+                   (Sass.Cfg.build instrs))
+              kernels)
+       in
+       if path = "-" then print_string doc
+       else begin
+         (try
+            let oc = open_out path in
+            output_string oc doc;
+            close_out oc
+          with Sys_error m ->
+            Format.eprintf "cannot write cfg dump: %s@." m;
+            exit 1);
+         Format.printf "cfg dot (%d kernel(s)%s) -> %s@."
+           (List.length kernels)
+           (if dump_live then ", live sets" else "")
+           path
+       end);
+    if not json then begin
+      Format.printf
+        "static instrumentation cost (%s) for %s/%s (%s):@." instrument
+        w.Workloads.Workload.suite w.Workloads.Workload.name variant;
+      Format.printf "  %-24s %6s %6s %10s %10s %6s@." "kernel" "instrs"
+        "sites" "avg-spill" "inj-instrs" "frame";
+      List.iter
+        (fun (kname, k, (c : Analysis.Cost.t)) ->
+           let nsites = List.length c.Analysis.Cost.c_sites in
+           let avg_spill =
+             if nsites = 0 then 0.0
+             else
+               float_of_int
+                 (List.fold_left
+                    (fun a s -> a + s.Analysis.Cost.c_spills)
+                    0 c.Analysis.Cost.c_sites)
+               /. float_of_int nsites
+           in
+           Format.printf "  %-24s %6d %6d %10.2f %10d %6d@." kname
+             (Array.length k.Sass.Program.instrs)
+             nsites avg_spill c.Analysis.Cost.c_static_instrs
+             c.Analysis.Cost.c_frame_bytes)
+        costs
+    end;
+    let validation =
+      if not validate then None
+      else begin
+        let device = Gpu.Device.create () in
+        let tele = Cupti.Telemetry.enable device in
+        let pairs = pairs_for device instrument in
+        let r2, per_kernel =
+          Sassi.Runtime.with_instrumentation device pairs (fun rt ->
+              let r = w.Workloads.Workload.run device ~variant in
+              ( r,
+                List.map
+                  (fun (kname, k) ->
+                     (kname, k, Sassi.Runtime.sites_for_kernel rt kname))
+                  kernels ))
+        in
+        let counts = Cupti.Telemetry.handler_sites tele in
+        let predicted =
+          List.fold_left
+            (fun acc (_, k, sites) ->
+               acc
+               + Analysis.Cost.predict_extra_instrs
+                   (Analysis.Cost.of_sites k sites)
+                   ~counts)
+            0 per_kernel
+        in
+        let measured =
+          r2.Workloads.Workload.stats.Gpu.Stats.warp_instrs
+          - baseline.Workloads.Workload.stats.Gpu.Stats.warp_instrs
+        in
+        let err_pct =
+          if measured = 0 then 0.0
+          else
+            100.0
+            *. float_of_int (abs (predicted - measured))
+            /. float_of_int measured
+        in
+        if not json then
+          Format.printf
+            "validation: predicted %d extra warp instrs, measured %d \
+             (%.2f%% error)@."
+            predicted measured err_pct;
+        Some (predicted, measured, err_pct)
+      end
+    in
+    if json then begin
+      let fields =
+        [ ("workload", Trace.Json.Str w.Workloads.Workload.name);
+          ("variant", Trace.Json.Str variant);
+          ("instrument", Trace.Json.Str instrument);
+          ( "kernels",
+            Trace.Json.List
+              (List.map (fun (_, _, c) -> Analysis.Cost.to_json c) costs) ) ]
+        @
+        match validation with
+        | None -> []
+        | Some (p, m, e) ->
+          [ ( "validation",
+              Trace.Json.Obj
+                [ ("predicted_extra_instrs", Trace.Json.Int p);
+                  ("measured_extra_instrs", Trace.Json.Int m);
+                  ("error_pct", Trace.Json.Float e) ] ) ]
+      in
+      print_endline (Trace.Json.to_string (Trace.Json.Obj fields))
+    end;
+    0
+
 let workload_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
 
@@ -611,6 +849,67 @@ let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a workload's kernels")
     Term.(const disasm $ workload_arg $ instrumented_arg)
 
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit the report as one JSON document.")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically verify a workload's kernels (or `all')"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Compiles the workload's kernels (by running the workload \
+               once, uninstrumented) and runs the static analyzers over \
+               each: uninitialized-register reads, barriers under \
+               divergent control flow, shared-memory race hints, \
+               unreachable code and dead stores.";
+           `S Manpage.s_exit_status;
+           `P "0 when no error-severity finding is reported; 1 otherwise. \
+               Warnings are printed but never change the exit status." ])
+    Term.(const lint $ workload_arg $ variant_arg $ json_arg)
+
+let dump_cfg_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dump-cfg" ] ~docv:"FILE"
+           ~doc:"Write the kernels' control-flow graphs as Graphviz dot \
+                 to $(docv) ($(b,-) for stdout).")
+
+let dump_live_arg =
+  Arg.(value & flag
+       & info [ "dump-live" ]
+           ~doc:"Annotate --dump-cfg blocks with live-in/live-out \
+                 register sets.")
+
+let validate_arg =
+  Arg.(value & flag
+       & info [ "validate" ]
+           ~doc:"Re-run the workload instrumented and compare the cost \
+                 model's predicted extra warp instructions against the \
+                 measured delta (per-site invocation counts come from \
+                 the telemetry handler-overhead counters).")
+
+let analyze_instrument_arg =
+  Arg.(value & opt (enum (List.map (fun s -> (s, s)) instruments)) "stub"
+       & info [ "i"; "instrument" ] ~docv:"KIND"
+           ~doc:"Instrumentation whose cost to model (default stub: a \
+                 no-op handler before every instruction).")
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static per-site instrumentation cost model for a workload"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Predicts, per instrumentation site, the injected sequence \
+               length and register spills a SASSI instrumentation would \
+               incur — from liveness analysis alone, without running the \
+               instrumented kernel. With $(b,--validate) the prediction \
+               is checked against a measured instrumented run." ])
+    Term.(const analyze $ workload_arg $ variant_arg
+          $ analyze_instrument_arg $ json_arg $ dump_cfg_arg $ dump_live_arg
+          $ validate_arg)
+
 (* `sassi_run --query-metrics` works at top level, like nvprof. *)
 let query_metrics_arg =
   Arg.(value & flag
@@ -645,6 +944,7 @@ let main =
   Cmd.group ~default:default_term
     (Cmd.info "sassi_run" ~version:"1.0"
        ~doc:"SASSI on a simulated GPU: selective instrumentation driver")
-    [ run_cmd; list_cmd; disasm_cmd; campaign_cmd; compare_cmd ]
+    [ run_cmd; list_cmd; disasm_cmd; campaign_cmd; compare_cmd; lint_cmd;
+      analyze_cmd ]
 
 let () = exit (Cmd.eval' main)

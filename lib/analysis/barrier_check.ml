@@ -1,0 +1,74 @@
+open Sass
+
+let check ~kernel instrs (cfg : Cfg.t) uni =
+  let pdom = Domtree.post_dominators cfg in
+  let dom = Domtree.dominators cfg in
+  let nb = Array.length cfg.Cfg.blocks in
+  let bars = Array.make nb [] in
+  Array.iteri
+    (fun pc (i : Instr.t) ->
+       if i.Instr.op = Opcode.BAR then begin
+         let b = cfg.Cfg.block_of_pc.(pc) in
+         bars.(b) <- pc :: bars.(b)
+       end)
+    instrs;
+  let seen = Hashtbl.create 16 in
+  let findings = ref [] in
+  let report pc kind sev msg =
+    if not (Hashtbl.mem seen (pc, kind)) then begin
+      Hashtbl.add seen (pc, kind) ();
+      findings := Finding.make ~kernel ~pc kind sev msg :: !findings
+    end
+  in
+  Array.iteri
+    (fun pc (i : Instr.t) ->
+       let b = cfg.Cfg.block_of_pc.(pc) in
+       if
+         Instr.is_cond_branch i
+         && Cfg.reachable_block cfg b
+         && Uniformity.divergent_branch uni pc
+       then begin
+         (* Divergent region: blocks reachable from the branch's
+            successors without passing through its reconvergence
+            point (immediate post-dominator). *)
+         let stop = Domtree.ipdom pdom b in
+         let visited = Array.make nb false in
+         let region = ref [] in
+         let rec dfs d =
+           if (match stop with Some s -> d <> s | None -> true)
+              && not visited.(d)
+           then begin
+             visited.(d) <- true;
+             region := d :: !region;
+             List.iter dfs cfg.Cfg.blocks.(d).Cfg.succs
+           end
+         in
+         List.iter dfs cfg.Cfg.blocks.(b).Cfg.succs;
+         List.iter
+           (fun d ->
+              List.iter
+                (fun bar_pc ->
+                   if Domtree.dominates dom d b then
+                     report bar_pc Finding.Loop_barrier Finding.Warning
+                       (Printf.sprintf
+                          "BAR inside a loop controlled by the divergent \
+                           branch at pc %d; deadlocks if lanes run \
+                           different trip counts"
+                          pc)
+                   else
+                     report bar_pc Finding.Divergent_barrier Finding.Error
+                       (Printf.sprintf
+                          "BAR reachable on one arm of the divergent \
+                           branch at pc %d (reconvergence %s); lanes on \
+                           the other arm never arrive"
+                          pc
+                          (match stop with
+                           | Some s ->
+                             Printf.sprintf "at pc %d"
+                               cfg.Cfg.blocks.(s).Cfg.first
+                           | None -> "at exit")))
+                bars.(d))
+           !region
+       end)
+    instrs;
+  List.rev !findings

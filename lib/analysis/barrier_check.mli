@@ -1,0 +1,22 @@
+(** Barrier-divergence deadlock checker.
+
+    A [BAR] (block-wide barrier) executed while the warp is split is
+    undefined behaviour on real hardware and a deadlock in the PDOM
+    model: lanes parked on the divergence stack never arrive. For each
+    divergent conditional branch (variant guard, per {!Uniformity})
+    this checker walks the divergent region — blocks reachable from
+    the branch's successors before its immediate post-dominator — and
+    classifies every barrier found there:
+
+    - barrier block {e dominates} the branch: the barrier sits in a
+      loop whose trip count may differ across lanes — [Warning]
+      ([Loop_barrier]);
+    - otherwise the barrier lies on one arm of the divergence —
+      [Error] ([Divergent_barrier]). *)
+
+val check :
+  kernel:string ->
+  Sass.Instr.t array ->
+  Sass.Cfg.t ->
+  Uniformity.t ->
+  Finding.t list

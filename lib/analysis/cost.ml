@@ -1,0 +1,128 @@
+open Sass
+
+type site = {
+  c_id : int;
+  c_pc : int;
+  c_point : Sassi.Select.point;
+  c_what : Sassi.Select.what list;
+  c_live : int;
+  c_spills : int;
+  c_seq : int;
+}
+
+type t = {
+  c_kernel : string;
+  c_sites : site list;
+  c_static_instrs : int;
+  c_frame_bytes : int;
+}
+
+(* The injector's spill filter: caller-saved R0..R15 minus the stack
+   pointer R1 (Core.Inject.spill_set). *)
+let spill_count regs =
+  List.length
+    (List.filter
+       (fun r ->
+          let k = Reg.index r in
+          k <> 1 && k < Sassi.Abi.spillable_regs)
+       regs)
+
+let price ~id ~pc ~point ~what instr live_regs =
+  let spills = spill_count live_regs in
+  let spec =
+    { Sassi.Select.point; classes = [ Sassi.Select.All ]; what }
+  in
+  { c_id = id;
+    c_pc = pc;
+    c_point = point;
+    c_what = what;
+    c_live = List.length live_regs;
+    c_spills = spills;
+    c_seq = Sassi.Inject.sequence_length spec instr ~live:spills }
+
+let finish kernel sites =
+  { c_kernel = kernel;
+    c_sites = sites;
+    c_static_instrs = List.fold_left (fun a s -> a + s.c_seq) 0 sites;
+    c_frame_bytes = (if sites = [] then 0 else Sassi.Abi.frame_bytes) }
+
+let analyze ~specs (k : Program.kernel) =
+  let instrs = k.Program.instrs in
+  let n = Array.length instrs in
+  let live = Liveness.analyze instrs in
+  let cfg = Cfg.build instrs in
+  let is_leader = Array.make n false in
+  Array.iter (fun b -> is_leader.(b.Cfg.first) <- true) cfg.Cfg.blocks;
+  let sites = ref [] in
+  let id = ref 0 in
+  let consider point pc =
+    List.iter
+      (fun (spec : Sassi.Select.spec) ->
+         if
+           spec.Sassi.Select.point = point
+           && Sassi.Select.matches_at spec ~pc ~is_leader:is_leader.(pc)
+                instrs.(pc)
+         then begin
+           let regs =
+             match point with
+             | Sassi.Select.Before -> Liveness.live_gprs_before live pc
+             | Sassi.Select.After -> Liveness.live_gprs_after live pc
+           in
+           sites :=
+             price ~id:!id ~pc ~point ~what:spec.Sassi.Select.what
+               instrs.(pc) regs
+             :: !sites;
+           incr id
+         end)
+      specs
+  in
+  for pc = 0 to n - 1 do
+    consider Sassi.Select.Before pc;
+    consider Sassi.Select.After pc
+  done;
+  finish k.Program.name (List.rev !sites)
+
+let of_sites (k : Program.kernel) (sites : Sassi.Select.site list) =
+  let live = Liveness.analyze k.Program.instrs in
+  let priced =
+    List.map
+      (fun (s : Sassi.Select.site) ->
+         let pc = s.Sassi.Select.s_old_pc in
+         let regs =
+           match s.Sassi.Select.s_point with
+           | Sassi.Select.Before -> Liveness.live_gprs_before live pc
+           | Sassi.Select.After -> Liveness.live_gprs_after live pc
+         in
+         price ~id:s.Sassi.Select.s_id ~pc ~point:s.Sassi.Select.s_point
+           ~what:s.Sassi.Select.s_what s.Sassi.Select.s_instr regs)
+      sites
+  in
+  finish k.Program.name priced
+
+let predict_extra_instrs t ~counts =
+  List.fold_left
+    (fun acc s ->
+       match List.assoc_opt s.c_id counts with
+       | Some invocations -> acc + (s.c_seq * invocations)
+       | None -> acc)
+    0 t.c_sites
+
+let to_json t =
+  let site_json s =
+    Trace.Json.Obj
+      [ ("id", Trace.Json.Int s.c_id);
+        ("pc", Trace.Json.Int s.c_pc);
+        ( "point",
+          Trace.Json.Str
+            (match s.c_point with
+             | Sassi.Select.Before -> "before"
+             | Sassi.Select.After -> "after") );
+        ("live", Trace.Json.Int s.c_live);
+        ("spills", Trace.Json.Int s.c_spills);
+        ("seq_instrs", Trace.Json.Int s.c_seq) ]
+  in
+  Trace.Json.Obj
+    [ ("kernel", Trace.Json.Str t.c_kernel);
+      ("sites", Trace.Json.List (List.map site_json t.c_sites));
+      ("static_instrs", Trace.Json.Int t.c_static_instrs);
+      ("frame_bytes", Trace.Json.Int t.c_frame_bytes) ]

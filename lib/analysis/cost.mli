@@ -1,0 +1,51 @@
+(** Analysis-guided instrumentation cost model.
+
+    SASSI's injector spills exactly the live caller-saved registers at
+    each site ("the compiler knows exactly which registers to spill",
+    paper Section 3.2), so per-site overhead is a pure function of the
+    liveness analysis and the selection spec — computable without
+    running anything. This module reproduces the injector's site
+    enumeration and sequence-length arithmetic so that:
+
+    - [analyze] predicts, per site, the injected sequence length and
+      spill count a given spec set would incur on a kernel;
+    - [of_sites] prices the concrete site table an actual
+      instrumentation run produced;
+    - [predict_extra_instrs] combines static per-site costs with
+      measured per-site invocation counts ([Cupti.Telemetry]'s
+      handler-overhead counters) to predict the total extra
+      warp-instruction count — cross-checkable against the measured
+      [warp_instrs] delta between instrumented and plain runs. *)
+
+type site = {
+  c_id : int;  (** site id ([s_id] for real sites, dense for static) *)
+  c_pc : int;  (** PC in the uninstrumented kernel *)
+  c_point : Sassi.Select.point;
+  c_what : Sassi.Select.what list;
+  c_live : int;  (** live GPRs at the site *)
+  c_spills : int;  (** registers the injector would spill *)
+  c_seq : int;  (** instructions in the injected call sequence *)
+}
+
+type t = {
+  c_kernel : string;
+  c_sites : site list;  (** in injection order *)
+  c_static_instrs : int;  (** total injected instructions, [sum c_seq] *)
+  c_frame_bytes : int;  (** extra stack frame the kernel gains *)
+}
+
+val analyze : specs:Sassi.Select.spec list -> Sass.Program.kernel -> t
+(** Static prediction: enumerates the sites the injector would create
+    for [specs] (every spec fires per matching instruction, in list
+    order, [Before] sites first — mirroring [Core.Inject]). *)
+
+val of_sites : Sass.Program.kernel -> Sassi.Select.site list -> t
+(** Prices an actual site table against the {e uninstrumented} kernel
+    the sites refer to ([s_old_pc] PCs). *)
+
+val predict_extra_instrs : t -> counts:(int * int) list -> int
+(** [predict_extra_instrs t ~counts] with [counts] as
+    [(site id, invocations)]: predicted total extra warp instructions,
+    [sum (c_seq * invocations)] over sites appearing in [counts]. *)
+
+val to_json : t -> Trace.Json.t

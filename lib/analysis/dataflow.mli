@@ -1,0 +1,49 @@
+(** Generic worklist dataflow over {!Sass.Cfg}.
+
+    The solver iterates block-level states to a fixpoint in
+    reverse-postorder (postorder for backward problems), then expands
+    the solution to per-PC states in one final pass. All blocks are
+    solved, including blocks unreachable from the entry: because a
+    reachable block never has an unreachable predecessor (see
+    [cfg.mli]), unreachable state can never leak into reachable code,
+    and must-style analyses that seed interior blocks with top simply
+    stay silent there. *)
+
+type direction =
+  | Forward
+  | Backward
+
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** Merge at control-flow confluences (set union for may-analyses,
+      intersection for must-analyses). *)
+
+  val transfer : pc:int -> Sass.Instr.t -> t -> t
+  (** Effect of one instruction. For [Backward] problems the input is
+      the state {e after} the instruction and the result the state
+      before it. *)
+end
+
+module Make (D : DOMAIN) : sig
+  type result = {
+    before : D.t array;  (** per-PC state before the instruction *)
+    after : D.t array;  (** per-PC state after the instruction *)
+    passes : int;  (** sweeps over the block list until fixpoint *)
+  }
+
+  val solve :
+    direction:direction ->
+    boundary:D.t ->
+    init:D.t ->
+    Sass.Instr.t array ->
+    Sass.Cfg.t ->
+    result
+  (** [boundary] is the state at the kernel entry ([Forward]) or at
+      every exit block ([Backward]); [init] seeds all other block
+      inputs (use the lattice top for must-analyses, bottom for
+      may-analyses). *)
+end

@@ -1,0 +1,40 @@
+open Sass
+
+let check ~kernel instrs (cfg : Cfg.t) live =
+  let findings = ref [] in
+  Array.iter
+    (fun (blk : Cfg.block) ->
+       if not (Cfg.reachable_block cfg blk.Cfg.id) then
+         findings :=
+           Finding.make ~kernel ~pc:blk.Cfg.first Finding.Unreachable_code
+             Finding.Warning
+             (Printf.sprintf
+                "block B%d [%d..%d] is unreachable from the kernel entry"
+                blk.Cfg.id blk.Cfg.first blk.Cfg.last)
+           :: !findings)
+    cfg.Cfg.blocks;
+  Array.iteri
+    (fun pc (i : Instr.t) ->
+       if Cfg.reachable_block cfg cfg.Cfg.block_of_pc.(pc) then begin
+         let defs = Instr.defs i in
+         if
+           Pred.is_always i.Instr.guard
+           && defs <> []
+           && Instr.pdefs i = []
+           && (not (Opcode.is_mem i.Instr.op))
+           && (not (Opcode.is_control i.Instr.op))
+           && not (Opcode.is_sync i.Instr.op)
+         then begin
+           let after = Liveness.live_gprs_after live pc in
+           if List.for_all (fun r -> not (List.mem r after)) defs then
+             findings :=
+               Finding.make ~kernel ~pc Finding.Dead_store Finding.Warning
+                 (Printf.sprintf "%s result %s is never read"
+                    (Opcode.to_string i.Instr.op)
+                    (String.concat ","
+                       (List.map Reg.to_string defs)))
+               :: !findings
+         end
+       end)
+    instrs;
+  List.rev !findings

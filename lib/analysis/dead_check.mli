@@ -1,0 +1,15 @@
+(** Unreachable-code and dead-store checks.
+
+    - [Unreachable_code]: one warning per block not reachable from the
+      kernel entry (reported at the block's first PC).
+    - [Dead_store]: an unguarded instruction whose only effect is
+      writing GPRs that {!Sass.Liveness} proves dead afterwards.
+      Memory, control, sync and predicate-writing instructions are
+      exempt (they have effects beyond the register file). *)
+
+val check :
+  kernel:string ->
+  Sass.Instr.t array ->
+  Sass.Cfg.t ->
+  Sass.Liveness.t ->
+  Finding.t list

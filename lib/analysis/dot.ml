@@ -1,0 +1,59 @@
+open Sass
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\l"
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let regs_line label regs =
+  Printf.sprintf "%s: %s" label
+    (if regs = [] then "-"
+     else String.concat "," (List.map Reg.to_string regs))
+
+let max_shown = 12
+
+let render ?live ~name instrs (cfg : Cfg.t) =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "digraph \"%s\" {\n" (escape name);
+  Buffer.add_string b "  node [shape=box fontname=\"monospace\"];\n";
+  Printf.bprintf b "  label=\"%s\";\n" (escape name);
+  Array.iter
+    (fun (blk : Cfg.block) ->
+       let lines = ref [] in
+       let add l = lines := l :: !lines in
+       add (Printf.sprintf "B%d [%d..%d]" blk.Cfg.id blk.Cfg.first blk.Cfg.last);
+       (match live with
+        | Some lv -> add (regs_line "live-in" (Liveness.live_gprs_before lv blk.Cfg.first))
+        | None -> ());
+       let count = blk.Cfg.last - blk.Cfg.first + 1 in
+       for pc = blk.Cfg.first to min blk.Cfg.last (blk.Cfg.first + max_shown - 1) do
+         add (Printf.sprintf "%4d: %s" pc (Instr.to_string instrs.(pc)))
+       done;
+       if count > max_shown then
+         add (Printf.sprintf "  ... %d more" (count - max_shown));
+       (match live with
+        | Some lv -> add (regs_line "live-out" (Liveness.live_gprs_after lv blk.Cfg.last))
+        | None -> ());
+       let label =
+         String.concat "\\l" (List.rev_map escape !lines) ^ "\\l"
+       in
+       let style =
+         if Cfg.reachable_block cfg blk.Cfg.id then "" else " style=dashed"
+       in
+       Printf.bprintf b "  b%d [label=\"%s\"%s];\n" blk.Cfg.id label style)
+    cfg.Cfg.blocks;
+  Array.iter
+    (fun (blk : Cfg.block) ->
+       List.iter
+         (fun s -> Printf.bprintf b "  b%d -> b%d;\n" blk.Cfg.id s)
+         blk.Cfg.succs)
+    cfg.Cfg.blocks;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

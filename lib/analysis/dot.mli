@@ -1,0 +1,12 @@
+(** Graphviz export of a kernel CFG, optionally annotated with
+    per-block live-in/live-out register sets. *)
+
+val render :
+  ?live:Sass.Liveness.t ->
+  name:string ->
+  Sass.Instr.t array ->
+  Sass.Cfg.t ->
+  string
+(** A [digraph]: one box per basic block listing its instructions
+    (elided past 12), dashed boxes for blocks unreachable from the
+    entry, and, when [live] is given, live-in/live-out GPR lines. *)

@@ -1,0 +1,62 @@
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type kind =
+  | Uninit_read
+  | Maybe_uninit_read
+  | Divergent_barrier
+  | Loop_barrier
+  | Shared_race
+  | Unreachable_code
+  | Dead_store
+
+type t = {
+  f_kernel : string;
+  f_pc : int;
+  f_kind : kind;
+  f_severity : severity;
+  f_msg : string;
+}
+
+let make ~kernel ~pc kind severity msg =
+  { f_kernel = kernel; f_pc = pc; f_kind = kind; f_severity = severity;
+    f_msg = msg }
+
+let kind_name = function
+  | Uninit_read -> "uninit-read"
+  | Maybe_uninit_read -> "maybe-uninit-read"
+  | Divergent_barrier -> "divergent-barrier"
+  | Loop_barrier -> "loop-barrier"
+  | Shared_race -> "shared-race"
+  | Unreachable_code -> "unreachable-code"
+  | Dead_store -> "dead-store"
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let c = Int.compare (severity_rank a.f_severity) (severity_rank b.f_severity) in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.f_pc b.f_pc in
+    if c <> 0 then c else Stdlib.compare a.f_kind b.f_kind
+
+let errors fs = List.filter (fun f -> f.f_severity = Error) fs
+
+let pp ppf f =
+  Format.fprintf ppf "%s:%d: %s: %s: %s" f.f_kernel f.f_pc
+    (severity_name f.f_severity) (kind_name f.f_kind) f.f_msg
+
+let to_json f =
+  Trace.Json.Obj
+    [ ("kernel", Trace.Json.Str f.f_kernel);
+      ("pc", Trace.Json.Int f.f_pc);
+      ("kind", Trace.Json.Str (kind_name f.f_kind));
+      ("severity", Trace.Json.Str (severity_name f.f_severity));
+      ("message", Trace.Json.Str f.f_msg) ]

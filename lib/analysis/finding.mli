@@ -1,0 +1,40 @@
+(** Analysis findings: what the checkers report, with a severity that
+    drives CLI exit codes and the compile gate. *)
+
+type severity =
+  | Error  (** definite bug; fails [lint] and the compile gate *)
+  | Warning  (** likely or input-dependent bug; printed, never fatal *)
+  | Info
+
+type kind =
+  | Uninit_read  (** register read with no prior definition on any path *)
+  | Maybe_uninit_read  (** defined on some paths / under a predicate only *)
+  | Divergent_barrier  (** [BAR] reachable under divergent control flow *)
+  | Loop_barrier  (** [BAR] in a loop whose trip count may diverge *)
+  | Shared_race  (** conflicting shared accesses with no barrier between *)
+  | Unreachable_code
+  | Dead_store
+
+type t = {
+  f_kernel : string;
+  f_pc : int;
+  f_kind : kind;
+  f_severity : severity;
+  f_msg : string;
+}
+
+val make : kernel:string -> pc:int -> kind -> severity -> string -> t
+
+val kind_name : kind -> string
+
+val severity_name : severity -> string
+
+val compare : t -> t -> int
+(** Orders by severity (errors first), then PC, then kind. *)
+
+val errors : t list -> t list
+
+val pp : Format.formatter -> t -> unit
+(** One line: [kernel:pc: severity: kind: message]. *)
+
+val to_json : t -> Trace.Json.t

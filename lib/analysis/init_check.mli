@@ -1,0 +1,16 @@
+(** Uninitialized-register-read checker.
+
+    Forward dataflow tracking, per register and predicate, whether it
+    is definitely initialized (must, intersection at joins) or possibly
+    initialized (may, union). A read outside the may set is an
+    [Error]; a read outside the must set is a [Warning] unless the
+    read is guarded by the same predicate that guarded the sole
+    definition (the compiler's standard conditional-def/conditional-use
+    pattern). Complementary guarded definitions ([@P0] then [@!P0])
+    promote to fully initialized. At kernel entry only [R1] (the ABI
+    stack pointer) is defined; the simulator's zero-filled register
+    file makes such reads deterministic, not correct. *)
+
+val check :
+  kernel:string -> Sass.Instr.t array -> Sass.Cfg.t -> Finding.t list
+(** Findings for reachable code only, in PC order. *)

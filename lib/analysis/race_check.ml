@@ -1,0 +1,126 @@
+open Sass
+
+type access = {
+  a_pc : int;
+  a_store : bool;
+  a_base : Instr.src;
+  a_off : Instr.src;
+  a_bytes : int;
+}
+
+let access_of pc (i : Instr.t) =
+  match i.Instr.op with
+  | Opcode.LD (Opcode.Shared, w) -> (
+      match i.Instr.srcs with
+      | base :: off :: _ ->
+        Some
+          { a_pc = pc; a_store = false; a_base = base; a_off = off;
+            a_bytes = Opcode.bytes_of_width w }
+      | _ -> None)
+  | Opcode.ST (Opcode.Shared, w) -> (
+      match i.Instr.srcs with
+      | base :: off :: _ ->
+        Some
+          { a_pc = pc; a_store = true; a_base = base; a_off = off;
+            a_bytes = Opcode.bytes_of_width w }
+      | _ -> None)
+  | _ -> None
+
+let check ~kernel instrs (cfg : Cfg.t) uni =
+  let n = Array.length instrs in
+  let nb = Array.length cfg.Cfg.blocks in
+  let acc = Array.init n (fun pc -> access_of pc instrs.(pc)) in
+  let is_bar = Array.map (fun (i : Instr.t) -> i.Instr.op = Opcode.BAR) instrs in
+  let seen = Hashtbl.create 16 in
+  let findings = ref [] in
+  let variant a =
+    Uniformity.variant_src_before uni a.a_pc a.a_base
+    || Uniformity.variant_src_before uni a.a_pc a.a_off
+  in
+  (* Address = sum of the two operands; split it into its constant
+     part and its (sorted) non-immediate operands so that [x + 0x0]
+     vs [x + 0x400] compares as same-symbol, different-constant
+     regardless of which operand slot holds the immediate. *)
+  let split a =
+    List.fold_left
+      (fun (imm, others) s ->
+         match s with
+         | Instr.SImm v -> (imm + v, others)
+         | s -> (imm, s :: others))
+      (0, [])
+      [ a.a_base; a.a_off ]
+    |> fun (imm, others) -> (imm, List.sort Stdlib.compare others)
+  in
+  let consider a1 a2 =
+    if (a1.a_store || a2.a_store) && not (Hashtbl.mem seen (a1.a_pc, a2.a_pc))
+    then begin
+      let imm1, sym1 = split a1 and imm2, sym2 = split a2 in
+      let same_symbols = sym1 = sym2 in
+      (* Same symbolic part, same constant: each thread hits its own
+         slot (write-your-slot / read-your-slot). *)
+      let identical = same_symbols && imm1 = imm2 in
+      (* Same symbolic part, constants far enough apart: disjoint
+         regions (e.g. the A-tile at 0x0 and B-tile at 0x400). *)
+      let disjoint =
+        same_symbols
+        && (imm1 + a1.a_bytes <= imm2 || imm2 + a2.a_bytes <= imm1)
+      in
+      if (not identical) && (not disjoint) && (variant a1 || variant a2)
+      then begin
+        Hashtbl.add seen (a1.a_pc, a2.a_pc) ();
+        findings :=
+          Finding.make ~kernel ~pc:a2.a_pc Finding.Shared_race Finding.Warning
+            (Printf.sprintf
+               "shared %s may conflict with the shared %s at pc %d \
+                with no BAR between them"
+               (if a2.a_store then "store" else "load")
+               (if a1.a_store then "store" else "load")
+               a1.a_pc)
+          :: !findings
+      end
+    end
+  in
+  (* From each access, scan every barrier-free path forward and pair
+     it with the shared accesses encountered. *)
+  Array.iter
+    (fun a1_opt ->
+       match a1_opt with
+       | None -> ()
+       | Some a1 ->
+         let b1 = cfg.Cfg.block_of_pc.(a1.a_pc) in
+         if Cfg.reachable_block cfg b1 then begin
+           let blk = cfg.Cfg.blocks.(b1) in
+           let stopped = ref false in
+           let pc = ref (a1.a_pc + 1) in
+           while (not !stopped) && !pc <= blk.Cfg.last do
+             if is_bar.(!pc) then stopped := true
+             else
+               (match acc.(!pc) with
+                | Some a2 -> consider a1 a2
+                | None -> ());
+             incr pc
+           done;
+           if not !stopped then begin
+             let visited = Array.make nb false in
+             let rec dfs b =
+               if not visited.(b) then begin
+                 visited.(b) <- true;
+                 let blk = cfg.Cfg.blocks.(b) in
+                 let stopped = ref false in
+                 let pc = ref blk.Cfg.first in
+                 while (not !stopped) && !pc <= blk.Cfg.last do
+                   if is_bar.(!pc) then stopped := true
+                   else
+                     (match acc.(!pc) with
+                      | Some a2 -> consider a1 a2
+                      | None -> ());
+                   incr pc
+                 done;
+                 if not !stopped then List.iter dfs blk.Cfg.succs
+               end
+             in
+             List.iter dfs blk.Cfg.succs
+           end
+         end)
+    acc;
+  List.rev !findings

@@ -1,0 +1,25 @@
+(** Shared-memory race hints.
+
+    Flags pairs of shared-memory accesses, at least one a store, that
+    can execute with no [BAR] between them on some CFG path and whose
+    address expressions do not obviously refer to each thread's own
+    disjoint slot. Heuristic suppressions keep the common tiled-kernel
+    idioms quiet:
+
+    - syntactically identical address operands (the write-your-slot /
+      read-your-slot pattern — same thread, same location);
+    - same base register with distinct immediate offsets whose access
+      ranges cannot overlap;
+    - both addresses warp-uniform {e and} ... at least one address must
+      be thread-variant for a cross-thread conflict to be plausible.
+
+    These are hints, never errors: within a warp the SIMT lockstep
+    order actually serializes the pair; across warps it is a real
+    race. Atomics are exempt by definition. *)
+
+val check :
+  kernel:string ->
+  Sass.Instr.t array ->
+  Sass.Cfg.t ->
+  Uniformity.t ->
+  Finding.t list

@@ -1,0 +1,29 @@
+(** Thread-variance (uniformity) analysis.
+
+    Forward may-analysis computing, per program point, which registers
+    and predicates can hold values that differ across the threads of a
+    warp. Variance is seeded by the inherently per-thread sources
+    ([S2R] of tid/laneid/warpid/clock, atomic return values, local
+    loads) and propagates through data dependencies; warp-wide [VOTE]
+    results are uniform by construction. A conditional branch whose
+    guard predicate is variant is a {e divergent branch} — the
+    condition the barrier checker cares about. *)
+
+type t
+
+val analyze : Sass.Instr.t array -> Sass.Cfg.t -> t
+
+val variant_gpr_before : t -> int -> Sass.Reg.t -> bool
+(** May the register differ across lanes just before the given PC? *)
+
+val variant_pred_before : t -> int -> Sass.Pred.t -> bool
+
+val variant_src_before : t -> int -> Sass.Instr.src -> bool
+(** Variance of one operand; immediates and parameters are uniform. *)
+
+val divergent_branch : t -> int -> bool
+(** True iff the instruction at the PC is a conditional branch whose
+    guard is variant (may split the warp). *)
+
+val passes : t -> int
+(** Fixpoint sweeps used — exposed for the bench experiment. *)

@@ -1,0 +1,35 @@
+open Sass
+
+let verify (k : Program.kernel) =
+  let instrs = k.Program.instrs in
+  let kernel = k.Program.name in
+  let cfg = Cfg.build instrs in
+  let live = Liveness.analyze instrs in
+  let uni = Uniformity.analyze instrs cfg in
+  let findings =
+    Init_check.check ~kernel instrs cfg
+    @ Barrier_check.check ~kernel instrs cfg uni
+    @ Race_check.check ~kernel instrs cfg uni
+    @ Dead_check.check ~kernel instrs cfg live
+  in
+  List.sort Finding.compare findings
+
+let summary findings =
+  List.fold_left
+    (fun (e, w, i) (f : Finding.t) ->
+       match f.Finding.f_severity with
+       | Finding.Error -> (e + 1, w, i)
+       | Finding.Warning -> (e, w + 1, i)
+       | Finding.Info -> (e, w, i + 1))
+    (0, 0, 0) findings
+
+let gate k =
+  match Finding.errors (verify k) with
+  | [] -> Ok ()
+  | errs ->
+    Error
+      (String.concat "; "
+         (List.map (fun f -> Format.asprintf "%a" Finding.pp f) errs))
+
+let findings_json k =
+  Trace.Json.List (List.map Finding.to_json (verify k))

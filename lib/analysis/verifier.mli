@@ -1,0 +1,20 @@
+(** Kernel verifier: runs every checker over a compiled kernel.
+
+    Used three ways (the three wiring layers of the subsystem):
+    [sassi_run lint] reports findings per workload kernel,
+    [Kernel.Compile] calls {!gate} after register allocation so the
+    DSL compiler sanitizes its own output, and tests feed it
+    deliberately broken kernels. *)
+
+val verify : Sass.Program.kernel -> Finding.t list
+(** All findings, sorted errors-first then by PC. *)
+
+val summary : Finding.t list -> int * int * int
+(** [(errors, warnings, infos)]. *)
+
+val gate : Sass.Program.kernel -> (unit, string) result
+(** Fails on definite-bug findings ([Error] severity: uninitialized
+    reads, divergent barriers). Warnings never fail the gate — the
+    compiler must stay permissive about input-dependent hints. *)
+
+val findings_json : Sass.Program.kernel -> Trace.Json.t

@@ -7,6 +7,8 @@ type options = {
 
 let default_options = { max_regs = 63; opt_level = 1 }
 
+let verify = Analysis.Verifier.gate
+
 let compile_vir ?(options = default_options) k =
   (match Typecheck.check k with
    | Ok () -> ()
@@ -42,8 +44,14 @@ let compile ?(options = default_options) k =
     | Emit.Emit_error m ->
       raise (Compile_error (Printf.sprintf "%s: %s" k.Ast.k_name m))
   in
-  match Sass.Program.validate kernel with
+  (match Sass.Program.validate kernel with
+   | Ok () -> ()
+   | Error m ->
+     raise (Compile_error (Printf.sprintf "%s: emitted invalid SASS: %s"
+                             k.Ast.k_name m)));
+  match verify kernel with
   | Ok () -> kernel
   | Error m ->
-    raise (Compile_error (Printf.sprintf "%s: emitted invalid SASS: %s"
-                            k.Ast.k_name m))
+    raise (Compile_error
+             (Printf.sprintf "%s: verifier rejected emitted SASS: %s"
+                k.Ast.k_name m))

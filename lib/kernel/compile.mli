@@ -13,7 +13,13 @@ val default_options : options
 
 val compile : ?options:options -> Ast.kernel -> Sass.Program.kernel
 (** @raise Compile_error on type, lowering, allocation, or emission
-    failures (with a readable message). *)
+    failures (with a readable message), and when the post-regalloc
+    verifier gate ({!Analysis.Verifier.gate}) finds a definite bug in
+    the emitted SASS (uninitialized read, divergent barrier). *)
+
+val verify : Sass.Program.kernel -> (unit, string) result
+(** The verifier gate [compile] runs on its own output; exposed so
+    tests can prove the gate rejects a miscompiled kernel. *)
 
 val compile_vir : ?options:options -> Ast.kernel -> Vir.item array
 (** Stops after optimization; exposed for tests and ablations. *)

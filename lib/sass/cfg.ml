@@ -9,6 +9,7 @@ type block = {
 type t = {
   blocks : block array;
   block_of_pc : int array;
+  reachable : bool array;
 }
 
 let instr_successors instrs pc =
@@ -98,9 +99,19 @@ let build instrs =
           succs = succs.(b);
           preds = List.rev preds.(b) })
   in
-  { blocks; block_of_pc }
+  let reachable = Array.make nblocks false in
+  let rec mark b =
+    if not reachable.(b) then begin
+      reachable.(b) <- true;
+      List.iter mark blocks.(b).succs
+    end
+  in
+  mark block_of_pc.(0);
+  { blocks; block_of_pc; reachable }
 
 let block_at t pc = t.blocks.(t.block_of_pc.(pc))
+
+let reachable_block t b = t.reachable.(b)
 
 let exit_blocks t =
   Array.to_list t.blocks

@@ -2,7 +2,26 @@
 
     PCs are instruction indices. Basic blocks are maximal straight-line
     ranges; [CAL] and [HCALL] are treated as straight-line (they return
-    to the following instruction). *)
+    to the following instruction).
+
+    {b Invariants} (relied upon by every analysis in [lib/analysis]):
+    - The blocks partition the instruction array: every PC in
+      [0, Array.length instrs) belongs to exactly one block, and
+      [block_of_pc] is total — this includes code that is unreachable
+      from the entry (PC 0), such as instructions following an
+      unconditional [EXIT] that are not branch targets.
+    - [block_of_pc.(pc)] agrees with the block ranges:
+      [blocks.(block_of_pc.(pc)).first <= pc <= blocks.(block_of_pc.(pc)).last].
+    - Unreachable blocks carry real successor/predecessor edges like
+      any other block, and a reachable block never has an unreachable
+      predecessor (otherwise that predecessor would itself be
+      reachable). Dataflow over the CFG therefore cannot leak state
+      from unreachable code into reachable code.
+    - [reachable] marks reachability from the entry block (the block
+      containing PC 0); analyses that only want live code (linters,
+      dead-code checks) filter on it, while [Liveness] and the
+      dataflow solver still compute sound states for unreachable
+      blocks. *)
 
 type block = {
   id : int;
@@ -14,7 +33,9 @@ type block = {
 
 type t = {
   blocks : block array;
-  block_of_pc : int array;  (** PC -> block id *)
+  block_of_pc : int array;  (** PC -> block id; total (see invariants) *)
+  reachable : bool array;
+      (** per block id: reachable from the entry block via [succs] *)
 }
 
 val instr_successors : Instr.t array -> int -> int list
@@ -27,5 +48,9 @@ val block_at : t -> int -> block
 
 val exit_blocks : t -> int list
 (** Ids of blocks with no successors. *)
+
+val reachable_block : t -> int -> bool
+(** [reachable_block t b] is true iff block [b] is reachable from the
+    entry block (reflexively: the entry block is reachable). *)
 
 val pp : Format.formatter -> t -> unit

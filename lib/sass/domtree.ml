@@ -1,49 +1,37 @@
-(* Immediate post-dominators via Cooper-Harvey-Kennedy on the reversed
-   CFG. Nodes are block ids 0..n-1 plus a virtual exit node [n] that
-   every exit block points to (in the reversed graph, the virtual exit
-   is the root). *)
+(* Immediate (post-)dominators via Cooper-Harvey-Kennedy. One core
+   runs over an abstract rooted graph; post-dominators instantiate it
+   on the reversed CFG with a virtual exit node [n] that every exit
+   block points to, forward dominators on the CFG itself rooted at the
+   entry block. *)
 
 type t = {
-  idom : int array;  (* immediate post-dominator; n = virtual exit *)
-  virtual_exit : int;
+  idom : int array;  (* immediate (post-)dominator; [root] at the root *)
+  root : int;
+  virtual_root : bool;
+      (* post-dominator trees root at a virtual exit node that is not a
+         real block and must never appear in query answers; the forward
+         tree roots at the real entry block. *)
 }
 
-let post_dominators (cfg : Cfg.t) =
-  let n = Array.length cfg.Cfg.blocks in
-  let virtual_exit = n in
-  (* Reversed graph: edges succ -> pred become pred lists = succs of the
-     original, so "predecessors" of node b in the reversed graph are the
-     original successors of b... We need, for the dominator algorithm
-     rooted at virtual_exit, preds(b) in the reversed graph = original
-     successors of b (plus virtual_exit for exit blocks). *)
-  let rev_preds b =
-    if b = virtual_exit then []
-    else
-      let succs = cfg.Cfg.blocks.(b).Cfg.succs in
-      if succs = [] then [ virtual_exit ] else succs
-  in
-  (* Reverse postorder of the reversed graph starting from the root
-     (virtual exit): DFS following reversed edges, i.e. original
-     predecessor edges, plus edges from virtual_exit to exit blocks. *)
-  let rev_succs b =
-    if b = virtual_exit then Cfg.exit_blocks cfg
-    else cfg.Cfg.blocks.(b).Cfg.preds
-  in
-  let visited = Array.make (n + 1) false in
+(* [chk ~m ~root ~succs ~preds]: immediate dominators of the graph
+   with nodes 0..m-1 given in terms of the root-to-leaves edge
+   functions. Nodes unreachable from [root] keep idom = -1. *)
+let chk ~m ~root ~succs ~preds =
+  let visited = Array.make m false in
   let postorder = ref [] in
   let rec dfs b =
     if not visited.(b) then begin
       visited.(b) <- true;
-      List.iter dfs (rev_succs b);
+      List.iter dfs (succs b);
       postorder := b :: !postorder
     end
   in
-  dfs virtual_exit;
+  dfs root;
   let rpo = Array.of_list !postorder in
-  let rpo_number = Array.make (n + 1) (-1) in
+  let rpo_number = Array.make m (-1) in
   Array.iteri (fun i b -> rpo_number.(b) <- i) rpo;
-  let idom = Array.make (n + 1) (-1) in
-  idom.(virtual_exit) <- virtual_exit;
+  let idom = Array.make m (-1) in
+  idom.(root) <- root;
   let intersect b1 b2 =
     let f1 = ref b1 and f2 = ref b2 in
     while !f1 <> !f2 do
@@ -57,12 +45,12 @@ let post_dominators (cfg : Cfg.t) =
     changed := false;
     Array.iter
       (fun b ->
-         if b <> virtual_exit && rpo_number.(b) >= 0 then begin
-           let preds =
+         if b <> root && rpo_number.(b) >= 0 then begin
+           let ps =
              List.filter (fun p -> idom.(p) <> -1 && rpo_number.(p) >= 0)
-               (rev_preds b)
+               (preds b)
            in
-           match preds with
+           match ps with
            | [] -> ()
            | first :: rest ->
              let new_idom = List.fold_left intersect first rest in
@@ -73,22 +61,55 @@ let post_dominators (cfg : Cfg.t) =
          end)
       rpo
   done;
-  { idom; virtual_exit }
+  idom
+
+let post_dominators (cfg : Cfg.t) =
+  let n = Array.length cfg.Cfg.blocks in
+  let virtual_exit = n in
+  (* Reversed graph rooted at the virtual exit: its successors are the
+     original predecessor edges (plus virtual exit -> exit blocks),
+     its predecessors the original successors. *)
+  let succs b =
+    if b = virtual_exit then Cfg.exit_blocks cfg
+    else cfg.Cfg.blocks.(b).Cfg.preds
+  in
+  let preds b =
+    if b = virtual_exit then []
+    else
+      let ss = cfg.Cfg.blocks.(b).Cfg.succs in
+      if ss = [] then [ virtual_exit ] else ss
+  in
+  { idom = chk ~m:(n + 1) ~root:virtual_exit ~succs ~preds;
+    root = virtual_exit;
+    virtual_root = true }
+
+let dominators (cfg : Cfg.t) =
+  let entry = cfg.Cfg.block_of_pc.(0) in
+  let succs b = cfg.Cfg.blocks.(b).Cfg.succs in
+  let preds b = cfg.Cfg.blocks.(b).Cfg.preds in
+  { idom = chk ~m:(Array.length cfg.Cfg.blocks) ~root:entry ~succs ~preds;
+    root = entry;
+    virtual_root = false }
 
 let ipdom t b =
   let d = t.idom.(b) in
-  if d = t.virtual_exit || d = -1 then None else Some d
+  if d = -1 || b = t.root || (t.virtual_root && d = t.root) then None
+  else Some d
+
+let idom = ipdom
 
 let post_dominates t a b =
   let rec walk x =
     if x = a then true
-    else if x = t.virtual_exit || x = -1 then a = t.virtual_exit
+    else if x = t.root || x = -1 then false
     else
       let next = t.idom.(x) in
       if next = x then x = a
       else walk next
   in
   walk b
+
+let dominates = post_dominates
 
 let reconvergence_pc cfg t pc =
   let b = cfg.Cfg.block_of_pc.(pc) in

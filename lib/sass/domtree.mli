@@ -1,9 +1,11 @@
-(** Post-dominator analysis, used to compute SIMT reconvergence points.
+(** Dominator and post-dominator analysis.
 
     The immediate post-dominator of a conditional branch's block is the
     earliest program point through which every path from the branch to
     kernel exit must pass — exactly where NVIDIA's divergence stack
-    reconverges the warp (paper, Section 5). *)
+    reconverges the warp (paper, Section 5). Forward dominators are the
+    dual and let analyses distinguish "barrier before the branch on
+    every path" (a loop body) from "barrier on one divergent arm". *)
 
 type t
 
@@ -12,13 +14,29 @@ val post_dominators : Cfg.t -> t
     Cooper-Harvey-Kennedy algorithm over the reversed CFG, using a
     virtual exit node that all exit blocks reach. *)
 
+val dominators : Cfg.t -> t
+(** Immediate dominators of the forward CFG, rooted at the entry
+    block. Blocks unreachable from the entry have no dominator
+    ([idom] is [None] and [dominates] is false for them, except
+    reflexively). *)
+
 val ipdom : t -> int -> int option
 (** [ipdom t b] is the immediate post-dominator block of block [b], or
-    [None] if only the virtual exit post-dominates [b]. *)
+    [None] if only the virtual exit post-dominates [b]. On a forward
+    tree from {!dominators}, the immediate dominator ([None] for the
+    entry block and for unreachable blocks). *)
+
+val idom : t -> int -> int option
+(** Alias of {!ipdom} under the forward-dominator reading. *)
 
 val post_dominates : t -> int -> int -> bool
 (** [post_dominates t a b] is true iff block [a] post-dominates
     block [b] (reflexive). *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] on a tree from {!dominators}: true iff [a]
+    dominates [b] (reflexive; false when [b] is unreachable and
+    [a <> b]). *)
 
 val reconvergence_pc : Cfg.t -> t -> int -> int option
 (** [reconvergence_pc cfg t pc] is the reconvergence PC for a

@@ -1,0 +1,535 @@
+(* Tests for the static-analysis subsystem: the dataflow solver, the
+   uniformity analysis, each verifier checker against a deliberately
+   broken kernel, the compile-time verifier gate, and the
+   instrumentation cost model (static exactness + dynamic validation
+   against telemetry handler counters). *)
+
+open Sass
+module F = Analysis.Finding
+module Uniformity = Analysis.Uniformity
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let has_finding fs kind sev pc =
+  List.exists
+    (fun f ->
+       f.F.f_kind = kind && f.F.f_severity = sev && f.F.f_pc = pc)
+    fs
+
+let count_kind fs kind =
+  List.length (List.filter (fun f -> f.F.f_kind = kind) fs)
+
+(* --- Regset --- *)
+
+let test_regset () =
+  let open Analysis.Regset in
+  check bool "empty mem" false (mem 0 empty);
+  check bool "full mem" true (mem 255 full);
+  check int "full card" 256 (cardinal full);
+  let s = of_list [ 0; 51; 52; 200; 255 ] in
+  check int "card" 5 (cardinal s);
+  check (Alcotest.list int) "elements sorted" [ 0; 51; 52; 200; 255 ]
+    (elements s);
+  check bool "mem 52" true (mem 52 s);
+  check bool "mem 53" false (mem 53 s);
+  let t = remove 52 s in
+  check bool "removed" false (mem 52 t);
+  check bool "remove kept others" true (mem 51 t);
+  check bool "union" true (equal (union s t) s);
+  check bool "inter" true (equal (inter s t) t);
+  check bool "inter empty" true (equal (inter s (of_list [ 7 ])) empty)
+
+(* --- Dataflow solver: a gen/kill liveness domain must agree with the
+       dedicated Sass.Liveness implementation. --- *)
+
+module LiveDom = struct
+  type t = Analysis.Regset.t
+
+  let equal = Analysis.Regset.equal
+  let join = Analysis.Regset.union
+
+  let transfer ~pc:_ (i : Instr.t) out =
+    let open Analysis.Regset in
+    let killed =
+      if Pred.is_always i.Instr.guard then
+        List.fold_left (fun s r -> remove (Reg.index r) s) out (Instr.defs i)
+      else out
+    in
+    List.fold_left (fun s r -> add (Reg.index r) s) killed (Instr.uses i)
+end
+
+module LiveSolver = Analysis.Dataflow.Make (LiveDom)
+
+let diamond_instrs () =
+  [| Instr.make (Opcode.ISETP (Opcode.Lt, Opcode.Signed))
+       ~pdsts:[ Pred.p 0 ]
+       ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 10 ];
+     Instr.make Opcode.BRA ~guard:(Pred.on (Pred.p 0)) ~target:4;
+     Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 1 ];
+     Instr.make Opcode.BRA ~target:5;
+     Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 2 ];
+     Instr.make Opcode.EXIT |]
+
+let loop_instrs () =
+  (* R2 accumulates over a loop with a guarded def inside. *)
+  [| Instr.make Opcode.MOV ~dsts:[ Reg.r 0 ] ~srcs:[ Instr.SImm 0 ];
+     Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 0 ];
+     Instr.make (Opcode.ISETP (Opcode.Lt, Opcode.Signed))
+       ~pdsts:[ Pred.p 0 ]
+       ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 8 ];
+     Instr.make Opcode.IADD ~guard:(Pred.on (Pred.p 0)) ~dsts:[ Reg.r 2 ]
+       ~srcs:[ Instr.SReg (Reg.r 2); Instr.SImm 3 ];
+     Instr.make Opcode.IADD ~dsts:[ Reg.r 0 ]
+       ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 1 ];
+     Instr.make Opcode.BRA ~guard:(Pred.on (Pred.p 0)) ~target:2;
+     Instr.make Opcode.MOV ~dsts:[ Reg.r 4 ] ~srcs:[ Instr.SReg (Reg.r 2) ];
+     Instr.make Opcode.EXIT |]
+
+let solver_agrees_with_liveness instrs =
+  let cfg = Cfg.build instrs in
+  let live = Liveness.analyze instrs in
+  let r =
+    LiveSolver.solve ~direction:Analysis.Dataflow.Backward
+      ~boundary:Analysis.Regset.empty ~init:Analysis.Regset.empty instrs cfg
+  in
+  Array.iteri
+    (fun pc _ ->
+       let expected =
+         Liveness.live_gprs_before live pc
+         |> List.map Reg.index |> List.sort Int.compare
+       in
+       let got = Analysis.Regset.elements r.LiveSolver.before.(pc) in
+       check (Alcotest.list int)
+         (Printf.sprintf "live-before pc %d" pc)
+         expected got)
+    instrs
+
+let test_solver_diamond () = solver_agrees_with_liveness (diamond_instrs ())
+let test_solver_loop () = solver_agrees_with_liveness (loop_instrs ())
+
+(* --- Uniformity --- *)
+
+let test_uniformity () =
+  let instrs =
+    [| Instr.make (Opcode.S2R Opcode.Sr_tid_x) ~dsts:[ Reg.r 0 ];
+       Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 7 ];
+       Instr.make Opcode.IADD ~dsts:[ Reg.r 3 ]
+         ~srcs:[ Instr.SReg (Reg.r 0); Instr.SReg (Reg.r 2) ];
+       Instr.make (Opcode.ISETP (Opcode.Lt, Opcode.Signed))
+         ~pdsts:[ Pred.p 0 ]
+         ~srcs:[ Instr.SReg (Reg.r 3); Instr.SImm 16 ];
+       Instr.make (Opcode.VOTE Opcode.V_any) ~dsts:[ Reg.r 5 ]
+         ~srcs:[ Instr.SPred (Pred.p 0) ];
+       Instr.make Opcode.BRA ~guard:(Pred.on (Pred.p 0)) ~target:6;
+       Instr.make Opcode.EXIT |]
+  in
+  let cfg = Cfg.build instrs in
+  let uni = Uniformity.analyze instrs cfg in
+  ignore (Uniformity.passes uni);
+  check bool "tid variant" true (Uniformity.variant_gpr_before uni 2 (Reg.r 0));
+  check bool "imm uniform" false
+    (Uniformity.variant_gpr_before uni 2 (Reg.r 2));
+  check bool "propagated" true
+    (Uniformity.variant_gpr_before uni 3 (Reg.r 3));
+  check bool "pred variant" true
+    (Uniformity.variant_pred_before uni 5 (Pred.p 0));
+  (* VOTE result is warp-uniform even though its input predicate is
+     variant (the unguarded vote writes the same ballot to all lanes). *)
+  check bool "vote uniform" false
+    (Uniformity.variant_gpr_before uni 5 (Reg.r 5));
+  check bool "divergent branch" true (Uniformity.divergent_branch uni 5);
+  check bool "non-branch" false (Uniformity.divergent_branch uni 2)
+
+(* --- Checker: uninitialized reads --- *)
+
+let findings_of instrs =
+  Analysis.Verifier.verify (Program.make ~name:"broken" instrs)
+
+let test_uninit_read () =
+  (* R5 is never written anywhere: definite error at the read. *)
+  let fs =
+    findings_of
+      [| Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ]
+           ~srcs:[ Instr.SReg (Reg.r 5) ];
+         Instr.make Opcode.EXIT |]
+  in
+  check bool "uninit error" true (has_finding fs F.Uninit_read F.Error 0)
+
+let test_maybe_uninit_read () =
+  (* R5 is defined on only one arm of the diamond: warning at the
+     post-join read, and no definite error. *)
+  let fs =
+    findings_of
+      [| Instr.make (Opcode.ISETP (Opcode.Lt, Opcode.Signed))
+           ~pdsts:[ Pred.p 0 ]
+           ~srcs:[ Instr.SImm 1; Instr.SImm 10 ];
+         Instr.make Opcode.BRA ~guard:(Pred.on (Pred.p 0)) ~target:3;
+         Instr.make Opcode.MOV ~dsts:[ Reg.r 5 ] ~srcs:[ Instr.SImm 1 ];
+         Instr.make Opcode.IADD ~dsts:[ Reg.r 6 ]
+           ~srcs:[ Instr.SReg (Reg.r 5); Instr.SImm 1 ];
+         Instr.make Opcode.EXIT |]
+  in
+  check bool "maybe-uninit warning" true
+    (has_finding fs F.Maybe_uninit_read F.Warning 3);
+  check int "no definite error" 0 (count_kind fs F.Uninit_read)
+
+let test_guarded_def_use_ok () =
+  (* @P0 def followed by @P0 use is the compiler's standard pattern
+     and must not warn; complementary @P0/@!P0 defs fully initialize. *)
+  let fs =
+    findings_of
+      [| Instr.make (Opcode.ISETP (Opcode.Lt, Opcode.Signed))
+           ~pdsts:[ Pred.p 0 ]
+           ~srcs:[ Instr.SImm 1; Instr.SImm 10 ];
+         Instr.make Opcode.MOV ~guard:(Pred.on (Pred.p 0))
+           ~dsts:[ Reg.r 5 ] ~srcs:[ Instr.SImm 1 ];
+         Instr.make Opcode.MOV ~guard:(Pred.on_not (Pred.p 0))
+           ~dsts:[ Reg.r 5 ] ~srcs:[ Instr.SImm 2 ];
+         Instr.make Opcode.MOV ~guard:(Pred.on (Pred.p 0))
+           ~dsts:[ Reg.r 6 ] ~srcs:[ Instr.SImm 3 ];
+         Instr.make Opcode.IADD ~guard:(Pred.on (Pred.p 0))
+           ~dsts:[ Reg.r 7 ]
+           ~srcs:[ Instr.SReg (Reg.r 6); Instr.SImm 1 ];
+         Instr.make Opcode.IADD ~dsts:[ Reg.r 8 ]
+           ~srcs:[ Instr.SReg (Reg.r 5); Instr.SImm 1 ];
+         Instr.make Opcode.EXIT |]
+  in
+  check int "no uninit findings" 0
+    (count_kind fs F.Uninit_read + count_kind fs F.Maybe_uninit_read)
+
+let test_uninit_pred () =
+  (* Guarding on a predicate nobody ever set. *)
+  let fs =
+    findings_of
+      [| Instr.make Opcode.MOV ~guard:(Pred.on (Pred.p 3))
+           ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 1 ];
+         Instr.make Opcode.EXIT |]
+  in
+  check bool "uninit pred error" true (has_finding fs F.Uninit_read F.Error 0)
+
+(* --- Checker: barrier divergence --- *)
+
+let test_divergent_barrier () =
+  (* BAR on one arm of a tid-dependent branch: classic deadlock. *)
+  let fs =
+    findings_of
+      [| Instr.make (Opcode.S2R Opcode.Sr_tid_x) ~dsts:[ Reg.r 0 ];
+         Instr.make (Opcode.ISETP (Opcode.Lt, Opcode.Signed))
+           ~pdsts:[ Pred.p 0 ]
+           ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 16 ];
+         Instr.make Opcode.BRA ~guard:(Pred.on_not (Pred.p 0)) ~target:4;
+         Instr.make Opcode.BAR;
+         Instr.make Opcode.EXIT |]
+  in
+  check bool "divergent barrier error" true
+    (has_finding fs F.Divergent_barrier F.Error 3)
+
+let test_loop_barrier () =
+  (* BAR inside a loop whose trip count is tid-dependent: threads
+     execute different barrier counts — warning, not definite error. *)
+  let fs =
+    findings_of
+      [| Instr.make (Opcode.S2R Opcode.Sr_tid_x) ~dsts:[ Reg.r 0 ];
+         Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 0 ];
+         Instr.make Opcode.BAR;
+         Instr.make Opcode.IADD ~dsts:[ Reg.r 2 ]
+           ~srcs:[ Instr.SReg (Reg.r 2); Instr.SImm 1 ];
+         Instr.make (Opcode.ISETP (Opcode.Lt, Opcode.Signed))
+           ~pdsts:[ Pred.p 0 ]
+           ~srcs:[ Instr.SReg (Reg.r 2); Instr.SReg (Reg.r 0) ];
+         Instr.make Opcode.BRA ~guard:(Pred.on (Pred.p 0)) ~target:2;
+         Instr.make Opcode.EXIT |]
+  in
+  check bool "loop barrier warning" true
+    (has_finding fs F.Loop_barrier F.Warning 2);
+  check int "not a definite error" 0 (count_kind fs F.Divergent_barrier)
+
+let test_uniform_barrier_ok () =
+  (* Branch guard derived from an immediate: uniform, BAR is fine. *)
+  let fs =
+    findings_of
+      [| Instr.make (Opcode.ISETP (Opcode.Lt, Opcode.Signed))
+           ~pdsts:[ Pred.p 0 ]
+           ~srcs:[ Instr.SImm 1; Instr.SImm 10 ];
+         Instr.make Opcode.BRA ~guard:(Pred.on_not (Pred.p 0)) ~target:3;
+         Instr.make Opcode.BAR;
+         Instr.make Opcode.EXIT |]
+  in
+  check int "no barrier findings" 0
+    (count_kind fs F.Divergent_barrier + count_kind fs F.Loop_barrier)
+
+(* --- Checker: shared-memory race hints --- *)
+
+let test_shared_race () =
+  (* Write own slot, read the neighbour's slot, no BAR in between. *)
+  let fs =
+    findings_of
+      [| Instr.make (Opcode.S2R Opcode.Sr_tid_x) ~dsts:[ Reg.r 0 ];
+         Instr.make Opcode.SHL ~dsts:[ Reg.r 2 ]
+           ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 2 ];
+         Instr.make (Opcode.ST (Opcode.Shared, Opcode.W32))
+           ~srcs:
+             [ Instr.SReg (Reg.r 2); Instr.SImm 0; Instr.SReg (Reg.r 0) ];
+         Instr.make Opcode.IADD ~dsts:[ Reg.r 3 ]
+           ~srcs:[ Instr.SReg (Reg.r 2); Instr.SImm 4 ];
+         Instr.make (Opcode.LD (Opcode.Shared, Opcode.W32))
+           ~dsts:[ Reg.r 4 ]
+           ~srcs:[ Instr.SReg (Reg.r 3); Instr.SImm 0 ];
+         Instr.make Opcode.EXIT |]
+  in
+  check bool "race warning at the load" true
+    (has_finding fs F.Shared_race F.Warning 4)
+
+let test_shared_race_suppressed () =
+  (* Same kernel with a BAR between store and load: no hint. Also:
+     write-your-slot / read-your-slot (identical address) is clean. *)
+  let fs =
+    findings_of
+      [| Instr.make (Opcode.S2R Opcode.Sr_tid_x) ~dsts:[ Reg.r 0 ];
+         Instr.make Opcode.SHL ~dsts:[ Reg.r 2 ]
+           ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 2 ];
+         Instr.make (Opcode.ST (Opcode.Shared, Opcode.W32))
+           ~srcs:
+             [ Instr.SReg (Reg.r 2); Instr.SImm 0; Instr.SReg (Reg.r 0) ];
+         Instr.make Opcode.BAR;
+         Instr.make Opcode.IADD ~dsts:[ Reg.r 3 ]
+           ~srcs:[ Instr.SReg (Reg.r 2); Instr.SImm 4 ];
+         Instr.make (Opcode.LD (Opcode.Shared, Opcode.W32))
+           ~dsts:[ Reg.r 4 ]
+           ~srcs:[ Instr.SReg (Reg.r 3); Instr.SImm 0 ];
+         (* read-back of the own slot, after the barrier *)
+         Instr.make (Opcode.LD (Opcode.Shared, Opcode.W32))
+           ~dsts:[ Reg.r 5 ]
+           ~srcs:[ Instr.SReg (Reg.r 2); Instr.SImm 0 ];
+         Instr.make Opcode.EXIT |]
+  in
+  check int "no race hints" 0 (count_kind fs F.Shared_race)
+
+let test_shared_disjoint_tiles () =
+  (* Two stores through the same index register into disjoint
+     immediate regions (the sgemm A-tile/B-tile pattern) are clean. *)
+  let fs =
+    findings_of
+      [| Instr.make (Opcode.S2R Opcode.Sr_tid_x) ~dsts:[ Reg.r 0 ];
+         Instr.make Opcode.SHL ~dsts:[ Reg.r 2 ]
+           ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 2 ];
+         Instr.make (Opcode.ST (Opcode.Shared, Opcode.W32))
+           ~srcs:
+             [ Instr.SImm 0; Instr.SReg (Reg.r 2); Instr.SReg (Reg.r 0) ];
+         Instr.make (Opcode.ST (Opcode.Shared, Opcode.W32))
+           ~srcs:
+             [ Instr.SImm 0x400; Instr.SReg (Reg.r 2); Instr.SReg (Reg.r 0) ];
+         Instr.make Opcode.EXIT |]
+  in
+  check int "disjoint tiles clean" 0 (count_kind fs F.Shared_race)
+
+(* --- Checker: unreachable code and dead stores --- *)
+
+let test_unreachable_code () =
+  let fs =
+    findings_of
+      [| Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 1 ];
+         Instr.make Opcode.EXIT;
+         Instr.make Opcode.MOV ~dsts:[ Reg.r 3 ] ~srcs:[ Instr.SImm 2 ];
+         Instr.make Opcode.EXIT |]
+  in
+  check bool "unreachable warning" true
+    (has_finding fs F.Unreachable_code F.Warning 2)
+
+let test_dead_store () =
+  let fs =
+    findings_of
+      [| Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 1 ];
+         Instr.make Opcode.EXIT |]
+  in
+  check bool "dead store warning" true
+    (has_finding fs F.Dead_store F.Warning 0)
+
+(* --- Verifier gate --- *)
+
+let test_gate () =
+  let bad =
+    Program.make ~name:"bad"
+      [| Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ]
+           ~srcs:[ Instr.SReg (Reg.r 5) ];
+         Instr.make Opcode.EXIT |]
+  in
+  (match Analysis.Verifier.gate bad with
+   | Ok () -> Alcotest.fail "gate accepted an uninitialized read"
+   | Error _ -> ());
+  (* Warnings alone must not fail the gate. *)
+  let warn_only =
+    Program.make ~name:"warn"
+      [| Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 1 ];
+         Instr.make Opcode.EXIT |]
+  in
+  match Analysis.Verifier.gate warn_only with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("gate failed on warnings only: " ^ m)
+
+let test_compile_gate_seeded_fault () =
+  (* The compiler's post-regalloc verifier must reject a miscompiled
+     kernel: take a real compiled kernel (captured from a workload),
+     check it passes, then corrupt it by NOP-ing out an initializing
+     definition so a later read becomes uninitialized. *)
+  let w = Workloads.Registry.find "sgemm" in
+  let device = Gpu.Device.create () in
+  let captured = ref None in
+  Gpu.Device.set_transform device
+    (Some
+       (fun k ->
+          if !captured = None then captured := Some k;
+          k));
+  ignore (w.Workloads.Workload.run device ~variant:"small");
+  let k =
+    match !captured with
+    | Some k -> k
+    | None -> Alcotest.fail "workload compiled no kernel"
+  in
+  (match Kernel.Compile.verify k with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail ("clean kernel rejected: " ^ m));
+  let instrs = k.Program.instrs in
+  let rejected = ref false in
+  Array.iteri
+    (fun pc (i : Instr.t) ->
+       if
+         (not !rejected)
+         && Pred.is_always i.Instr.guard
+         && Instr.defs i <> []
+         && not (Opcode.is_mem i.Instr.op)
+       then begin
+         let instrs' = Array.copy instrs in
+         instrs'.(pc) <- Instr.make Opcode.NOP;
+         let k' = Program.make ~name:k.Program.name instrs' in
+         match Kernel.Compile.verify k' with
+         | Error _ -> rejected := true
+         | Ok () -> ()
+       end)
+    instrs;
+  check bool "some seeded fault is rejected" true !rejected
+
+(* --- Cost model --- *)
+
+let test_cost_static_exact () =
+  (* The static site table must agree exactly with what the injector
+     emits: site count, per-site sequence length (= instruction-count
+     delta) and frame growth. *)
+  let k = Program.make ~name:"k" (loop_instrs ()) in
+  List.iter
+    (fun spec ->
+       let c = Analysis.Cost.analyze ~specs:[ spec ] k in
+       let next_id = ref 0 in
+       let r = Sassi.Inject.instrument ~next_id ~specs:[ (spec, 0) ] k in
+       check int "site count"
+         (List.length r.Sassi.Inject.sites)
+         (List.length c.Analysis.Cost.c_sites);
+       check int "instruction delta"
+         (Array.length r.Sassi.Inject.kernel.Program.instrs
+          - Array.length k.Program.instrs)
+         c.Analysis.Cost.c_static_instrs;
+       check int "frame delta"
+         (r.Sassi.Inject.kernel.Program.frame_bytes - k.Program.frame_bytes)
+         c.Analysis.Cost.c_frame_bytes)
+    [ Sassi.Select.before [ Sassi.Select.All ] [];
+      Sassi.Select.after [ Sassi.Select.Memory_ops ] [ Sassi.Select.Mem_info ];
+      Sassi.Select.before [ Sassi.Select.Cond_control ]
+        [ Sassi.Select.Branch_info ];
+      Sassi.Select.before [ Sassi.Select.Basic_block ] [] ]
+
+let validate_workload wname variant pairs =
+  (* Dynamic validation: predicted extra warp instructions (static
+     per-site cost x measured invocation counts) vs the measured
+     warp_instrs delta between instrumented and plain runs. *)
+  let w = Workloads.Registry.find wname in
+  let baseline_device = Gpu.Device.create () in
+  let kernels = ref [] in
+  Gpu.Device.set_transform baseline_device
+    (Some
+       (fun k ->
+          if not (List.mem_assoc k.Program.name !kernels) then
+            kernels := (k.Program.name, k) :: !kernels;
+          k));
+  let baseline = w.Workloads.Workload.run baseline_device ~variant in
+  let device = Gpu.Device.create () in
+  let tele = Cupti.Telemetry.enable device in
+  let r2, per_kernel =
+    Sassi.Runtime.with_instrumentation device pairs (fun rt ->
+        let r = w.Workloads.Workload.run device ~variant in
+        ( r,
+          List.map
+            (fun (kname, k) ->
+               (k, Sassi.Runtime.sites_for_kernel rt kname))
+            !kernels ))
+  in
+  let counts = Cupti.Telemetry.handler_sites tele in
+  let predicted =
+    List.fold_left
+      (fun acc (k, sites) ->
+         acc
+         + Analysis.Cost.predict_extra_instrs
+             (Analysis.Cost.of_sites k sites)
+             ~counts)
+      0 per_kernel
+  in
+  let measured =
+    r2.Workloads.Workload.stats.Gpu.Stats.warp_instrs
+    - baseline.Workloads.Workload.stats.Gpu.Stats.warp_instrs
+  in
+  check bool
+    (Printf.sprintf "%s: measured overhead positive (%d)" wname measured)
+    true (measured > 0);
+  let err =
+    float_of_int (abs (predicted - measured)) /. float_of_int measured
+  in
+  if err > 0.05 then
+    Alcotest.fail
+      (Printf.sprintf "%s: predicted %d vs measured %d (%.1f%% error)"
+         wname predicted measured (100.0 *. err))
+
+let test_cost_validation_sgemm () =
+  validate_workload "sgemm" "small"
+    [ (Sassi.Select.before [ Sassi.Select.All ] [], Sassi.Handler.noop) ]
+
+let test_cost_validation_spmv () =
+  validate_workload "spmv" "small"
+    [ ( Sassi.Select.after [ Sassi.Select.Memory_ops ]
+          [ Sassi.Select.Mem_info ],
+        Sassi.Handler.noop ) ]
+
+let suite =
+  [ ("analysis.regset", [ Alcotest.test_case "ops" `Quick test_regset ]);
+    ("analysis.dataflow",
+     [ Alcotest.test_case "diamond matches liveness" `Quick
+         test_solver_diamond;
+       Alcotest.test_case "loop matches liveness" `Quick test_solver_loop ]);
+    ("analysis.uniformity",
+     [ Alcotest.test_case "variance propagation" `Quick test_uniformity ]);
+    ("analysis.init",
+     [ Alcotest.test_case "uninit read" `Quick test_uninit_read;
+       Alcotest.test_case "maybe uninit" `Quick test_maybe_uninit_read;
+       Alcotest.test_case "guarded def/use" `Quick test_guarded_def_use_ok;
+       Alcotest.test_case "uninit pred" `Quick test_uninit_pred ]);
+    ("analysis.barrier",
+     [ Alcotest.test_case "divergent barrier" `Quick test_divergent_barrier;
+       Alcotest.test_case "loop barrier" `Quick test_loop_barrier;
+       Alcotest.test_case "uniform ok" `Quick test_uniform_barrier_ok ]);
+    ("analysis.race",
+     [ Alcotest.test_case "neighbour read" `Quick test_shared_race;
+       Alcotest.test_case "barrier suppresses" `Quick
+         test_shared_race_suppressed;
+       Alcotest.test_case "disjoint tiles" `Quick test_shared_disjoint_tiles ]);
+    ("analysis.dead",
+     [ Alcotest.test_case "unreachable code" `Quick test_unreachable_code;
+       Alcotest.test_case "dead store" `Quick test_dead_store ]);
+    ("analysis.verifier",
+     [ Alcotest.test_case "gate" `Quick test_gate;
+       Alcotest.test_case "compile gate seeded fault" `Quick
+         test_compile_gate_seeded_fault ]);
+    ("analysis.cost",
+     [ Alcotest.test_case "static exactness" `Quick test_cost_static_exact;
+       Alcotest.test_case "validation sgemm" `Slow test_cost_validation_sgemm;
+       Alcotest.test_case "validation spmv" `Slow test_cost_validation_spmv ])
+  ]

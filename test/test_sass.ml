@@ -374,6 +374,171 @@ let prop_liveness_uses_live =
         instrs;
       !ok)
 
+(* --- Edge cases: unreachable blocks, multi-exit kernels, guarded
+       EXIT fallthrough, CAL/HCALL fallthrough, forward dominators,
+       predicated defs in loops --- *)
+
+let test_cfg_unreachable_blocks () =
+  (* pc 2..3 form a self-looping block no path from the entry reaches. *)
+  let instrs =
+    [| Instr.make Opcode.MOV ~dsts:[ Reg.r 0 ] ~srcs:[ Instr.SImm 1 ];
+       Instr.make Opcode.EXIT;
+       Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 5 ];
+       Instr.make Opcode.BRA ~target:2 |]
+  in
+  let cfg = Cfg.build instrs in
+  (* block_of_pc stays total over unreachable code. *)
+  Array.iteri
+    (fun pc _ ->
+       check Alcotest.bool "pc mapped" true (cfg.Cfg.block_of_pc.(pc) >= 0))
+    instrs;
+  check Alcotest.bool "entry reachable" true
+    (Cfg.reachable_block cfg cfg.Cfg.block_of_pc.(0));
+  check Alcotest.bool "orphan unreachable" false
+    (Cfg.reachable_block cfg cfg.Cfg.block_of_pc.(2));
+  (* Invariant from cfg.mli: a reachable block never has an
+     unreachable predecessor. *)
+  Array.iter
+    (fun b ->
+       if Cfg.reachable_block cfg b.Cfg.id then
+         List.iter
+           (fun p ->
+              check Alcotest.bool "pred of reachable is reachable" true
+                (Cfg.reachable_block cfg p))
+           b.Cfg.preds)
+    cfg.Cfg.blocks;
+  (* Liveness still converges and is sound on the unreachable loop:
+     R2 is written and never read, so it is not live-in there. *)
+  let live = Liveness.analyze instrs in
+  check Alcotest.bool "R2 dead in unreachable loop" false
+    (List.exists (Reg.equal (Reg.r 2)) (Liveness.live_gprs_before live 2))
+
+let prop_cfg_reachable_closed =
+  QCheck.Test.make
+    ~name:"reachable blocks never have unreachable preds" ~count:200
+    arb_program (fun instrs ->
+      let cfg = Cfg.build instrs in
+      Array.for_all
+        (fun b ->
+           (not (Cfg.reachable_block cfg b.Cfg.id))
+           || List.for_all (Cfg.reachable_block cfg) b.Cfg.preds)
+        cfg.Cfg.blocks)
+
+let test_domtree_forward () =
+  let instrs = diamond () in
+  let cfg = Cfg.build instrs in
+  let dom = Domtree.dominators cfg in
+  let b = Array.map (fun pc -> cfg.Cfg.block_of_pc.(pc)) [| 0; 2; 4; 5 |] in
+  check (Alcotest.option Alcotest.int) "entry has no idom" None
+    (Domtree.idom dom b.(0));
+  check (Alcotest.option Alcotest.int) "then-arm idom" (Some b.(0))
+    (Domtree.idom dom b.(1));
+  check (Alcotest.option Alcotest.int) "else-arm idom" (Some b.(0))
+    (Domtree.idom dom b.(2));
+  check (Alcotest.option Alcotest.int) "join idom" (Some b.(0))
+    (Domtree.idom dom b.(3));
+  check Alcotest.bool "entry dominates join" true
+    (Domtree.dominates dom b.(0) b.(3));
+  check Alcotest.bool "arm does not dominate join" false
+    (Domtree.dominates dom b.(1) b.(3))
+
+let test_domtree_unreachable () =
+  let instrs =
+    [| Instr.make Opcode.MOV ~dsts:[ Reg.r 0 ] ~srcs:[ Instr.SImm 1 ];
+       Instr.make Opcode.EXIT;
+       Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 5 ];
+       Instr.make Opcode.BRA ~target:2 |]
+  in
+  let cfg = Cfg.build instrs in
+  let dom = Domtree.dominators cfg in
+  let entry = cfg.Cfg.block_of_pc.(0) and orphan = cfg.Cfg.block_of_pc.(2) in
+  check (Alcotest.option Alcotest.int) "unreachable has no idom" None
+    (Domtree.idom dom orphan);
+  check Alcotest.bool "entry does not dominate unreachable" false
+    (Domtree.dominates dom entry orphan);
+  check Alcotest.bool "unreachable dominates itself" true
+    (Domtree.dominates dom orphan orphan)
+
+let test_multi_exit () =
+  (* Two arms that each EXIT: no reconvergence point before the
+     virtual exit, so ipdom of the branch block is [None]. *)
+  let instrs =
+    [| Instr.make (Opcode.ISETP (Opcode.Lt, Opcode.Signed))
+         ~pdsts:[ Pred.p 0 ]
+         ~srcs:[ Instr.SImm 1; Instr.SImm 10 ];
+       Instr.make Opcode.BRA ~guard:(Pred.on (Pred.p 0)) ~target:4;
+       Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 1 ];
+       Instr.make Opcode.EXIT;
+       Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 2 ];
+       Instr.make Opcode.EXIT |]
+  in
+  let cfg = Cfg.build instrs in
+  let pdom = Domtree.post_dominators cfg in
+  let b0 = cfg.Cfg.block_of_pc.(0) in
+  check (Alcotest.option Alcotest.int) "no reconvergence block" None
+    (Domtree.ipdom pdom b0);
+  check (Alcotest.option Alcotest.int) "no reconvergence pc" None
+    (Domtree.reconvergence_pc cfg pdom 1);
+  check Alcotest.bool "exit arm does not post-dominate entry" false
+    (Domtree.post_dominates pdom cfg.Cfg.block_of_pc.(2) b0)
+
+let test_guarded_exit_fallthrough () =
+  (* A guarded EXIT retires some lanes and falls through for the rest:
+     the block must keep its fallthrough edge. *)
+  let instrs =
+    [| Instr.make (Opcode.ISETP (Opcode.Lt, Opcode.Signed))
+         ~pdsts:[ Pred.p 0 ]
+         ~srcs:[ Instr.SImm 1; Instr.SImm 10 ];
+       Instr.make Opcode.EXIT ~guard:(Pred.on (Pred.p 0));
+       Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 1 ];
+       Instr.make Opcode.EXIT |]
+  in
+  let cfg = Cfg.build instrs in
+  let b0 = cfg.Cfg.block_of_pc.(0) and b1 = cfg.Cfg.block_of_pc.(2) in
+  check (Alcotest.list Alcotest.int) "fallthrough edge" [ b1 ]
+    cfg.Cfg.blocks.(b0).Cfg.succs;
+  check Alcotest.bool "tail reachable" true (Cfg.reachable_block cfg b1)
+
+let test_cal_hcall_fallthrough () =
+  (* CAL and HCALL fall through without ending the block, and liveness
+     must flow across them (the HCALL's uses keep R4 live). *)
+  let instrs =
+    [| Instr.make Opcode.MOV ~dsts:[ Reg.r 4 ] ~srcs:[ Instr.SImm 1 ];
+       Instr.make Opcode.CAL ~target:3;
+       Instr.make (Opcode.HCALL 0) ~srcs:[ Instr.SReg (Reg.r 4) ];
+       Instr.make Opcode.EXIT |]
+  in
+  let cfg = Cfg.build instrs in
+  check Alcotest.int "single block" 1 (Array.length cfg.Cfg.blocks);
+  let live = Liveness.analyze instrs in
+  check Alcotest.bool "R4 live across CAL" true
+    (List.exists (Reg.equal (Reg.r 4)) (Liveness.live_gprs_before live 1))
+
+let test_liveness_pred_def_in_loop () =
+  (* A predicated def inside a loop must not kill: the incoming value
+     survives into later iterations and past the loop exit. *)
+  let instrs =
+    [| Instr.make Opcode.MOV ~dsts:[ Reg.r 0 ] ~srcs:[ Instr.SImm 0 ];
+       Instr.make Opcode.MOV ~dsts:[ Reg.r 2 ] ~srcs:[ Instr.SImm 0 ];
+       Instr.make (Opcode.ISETP (Opcode.Lt, Opcode.Signed))
+         ~pdsts:[ Pred.p 0 ]
+         ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 8 ];
+       Instr.make Opcode.MOV ~guard:(Pred.on (Pred.p 0)) ~dsts:[ Reg.r 2 ]
+         ~srcs:[ Instr.SImm 3 ];
+       Instr.make Opcode.IADD ~dsts:[ Reg.r 0 ]
+         ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 1 ];
+       Instr.make Opcode.BRA ~guard:(Pred.on (Pred.p 0)) ~target:2;
+       Instr.make Opcode.MOV ~dsts:[ Reg.r 4 ] ~srcs:[ Instr.SReg (Reg.r 2) ];
+       Instr.make Opcode.EXIT |]
+  in
+  let live = Liveness.analyze instrs in
+  let live_r2 pc =
+    List.exists (Reg.equal (Reg.r 2)) (Liveness.live_gprs_before live pc)
+  in
+  check Alcotest.bool "R2 live into guarded def" true (live_r2 3);
+  check Alcotest.bool "R2 live at loop header" true (live_r2 2);
+  check Alcotest.bool "R2 live around back edge" true (live_r2 5)
+
 let suite =
   let qt = QCheck_alcotest.to_alcotest in
   [ ("sass.reg",
@@ -392,12 +557,23 @@ let suite =
     ("sass.cfg",
      [ Alcotest.test_case "diamond" `Quick test_cfg_diamond;
        Alcotest.test_case "loop" `Quick test_cfg_loop;
+       Alcotest.test_case "unreachable blocks" `Quick
+         test_cfg_unreachable_blocks;
+       Alcotest.test_case "guarded exit fallthrough" `Quick
+         test_guarded_exit_fallthrough;
+       Alcotest.test_case "cal/hcall fallthrough" `Quick
+         test_cal_hcall_fallthrough;
        qt prop_cfg_partitions;
-       qt prop_cfg_edges_valid ]);
+       qt prop_cfg_edges_valid;
+       qt prop_cfg_reachable_closed ]);
     ("sass.pdom",
      [ Alcotest.test_case "diamond" `Quick test_pdom_diamond;
        Alcotest.test_case "if-then" `Quick test_pdom_if_then;
        Alcotest.test_case "annotate" `Quick test_annotate_reconvergence;
+       Alcotest.test_case "forward dominators" `Quick test_domtree_forward;
+       Alcotest.test_case "unreachable dominators" `Quick
+         test_domtree_unreachable;
+       Alcotest.test_case "multi-exit" `Quick test_multi_exit;
        qt prop_ipdom_post_dominates;
        qt prop_reconv_annotation_stable ]);
     ("sass.program",
@@ -407,4 +583,6 @@ let suite =
      [ Alcotest.test_case "straightline" `Quick test_liveness_straightline;
        Alcotest.test_case "loop" `Quick test_liveness_loop;
        Alcotest.test_case "guarded def" `Quick test_liveness_guarded_def_not_kill;
+       Alcotest.test_case "pred def in loop" `Quick
+         test_liveness_pred_def_in_loop;
        qt prop_liveness_uses_live ]) ]
