@@ -1,6 +1,6 @@
 # Convenience targets; `make ci` is what a pipeline should run.
 
-.PHONY: all build test fmt lint ci clean profile telemetry
+.PHONY: all build test fmt lint ci clean profile telemetry bench-parallel
 
 # Workload for `make profile`, e.g. `make profile WORKLOAD=parboil/sgemm`.
 WORKLOAD ?= rodinia/bfs
@@ -56,6 +56,28 @@ ci: fmt
 	fi; \
 	rm -rf $$tmp; \
 	echo "ci: compare smoke + seeded-regression checks passed"
+	@# Parallel determinism: a --jobs 2 campaign must produce the same
+	@# manifest counters as --jobs 1 (the comparator ignores wall time
+	@# and argv, so any diff is a real scheduling leak).
+	@tmp=$$(mktemp -d); \
+	printf '%s\n' \
+	  '{"schema":"sassi-campaign/1","name":"ci-smoke","seed":2025,"jobs":[' \
+	  ' {"workload":"parboil/sgemm","variant":"small","kind":"inject","injections":4},' \
+	  ' {"workload":"parboil/spmv","variant":"small","kind":"run"}]}' \
+	  > $$tmp/campaign.json; \
+	dune exec bin/sassi_run.exe -- campaign $$tmp/campaign.json --jobs 1 \
+	  --manifest $$tmp/j1.json > /dev/null; \
+	dune exec bin/sassi_run.exe -- campaign $$tmp/campaign.json --jobs 2 \
+	  --manifest $$tmp/j2.json > /dev/null; \
+	dune exec bin/sassi_run.exe -- compare $$tmp/j1.json $$tmp/j2.json \
+	  || { echo "ci: --jobs 2 campaign diverged from --jobs 1"; rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; \
+	echo "ci: parallel campaign determinism check passed"
+
+# Sequential-vs-parallel wall clock and bit-identity on two task
+# mixes; writes BENCH_parallel.json (see EXPERIMENTS.md).
+bench-parallel: build
+	dune exec bench/main.exe -- parallel --jobs 4
 
 profile: build
 	dune exec bin/sassi_run.exe -- run $(WORKLOAD) --profile

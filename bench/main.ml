@@ -14,9 +14,22 @@
      fig10   - error injection outcomes (Case Study IV)
      table3  - instrumentation overheads (T wall-clock, K kernel cycles)
      analysis - static-analyzer wall time per kernel across the suite
-     bechamel - wall-clock microbenchmarks, one Test.make per table *)
+     parallel - domain-pool campaign runner: seq-vs-par wall clock and
+                bit-identity check, emits BENCH_parallel.json
+     bechamel - wall-clock microbenchmarks, one Test.make per table
 
-let quick = ref false
+   Flags: --quick (reduced injection counts), --jobs N (domain-pool
+   width for the matrix experiments; 1 = sequential), --seed S. *)
+
+(* The typed run configuration, threaded into every experiment: no
+   more bare refs consulted ad hoc, and `--quick`/`--jobs`/`--seed`
+   behave uniformly across experiments. *)
+type runcfg = {
+  quick : bool;
+  jobs : int;
+  seed : int;
+  pool : Par.Pool.t;  (* inline executor when jobs = 1 *)
+}
 
 let cfg = Gpu.Config.default
 
@@ -38,6 +51,36 @@ let hline = String.make 78 '-'
 let section title =
   Printf.printf "\n%s\n%s\n%s\n%!" hline title hline
 
+(* Combined manifests for the matrix experiments (table1, fig10).
+   Deliberately deterministic artifacts: wall time is zeroed (it lives
+   in BENCH_parallel.json instead) and --jobs is stripped from argv,
+   so `bench table1 --jobs 1` and `--jobs 4` write byte-identical
+   files — the determinism contract reduced to a `cmp`. *)
+let write_experiment_manifest ~experiment ~rc ~counters ~histograms =
+  let dir = "bench-manifests" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir ("bench-" ^ experiment ^ ".json") in
+  let rec strip_jobs = function
+    | [] -> []
+    | "--jobs" :: _ :: rest -> strip_jobs rest
+    | a :: rest -> a :: strip_jobs rest
+  in
+  let m =
+    { Telemetry.Manifest.m_workload = "bench/" ^ experiment;
+      m_variant = "matrix";
+      m_instrument = "bench";
+      m_seed = rc.seed;
+      m_argv = strip_jobs (Array.to_list Sys.argv);
+      m_wall_time_s = 0.0;
+      m_build = Telemetry.Build_info.collect ();
+      m_config = Gpu.Config.to_assoc cfg;
+      m_counters = counters;
+      m_metrics = [];
+      m_histograms = histograms }
+  in
+  Telemetry.Manifest.write path m;
+  Printf.printf "\nmanifest -> %s\n%!" path
+
 (* --- Table 1: branch divergence ----------------------------------------- *)
 
 let table1_rows =
@@ -57,37 +100,64 @@ let branch_summary suite name variant =
     collector := Some bs;
     Handlers.Branch_stats.pairs bs
   in
-  let _ = run_instrumented pairs w variant in
+  let r = run_instrumented pairs w variant in
   match !collector with
-  | Some bs -> (Handlers.Branch_stats.summary bs, bs)
+  | Some bs -> (Handlers.Branch_stats.summary bs, bs, r)
   | None -> assert false
 
-let table1 () =
+(* Each row is one independent instrumented run: fanned out over the
+   domain pool, printed (and reduced into the manifest) in row order,
+   so the output is byte-identical for any --jobs. *)
+let table1 rc =
   section
     "Table 1: average branch divergence statistics (Case Study I handler)";
   Printf.printf "%-10s %-14s %-8s | %8s %9s %6s | %10s %10s %6s\n" "suite"
     "benchmark" "dataset" "static" "divgnt" "%" "dynamic" "divergent" "%";
-  List.iter
-    (fun (suite, name, variant) ->
-       let s, _ = branch_summary suite name variant in
-       let open Handlers.Branch_stats in
-       Printf.printf
-         "%-10s %-14s %-8s | %8d %9d %6.0f | %10d %10d %6.1f\n%!" suite name
-         variant s.static_branches s.static_divergent
-         (100.0 *. float_of_int s.static_divergent
-          /. float_of_int (max 1 s.static_branches))
-         s.dynamic_branches s.dynamic_divergent
-         (100.0 *. float_of_int s.dynamic_divergent
-          /. float_of_int (max 1 s.dynamic_branches)))
-    table1_rows
+  let rows = Array.of_list table1_rows in
+  let tasks =
+    Array.map
+      (fun (suite, name, variant) ->
+         fun () ->
+           let s, _, r = branch_summary suite name variant in
+           (s, r.Workloads.Workload.stats))
+      rows
+  in
+  let results =
+    Par.Campaign.run_tasks rc.pool tasks ~on_result:(fun i (s, _) ->
+        let suite, name, variant = rows.(i) in
+        let open Handlers.Branch_stats in
+        Printf.printf
+          "%-10s %-14s %-8s | %8d %9d %6.0f | %10d %10d %6.1f\n%!" suite name
+          variant s.static_branches s.static_divergent
+          (100.0 *. float_of_int s.static_divergent
+           /. float_of_int (max 1 s.static_branches))
+          s.dynamic_branches s.dynamic_divergent
+          (100.0 *. float_of_int s.dynamic_divergent
+           /. float_of_int (max 1 s.dynamic_branches)))
+  in
+  let merged = Par.Reduce.stats (Array.map snd results) in
+  let sum f =
+    Array.fold_left
+      (fun acc (s, _) -> acc + f s) 0 results
+  in
+  let open Handlers.Branch_stats in
+  write_experiment_manifest ~experiment:"table1" ~rc
+    ~counters:
+      (( "rows", Array.length rows )
+       :: ("static_branches", sum (fun s -> s.static_branches))
+       :: ("static_divergent", sum (fun s -> s.static_divergent))
+       :: ("dynamic_branches", sum (fun s -> s.dynamic_branches))
+       :: ("dynamic_divergent", sum (fun s -> s.dynamic_divergent))
+       :: Gpu.Stats.to_assoc merged)
+    ~histograms:[]
 
 (* --- Figure 5: per-branch histograms ------------------------------------- *)
 
-let fig5 () =
+let fig5 (_rc : runcfg) =
   section "Figure 5: per-branch divergence, Parboil bfs (1M) vs (UT)";
   List.iter
     (fun variant ->
-       let _, bs = branch_summary "parboil" "bfs" variant in
+       let _, bs, _ = branch_summary "parboil" "bfs" variant in
        Printf.printf "\nParboil bfs (%s) - branches sorted by execution \
                       count\n" variant;
        Printf.printf "%-12s %10s %10s  divergent | non-divergent\n" "branch"
@@ -130,28 +200,34 @@ let memdiv_profile name variant =
   | Some md -> md
   | None -> assert false
 
-let fig7 () =
+let fig7 rc =
   section
     "Figure 7: distribution (PMF) of unique 32B cache lines requested per \
      warp memory instruction (Case Study II handler)";
-  List.iter
-    (fun (name, variant) ->
-       let md = memdiv_profile name variant in
-       let pmf = Handlers.Mem_divergence.pmf md in
-       Printf.printf "\n%s (%s):  [fully diverged: %.2f]\n" name variant
-         (Handlers.Mem_divergence.fully_diverged_fraction md);
-       Array.iteri
-         (fun u f ->
-            if f > 0.004 then
-              Printf.printf "  %2d unique: %5.1f%% %s\n" (u + 1) (100.0 *. f)
-                (String.make (int_of_float (f *. 56.0)) '#'))
-         pmf;
-       Printf.printf "%!")
-    fig7_rows
+  let rows = Array.of_list fig7_rows in
+  let tasks =
+    Array.map
+      (fun (name, variant) -> fun () -> memdiv_profile name variant)
+      rows
+  in
+  ignore
+    (Par.Campaign.run_tasks rc.pool tasks ~on_result:(fun i md ->
+         let name, variant = rows.(i) in
+         let pmf = Handlers.Mem_divergence.pmf md in
+         Printf.printf "\n%s (%s):  [fully diverged: %.2f]\n" name variant
+           (Handlers.Mem_divergence.fully_diverged_fraction md);
+         Array.iteri
+           (fun u f ->
+              if f > 0.004 then
+                Printf.printf "  %2d unique: %5.1f%% %s\n" (u + 1)
+                  (100.0 *. f)
+                  (String.make (int_of_float (f *. 56.0)) '#'))
+           pmf;
+         Printf.printf "%!"))
 
 (* --- Figure 8: miniFE matrices -------------------------------------------- *)
 
-let fig8 () =
+let fig8 (_rc : runcfg) =
   section
     "Figure 8: warp occupancy (rows, active threads) x address divergence \
      (cols, unique lines) for miniFE variants; log10 count glyphs";
@@ -192,31 +268,36 @@ let table2_rows =
     "rodinia/nw"; "rodinia/pathfinder"; "rodinia/srad_v1"; "rodinia/srad_v2";
     "rodinia/streamcluster" ]
 
-let table2 () =
+let table2 rc =
   section
     "Table 2: value profiling - constant bits and scalar writes \
      (Case Study III handler)";
   Printf.printf "%-22s | %12s %10s | %12s %10s\n" "benchmark"
     "dyn const%" "dyn scal%" "st const%" "st scal%";
-  List.iter
-    (fun name ->
-       let w = wl name in
-       let collector = ref None in
-       let pairs device =
-         let vp = Handlers.Value_profile.create device in
-         collector := Some vp;
-         Handlers.Value_profile.pairs vp
-       in
-       let _ =
-         run_instrumented pairs w w.Workloads.Workload.default_variant
-       in
-       let vp = Option.get !collector in
-       let s = Handlers.Value_profile.summary vp in
-       let open Handlers.Value_profile in
-       Printf.printf "%-22s | %12.0f %10.0f | %12.0f %10.0f\n%!" name
-         s.dynamic_const_bits_pct s.dynamic_scalar_pct s.static_const_bits_pct
-         s.static_scalar_pct)
-    table2_rows
+  let rows = Array.of_list table2_rows in
+  let tasks =
+    Array.map
+      (fun name ->
+         fun () ->
+           let w = wl name in
+           let collector = ref None in
+           let pairs device =
+             let vp = Handlers.Value_profile.create device in
+             collector := Some vp;
+             Handlers.Value_profile.pairs vp
+           in
+           let _ =
+             run_instrumented pairs w w.Workloads.Workload.default_variant
+           in
+           Handlers.Value_profile.summary (Option.get !collector))
+      rows
+  in
+  ignore
+    (Par.Campaign.run_tasks rc.pool tasks ~on_result:(fun i s ->
+         let open Handlers.Value_profile in
+         Printf.printf "%-22s | %12.0f %10.0f | %12.0f %10.0f\n%!" rows.(i)
+           s.dynamic_const_bits_pct s.dynamic_scalar_pct
+           s.static_const_bits_pct s.static_scalar_pct))
 
 (* --- Figure 10: error injection -------------------------------------------- *)
 
@@ -228,8 +309,11 @@ let fig10_apps =
     ("rodinia/pathfinder", "default"); ("rodinia/gaussian", "default");
     ("rodinia/kmeans", "default"); ("rodinia/mummergpu", "default") ]
 
-let fig10 () =
-  let injections = if !quick then 8 else 24 in
+(* One app = one campaign = one pool task; the per-app campaign seed
+   is split from the bench seed and the app index, so the full figure
+   replays identically under any --jobs. *)
+let fig10 rc =
+  let injections = if rc.quick then 8 else 24 in
   section
     (Printf.sprintf
        "Figure 10: error injection outcomes (%d single-bit register flips \
@@ -237,20 +321,31 @@ let fig10 () =
        injections);
   Printf.printf "%-22s | %7s %7s %6s %8s %8s %8s\n" "benchmark" "masked"
     "crash" "hang" "symptom" "sdc-out" "sdc-std";
-  let totals = ref [] in
-  List.iter
-    (fun (name, variant) ->
-       let w = wl name in
-       let tally = Workloads.Campaign.run ~cfg ~injections w ~variant in
-       totals := tally :: !totals;
-       let m, c, h, s, so, sf = Workloads.Campaign.fractions tally in
-       Printf.printf
-         "%-22s | %6.1f%% %6.1f%% %5.1f%% %7.1f%% %7.1f%% %7.1f%%\n%!" name
-         (100. *. m) (100. *. c) (100. *. h) (100. *. s) (100. *. sf)
-         (100. *. so))
-    fig10_apps;
+  let apps = Array.of_list fig10_apps in
+  let tasks =
+    Array.mapi
+      (fun i (name, variant) ->
+         fun () ->
+           let w = wl name in
+           let seed = Par.Seed.split ~seed:rc.seed ~index:i in
+           Workloads.Campaign.run_detailed ~cfg ~seed ~injections w ~variant)
+      apps
+  in
+  let details =
+    Par.Campaign.run_tasks rc.pool tasks
+      ~on_result:(fun i (d : Workloads.Campaign.detail) ->
+          let name, _ = apps.(i) in
+          let m, c, h, s, so, sf =
+            Workloads.Campaign.fractions d.Workloads.Campaign.d_tally
+          in
+          Printf.printf
+            "%-22s | %6.1f%% %6.1f%% %5.1f%% %7.1f%% %7.1f%% %7.1f%%\n%!"
+            name (100. *. m) (100. *. c) (100. *. h) (100. *. s) (100. *. sf)
+            (100. *. so))
+  in
   let open Workloads.Campaign in
-  let sum f = List.fold_left (fun a t -> a + f t) 0 !totals in
+  let tallies = Array.map (fun d -> d.d_tally) details in
+  let sum f = Array.fold_left (fun a t -> a + f t) 0 tallies in
   let total = sum (fun t -> t.total) in
   let pct x = 100.0 *. float_of_int x /. float_of_int (max 1 total) in
   Printf.printf "%-22s | %6.1f%% %6.1f%% %5.1f%% %7.1f%% %7.1f%% %7.1f%%\n"
@@ -260,7 +355,21 @@ let fig10 () =
     (pct (sum (fun t -> t.hangs)))
     (pct (sum (fun t -> t.failure_symptoms)))
     (pct (sum (fun t -> t.sdc_output)))
-    (pct (sum (fun t -> t.sdc_stdout)))
+    (pct (sum (fun t -> t.sdc_stdout)));
+  let merged = Par.Reduce.stats (Array.map (fun d -> d.d_stats) details) in
+  write_experiment_manifest ~experiment:"fig10" ~rc
+    ~counters:
+      (("apps", Array.length apps)
+       :: ("injections_per_app", injections)
+       :: ("masked", sum (fun t -> t.masked))
+       :: ("crashes", sum (fun t -> t.crashes))
+       :: ("hangs", sum (fun t -> t.hangs))
+       :: ("failure_symptoms", sum (fun t -> t.failure_symptoms))
+       :: ("sdc_stdout", sum (fun t -> t.sdc_stdout))
+       :: ("sdc_output", sum (fun t -> t.sdc_output))
+       :: ("injections_total", total)
+       :: Gpu.Stats.to_assoc merged)
+    ~histograms:[]
 
 (* --- Table 3: instrumentation overheads ------------------------------------ *)
 
@@ -300,7 +409,7 @@ let table3_rows =
     "rodinia/lavaMD"; "rodinia/srad_v1"; "rodinia/nw"; "rodinia/gaussian";
     "rodinia/streamcluster"; "rodinia/heartwall" ]
 
-let table3 () =
+let table3 (_rc : runcfg) =
   section
     "Table 3: instrumentation overheads. T = whole-program wall-clock \
      ratio, K = kernel (simulated cycles) ratio; stub = empty handler at \
@@ -369,7 +478,7 @@ let cachesim_rows =
   [ ("minife/miniFE", "CSR"); ("minife/miniFE", "ELL");
     ("parboil/spmv", "small") ]
 
-let cachesim () =
+let cachesim (_rc : runcfg) =
   section
     "Extension (paper Sec. 9.4, 'Driving other simulators'): SASSI memory \
      traces replayed through a standalone cache simulator";
@@ -397,7 +506,7 @@ let scaling_rows =
   [ ("parboil/sgemm", "small"); ("parboil/spmv", "medium");
     ("rodinia/streamcluster", "default") ]
 
-let scaling () =
+let scaling (_rc : runcfg) =
   section
     "Extension: architecture design-space exploration on the simulated \
      device - kernel cycles vs. SM count (the workflow the paper's intro \
@@ -433,7 +542,7 @@ let tracing_rows =
   [ ("parboil/spmv", "small"); ("parboil/sgemm", "small");
     ("rodinia/bfs", "default") ]
 
-let tracing () =
+let tracing (_rc : runcfg) =
   section
     "Extension: activity-tracing overhead (CUPTI-style Activity API) - \
      wall-clock with the collector installed vs. plain, plus record \
@@ -493,7 +602,7 @@ let top5_overlap ~exact sampled =
           | None -> false)
        (top5 sampled))
 
-let profiling () =
+let profiling (_rc : runcfg) =
   section
     "Extension: PC-sampling profiler (nvprof-style) - wall-clock overhead \
      vs. plain, and sampled hotspot ranking validated against exact \
@@ -596,7 +705,7 @@ let write_bench_manifest name variant (r : Workloads.Workload.result)
   Telemetry.Manifest.write path m;
   path
 
-let telemetry () =
+let telemetry (_rc : runcfg) =
   section
     "Extension: telemetry overhead and invariance - wall-clock with the \
      metrics sink installed vs. plain, Stats equality (the sink must only \
@@ -655,7 +764,7 @@ let telemetry () =
 
 (* --- Bechamel micro-suite ---------------------------------------------------- *)
 
-let bechamel () =
+let bechamel (_rc : runcfg) =
   section
     "Bechamel wall-clock microbenchmarks (one Test.make per experiment; \
      small workloads)";
@@ -720,9 +829,9 @@ let bechamel () =
    the measured per-kernel wall time across the whole workload suite
    alongside the instruction count, so a super-linear regression shows
    up as ns/instr drifting with kernel size. *)
-let analysis () =
+let analysis rc =
   section "analysis: static-analysis wall time per kernel (a compiler-pass budget)";
-  let reps = if !quick then 5 else 20 in
+  let reps = if rc.quick then 5 else 20 in
   Printf.printf "  %-26s %7s %7s %9s %9s %9s\n" "kernel" "instrs" "blocks"
     "findings" "us/run" "ns/instr";
   let total_instrs = ref 0 and total_us = ref 0.0 in
@@ -764,61 +873,176 @@ let analysis () =
     "  total: %d instrs, %.1f us for one verify of every kernel\n%!"
     !total_instrs !total_us
 
+(* --- parallel: seq-vs-par wall clock and bit-identity ---------------------- *)
+
+(* Two representative task mixes: plain instrumented runs (table1
+   cells) and full injection campaigns (fig10 apps at reduced
+   injection counts). Each mix runs once on a one-domain inline pool
+   and once on the --jobs pool; the results must compare structurally
+   equal, and both wall clocks land in BENCH_parallel.json. On a
+   single-core host the speedup hovers around 1.0x (domains time-slice
+   one CPU); the bit-identity columns are the point there. *)
+let parallel_run_rows =
+  [ ("parboil", "sgemm", "small"); ("parboil", "sgemm", "medium");
+    ("parboil", "bfs", "NY"); ("parboil", "tpacf", "small");
+    ("rodinia", "gaussian", "default"); ("rodinia", "srad_v1", "default") ]
+
+let parallel_campaign_apps =
+  [ ("parboil/sgemm", "small"); ("parboil/spmv", "small");
+    ("rodinia/nn", "default") ]
+
+let parallel rc =
+  section
+    (Printf.sprintf
+       "parallel: campaign-runner determinism and wall clock, sequential \
+        (--jobs 1) vs parallel (--jobs %d)"
+       rc.jobs);
+  let run_part name tasks =
+    let rs_seq, t_seq =
+      Par.Pool.with_pool ~domains:1 (fun p ->
+          timed (fun () ->
+              Par.Campaign.run_tasks p tasks ~on_result:(fun _ _ -> ())))
+    in
+    let rs_par, t_par =
+      timed (fun () ->
+          Par.Campaign.run_tasks rc.pool tasks ~on_result:(fun _ _ -> ()))
+    in
+    let identical = rs_seq = rs_par in
+    Printf.printf
+      "%-10s | %2d tasks | seq %6.2fs  par %6.2fs  speedup %4.2fx  %s\n%!"
+      name (Array.length tasks) t_seq t_par
+      (t_seq /. max 1e-6 t_par)
+      (if identical then "bit-identical" else "MISMATCH");
+    (name, Array.length tasks, t_seq, t_par, identical)
+  in
+  let run_tasks =
+    Array.of_list parallel_run_rows
+    |> Array.map (fun (suite, bench, variant) ->
+        fun () ->
+          let s, _, r = branch_summary suite bench variant in
+          (s, Gpu.Stats.to_assoc r.Workloads.Workload.stats))
+  in
+  let injections = if rc.quick then 4 else 8 in
+  let campaign_tasks =
+    Array.of_list parallel_campaign_apps
+    |> Array.mapi (fun i (name, variant) ->
+        fun () ->
+          let w = wl name in
+          let seed = Par.Seed.split ~seed:rc.seed ~index:i in
+          let d =
+            Workloads.Campaign.run_detailed ~cfg ~seed ~injections w ~variant
+          in
+          (d.Workloads.Campaign.d_outcomes,
+           Gpu.Stats.to_assoc d.Workloads.Campaign.d_stats))
+  in
+  let parts =
+    [ run_part "runs" run_tasks; run_part "campaigns" campaign_tasks ]
+  in
+  let json =
+    Trace.Json.Obj
+      [ ("schema", Trace.Json.Str "sassi-bench-parallel/1");
+        ("jobs", Trace.Json.Int rc.jobs);
+        ("seed", Trace.Json.Int rc.seed);
+        ("host_domains",
+         Trace.Json.Int (Domain.recommended_domain_count ()));
+        ("steals", Trace.Json.Int (Par.Pool.steal_count rc.pool));
+        ("parts",
+         Trace.Json.List
+           (List.map
+              (fun (name, n, t_seq, t_par, identical) ->
+                 Trace.Json.Obj
+                   [ ("name", Trace.Json.Str name);
+                     ("tasks", Trace.Json.Int n);
+                     ("t_seq_s", Trace.Json.Float t_seq);
+                     ("t_par_s", Trace.Json.Float t_par);
+                     ("speedup",
+                      Trace.Json.Float (t_seq /. max 1e-6 t_par));
+                     ("bit_identical", Trace.Json.Bool identical) ])
+              parts)) ]
+  in
+  Trace.Json.write_file "BENCH_parallel.json" json;
+  Printf.printf "\nwrote BENCH_parallel.json\n%!";
+  if not (List.for_all (fun (_, _, _, _, i) -> i) parts) then begin
+    Printf.eprintf "parallel: determinism violation (see MISMATCH rows)\n";
+    exit 1
+  end
+
 (* --- Driver -------------------------------------------------------------------- *)
 
-let all () =
-  table1 ();
-  fig5 ();
-  fig7 ();
-  fig8 ();
-  table2 ();
-  fig10 ();
-  table3 ();
-  cachesim ();
-  scaling ();
-  tracing ();
-  profiling ();
-  telemetry ();
-  analysis ();
-  bechamel ()
+let all rc =
+  table1 rc;
+  fig5 rc;
+  fig7 rc;
+  fig8 rc;
+  table2 rc;
+  fig10 rc;
+  table3 rc;
+  cachesim rc;
+  scaling rc;
+  tracing rc;
+  profiling rc;
+  telemetry rc;
+  analysis rc;
+  bechamel rc
+
+let usage =
+  "table1|fig5|fig7|fig8|table2|fig10|table3|cachesim|scaling|tracing|\
+   profiling|telemetry|analysis|parallel|bechamel|all"
 
 let () =
-  let args =
-    Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else a <> "--")
+  let quick = ref false and jobs = ref 1 and seed = ref 2025 in
+  let bad fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+      quick := true;
+      parse acc rest
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 && n <= Par.Pool.max_domains ->
+          jobs := n;
+          parse acc rest
+        | _ -> bad "bench: --jobs expects an integer in 1..%d"
+                 Par.Pool.max_domains)
+    | [ "--jobs" ] -> bad "bench: --jobs expects an argument"
+    | "--seed" :: s :: rest -> (
+        match int_of_string_opt s with
+        | Some s ->
+          seed := s;
+          parse acc rest
+        | None -> bad "bench: --seed expects an integer")
+    | [ "--seed" ] -> bad "bench: --seed expects an argument"
+    | "--" :: rest -> parse acc rest
+    | a :: rest -> parse (a :: acc) rest
   in
+  let cmds = parse [] (List.tl (Array.to_list Sys.argv)) in
+  let pool = Par.Pool.create ~domains:!jobs () in
+  let rc = { quick = !quick; jobs = !jobs; seed = !seed; pool } in
   let t0 = Unix.gettimeofday () in
-  (match args with
-   | [] -> all ()
+  (match cmds with
+   | [] -> all rc
    | cmds ->
      List.iter
        (function
-         | "table1" -> table1 ()
-         | "fig5" -> fig5 ()
-         | "fig7" -> fig7 ()
-         | "fig8" -> fig8 ()
-         | "table2" -> table2 ()
-         | "fig10" -> fig10 ()
-         | "table3" -> table3 ()
-         | "cachesim" -> cachesim ()
-         | "scaling" -> scaling ()
-         | "tracing" -> tracing ()
-         | "profiling" -> profiling ()
-         | "telemetry" -> telemetry ()
-         | "analysis" -> analysis ()
-         | "bechamel" -> bechamel ()
-         | "all" -> all ()
+         | "table1" -> table1 rc
+         | "fig5" -> fig5 rc
+         | "fig7" -> fig7 rc
+         | "fig8" -> fig8 rc
+         | "table2" -> table2 rc
+         | "fig10" -> fig10 rc
+         | "table3" -> table3 rc
+         | "cachesim" -> cachesim rc
+         | "scaling" -> scaling rc
+         | "tracing" -> tracing rc
+         | "profiling" -> profiling rc
+         | "telemetry" -> telemetry rc
+         | "analysis" -> analysis rc
+         | "parallel" -> parallel rc
+         | "bechamel" -> bechamel rc
+         | "all" -> all rc
          | other ->
-           Printf.eprintf
-             "unknown experiment %s (table1|fig5|fig7|fig8|table2|fig10|\
-              table3|cachesim|scaling|tracing|profiling|telemetry|analysis|\
-              bechamel|all)\n"
-             other;
+           Printf.eprintf "unknown experiment %s (%s)\n" other usage;
            exit 1)
        cmds);
+  Par.Pool.shutdown pool;
   Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

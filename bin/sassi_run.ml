@@ -6,7 +6,10 @@
      disasm WORKLOAD          - print the SASS of a workload's kernels
                                 (before and, optionally, after injection)
      lint WORKLOAD|all        - static analysis over compiled kernels
-     analyze WORKLOAD         - per-site instrumentation cost model *)
+     analyze WORKLOAD         - per-site instrumentation cost model
+     campaign WORKLOAD|FILE   - fault-injection campaign, or a whole
+                                job matrix on a --jobs N domain pool
+     compare A.json B.json    - diff two run manifests *)
 
 open Cmdliner
 
@@ -376,23 +379,159 @@ let compare_manifests path_a path_b threshold all =
   print_string (Telemetry.Compare.render ~all r);
   if Telemetry.Compare.regressions r <> [] then 1 else 0
 
-let campaign name variant injections seed =
-  match Workloads.Registry.find_opt name with
-  | None ->
-    Format.eprintf "unknown workload %s@." name;
-    1
-  | Some w ->
-    let variant =
-      match variant with
-      | Some v -> v
-      | None -> w.Workloads.Workload.default_variant
-    in
-    Format.printf "Injecting %d faults into %s/%s (%s), seed %d...@."
-      injections w.Workloads.Workload.suite w.Workloads.Workload.name variant
-      seed;
-    let tally = Workloads.Campaign.run ~seed ~injections w ~variant in
-    Format.printf "%a@." Workloads.Campaign.pp tally;
-    0
+(* One campaign job's result: a plain device run or a full injection
+   campaign, kept separate so the reduction can merge stats from both. *)
+type campaign_result =
+  | R_run of Workloads.Workload.result
+  | R_inject of Workloads.Campaign.detail
+
+let campaign target variant injections seed jobs manifest_out =
+  check_positive "--injections" injections;
+  if jobs < 1 || jobs > Par.Pool.max_domains then begin
+    Format.eprintf "--jobs must be in 1..%d (got %d)@." Par.Pool.max_domains
+      jobs;
+    exit 1
+  end;
+  (* The positional argument is either a campaign job-manifest file
+     (sassi-campaign/1 JSON, see Par.Campaign) or a registry workload
+     name; a lone workload becomes a one-job Inject campaign with the
+     CLI's --variant/--injections/--seed, preserving the old CLI. *)
+  let camp =
+    if Sys.file_exists target && not (Sys.is_directory target) then
+      match Par.Campaign.read target with
+      | Ok c -> c
+      | Error e ->
+        Format.eprintf "%s@." e;
+        exit 2
+    else if Workloads.Registry.find_opt target <> None then
+      Par.Campaign.make ~name:target ~seed
+        [ Par.Campaign.job ?variant ~kind:Par.Campaign.Inject ~injections
+            target ]
+    else begin
+      Format.eprintf
+        "unknown workload or campaign file %s; try `sassi_run list`@." target;
+      exit 1
+    end
+  in
+  let jobs_arr = Array.of_list camp.Par.Campaign.c_jobs in
+  let njobs = Array.length jobs_arr in
+  if njobs = 0 then begin
+    Format.eprintf "campaign %s has no jobs@." camp.Par.Campaign.c_name;
+    exit 1
+  end;
+  (* Resolve every workload before any simulation starts, so a typo in
+     job 7 does not waste jobs 0-6. *)
+  let resolved =
+    Array.map
+      (fun (j : Par.Campaign.job) ->
+         match Workloads.Registry.find_opt j.Par.Campaign.j_workload with
+         | Some w -> w
+         | None ->
+           Format.eprintf "unknown workload %s in campaign %s@."
+             j.Par.Campaign.j_workload camp.Par.Campaign.c_name;
+           exit 1)
+      jobs_arr
+  in
+  let variant_of i =
+    match jobs_arr.(i).Par.Campaign.j_variant with
+    | Some v -> v
+    | None -> resolved.(i).Workloads.Workload.default_variant
+  in
+  Format.printf "campaign %s: %d job(s), seed %d, jobs %d@."
+    camp.Par.Campaign.c_name njobs camp.Par.Campaign.c_seed jobs;
+  let wall_start = Unix.gettimeofday () in
+  let tasks =
+    Array.mapi
+      (fun i (j : Par.Campaign.job) ->
+         let w = resolved.(i) in
+         let variant = variant_of i in
+         let jseed = Par.Campaign.job_seed camp ~index:i in
+         fun () ->
+           match j.Par.Campaign.j_kind with
+           | Par.Campaign.Run ->
+             let device = Gpu.Device.create () in
+             R_run (w.Workloads.Workload.run device ~variant)
+           | Par.Campaign.Inject ->
+             R_inject
+               (Workloads.Campaign.run_detailed ~seed:jseed
+                  ~injections:j.Par.Campaign.j_injections w ~variant))
+      jobs_arr
+  in
+  let results =
+    Par.Pool.with_pool ~domains:jobs (fun pool ->
+        Par.Campaign.run_tasks pool tasks ~on_result:(fun i r ->
+            let j = jobs_arr.(i) in
+            match r with
+            | R_run res ->
+              Format.printf "[%d/%d] run    %-24s (%s): %s@." (i + 1) njobs
+                j.Par.Campaign.j_workload (variant_of i)
+                res.Workloads.Workload.stdout
+            | R_inject d ->
+              Format.printf "[%d/%d] inject %-24s (%s): %a@." (i + 1) njobs
+                j.Par.Campaign.j_workload (variant_of i)
+                Workloads.Campaign.pp d.Workloads.Campaign.d_tally))
+  in
+  let wall_time_s = Unix.gettimeofday () -. wall_start in
+  let stats_of = function
+    | R_run r -> r.Workloads.Workload.stats
+    | R_inject d -> d.Workloads.Campaign.d_stats
+  in
+  let merged = Par.Reduce.stats (Array.map stats_of results) in
+  let tallies =
+    Array.to_list results
+    |> List.filter_map (function
+        | R_inject d -> Some d.Workloads.Campaign.d_tally
+        | R_run _ -> None)
+  in
+  let sum f = List.fold_left (fun a t -> a + f t) 0 tallies in
+  let open Workloads.Campaign in
+  if List.length tallies > 1 then
+    Format.printf "aggregate: masked %d  crash %d  hang %d  symptom %d  \
+                   sdc-stdout %d  sdc-output %d  (n=%d)@."
+      (sum (fun t -> t.masked))
+      (sum (fun t -> t.crashes))
+      (sum (fun t -> t.hangs))
+      (sum (fun t -> t.failure_symptoms))
+      (sum (fun t -> t.sdc_stdout))
+      (sum (fun t -> t.sdc_output))
+      (sum (fun t -> t.total));
+  Format.printf "campaign wall time: %.2f s@." wall_time_s;
+  (match manifest_out with
+   | None -> ()
+   | Some path ->
+     (* Counters hold only deterministic values (tallies, merged device
+        stats); wall time goes in m_wall_time_s, which the comparator
+        treats as neutral — so manifests from different --jobs settings
+        compare clean, and CI uses exactly that as the determinism
+        check. *)
+     let m =
+       { Telemetry.Manifest.m_workload = "campaign/" ^ camp.Par.Campaign.c_name;
+         m_variant = "matrix";
+         m_instrument = "campaign";
+         m_seed = camp.Par.Campaign.c_seed;
+         m_argv = Array.to_list Sys.argv;
+         m_wall_time_s = wall_time_s;
+         m_build = Telemetry.Build_info.collect ();
+         m_config = Gpu.Config.to_assoc Gpu.Config.default;
+         m_counters =
+           ("jobs_total", njobs)
+           :: ("masked", sum (fun t -> t.masked))
+           :: ("crashes", sum (fun t -> t.crashes))
+           :: ("hangs", sum (fun t -> t.hangs))
+           :: ("failure_symptoms", sum (fun t -> t.failure_symptoms))
+           :: ("sdc_stdout", sum (fun t -> t.sdc_stdout))
+           :: ("sdc_output", sum (fun t -> t.sdc_output))
+           :: ("injections_total", sum (fun t -> t.total))
+           :: Gpu.Stats.to_assoc merged;
+         m_metrics = [];
+         m_histograms = [] }
+     in
+     (try Telemetry.Manifest.write path m
+      with Sys_error msg ->
+        Format.eprintf "cannot write manifest: %s@." msg;
+        exit 1);
+     Format.printf "manifest -> %s@." path);
+  0
 
 let list_workloads () =
   List.iter
@@ -838,12 +977,40 @@ let injections_arg =
 let seed_arg =
   Arg.(value & opt int 2025 & info [ "seed" ] ~docv:"SEED")
 
+let campaign_target_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"WORKLOAD|CAMPAIGN.json")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the campaign pool (1 = run inline \
+                 on the calling domain). Results are joined in job \
+                 order, so any $(docv) produces bit-identical output.")
+
+let campaign_manifest_arg =
+  Arg.(value & opt (some string) None
+       & info [ "manifest" ] ~docv:"FILE"
+           ~doc:"Write a campaign result manifest (aggregate tally and \
+                 merged device statistics) to $(docv); feed two to \
+                 $(b,sassi_run compare) — CI diffs a --jobs 2 run \
+                 against --jobs 1 this way.")
+
 let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign"
-       ~doc:"Run a fault-injection campaign (Case Study IV)")
-    Term.(const campaign $ workload_arg $ variant_arg $ injections_arg
-          $ seed_arg)
+       ~doc:"Run a fault-injection campaign or a campaign job matrix"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "With a workload name, runs the Case Study IV flow: one \
+               fault-injection campaign with $(b,--injections) single-bit \
+               flips. With a sassi-campaign/1 JSON file, runs the whole \
+               job matrix (plain runs and injection campaigns) on a \
+               domain pool of $(b,--jobs) workers; per-job seeds are \
+               split from the campaign seed and the job index, so every \
+               $(b,--jobs) setting replays the same results." ])
+    Term.(const campaign $ campaign_target_arg $ variant_arg $ injections_arg
+          $ seed_arg $ jobs_arg $ campaign_manifest_arg)
 
 let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a workload's kernels")

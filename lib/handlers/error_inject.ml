@@ -76,39 +76,51 @@ module Profile = struct
          Hashtbl.fold (fun _ c acc -> acc + c) per_thread acc)
       t.tallies 0
 
+  (* Target seeds are split from (campaign seed, target index) rather
+     than drawn sequentially, so target [i] flips the same destination
+     and bit no matter how many targets precede it or which domain
+     later executes its injection run. The site pick [k] stays a
+     sequential draw: selection happens on the host before any task is
+     scheduled, so it is deterministic either way. *)
   let pick_targets t ~seed ~n =
     let rng = Random.State.make [| seed |] in
     let total = total_dynamic_instrs t in
     if total = 0 then []
     else
-      List.init n (fun _ ->
-          let k = Random.State.int rng total in
-          (* Walk the tallies to the k-th dynamic instruction. *)
-          let result = ref None in
-          let remaining = ref k in
-          (try
-             Hashtbl.iter
-               (fun (kernel, invocation) per_thread ->
-                  Hashtbl.iter
-                    (fun tid c ->
-                       if !remaining < c then begin
-                         result :=
-                           Some
-                             { t_kernel = kernel;
-                               t_invocation = invocation;
-                               t_thread = tid;
-                               t_instr = !remaining;
-                               t_dst_seed = Random.State.int rng 1000;
-                               t_bit_seed = Random.State.int rng 1000 };
-                         raise Exit
-                       end
-                       else remaining := !remaining - c)
-                    per_thread)
-               t.tallies
-           with Exit -> ());
-          match !result with
-          | Some target -> target
-          | None -> assert false)
+      let pick index =
+        let k = Random.State.int rng total in
+        let split = Par.Seed.split ~seed ~index in
+        (* Walk the tallies to the k-th dynamic instruction. *)
+        let result = ref None in
+        let remaining = ref k in
+        (try
+           Hashtbl.iter
+             (fun (kernel, invocation) per_thread ->
+                Hashtbl.iter
+                  (fun tid c ->
+                     if !remaining < c then begin
+                       result :=
+                         Some
+                           { t_kernel = kernel;
+                             t_invocation = invocation;
+                             t_thread = tid;
+                             t_instr = !remaining;
+                             t_dst_seed = split mod 1000;
+                             t_bit_seed = split / 1000 mod 1000 };
+                       raise Exit
+                     end
+                     else remaining := !remaining - c)
+                  per_thread)
+             t.tallies
+         with Exit -> ());
+        match !result with
+        | Some target -> target
+        | None -> assert false
+      in
+      (* Explicit recursion: the draw order of [k] must follow the
+         target index (List.init's application order is unspecified). *)
+      let rec go i = if i >= n then [] else pick i :: go (i + 1) in
+      go 0
 end
 
 let injection_handler target ~injected =

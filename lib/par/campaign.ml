@@ -1,0 +1,162 @@
+(* Campaign layer: a job manifest names the full matrix — plain
+   simulation runs and fault-injection campaigns side by side — and
+   [run_tasks] executes any task array on the pool while streaming
+   results back in strict task order, which is what lets callers write
+   manifests/reports incrementally without giving up determinism.
+
+   Per-task randomness comes from {!Seed.split} on the campaign seed
+   and the task index, so a campaign replays bit-identically under any
+   `--jobs N`. *)
+
+let schema = "sassi-campaign/1"
+
+type kind =
+  | Run
+  | Inject
+
+let kind_to_string = function
+  | Run -> "run"
+  | Inject -> "inject"
+
+let kind_of_string = function
+  | "run" -> Some Run
+  | "inject" -> Some Inject
+  | _ -> None
+
+type job = {
+  j_workload : string;
+  j_variant : string option;
+  j_kind : kind;
+  j_injections : int;       (* Inject jobs only *)
+  j_seed : int option;      (* overrides the split of the campaign seed *)
+}
+
+type t = {
+  c_name : string;
+  c_seed : int;
+  c_jobs : job list;
+}
+
+let job ?variant ?(kind = Run) ?(injections = 24) ?seed workload =
+  { j_workload = workload;
+    j_variant = variant;
+    j_kind = kind;
+    j_injections = injections;
+    j_seed = seed }
+
+let make ?(name = "campaign") ?(seed = 2025) jobs =
+  { c_name = name; c_seed = seed; c_jobs = jobs }
+
+let job_seed t ~index =
+  match List.nth_opt t.c_jobs index with
+  | Some { j_seed = Some s; _ } -> s
+  | _ -> Seed.split ~seed:t.c_seed ~index
+
+(* ---------- JSON ---------- *)
+
+let job_to_json j =
+  Trace.Json.Obj
+    (("workload", Trace.Json.Str j.j_workload)
+     :: (match j.j_variant with
+         | Some v -> [ ("variant", Trace.Json.Str v) ]
+         | None -> [])
+     @ [ ("kind", Trace.Json.Str (kind_to_string j.j_kind));
+         ("injections", Trace.Json.Int j.j_injections) ]
+     @ (match j.j_seed with
+        | Some s -> [ ("seed", Trace.Json.Int s) ]
+        | None -> []))
+
+let to_json t =
+  Trace.Json.Obj
+    [ ("schema", Trace.Json.Str schema);
+      ("name", Trace.Json.Str t.c_name);
+      ("seed", Trace.Json.Int t.c_seed);
+      ("jobs", Trace.Json.List (List.map job_to_json t.c_jobs)) ]
+
+let job_of_json j =
+  match Trace.Json.member "workload" j with
+  | Some (Trace.Json.Str workload) ->
+    let variant =
+      match Trace.Json.member "variant" j with
+      | Some (Trace.Json.Str v) -> Some v
+      | _ -> None
+    in
+    let kind =
+      match Trace.Json.member "kind" j with
+      | Some (Trace.Json.Str k) -> kind_of_string k
+      | None -> Some Run
+      | _ -> None
+    in
+    (match kind with
+     | None -> Error (Printf.sprintf "job %s: unknown kind" workload)
+     | Some kind ->
+       Ok
+         { j_workload = workload;
+           j_variant = variant;
+           j_kind = kind;
+           j_injections =
+             (match Trace.Json.member "injections" j with
+              | Some (Trace.Json.Int n) -> n
+              | _ -> 24);
+           j_seed =
+             (match Trace.Json.member "seed" j with
+              | Some (Trace.Json.Int s) -> Some s
+              | _ -> None) })
+  | _ -> Error "job without a \"workload\" field"
+
+let of_json j =
+  match Trace.Json.member "schema" j with
+  | Some (Trace.Json.Str s) when s = schema ->
+    let name =
+      match Trace.Json.member "name" j with
+      | Some (Trace.Json.Str n) -> n
+      | _ -> "campaign"
+    in
+    let seed =
+      match Trace.Json.member "seed" j with
+      | Some (Trace.Json.Int s) -> s
+      | _ -> 2025
+    in
+    (match Trace.Json.member "jobs" j with
+     | Some (Trace.Json.List js) ->
+       let rec collect acc = function
+         | [] -> Ok (List.rev acc)
+         | x :: rest ->
+           (match job_of_json x with
+            | Ok job -> collect (job :: acc) rest
+            | Error e -> Error e)
+       in
+       (match collect [] js with
+        | Ok jobs -> Ok { c_name = name; c_seed = seed; c_jobs = jobs }
+        | Error e -> Error e)
+     | _ -> Error "campaign without a \"jobs\" list")
+  | Some (Trace.Json.Str other) ->
+    Error (Printf.sprintf "unsupported campaign schema %S (want %S)" other schema)
+  | _ -> Error "not a campaign manifest (missing \"schema\" field)"
+
+let of_string s =
+  match Trace.Json.of_string s with
+  | Error e -> Error e
+  | Ok j -> of_json j
+
+let read path =
+  match Trace.Json.parse_file path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok j ->
+    (match of_json j with
+     | Error e -> Error (Printf.sprintf "%s: %s" path e)
+     | Ok t -> Ok t)
+
+let write path t = Trace.Json.write_file path (to_json t)
+
+(* ---------- execution ---------- *)
+
+let run_tasks pool tasks ~on_result =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  Pool.iter_ordered pool tasks ~on_result:(fun i r ->
+      results.(i) <- Some r;
+      on_result i r);
+  Array.map
+    (function Some r -> r | None -> assert false)
+    results

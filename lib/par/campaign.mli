@@ -1,0 +1,56 @@
+(** Campaign job manifests and ordered task execution.
+
+    A campaign names a matrix of jobs — plain simulation runs and
+    fault-injection campaigns — plus one seed; each job's seed derives
+    from {!Seed.split} of the campaign seed and the job index (unless
+    pinned per job), so results replay bit-identically under any
+    [--jobs N]. *)
+
+type kind =
+  | Run     (** one uninstrumented device run *)
+  | Inject  (** a fault-injection campaign (Case Study IV flow) *)
+
+type job = {
+  j_workload : string;       (** registry name, e.g. ["parboil/sgemm"] *)
+  j_variant : string option; (** [None] = workload default *)
+  j_kind : kind;
+  j_injections : int;        (** [Inject] jobs only *)
+  j_seed : int option;       (** pin; [None] = split of the campaign seed *)
+}
+
+type t = {
+  c_name : string;
+  c_seed : int;
+  c_jobs : job list;
+}
+
+val schema : string
+(** ["sassi-campaign/1"]. *)
+
+val job :
+  ?variant:string -> ?kind:kind -> ?injections:int -> ?seed:int -> string -> job
+
+val make : ?name:string -> ?seed:int -> job list -> t
+
+val job_seed : t -> index:int -> int
+(** The job's pinned seed, else [Seed.split ~seed:c_seed ~index]. *)
+
+val kind_to_string : kind -> string
+
+val kind_of_string : string -> kind option
+
+val to_json : t -> Trace.Json.t
+
+val of_json : Trace.Json.t -> (t, string) result
+
+val of_string : string -> (t, string) result
+
+val read : string -> (t, string) result
+
+val write : string -> t -> unit
+
+val run_tasks :
+  Pool.t -> (unit -> 'a) array -> on_result:(int -> 'a -> unit) -> 'a array
+(** Execute every task on the pool; [on_result] streams each result in
+    strict task order (result [i] as soon as tasks [0..i] finished),
+    and the returned array is task-indexed. *)

@@ -1,0 +1,72 @@
+(* Work-stealing deque: the owner pushes and pops at the bottom (LIFO,
+   keeps its own recently-spawned work hot), thieves take from the top
+   (FIFO, steal the oldest — and for divide-and-conquer loads usually
+   the largest — task). Simulation tasks are coarse (milliseconds to
+   seconds each), so a mutex per deque costs nothing measurable and
+   buys memory-model simplicity: every field is only ever touched
+   under [lock]. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  mutable buf : 'a option array;
+  mutable top : int;     (* next slot to steal from *)
+  mutable bottom : int;  (* next free slot for the owner *)
+}
+
+let create ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Deque.create: capacity must be positive";
+  { lock = Mutex.create ();
+    buf = Array.make capacity None;
+    top = 0;
+    bottom = 0 }
+
+let locked d f =
+  Mutex.lock d.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock d.lock) f
+
+let length d = locked d (fun () -> d.bottom - d.top)
+
+let is_empty d = length d = 0
+
+(* Doubles the buffer, compacting live elements to index 0. Indices
+   are logical (monotone) and wrapped modulo the capacity on access. *)
+let grow d =
+  let n = d.bottom - d.top in
+  let cap = Array.length d.buf in
+  let buf' = Array.make (2 * cap) None in
+  for i = 0 to n - 1 do
+    buf'.(i) <- d.buf.((d.top + i) mod cap)
+  done;
+  d.buf <- buf';
+  d.top <- 0;
+  d.bottom <- n
+
+let push_bottom d x =
+  locked d (fun () ->
+      let cap = Array.length d.buf in
+      if d.bottom - d.top >= cap then grow d;
+      d.buf.(d.bottom mod Array.length d.buf) <- Some x;
+      d.bottom <- d.bottom + 1)
+
+let take d i =
+  let slot = i mod Array.length d.buf in
+  let x = d.buf.(slot) in
+  d.buf.(slot) <- None;
+  x
+
+let pop_bottom d =
+  locked d (fun () ->
+      if d.bottom = d.top then None
+      else begin
+        d.bottom <- d.bottom - 1;
+        take d d.bottom
+      end)
+
+let steal d =
+  locked d (fun () ->
+      if d.bottom = d.top then None
+      else begin
+        let x = take d d.top in
+        d.top <- d.top + 1;
+        x
+      end)

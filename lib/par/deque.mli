@@ -1,0 +1,24 @@
+(** Work-stealing deque. The owning worker pushes and pops at the
+    bottom (LIFO); other workers steal from the top (FIFO). All
+    operations are thread-safe; the implementation serializes through
+    one mutex per deque, which is negligible against the coarse
+    simulation tasks it schedules. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Initial capacity defaults to 64; the deque grows as needed.
+    @raise Invalid_argument on a non-positive capacity. *)
+
+val push_bottom : 'a t -> 'a -> unit
+(** Owner end: append a task. *)
+
+val pop_bottom : 'a t -> 'a option
+(** Owner end: remove the most recently pushed task. *)
+
+val steal : 'a t -> 'a option
+(** Thief end: remove the oldest task. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool

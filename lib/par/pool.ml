@@ -1,0 +1,209 @@
+(* Domain pool with one work-stealing deque per worker.
+
+   Placement: external submissions round-robin across the worker
+   deques; a worker that drains its own deque steals from the others
+   (oldest task first), so an uneven matrix — one slow fault-injection
+   campaign next to thirty fast cells — still keeps every domain busy.
+
+   Determinism contract: the pool never reorders *results*. Futures
+   are awaited by the submitter, and [map_ordered]/[iter_ordered]
+   join strictly in task-index order, so any reduction built on them
+   is bit-identical to a sequential run no matter how the scheduler
+   interleaved the work.
+
+   A pool created with [domains <= 1] spawns nothing and runs each
+   task inline at submission: `--jobs 1` *is* the sequential baseline,
+   not a one-worker approximation of it. *)
+
+type 'a fstate =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  f_lock : Mutex.t;
+  f_cond : Condition.t;
+  mutable f_state : 'a fstate;
+}
+
+type task = unit -> unit
+
+type t = {
+  deques : task Deque.t array;  (* one per worker; [||] when inline *)
+  mutable domains : unit Domain.t array;
+  lock : Mutex.t;               (* guards [stopped] and the sleep cond *)
+  cond : Condition.t;           (* signaled on submit and shutdown *)
+  mutable stopped : bool;
+  steals : int Atomic.t;
+  rr : int Atomic.t;            (* round-robin placement cursor *)
+}
+
+let size t = max 1 (Array.length t.deques)
+
+let steal_count t = Atomic.get t.steals
+
+let inline_pool t = Array.length t.deques = 0
+
+(* ---------- futures ---------- *)
+
+let make_future () =
+  { f_lock = Mutex.create ();
+    f_cond = Condition.create ();
+    f_state = Pending }
+
+let resolve fut st =
+  Mutex.lock fut.f_lock;
+  fut.f_state <- st;
+  Condition.broadcast fut.f_cond;
+  Mutex.unlock fut.f_lock
+
+let await fut =
+  Mutex.lock fut.f_lock;
+  while fut.f_state = Pending do
+    Condition.wait fut.f_cond fut.f_lock
+  done;
+  let st = fut.f_state in
+  Mutex.unlock fut.f_lock;
+  match st with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let run_into fut f =
+  match f () with
+  | v -> resolve fut (Done v)
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    resolve fut (Failed (e, bt))
+
+(* ---------- workers ---------- *)
+
+let try_steal t ~self =
+  let n = Array.length t.deques in
+  let rec go k =
+    if k >= n then None
+    else
+      match Deque.steal t.deques.((self + k) mod n) with
+      | Some task ->
+        Atomic.incr t.steals;
+        Some task
+      | None -> go (k + 1)
+  in
+  go 1
+
+let has_work t = Array.exists (fun d -> not (Deque.is_empty d)) t.deques
+
+let worker t self =
+  let rec loop () =
+    match Deque.pop_bottom t.deques.(self) with
+    | Some task ->
+      task ();
+      loop ()
+    | None ->
+      (match try_steal t ~self with
+       | Some task ->
+         task ();
+         loop ()
+       | None ->
+         (* Out of work everywhere: sleep until a submit or shutdown.
+            The re-check under [lock] closes the race with a submitter
+            that pushed between our last scan and the wait. *)
+         Mutex.lock t.lock;
+         let rec idle () =
+           if has_work t then begin
+             Mutex.unlock t.lock;
+             loop ()
+           end
+           else if t.stopped then Mutex.unlock t.lock (* drained: exit *)
+           else begin
+             Condition.wait t.cond t.lock;
+             idle ()
+           end
+         in
+         idle ())
+  in
+  loop ()
+
+(* ---------- lifecycle ---------- *)
+
+let max_domains = 64
+
+let create ?(domains = 2) () =
+  if domains < 1 || domains > max_domains then
+    invalid_arg
+      (Printf.sprintf "Pool.create: domains must be in [1, %d] (got %d)"
+         max_domains domains);
+  let t =
+    { deques =
+        (if domains <= 1 then [||]
+         else Array.init domains (fun _ -> Deque.create ()));
+      domains = [||];
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      stopped = false;
+      steals = Atomic.make 0;
+      rr = Atomic.make 0 }
+  in
+  if domains > 1 then
+    t.domains <- Array.init domains (fun i -> Domain.spawn (fun () -> worker t i));
+  t
+
+let check_running t =
+  if t.stopped then invalid_arg "Pool: submitted to a stopped pool"
+
+let submit_on t ~worker:w f =
+  check_running t;
+  let fut = make_future () in
+  if inline_pool t then run_into fut f
+  else begin
+    let n = Array.length t.deques in
+    if w < 0 || w >= n then invalid_arg "Pool.submit_on: no such worker";
+    Deque.push_bottom t.deques.(w) (fun () -> run_into fut f);
+    Mutex.lock t.lock;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.lock
+  end;
+  fut
+
+let submit t f =
+  check_running t;
+  if inline_pool t then begin
+    let fut = make_future () in
+    run_into fut f;
+    fut
+  end
+  else
+    let w = Atomic.fetch_and_add t.rr 1 mod Array.length t.deques in
+    submit_on t ~worker:w f
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let was_stopped = t.stopped in
+  t.stopped <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock;
+  if not was_stopped then begin
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ---------- ordered fan-out ---------- *)
+
+let map_ordered t f xs =
+  if inline_pool t then Array.map f xs
+  else begin
+    let futs = Array.map (fun x -> submit t (fun () -> f x)) xs in
+    Array.map await futs
+  end
+
+let iter_ordered t fs ~on_result =
+  if inline_pool t then
+    Array.iteri (fun i task -> on_result i (task ())) fs
+  else begin
+    let futs = Array.map (submit t) fs in
+    Array.iteri (fun i fut -> on_result i (await fut)) futs
+  end

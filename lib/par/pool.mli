@@ -1,0 +1,60 @@
+(** Domain pool executing independent simulation tasks on a
+    work-stealing scheduler (one {!Deque} per worker).
+
+    Determinism contract: results are always joined in task-index
+    order — {!map_ordered} and {!iter_ordered} observe task [i]'s
+    result strictly before task [i+1]'s — so a reduction built on them
+    is bit-identical to a sequential run regardless of scheduling.
+
+    Futures must be awaited from the submitting (main) domain, never
+    from inside a pool task: a task that blocks on another queued task
+    can deadlock the pool. Fan out, then join. *)
+
+type t
+
+type 'a future
+
+val max_domains : int
+(** Upper bound on [domains] accepted by {!create} (64). *)
+
+val create : ?domains:int -> unit -> t
+(** A pool of [domains] workers (default 2). [domains = 1] spawns no
+    domain at all: every task runs inline at submission, making
+    `--jobs 1` exactly the sequential baseline.
+    @raise Invalid_argument unless [1 <= domains <= max_domains]. *)
+
+val size : t -> int
+(** Number of task executors (1 for an inline pool). *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Schedule a task (round-robin placement).
+    @raise Invalid_argument after {!shutdown}. *)
+
+val submit_on : t -> worker:int -> (unit -> 'a) -> 'a future
+(** Schedule onto one specific worker's deque — placement control for
+    tests (forcing steals) and for pinning task islands. On an inline
+    pool the worker index is ignored. *)
+
+val await : 'a future -> 'a
+(** Block until the task finishes. Re-raises, with its original
+    backtrace, any exception the task raised. *)
+
+val map_ordered : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Run [f] over every element in parallel; result [i] is task [i]'s,
+    in order. Exceptions surface at the failed index. *)
+
+val iter_ordered : t -> (unit -> 'a) array -> on_result:(int -> 'a -> unit) -> unit
+(** Run every task in parallel, streaming results to [on_result] in
+    strict task order (result [i] is delivered as soon as tasks
+    [0..i] have all finished). *)
+
+val shutdown : t -> unit
+(** Drain every queued task, then join the worker domains. Idempotent.
+    Tasks already queued still run; new submissions are refused. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+val steal_count : t -> int
+(** Number of successful steals since creation (scheduler telemetry;
+    see the pool tests). *)

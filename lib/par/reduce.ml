@@ -1,0 +1,32 @@
+(* Deterministic reduction at join points: every combinator folds the
+   per-task results in task-index order, so the merged value is
+   bit-identical to what the same tasks produce sequentially. Keep it
+   that way — any "merge as they complete" shortcut here silently
+   breaks the `--jobs N` invariance the tests and CI pin down. *)
+
+let fold_ordered f init results =
+  Array.fold_left f init results
+
+let stats per_task =
+  let into = Gpu.Stats.create () in
+  Array.iter (fun s -> Gpu.Stats.accumulate ~into s) per_task;
+  into
+
+let concat per_task =
+  List.concat (Array.to_list per_task)
+
+(* Name-wise sum of counter assoc lists. Key order is first-appearance
+   order scanning tasks 0, 1, ... — stable, so two runs that saw the
+   same per-task counters emit the same merged list. *)
+let counters per_task =
+  let order = ref [] in
+  let sums = Hashtbl.create 32 in
+  Array.iter
+    (List.iter (fun (name, v) ->
+         match Hashtbl.find_opt sums name with
+         | Some prev -> Hashtbl.replace sums name (prev + v)
+         | None ->
+           order := name :: !order;
+           Hashtbl.add sums name v))
+    per_task;
+  List.rev_map (fun name -> (name, Hashtbl.find sums name)) !order

@@ -1,0 +1,18 @@
+(** Deterministic result reduction: every combinator folds per-task
+    results in task-index order, making parallel output bit-identical
+    to sequential. *)
+
+val fold_ordered : ('acc -> 'a -> 'acc) -> 'acc -> 'a array -> 'acc
+(** Plain left fold over the task-indexed result array. *)
+
+val stats : Gpu.Stats.t array -> Gpu.Stats.t
+(** Fresh accumulator with every task's counters added in task order
+    (integer sums: order-insensitive in value, order-fixed by
+    construction). *)
+
+val concat : 'a list array -> 'a list
+(** Task-order concatenation — e.g. per-task trace record lists. *)
+
+val counters : (string * int) list array -> (string * int) list
+(** Name-wise sum of counter lists; key order is first appearance in
+    task order. *)

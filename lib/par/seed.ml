@@ -1,0 +1,26 @@
+(* Splittable seeds via the splitmix64 finalizer: child seed i of a
+   campaign seed depends only on (seed, i), never on how many seeds
+   were drawn before it or on which domain asked. That is what makes
+   campaign results reproducible under any scheduling order. *)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Non-negative native int (folds the top bit away portably). *)
+let to_nat i64 = Int64.to_int i64 land max_int
+
+let mix seed = to_nat (mix64 (Int64.of_int seed))
+
+let split ~seed ~index =
+  if index < 0 then invalid_arg "Seed.split: negative index";
+  let z =
+    Int64.add
+      (mix64 (Int64.of_int seed))
+      (Int64.mul (Int64.of_int (index + 1)) golden)
+  in
+  to_nat (mix64 z)

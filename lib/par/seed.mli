@@ -1,0 +1,13 @@
+(** Splittable deterministic seeds (splitmix64 finalizer).
+
+    [split ~seed ~index] is a pure function of its arguments, so a
+    campaign can hand task [i] the seed [split ~seed:campaign ~index:i]
+    and get identical per-task randomness whether the tasks run
+    sequentially, on 2 domains, or on 64. *)
+
+val mix : int -> int
+(** One avalanche round; non-negative. *)
+
+val split : seed:int -> index:int -> int
+(** Child seed for task [index] of a campaign seeded [seed];
+    non-negative. @raise Invalid_argument on a negative index. *)

@@ -31,7 +31,21 @@ let tally_of_outcomes outcomes =
     outcomes;
   !t
 
-let run ?(cfg = Gpu.Config.default) ?(seed = 2025) ~injections w ~variant =
+type detail = {
+  d_tally : tally;
+  d_outcomes : Handlers.Error_inject.outcome list;
+  d_stats : Gpu.Stats.t;
+}
+
+(* The three-step flow. Steps 0-2 (golden run, profiling run, site
+   selection) are inherently sequential and run on the caller's
+   domain; step 3 is one independent device run per target, fanned out
+   over [pool] when given. Each injection task builds its own device
+   and handler state, so tasks share nothing; outcomes and stats are
+   joined in target order, making the parallel result bit-identical to
+   the sequential one. *)
+let run_detailed ?(cfg = Gpu.Config.default) ?(seed = 2025) ?pool ~injections
+    w ~variant =
   (* Step 0: golden reference. *)
   let golden =
     let dev = Gpu.Device.create ~cfg () in
@@ -51,21 +65,35 @@ let run ?(cfg = Gpu.Config.default) ?(seed = 2025) ~injections w ~variant =
     Handlers.Error_inject.Profile.pick_targets profile ~seed ~n:injections
   in
   (* Step 3: one injection per run, classify the outcome. *)
-  let outcomes =
-    List.map
-      (fun target ->
-         let injected = ref false in
-         Handlers.Error_inject.classify ~reference:golden (fun () ->
-             let dev = Gpu.Device.create ~cfg () in
-             let r =
-               Sassi.Runtime.with_instrumentation dev
-                 (Handlers.Error_inject.injection_pairs target ~injected)
-                 (fun _ -> w.Workload.run dev ~variant)
-             in
-             (r.Workload.output_digest, r.Workload.stdout)))
-      targets
+  let run_one target () =
+    let injected = ref false in
+    let stats = ref (Gpu.Stats.create ()) in
+    let outcome =
+      Handlers.Error_inject.classify ~reference:golden (fun () ->
+          let dev = Gpu.Device.create ~cfg () in
+          let r =
+            Sassi.Runtime.with_instrumentation dev
+              (Handlers.Error_inject.injection_pairs target ~injected)
+              (fun _ -> w.Workload.run dev ~variant)
+          in
+          stats := r.Workload.stats;
+          (r.Workload.output_digest, r.Workload.stdout))
+    in
+    (outcome, !stats)
   in
-  tally_of_outcomes outcomes
+  let per_task =
+    match pool with
+    | None -> Array.of_list (List.map (fun t -> run_one t ()) targets)
+    | Some pool ->
+      Par.Pool.map_ordered pool (fun t -> run_one t ()) (Array.of_list targets)
+  in
+  let outcomes = List.map fst (Array.to_list per_task) in
+  { d_tally = tally_of_outcomes outcomes;
+    d_outcomes = outcomes;
+    d_stats = Par.Reduce.stats (Array.map snd per_task) }
+
+let run ?cfg ?seed ?pool ~injections w ~variant =
+  (run_detailed ?cfg ?seed ?pool ~injections w ~variant).d_tally
 
 let fractions t =
   let f x = if t.total = 0 then 0.0 else float_of_int x /. float_of_int t.total in

@@ -12,15 +12,36 @@ type tally = {
   total : int;
 }
 
+type detail = {
+  d_tally : tally;
+  d_outcomes : Handlers.Error_inject.outcome list;  (** in target order *)
+  d_stats : Gpu.Stats.t;  (** injection-run stats merged in target order *)
+}
+
 val run :
   ?cfg:Gpu.Config.t ->
   ?seed:int ->
+  ?pool:Par.Pool.t ->
   injections:int ->
   Workload.t ->
   variant:string ->
   tally
 (** Runs the full three-step flow on fresh devices. Each injection run
-    re-executes the workload with exactly one bit flip. *)
+    re-executes the workload with exactly one bit flip. With [pool]
+    the injection runs (step 3) fan out across domains; outcomes are
+    joined in target order, so the tally is identical to a sequential
+    run. *)
+
+val run_detailed :
+  ?cfg:Gpu.Config.t ->
+  ?seed:int ->
+  ?pool:Par.Pool.t ->
+  injections:int ->
+  Workload.t ->
+  variant:string ->
+  detail
+(** [run] plus the per-target outcome list and the deterministic
+    task-order merge of every injection run's device stats. *)
 
 val tally_of_outcomes : Handlers.Error_inject.outcome list -> tally
 

@@ -30,3 +30,8 @@ let shuffle t a =
 let geometric t ~p =
   let rec go n = if n >= 64 || float t 1.0 < p then n else go (n + 1) in
   go 0
+
+(* Child stream [index] of a campaign seed: a pure function of
+   (seed, index), so per-task generators are identical no matter how
+   tasks are scheduled across domains. *)
+let split ~seed ~index = create ~seed:(Par.Seed.split ~seed ~index)

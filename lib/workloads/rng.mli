@@ -17,3 +17,8 @@ val shuffle : t -> 'a array -> unit
 
 val geometric : t -> p:float -> int
 (** Geometric variate (number of failures before success), capped. *)
+
+val split : seed:int -> index:int -> t
+(** Splittable child stream: a generator that depends only on
+    [(seed, index)] — task [index] of a campaign seeded [seed] draws
+    the same sequence under any scheduling order. *)
