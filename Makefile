@@ -1,6 +1,7 @@
 # Convenience targets; `make ci` is what a pipeline should run.
 
-.PHONY: all build test fmt lint ci clean profile telemetry bench-parallel
+.PHONY: all build test fmt lint ci clean profile telemetry bench-parallel \
+	bench-host-overhead
 
 # Workload for `make profile`, e.g. `make profile WORKLOAD=parboil/sgemm`.
 WORKLOAD ?= rodinia/bfs
@@ -73,11 +74,39 @@ ci: fmt
 	  || { echo "ci: --jobs 2 campaign diverged from --jobs 1"; rm -rf $$tmp; exit 1; }; \
 	rm -rf $$tmp; \
 	echo "ci: parallel campaign determinism check passed"
+	@# Host-trace gate: a traced --jobs 2 campaign must emit Chrome
+	@# trace_event JSON that parses (trace-summary exit 0), and its
+	@# manifest must diff clean against the untraced run — spans never
+	@# perturb results.
+	@tmp=$$(mktemp -d); \
+	printf '%s\n' \
+	  '{"schema":"sassi-campaign/1","name":"ci-trace","seed":2025,"jobs":[' \
+	  ' {"workload":"parboil/sgemm","variant":"small","kind":"inject","injections":4},' \
+	  ' {"workload":"parboil/spmv","variant":"small","kind":"run"}]}' \
+	  > $$tmp/campaign.json; \
+	dune exec bin/sassi_run.exe -- campaign $$tmp/campaign.json --jobs 2 \
+	  --manifest $$tmp/plain.json > /dev/null; \
+	dune exec bin/sassi_run.exe -- campaign $$tmp/campaign.json --jobs 2 \
+	  --host-trace $$tmp/host.json --host-metrics $$tmp/pool.prom \
+	  --manifest $$tmp/traced.json > /dev/null; \
+	dune exec bin/sassi_run.exe -- trace-summary $$tmp/host.json > /dev/null \
+	  || { echo "ci: --host-trace output is not a loadable Chrome trace"; rm -rf $$tmp; exit 1; }; \
+	grep -q '^sassi_pool_tasks_total' $$tmp/pool.prom \
+	  || { echo "ci: --host-metrics missing pool counters"; rm -rf $$tmp; exit 1; }; \
+	dune exec bin/sassi_run.exe -- compare $$tmp/plain.json $$tmp/traced.json \
+	  || { echo "ci: traced campaign diverged from untraced"; rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; \
+	echo "ci: host-trace gate passed"
 
 # Sequential-vs-parallel wall clock and bit-identity on two task
 # mixes; writes BENCH_parallel.json (see EXPERIMENTS.md).
 bench-parallel: build
 	dune exec bench/main.exe -- parallel --jobs 4
+
+# Span-tracing overhead: traced vs untraced legs of one task mix
+# (<5% budget, bit-identical results); writes BENCH_host_overhead.json.
+bench-host-overhead: build
+	dune exec bench/main.exe -- host-overhead --jobs 4
 
 profile: build
 	dune exec bin/sassi_run.exe -- run $(WORKLOAD) --profile

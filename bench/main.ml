@@ -16,6 +16,9 @@
      analysis - static-analyzer wall time per kernel across the suite
      parallel - domain-pool campaign runner: seq-vs-par wall clock and
                 bit-identity check, emits BENCH_parallel.json
+     host-overhead - span-tracing cost: traced vs untraced legs of one
+                task mix, bit-identity check, emits
+                BENCH_host_overhead.json
      bechamel - wall-clock microbenchmarks, one Test.make per table
 
    Flags: --quick (reduced injection counts), --jobs N (domain-pool
@@ -394,10 +397,9 @@ let stub_pairs _device =
        [ Sassi.Select.Reg_info ],
      Sassi.Handler.noop) ]
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+(* Wall-clock bracketing lives in one place now (Obs.Clock), shared
+   with the sassi_run driver. *)
+let timed f = Obs.Clock.with_wall_time f
 
 let table3_rows =
   [ "parboil/sgemm"; "parboil/spmv"; "parboil/bfs"; "parboil/mri-q";
@@ -855,11 +857,13 @@ let analysis rc =
             let cfg_k = Sass.Cfg.build k.Sass.Program.instrs in
             let nblocks = Array.length cfg_k.Sass.Cfg.blocks in
             let findings = Analysis.Verifier.verify k in
-            let t0 = Unix.gettimeofday () in
-            for _ = 1 to reps do
-              ignore (Analysis.Verifier.verify k)
-            done;
-            let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+            let (), dt_total =
+              timed (fun () ->
+                  for _ = 1 to reps do
+                    ignore (Analysis.Verifier.verify k)
+                  done)
+            in
+            let dt = dt_total /. float_of_int reps in
             total_instrs := !total_instrs + instrs;
             total_us := !total_us +. (dt *. 1e6);
             Printf.printf "  %-26s %7d %7d %9d %9.1f %9.1f\n" kname instrs
@@ -945,7 +949,7 @@ let parallel rc =
         ("seed", Trace.Json.Int rc.seed);
         ("host_domains",
          Trace.Json.Int (Domain.recommended_domain_count ()));
-        ("steals", Trace.Json.Int (Par.Pool.steal_count rc.pool));
+        ("steals", Trace.Json.Int (Par.Pool.stats rc.pool).Par.Pool.s_steals);
         ("parts",
          Trace.Json.List
            (List.map
@@ -964,6 +968,102 @@ let parallel rc =
   Printf.printf "\nwrote BENCH_parallel.json\n%!";
   if not (List.for_all (fun (_, _, _, _, i) -> i) parts) then begin
     Printf.eprintf "parallel: determinism violation (see MISMATCH rows)\n";
+    exit 1
+  end
+
+(* --- host-overhead: span-tracing cost vs an untraced run ------------------- *)
+
+(* One fixed task mix, run three times on the --jobs pool: a warm-up
+   leg (so neither measured leg pays first-run costs), an untraced
+   leg, and a traced leg with Obs.Tracer live the whole time. The
+   traced results must compare structurally equal to the untraced ones
+   (spans never touch simulation state), the wall-clock delta is the
+   span overhead (<5% budget), and the manifest records only the
+   deterministic side — task and per-category span counts — so every
+   run of this experiment writes a byte-identical artifact for
+   `sassi_run compare`. *)
+let host_overhead_rows =
+  [ ("parboil", "sgemm", "small"); ("parboil", "bfs", "NY");
+    ("parboil", "tpacf", "small"); ("rodinia", "gaussian", "default");
+    ("rodinia", "nn", "default"); ("rodinia", "hotspot", "default") ]
+
+let host_overhead rc =
+  section
+    (Printf.sprintf
+       "host-overhead: span tracing cost, traced vs untraced (--jobs %d)"
+       rc.jobs);
+  let tasks =
+    Array.of_list host_overhead_rows
+    |> Array.map (fun (suite, bench, variant) ->
+        fun () ->
+          let s, _, r = branch_summary suite bench variant in
+          (s, Gpu.Stats.to_assoc r.Workloads.Workload.stats))
+  in
+  let run_leg () =
+    timed (fun () ->
+        Par.Campaign.run_tasks rc.pool tasks ~on_result:(fun _ _ -> ()))
+  in
+  ignore (run_leg ());
+  (* Alternate untraced/traced legs and keep the best wall time per
+     mode: single legs of a few seconds are dominated by scheduler
+     jitter on small hosts, and min-of-N is the floor the tracer's
+     real cost shows up against. Results must match across ALL legs. *)
+  let legs = if rc.quick then 2 else 3 in
+  let rs_off = ref None and rs_on = ref None and spans = ref [] in
+  let t_off = ref infinity and t_on = ref infinity in
+  let consistent = ref true in
+  let record slot rs = match !slot with
+    | None -> slot := Some rs
+    | Some prev -> if prev <> rs then consistent := false
+  in
+  for _ = 1 to legs do
+    let rs, t = run_leg () in
+    record rs_off rs;
+    t_off := min !t_off t;
+    Obs.Tracer.enable ();
+    let rs, t = run_leg () in
+    let drained = Obs.Tracer.drain () in
+    if !spans = [] then spans := drained;
+    record rs_on rs;
+    t_on := min !t_on t
+  done;
+  let t_off = !t_off and t_on = !t_on and spans = !spans in
+  let identical = !consistent && !rs_off = !rs_on in
+  let overhead_pct = 100.0 *. (t_on -. t_off) /. max 1e-9 t_off in
+  Printf.printf
+    "%2d tasks | untraced %6.2fs  traced %6.2fs  overhead %+5.2f%%  \
+     (budget <5%%) | %d span(s)  %s\n%!"
+    (Array.length tasks) t_off t_on overhead_pct (List.length spans)
+    (if identical then "bit-identical" else "MISMATCH");
+  (* Per-category span counts are deterministic (fixed task mix, fixed
+     compile pipeline and launch sequence); durations are not and stay
+     out of the manifest. *)
+  let by_cat =
+    Obs.Export.summary spans
+    |> List.map (fun (cat, n, _dur) -> ("spans_" ^ cat, n))
+    |> List.sort compare
+  in
+  write_experiment_manifest ~experiment:"host-overhead" ~rc
+    ~counters:
+      ((("tasks", Array.length tasks)
+        :: ("spans_total", List.length spans)
+        :: by_cat))
+    ~histograms:[];
+  let json =
+    Trace.Json.Obj
+      [ ("schema", Trace.Json.Str "sassi-bench-host-overhead/1");
+        ("jobs", Trace.Json.Int rc.jobs);
+        ("tasks", Trace.Json.Int (Array.length tasks));
+        ("t_untraced_s", Trace.Json.Float t_off);
+        ("t_traced_s", Trace.Json.Float t_on);
+        ("overhead_pct", Trace.Json.Float overhead_pct);
+        ("spans_total", Trace.Json.Int (List.length spans));
+        ("bit_identical", Trace.Json.Bool identical) ]
+  in
+  Trace.Json.write_file "BENCH_host_overhead.json" json;
+  Printf.printf "\nwrote BENCH_host_overhead.json\n%!";
+  if not identical then begin
+    Printf.eprintf "host-overhead: traced results diverge from untraced\n";
     exit 1
   end
 
@@ -987,7 +1087,7 @@ let all rc =
 
 let usage =
   "table1|fig5|fig7|fig8|table2|fig10|table3|cachesim|scaling|tracing|\
-   profiling|telemetry|analysis|parallel|bechamel|all"
+   profiling|telemetry|analysis|parallel|host-overhead|bechamel|all"
 
 let () =
   let quick = ref false and jobs = ref 1 and seed = ref 2025 in
@@ -1038,6 +1138,7 @@ let () =
          | "telemetry" -> telemetry rc
          | "analysis" -> analysis rc
          | "parallel" -> parallel rc
+         | "host-overhead" -> host_overhead rc
          | "bechamel" -> bechamel rc
          | "all" -> all rc
          | other ->

@@ -9,7 +9,8 @@
      analyze WORKLOAD         - per-site instrumentation cost model
      campaign WORKLOAD|FILE   - fault-injection campaign, or a whole
                                 job matrix on a --jobs N domain pool
-     compare A.json B.json    - diff two run manifests *)
+     compare A.json B.json    - diff two run manifests
+     trace-summary FILE       - validate + summarize a host-trace file *)
 
 open Cmdliner
 
@@ -58,6 +59,18 @@ let check_positive name v =
     exit 1
   end
 
+(* Drain the ambient tracer and write the Chrome trace_event file.
+   Shared tail of `run --host-trace` and `campaign --host-trace`;
+   call only after every traced task has been joined. *)
+let dump_host_trace path =
+  let spans = Obs.Tracer.drain () in
+  (try Obs.Export.write_file path spans
+   with Sys_error m ->
+     Format.eprintf "cannot write host trace: %s@." m;
+     exit 1);
+  Format.printf "host trace: %d span(s) -> %s@." (List.length spans) path;
+  Format.printf "%a" Obs.Export.pp_summary spans
+
 (* "ipc,l1_hit_rate" -> metrics from the registry; exits on unknown
    names before any simulation runs. *)
 let parse_metrics = function
@@ -77,7 +90,7 @@ let parse_metrics = function
 let run_workload name variant instrument show_stats trace_out trace_filter
     trace_capacity profile pc_sampling_period metrics_spec profile_out
     stats_json telemetry telemetry_interval telemetry_out manifest_out seed
-    l1_bytes =
+    l1_bytes host_trace =
   check_positive "--trace-capacity" trace_capacity;
   check_positive "--pc-sampling-period" pc_sampling_period;
   check_positive "--telemetry-interval" telemetry_interval;
@@ -130,7 +143,7 @@ let run_workload name variant instrument show_stats trace_out trace_filter
           Format.eprintf "cannot write trace: %s@." m;
           exit 1);
        Cupti.Activity.enable ~capacity:trace_capacity device kinds);
-    let wall_start = Unix.gettimeofday () in
+    if host_trace <> None then Obs.Tracer.enable ();
     let last_result = ref None in
     let finish (r : Workloads.Workload.result) =
       last_result := Some r;
@@ -141,7 +154,16 @@ let run_workload name variant instrument show_stats trace_out trace_filter
         Format.printf "stats: %a@.launches: %d@." Gpu.Stats.pp
           r.Workloads.Workload.stats r.Workloads.Workload.launches
     in
-    (match instrument with
+    let (), wall_time_s =
+      Obs.Clock.with_wall_time @@ fun () ->
+      Obs.Tracer.with_span ~cat:"run"
+        ~attrs:
+          [ ("workload", Obs.Span.Str name);
+            ("variant", Obs.Span.Str variant);
+            ("instrument", Obs.Span.Str instrument) ]
+        ("run:" ^ name)
+      @@ fun () ->
+      (match instrument with
      | "none" -> finish (w.Workloads.Workload.run device ~variant)
      | "stub" ->
        let r =
@@ -246,8 +268,8 @@ let run_workload name variant instrument show_stats trace_out trace_filter
          (Handlers.Cache_explorer.sweep (Handlers.Mem_trace.trace tr)
             Handlers.Cache_explorer.default_sweep)
      | other ->
-       Format.eprintf "unknown instrumentation %s@." other);
-    let wall_time_s = Unix.gettimeofday () -. wall_start in
+       Format.eprintf "unknown instrumentation %s@." other)
+    in
     (match trace_out with
      | Some path -> dump_trace device path
      | None -> ());
@@ -354,6 +376,9 @@ let run_workload name variant instrument show_stats trace_out trace_filter
        in
        print_endline (Trace.Json.to_string (Trace.Json.Obj fields))
      | _ -> ());
+    (match host_trace with
+     | Some path -> dump_host_trace path
+     | None -> ());
     0
 
 (* Diff two run manifests; exit 0 when clean, 1 on regressions past
@@ -385,7 +410,8 @@ type campaign_result =
   | R_run of Workloads.Workload.result
   | R_inject of Workloads.Campaign.detail
 
-let campaign target variant injections seed jobs manifest_out =
+let campaign target variant injections seed jobs manifest_out host_trace
+    host_metrics progress =
   check_positive "--injections" injections;
   if jobs < 1 || jobs > Par.Pool.max_domains then begin
     Format.eprintf "--jobs must be in 1..%d (got %d)@." Par.Pool.max_domains
@@ -439,7 +465,7 @@ let campaign target variant injections seed jobs manifest_out =
   in
   Format.printf "campaign %s: %d job(s), seed %d, jobs %d@."
     camp.Par.Campaign.c_name njobs camp.Par.Campaign.c_seed jobs;
-  let wall_start = Unix.gettimeofday () in
+  if host_trace <> None then Obs.Tracer.enable ();
   let tasks =
     Array.mapi
       (fun i (j : Par.Campaign.job) ->
@@ -447,6 +473,13 @@ let campaign target variant injections seed jobs manifest_out =
          let variant = variant_of i in
          let jseed = Par.Campaign.job_seed camp ~index:i in
          fun () ->
+           Obs.Tracer.with_span ~cat:"job"
+             ~attrs:
+               [ ("index", Obs.Span.Int i);
+                 ("variant", Obs.Span.Str variant);
+                 ("seed", Obs.Span.Int jseed) ]
+             (Printf.sprintf "job:%d:%s" i j.Par.Campaign.j_workload)
+           @@ fun () ->
            match j.Par.Campaign.j_kind with
            | Par.Campaign.Run ->
              let device = Gpu.Device.create () in
@@ -457,26 +490,60 @@ let campaign target variant injections seed jobs manifest_out =
                   ~injections:j.Par.Campaign.j_injections w ~variant))
       jobs_arr
   in
-  let results =
+  let ((results, pool_stats), wall_time_s) =
+    Obs.Clock.with_wall_time @@ fun () ->
+    Obs.Tracer.with_span ~cat:"campaign"
+      ~attrs:[ ("jobs", Obs.Span.Int njobs); ("pool", Obs.Span.Int jobs) ]
+      ("campaign:" ^ camp.Par.Campaign.c_name)
+    @@ fun () ->
     Par.Pool.with_pool ~domains:jobs (fun pool ->
-        Par.Campaign.run_tasks pool tasks ~on_result:(fun i r ->
-            let j = jobs_arr.(i) in
-            match r with
-            | R_run res ->
-              Format.printf "[%d/%d] run    %-24s (%s): %s@." (i + 1) njobs
-                j.Par.Campaign.j_workload (variant_of i)
-                res.Workloads.Workload.stdout
-            | R_inject d ->
-              Format.printf "[%d/%d] inject %-24s (%s): %a@." (i + 1) njobs
-                j.Par.Campaign.j_workload (variant_of i)
-                Workloads.Campaign.pp d.Workloads.Campaign.d_tally))
+        let meter = Obs.Progress.create ~enabled:progress ~total:njobs () in
+        let results =
+          Par.Campaign.run_tasks pool tasks ~on_result:(fun i r ->
+              let j = jobs_arr.(i) in
+              let s = Par.Pool.stats pool in
+              (* Counter samples ride the trace timeline (one point per
+                 joined job), never the manifest: queue depth and steal
+                 counts are scheduling-dependent. *)
+              Obs.Tracer.counter ~cat:"pool" "pool"
+                [ ("queued", float_of_int s.Par.Pool.s_queued);
+                  ("steals", float_of_int s.Par.Pool.s_steals) ];
+              if Obs.Progress.active meter then
+                Obs.Progress.step
+                  ~tail:(Printf.sprintf "%d steal(s)" s.Par.Pool.s_steals)
+                  meter
+              else
+                (match r with
+                 | R_run res ->
+                   Format.printf "[%d/%d] run    %-24s (%s): %s@." (i + 1)
+                     njobs j.Par.Campaign.j_workload (variant_of i)
+                     res.Workloads.Workload.stdout
+                 | R_inject d ->
+                   Format.printf "[%d/%d] inject %-24s (%s): %a@." (i + 1)
+                     njobs j.Par.Campaign.j_workload (variant_of i)
+                     Workloads.Campaign.pp d.Workloads.Campaign.d_tally))
+        in
+        Obs.Progress.finish meter;
+        (match host_metrics with
+         | None -> ()
+         | Some path ->
+           let reg = Telemetry.Registry.create () in
+           Par.Pool.register_telemetry pool reg;
+           (try Telemetry.Export.write_file path reg
+            with Sys_error m ->
+              Format.eprintf "cannot write pool metrics: %s@." m;
+              exit 1);
+           Format.printf "pool metrics -> %s@." path);
+        (results, Par.Pool.stats pool))
   in
-  let wall_time_s = Unix.gettimeofday () -. wall_start in
   let stats_of = function
     | R_run r -> r.Workloads.Workload.stats
     | R_inject d -> d.Workloads.Campaign.d_stats
   in
-  let merged = Par.Reduce.stats (Array.map stats_of results) in
+  let merged =
+    Obs.Tracer.with_span ~cat:"reduce" "reduce" (fun () ->
+        Par.Reduce.stats (Array.map stats_of results))
+  in
   let tallies =
     Array.to_list results
     |> List.filter_map (function
@@ -496,6 +563,10 @@ let campaign target variant injections seed jobs manifest_out =
       (sum (fun t -> t.sdc_output))
       (sum (fun t -> t.total));
   Format.printf "campaign wall time: %.2f s@." wall_time_s;
+  if jobs > 1 then
+    Format.printf "pool: %d task(s), %d steal(s) on %d domain(s)@."
+      pool_stats.Par.Pool.s_tasks pool_stats.Par.Pool.s_steals
+      pool_stats.Par.Pool.s_size;
   (match manifest_out with
    | None -> ()
    | Some path ->
@@ -531,7 +602,55 @@ let campaign target variant injections seed jobs manifest_out =
         Format.eprintf "cannot write manifest: %s@." msg;
         exit 1);
      Format.printf "manifest -> %s@." path);
+  (match host_trace with
+   | Some path -> dump_host_trace path
+   | None -> ());
   0
+
+(* Validate a --host-trace (or any Chrome trace_event) file: parse it
+   with the same JSON reader the sinks use, check the trace shape, and
+   summarize events per phase and track. Exit 2 on a parse failure,
+   1 on a shape problem, 0 when the file is a loadable trace — CI's
+   host-trace gate keys off exactly these codes. *)
+let trace_summary path =
+  match Trace.Json.parse_file path with
+  | exception Sys_error m ->
+    Format.eprintf "%s@." m;
+    2
+  | Error e ->
+    Format.eprintf "%s: parse error: %s@." path e;
+    2
+  | Ok doc ->
+    (match Trace.Json.member "traceEvents" doc with
+     | Some (Trace.Json.List events) ->
+       let phs = Hashtbl.create 8 in
+       let tracks = Hashtbl.create 8 in
+       let bad = ref 0 in
+       List.iter
+         (fun ev ->
+            match (Trace.Json.member "ph" ev, Trace.Json.member "tid" ev) with
+            | Some (Trace.Json.Str ph), Some (Trace.Json.Int tid) ->
+              Hashtbl.replace phs ph
+                (1 + Option.value ~default:0 (Hashtbl.find_opt phs ph));
+              if ph <> "M" then Hashtbl.replace tracks tid ()
+            | _ -> incr bad)
+         events;
+       if !bad > 0 then begin
+         Format.eprintf "%s: %d event(s) missing ph/tid@." path !bad;
+         1
+       end
+       else begin
+         Format.printf "%s: %d event(s), %d track(s)@." path
+           (List.length events) (Hashtbl.length tracks);
+         Hashtbl.fold (fun ph n acc -> (ph, n) :: acc) phs []
+         |> List.sort compare
+         |> List.iter (fun (ph, n) ->
+             Format.printf "  ph %-2s %6d event(s)@." ph n);
+         0
+       end
+     | _ ->
+       Format.eprintf "%s: not a Chrome trace (no traceEvents list)@." path;
+       1)
 
 let list_workloads () =
   List.iter
@@ -929,6 +1048,16 @@ let l1_bytes_arg =
                  $(b,Gpu.Config.default)); used by CI to seed a known \
                  perf regression.")
 
+let host_trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "host-trace" ] ~docv:"FILE"
+           ~doc:"Record host-side spans (campaign, jobs, compile \
+                 phases, kernel launches) and write them to $(docv) as \
+                 Chrome trace_event JSON — one track per domain; load \
+                 in chrome://tracing or Perfetto, or inspect with \
+                 $(b,sassi_run trace-summary). Simulation results are \
+                 bit-identical with or without this flag.")
+
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run a workload on the simulated GPU")
     Term.(const run_workload $ workload_arg $ variant_arg $ instrument_arg
@@ -936,7 +1065,7 @@ let run_cmd =
           $ profile_arg $ pc_sampling_period_arg $ metrics_arg
           $ profile_out_arg $ stats_json_arg $ telemetry_arg
           $ telemetry_interval_arg $ telemetry_out_arg $ manifest_arg
-          $ run_seed_arg $ l1_bytes_arg)
+          $ run_seed_arg $ l1_bytes_arg $ host_trace_arg)
 
 let manifest_a_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BASELINE.json")
@@ -996,6 +1125,24 @@ let campaign_manifest_arg =
                  $(b,sassi_run compare) — CI diffs a --jobs 2 run \
                  against --jobs 1 this way.")
 
+let host_metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "host-metrics" ] ~docv:"FILE"
+           ~doc:"Write the domain pool's introspection metrics (task, \
+                 steal and idle-wake counters, queue depths; aggregate \
+                 and per-worker) to $(docv): JSON when $(docv) ends in \
+                 .json, Prometheus text exposition otherwise. These \
+                 values are scheduling-dependent, so they live here, \
+                 never in the $(b,--manifest) counters.")
+
+let progress_arg =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Redraw a live one-line meter on stderr as jobs finish: \
+                 done/total, throughput, ETA, steal count. Auto-disabled \
+                 when stderr is not a terminal, so redirected runs stay \
+                 byte-identical.")
+
 let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign"
@@ -1010,7 +1157,26 @@ let campaign_cmd =
                split from the campaign seed and the job index, so every \
                $(b,--jobs) setting replays the same results." ])
     Term.(const campaign $ campaign_target_arg $ variant_arg $ injections_arg
-          $ seed_arg $ jobs_arg $ campaign_manifest_arg)
+          $ seed_arg $ jobs_arg $ campaign_manifest_arg $ host_trace_arg
+          $ host_metrics_arg $ progress_arg)
+
+let trace_file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.json")
+
+let trace_summary_cmd =
+  Cmd.v
+    (Cmd.info "trace-summary"
+       ~doc:"Validate and summarize a Chrome trace_event file"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Parses a $(b,--host-trace) (or $(b,--trace)) output file \
+               and reports event counts per phase type and the number of \
+               tracks. CI uses this as the loadability gate for host \
+               traces.";
+           `S Manpage.s_exit_status;
+           `P "0 when the file parses and has trace_event shape; 1 on a \
+               shape problem; 2 when the file cannot be parsed." ])
+    Term.(const trace_summary $ trace_file_arg)
 
 let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a workload's kernels")
@@ -1112,6 +1278,6 @@ let main =
     (Cmd.info "sassi_run" ~version:"1.0"
        ~doc:"SASSI on a simulated GPU: selective instrumentation driver")
     [ run_cmd; list_cmd; disasm_cmd; campaign_cmd; compare_cmd; lint_cmd;
-      analyze_cmd ]
+      analyze_cmd; trace_summary_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -172,6 +172,14 @@ let transformed_kernel t kernel =
        k)
 
 let launch t ~kernel ~grid ~block ~args =
+  Obs.Tracer.with_span ~cat:"launch"
+    ~attrs:
+      [ ("kernel", Obs.Span.Str kernel.Sass.Program.name);
+        ("grid", Obs.Span.Str (Printf.sprintf "%dx%d" (fst grid) (snd grid)));
+        ("block", Obs.Span.Str (Printf.sprintf "%dx%d" (fst block) (snd block)))
+      ]
+    ("launch:" ^ kernel.Sass.Program.name)
+  @@ fun () ->
   let kernel = transformed_kernel t kernel in
   let gx, gy = grid in
   let bx, by = block in

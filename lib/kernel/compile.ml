@@ -21,37 +21,55 @@ let compile_vir ?(options = default_options) k =
   Opt.optimize ~level:options.opt_level lowered.Lower.items
 
 let compile ?(options = default_options) k =
-  (match Typecheck.check k with
-   | Ok () -> ()
-   | Error e -> raise (Compile_error (Typecheck.error_to_string e)));
-  let lowered =
-    try Lower.lower k with
-    | Lower.Lower_error m ->
-      raise (Compile_error (Printf.sprintf "%s: %s" k.Ast.k_name m))
-  in
-  let optimized = Opt.optimize ~level:options.opt_level lowered.Lower.items in
-  let allocated =
-    try Regalloc.allocate ~max_regs:options.max_regs optimized with
-    | Regalloc.Alloc_error m ->
-      raise (Compile_error (Printf.sprintf "%s: %s" k.Ast.k_name m))
-  in
-  let kernel =
-    try
-      Emit.emit ~name:k.Ast.k_name ~nparams:lowered.Lower.nparams
-        ~shared_bytes:lowered.Lower.shared_bytes
-        ~frame_bytes:allocated.Regalloc.frame_bytes allocated.Regalloc.items
-    with
-    | Emit.Emit_error m ->
-      raise (Compile_error (Printf.sprintf "%s: %s" k.Ast.k_name m))
-  in
-  (match Sass.Program.validate kernel with
-   | Ok () -> ()
-   | Error m ->
-     raise (Compile_error (Printf.sprintf "%s: emitted invalid SASS: %s"
-                             k.Ast.k_name m)));
-  match verify kernel with
-  | Ok () -> kernel
-  | Error m ->
-    raise (Compile_error
-             (Printf.sprintf "%s: verifier rejected emitted SASS: %s"
-                k.Ast.k_name m))
+  let phase name f = Obs.Tracer.with_span ~cat:"compile" name f in
+  Obs.Tracer.with_span ~cat:"compile"
+    ~attrs:[ ("kernel", Obs.Span.Str k.Ast.k_name);
+             ("opt_level", Obs.Span.Int options.opt_level) ]
+    ("compile:" ^ k.Ast.k_name)
+    (fun () ->
+       phase "typecheck" (fun () ->
+           match Typecheck.check k with
+           | Ok () -> ()
+           | Error e -> raise (Compile_error (Typecheck.error_to_string e)));
+       let lowered =
+         phase "lower" (fun () ->
+             try Lower.lower k with
+             | Lower.Lower_error m ->
+               raise (Compile_error (Printf.sprintf "%s: %s" k.Ast.k_name m)))
+       in
+       let optimized =
+         phase "optimize" (fun () ->
+             Opt.optimize ~level:options.opt_level lowered.Lower.items)
+       in
+       let allocated =
+         phase "regalloc" (fun () ->
+             try Regalloc.allocate ~max_regs:options.max_regs optimized with
+             | Regalloc.Alloc_error m ->
+               raise (Compile_error (Printf.sprintf "%s: %s" k.Ast.k_name m)))
+       in
+       let kernel =
+         phase "emit" (fun () ->
+             try
+               Emit.emit ~name:k.Ast.k_name ~nparams:lowered.Lower.nparams
+                 ~shared_bytes:lowered.Lower.shared_bytes
+                 ~frame_bytes:allocated.Regalloc.frame_bytes
+                 allocated.Regalloc.items
+             with
+             | Emit.Emit_error m ->
+               raise (Compile_error (Printf.sprintf "%s: %s" k.Ast.k_name m)))
+       in
+       phase "verify" (fun () ->
+           (match Sass.Program.validate kernel with
+            | Ok () -> ()
+            | Error m ->
+              raise
+                (Compile_error
+                   (Printf.sprintf "%s: emitted invalid SASS: %s" k.Ast.k_name
+                      m)));
+           match verify kernel with
+           | Ok () -> kernel
+           | Error m ->
+             raise
+               (Compile_error
+                  (Printf.sprintf "%s: verifier rejected emitted SASS: %s"
+                     k.Ast.k_name m))))

@@ -1,0 +1,6 @@
+let now_s = Unix.gettimeofday
+
+let with_wall_time f =
+  let t0 = now_s () in
+  let r = f () in
+  (r, now_s () -. t0)

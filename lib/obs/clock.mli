@@ -1,0 +1,11 @@
+(** The one wall-clock timing helper for the host side. Every
+    wall-time bracket in the repo — span durations, `--manifest` wall
+    time, bench experiment timing — goes through here, so "what does a
+    second mean" has exactly one answer. *)
+
+val now_s : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]). *)
+
+val with_wall_time : (unit -> 'a) -> 'a * float
+(** Run the thunk and return its result with the elapsed wall-clock
+    seconds. Exceptions propagate unclocked. *)

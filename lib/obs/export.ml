@@ -1,0 +1,97 @@
+let host_pid = 1
+
+let track_name = function
+  | 0 -> "main"
+  | n -> Printf.sprintf "worker %d" (n - 1)
+
+let args_json attrs =
+  Trace.Json.Obj (List.map (fun (k, a) -> (k, Span.attr_to_json a)) attrs)
+
+let event_json (s : Span.t) =
+  let base ph =
+    [ ("name", Trace.Json.Str s.Span.sp_name);
+      ("cat", Trace.Json.Str s.Span.sp_cat);
+      ("ph", Trace.Json.Str ph);
+      ("ts", Trace.Json.Int s.Span.sp_ts_us);
+      ("pid", Trace.Json.Int host_pid);
+      ("tid", Trace.Json.Int s.Span.sp_track) ]
+  in
+  match s.Span.sp_kind with
+  | Span.Complete dur ->
+    Trace.Json.Obj
+      (base "X"
+       @ [ ("dur", Trace.Json.Int (max 1 dur)) ]
+       @
+       match s.Span.sp_attrs with
+       | [] -> []
+       | attrs -> [ ("args", args_json attrs) ])
+  | Span.Instant ->
+    Trace.Json.Obj
+      (base "i"
+       @ [ ("s", Trace.Json.Str "t") ]
+       @
+       match s.Span.sp_attrs with
+       | [] -> []
+       | attrs -> [ ("args", args_json attrs) ])
+  | Span.Counter values ->
+    Trace.Json.Obj
+      (base "C"
+       @ [ ( "args",
+             Trace.Json.Obj
+               (List.map (fun (k, v) -> (k, Trace.Json.Float v)) values) ) ])
+
+let metadata_events spans =
+  let tracks =
+    List.sort_uniq Int.compare (List.map (fun s -> s.Span.sp_track) spans)
+  in
+  let meta name tid args =
+    Trace.Json.Obj
+      [ ("name", Trace.Json.Str name);
+        ("cat", Trace.Json.Str "__metadata");
+        ("ph", Trace.Json.Str "M");
+        ("ts", Trace.Json.Int 0);
+        ("pid", Trace.Json.Int host_pid);
+        ("tid", Trace.Json.Int tid);
+        ("args", Trace.Json.Obj args) ]
+  in
+  meta "process_name" 0 [ ("name", Trace.Json.Str "sassi host") ]
+  :: List.concat_map
+       (fun t ->
+          [ meta "thread_name" t [ ("name", Trace.Json.Str (track_name t)) ];
+            (* Keep chrome's track order = domain order, not first-event
+               time. *)
+            meta "thread_sort_index" t [ ("sort_index", Trace.Json.Int t) ] ])
+       tracks
+
+let to_json spans =
+  Trace.Json.Obj
+    [ ("displayTimeUnit", Trace.Json.Str "ms");
+      ( "traceEvents",
+        Trace.Json.List (metadata_events spans @ List.map event_json spans) ) ]
+
+let to_string spans = Trace.Json.to_string (to_json spans)
+
+let write_file path spans = Trace.Json.write_file path (to_json spans)
+
+let summary spans =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+       let cat = s.Span.sp_cat in
+       if not (Hashtbl.mem tbl cat) then begin
+         Hashtbl.add tbl cat (0, 0);
+         order := cat :: !order
+       end;
+       let n, d = Hashtbl.find tbl cat in
+       Hashtbl.replace tbl cat (n + 1, d + Span.duration_us s))
+    spans;
+  List.rev_map (fun cat -> let n, d = Hashtbl.find tbl cat in (cat, n, d))
+    !order
+
+let pp_summary ppf spans =
+  List.iter
+    (fun (cat, n, dur_us) ->
+       Format.fprintf ppf "  %-10s %6d span(s) %10.1f ms@." cat n
+         (float_of_int dur_us /. 1e3))
+    (summary spans)

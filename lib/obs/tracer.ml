@@ -1,0 +1,167 @@
+(* Per-domain buffers keyed through Domain.DLS: after a one-time
+   registration (under [st_lock]) every write touches only the
+   domain's own buffer, so tracing adds no cross-domain contention to
+   the pool's hot path. A generation counter ties buffers to one
+   enable/disable cycle; a stale buffer left in DLS by a previous
+   trace is simply replaced on first use. *)
+
+type open_span = {
+  os_seq : int;
+  os_name : string;
+  os_cat : string;
+  os_ts_us : int;
+  os_attrs : (string * Span.attr) list;
+}
+
+type buffer = {
+  b_gen : int;
+  b_track : int;
+  mutable b_seq : int;
+  mutable b_spans : Span.t list;  (* newest first; reversed at drain *)
+  mutable b_stack : open_span list;  (* innermost open span first *)
+}
+
+type state = {
+  st_gen : int;
+  st_t0 : float;  (* Clock.now_s at enable; span ts are relative *)
+  st_lock : Mutex.t;
+  mutable st_buffers : buffer list;
+}
+
+let current : state option Atomic.t = Atomic.make None
+
+let generation = Atomic.make 0
+
+(* The preferred track id is sticky per domain and independent of the
+   tracer's lifecycle, so Par.Pool workers can claim their track at
+   spawn time even if tracing is enabled only later. *)
+let track_key : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let buffer_key : buffer option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_track i = Domain.DLS.set track_key (Some i)
+
+let is_enabled () = Atomic.get current <> None
+
+let enable () =
+  let st =
+    { st_gen = 1 + Atomic.fetch_and_add generation 1;
+      st_t0 = Clock.now_s ();
+      st_lock = Mutex.create ();
+      st_buffers = [] }
+  in
+  Atomic.set current (Some st)
+
+let now_us st = int_of_float ((Clock.now_s () -. st.st_t0) *. 1e6)
+
+let buffer_for st =
+  match Domain.DLS.get buffer_key with
+  | Some b when b.b_gen = st.st_gen -> b
+  | _ ->
+    let track = Option.value ~default:0 (Domain.DLS.get track_key) in
+    let b =
+      { b_gen = st.st_gen;
+        b_track = track;
+        b_seq = 0;
+        b_spans = [];
+        b_stack = [] }
+    in
+    Mutex.lock st.st_lock;
+    st.st_buffers <- b :: st.st_buffers;
+    Mutex.unlock st.st_lock;
+    Domain.DLS.set buffer_key (Some b);
+    b
+
+let begin_span ?(attrs = []) ~cat name =
+  match Atomic.get current with
+  | None -> ()
+  | Some st ->
+    let b = buffer_for st in
+    b.b_stack <-
+      { os_seq = b.b_seq;
+        os_name = name;
+        os_cat = cat;
+        os_ts_us = now_us st;
+        os_attrs = attrs }
+      :: b.b_stack;
+    b.b_seq <- b.b_seq + 1
+
+(* Closing is factored so drain can force-close leftover spans with an
+   "unfinished" marker without duplicating the record construction. *)
+let close_open st b (os : open_span) ~extra_attrs =
+  let depth = List.length b.b_stack in
+  b.b_spans <-
+    { Span.sp_track = b.b_track;
+      sp_seq = os.os_seq;
+      sp_name = os.os_name;
+      sp_cat = os.os_cat;
+      sp_ts_us = os.os_ts_us;
+      sp_depth = depth;
+      sp_kind = Span.Complete (max 0 (now_us st - os.os_ts_us));
+      sp_attrs = os.os_attrs @ extra_attrs }
+    :: b.b_spans
+
+let end_span ?(attrs = []) () =
+  match Atomic.get current with
+  | None -> ()
+  | Some st ->
+    let b = buffer_for st in
+    (match b.b_stack with
+     | [] -> ()
+     | os :: rest ->
+       b.b_stack <- rest;
+       close_open st b os ~extra_attrs:attrs)
+
+let with_span ?attrs ~cat name f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some _ ->
+    begin_span ?attrs ~cat name;
+    Fun.protect ~finally:(fun () -> end_span ()) f
+
+let emit_leaf kind ?(attrs = []) ~cat name =
+  match Atomic.get current with
+  | None -> ()
+  | Some st ->
+    let b = buffer_for st in
+    b.b_spans <-
+      { Span.sp_track = b.b_track;
+        sp_seq = b.b_seq;
+        sp_name = name;
+        sp_cat = cat;
+        sp_ts_us = now_us st;
+        sp_depth = List.length b.b_stack;
+        sp_kind = kind;
+        sp_attrs = attrs }
+      :: b.b_spans;
+    b.b_seq <- b.b_seq + 1
+
+let instant ?attrs ~cat name = emit_leaf Span.Instant ?attrs ~cat name
+
+let counter ~cat name values = emit_leaf (Span.Counter values) ~cat name
+
+let drain () =
+  match Atomic.get current with
+  | None -> []
+  | Some st ->
+    Atomic.set current None;
+    Mutex.lock st.st_lock;
+    let buffers = st.st_buffers in
+    st.st_buffers <- [];
+    Mutex.unlock st.st_lock;
+    List.iter
+      (fun b ->
+         let rec close () =
+           match b.b_stack with
+           | [] -> ()
+           | os :: rest ->
+             b.b_stack <- rest;
+             close_open st b os
+               ~extra_attrs:[ ("unfinished", Span.Bool true) ];
+             close ()
+         in
+         close ())
+      buffers;
+    List.concat_map (fun b -> List.rev b.b_spans) buffers
+    |> List.sort Span.order

@@ -1,0 +1,56 @@
+(** The ambient host-side span tracer.
+
+    One process-global tracer, off by default. When disabled, every
+    emission point costs a single atomic load and nothing else — the
+    instrumented code (campaign runner, compile pipeline, device
+    launch) never pays for observability it did not ask for, and spans
+    never touch simulation state, so traced runs produce bit-identical
+    results to untraced ones.
+
+    When enabled, each domain records into its own private buffer
+    (created lazily on first emission, registered once under a lock,
+    then written lock-free), with begin/end nesting tracked per
+    domain. {!drain} stops tracing and merges every buffer into one
+    list ordered by [(track, seq)] — deterministic for a given set of
+    spans regardless of scheduling.
+
+    Contract: call {!drain} only after every traced task has been
+    joined (e.g. after [Par.Pool] futures are awaited); a domain still
+    emitting during the drain may lose its in-flight span. *)
+
+val enable : unit -> unit
+(** Start a fresh trace; any spans from a previous enable are
+    discarded. *)
+
+val is_enabled : unit -> bool
+
+val drain : unit -> Span.t list
+(** Stop tracing and return every recorded span in [(track, seq)]
+    order. Spans still open are closed at drain time and tagged with
+    an [("unfinished", Bool true)] attribute. Returns [[]] when the
+    tracer was not enabled. *)
+
+val set_track : int -> unit
+(** Pin the calling domain's track id (0 = main; [Par.Pool] workers
+    use [worker_index + 1]). Sticky across enable/disable cycles;
+    domains that never call this record on track 0. *)
+
+val begin_span : ?attrs:(string * Span.attr) list -> cat:string -> string -> unit
+(** Open a span on the calling domain's track; nests under the
+    domain's innermost open span. No-op when disabled. *)
+
+val end_span : ?attrs:(string * Span.attr) list -> unit -> unit
+(** Close the innermost open span, appending [attrs] to the ones given
+    at begin. No-op when disabled or when no span is open. *)
+
+val with_span :
+  ?attrs:(string * Span.attr) list -> cat:string -> string -> (unit -> 'a) -> 'a
+(** [begin_span]; run; [end_span] (also on exception). The thunk runs
+    unconditionally — disabled tracing never changes control flow. *)
+
+val instant : ?attrs:(string * Span.attr) list -> cat:string -> string -> unit
+(** A zero-duration marker event. No-op when disabled. *)
+
+val counter : cat:string -> string -> (string * float) list -> unit
+(** Sample named counter values (rendered as a chart track in
+    [chrome://tracing]). No-op when disabled. *)

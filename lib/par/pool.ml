@@ -13,7 +13,16 @@
 
    A pool created with [domains <= 1] spawns nothing and runs each
    task inline at submission: `--jobs 1` *is* the sequential baseline,
-   not a one-worker approximation of it. *)
+   not a one-worker approximation of it.
+
+   Introspection: every worker keeps its own task/steal/idle counters
+   (plain per-worker atomics, no shared cache line contention on the
+   hot path); [stats] snapshots them together with the live queue
+   depths, and [register_telemetry] exposes the same numbers through
+   the standard registry so the Prometheus/JSON exporters pick them
+   up unchanged. Workers also claim host-trace track [i + 1] at spawn,
+   so an [Obs.Tracer]-traced campaign renders one timeline row per
+   domain. *)
 
 type 'a fstate =
   | Pending
@@ -28,21 +37,92 @@ type 'a future = {
 
 type task = unit -> unit
 
+(* One counter block per worker; the inline pool keeps a single block
+   for the calling domain so [stats] has one shape everywhere. *)
+type worker_counters = {
+  wc_tasks : int Atomic.t;
+  wc_steals : int Atomic.t;
+  wc_idle_wakes : int Atomic.t;
+}
+
 type t = {
   deques : task Deque.t array;  (* one per worker; [||] when inline *)
+  counters : worker_counters array;  (* length [max 1 domains] *)
   mutable domains : unit Domain.t array;
   lock : Mutex.t;               (* guards [stopped] and the sleep cond *)
   cond : Condition.t;           (* signaled on submit and shutdown *)
   mutable stopped : bool;
-  steals : int Atomic.t;
   rr : int Atomic.t;            (* round-robin placement cursor *)
+}
+
+type worker_stats = {
+  ws_tasks : int;
+  ws_steals : int;
+  ws_idle_wakes : int;
+  ws_queue_depth : int;
+}
+
+type stats = {
+  s_size : int;
+  s_tasks : int;
+  s_steals : int;
+  s_queued : int;
+  s_workers : worker_stats array;
 }
 
 let size t = max 1 (Array.length t.deques)
 
-let steal_count t = Atomic.get t.steals
-
 let inline_pool t = Array.length t.deques = 0
+
+let stats t =
+  let workers =
+    Array.mapi
+      (fun i wc ->
+         { ws_tasks = Atomic.get wc.wc_tasks;
+           ws_steals = Atomic.get wc.wc_steals;
+           ws_idle_wakes = Atomic.get wc.wc_idle_wakes;
+           ws_queue_depth =
+             (if inline_pool t then 0 else Deque.length t.deques.(i)) })
+      t.counters
+  in
+  { s_size = size t;
+    s_tasks = Array.fold_left (fun a w -> a + w.ws_tasks) 0 workers;
+    s_steals = Array.fold_left (fun a w -> a + w.ws_steals) 0 workers;
+    s_queued = Array.fold_left (fun a w -> a + w.ws_queue_depth) 0 workers;
+    s_workers = workers }
+
+let steal_count t = (stats t).s_steals
+
+let register_telemetry t reg =
+  let open Telemetry.Registry in
+  register reg ~help:"Tasks executed by the domain pool"
+    "sassi_pool_tasks_total"
+    (Counter (fun () -> (stats t).s_tasks));
+  register reg ~help:"Successful steals between worker deques"
+    "sassi_pool_steals_total"
+    (Counter (fun () -> (stats t).s_steals));
+  register reg ~help:"Times a worker woke from the idle wait"
+    "sassi_pool_idle_wakes_total"
+    (Counter
+       (fun () ->
+          Array.fold_left (fun a w -> a + w.ws_idle_wakes) 0
+            (stats t).s_workers));
+  register reg ~help:"Tasks currently queued across all deques"
+    "sassi_pool_queue_depth"
+    (Gauge (fun () -> float_of_int (stats t).s_queued));
+  Array.iteri
+    (fun i _ ->
+       let labels = [ ("worker", string_of_int i) ] in
+       register reg ~labels ~help:"Tasks executed by one worker"
+         "sassi_pool_worker_tasks_total"
+         (Counter (fun () -> (stats t).s_workers.(i).ws_tasks));
+       register reg ~labels ~help:"Steals performed by one worker"
+         "sassi_pool_worker_steals_total"
+         (Counter (fun () -> (stats t).s_workers.(i).ws_steals));
+       register reg ~labels ~help:"Queued tasks on one worker's deque"
+         "sassi_pool_worker_queue_depth"
+         (Gauge (fun () -> float_of_int (stats t).s_workers.(i).ws_queue_depth)))
+    t.counters
 
 (* ---------- futures ---------- *)
 
@@ -85,7 +165,7 @@ let try_steal t ~self =
     else
       match Deque.steal t.deques.((self + k) mod n) with
       | Some task ->
-        Atomic.incr t.steals;
+        Atomic.incr t.counters.(self).wc_steals;
         Some task
       | None -> go (k + 1)
   in
@@ -94,15 +174,20 @@ let try_steal t ~self =
 let has_work t = Array.exists (fun d -> not (Deque.is_empty d)) t.deques
 
 let worker t self =
+  Obs.Tracer.set_track (self + 1);
+  let run task =
+    Atomic.incr t.counters.(self).wc_tasks;
+    task ()
+  in
   let rec loop () =
     match Deque.pop_bottom t.deques.(self) with
     | Some task ->
-      task ();
+      run task;
       loop ()
     | None ->
       (match try_steal t ~self with
        | Some task ->
-         task ();
+         run task;
          loop ()
        | None ->
          (* Out of work everywhere: sleep until a submit or shutdown.
@@ -117,6 +202,7 @@ let worker t self =
            else if t.stopped then Mutex.unlock t.lock (* drained: exit *)
            else begin
              Condition.wait t.cond t.lock;
+             Atomic.incr t.counters.(self).wc_idle_wakes;
              idle ()
            end
          in
@@ -137,11 +223,15 @@ let create ?(domains = 2) () =
     { deques =
         (if domains <= 1 then [||]
          else Array.init domains (fun _ -> Deque.create ()));
+      counters =
+        Array.init (max 1 domains) (fun _ ->
+            { wc_tasks = Atomic.make 0;
+              wc_steals = Atomic.make 0;
+              wc_idle_wakes = Atomic.make 0 });
       domains = [||];
       lock = Mutex.create ();
       cond = Condition.create ();
       stopped = false;
-      steals = Atomic.make 0;
       rr = Atomic.make 0 }
   in
   if domains > 1 then
@@ -154,7 +244,10 @@ let check_running t =
 let submit_on t ~worker:w f =
   check_running t;
   let fut = make_future () in
-  if inline_pool t then run_into fut f
+  if inline_pool t then begin
+    Atomic.incr t.counters.(0).wc_tasks;
+    run_into fut f
+  end
   else begin
     let n = Array.length t.deques in
     if w < 0 || w >= n then invalid_arg "Pool.submit_on: no such worker";
@@ -169,6 +262,7 @@ let submit t f =
   check_running t;
   if inline_pool t then begin
     let fut = make_future () in
+    Atomic.incr t.counters.(0).wc_tasks;
     run_into fut f;
     fut
   end
@@ -194,7 +288,12 @@ let with_pool ?domains f =
 (* ---------- ordered fan-out ---------- *)
 
 let map_ordered t f xs =
-  if inline_pool t then Array.map f xs
+  if inline_pool t then
+    Array.map
+      (fun x ->
+         Atomic.incr t.counters.(0).wc_tasks;
+         f x)
+      xs
   else begin
     let futs = Array.map (fun x -> submit t (fun () -> f x)) xs in
     Array.map await futs
@@ -202,7 +301,11 @@ let map_ordered t f xs =
 
 let iter_ordered t fs ~on_result =
   if inline_pool t then
-    Array.iteri (fun i task -> on_result i (task ())) fs
+    Array.iteri
+      (fun i task ->
+         Atomic.incr t.counters.(0).wc_tasks;
+         on_result i (task ()))
+      fs
   else begin
     let futs = Array.map (submit t) fs in
     Array.iteri (fun i fut -> on_result i (await fut)) futs

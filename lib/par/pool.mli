@@ -8,7 +8,14 @@
 
     Futures must be awaited from the submitting (main) domain, never
     from inside a pool task: a task that blocks on another queued task
-    can deadlock the pool. Fan out, then join. *)
+    can deadlock the pool. Fan out, then join.
+
+    Introspection: {!stats} snapshots per-worker task/steal/idle
+    counters and live queue depths; {!register_telemetry} exposes the
+    same numbers through a {!Telemetry.Registry} so the standard
+    Prometheus/JSON exporters serve them unchanged. Workers claim
+    host-trace track [worker_index + 1] ({!Obs.Tracer.set_track}) at
+    spawn, so traced campaigns render one timeline row per domain. *)
 
 type t
 
@@ -55,6 +62,34 @@ val shutdown : t -> unit
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exception). *)
 
+(** {1 Introspection} *)
+
+type worker_stats = {
+  ws_tasks : int;  (** tasks this worker executed *)
+  ws_steals : int;  (** successful steals this worker performed *)
+  ws_idle_wakes : int;  (** wake-ups from the idle wait *)
+  ws_queue_depth : int;  (** tasks queued on its deque right now *)
+}
+
+type stats = {
+  s_size : int;  (** task executors (= {!size}) *)
+  s_tasks : int;  (** tasks executed, all workers *)
+  s_steals : int;  (** successful steals, all workers *)
+  s_queued : int;  (** tasks currently queued, all deques *)
+  s_workers : worker_stats array;  (** per-worker breakdown *)
+}
+
+val stats : t -> stats
+(** A consistent-enough snapshot for telemetry: each field is read
+    atomically, the record as a whole is not (workers keep running). *)
+
+val register_telemetry : t -> Telemetry.Registry.t -> unit
+(** Register the pool's counters and queue-depth gauges (aggregate and
+    per-worker, labeled [worker="i"]) so {!Telemetry.Export} serves
+    them alongside every other metric. *)
+
 val steal_count : t -> int
-(** Number of successful steals since creation (scheduler telemetry;
-    see the pool tests). *)
+[@@ocaml.deprecated "use Pool.stats: (stats t).s_steals"]
+(** Number of successful steals since creation.
+    @deprecated superseded by {!stats}, which also breaks the count
+    down per worker. *)

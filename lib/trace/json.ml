@@ -163,6 +163,10 @@ let of_string s =
              utf8_of_code b
                (0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00))
            end
+           else if code >= 0xDC00 && code <= 0xDFFF then
+             (* A low surrogate with no preceding high one: reject it
+                rather than emit WTF-8 no other reader accepts. *)
+             fail "unpaired surrogate"
            else utf8_of_code b code
          | _ -> fail "bad escape");
         go ()

@@ -31,7 +31,8 @@ val of_string : string -> (t, string) result
 (** Parse one JSON document. Integer literals without a fraction or
     exponent parse as [Int] (falling back to [Float] when out of
     native range); [\uXXXX] escapes decode to UTF-8, including
-    surrogate pairs. The whole input must be consumed. *)
+    surrogate pairs (lone surrogates are rejected). The whole input
+    must be consumed. *)
 
 val parse_file : string -> (t, string) result
 (** {!of_string} on a whole file.

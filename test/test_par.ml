@@ -135,7 +135,7 @@ let test_pool_work_stealing_drains () =
   check Alcotest.int "every queued task ran exactly once" (64 * 63 / 2) total;
   Par.Pool.shutdown p;
   check Alcotest.bool "completing the handshake required a steal" true
-    (Par.Pool.steal_count p >= 1)
+    ((Par.Pool.stats p).Par.Pool.s_steals >= 1)
 
 let test_pool_shutdown () =
   let p = Par.Pool.create ~domains:2 () in

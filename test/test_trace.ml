@@ -430,6 +430,48 @@ let test_mem_trace_capacity () =
   check Alcotest.int "cleared" 0 (Handlers.Mem_trace.length mt);
   check Alcotest.int "cleared dropped" 0 (Handlers.Mem_trace.dropped mt)
 
+(* --- \uXXXX decoding in the shared JSON reader ----------------------------- *)
+
+let parse_str input =
+  match Trace.Json.of_string input with
+  | Ok (Trace.Json.Str s) -> Ok s
+  | Ok _ -> Error "parsed, but not as a string"
+  | Error e -> Error e
+
+let test_json_unicode_escapes () =
+  (match parse_str {|"A\u00e9"|} with
+   | Ok s -> check Alcotest.string "1- and 2-byte code points" "A\xc3\xa9" s
+   | Error e -> Alcotest.failf "BMP escape rejected: %s" e);
+  (match parse_str {|"\u2028"|} with
+   | Ok s -> check Alcotest.string "3-byte code point" "\xe2\x80\xa8" s
+   | Error e -> Alcotest.failf "U+2028 rejected: %s" e);
+  (* U+1F600 as a \uD83D\uDE00 pair re-encodes as 4-byte UTF-8. *)
+  match parse_str {|"\ud83d\ude00"|} with
+  | Ok s -> check Alcotest.string "surrogate pair" "\xf0\x9f\x98\x80" s
+  | Error e -> Alcotest.failf "surrogate pair rejected: %s" e
+
+let test_json_lone_surrogates () =
+  let reject label input =
+    match parse_str input with
+    | Ok s -> Alcotest.failf "%s accepted as %S" label s
+    | Error _ -> ()
+  in
+  reject "high surrogate + non-low" {|"\ud800A"|};
+  reject "high surrogate at end of string" {|"\ud83d"|};
+  reject "high surrogate at end of input" {|"\ud83d|};
+  reject "lone low surrogate" {|"\udc00"|};
+  reject "two high surrogates" {|"\ud800\ud800"|}
+
+let test_json_escape_roundtrip () =
+  List.iter
+    (fun s ->
+       match parse_str (Trace.Json.to_string (Trace.Json.Str s)) with
+       | Ok s' -> check Alcotest.string "escape/parse round-trip" s s'
+       | Error e -> Alcotest.failf "round-trip of %S failed: %s" s e)
+    [ ""; "plain"; "quote \" backslash \\ slash /";
+      "controls \x01\x1f\n\t\r\b\x0c";
+      "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80" ]
+
 let suite =
   [ ( "trace.ring",
       [ Alcotest.test_case "drop-oldest" `Quick test_ring_drop_oldest;
@@ -447,6 +489,14 @@ let suite =
     ( "trace.sinks",
       [ Alcotest.test_case "chrome json" `Quick test_chrome_json_valid;
         Alcotest.test_case "ndjson" `Quick test_ndjson_valid
+      ] );
+    ( "trace.json",
+      [ Alcotest.test_case "unicode escapes" `Quick
+          test_json_unicode_escapes;
+        Alcotest.test_case "lone surrogates rejected" `Quick
+          test_json_lone_surrogates;
+        Alcotest.test_case "escape round-trip" `Quick
+          test_json_escape_roundtrip
       ] );
     ( "trace.analysis",
       [ Alcotest.test_case "timeline" `Quick test_timeline_build;
