@@ -1,7 +1,7 @@
 # Convenience targets; `make ci` is what a pipeline should run.
 
 .PHONY: all build test fmt lint ci clean profile telemetry bench-parallel \
-	bench-host-overhead
+	bench-host-overhead bench-serve
 
 # Workload for `make profile`, e.g. `make profile WORKLOAD=parboil/sgemm`.
 WORKLOAD ?= rodinia/bfs
@@ -97,6 +97,53 @@ ci: fmt
 	  || { echo "ci: traced campaign diverged from untraced"; rm -rf $$tmp; exit 1; }; \
 	rm -rf $$tmp; \
 	echo "ci: host-trace gate passed"
+	@# Serve gate: boot the daemon on an ephemeral port, POST a
+	@# campaign over HTTP, require (a) a live /metrics scrape whose
+	@# request counter is strictly monotonic across scrapes, and (b) a
+	@# served manifest byte-identical to the CLI run of the same
+	@# campaign file; then a clean POST /shutdown exit.
+	@tmp=$$(mktemp -d); \
+	printf '%s\n' \
+	  '{"schema":"sassi-campaign/1","name":"ci-serve","seed":2025,"jobs":[' \
+	  ' {"workload":"parboil/spmv","variant":"small","kind":"inject","injections":2},' \
+	  ' {"workload":"parboil/spmv","variant":"small","kind":"run"}]}' \
+	  > $$tmp/campaign.json; \
+	dune exec bin/sassi_run.exe -- serve --port 0 --jobs 2 > $$tmp/serve.log 2>&1 & \
+	pid=$$!; \
+	port=""; \
+	for i in $$(seq 1 100); do \
+	  port=$$(sed -n 's/.*listening on http:\/\/127\.0\.0\.1:\([0-9]*\).*/\1/p' $$tmp/serve.log); \
+	  [ -n "$$port" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$port" ] || { echo "ci: serve never reported a port"; kill $$pid; rm -rf $$tmp; exit 1; }; \
+	curl -sf -X POST --data-binary @$$tmp/campaign.json http://127.0.0.1:$$port/jobs > /dev/null \
+	  || { echo "ci: POST /jobs failed"; kill $$pid; rm -rf $$tmp; exit 1; }; \
+	state=""; \
+	for i in $$(seq 1 600); do \
+	  state=$$(curl -sf http://127.0.0.1:$$port/jobs/job-1 | grep -o '"state":"[a-z]*"'); \
+	  [ "$$state" = '"state":"done"' ] && break; sleep 0.1; \
+	done; \
+	[ "$$state" = '"state":"done"' ] \
+	  || { echo "ci: served job never finished ($$state)"; kill $$pid; rm -rf $$tmp; exit 1; }; \
+	curl -sf http://127.0.0.1:$$port/metrics > $$tmp/m1.prom; \
+	curl -sf http://127.0.0.1:$$port/metrics > $$tmp/m2.prom; \
+	c1=$$(sed -n 's/^sassi_serve_requests_total{endpoint="metrics"} //p' $$tmp/m1.prom); \
+	c2=$$(sed -n 's/^sassi_serve_requests_total{endpoint="metrics"} //p' $$tmp/m2.prom); \
+	[ -n "$$c1" ] && [ -n "$$c2" ] && [ "$$c2" -gt "$$c1" ] \
+	  || { echo "ci: /metrics request counter not monotonic ($$c1 -> $$c2)"; kill $$pid; rm -rf $$tmp; exit 1; }; \
+	grep -q '^sassi_pool_tasks_total' $$tmp/m1.prom \
+	  || { echo "ci: live scrape missing pool counters"; kill $$pid; rm -rf $$tmp; exit 1; }; \
+	curl -sf http://127.0.0.1:$$port/jobs/job-1/manifest > $$tmp/served.json \
+	  || { echo "ci: GET manifest failed"; kill $$pid; rm -rf $$tmp; exit 1; }; \
+	dune exec bin/sassi_run.exe -- campaign $$tmp/campaign.json --jobs 2 \
+	  --manifest $$tmp/cli.json > /dev/null; \
+	cmp -s $$tmp/served.json $$tmp/cli.json \
+	  || { echo "ci: served manifest differs from CLI manifest"; kill $$pid; rm -rf $$tmp; exit 1; }; \
+	curl -sf -X POST http://127.0.0.1:$$port/shutdown > /dev/null; \
+	wait $$pid \
+	  || { echo "ci: serve exited non-zero after shutdown"; rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; \
+	echo "ci: serve gate passed (port $$port, served manifest == CLI manifest)"
 
 # Sequential-vs-parallel wall clock and bit-identity on two task
 # mixes; writes BENCH_parallel.json (see EXPERIMENTS.md).
@@ -107,6 +154,13 @@ bench-parallel: build
 # (<5% budget, bit-identical results); writes BENCH_host_overhead.json.
 bench-host-overhead: build
 	dune exec bench/main.exe -- host-overhead --jobs 4
+
+# Compile-cache cold vs hit latency percentiles plus a daemon
+# round-trip (two identical served jobs, second rides the cache);
+# writes BENCH_serve.json. Fails unless the hit path is strictly
+# faster and all outputs are bit-identical.
+bench-serve: build
+	dune exec bench/main.exe -- serve --jobs 2
 
 profile: build
 	dune exec bin/sassi_run.exe -- run $(WORKLOAD) --profile

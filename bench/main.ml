@@ -1067,6 +1067,213 @@ let host_overhead rc =
     exit 1
   end
 
+(* --- Serve: daemon round-trip + compile-cache cold/warm ------------------------ *)
+
+(* The serving story, measured: (a) the content-addressed compile
+   cache, cold start (full typecheck/lower/optimize/regalloc/emit)
+   against a content hit (digest + verify only), per-compile latency
+   percentiles over many reps with the emitted SASS compared
+   bit-for-bit; (b) one in-process daemon serving the same campaign
+   twice over real sockets, where the second job rides the warm cache
+   and both served manifests must be byte-identical. *)
+
+let serve_kernels =
+  let open Kernel.Dsl in
+  [ kernel "bench_vadd" ~params:[ ptr "a"; ptr "b"; ptr "out"; int "n" ]
+      (fun p ->
+         [ let_ "gid" (global_tid_x ());
+           exit_if (v "gid" >=! p 3);
+           let_ "off" (v "gid" <<! int_ 2);
+           st_global (p 2 +! v "off") (ldg (p 0 +! v "off") +! ldg (p 1 +! v "off")) ]);
+    kernel "bench_scale" ~params:[ ptr "a"; ptr "out"; int "n" ]
+      (fun p ->
+         [ let_ "gid" (global_tid_x ());
+           exit_if (v "gid" >=! p 2);
+           let_ "off" (v "gid" <<! int_ 2);
+           let_ "x" (ldg (p 0 +! v "off"));
+           st_global (p 1 +! v "off")
+             ((v "x" *! int_ 3) +! (v "x" <<! int_ 1) +! int_ 7) ]);
+    kernel "bench_mask" ~params:[ ptr "out"; int "n" ]
+      (fun p ->
+         [ let_ "gid" (global_tid_x ());
+           exit_if (v "gid" >=! p 1);
+           st_global (p 0 +! (v "gid" <<! int_ 2))
+             ((v "gid" &! int_ 255) ^! (v "gid" >>! int_ 3)) ]) ]
+
+let http_request ?(body = "") ~meth ~path port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  Printf.fprintf oc
+    "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    meth path (String.length body) body;
+  flush oc;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  (try
+     let rec go () =
+       let n = input ic chunk 0 4096 in
+       if n > 0 then begin Buffer.add_subbytes buf chunk 0 n; go () end
+     in
+     go ()
+   with End_of_file -> ());
+  (try close_in ic with _ -> ());
+  let raw = Buffer.contents buf in
+  let i =
+    let rec find j =
+      if j + 3 >= String.length raw then String.length raw
+      else if String.sub raw j 4 = "\r\n\r\n" then j + 4
+      else find (j + 1)
+    in
+    find 0
+  in
+  String.sub raw i (String.length raw - i)
+
+let serve rc =
+  section
+    (Printf.sprintf
+       "serve: compile-cache cold/warm + daemon round-trip (--jobs %d)" rc.jobs);
+  (* Leg A: per-compile latency, cold vs content-hit. *)
+  let reps = if rc.quick then 15 else 40 in
+  let cold_us = Telemetry.Hist.create () in
+  let warm_us = Telemetry.Hist.create () in
+  let identical = ref true in
+  Kernel.Cache.enable ();
+  List.iter
+    (fun k ->
+       for _ = 1 to reps do
+         Kernel.Cache.clear ();
+         let cold, t_cold = timed (fun () -> Kernel.Compile.compile k) in
+         let warm, t_warm = timed (fun () -> Kernel.Compile.compile k) in
+         Telemetry.Hist.observe cold_us (int_of_float (t_cold *. 1e6));
+         Telemetry.Hist.observe warm_us (int_of_float (t_warm *. 1e6));
+         if cold.Sass.Program.instrs <> warm.Sass.Program.instrs then
+           identical := false
+       done)
+    serve_kernels;
+  let cs = Telemetry.Hist.summarize cold_us in
+  let ws = Telemetry.Hist.summarize warm_us in
+  let cache_stats = Kernel.Cache.stats () in
+  Kernel.Cache.disable ();
+  Printf.printf
+    "compile   | cold p50 %8.1fus  p99 %8.1fus | hit p50 %8.1fus  p99 %8.1fus | x%.1f at p50  %s\n%!"
+    cs.Telemetry.Hist.s_p50 cs.Telemetry.Hist.s_p99 ws.Telemetry.Hist.s_p50
+    ws.Telemetry.Hist.s_p99
+    (cs.Telemetry.Hist.s_p50 /. Float.max 1.0 ws.Telemetry.Hist.s_p50)
+    (if !identical then "bit-identical" else "MISMATCH");
+  (* Leg B: the same campaign served twice by one daemon; job 2 rides
+     the cache job 1 just filled. *)
+  let campaign =
+    Par.Campaign.make ~name:"bench-serve" ~seed:rc.seed
+      [ Par.Campaign.job ~variant:"small" ~kind:Par.Campaign.Run "parboil/spmv";
+        Par.Campaign.job ~variant:"small" ~kind:Par.Campaign.Inject
+          ~injections:2 "parboil/spmv" ]
+  in
+  let d =
+    Serve.Daemon.create
+      { Serve.Daemon.default_config with
+        Serve.Daemon.cfg_port = 0;
+        cfg_pool_jobs = rc.jobs;
+        cfg_access_log = None }
+  in
+  let th = Serve.Daemon.start d in
+  let port = Serve.Daemon.port d in
+  let body = Trace.Json.to_string (Par.Campaign.to_json campaign) in
+  let wall id =
+    let rec poll n =
+      if n = 0 then failwith ("bench serve: " ^ id ^ " never finished");
+      let s = http_request ~meth:"GET" ~path:("/jobs/" ^ id) port in
+      match Trace.Json.of_string s with
+      | Ok doc when Trace.Json.member "state" doc = Some (Trace.Json.Str "done")
+        ->
+        (match Trace.Json.member "wall_time_s" doc with
+         | Some (Trace.Json.Float w) -> w
+         | _ -> failwith "bench serve: done job without wall time")
+      | Ok doc
+        when (match Trace.Json.member "state" doc with
+              | Some (Trace.Json.Str "failed") -> true
+              | _ -> false) ->
+        failwith ("bench serve: job failed: " ^ s)
+      | _ ->
+        Thread.delay 0.05;
+        poll (n - 1)
+    in
+    poll 2400
+  in
+  ignore (http_request ~meth:"POST" ~path:"/jobs" ~body port);
+  let cold_wall = wall "job-1" in
+  ignore (http_request ~meth:"POST" ~path:"/jobs" ~body port);
+  let warm_wall = wall "job-2" in
+  let m1 = http_request ~meth:"GET" ~path:"/jobs/job-1/manifest" port in
+  let m2 = http_request ~meth:"GET" ~path:"/jobs/job-2/manifest" port in
+  let served_identical = m1 = m2 && String.length m1 > 0 in
+  let metrics = http_request ~meth:"GET" ~path:"/metrics" port in
+  let daemon_hits =
+    String.split_on_char '\n' metrics
+    |> List.find_map (fun l ->
+        let p = "sassi_cache_hits_total " in
+        if String.length l > String.length p
+           && String.sub l 0 (String.length p) = p
+        then
+          int_of_string_opt
+            (String.sub l (String.length p)
+               (String.length l - String.length p))
+        else None)
+    |> Option.value ~default:0
+  in
+  Serve.Daemon.shutdown d;
+  Thread.join th;
+  Printf.printf
+    "served    | cold job %6.2fs  warm job %6.2fs | %d cache hit(s) | manifests %s\n%!"
+    cold_wall warm_wall daemon_hits
+    (if served_identical then "byte-identical" else "MISMATCH");
+  write_experiment_manifest ~experiment:"serve" ~rc
+    ~counters:
+      [ ("kernels", List.length serve_kernels); ("reps", reps);
+        ("compiles", Telemetry.Hist.count cold_us);
+        ("cache_hits", cache_stats.Kernel.Cache.c_hits);
+        ("cache_misses", cache_stats.Kernel.Cache.c_misses) ]
+    ~histograms:[ ("compile_cold_us", cs); ("compile_hit_us", ws) ];
+  let q (s : Telemetry.Hist.summary) =
+    Trace.Json.Obj
+      [ ("p50", Trace.Json.Float s.Telemetry.Hist.s_p50);
+        ("p90", Trace.Json.Float s.Telemetry.Hist.s_p90);
+        ("p99", Trace.Json.Float s.Telemetry.Hist.s_p99);
+        ("mean", Trace.Json.Float s.Telemetry.Hist.s_mean) ]
+  in
+  let json =
+    Trace.Json.Obj
+      [ ("schema", Trace.Json.Str "sassi-bench-serve/1");
+        ("jobs", Trace.Json.Int rc.jobs);
+        ("kernels", Trace.Json.Int (List.length serve_kernels));
+        ("reps", Trace.Json.Int reps);
+        ("compile_cold_us", q cs);
+        ("compile_hit_us", q ws);
+        ("hit_speedup_p50",
+         Trace.Json.Float
+           (cs.Telemetry.Hist.s_p50 /. Float.max 1.0 ws.Telemetry.Hist.s_p50));
+        ("compile_bit_identical", Trace.Json.Bool !identical);
+        ("served_cold_wall_s", Trace.Json.Float cold_wall);
+        ("served_warm_wall_s", Trace.Json.Float warm_wall);
+        ("served_cache_hits", Trace.Json.Int daemon_hits);
+        ("served_manifests_identical", Trace.Json.Bool served_identical) ]
+  in
+  Trace.Json.write_file "BENCH_serve.json" json;
+  Printf.printf "\nwrote BENCH_serve.json\n%!";
+  if not !identical then begin
+    Printf.eprintf "serve: cache hit returned different SASS\n";
+    exit 1
+  end;
+  if not served_identical then begin
+    Printf.eprintf "serve: served manifests diverge between jobs\n";
+    exit 1
+  end;
+  if ws.Telemetry.Hist.s_p50 >= cs.Telemetry.Hist.s_p50 then begin
+    Printf.eprintf "serve: cache hit is not faster than cold compile\n";
+    exit 1
+  end
+
 (* --- Driver -------------------------------------------------------------------- *)
 
 let all rc =
@@ -1087,7 +1294,7 @@ let all rc =
 
 let usage =
   "table1|fig5|fig7|fig8|table2|fig10|table3|cachesim|scaling|tracing|\
-   profiling|telemetry|analysis|parallel|host-overhead|bechamel|all"
+   profiling|telemetry|analysis|parallel|host-overhead|serve|bechamel|all"
 
 let () =
   let quick = ref false and jobs = ref 1 and seed = ref 2025 in
@@ -1139,6 +1346,7 @@ let () =
          | "analysis" -> analysis rc
          | "parallel" -> parallel rc
          | "host-overhead" -> host_overhead rc
+         | "serve" -> serve rc
          | "bechamel" -> bechamel rc
          | "all" -> all rc
          | other ->

@@ -404,12 +404,6 @@ let compare_manifests path_a path_b threshold all =
   print_string (Telemetry.Compare.render ~all r);
   if Telemetry.Compare.regressions r <> [] then 1 else 0
 
-(* One campaign job's result: a plain device run or a full injection
-   campaign, kept separate so the reduction can merge stats from both. *)
-type campaign_result =
-  | R_run of Workloads.Workload.result
-  | R_inject of Workloads.Campaign.detail
-
 let campaign target variant injections seed jobs manifest_out host_trace
     host_metrics progress =
   check_positive "--injections" injections;
@@ -439,173 +433,130 @@ let campaign target variant injections seed jobs manifest_out host_trace
       exit 1
     end
   in
-  let jobs_arr = Array.of_list camp.Par.Campaign.c_jobs in
-  let njobs = Array.length jobs_arr in
-  if njobs = 0 then begin
-    Format.eprintf "campaign %s has no jobs@." camp.Par.Campaign.c_name;
-    exit 1
-  end;
-  (* Resolve every workload before any simulation starts, so a typo in
-     job 7 does not waste jobs 0-6. *)
-  let resolved =
-    Array.map
-      (fun (j : Par.Campaign.job) ->
-         match Workloads.Registry.find_opt j.Par.Campaign.j_workload with
-         | Some w -> w
-         | None ->
-           Format.eprintf "unknown workload %s in campaign %s@."
-             j.Par.Campaign.j_workload camp.Par.Campaign.c_name;
-           exit 1)
-      jobs_arr
-  in
-  let variant_of i =
-    match jobs_arr.(i).Par.Campaign.j_variant with
-    | Some v -> v
-    | None -> resolved.(i).Workloads.Workload.default_variant
-  in
+  let njobs = List.length camp.Par.Campaign.c_jobs in
   Format.printf "campaign %s: %d job(s), seed %d, jobs %d@."
     camp.Par.Campaign.c_name njobs camp.Par.Campaign.c_seed jobs;
   if host_trace <> None then Obs.Tracer.enable ();
-  let tasks =
-    Array.mapi
-      (fun i (j : Par.Campaign.job) ->
-         let w = resolved.(i) in
-         let variant = variant_of i in
-         let jseed = Par.Campaign.job_seed camp ~index:i in
-         fun () ->
-           Obs.Tracer.with_span ~cat:"job"
-             ~attrs:
-               [ ("index", Obs.Span.Int i);
-                 ("variant", Obs.Span.Str variant);
-                 ("seed", Obs.Span.Int jseed) ]
-             (Printf.sprintf "job:%d:%s" i j.Par.Campaign.j_workload)
-           @@ fun () ->
-           match j.Par.Campaign.j_kind with
-           | Par.Campaign.Run ->
-             let device = Gpu.Device.create () in
-             R_run (w.Workloads.Workload.run device ~variant)
-           | Par.Campaign.Inject ->
-             R_inject
-               (Workloads.Campaign.run_detailed ~seed:jseed
-                  ~injections:j.Par.Campaign.j_injections w ~variant))
-      jobs_arr
+  (* Execution lives in Serve.Runner — the exact code the daemon's job
+     API runs — so a served job's manifest is byte-identical to this
+     subcommand's by construction. *)
+  let code =
+    Par.Pool.with_pool ~domains:jobs @@ fun pool ->
+    let meter = Obs.Progress.create ~enabled:progress ~total:njobs () in
+    let on_result i r =
+      let s = Par.Pool.stats pool in
+      (* Counter samples ride the trace timeline (one point per joined
+         job), never the manifest: queue depth and steal counts are
+         scheduling-dependent. *)
+      Obs.Tracer.counter ~cat:"pool" "pool"
+        [ ("queued", float_of_int s.Par.Pool.s_queued);
+          ("steals", float_of_int s.Par.Pool.s_steals) ];
+      if Obs.Progress.active meter then
+        Obs.Progress.step
+          ~tail:(Printf.sprintf "%d steal(s)" s.Par.Pool.s_steals)
+          meter
+      else begin
+        let j = List.nth camp.Par.Campaign.c_jobs i in
+        match r with
+        | Serve.Runner.R_run res ->
+          Format.printf "[%d/%d] run    %-24s (%s): %s@." (i + 1) njobs
+            j.Par.Campaign.j_workload
+            (Serve.Runner.variant_of camp i)
+            res.Workloads.Workload.stdout
+        | Serve.Runner.R_inject d ->
+          Format.printf "[%d/%d] inject %-24s (%s): %a@." (i + 1) njobs
+            j.Par.Campaign.j_workload
+            (Serve.Runner.variant_of camp i)
+            Workloads.Campaign.pp d.Workloads.Campaign.d_tally
+      end
+    in
+    match Serve.Runner.run ~pool ~on_result camp with
+    | Error e ->
+      Obs.Progress.finish meter;
+      Format.eprintf "%s@." e;
+      1
+    | Ok outcome ->
+      Obs.Progress.finish meter;
+      (match host_metrics with
+       | None -> ()
+       | Some path ->
+         let reg = Telemetry.Registry.create () in
+         Par.Pool.register_telemetry pool reg;
+         (try Telemetry.Export.write_file path reg
+          with Sys_error m ->
+            Format.eprintf "cannot write pool metrics: %s@." m;
+            exit 1);
+         Format.printf "pool metrics -> %s@." path);
+      let inject_count =
+        Array.fold_left
+          (fun n r ->
+             match r with Serve.Runner.R_inject _ -> n + 1 | _ -> n)
+          0 outcome.Serve.Runner.o_results
+      in
+      let t = outcome.Serve.Runner.o_tally in
+      let open Workloads.Campaign in
+      if inject_count > 1 then
+        Format.printf "aggregate: masked %d  crash %d  hang %d  symptom %d  \
+                       sdc-stdout %d  sdc-output %d  (n=%d)@."
+          t.masked t.crashes t.hangs t.failure_symptoms t.sdc_stdout
+          t.sdc_output t.total;
+      Format.printf "campaign wall time: %.2f s@."
+        outcome.Serve.Runner.o_wall_time_s;
+      let pool_stats = Par.Pool.stats pool in
+      if jobs > 1 then
+        Format.printf "pool: %d task(s), %d steal(s) on %d domain(s)@."
+          pool_stats.Par.Pool.s_tasks pool_stats.Par.Pool.s_steals
+          pool_stats.Par.Pool.s_size;
+      (match manifest_out with
+       | None -> ()
+       | Some path ->
+         (* The runner's manifest is canonical (argv, wall time, and
+            counters all deterministic), so manifests from any --jobs
+            setting — or from the daemon — diff byte-identical. *)
+         (try Telemetry.Manifest.write path outcome.Serve.Runner.o_manifest
+          with Sys_error msg ->
+            Format.eprintf "cannot write manifest: %s@." msg;
+            exit 1);
+         Format.printf "manifest -> %s@." path);
+      0
   in
-  let ((results, pool_stats), wall_time_s) =
-    Obs.Clock.with_wall_time @@ fun () ->
-    Obs.Tracer.with_span ~cat:"campaign"
-      ~attrs:[ ("jobs", Obs.Span.Int njobs); ("pool", Obs.Span.Int jobs) ]
-      ("campaign:" ^ camp.Par.Campaign.c_name)
-    @@ fun () ->
-    Par.Pool.with_pool ~domains:jobs (fun pool ->
-        let meter = Obs.Progress.create ~enabled:progress ~total:njobs () in
-        let results =
-          Par.Campaign.run_tasks pool tasks ~on_result:(fun i r ->
-              let j = jobs_arr.(i) in
-              let s = Par.Pool.stats pool in
-              (* Counter samples ride the trace timeline (one point per
-                 joined job), never the manifest: queue depth and steal
-                 counts are scheduling-dependent. *)
-              Obs.Tracer.counter ~cat:"pool" "pool"
-                [ ("queued", float_of_int s.Par.Pool.s_queued);
-                  ("steals", float_of_int s.Par.Pool.s_steals) ];
-              if Obs.Progress.active meter then
-                Obs.Progress.step
-                  ~tail:(Printf.sprintf "%d steal(s)" s.Par.Pool.s_steals)
-                  meter
-              else
-                (match r with
-                 | R_run res ->
-                   Format.printf "[%d/%d] run    %-24s (%s): %s@." (i + 1)
-                     njobs j.Par.Campaign.j_workload (variant_of i)
-                     res.Workloads.Workload.stdout
-                 | R_inject d ->
-                   Format.printf "[%d/%d] inject %-24s (%s): %a@." (i + 1)
-                     njobs j.Par.Campaign.j_workload (variant_of i)
-                     Workloads.Campaign.pp d.Workloads.Campaign.d_tally))
-        in
-        Obs.Progress.finish meter;
-        (match host_metrics with
-         | None -> ()
-         | Some path ->
-           let reg = Telemetry.Registry.create () in
-           Par.Pool.register_telemetry pool reg;
-           (try Telemetry.Export.write_file path reg
-            with Sys_error m ->
-              Format.eprintf "cannot write pool metrics: %s@." m;
-              exit 1);
-           Format.printf "pool metrics -> %s@." path);
-        (results, Par.Pool.stats pool))
-  in
-  let stats_of = function
-    | R_run r -> r.Workloads.Workload.stats
-    | R_inject d -> d.Workloads.Campaign.d_stats
-  in
-  let merged =
-    Obs.Tracer.with_span ~cat:"reduce" "reduce" (fun () ->
-        Par.Reduce.stats (Array.map stats_of results))
-  in
-  let tallies =
-    Array.to_list results
-    |> List.filter_map (function
-        | R_inject d -> Some d.Workloads.Campaign.d_tally
-        | R_run _ -> None)
-  in
-  let sum f = List.fold_left (fun a t -> a + f t) 0 tallies in
-  let open Workloads.Campaign in
-  if List.length tallies > 1 then
-    Format.printf "aggregate: masked %d  crash %d  hang %d  symptom %d  \
-                   sdc-stdout %d  sdc-output %d  (n=%d)@."
-      (sum (fun t -> t.masked))
-      (sum (fun t -> t.crashes))
-      (sum (fun t -> t.hangs))
-      (sum (fun t -> t.failure_symptoms))
-      (sum (fun t -> t.sdc_stdout))
-      (sum (fun t -> t.sdc_output))
-      (sum (fun t -> t.total));
-  Format.printf "campaign wall time: %.2f s@." wall_time_s;
-  if jobs > 1 then
-    Format.printf "pool: %d task(s), %d steal(s) on %d domain(s)@."
-      pool_stats.Par.Pool.s_tasks pool_stats.Par.Pool.s_steals
-      pool_stats.Par.Pool.s_size;
-  (match manifest_out with
-   | None -> ()
-   | Some path ->
-     (* Counters hold only deterministic values (tallies, merged device
-        stats); wall time goes in m_wall_time_s, which the comparator
-        treats as neutral — so manifests from different --jobs settings
-        compare clean, and CI uses exactly that as the determinism
-        check. *)
-     let m =
-       { Telemetry.Manifest.m_workload = "campaign/" ^ camp.Par.Campaign.c_name;
-         m_variant = "matrix";
-         m_instrument = "campaign";
-         m_seed = camp.Par.Campaign.c_seed;
-         m_argv = Array.to_list Sys.argv;
-         m_wall_time_s = wall_time_s;
-         m_build = Telemetry.Build_info.collect ();
-         m_config = Gpu.Config.to_assoc Gpu.Config.default;
-         m_counters =
-           ("jobs_total", njobs)
-           :: ("masked", sum (fun t -> t.masked))
-           :: ("crashes", sum (fun t -> t.crashes))
-           :: ("hangs", sum (fun t -> t.hangs))
-           :: ("failure_symptoms", sum (fun t -> t.failure_symptoms))
-           :: ("sdc_stdout", sum (fun t -> t.sdc_stdout))
-           :: ("sdc_output", sum (fun t -> t.sdc_output))
-           :: ("injections_total", sum (fun t -> t.total))
-           :: Gpu.Stats.to_assoc merged;
-         m_metrics = [];
-         m_histograms = [] }
-     in
-     (try Telemetry.Manifest.write path m
-      with Sys_error msg ->
-        Format.eprintf "cannot write manifest: %s@." msg;
-        exit 1);
-     Format.printf "manifest -> %s@." path);
   (match host_trace with
    | Some path -> dump_host_trace path
    | None -> ());
-  0
+  code
+
+(* Profiling-as-a-service: boot the HTTP daemon and serve until a
+   POST /shutdown (or SIGINT) arrives. The listening line is printed
+   first and flushed so scripts that need the resolved ephemeral port
+   can scrape it from stdout. *)
+let serve port host jobs feed_capacity no_cache cache_bytes =
+  if jobs < 1 || jobs > Par.Pool.max_domains then begin
+    Format.eprintf "--jobs must be in 1..%d (got %d)@." Par.Pool.max_domains
+      jobs;
+    exit 1
+  end;
+  check_positive "--feed-capacity" feed_capacity;
+  check_positive "--cache-bytes" cache_bytes;
+  let cfg =
+    { Serve.Daemon.cfg_host = host;
+      cfg_port = port;
+      cfg_pool_jobs = jobs;
+      cfg_feed_capacity = feed_capacity;
+      cfg_cache = not no_cache;
+      cfg_cache_bytes = cache_bytes;
+      cfg_access_log = Some stdout }
+  in
+  match Serve.Daemon.create cfg with
+  | exception Unix.Unix_error (e, _, _) ->
+    Format.eprintf "cannot listen on %s:%d: %s@." host port
+      (Unix.error_message e);
+    exit 1
+  | d ->
+    Format.printf "sassi serve listening on http://%s:%d@." host
+      (Serve.Daemon.port d);
+    Serve.Daemon.run d;
+    Format.printf "sassi serve: shut down@.";
+    0
 
 (* Validate a --host-trace (or any Chrome trace_event) file: parse it
    with the same JSON reader the sinks use, check the trace shape, and
@@ -1178,6 +1129,53 @@ let trace_summary_cmd =
                shape problem; 2 when the file cannot be parsed." ])
     Term.(const trace_summary $ trace_file_arg)
 
+let port_arg =
+  Arg.(value & opt int 0
+       & info [ "p"; "port" ] ~docv:"PORT"
+           ~doc:"TCP port to listen on; 0 (the default) picks an \
+                 ephemeral port, printed on the listening line.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+
+let feed_capacity_arg =
+  Arg.(value & opt int 65536
+       & info [ "feed-capacity" ] ~docv:"N"
+           ~doc:"Activity-feed ring capacity in records; the ring drops \
+                 its oldest records under overflow, so a slow /trace \
+                 follower bounds memory, not correctness.")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Disable the content-addressed compile cache (enabled \
+                 by default when serving).")
+
+let cache_bytes_arg =
+  Arg.(value & opt int Kernel.Cache.default_max_bytes
+       & info [ "cache-bytes" ] ~docv:"BYTES"
+           ~doc:"Compile-cache LRU byte budget.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve profiling jobs and live metrics over HTTP"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Boots the profiling daemon: campaigns POSTed to /jobs \
+               run on a $(b,--jobs)-wide domain pool (one at a time, in \
+               submission order, exactly like the CLI), GET /metrics \
+               serves a live Prometheus scrape of every registered \
+               series, GET /trace streams activity records as NDJSON, \
+               and /healthz and /readyz answer liveness and readiness \
+               probes. A manifest fetched from /jobs/ID/manifest is \
+               byte-identical to the file $(b,sassi_run campaign \
+               --manifest) writes for the same campaign. POST \
+               /shutdown stops the daemon cleanly." ])
+    Term.(const serve $ port_arg $ host_arg $ jobs_arg $ feed_capacity_arg
+          $ no_cache_arg $ cache_bytes_arg)
+
 let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a workload's kernels")
     Term.(const disasm $ workload_arg $ instrumented_arg)
@@ -1278,6 +1276,6 @@ let main =
     (Cmd.info "sassi_run" ~version:"1.0"
        ~doc:"SASSI on a simulated GPU: selective instrumentation driver")
     [ run_cmd; list_cmd; disasm_cmd; campaign_cmd; compare_cmd; lint_cmd;
-      analyze_cmd; trace_summary_cmd ]
+      analyze_cmd; trace_summary_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -20,8 +20,37 @@ let compile_vir ?(options = default_options) k =
   in
   Opt.optimize ~level:options.opt_level lowered.Lower.items
 
+(* The verify phase is shared by cold compiles and cache hits: a hit
+   skips every synthesis phase but never the gate. *)
+let verify_gate ~name kernel =
+  (match Sass.Program.validate kernel with
+   | Ok () -> ()
+   | Error m ->
+     raise
+       (Compile_error
+          (Printf.sprintf "%s: emitted invalid SASS: %s" name m)));
+  match verify kernel with
+  | Ok () -> kernel
+  | Error m ->
+    raise
+      (Compile_error
+         (Printf.sprintf "%s: verifier rejected emitted SASS: %s" name m))
+
 let compile ?(options = default_options) k =
   let phase name f = Obs.Tracer.with_span ~cat:"compile" name f in
+  match
+    Cache.lookup ~max_regs:options.max_regs ~opt_level:options.opt_level k
+  with
+  | Some kernel ->
+    (* Content hit: typecheck/lower/optimize/regalloc/emit all skipped;
+       the verifier still gates what we hand out. *)
+    Obs.Tracer.with_span ~cat:"compile"
+      ~attrs:[ ("kernel", Obs.Span.Str k.Ast.k_name);
+               ("opt_level", Obs.Span.Int options.opt_level);
+               ("cache", Obs.Span.Str "hit") ]
+      ("compile:" ^ k.Ast.k_name)
+      (fun () -> phase "verify" (fun () -> verify_gate ~name:k.Ast.k_name kernel))
+  | None ->
   Obs.Tracer.with_span ~cat:"compile"
     ~attrs:[ ("kernel", Obs.Span.Str k.Ast.k_name);
              ("opt_level", Obs.Span.Int options.opt_level) ]
@@ -58,18 +87,11 @@ let compile ?(options = default_options) k =
              | Emit.Emit_error m ->
                raise (Compile_error (Printf.sprintf "%s: %s" k.Ast.k_name m)))
        in
-       phase "verify" (fun () ->
-           (match Sass.Program.validate kernel with
-            | Ok () -> ()
-            | Error m ->
-              raise
-                (Compile_error
-                   (Printf.sprintf "%s: emitted invalid SASS: %s" k.Ast.k_name
-                      m)));
-           match verify kernel with
-           | Ok () -> kernel
-           | Error m ->
-             raise
-               (Compile_error
-                  (Printf.sprintf "%s: verifier rejected emitted SASS: %s"
-                     k.Ast.k_name m))))
+       let kernel =
+         phase "verify" (fun () -> verify_gate ~name:k.Ast.k_name kernel)
+       in
+       (* Only verified kernels enter the cache, so hits re-verify a
+          kernel that has passed the gate at least once already. *)
+       Cache.store ~max_regs:options.max_regs ~opt_level:options.opt_level k
+         kernel;
+       kernel)

@@ -15,7 +15,11 @@ val compile : ?options:options -> Ast.kernel -> Sass.Program.kernel
 (** @raise Compile_error on type, lowering, allocation, or emission
     failures (with a readable message), and when the post-regalloc
     verifier gate ({!Analysis.Verifier.gate}) finds a definite bug in
-    the emitted SASS (uninitialized read, divergent barrier). *)
+    the emitted SASS (uninitialized read, divergent barrier).
+
+    When {!Cache} is enabled, a content hit on (AST, options) skips
+    every synthesis phase and returns the cached kernel — after
+    running the same verifier gate a cold compile runs. *)
 
 val verify : Sass.Program.kernel -> (unit, string) result
 (** The verifier gate [compile] runs on its own output; exposed so

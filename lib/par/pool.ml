@@ -91,8 +91,6 @@ let stats t =
     s_queued = Array.fold_left (fun a w -> a + w.ws_queue_depth) 0 workers;
     s_workers = workers }
 
-let steal_count t = (stats t).s_steals
-
 let register_telemetry t reg =
   let open Telemetry.Registry in
   register reg ~help:"Tasks executed by the domain pool"

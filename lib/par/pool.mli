@@ -87,9 +87,3 @@ val register_telemetry : t -> Telemetry.Registry.t -> unit
 (** Register the pool's counters and queue-depth gauges (aggregate and
     per-worker, labeled [worker="i"]) so {!Telemetry.Export} serves
     them alongside every other metric. *)
-
-val steal_count : t -> int
-[@@ocaml.deprecated "use Pool.stats: (stats t).s_steals"]
-(** Number of successful steals since creation.
-    @deprecated superseded by {!stats}, which also breaks the count
-    down per worker. *)

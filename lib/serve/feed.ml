@@ -1,0 +1,57 @@
+(* Mutex around a Trace.Ring of (seq, record). Sequence numbers are
+   the ring's own pushed count, so followers can detect gaps caused by
+   Drop_oldest overwrites without any extra state.
+
+   Followers poll in short slices instead of blocking on a condition:
+   the stdlib Condition has no timed wait, and a 50 ms poll is far
+   below scrape/stream latency anyone can observe while keeping the
+   implementation free of waker threads. *)
+
+type t = {
+  lock : Mutex.t;
+  ring : (int * Trace.Record.t) Trace.Ring.t;
+  mutable finished : bool;
+}
+
+let create ?(capacity = 65536) () =
+  { lock = Mutex.create ();
+    ring = Trace.Ring.create ~policy:Trace.Ring.Drop_oldest ~capacity ();
+    finished = false }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let push_batch t records =
+  locked t (fun () ->
+      if not t.finished then
+        List.iter
+          (fun r -> Trace.Ring.push t.ring (Trace.Ring.pushed t.ring + 1, r))
+          records)
+
+let snapshot t = locked t (fun () -> Trace.Ring.to_list t.ring)
+
+let beyond ~seq rs = List.filter (fun (s, _) -> s > seq) rs
+
+let wait_beyond t ~seq ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let fresh, stop =
+      locked t (fun () ->
+          (beyond ~seq (Trace.Ring.to_list t.ring), t.finished))
+    in
+    if fresh <> [] || stop || Unix.gettimeofday () >= deadline then fresh
+    else begin
+      Thread.delay 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let pushed t = locked t (fun () -> Trace.Ring.pushed t.ring)
+
+let dropped t = locked t (fun () -> Trace.Ring.dropped t.ring)
+
+let close t = locked t (fun () -> t.finished <- true)
+
+let closed t = locked t (fun () -> t.finished)

@@ -1,0 +1,35 @@
+(** The daemon's live activity feed: a bounded {!Trace.Ring} of
+    sequence-stamped activity records that served jobs append to and
+    [GET /trace] streams from. The ring's [Drop_oldest] policy bounds
+    memory no matter how far a slow follower lags — a laggard simply
+    misses the overwritten records, visible as a gap in the sequence
+    numbers it receives (and in {!dropped}). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 65536 records. *)
+
+val push_batch : t -> Trace.Record.t list -> unit
+(** Append records (stamping each with the next sequence number) and
+    wake every waiting follower. *)
+
+val snapshot : t -> (int * Trace.Record.t) list
+(** Resident [(seq, record)] pairs, oldest first. *)
+
+val wait_beyond : t -> seq:int -> timeout_s:float -> (int * Trace.Record.t) list
+(** Block until records with sequence number [> seq] are resident,
+    the feed closes, or the timeout elapses; returns those records
+    (possibly [] on timeout/close). *)
+
+val pushed : t -> int
+(** Records ever appended; the next record gets sequence [pushed+1]. *)
+
+val dropped : t -> int
+(** Records overwritten by the ring's overflow policy. *)
+
+val close : t -> unit
+(** Mark the feed finished and wake all followers; pushes become
+    no-ops. *)
+
+val closed : t -> bool

@@ -1,0 +1,214 @@
+(* One mutex guards the whole table; the scheduler thread is the only
+   writer of job transitions, request threads only read snapshots.
+   Jobs execute strictly in submission order on the shared pool — the
+   determinism story of a served campaign is then exactly the CLI's. *)
+
+type state =
+  | Queued
+  | Running
+  | Done
+  | Failed of string
+
+let state_to_string = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed _ -> "failed"
+
+type job = {
+  jb_id : string;
+  jb_spec : Par.Campaign.t;
+  jb_submitted_s : float;
+  jb_state : state;
+  jb_started_s : float option;
+  jb_finished_s : float option;
+  jb_wall_time_s : float option;
+  jb_manifest : Telemetry.Manifest.t option;
+  jb_tally : Workloads.Campaign.tally option;
+  jb_stats : Gpu.Stats.t option;
+}
+
+type t = {
+  pool : Par.Pool.t;
+  activity : (Trace.Record.t list -> unit) option;
+  on_done : (job -> unit) option;
+  lock : Mutex.t;
+  cond : Condition.t;  (* signaled on submit and stop *)
+  table : (string, job) Hashtbl.t;
+  mutable order : string list;  (* newest first *)
+  mutable queue : string list;  (* newest first; drained from the tail *)
+  mutable next_id : int;
+  mutable stopping : bool;
+  mutable scheduler : Thread.t option;
+}
+
+let create ~pool ?activity ?on_done () =
+  { pool;
+    activity;
+    on_done;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    table = Hashtbl.create 64;
+    order = [];
+    queue = [];
+    next_id = 0;
+    stopping = false;
+    scheduler = None }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let update t id f =
+  match Hashtbl.find_opt t.table id with
+  | None -> None
+  | Some j ->
+    let j' = f j in
+    Hashtbl.replace t.table id j';
+    Some j'
+
+(* Pop the oldest queued id, or wait; None means stop. *)
+let next_job t =
+  Mutex.lock t.lock;
+  let rec go () =
+    match List.rev t.queue with
+    | id :: _ ->
+      t.queue <- List.filter (fun x -> x <> id) t.queue;
+      Mutex.unlock t.lock;
+      Some id
+    | [] ->
+      if t.stopping then begin
+        Mutex.unlock t.lock;
+        None
+      end
+      else begin
+        Condition.wait t.cond t.lock;
+        go ()
+      end
+  in
+  go ()
+
+let finish t id f =
+  let done_job =
+    locked t (fun () ->
+        update t id (fun j ->
+            f { j with jb_finished_s = Some (Unix.gettimeofday ()) }))
+  in
+  match (done_job, t.on_done) with
+  | Some j, Some cb -> cb j
+  | _ -> ()
+
+let run_one t id =
+  let spec =
+    locked t (fun () ->
+        match
+          update t id (fun j ->
+              { j with jb_state = Running;
+                jb_started_s = Some (Unix.gettimeofday ()) })
+        with
+        | Some j -> Some j.jb_spec
+        | None -> None)
+  in
+  match spec with
+  | None -> ()
+  | Some spec ->
+    (match
+       Runner.run ~pool:t.pool
+         ?activity:(Option.map (fun f _i records -> f records) t.activity)
+         spec
+     with
+     | Ok outcome ->
+       finish t id (fun j ->
+           { j with jb_state = Done;
+             jb_wall_time_s = Some outcome.Runner.o_wall_time_s;
+             jb_manifest = Some outcome.Runner.o_manifest;
+             jb_tally = Some outcome.Runner.o_tally;
+             jb_stats = Some outcome.Runner.o_stats })
+     | Error msg -> finish t id (fun j -> { j with jb_state = Failed msg })
+     | exception e ->
+       finish t id (fun j ->
+           { j with jb_state = Failed (Printexc.to_string e) }))
+
+let scheduler_loop t =
+  let rec go () =
+    match next_job t with
+    | None -> ()
+    | Some id ->
+      run_one t id;
+      go ()
+  in
+  go ()
+
+let start t =
+  locked t (fun () ->
+      if t.scheduler = None then
+        t.scheduler <- Some (Thread.create scheduler_loop t))
+
+let submit t spec =
+  let job =
+    locked t (fun () ->
+        if t.stopping then invalid_arg "Jobs.submit: daemon is shutting down";
+        t.next_id <- t.next_id + 1;
+        let id = Printf.sprintf "job-%d" t.next_id in
+        let job =
+          { jb_id = id;
+            jb_spec = spec;
+            jb_submitted_s = Unix.gettimeofday ();
+            jb_state = Queued;
+            jb_started_s = None;
+            jb_finished_s = None;
+            jb_wall_time_s = None;
+            jb_manifest = None;
+            jb_tally = None;
+            jb_stats = None }
+        in
+        Hashtbl.replace t.table id job;
+        t.order <- id :: t.order;
+        t.queue <- id :: t.queue;
+        Condition.broadcast t.cond;
+        job)
+  in
+  job
+
+let find t id = locked t (fun () -> Hashtbl.find_opt t.table id)
+
+let list t =
+  locked t (fun () ->
+      List.rev_map (fun id -> Hashtbl.find t.table id) t.order)
+
+let counts t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ j (q, r, d, f) ->
+           match j.jb_state with
+           | Queued -> (q + 1, r, d, f)
+           | Running -> (q, r + 1, d, f)
+           | Done -> (q, r, d + 1, f)
+           | Failed _ -> (q, r, d, f + 1))
+        t.table (0, 0, 0, 0))
+
+let drained t =
+  let q, r, _, _ = counts t in
+  q = 0 && r = 0
+
+let stop t =
+  let th =
+    locked t (fun () ->
+        t.stopping <- true;
+        (* Jobs still queued will never run; fail them now so pollers
+           see a terminal state instead of an eternal "queued". *)
+        List.iter
+          (fun id ->
+             ignore
+               (update t id (fun j ->
+                    match j.jb_state with
+                    | Queued -> { j with jb_state = Failed "server shutdown" }
+                    | _ -> j)))
+          t.queue;
+        t.queue <- [];
+        Condition.broadcast t.cond;
+        let th = t.scheduler in
+        t.scheduler <- None;
+        th)
+  in
+  Option.iter Thread.join th

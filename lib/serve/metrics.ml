@@ -1,0 +1,161 @@
+(* Every label combination is registered up front at [create]: the
+   registry's spec list is only ever read after that, so exporters can
+   snapshot it from any thread without racing a registration. *)
+
+let endpoints =
+  [ "metrics"; "healthz"; "readyz"; "jobs"; "job"; "manifest"; "trace";
+    "shutdown"; "other" ]
+
+let status_classes = [ "2xx"; "4xx"; "5xx" ]
+
+type t = {
+  registry : Telemetry.Registry.t;
+  started_at : float;
+  lock : Mutex.t;
+  requests : (string * int ref) list;  (* per endpoint *)
+  responses : (string * int ref) list;  (* per status class *)
+  request_us : Telemetry.Hist.t;
+  mutable in_flight : int;
+  jobs_submitted : int ref;
+  jobs_completed : int ref;
+  jobs_failed : int ref;
+  job_us : Telemetry.Hist.t;
+  job_stats : (string * int ref) list;
+  mutable jobs_source : unit -> int * int * int * int;
+}
+
+let create () =
+  let registry = Telemetry.Registry.create () in
+  let bi = Telemetry.Build_info.collect () in
+  Telemetry.Registry.gauge registry
+    ~labels:
+      [ ("version", bi.Telemetry.Build_info.bi_version);
+        ("profile", bi.Telemetry.Build_info.bi_profile);
+        ("ocaml", bi.Telemetry.Build_info.bi_ocaml);
+        ("os", bi.Telemetry.Build_info.bi_os) ]
+    ~help:"Build provenance (value is always 1)" "sassi_build_info"
+    (fun () -> 1.0);
+  let started_at = Unix.gettimeofday () in
+  Telemetry.Registry.gauge registry
+    ~help:"Seconds since the daemon started" "sassi_uptime_seconds"
+    (fun () -> Unix.gettimeofday () -. started_at);
+  let requests =
+    List.map
+      (fun ep ->
+         ( ep,
+           Telemetry.Registry.counter registry
+             ~labels:[ ("endpoint", ep) ]
+             ~help:"HTTP requests served, by endpoint"
+             "sassi_serve_requests_total" ))
+      endpoints
+  in
+  let responses =
+    List.map
+      (fun cls ->
+         ( cls,
+           Telemetry.Registry.counter registry
+             ~labels:[ ("class", cls) ]
+             ~help:"HTTP responses sent, by status class"
+             "sassi_serve_responses_total" ))
+      status_classes
+  in
+  let request_us =
+    Telemetry.Registry.histogram registry
+      ~help:"Request handling latency in microseconds"
+      "sassi_serve_request_duration_us"
+  in
+  let t =
+    { registry;
+      started_at;
+      lock = Mutex.create ();
+      requests;
+      responses;
+      request_us;
+      in_flight = 0;
+      jobs_submitted =
+        Telemetry.Registry.counter registry
+          ~help:"Jobs accepted via POST /jobs" "sassi_serve_jobs_submitted_total";
+      jobs_completed =
+        Telemetry.Registry.counter registry
+          ~help:"Jobs finished successfully" "sassi_serve_jobs_completed_total";
+      jobs_failed =
+        Telemetry.Registry.counter registry
+          ~help:"Jobs that ended in failure" "sassi_serve_jobs_failed_total";
+      job_us =
+        Telemetry.Registry.histogram registry
+          ~help:"Served job execution time in microseconds"
+          "sassi_serve_job_duration_us";
+      job_stats =
+        List.map
+          (fun (name, _) ->
+             ( name,
+               Telemetry.Registry.counter registry
+                 ~help:"Device stat accumulated over every served job"
+                 (Printf.sprintf "sassi_job_%s_total" name) ))
+          (Gpu.Stats.to_assoc (Gpu.Stats.create ()));
+      jobs_source = (fun () -> (0, 0, 0, 0)) }
+  in
+  Telemetry.Registry.gauge registry
+    ~help:"Requests currently being handled" "sassi_serve_in_flight"
+    (fun () ->
+       Mutex.lock t.lock;
+       let v = t.in_flight in
+       Mutex.unlock t.lock;
+       float_of_int v);
+  let job_gauge name help pick =
+    Telemetry.Registry.gauge registry ~help name (fun () ->
+        let q, r, d, f = t.jobs_source () in
+        float_of_int (pick (q, r, d, f)))
+  in
+  job_gauge "sassi_serve_jobs_queued" "Jobs waiting to run"
+    (fun (q, _, _, _) -> q);
+  job_gauge "sassi_serve_jobs_running" "Jobs executing right now"
+    (fun (_, r, _, _) -> r);
+  t
+
+let registry t = t.registry
+
+let attach_pool t pool = Par.Pool.register_telemetry pool t.registry
+
+let attach_cache t = Kernel.Cache.register_telemetry t.registry
+
+let set_jobs_source t f = t.jobs_source <- f
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let request_begin t = locked t (fun () -> t.in_flight <- t.in_flight + 1)
+
+let class_of code =
+  if code >= 500 then "5xx" else if code >= 400 then "4xx" else "2xx"
+
+let bump assoc key =
+  match List.assoc_opt key assoc with
+  | Some r -> incr r
+  | None -> (match List.assoc_opt "other" assoc with
+             | Some r -> incr r
+             | None -> ())
+
+let request_end t ~endpoint ~code ~duration_us =
+  locked t (fun () ->
+      t.in_flight <- t.in_flight - 1;
+      bump t.requests endpoint;
+      bump t.responses (class_of code);
+      Telemetry.Hist.observe t.request_us duration_us)
+
+let job_submitted t = locked t (fun () -> incr t.jobs_submitted)
+
+let job_finished t ~ok ~duration_us =
+  locked t (fun () ->
+      incr (if ok then t.jobs_completed else t.jobs_failed);
+      Telemetry.Hist.observe t.job_us duration_us)
+
+let observe_job_stats t stats =
+  locked t (fun () ->
+      List.iter
+        (fun (name, v) ->
+           match List.assoc_opt name t.job_stats with
+           | Some r -> r := !r + v
+           | None -> ())
+        (Gpu.Stats.to_assoc stats))

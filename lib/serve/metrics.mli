@@ -1,0 +1,49 @@
+(** The daemon's own telemetry: one {!Telemetry.Registry} carrying the
+    [sassi_serve_*] request/latency/in-flight series, job lifecycle
+    counters, [sassi_job_<stat>_total] accumulators over every served
+    job's merged device stats, plus [sassi_build_info] and
+    [sassi_uptime_seconds]. Pool and compile-cache series attach to the
+    same registry so [GET /metrics] is a single scrape of everything.
+
+    All mutation goes through the update functions below, which are
+    mutex-guarded — request threads and the job scheduler hit them
+    concurrently. Exposition goes through {!Telemetry.Export}, which
+    snapshots, so scrapes are point-in-time consistent. *)
+
+type t
+
+val create : unit -> t
+(** Registers the serve series. [sassi_serve_requests_total] is
+    pre-registered per endpoint label for {!endpoints};
+    [sassi_serve_responses_total] per status class. *)
+
+val registry : t -> Telemetry.Registry.t
+
+val endpoints : string list
+(** The fixed label set for per-endpoint request counters; requests to
+    anything else count under ["other"]. *)
+
+val attach_pool : t -> Par.Pool.t -> unit
+(** Expose the pool's [sassi_pool_*] series on this registry. *)
+
+val attach_cache : t -> unit
+(** Expose the compile cache's [sassi_cache_*] series. *)
+
+val set_jobs_source : t -> (unit -> int * int * int * int) -> unit
+(** Wire the (queued, running, done, failed) gauge source — the
+    daemon points this at {!Jobs.counts}. *)
+
+val request_begin : t -> unit
+(** Bump the in-flight gauge. Pair with {!request_end}. *)
+
+val request_end : t -> endpoint:string -> code:int -> duration_us:int -> unit
+(** Count the request under its endpoint and status class and observe
+    its latency; drops the in-flight gauge. *)
+
+val job_submitted : t -> unit
+
+val job_finished : t -> ok:bool -> duration_us:int -> unit
+
+val observe_job_stats : t -> Gpu.Stats.t -> unit
+(** Fold a completed job's merged device stats into the
+    [sassi_job_<stat>_total] accumulators. *)

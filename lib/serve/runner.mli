@@ -1,0 +1,46 @@
+(** The one campaign-execution engine behind both `sassi_run campaign`
+    and the daemon's job API. Factoring it here is what makes the
+    acceptance property structural: a job POSTed to the daemon and the
+    same campaign run from the CLI execute this exact code, so their
+    manifests are byte-identical by construction, not by testing.
+
+    Manifests produced here are fully deterministic artifacts: the
+    [argv] field is the canonical [["campaign"; name]] and the wall
+    time is recorded as 0.0 (real wall time is returned separately for
+    display) — so the same campaign yields the same manifest bytes
+    from any entry point, any [--jobs] width, on any host. *)
+
+type job_result =
+  | R_run of Workloads.Workload.result  (** a plain device run *)
+  | R_inject of Workloads.Campaign.detail  (** a fault-injection campaign *)
+
+type outcome = {
+  o_results : job_result array;  (** in job order *)
+  o_tally : Workloads.Campaign.tally;  (** aggregate over [Inject] jobs *)
+  o_stats : Gpu.Stats.t;  (** deterministic merge over all jobs *)
+  o_manifest : Telemetry.Manifest.t;  (** canonical, see above *)
+  o_wall_time_s : float;  (** measured; never inside the manifest *)
+}
+
+val variant_of : Par.Campaign.t -> int -> string
+(** The job's variant, defaulting to the workload's. Call only after
+    {!run} (or workload resolution) has validated the campaign. *)
+
+val run :
+  pool:Par.Pool.t ->
+  ?trace_kinds:Cupti.Activity.kind list ->
+  ?activity:(int -> Trace.Record.t list -> unit) ->
+  ?on_result:(int -> job_result -> unit) ->
+  Par.Campaign.t ->
+  (outcome, string) result
+(** Execute every job of the campaign on the pool, streaming
+    [on_result] (and each [Run] job's activity records to [activity],
+    collected under [trace_kinds], default [[Kernel]]) in strict job
+    order. Per-job seeds split from the campaign seed exactly as the
+    CLI always did. Errors (no jobs, unknown workload) are returned,
+    not printed — the CLI maps them to exit codes, the daemon to a
+    failed job. *)
+
+val aggregate_counters : outcome -> Par.Campaign.t -> (string * int) list
+(** The deterministic counter block embedded in campaign manifests
+    (tally sums, then merged device stats); exposed for reports. *)

@@ -112,9 +112,13 @@ let prometheus_to_buffer b registry =
               (Hist.count h)))
     (Registry.specs registry)
 
+(* Both expositions walk a Registry.snapshot, never the live registry:
+   the old direct walk read histogram buckets, +Inf count, sum and
+   count at four different instants, so a device thread observing
+   mid-export could leave `_count` disagreeing with the +Inf bucket. *)
 let prometheus registry =
   let b = Buffer.create 4096 in
-  prometheus_to_buffer b registry;
+  prometheus_to_buffer b (Registry.snapshot registry);
   Buffer.contents b
 
 let summary_to_json (s : Hist.summary) =
@@ -149,7 +153,8 @@ let spec_to_json (s : Registry.spec) =
      :: value)
 
 let to_json registry =
-  Trace.Json.List (List.map spec_to_json (Registry.specs registry))
+  Trace.Json.List
+    (List.map spec_to_json (Registry.specs (Registry.snapshot registry)))
 
 let write_file path registry =
   if Filename.check_suffix path ".json" then

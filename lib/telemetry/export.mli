@@ -6,6 +6,10 @@ val sanitize_name : string -> string
 (** Map to the Prometheus metric-name alphabet ([A-Za-z0-9_:]). *)
 
 val prometheus : Registry.t -> string
+(** Renders a {!Registry.snapshot} of the argument, so one exposition
+    is internally consistent (each instrument read exactly once) even
+    while other domains keep observing. [to_json] and [write_file]
+    share the same route. *)
 
 val summary_to_json : Hist.summary -> Trace.Json.t
 

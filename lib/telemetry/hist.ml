@@ -68,6 +68,17 @@ let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.co
 
 let buckets t = Array.copy t.buckets
 
+(* Field-by-field capture; under a concurrent writer each field is
+   read once, so the copy is a point-in-time snapshot whose internal
+   invariants (count = sum of buckets as of the capture) hold for
+   every reader of the copy. *)
+let copy t =
+  { count = t.count;
+    sum = t.sum;
+    vmin = t.vmin;
+    vmax = t.vmax;
+    buckets = Array.copy t.buckets }
+
 let clear t =
   t.count <- 0;
   t.sum <- 0;

@@ -45,6 +45,12 @@ val buckets : t -> int array
 val bucket_bounds : int -> int * int
 (** Inclusive [(lo, hi)] value range of a bucket index. *)
 
+val copy : t -> t
+(** Independent point-in-time copy; further {!observe}s on the
+    original never move the copy. The capture reads each field once,
+    so exporters working from a copy see one consistent histogram
+    even while another domain keeps observing. *)
+
 val clear : t -> unit
 
 val merge : into:t -> t -> unit

@@ -46,3 +46,24 @@ let histogram t ?labels ~help name =
   h
 
 let specs t = List.rev t.specs
+
+(* Freeze every instrument by reading it exactly once. Exporters walk
+   a snapshot instead of the live registry, so one exposition never
+   mixes values read at different times — the scrape-consistency
+   contract of `GET /metrics` under concurrent observers. *)
+let snapshot t =
+  { specs =
+      List.map
+        (fun s ->
+           let frozen =
+             match s.sp_instrument with
+             | Counter read ->
+               let v = read () in
+               Counter (fun () -> v)
+             | Gauge read ->
+               let v = read () in
+               Gauge (fun () -> v)
+             | Histogram h -> Histogram (Hist.copy h)
+           in
+           { s with sp_instrument = frozen })
+        t.specs }

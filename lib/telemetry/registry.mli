@@ -37,3 +37,11 @@ val histogram :
 
 val specs : t -> spec list
 (** In registration order. *)
+
+val snapshot : t -> t
+(** Point-in-time capture: every counter and gauge is read exactly
+    once, every histogram is copied ({!Hist.copy}), and the result is
+    a registry of constants. Exporters rendering a snapshot can read
+    each instrument as often as they like without racing writers that
+    keep observing the live registry — {!Export} routes every
+    exposition through this. *)

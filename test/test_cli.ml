@@ -1,0 +1,54 @@
+(* Pins the exit-code contract of `sassi_run trace-summary`: 0 for a
+   loadable Chrome trace, 1 for a shape problem (valid JSON that is
+   not a trace), 2 for a parse failure. The Makefile's host-trace gate
+   and external wrappers key off exactly these codes, so a renumbering
+   must fail loudly here. *)
+
+let check = Alcotest.check
+
+(* The test binary runs from _build/default/test; the driver is a
+   declared dep one directory over. *)
+let exe = Filename.concat ".." (Filename.concat "bin" "sassi_run.exe")
+
+let with_file contents f =
+  let path = Filename.temp_file "sassi_cli_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+       let oc = open_out path in
+       output_string oc contents;
+       close_out oc;
+       f path)
+
+let summary_exit path =
+  Sys.command
+    (Filename.quote_command exe ~stdout:Filename.null ~stderr:Filename.null
+       [ "trace-summary"; path ])
+
+let test_exit_0_loadable_trace () =
+  with_file
+    "{\"traceEvents\":[{\"ph\":\"B\",\"tid\":1,\"name\":\"a\",\"ts\":0},\
+     {\"ph\":\"E\",\"tid\":1,\"ts\":5},{\"ph\":\"M\",\"tid\":0}]}"
+    (fun path -> check Alcotest.int "loadable trace" 0 (summary_exit path))
+
+let test_exit_1_shape_problem () =
+  with_file "{\"events\": []}" (fun path ->
+      check Alcotest.int "no traceEvents list" 1 (summary_exit path));
+  with_file "{\"traceEvents\":[{\"name\":\"missing ph and tid\"}]}"
+    (fun path ->
+       check Alcotest.int "events missing ph/tid" 1 (summary_exit path))
+
+let test_exit_2_parse_failure () =
+  with_file "this is not JSON {" (fun path ->
+      check Alcotest.int "unparseable file" 2 (summary_exit path));
+  check Alcotest.int "missing file" 2
+    (summary_exit "/nonexistent/sassi-trace.json")
+
+let suite =
+  [ ("cli.trace-summary",
+     [ Alcotest.test_case "exit 0 on loadable trace" `Quick
+         test_exit_0_loadable_trace;
+       Alcotest.test_case "exit 1 on shape problem" `Quick
+         test_exit_1_shape_problem;
+       Alcotest.test_case "exit 2 on parse failure" `Quick
+         test_exit_2_parse_failure ]) ]

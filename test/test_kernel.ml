@@ -542,6 +542,124 @@ let surface_suite =
      Alcotest.test_case "shfl variants" `Quick test_shfl_variants;
      Alcotest.test_case "mufu vs host" `Quick test_mufu_vs_host ])
 
+(* --- Content-addressed compile cache ------------------------------------ *)
+
+(* Every cache test brackets with disable so the global cache never
+   leaks into the other suites (compile consults it unconditionally). *)
+let with_cache ?max_bytes f =
+  Cache.enable ?max_bytes ();
+  Fun.protect ~finally:Cache.disable f
+
+let test_cache_hit_bit_identical () =
+  with_cache (fun () ->
+      let cold = Compile.compile vadd in
+      let warm = Compile.compile vadd in
+      let s = Cache.stats () in
+      check Alcotest.int "one miss (cold)" 1 s.Cache.c_misses;
+      check Alcotest.int "one hit (warm)" 1 s.Cache.c_hits;
+      (* Bit-identical emitted SASS, and identical execution. *)
+      check Alcotest.bool "instruction streams identical" true
+        (cold.Sass.Program.instrs = warm.Sass.Program.instrs);
+      check Alcotest.bool "fresh array spine on every hit" true
+        (not (cold.Sass.Program.instrs == warm.Sass.Program.instrs));
+      let run compiled =
+        let dev = device () in
+        let n = 8 in
+        let a = Gpu.Device.malloc dev (4 * n) in
+        let b = Gpu.Device.malloc dev (4 * n) in
+        let out = Gpu.Device.malloc dev (4 * n) in
+        Gpu.Device.write_i32s dev ~addr:a (Array.init n (fun i -> i));
+        Gpu.Device.write_i32s dev ~addr:b (Array.init n (fun i -> 100 + i));
+        let _ =
+          Gpu.Device.launch dev ~kernel:compiled ~grid:(1, 1) ~block:(n, 1)
+            ~args:
+              [ Gpu.Device.Ptr a; Gpu.Device.Ptr b; Gpu.Device.Ptr out;
+                Gpu.Device.I32 n ]
+        in
+        Gpu.Device.read_i32s dev ~addr:out ~n
+      in
+      check Alcotest.(array int) "cached kernel computes the same result"
+        (run cold) (run warm))
+
+let test_cache_distinguishes_options () =
+  with_cache (fun () ->
+      let o0 = { Compile.max_regs = 63; opt_level = 0 } in
+      let o1 = { Compile.max_regs = 63; opt_level = 1 } in
+      check Alcotest.bool "options are part of the key" true
+        (Cache.key ~max_regs:63 ~opt_level:0 vadd
+         <> Cache.key ~max_regs:63 ~opt_level:1 vadd);
+      ignore (Compile.compile ~options:o0 vadd);
+      ignore (Compile.compile ~options:o1 vadd);
+      let s = Cache.stats () in
+      check Alcotest.int "different options never collide" 2 s.Cache.c_misses;
+      check Alcotest.int "no false hit" 0 s.Cache.c_hits)
+
+let test_cache_caller_mutation_safe () =
+  with_cache (fun () ->
+      let first = Compile.compile vadd in
+      (* A caller scribbling over its copy (instruction rewriters do
+         this) must never reach the cached entry. *)
+      first.Sass.Program.instrs.(0) <-
+        first.Sass.Program.instrs.(Array.length first.Sass.Program.instrs - 1);
+      let second = Compile.compile vadd in
+      check Alcotest.bool "cached entry unaffected by caller mutation" true
+        (second.Sass.Program.instrs.(0) <> first.Sass.Program.instrs.(0)))
+
+let test_cache_lru_eviction () =
+  (* Budget sized for roughly one kernel: storing a second must evict
+     the least recently used first. *)
+  let probe = Compile.compile vadd in
+  ignore probe;
+  with_cache (fun () ->
+      ignore (Compile.compile vadd);
+      let one = Cache.stats () in
+      check Alcotest.int "one resident entry" 1 one.Cache.c_entries;
+      let budget = one.Cache.c_bytes + one.Cache.c_bytes / 2 in
+      Cache.enable ~max_bytes:budget ();
+      ignore (Compile.compile vadd);
+      ignore (Compile.compile ~options:{ Compile.max_regs = 63; opt_level = 0 }
+                vadd);
+      let s = Cache.stats () in
+      check Alcotest.bool "eviction happened" true (s.Cache.c_evictions >= 1);
+      check Alcotest.bool "bytes stay under budget" true
+        (s.Cache.c_bytes <= budget);
+      (* The evicted (older) variant misses again; the resident hits. *)
+      ignore (Compile.compile ~options:{ Compile.max_regs = 63; opt_level = 0 }
+                vadd);
+      let s2 = Cache.stats () in
+      check Alcotest.int "survivor still hits" (s.Cache.c_hits + 1)
+        s2.Cache.c_hits)
+
+let test_cache_disabled_is_invisible () =
+  Cache.disable ();
+  let before = Cache.stats () in
+  ignore (Compile.compile vadd);
+  ignore (Compile.compile vadd);
+  let after = Cache.stats () in
+  check Alcotest.int "no misses counted while disabled" before.Cache.c_misses
+    after.Cache.c_misses;
+  check Alcotest.int "no hits while disabled" before.Cache.c_hits
+    after.Cache.c_hits;
+  check Alcotest.int "nothing resident" 0 after.Cache.c_entries
+
+let test_cache_telemetry_series () =
+  with_cache (fun () ->
+      ignore (Compile.compile vadd);
+      ignore (Compile.compile vadd);
+      let reg = Telemetry.Registry.create () in
+      Cache.register_telemetry reg;
+      let text = Telemetry.Export.prometheus reg in
+      List.iter
+        (fun needle ->
+           check Alcotest.bool (needle ^ " exposed") true
+             (let n = String.length needle and h = String.length text in
+              let rec go i =
+                i + n <= h && (String.sub text i n = needle || go (i + 1))
+              in
+              go 0))
+        [ "sassi_cache_hits_total 1"; "sassi_cache_misses_total 1";
+          "sassi_cache_evictions_total 0"; "sassi_cache_entries 1" ])
+
 let suite =
   let qt = QCheck_alcotest.to_alcotest in
   [ ("kernel.typecheck",
@@ -563,5 +681,18 @@ let suite =
        Alcotest.test_case "constant folding" `Quick test_constant_folding;
        Alcotest.test_case "dce" `Quick test_dce_removes_dead;
        qt prop_opt_equivalence ]);
+    ("kernel.cache",
+     [ Alcotest.test_case "hit is bit-identical" `Quick
+         test_cache_hit_bit_identical;
+       Alcotest.test_case "options are part of the key" `Quick
+         test_cache_distinguishes_options;
+       Alcotest.test_case "caller mutation cannot corrupt" `Quick
+         test_cache_caller_mutation_safe;
+       Alcotest.test_case "LRU eviction under byte budget" `Quick
+         test_cache_lru_eviction;
+       Alcotest.test_case "disabled cache is invisible" `Quick
+         test_cache_disabled_is_invisible;
+       Alcotest.test_case "telemetry series" `Quick
+         test_cache_telemetry_series ]);
     cse_suite;
     surface_suite ]

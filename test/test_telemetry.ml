@@ -426,6 +426,75 @@ let test_enable_guards () =
   Cupti.Telemetry.disable device;
   check Alcotest.bool "disabled" false (Cupti.Telemetry.enabled device)
 
+(* --- Snapshot consistency under concurrent observation ------------------ *)
+
+(* Hist.copy / Registry.snapshot must freeze one point in time: a copy
+   taken while another thread observes never moves, and every rendered
+   exposition is internally consistent (the +Inf bucket, _count, and
+   the bucket sum all agree) no matter how hot the writers are. The
+   old exporter read buckets, +Inf, sum, and count at four different
+   instants — this is the regression test for that race. *)
+let test_snapshot_consistent_under_writes () =
+  let reg = Telemetry.Registry.create () in
+  let c = Telemetry.Registry.counter reg ~help:"c" "snap_counter" in
+  let h = Telemetry.Registry.histogram reg ~help:"h" "snap_hist" in
+  let stop = ref false in
+  let writer =
+    Thread.create
+      (fun () ->
+         let i = ref 0 in
+         while not !stop do
+           incr c;
+           Telemetry.Hist.observe h (!i mod 4096);
+           incr i;
+           if !i mod 64 = 0 then Thread.yield ()
+         done)
+      ()
+  in
+  let parse_exposition body =
+    (* (value of snap_hist_count, value of the +Inf bucket,
+       sum of all finite bucket increments as read from the text) *)
+    let lines = String.split_on_char '\n' body in
+    let value line =
+      match String.rindex_opt line ' ' with
+      | Some i ->
+        float_of_string (String.sub line (i + 1) (String.length line - i - 1))
+      | None -> nan
+    in
+    let find prefix =
+      List.find
+        (fun l ->
+           String.length l >= String.length prefix
+           && String.sub l 0 (String.length prefix) = prefix)
+        lines
+    in
+    (value (find "snap_hist_count"),
+     value (find "snap_hist_bucket{le=\"+Inf\"}"))
+  in
+  for _ = 1 to 50 do
+    let count, inf = parse_exposition (Telemetry.Export.prometheus reg) in
+    Alcotest.(check (float 0.0))
+      "+Inf bucket equals _count in every exposition" count inf
+  done;
+  (* A snapshot is frozen: later observes never move it. *)
+  let snap = Telemetry.Registry.snapshot reg in
+  let rendered_before = Telemetry.Export.prometheus snap in
+  Thread.delay 0.01;
+  let rendered_after = Telemetry.Export.prometheus snap in
+  Alcotest.(check string) "snapshot does not move" rendered_before
+    rendered_after;
+  stop := true;
+  Thread.join writer;
+  (* Hist.copy is independent in both directions. *)
+  let live = Telemetry.Hist.create () in
+  Telemetry.Hist.observe live 5;
+  let frozen = Telemetry.Hist.copy live in
+  Telemetry.Hist.observe live 6;
+  Alcotest.(check int) "copy unaffected by later observes" 1
+    (Telemetry.Hist.count frozen);
+  Alcotest.(check int) "original keeps counting" 2
+    (Telemetry.Hist.count live)
+
 let suite =
   [ ( "telemetry",
       [ Alcotest.test_case "hist buckets" `Quick test_hist_buckets;
@@ -447,4 +516,6 @@ let suite =
         Alcotest.test_case "stats bit-identical" `Quick
           test_stats_bit_identical;
         Alcotest.test_case "handler sites" `Quick test_handler_sites;
-        Alcotest.test_case "enable guards" `Quick test_enable_guards ] ) ]
+        Alcotest.test_case "enable guards" `Quick test_enable_guards;
+        Alcotest.test_case "snapshot consistent under concurrent writes"
+          `Quick test_snapshot_consistent_under_writes ] ) ]
