@@ -1,7 +1,7 @@
 # Convenience targets; `make ci` is what a pipeline should run.
 
 .PHONY: all build test fmt lint ci clean profile telemetry bench-parallel \
-	bench-host-overhead bench-serve
+	bench-host-overhead bench-serve bench-analysis-mem
 
 # Workload for `make profile`, e.g. `make profile WORKLOAD=parboil/sgemm`.
 WORKLOAD ?= rodinia/bfs
@@ -33,8 +33,18 @@ ci: fmt
 	dune runtest
 	dune exec bin/sassi_run.exe -- --query-metrics > /dev/null
 	dune exec bin/sassi_run.exe -- --build-info > /dev/null
-	@# Verifier gate: zero error-severity findings across the suite.
-	dune exec bin/sassi_run.exe -- lint all
+	@# Verifier gate: zero error-severity findings across the suite,
+	@# every shared-memory access race-classified under its real launch
+	@# (no proven races), and no kernel regressing from proven-safe to
+	@# unknown against the committed baseline (race-waivers.txt lists
+	@# deliberate exemptions).
+	dune exec bin/sassi_run.exe -- lint all --prove-races \
+	  --race-baseline race-baseline.json --race-waivers race-waivers.txt
+	@# Memory-prediction gate: static bank-conflict degree and
+	@# coalesced-transaction predictions must match the machine's own
+	@# counters exactly on the affine workloads (sgemm fully exact,
+	@# spmv's direct sites exact); writes BENCH_analysis_mem.json.
+	dune exec bench/main.exe -- analysis-mem
 	@# Compare smoke test: two identical runs must diff clean (exit 0).
 	@tmp=$$(mktemp -d); \
 	dune exec bin/sassi_run.exe -- run parboil/sgemm --variant small \
@@ -161,6 +171,12 @@ bench-host-overhead: build
 # faster and all outputs are bit-identical.
 bench-serve: build
 	dune exec bench/main.exe -- serve --jobs 2
+
+# Static memory predictions vs the machine: per-site bank-conflict
+# degree and coalesced line counts, audited in-simulator; writes
+# BENCH_analysis_mem.json. Fails on any exact-site mismatch.
+bench-analysis-mem: build
+	dune exec bench/main.exe -- analysis-mem
 
 profile: build
 	dune exec bin/sassi_run.exe -- run $(WORKLOAD) --profile

@@ -1067,6 +1067,310 @@ let host_overhead rc =
     exit 1
   end
 
+(* --- analysis-mem: static memory predictions vs the machine ---------------- *)
+
+(* Launch facts captured on a kernel's first launch; the parameter
+   reader stays valid after the run (the constant bank is a live heap
+   object), so predictions are computed lazily afterwards. *)
+type mem_capture = {
+  mc_geom : Analysis.Affine.geom;
+  mc_param : int -> int option;
+  mutable mc_multi : bool;  (* relaunched with a different geometry *)
+}
+
+(* Validates the static memory predictors end to end: one plain run
+   captures kernels and launch geometry, a Mem_audit-instrumented
+   rerun measures per-site bank-conflict degree and coalesced line
+   counts from the machine's own lane addresses, and the abstract
+   interpreter predicts the same numbers from the SASS alone. Gates:
+   gld/gst/shared counters must not move under instrumentation, the
+   audit totals must reconcile with the machine's counters exactly,
+   every exact prediction must equal the measured min = max, and on
+   sgemm (dense, fully affine) every site must be exact. spmv's
+   row/column indirection is the designed counterexample: its direct
+   sites are exact, its data-dependent sites carry the note. *)
+let analysis_mem_rows =
+  [ ("parboil", "sgemm", "small", true); ("parboil", "spmv", "small", false) ]
+
+let analysis_mem rc =
+  section
+    "analysis-mem: static bank-conflict & coalescing predictions vs machine";
+  let failures = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+         incr failures;
+         Printf.printf "FAIL %s\n%!" m)
+      fmt
+  in
+  let wl_objs =
+    List.map
+      (fun (suite, name, variant, all_exact) ->
+         let w = wl (suite ^ "/" ^ name) in
+         (* Leg 1: plain run, capturing kernels and launch facts. *)
+         let device = fresh () in
+         let kernels = ref [] in
+         let captures = Hashtbl.create 4 in
+         Gpu.Device.set_transform device
+           (Some
+              (fun k ->
+                 if not (List.mem_assoc k.Sass.Program.name !kernels) then
+                   kernels := (k.Sass.Program.name, k) :: !kernels;
+                 k));
+         ignore
+           (Gpu.Device.on_launch device (fun l ->
+                let kname = l.Gpu.State.l_kernel.Sass.Program.name in
+                let geom =
+                  { Analysis.Affine.g_block_x = l.Gpu.State.l_block_x;
+                    g_block_y = l.Gpu.State.l_block_y;
+                    g_grid_x = l.Gpu.State.l_grid_x;
+                    g_grid_y = l.Gpu.State.l_grid_y }
+                in
+                match Hashtbl.find_opt captures kname with
+                | Some mc -> if mc.mc_geom <> geom then mc.mc_multi <- true
+                | None ->
+                  let params = l.Gpu.State.l_params in
+                  let bytes = l.Gpu.State.l_kernel.Sass.Program.param_bytes in
+                  let param off =
+                    if off >= 0 && off + 4 <= bytes then
+                      Some (Gpu.Memory.read params ~width:Sass.Opcode.W32 off)
+                    else None
+                  in
+                  Hashtbl.add captures kname
+                    { mc_geom = geom; mc_param = param; mc_multi = false }));
+         let r_plain = w.Workloads.Workload.run device ~variant in
+         (* Leg 2: Mem_audit-instrumented rerun on a fresh device. *)
+         let device2 = fresh () in
+         let audit =
+           Handlers.Mem_audit.create ~line_bytes:cfg.Gpu.Config.line_bytes
+         in
+         let r_audit =
+           Sassi.Runtime.with_instrumentation device2
+             (Handlers.Mem_audit.pairs audit)
+             (fun _ -> w.Workloads.Workload.run device2 ~variant)
+         in
+         let sp = r_plain.Workloads.Workload.stats
+         and sa = r_audit.Workloads.Workload.stats in
+         if
+           r_plain.Workloads.Workload.output_digest
+           <> r_audit.Workloads.Workload.output_digest
+         then
+           fail "%s/%s: output digest moved under instrumentation" suite name;
+         List.iter
+           (fun (cname, a, b) ->
+              if a <> b then
+                fail "%s/%s: %s moved under instrumentation: %d -> %d" suite
+                  name cname a b)
+           [ ("gld_transactions", sp.Gpu.Stats.gld_transactions,
+              sa.Gpu.Stats.gld_transactions);
+             ("gst_transactions", sp.Gpu.Stats.gst_transactions,
+              sa.Gpu.Stats.gst_transactions);
+             ("shared_accesses", sp.Gpu.Stats.shared_accesses,
+              sa.Gpu.Stats.shared_accesses);
+             ("shared_conflicts", sp.Gpu.Stats.shared_conflicts,
+              sa.Gpu.Stats.shared_conflicts) ];
+         (* The audit must be redundant with the machine's counters. *)
+         let sites = Handlers.Mem_audit.sites audit in
+         let sum pred f =
+           List.fold_left
+             (fun acc (s : Handlers.Mem_audit.site) ->
+                if pred s then acc + f s else acc)
+             0 sites
+         in
+         let shared (s : Handlers.Mem_audit.site) =
+           s.Handlers.Mem_audit.s_space = Sass.Opcode.Shared
+         in
+         let global_ld (s : Handlers.Mem_audit.site) =
+           s.Handlers.Mem_audit.s_space = Sass.Opcode.Global
+           && not s.Handlers.Mem_audit.s_store
+         in
+         let global_st (s : Handlers.Mem_audit.site) =
+           s.Handlers.Mem_audit.s_space = Sass.Opcode.Global
+           && s.Handlers.Mem_audit.s_store
+         in
+         let reconcile what audit_total machine =
+           if audit_total <> machine then
+             fail "%s/%s: audit %s = %d but machine counted %d" suite name
+               what audit_total machine
+         in
+         reconcile "gld lines"
+           (sum global_ld (fun s -> s.Handlers.Mem_audit.s_total))
+           sa.Gpu.Stats.gld_transactions;
+         reconcile "gst lines"
+           (sum global_st (fun s -> s.Handlers.Mem_audit.s_total))
+           sa.Gpu.Stats.gst_transactions;
+         reconcile "shared accesses"
+           (sum shared (fun s -> s.Handlers.Mem_audit.s_execs))
+           sa.Gpu.Stats.shared_accesses;
+         reconcile "shared conflicts"
+           (sum shared (fun s ->
+                s.Handlers.Mem_audit.s_total - s.Handlers.Mem_audit.s_execs))
+           sa.Gpu.Stats.shared_conflicts;
+         (* Static predictions vs the per-site measurements. *)
+         Printf.printf
+           "%s/%s (%s)\n  %-24s %6s %-6s %2s | %9s %9s %6s  verdict\n" suite
+           name variant "kernel" "pc" "space" "rw" "predicted" "measured"
+           "execs";
+         let n_sites = ref 0 and n_exact = ref 0 and n_matched = ref 0 in
+         let site_objs = ref [] in
+         List.iter
+           (fun (kname, (k : Sass.Program.kernel)) ->
+              match Hashtbl.find_opt captures kname with
+              | None -> fail "%s/%s: kernel %s never launched" suite name kname
+              | Some mc when mc.mc_multi ->
+                Printf.printf
+                  "  %-24s launched with varying geometry; skipped\n" kname
+              | Some mc ->
+                let ctx =
+                  Analysis.Absdom.concrete_ctx ~param:mc.mc_param mc.mc_geom
+                in
+                let instrs = k.Sass.Program.instrs in
+                let cfgk = Sass.Cfg.build instrs in
+                let states = Analysis.Absdom.analyze ctx instrs cfgk in
+                let preds =
+                  Analysis.Mempredict.predict ~geom:mc.mc_geom
+                    ~line_bytes:cfg.Gpu.Config.line_bytes instrs cfgk states
+                in
+                List.iter
+                  (fun (p : Analysis.Mempredict.prediction) ->
+                     incr n_sites;
+                     if p.Analysis.Mempredict.p_exact then incr n_exact;
+                     let measured =
+                       List.find_opt
+                         (fun (s : Handlers.Mem_audit.site) ->
+                            s.Handlers.Mem_audit.s_kernel = kname
+                            && s.Handlers.Mem_audit.s_pc
+                               = p.Analysis.Mempredict.p_pc)
+                         sites
+                     in
+                     let verdict =
+                       match measured with
+                       | None -> "unexecuted"
+                       | Some s ->
+                         if
+                           p.Analysis.Mempredict.p_exact
+                           && not s.Handlers.Mem_audit.s_partial
+                         then
+                           if
+                             p.Analysis.Mempredict.p_min
+                             = p.Analysis.Mempredict.p_max
+                             && s.Handlers.Mem_audit.s_min
+                                = p.Analysis.Mempredict.p_min
+                             && s.Handlers.Mem_audit.s_max
+                                = p.Analysis.Mempredict.p_max
+                           then begin
+                             incr n_matched;
+                             "exact"
+                           end
+                           else begin
+                             fail
+                               "%s/%s %s pc %d: predicted %d..%d, measured \
+                                %d..%d"
+                               suite name kname p.Analysis.Mempredict.p_pc
+                               p.Analysis.Mempredict.p_min
+                               p.Analysis.Mempredict.p_max
+                               s.Handlers.Mem_audit.s_min
+                               s.Handlers.Mem_audit.s_max;
+                             "MISMATCH"
+                           end
+                         else "~ " ^ p.Analysis.Mempredict.p_note
+                     in
+                     if
+                       all_exact && not p.Analysis.Mempredict.p_exact
+                     then
+                       fail "%s/%s %s pc %d: expected exact site, got: %s"
+                         suite name kname p.Analysis.Mempredict.p_pc
+                         p.Analysis.Mempredict.p_note;
+                     let m_min, m_max, m_execs =
+                       match measured with
+                       | None -> (0, 0, 0)
+                       | Some s ->
+                         (s.Handlers.Mem_audit.s_min,
+                          s.Handlers.Mem_audit.s_max,
+                          s.Handlers.Mem_audit.s_execs)
+                     in
+                     Printf.printf
+                       "  %-24s %6d %-6s %2s | %4d..%-4d %4d..%-4d %6d  %s\n"
+                       kname p.Analysis.Mempredict.p_pc
+                       (Format.asprintf "%a" Sass.Opcode.pp_space
+                          p.Analysis.Mempredict.p_space)
+                       (if p.Analysis.Mempredict.p_store then "ST" else "LD")
+                       p.Analysis.Mempredict.p_min
+                       p.Analysis.Mempredict.p_max m_min m_max m_execs
+                       verdict;
+                     site_objs :=
+                       Trace.Json.Obj
+                         [ ("kernel", Trace.Json.Str kname);
+                           ("pc",
+                            Trace.Json.Int p.Analysis.Mempredict.p_pc);
+                           ("space",
+                            Trace.Json.Str
+                              (Format.asprintf "%a" Sass.Opcode.pp_space
+                                 p.Analysis.Mempredict.p_space));
+                           ("store",
+                            Trace.Json.Bool p.Analysis.Mempredict.p_store);
+                           ("predicted_min",
+                            Trace.Json.Int p.Analysis.Mempredict.p_min);
+                           ("predicted_max",
+                            Trace.Json.Int p.Analysis.Mempredict.p_max);
+                           ("measured_min", Trace.Json.Int m_min);
+                           ("measured_max", Trace.Json.Int m_max);
+                           ("execs", Trace.Json.Int m_execs);
+                           ("exact",
+                            Trace.Json.Bool p.Analysis.Mempredict.p_exact);
+                           ("note",
+                            Trace.Json.Str p.Analysis.Mempredict.p_note) ]
+                       :: !site_objs)
+                  preds)
+           (List.rev !kernels);
+         if !n_matched = 0 then
+           fail "%s/%s: no exact prediction was validated (vacuous run)"
+             suite name;
+         Printf.printf
+           "  %d site(s): %d exact, %d validated against the machine\n%!"
+           !n_sites !n_exact !n_matched;
+         ( Printf.sprintf "%s/%s" suite name,
+           Trace.Json.Obj
+             [ ("workload", Trace.Json.Str (suite ^ "/" ^ name));
+               ("variant", Trace.Json.Str variant);
+               ("sites", Trace.Json.Int !n_sites);
+               ("exact", Trace.Json.Int !n_exact);
+               ("validated", Trace.Json.Int !n_matched);
+               ("gld_transactions",
+                Trace.Json.Int sa.Gpu.Stats.gld_transactions);
+               ("gst_transactions",
+                Trace.Json.Int sa.Gpu.Stats.gst_transactions);
+               ("shared_accesses",
+                Trace.Json.Int sa.Gpu.Stats.shared_accesses);
+               ("shared_conflicts",
+                Trace.Json.Int sa.Gpu.Stats.shared_conflicts);
+               ("per_site", Trace.Json.List (List.rev !site_objs)) ],
+           (!n_sites, !n_exact, !n_matched) ))
+      analysis_mem_rows
+  in
+  let counters =
+    List.concat_map
+      (fun (key, _, (n, e, m)) ->
+         [ (key ^ "/sites", n); (key ^ "/exact", e); (key ^ "/validated", m) ])
+      wl_objs
+  in
+  write_experiment_manifest ~experiment:"analysis-mem" ~rc ~counters
+    ~histograms:[];
+  let json =
+    Trace.Json.Obj
+      [ ("schema", Trace.Json.Str "sassi-bench-analysis-mem/1");
+        ("failures", Trace.Json.Int !failures);
+        ("workloads",
+         Trace.Json.List (List.map (fun (_, o, _) -> o) wl_objs)) ]
+  in
+  Trace.Json.write_file "BENCH_analysis_mem.json" json;
+  Printf.printf "\nwrote BENCH_analysis_mem.json\n%!";
+  if !failures > 0 then begin
+    Printf.eprintf
+      "analysis-mem: %d prediction/reconciliation failure(s)\n" !failures;
+    exit 1
+  end
+
 (* --- Serve: daemon round-trip + compile-cache cold/warm ------------------------ *)
 
 (* The serving story, measured: (a) the content-addressed compile
@@ -1290,11 +1594,13 @@ let all rc =
   profiling rc;
   telemetry rc;
   analysis rc;
+  analysis_mem rc;
   bechamel rc
 
 let usage =
   "table1|fig5|fig7|fig8|table2|fig10|table3|cachesim|scaling|tracing|\
-   profiling|telemetry|analysis|parallel|host-overhead|serve|bechamel|all"
+   profiling|telemetry|analysis|analysis-mem|parallel|host-overhead|serve|\
+   bechamel|all"
 
 let () =
   let quick = ref false and jobs = ref 1 and seed = ref 2025 in
@@ -1344,6 +1650,7 @@ let () =
          | "profiling" -> profiling rc
          | "telemetry" -> telemetry rc
          | "analysis" -> analysis rc
+         | "analysis-mem" -> analysis_mem rc
          | "parallel" -> parallel rc
          | "host-overhead" -> host_overhead rc
          | "serve" -> serve rc

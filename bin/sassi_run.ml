@@ -659,22 +659,135 @@ let disasm name instrumented =
     in
     0
 
+(* Concrete launch facts recorded per kernel name on its first
+   launch: the grid/block geometry, a reader over the parameter bank,
+   and the allocation watermark at launch time — everything needed to
+   build a concrete abstract-interpretation context
+   ({!Analysis.Absdom.concrete_ctx}). *)
+type launch_info = {
+  li_geom : Analysis.Affine.geom;
+  li_param : int -> int option;
+  li_heap : int;
+  mutable li_multi : bool;  (* relaunched with a different geometry *)
+}
+
 (* Runs a workload once uninstrumented, capturing every kernel the
-   device compiles (in launch order) along with the run result — the
-   shared front half of `lint` and `analyze`. *)
+   device compiles (in launch order), the per-kernel launch facts, and
+   the run result — the shared front half of `lint` and `analyze`. *)
 let capture_kernels w variant =
   let device = Gpu.Device.create () in
   let kernels = ref [] in
+  let launches = Hashtbl.create 8 in
   Gpu.Device.set_transform device
     (Some
        (fun k ->
           if not (List.mem_assoc k.Sass.Program.name !kernels) then
             kernels := (k.Sass.Program.name, k) :: !kernels;
           k));
+  ignore
+    (Gpu.Device.on_launch device (fun l ->
+         let name = l.Gpu.State.l_kernel.Sass.Program.name in
+         let geom =
+           { Analysis.Affine.g_block_x = l.Gpu.State.l_block_x;
+             g_block_y = l.Gpu.State.l_block_y;
+             g_grid_x = l.Gpu.State.l_grid_x;
+             g_grid_y = l.Gpu.State.l_grid_y }
+         in
+         match Hashtbl.find_opt launches name with
+         | Some li -> if li.li_geom <> geom then li.li_multi <- true
+         | None ->
+           let params = l.Gpu.State.l_params in
+           let param_bytes = l.Gpu.State.l_kernel.Sass.Program.param_bytes in
+           let param off =
+             if off >= 0 && off + 4 <= param_bytes then
+               Some (Gpu.Memory.read params ~width:Sass.Opcode.W32 off)
+             else None
+           in
+           Hashtbl.add launches name
+             { li_geom = geom; li_param = param;
+               li_heap = Gpu.Device.heap_used device; li_multi = false }));
   let r = w.Workloads.Workload.run device ~variant in
-  (List.rev !kernels, r)
+  (List.rev !kernels, launches, r)
 
-let lint name variant json =
+(* Context for analyzing one captured kernel: concrete when a launch
+   was observed, the per-kernel static context otherwise. *)
+let ctx_for launches kname (k : Sass.Program.kernel) =
+  match Hashtbl.find_opt launches kname with
+  | Some li -> (Analysis.Absdom.concrete_ctx ~param:li.li_param li.li_geom,
+                Some li)
+  | None -> (Analysis.Absdom.static_for k.Sass.Program.instrs, None)
+
+(* Per-kernel race classification counts: (sites, safe, race, unknown). *)
+let race_counts sites =
+  List.fold_left
+    (fun (n, s, r, u) (site : Analysis.Race_check.site) ->
+       match site.Analysis.Race_check.s_class with
+       | Analysis.Race_check.Proven_safe -> (n + 1, s + 1, r, u)
+       | Analysis.Race_check.Proven_race -> (n + 1, s, r + 1, u)
+       | Analysis.Race_check.Unknown -> (n + 1, s, r, u + 1))
+    (0, 0, 0, 0) sites
+
+let race_baseline_schema = "sassi.race-baseline.v1"
+
+(* Baseline file: {"schema": ..., "kernels": {"suite/wl:kernel":
+   {"sites": n, "safe": n, "race": n, "unknown": n}}}. *)
+let read_race_baseline path =
+  match Trace.Json.parse_file path with
+  | exception Sys_error msg -> Error msg
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Ok j ->
+    (match Trace.Json.member "kernels" j with
+     | Some (Trace.Json.Obj ks) ->
+       let get field o =
+         match Trace.Json.member field o with
+         | Some (Trace.Json.Int n) -> n
+         | _ -> 0
+       in
+       Ok
+         (List.map
+            (fun (key, o) ->
+               (key, (get "sites" o, get "safe" o, get "race" o,
+                      get "unknown" o)))
+            ks)
+     | _ -> Error (path ^ ": missing `kernels' object"))
+
+let write_race_baseline path counts =
+  let kernels =
+    List.map
+      (fun (key, (n, s, r, u)) ->
+         ( key,
+           Trace.Json.Obj
+             [ ("sites", Trace.Json.Int n); ("safe", Trace.Json.Int s);
+               ("race", Trace.Json.Int r); ("unknown", Trace.Json.Int u) ] ))
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) counts)
+  in
+  Trace.Json.write_file path
+    (Trace.Json.Obj
+       [ ("schema", Trace.Json.Str race_baseline_schema);
+         ("kernels", Trace.Json.Obj kernels) ])
+
+(* Waiver file: one kernel per line (either the qualified
+   "suite/wl:kernel" key or the bare kernel name), #-comments. *)
+let read_waivers path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let acc = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then acc := line :: !acc
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Ok !acc
+
+let lint name variant json prove_races mem_report baseline_file
+    write_baseline_file waivers_file =
+  (* A baseline read or write only makes sense over classified sites. *)
+  let prove_races =
+    prove_races || baseline_file <> None || write_baseline_file <> None
+  in
   let targets =
     if name = "all" then
       Some (List.map (fun w -> (w, None)) Workloads.Registry.all)
@@ -683,12 +796,29 @@ let lint name variant json =
       | None -> None
       | Some w -> Some [ (w, variant) ]
   in
-  match targets with
-  | None ->
+  let inputs =
+    let waivers =
+      match waivers_file with None -> Ok [] | Some p -> read_waivers p
+    in
+    let baseline =
+      match baseline_file with
+      | None -> Ok []
+      | Some p -> read_race_baseline p
+    in
+    match (waivers, baseline) with
+    | Error msg, _ | _, Error msg -> Error msg
+    | Ok w, Ok b -> Ok (w, b)
+  in
+  match (targets, inputs) with
+  | None, _ ->
     Format.eprintf "unknown workload %s; try `sassi_run list` or `all`@." name;
-    1
-  | Some targets ->
+    2
+  | _, Error msg ->
+    Format.eprintf "lint: %s@." msg;
+    2
+  | Some targets, Ok (waivers, baseline) ->
     let total_err = ref 0 and total_warn = ref 0 in
+    let counts = ref [] in
     let wl_json = ref [] in
     List.iter
       (fun (w, variant) ->
@@ -697,7 +827,10 @@ let lint name variant json =
            | Some v -> v
            | None -> w.Workloads.Workload.default_variant
          in
-         let kernels, _ = capture_kernels w variant in
+         let qualified =
+           w.Workloads.Workload.suite ^ "/" ^ w.Workloads.Workload.name
+         in
+         let kernels, launches, _ = capture_kernels w variant in
          let kernel_objs =
            List.map
              (fun (kname, k) ->
@@ -714,9 +847,123 @@ let lint name variant json =
                     (fun f -> Format.printf "  %a@." Analysis.Finding.pp f)
                     findings
                 end;
-                ( kname,
-                  Trace.Json.List (List.map Analysis.Finding.to_json findings)
-                ))
+                let fields =
+                  ref
+                    [ ( "findings",
+                        Trace.Json.List
+                          (List.map Analysis.Finding.to_json findings) ) ]
+                in
+                if prove_races then begin
+                  let ctx, li = ctx_for launches kname k in
+                  let concrete = li <> None in
+                  let sites =
+                    Analysis.Verifier.race_sites ~ctx ~concrete k
+                  in
+                  let n, s, r, u = race_counts sites in
+                  counts :=
+                    (qualified ^ ":" ^ kname, (n, s, r, u)) :: !counts;
+                  total_err := !total_err + r;
+                  if not json then begin
+                    Format.printf
+                      "  races: %d site(s): %d proven-safe, %d proven-race, \
+                       %d unknown [%s]@."
+                      n s r u
+                      (if concrete then "concrete launch" else "static");
+                    List.iter
+                      (fun (site : Analysis.Race_check.site) ->
+                         if site.Analysis.Race_check.s_class
+                            <> Analysis.Race_check.Proven_safe
+                         then
+                           Format.printf "    pc %d %s: %s%s@."
+                             site.Analysis.Race_check.s_pc
+                             (if site.Analysis.Race_check.s_store then "ST"
+                              else "LD")
+                             (Analysis.Race_check.classification_name
+                                site.Analysis.Race_check.s_class)
+                             (if site.Analysis.Race_check.s_note = "" then ""
+                              else " (" ^ site.Analysis.Race_check.s_note
+                                   ^ ")"))
+                      sites
+                  end;
+                  fields :=
+                    ( "races",
+                      Trace.Json.Obj
+                        [ ("sites", Trace.Json.Int n);
+                          ("safe", Trace.Json.Int s);
+                          ("race", Trace.Json.Int r);
+                          ("unknown", Trace.Json.Int u);
+                          ("concrete", Trace.Json.Bool concrete) ] )
+                    :: !fields
+                end;
+                if mem_report then begin
+                  let ctx, li = ctx_for launches kname k in
+                  match li with
+                  | None ->
+                    if not json then
+                      Format.printf
+                        "  mem: kernel never launched; no geometry to \
+                         predict against@."
+                  | Some li ->
+                    let instrs = k.Sass.Program.instrs in
+                    let cfg = Sass.Cfg.build instrs in
+                    let states = Analysis.Absdom.analyze ctx instrs cfg in
+                    let preds =
+                      Analysis.Mempredict.predict ~geom:li.li_geom
+                        ~line_bytes:Gpu.Config.default.Gpu.Config.line_bytes
+                        instrs cfg states
+                    in
+                    if not json then
+                      List.iter
+                        (fun (p : Analysis.Mempredict.prediction) ->
+                           Format.printf
+                             "  mem: pc %d %s %s %dB: %s %d..%d%s@."
+                             p.Analysis.Mempredict.p_pc
+                             (Format.asprintf "%a" Sass.Opcode.pp_space
+                                p.Analysis.Mempredict.p_space)
+                             (if p.Analysis.Mempredict.p_store then "ST"
+                              else "LD")
+                             p.Analysis.Mempredict.p_bytes
+                             (if p.Analysis.Mempredict.p_space
+                                 = Sass.Opcode.Shared
+                              then "degree" else "transactions")
+                             p.Analysis.Mempredict.p_min
+                             p.Analysis.Mempredict.p_max
+                             (if p.Analysis.Mempredict.p_exact then " exact"
+                              else " ~ " ^ p.Analysis.Mempredict.p_note))
+                        preds;
+                    fields :=
+                      ( "mem",
+                        Trace.Json.List
+                          (List.map
+                             (fun (p : Analysis.Mempredict.prediction) ->
+                                Trace.Json.Obj
+                                  [ ("pc",
+                                     Trace.Json.Int
+                                       p.Analysis.Mempredict.p_pc);
+                                    ("space",
+                                     Trace.Json.Str
+                                       (Format.asprintf "%a"
+                                          Sass.Opcode.pp_space
+                                          p.Analysis.Mempredict.p_space));
+                                    ("store",
+                                     Trace.Json.Bool
+                                       p.Analysis.Mempredict.p_store);
+                                    ("min",
+                                     Trace.Json.Int
+                                       p.Analysis.Mempredict.p_min);
+                                    ("max",
+                                     Trace.Json.Int
+                                       p.Analysis.Mempredict.p_max);
+                                    ("exact",
+                                     Trace.Json.Bool
+                                       p.Analysis.Mempredict.p_exact);
+                                    ("note",
+                                     Trace.Json.Str
+                                       p.Analysis.Mempredict.p_note) ])
+                             preds) )
+                      :: !fields
+                end;
+                (kname, Trace.Json.Obj (List.rev !fields)))
              kernels
          in
          wl_json :=
@@ -726,17 +973,51 @@ let lint name variant json =
                ("kernels", Trace.Json.Obj kernel_objs) ]
            :: !wl_json)
       targets;
+    (* Registry ratchet: against a baseline, no kernel may lose a
+       proven-safe site or gain an unknown one without a waiver. *)
+    let waived key =
+      List.mem key waivers
+      || (match String.index_opt key ':' with
+          | Some i ->
+            List.mem
+              (String.sub key (i + 1) (String.length key - i - 1))
+              waivers
+          | None -> false)
+    in
+    let regressions =
+      List.filter_map
+        (fun (key, (_, safe, _, unknown)) ->
+           match List.assoc_opt key baseline with
+           | Some (_, bsafe, _, bunknown)
+             when (safe < bsafe || unknown > bunknown) && not (waived key) ->
+             Some
+               (Printf.sprintf
+                  "%s: proven-safe %d -> %d, unknown %d -> %d" key bsafe
+                  safe bunknown unknown)
+           | _ -> None)
+        !counts
+    in
+    if not json then
+      List.iter (Format.printf "lint: race regression: %s@.") regressions;
+    (match write_baseline_file with
+     | None -> ()
+     | Some path ->
+       write_race_baseline path !counts;
+       if not json then Format.printf "lint: wrote %s@." path);
     if json then
       print_endline
         (Trace.Json.to_string
            (Trace.Json.Obj
               [ ("workloads", Trace.Json.List (List.rev !wl_json));
                 ("errors", Trace.Json.Int !total_err);
-                ("warnings", Trace.Json.Int !total_warn) ]))
+                ("warnings", Trace.Json.Int !total_warn);
+                ("regressions",
+                 Trace.Json.List
+                   (List.map (fun r -> Trace.Json.Str r) regressions)) ]))
     else
       Format.printf "lint: %d error(s), %d warning(s)@." !total_err
         !total_warn;
-    if !total_err > 0 then 1 else 0
+    if !total_err > 0 || regressions <> [] then 1 else 0
 
 (* Handler pairs for an instrumentation kind; the specs drive the
    static cost model, the handlers the validation run. *)
@@ -768,7 +1049,7 @@ let analyze name variant instrument json dump_cfg dump_live validate =
       | Some v -> v
       | None -> w.Workloads.Workload.default_variant
     in
-    let kernels, baseline = capture_kernels w variant in
+    let kernels, _, baseline = capture_kernels w variant in
     let specs = List.map fst (pairs_for (Gpu.Device.create ()) instrument) in
     let costs =
       List.map
@@ -1184,6 +1465,43 @@ let json_arg =
   Arg.(value & flag
        & info [ "json" ] ~doc:"Emit the report as one JSON document.")
 
+let prove_races_arg =
+  Arg.(value & flag
+       & info [ "prove-races" ]
+           ~doc:"Classify every shared-memory access as proven-safe, \
+                 proven-race, or unknown using the abstract \
+                 interpreter seeded with the captured launch geometry \
+                 and kernel parameters. Proven races count as errors.")
+
+let mem_report_arg =
+  Arg.(value & flag
+       & info [ "mem-report" ]
+           ~doc:"Print the static per-site bank-conflict degree and \
+                 coalesced-transaction predictions for each kernel's \
+                 shared and global accesses (requires a captured \
+                 launch for the geometry).")
+
+let race_baseline_arg =
+  Arg.(value & opt (some string) None
+       & info [ "race-baseline" ] ~docv:"FILE"
+           ~doc:"Compare race classifications against a baseline \
+                 written by $(b,--write-race-baseline); any kernel \
+                 that loses a proven-safe site or gains an unknown \
+                 one is a regression (exit 1) unless waived.")
+
+let write_race_baseline_arg =
+  Arg.(value & opt (some string) None
+       & info [ "write-race-baseline" ] ~docv:"FILE"
+           ~doc:"Write the per-kernel race classification counts as a \
+                 baseline file.")
+
+let race_waivers_arg =
+  Arg.(value & opt (some string) None
+       & info [ "race-waivers" ] ~docv:"FILE"
+           ~doc:"Kernels exempt from the baseline ratchet, one per \
+                 line (qualified $(i,suite/workload:kernel) or bare \
+                 kernel name; # starts a comment).")
+
 let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
@@ -1193,12 +1511,21 @@ let lint_cmd =
            `P "Compiles the workload's kernels (by running the workload \
                once, uninstrumented) and runs the static analyzers over \
                each: uninitialized-register reads, barriers under \
-               divergent control flow, shared-memory race hints, \
-               unreachable code and dead stores.";
+               divergent control flow, shared-memory races, static \
+               out-of-bounds accesses, unreachable code and dead \
+               stores. The run also captures each kernel's launch \
+               geometry, parameters and allocation watermark, which \
+               seed the abstract interpreter behind \
+               $(b,--prove-races) and $(b,--mem-report).";
            `S Manpage.s_exit_status;
-           `P "0 when no error-severity finding is reported; 1 otherwise. \
-               Warnings are printed but never change the exit status." ])
-    Term.(const lint $ workload_arg $ variant_arg $ json_arg)
+           `P "0 when no error-severity finding is reported and no \
+               baseline regression is detected; 1 when findings or \
+               regressions exist; 2 on usage or parse errors (unknown \
+               workload, unreadable or malformed baseline/waiver \
+               files). Warnings never change the exit status." ])
+    Term.(const lint $ workload_arg $ variant_arg $ json_arg
+          $ prove_races_arg $ mem_report_arg $ race_baseline_arg
+          $ write_race_baseline_arg $ race_waivers_arg)
 
 let dump_cfg_arg =
   Arg.(value & opt (some string) None

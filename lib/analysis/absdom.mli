@@ -1,0 +1,51 @@
+(** Abstract interpretation of register contents over {!Sass.Cfg}:
+    every general-purpose register is mapped to an {!Affine} form and
+    propagated to a fixpoint by the {!Dataflow} solver (with interval
+    widening at loop heads).
+
+    The analysis is context-parameterised: with a concrete launch
+    ([geom] from the launch shape, [param] resolving kernel-parameter
+    words to their actual values) address expressions become fully
+    concrete affine functions of [tid]/[ctaid]; without one, proofs
+    fall back to {!Affine.assumed_geom} and symbolic parameters. *)
+
+type ctx = {
+  c_geom : Affine.geom;
+  c_param : int -> int option;
+      (** Resolved 32-bit kernel-parameter word at a byte offset;
+          [None] leaves the parameter symbolic. *)
+  c_concrete : bool;
+      (** The geometry is a real launch shape (so [ntid]/[nctaid]
+          reads fold to constants), not the worst-case assumption. *)
+}
+
+val static_ctx : ctx
+(** No launch information: {!Affine.assumed_geom}, all parameters
+    symbolic. *)
+
+val static_for : Sass.Instr.t array -> ctx
+(** {!static_ctx}, with the y dimensions collapsed to 1 for kernels
+    that never read a [.y] special register (1D kernels analyzed
+    under a 2D worst case would alias whole thread columns). This is
+    what the compile-time gate uses. *)
+
+val concrete_ctx : ?param:(int -> int option) -> Affine.geom -> ctx
+
+type t
+(** Abstract register state at one program point. *)
+
+val analyze : ctx -> Sass.Instr.t array -> Sass.Cfg.t -> t array
+(** Per-PC state {e before} each instruction. *)
+
+val geom : t -> Affine.geom
+
+val reg : t -> Sass.Reg.t -> Affine.t
+
+val src : t -> Sass.Instr.src -> Affine.t
+(** Evaluate an operand; [SImm] is reinterpreted as a signed 32-bit
+    value (negative offsets are encoded as large immediates). *)
+
+val address : t -> Sass.Instr.mem -> Affine.t
+(** Effective byte address [base + offset] of a memory operand. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,380 @@
+type geom = {
+  g_block_x : int;
+  g_block_y : int;
+  g_grid_x : int;
+  g_grid_y : int;
+}
+
+let assumed_geom =
+  { g_block_x = 1024; g_block_y = 1024; g_grid_x = 65535; g_grid_y = 65535 }
+
+type t = {
+  a_base : int;
+  a_tx : int;
+  a_ty : int;
+  a_cx : int;
+  a_cy : int;
+  a_par : (int * int) list;
+  a_res : Interval.t;
+  a_mod : int;
+  a_var : bool;
+}
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* Normalization: a point-zero residue carries stride 0 ("exactly
+   {0}"), which is the gcd identity. *)
+let norm t =
+  if Interval.equal t.a_res (Interval.point 0) then { t with a_mod = 0 }
+  else if t.a_mod < 0 then { t with a_mod = -t.a_mod }
+  else t
+
+let const n =
+  { a_base = n; a_tx = 0; a_ty = 0; a_cx = 0; a_cy = 0; a_par = [];
+    a_res = Interval.point 0; a_mod = 0; a_var = false }
+
+let zero = const 0
+
+let tid_x = { zero with a_tx = 1 }
+
+let tid_y = { zero with a_ty = 1 }
+
+let ctaid_x = { zero with a_cx = 1 }
+
+let ctaid_y = { zero with a_cy = 1 }
+
+let param off = { zero with a_par = [ (off, 1) ] }
+
+let of_interval ?(var = false) iv =
+  norm { zero with a_res = iv; a_mod = 1; a_var = var }
+
+let unknown ~var = { zero with a_res = Interval.top; a_mod = 1; a_var = var }
+
+let is_const t =
+  if t.a_tx = 0 && t.a_ty = 0 && t.a_cx = 0 && t.a_cy = 0 && t.a_par = []
+     && (not t.a_var)
+     && Interval.is_point t.a_res
+  then Some (t.a_base + t.a_res.Interval.lo)
+  else None
+
+let is_exact t = Interval.is_point t.a_res && not t.a_var
+
+let has_tid t = t.a_tx <> 0 || t.a_ty <> 0
+
+let equal a b =
+  a.a_base = b.a_base && a.a_tx = b.a_tx && a.a_ty = b.a_ty
+  && a.a_cx = b.a_cx && a.a_cy = b.a_cy && a.a_par = b.a_par
+  && Interval.equal a.a_res b.a_res
+  && a.a_mod = b.a_mod && a.a_var = b.a_var
+
+(* Exact scalar ops that degrade the whole form to top on overflow
+   instead of wrapping. *)
+exception Overflow
+
+let xadd a b =
+  let s = Interval.sat_add a b in
+  if s = min_int || s = max_int then raise Overflow else s
+
+let xmul a b =
+  let p = Interval.sat_mul a b in
+  if (p = min_int || p = max_int) && a <> 0 && b <> 0 then raise Overflow
+  else p
+
+let merge_par pa pb =
+  let rec go pa pb =
+    match (pa, pb) with
+    | [], p | p, [] -> p
+    | (oa, ca) :: ta, (ob, cb) :: tb ->
+      if oa < ob then (oa, ca) :: go ta pb
+      else if ob < oa then (ob, cb) :: go pa tb
+      else
+        let c = xadd ca cb in
+        if c = 0 then go ta tb else (oa, c) :: go ta tb
+  in
+  go pa pb
+
+let add a b =
+  try
+    norm
+      { a_base = xadd a.a_base b.a_base;
+        a_tx = xadd a.a_tx b.a_tx;
+        a_ty = xadd a.a_ty b.a_ty;
+        a_cx = xadd a.a_cx b.a_cx;
+        a_cy = xadd a.a_cy b.a_cy;
+        a_par = merge_par a.a_par b.a_par;
+        a_res = Interval.add a.a_res b.a_res;
+        a_mod = gcd a.a_mod b.a_mod;
+        a_var = a.a_var || b.a_var }
+  with Overflow -> unknown ~var:(a.a_var || b.a_var)
+
+let neg a =
+  { a_base = -a.a_base; a_tx = -a.a_tx; a_ty = -a.a_ty; a_cx = -a.a_cx;
+    a_cy = -a.a_cy;
+    a_par = List.map (fun (o, c) -> (o, -c)) a.a_par;
+    a_res = Interval.neg a.a_res;
+    a_mod = a.a_mod;
+    a_var = a.a_var }
+
+let sub a b = add a (neg b)
+
+let mul_const k a =
+  if k = 0 then const 0
+  else
+    try
+      norm
+        { a_base = xmul k a.a_base;
+          a_tx = xmul k a.a_tx;
+          a_ty = xmul k a.a_ty;
+          a_cx = xmul k a.a_cx;
+          a_cy = xmul k a.a_cy;
+          a_par = List.map (fun (o, c) -> (o, xmul k c)) a.a_par;
+          a_res = Interval.mul_const k a.a_res;
+          a_mod = (if a.a_mod = 0 then 0 else xmul (abs k) a.a_mod);
+          a_var = a.a_var }
+    with Overflow -> unknown ~var:a.a_var
+
+(* Symbol ranges under a geometry. *)
+let r_tx g = Interval.make 0 (max 0 (g.g_block_x - 1))
+let r_ty g = Interval.make 0 (max 0 (g.g_block_y - 1))
+let r_cx g = Interval.make 0 (max 0 (g.g_grid_x - 1))
+let r_cy g = Interval.make 0 (max 0 (g.g_grid_y - 1))
+
+let to_interval ~geom t =
+  let ( + ) = Interval.add in
+  let k = Interval.mul_const in
+  Interval.point t.a_base
+  + k t.a_tx (r_tx geom) + k t.a_ty (r_ty geom)
+  + k t.a_cx (r_cx geom) + k t.a_cy (r_cy geom)
+  + List.fold_left
+      (fun acc (_, c) ->
+         if c = 0 then acc else acc + k c Interval.top)
+      (Interval.point 0) t.a_par
+  + t.a_res
+
+let collapse ~geom t =
+  let syms = to_interval ~geom { t with a_base = 0 } in
+  let stride =
+    List.fold_left gcd
+      (gcd t.a_mod (gcd t.a_tx (gcd t.a_ty (gcd t.a_cx t.a_cy))))
+      (List.map snd t.a_par)
+  in
+  norm
+    { zero with
+      a_base = t.a_base;
+      a_res = syms;
+      a_mod = stride;
+      a_var = t.a_var || has_tid t }
+
+let same_shape a b =
+  a.a_tx = b.a_tx && a.a_ty = b.a_ty && a.a_cx = b.a_cx && a.a_cy = b.a_cy
+  && a.a_par = b.a_par
+
+let combine iv_op ~geom a b =
+  let a, b =
+    if same_shape a b then (a, b) else (collapse ~geom a, collapse ~geom b)
+  in
+  let d = b.a_base - a.a_base in
+  norm
+    { a with
+      a_res = iv_op a.a_res (Interval.add b.a_res (Interval.point d));
+      a_mod = gcd (gcd a.a_mod b.a_mod) d;
+      a_var = a.a_var || b.a_var }
+
+let join ~geom a b = combine Interval.join ~geom a b
+
+let widen ~geom a b = combine Interval.widen ~geom a b
+
+let mul ~geom a b =
+  match (is_const a, is_const b) with
+  | Some k, _ -> mul_const k b
+  | _, Some k -> mul_const k a
+  | None, None ->
+    let iv = Interval.mul (to_interval ~geom a) (to_interval ~geom b) in
+    norm
+      { zero with
+        a_res = iv;
+        a_mod = 1;
+        a_var = a.a_var || b.a_var || has_tid a || has_tid b }
+
+let div_const ~geom k a =
+  match is_const a with
+  | Some v when k <> 0 -> const (v / k)
+  | _ ->
+    if k = 0 then unknown ~var:a.a_var
+    else
+      let iv = to_interval ~geom a in
+      let d n =
+        if n = min_int || n = max_int then n else n / k
+      in
+      let lo = d iv.Interval.lo and hi = d iv.Interval.hi in
+      let lo, hi = if k > 0 then (lo, hi) else (hi, lo) in
+      norm
+        { zero with
+          a_res = Interval.make lo hi;
+          a_mod = 1;
+          a_var = a.a_var || has_tid a }
+
+(* ------------------------------------------------------------------ *)
+(* Cross-thread overlap decision procedure.
+
+   For threads t <> u of one block, D = A1(t) - A2(u). With equal tid
+   coefficients (p, q) and equal parameter/ctaid coefficients, the
+   launch-uniform parts cancel and
+
+     D = db + p*dx + q*dy + rho,    rho in F (strided interval),
+
+   where dx in [-X, X], dy in [-Y, Y], (dx, dy) <> (0, 0). The byte
+   ranges overlap iff D lies in the open window (-bytes2, bytes1).
+   We enumerate dy (blocks are at most 1024 wide per axis), solve the
+   dx window analytically, and decide each candidate with a combined
+   interval + congruence hit test. *)
+
+let cdiv a b = if (a > 0) = (b > 0) && a mod b <> 0 then (a / b) + 1 else a / b
+let fdiv a b = if (a > 0) <> (b > 0) && a mod b <> 0 then (a / b) - 1 else a / b
+
+(* Is there a value w in [wlo, whi] with w ≡ k (mod g), w - k in
+   [f.lo, f.hi]? g = 0 means the residue set is exactly {f.lo}. *)
+let window_hit ~wlo ~whi k (f : Interval.t) g =
+  let a = max wlo (Interval.sat_add k f.Interval.lo) in
+  let b = min whi (Interval.sat_add k f.Interval.hi) in
+  if a > b then false
+  else if g = 0 then true
+  else
+    let r = ((k - a) mod g + g) mod g in
+    a + r <= b
+
+let enum_budget = 8192
+
+let cross_thread_overlap ~geom a1 ~bytes1 a2 ~bytes2 =
+  let interval_fallback () =
+    let i1 =
+      Interval.add (to_interval ~geom a1) (Interval.make 0 (bytes1 - 1))
+    in
+    let i2 =
+      Interval.add (to_interval ~geom a2) (Interval.make 0 (bytes2 - 1))
+    in
+    if Interval.disjoint i1 i2 then `Disjoint else `May
+  in
+  if
+    a1.a_par <> a2.a_par
+    || a1.a_tx <> a2.a_tx || a1.a_ty <> a2.a_ty
+  then interval_fallback ()
+  else begin
+    let p = a1.a_tx and q = a1.a_ty in
+    let bx = max 1 geom.g_block_x and by = max 1 geom.g_block_y in
+    (* Residue difference plus the (same-block) ctaid contribution
+       when the block coefficients differ. *)
+    let dcx = a1.a_cx - a2.a_cx and dcy = a1.a_cy - a2.a_cy in
+    let f =
+      Interval.add
+        (Interval.sub a1.a_res a2.a_res)
+        (Interval.add
+           (Interval.mul_const dcx (r_cx geom))
+           (Interval.mul_const dcy (r_cy geom)))
+    in
+    let g = gcd (gcd a1.a_mod a2.a_mod) (gcd dcx dcy) in
+    let db = a1.a_base - a2.a_base in
+    let wlo = -bytes2 + 1 and whi = bytes1 - 1 in
+    (* Enumerate the narrower thread axis; within it, candidate
+       deltas on the other axis come from the analytic window. *)
+    let p, q, bx, by, swapped =
+      if by <= bx then (p, q, bx, by, false) else (q, p, by, bx, true)
+    in
+    ignore swapped;
+    let x = bx - 1 and y = by - 1 in
+    let f_bounded =
+      f.Interval.lo <> min_int && f.Interval.hi <> max_int
+    in
+    let exception Hit in
+    let may = ref false in
+    (try
+       for dy = -y to y do
+         let k = db + (q * dy) in
+         let dx_min_valid = if dy = 0 then 1 else 0 in
+         (* dx = 0 is excluded only when dy = 0; an |dx| >= 1 always
+            exists when bx >= 2. *)
+         let check dx =
+           if (dx <> 0 || dy <> 0) && abs dx <= x then
+             if window_hit ~wlo ~whi (k + (p * dx)) f g then raise Hit
+         in
+         if p = 0 then begin
+           if x >= dx_min_valid && window_hit ~wlo ~whi k f g then raise Hit
+         end
+         else if f_bounded then begin
+           let lo = cdiv (wlo - k - f.Interval.hi) p in
+           let hi = fdiv (whi - k - f.Interval.lo) p in
+           let lo, hi = if p > 0 then (lo, hi) else (hi, lo) in
+           let lo = max lo (-x) and hi = min hi x in
+           if hi - lo > enum_budget then may := true
+           else
+             for dx = lo to hi do
+               check dx
+             done
+         end
+         else begin
+           (* Unbounded residue: only the congruence class of
+              k + p*dx matters, which cycles with period g/gcd(p,g);
+              scanning one period's worth of dx on each side covers
+              every class (and keeps the (0,0) exclusion exact). *)
+           if g = 0 then may := true (* unreachable: g=0 => bounded *)
+           else begin
+             let period = g / gcd p g in
+             if period > enum_budget then may := true
+             else
+               let b = min x (max 1 period) in
+               for dx = -b to b do
+                 check dx
+               done
+           end
+         end
+       done
+     with Hit -> may := true);
+    if not !may then `Disjoint
+    else if
+      (* A guaranteed overlap needs exact forms: the difference D is
+         then a known affine function of (dx, dy) and a witness pair
+         of distinct threads is a proof. *)
+      is_exact a1 && is_exact a2 && a1.a_cx = a2.a_cx && a1.a_cy = a2.a_cy
+    then begin
+      let db =
+        db + a1.a_res.Interval.lo - a2.a_res.Interval.lo
+      in
+      let witness = ref false in
+      (try
+         for dy = -y to y do
+           let k = db + (q * dy) in
+           if p = 0 then begin
+             if wlo <= k && k <= whi && (dy <> 0 || x >= 1) then begin
+               witness := true;
+               raise Exit
+             end
+           end
+           else begin
+             let lo = cdiv (wlo - k) p and hi = fdiv (whi - k) p in
+             let lo, hi = if p > 0 then (lo, hi) else (hi, lo) in
+             let lo = max lo (-x) and hi = min hi x in
+             if lo <= hi then
+               if dy <> 0 || lo <> 0 || hi <> 0 then begin
+                 (* some candidate dx other than (0,0) exists *)
+                 witness := true;
+                 raise Exit
+               end
+           end
+         done
+       with Exit -> ());
+      if !witness then `Overlap else `May
+    end
+    else `May
+  end
+
+let pp ppf t =
+  let term ppf (c, name) =
+    if c <> 0 then Format.fprintf ppf " + %d*%s" c name
+  in
+  Format.fprintf ppf "%d%a%a%a%a" t.a_base term (t.a_tx, "tid.x") term
+    (t.a_ty, "tid.y") term (t.a_cx, "ctaid.x") term (t.a_cy, "ctaid.y");
+  List.iter (fun (o, c) -> Format.fprintf ppf " + %d*param[%d]" c o) t.a_par;
+  if not (Interval.equal t.a_res (Interval.point 0)) then
+    Format.fprintf ppf " + %a%s%s" Interval.pp t.a_res
+      (if t.a_mod > 1 then Printf.sprintf "/%d" t.a_mod else "")
+      (if t.a_var then "?" else "")

@@ -1,0 +1,114 @@
+(** Affine thread-index forms: the address domain of the
+    abstract-interpretation layer.
+
+    A value is [base + tx*tid.x + ty*tid.y + cx*ctaid.x + cy*ctaid.y
+    + sum(coeff_i * param_i) + residue], where the residue is an
+    interval of multiples of a stride ([a_mod]) and [a_var] records
+    whether the residue can differ across the threads of a block
+    (loaded data, lane ids, shuffles). This is exactly the shape of
+    well-behaved GPU address arithmetic: thread/block coordinates
+    scaled by constants plus loop counters (the strided residue) plus
+    kernel parameters.
+
+    The stride is what makes the predictors exact on loop-carried
+    addresses: a residue like [64*t, t in [0,n)] keeps [a_mod = 64],
+    so a 32-byte-line coalescing pattern or a 4-byte-bank conflict
+    pattern is provably invariant under the residue and can be
+    evaluated at a single representative.
+
+    Two proof procedures close the loop for the race checker:
+    {!cross_thread_overlap} decides, for two accesses made by two
+    {e distinct} threads of the same block, whether their byte ranges
+    can overlap ([`Disjoint] and [`Overlap] are proofs, [`May] is an
+    honest "unknown"). *)
+
+type geom = {
+  g_block_x : int;
+  g_block_y : int;
+  g_grid_x : int;
+  g_grid_y : int;
+}
+
+val assumed_geom : geom
+(** Worst-case geometry used when the launch shape is unknown
+    (compile-time verification): 1024x1024 blocks on a 65535^2 grid.
+    Proofs under it hold for every launchable geometry. *)
+
+type t = {
+  a_base : int;  (** exact constant part *)
+  a_tx : int;  (** tid.x coefficient *)
+  a_ty : int;  (** tid.y coefficient *)
+  a_cx : int;  (** ctaid.x coefficient *)
+  a_cy : int;  (** ctaid.y coefficient *)
+  a_par : (int * int) list;
+      (** [(byte offset, coeff)] over unresolved kernel parameters,
+          sorted by offset, coefficients non-zero *)
+  a_res : Interval.t;  (** residue; every value is a multiple of [a_mod] *)
+  a_mod : int;  (** 0 = residue is exactly [{0}]; else the stride *)
+  a_var : bool;  (** residue may differ across threads of a block *)
+}
+
+val const : int -> t
+
+val tid_x : t
+
+val tid_y : t
+
+val ctaid_x : t
+
+val ctaid_y : t
+
+val param : int -> t
+(** Symbolic kernel parameter at the given byte offset. *)
+
+val of_interval : ?var:bool -> Interval.t -> t
+
+val unknown : var:bool -> t
+(** Top residue: any value; [var] marks per-thread variability. *)
+
+val is_const : t -> int option
+
+val is_exact : t -> bool
+(** Point residue and thread-invariant residue: the value is an exact
+    affine function of [tid]/[ctaid]/params. *)
+
+val has_tid : t -> bool
+
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+
+val neg : t -> t
+
+val sub : t -> t -> t
+
+val mul_const : int -> t -> t
+
+val mul : geom:geom -> t -> t -> t
+
+val div_const : geom:geom -> int -> t -> t
+(** Conservative truncating division; exact only on constants. *)
+
+val collapse : geom:geom -> t -> t
+(** Fold the coefficient part into the residue (keeping the combined
+    stride), leaving a pure [base + residue] form. *)
+
+val join : geom:geom -> t -> t -> t
+
+val widen : geom:geom -> t -> t -> t
+
+val to_interval : geom:geom -> t -> Interval.t
+(** Range of the value over all threads of the grid. *)
+
+val cross_thread_overlap :
+  geom:geom -> t -> bytes1:int -> t -> bytes2:int ->
+  [ `Disjoint | `Overlap | `May ]
+(** Can accesses [[a1, a1+bytes1)] by thread [t] and [[a2, a2+bytes2)]
+    by a {e different} thread [u] of the same block overlap?
+    [`Disjoint]: provably never, for any distinct pair and any
+    residue values. [`Overlap]: provably yes for some distinct pair —
+    only claimed when both forms are exact ({!is_exact}) with equal
+    parameter and block coefficients, so the overlap is
+    geometry-guaranteed. [`May]: neither provable. *)
+
+val pp : Format.formatter -> t -> unit

@@ -9,6 +9,7 @@ module type DOMAIN = sig
 
   val equal : t -> t -> bool
   val join : t -> t -> t
+  val widen : t -> t -> t
   val transfer : pc:int -> Instr.t -> t -> t
 end
 
@@ -88,6 +89,18 @@ module Make (D : DOMAIN) = struct
          done);
       !st
     in
+    (* A block whose (direction-adjusted) in-edge comes from a block
+       at the same or a later position in the sweep order heads a
+       cycle: states there are widened from the second pass on, so
+       domains with infinite ascending chains still terminate. *)
+    let pos = Array.make nb 0 in
+    Array.iteri (fun i b -> pos.(b) <- i) order;
+    let loop_head = Array.make nb false in
+    Array.iter
+      (fun b ->
+         if List.exists (fun p -> pos.(p) >= pos.(b)) (edges_in b) then
+           loop_head.(b) <- true)
+      order;
     let passes = ref 0 in
     let changed = ref true in
     while !changed do
@@ -105,6 +118,10 @@ module Make (D : DOMAIN) = struct
                base (edges_in b)
            in
            let inb = Option.value inb ~default:init in
+           let inb =
+             if loop_head.(b) && !passes > 1 then D.widen input.(b) inb
+             else inb
+           in
            input.(b) <- inb;
            let outb = flow b inb in
            if not (D.equal outb output.(b)) then begin

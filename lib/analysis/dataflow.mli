@@ -22,6 +22,14 @@ module type DOMAIN = sig
   (** Merge at control-flow confluences (set union for may-analyses,
       intersection for must-analyses). *)
 
+  val widen : t -> t -> t
+  (** [widen old next] accelerates convergence at loop heads: from the
+      second sweep on, a block with a retreating in-edge receives
+      [widen previous_input joined_input] instead of the plain join.
+      Finite-height domains can use [let widen = join]; domains with
+      infinite ascending chains (intervals) must jump unstable bounds
+      to a sentinel. *)
+
   val transfer : pc:int -> Sass.Instr.t -> t -> t
   (** Effect of one instruction. For [Backward] problems the input is
       the state {e after} the instruction and the result the state

@@ -9,6 +9,7 @@ type kind =
   | Divergent_barrier
   | Loop_barrier
   | Shared_race
+  | Out_of_bounds
   | Unreachable_code
   | Dead_store
 
@@ -30,6 +31,7 @@ let kind_name = function
   | Divergent_barrier -> "divergent-barrier"
   | Loop_barrier -> "loop-barrier"
   | Shared_race -> "shared-race"
+  | Out_of_bounds -> "out-of-bounds"
   | Unreachable_code -> "unreachable-code"
   | Dead_store -> "dead-store"
 

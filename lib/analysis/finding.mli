@@ -12,6 +12,7 @@ type kind =
   | Divergent_barrier  (** [BAR] reachable under divergent control flow *)
   | Loop_barrier  (** [BAR] in a loop whose trip count may diverge *)
   | Shared_race  (** conflicting shared accesses with no barrier between *)
+  | Out_of_bounds  (** access range outside its space's declared extent *)
   | Unreachable_code
   | Dead_store
 

@@ -39,6 +39,8 @@ module D = struct
       gmap = merge_g a.gmap b.gmap;
       gmap_p = merge_g a.gmap_p b.gmap_p }
 
+  let widen = join
+
   let transfer ~pc:_ (i : Instr.t) st =
     let guarded = not (Pred.is_always i.Instr.guard) in
     let gcode = guard_code i.Instr.guard in

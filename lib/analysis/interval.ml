@@ -1,0 +1,83 @@
+type t = {
+  lo : int;
+  hi : int;
+}
+
+let ninf = min_int
+
+let pinf = max_int
+
+let top = { lo = ninf; hi = pinf }
+
+let point n = { lo = n; hi = n }
+
+let make lo hi =
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let below hi = { lo = ninf; hi }
+
+let above lo = { lo; hi = pinf }
+
+let is_top t = t.lo = ninf && t.hi = pinf
+
+let is_point t = t.lo = t.hi
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let mem n t = t.lo <= n && n <= t.hi
+
+let join a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let widen old next =
+  { lo = (if next.lo < old.lo then ninf else old.lo);
+    hi = (if next.hi > old.hi then pinf else old.hi) }
+
+(* Saturating scalar ops: the sentinels absorb, and any finite
+   overflow lands on a sentinel instead of wrapping. *)
+let sat_add a b =
+  if a = ninf || b = ninf then ninf
+  else if a = pinf || b = pinf then pinf
+  else
+    let s = a + b in
+    if b > 0 && s < a then pinf else if b < 0 && s > a then ninf else s
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let inf_in = a = ninf || a = pinf || b = ninf || b = pinf in
+    let sign_neg = a < 0 <> (b < 0) in
+    if inf_in then if sign_neg then ninf else pinf
+    else
+      let p = a * b in
+      if p / b <> a then (if sign_neg then ninf else pinf) else p
+
+let add a b = { lo = sat_add a.lo b.lo; hi = sat_add a.hi b.hi }
+
+let neg t =
+  { lo = (if t.hi = pinf then ninf else if t.hi = ninf then pinf else -t.hi);
+    hi = (if t.lo = ninf then pinf else if t.lo = pinf then ninf else -t.lo) }
+
+let sub a b = add a (neg b)
+
+let mul_const k t =
+  if k = 0 then point 0
+  else if k > 0 then { lo = sat_mul k t.lo; hi = sat_mul k t.hi }
+  else { lo = sat_mul k t.hi; hi = sat_mul k t.lo }
+
+let mul a b =
+  let cands =
+    [ sat_mul a.lo b.lo; sat_mul a.lo b.hi; sat_mul a.hi b.lo;
+      sat_mul a.hi b.hi ]
+  in
+  { lo = List.fold_left min pinf cands; hi = List.fold_left max ninf cands }
+
+let disjoint a b = a.hi < b.lo || b.hi < a.lo
+
+let pp ppf t =
+  let b ppf n =
+    if n = ninf then Format.pp_print_string ppf "-oo"
+    else if n = pinf then Format.pp_print_string ppf "+oo"
+    else Format.pp_print_int ppf n
+  in
+  Format.fprintf ppf "[%a,%a]" b t.lo b t.hi

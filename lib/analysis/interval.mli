@@ -1,0 +1,60 @@
+(** Integer intervals with infinite endpoints, the base layer of the
+    abstract-interpretation stack ({!Affine}, {!Absdom}).
+
+    [min_int]/[max_int] are the -oo/+oo sentinels; every operation
+    saturates toward them, so overflow degrades to "unbounded" rather
+    than wrapping. The lattice has infinite ascending chains —
+    {!widen} jumps a growing bound straight to its sentinel and is
+    what the {!Dataflow} solver applies at loop heads. *)
+
+type t = private {
+  lo : int;  (** [min_int] means unbounded below *)
+  hi : int;  (** [max_int] means unbounded above *)
+}
+
+val top : t
+
+val point : int -> t
+
+val make : int -> int -> t
+(** [make lo hi]; @raise Invalid_argument if [lo > hi]. *)
+
+val below : int -> t
+(** [[-oo, hi]]. *)
+
+val above : int -> t
+(** [[lo, +oo]]. *)
+
+val is_top : t -> bool
+
+val is_point : t -> bool
+
+val equal : t -> t -> bool
+
+val mem : int -> t -> bool
+
+val join : t -> t -> t
+
+val widen : t -> t -> t
+(** [widen old next]: keep a stable bound, jump a moving one to its
+    sentinel. [widen a (join a b)] stabilizes in at most two steps. *)
+
+val add : t -> t -> t
+
+val neg : t -> t
+
+val sub : t -> t -> t
+
+val mul_const : int -> t -> t
+
+val mul : t -> t -> t
+
+val disjoint : t -> t -> bool
+(** No common point. *)
+
+val sat_add : int -> int -> int
+(** Saturating scalar addition (sentinels absorb). *)
+
+val sat_mul : int -> int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,137 @@
+open Sass
+
+type prediction = {
+  p_pc : int;
+  p_space : Opcode.space;
+  p_store : bool;
+  p_bytes : int;
+  p_min : int;
+  p_max : int;
+  p_exact : bool;
+  p_note : string;
+}
+
+let banks = 32
+let bank_bytes = 4
+let warp_size = 32
+
+(* Mirror of [Gpu.Memsys.shared_access]: distinct words per bank,
+   conflict degree = max over banks (>= 1). *)
+let shared_degree addrs =
+  let per_bank = Hashtbl.create banks in
+  List.iter
+    (fun addr ->
+       let word = addr / bank_bytes in
+       let bank = word mod banks in
+       let words =
+         match Hashtbl.find_opt per_bank bank with None -> [] | Some ws -> ws
+       in
+       if not (List.mem word words) then
+         Hashtbl.replace per_bank bank (word :: words))
+    addrs;
+  Hashtbl.fold (fun _ ws acc -> max acc (List.length ws)) per_bank 1
+
+(* Mirror of [Gpu.Memsys.coalesce]: distinct lines covered by
+   [[addr, addr+width)]. *)
+let global_lines ~line_bytes pairs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (addr, w) ->
+       let first = addr / line_bytes and last = (addr + w - 1) / line_bytes in
+       for l = first to last do
+         Hashtbl.replace tbl l ()
+       done)
+    pairs;
+  Hashtbl.length tbl
+
+(* Warps enumerated per site before giving up on full-grid
+   enumeration and requiring block invariance instead. *)
+let warp_budget = 1 lsl 16
+
+let predict ~geom ~line_bytes instrs (cfg : Cfg.t) (states : Absdom.t array) =
+  let bx = max 1 geom.Affine.g_block_x and by = max 1 geom.Affine.g_block_y in
+  let gx = max 1 geom.Affine.g_grid_x and gy = max 1 geom.Affine.g_grid_y in
+  let threads = bx * by in
+  let warps = (threads + warp_size - 1) / warp_size in
+  let out = ref [] in
+  Array.iteri
+    (fun pc (i : Instr.t) ->
+       match Instr.mem_access i with
+       | Some m
+         when (m.Instr.m_space = Opcode.Shared
+               || m.Instr.m_space = Opcode.Global)
+              && Cfg.reachable_block cfg cfg.Cfg.block_of_pc.(pc) ->
+         let a = Absdom.address states.(pc) m in
+         let bytes = Opcode.bytes_of_width m.Instr.m_width in
+         let align =
+           if m.Instr.m_space = Opcode.Shared then bank_bytes else line_bytes
+         in
+         let note = ref "" in
+         let fail msg = if !note = "" then note := msg in
+         if a.Affine.a_var then fail "thread-variant (data-dependent) address";
+         if a.Affine.a_par <> [] then fail "unresolved kernel parameter";
+         let res_ok =
+           Interval.is_point a.Affine.a_res
+           || (a.Affine.a_mod <> 0 && a.Affine.a_mod mod align = 0
+               && a.Affine.a_res.Interval.lo <> min_int)
+         in
+         if not res_ok then
+           fail "loop-carried stride not bank/line aligned";
+         if not (Pred.is_always i.Instr.guard) then
+           fail "guarded access (partial warp)";
+         (* Every block, or one representative block if the block
+            coefficients only shift by count-preserving multiples. *)
+         let block_invariant =
+           a.Affine.a_cx mod align = 0 && a.Affine.a_cy mod align = 0
+         in
+         let ncx, ncy =
+           if gx * gy * warps <= warp_budget then (gx, gy)
+           else if block_invariant then (1, 1)
+           else begin
+             fail "grid too large to enumerate, block-variant pattern";
+             (1, 1)
+           end
+         in
+         let res0 =
+           if Interval.is_point a.Affine.a_res
+              || a.Affine.a_res.Interval.lo <> min_int
+           then a.Affine.a_res.Interval.lo
+           else 0
+         in
+         let lo = ref max_int and hi = ref 0 in
+         for cx = 0 to ncx - 1 do
+           for cy = 0 to ncy - 1 do
+             for w = 0 to warps - 1 do
+               let addrs = ref [] in
+               for l = warp_size - 1 downto 0 do
+                 let linear = (w * warp_size) + l in
+                 if linear < threads then begin
+                   let tx = linear mod bx and ty = linear / bx in
+                   let addr =
+                     a.Affine.a_base + (a.Affine.a_tx * tx)
+                     + (a.Affine.a_ty * ty) + (a.Affine.a_cx * cx)
+                     + (a.Affine.a_cy * cy) + res0
+                   in
+                   addrs := addr :: !addrs
+                 end
+               done;
+               let cost =
+                 if m.Instr.m_space = Opcode.Shared then shared_degree !addrs
+                 else
+                   global_lines ~line_bytes
+                     (List.map (fun a -> (a, bytes)) !addrs)
+               in
+               if cost < !lo then lo := cost;
+               if cost > !hi then hi := cost
+             done
+           done
+         done;
+         let lo = if !lo = max_int then 0 else !lo in
+         out :=
+           { p_pc = pc; p_space = m.Instr.m_space;
+             p_store = m.Instr.m_is_store; p_bytes = bytes; p_min = lo;
+             p_max = !hi; p_exact = !note = ""; p_note = !note }
+           :: !out
+       | _ -> ())
+    instrs;
+  List.rev !out

@@ -1,0 +1,45 @@
+(** Static shared-memory bank-conflict and global-coalescing
+    predictors.
+
+    For every shared/global access site whose {!Absdom} address is a
+    resolved affine function of the thread coordinates, enumerate the
+    warps of the launch exactly as the simulator forms them (lane [l]
+    of warp [w] is linear thread [w*32 + l]; [tx = linear mod bx],
+    [ty = linear / bx]) and replay the machine's own counting rules:
+    shared accesses hit 32 four-byte-wide banks and cost the maximum
+    number of {e distinct words} mapped to one bank; global accesses
+    cost the number of distinct [line_bytes] lines covered by
+    [[addr, addr+width)] over the active lanes.
+
+    A site is {e exact} ([p_exact]) when the prediction is provably
+    the count the simulator will charge for every dynamic execution of
+    the site: unguarded, thread-invariant residue, and a residue
+    stride that shifts the whole warp by bank-size (shared) or
+    line-size (global) multiples — loop-carried addresses like
+    [tile + 64*t] stay exact because a uniform multiple-of-64 shift
+    permutes banks and translates lines without changing counts.
+    Inexact sites still carry the interval observed over the
+    enumerated warps. *)
+
+type prediction = {
+  p_pc : int;
+  p_space : Sass.Opcode.space;  (** [Shared] or [Global] *)
+  p_store : bool;
+  p_bytes : int;
+  p_min : int;
+  p_max : int;
+      (** per-warp-access cost over all enumerated warps: bank-conflict
+          degree (shared) or line transactions (global) *)
+  p_exact : bool;
+  p_note : string;  (** why the site is not exact, or [""] *)
+}
+
+val predict :
+  geom:Affine.geom ->
+  line_bytes:int ->
+  Sass.Instr.t array ->
+  Sass.Cfg.t ->
+  Absdom.t array ->
+  prediction list
+(** One entry per reachable shared/global [LD]/[ST]/[ATOM]/[RED] site,
+    in PC order. *)

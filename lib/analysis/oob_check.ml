@@ -1,0 +1,52 @@
+open Sass
+
+let check ~kernel ?(concrete = false) ?heap_bytes ~shared_bytes ~frame_bytes
+    instrs (cfg : Cfg.t) (states : Absdom.t array) =
+  let findings = ref [] in
+  let report pc sev msg =
+    findings := Finding.make ~kernel ~pc Finding.Out_of_bounds sev msg :: !findings
+  in
+  Array.iteri
+    (fun pc (i : Instr.t) ->
+       match Instr.mem_access i with
+       | Some m when Cfg.reachable_block cfg cfg.Cfg.block_of_pc.(pc) ->
+         let extent =
+           match m.Instr.m_space with
+           | Opcode.Shared -> Some ("shared", shared_bytes)
+           | Opcode.Local -> Some ("local", frame_bytes)
+           | Opcode.Global ->
+             Option.map (fun h -> ("global", h)) heap_bytes
+           | Opcode.Param | Opcode.Tex -> None
+         in
+         (match extent with
+          | None -> ()
+          | Some (space, extent) ->
+            let geom = Absdom.geom states.(pc) in
+            let addr =
+              Affine.to_interval ~geom (Absdom.address states.(pc) m)
+            in
+            let bytes = Opcode.bytes_of_width m.Instr.m_width in
+            let lo = addr.Interval.lo in
+            let hi = Interval.sat_add addr.Interval.hi (bytes - 1) in
+            let bounded = lo <> min_int && hi <> max_int in
+            if bounded then begin
+              if lo >= extent || hi < 0 then
+                report pc Finding.Error
+                  (Printf.sprintf
+                     "%s %s at [%d, %d] is entirely outside the %d-byte \
+                      extent: faults on every execution"
+                     space
+                     (if m.Instr.m_is_store then "store" else "load")
+                     lo hi extent)
+              else if concrete && (lo < 0 || hi >= extent) then
+                report pc Finding.Warning
+                  (Printf.sprintf
+                     "%s %s address range [%d, %d] can exceed the %d-byte \
+                      extent for this launch"
+                     space
+                     (if m.Instr.m_is_store then "store" else "load")
+                     lo hi extent)
+            end)
+       | _ -> ())
+    instrs;
+  List.rev !findings

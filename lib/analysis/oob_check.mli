@@ -1,0 +1,27 @@
+(** Static out-of-bounds checker.
+
+    Bounds every memory access's byte range with the {!Absdom} address
+    interval and compares it against the declared extent of its space:
+    shared against the kernel's static [shared_bytes], local against
+    the per-thread [frame_bytes] (local addresses are frame-relative,
+    mirroring the runtime trap), global against the device heap
+    watermark when the caller supplies one.
+
+    A range provably outside the extent is an [Error] (the runtime
+    would trap on every execution); a range that merely {e can} exceed
+    it is a [Warning], reported only under a concrete launch shape —
+    under the worst-case {!Affine.assumed_geom} nearly every
+    tid-scaled address looks potentially out of range, so static
+    verification only reports definite violations. Unbounded
+    (data-dependent) addresses are never reported. *)
+
+val check :
+  kernel:string ->
+  ?concrete:bool ->
+  ?heap_bytes:int ->
+  shared_bytes:int ->
+  frame_bytes:int ->
+  Sass.Instr.t array ->
+  Sass.Cfg.t ->
+  Absdom.t array ->
+  Finding.t list

@@ -1,126 +1,203 @@
 open Sass
 
-type access = {
-  a_pc : int;
-  a_store : bool;
-  a_base : Instr.src;
-  a_off : Instr.src;
-  a_bytes : int;
+type classification =
+  | Proven_safe
+  | Proven_race
+  | Unknown
+
+let classification_name = function
+  | Proven_safe -> "proven-safe"
+  | Proven_race -> "proven-race"
+  | Unknown -> "unknown"
+
+type site = {
+  s_pc : int;
+  s_store : bool;
+  s_class : classification;
+  s_partner : int option;
+  s_note : string;
 }
 
-let access_of pc (i : Instr.t) =
-  match i.Instr.op with
-  | Opcode.LD (Opcode.Shared, w) -> (
-      match i.Instr.srcs with
-      | base :: off :: _ ->
-        Some
-          { a_pc = pc; a_store = false; a_base = base; a_off = off;
-            a_bytes = Opcode.bytes_of_width w }
-      | _ -> None)
-  | Opcode.ST (Opcode.Shared, w) -> (
-      match i.Instr.srcs with
-      | base :: off :: _ ->
-        Some
-          { a_pc = pc; a_store = true; a_base = base; a_off = off;
-            a_bytes = Opcode.bytes_of_width w }
-      | _ -> None)
-  | _ -> None
+type acc = {
+  a_pc : int;
+  a_mem : Instr.mem;
+  a_guarded : bool;
+}
 
-let check ~kernel instrs (cfg : Cfg.t) uni =
+let shared_accesses instrs (cfg : Cfg.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun pc (i : Instr.t) ->
+       match Instr.mem_access i with
+       | Some m
+         when m.Instr.m_space = Opcode.Shared
+              && Cfg.reachable_block cfg cfg.Cfg.block_of_pc.(pc) ->
+         out :=
+           { a_pc = pc; a_mem = m;
+             a_guarded = not (Pred.is_always i.Instr.guard) }
+           :: !out
+       | _ -> ())
+    instrs;
+  List.rev !out
+
+(* Backward barrier-free region of a PC: every PC from which the
+   access is reachable without crossing a [BAR]. Two accesses may
+   happen in parallel (distinct threads of one block) iff their
+   regions share a point — a common program point both threads can
+   pass after their last common barrier. This covers both arms of a
+   diamond, loop-carried pairs, and an access racing with itself. *)
+let region instrs (cfg : Cfg.t) pc =
   let n = Array.length instrs in
   let nb = Array.length cfg.Cfg.blocks in
-  let acc = Array.init n (fun pc -> access_of pc instrs.(pc)) in
-  let is_bar = Array.map (fun (i : Instr.t) -> i.Instr.op = Opcode.BAR) instrs in
-  let seen = Hashtbl.create 16 in
-  let findings = ref [] in
-  let variant a =
-    Uniformity.variant_src_before uni a.a_pc a.a_base
-    || Uniformity.variant_src_before uni a.a_pc a.a_off
-  in
-  (* Address = sum of the two operands; split it into its constant
-     part and its (sorted) non-immediate operands so that [x + 0x0]
-     vs [x + 0x400] compares as same-symbol, different-constant
-     regardless of which operand slot holds the immediate. *)
-  let split a =
-    List.fold_left
-      (fun (imm, others) s ->
-         match s with
-         | Instr.SImm v -> (imm + v, others)
-         | s -> (imm, s :: others))
-      (0, [])
-      [ a.a_base; a.a_off ]
-    |> fun (imm, others) -> (imm, List.sort Stdlib.compare others)
-  in
-  let consider a1 a2 =
-    if (a1.a_store || a2.a_store) && not (Hashtbl.mem seen (a1.a_pc, a2.a_pc))
-    then begin
-      let imm1, sym1 = split a1 and imm2, sym2 = split a2 in
-      let same_symbols = sym1 = sym2 in
-      (* Same symbolic part, same constant: each thread hits its own
-         slot (write-your-slot / read-your-slot). *)
-      let identical = same_symbols && imm1 = imm2 in
-      (* Same symbolic part, constants far enough apart: disjoint
-         regions (e.g. the A-tile at 0x0 and B-tile at 0x400). *)
-      let disjoint =
-        same_symbols
-        && (imm1 + a1.a_bytes <= imm2 || imm2 + a2.a_bytes <= imm1)
-      in
-      if (not identical) && (not disjoint) && (variant a1 || variant a2)
-      then begin
-        Hashtbl.add seen (a1.a_pc, a2.a_pc) ();
-        findings :=
-          Finding.make ~kernel ~pc:a2.a_pc Finding.Shared_race Finding.Warning
-            (Printf.sprintf
-               "shared %s may conflict with the shared %s at pc %d \
-                with no BAR between them"
-               (if a2.a_store then "store" else "load")
-               (if a1.a_store then "store" else "load")
-               a1.a_pc)
-          :: !findings
+  let mark = Array.make n false in
+  let visited = Array.make nb false in
+  let is_bar p = instrs.(p).Instr.op = Opcode.BAR in
+  (* Mark [hi] down to the block's first PC, stopping at a BAR;
+     returns true if the walk reached the block start. *)
+  let walk_down b hi =
+    let blk = cfg.Cfg.blocks.(b) in
+    let p = ref hi and open_ = ref true in
+    while !open_ && !p >= blk.Cfg.first do
+      if is_bar !p then open_ := false
+      else begin
+        mark.(!p) <- true;
+        decr p
       end
+    done;
+    !open_
+  in
+  let rec visit b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      if walk_down b cfg.Cfg.blocks.(b).Cfg.last then
+        List.iter visit cfg.Cfg.blocks.(b).Cfg.preds
     end
   in
-  (* From each access, scan every barrier-free path forward and pair
-     it with the shared accesses encountered. *)
-  Array.iter
-    (fun a1_opt ->
-       match a1_opt with
-       | None -> ()
-       | Some a1 ->
-         let b1 = cfg.Cfg.block_of_pc.(a1.a_pc) in
-         if Cfg.reachable_block cfg b1 then begin
-           let blk = cfg.Cfg.blocks.(b1) in
-           let stopped = ref false in
-           let pc = ref (a1.a_pc + 1) in
-           while (not !stopped) && !pc <= blk.Cfg.last do
-             if is_bar.(!pc) then stopped := true
-             else
-               (match acc.(!pc) with
-                | Some a2 -> consider a1 a2
-                | None -> ());
-             incr pc
-           done;
-           if not !stopped then begin
-             let visited = Array.make nb false in
-             let rec dfs b =
-               if not visited.(b) then begin
-                 visited.(b) <- true;
-                 let blk = cfg.Cfg.blocks.(b) in
-                 let stopped = ref false in
-                 let pc = ref blk.Cfg.first in
-                 while (not !stopped) && !pc <= blk.Cfg.last do
-                   if is_bar.(!pc) then stopped := true
-                   else
-                     (match acc.(!pc) with
-                      | Some a2 -> consider a1 a2
-                      | None -> ());
-                   incr pc
-                 done;
-                 if not !stopped then List.iter dfs blk.Cfg.succs
+  let b0 = cfg.Cfg.block_of_pc.(pc) in
+  mark.(pc) <- true;
+  if pc > cfg.Cfg.blocks.(b0).Cfg.first then begin
+    if walk_down b0 (pc - 1) then
+      List.iter visit cfg.Cfg.blocks.(b0).Cfg.preds
+  end
+  else List.iter visit cfg.Cfg.blocks.(b0).Cfg.preds;
+  mark
+
+let regions_intersect r1 r2 =
+  let n = Array.length r1 in
+  let rec go i = i < n && ((r1.(i) && r2.(i)) || go (i + 1)) in
+  go 0
+
+let bytes_of (m : Instr.mem) = Opcode.bytes_of_width m.Instr.m_width
+
+(* An [`Overlap] witness only certifies a race when both accesses
+   provably execute for at least two distinct threads: unguarded, in
+   blocks that dominate every exit (no divergent path around them),
+   and a launch shape with >= 2 threads per block. *)
+let certainly_executed (cfg : Cfg.t) dom a =
+  (not a.a_guarded)
+  &&
+  let b = cfg.Cfg.block_of_pc.(a.a_pc) in
+  List.for_all (fun e -> Domtree.dominates dom b e) (Cfg.exit_blocks cfg)
+
+let sites ?(concrete = false) instrs (cfg : Cfg.t) (states : Absdom.t array) =
+  let accs = shared_accesses instrs cfg in
+  if accs = [] then []
+  else begin
+    let dom = Domtree.dominators cfg in
+    let geom =
+      match accs with
+      | a :: _ -> Absdom.geom states.(a.a_pc)
+      | [] -> Affine.assumed_geom
+    in
+    let threads = geom.Affine.g_block_x * geom.Affine.g_block_y in
+    let regions =
+      List.map (fun a -> (a.a_pc, region instrs cfg a.a_pc)) accs
+    in
+    let region_of pc = List.assoc pc regions in
+    let addr a = Absdom.address states.(a.a_pc) a.a_mem in
+    let verdict_of a1 a2 =
+      (* Atomics never race with each other; an atomic against a
+         plain access is still an unordered pair. *)
+      if a1.a_mem.Instr.m_is_atomic && a2.a_mem.Instr.m_is_atomic then
+        `Disjoint
+      else
+        Affine.cross_thread_overlap ~geom (addr a1) ~bytes1:(bytes_of a1.a_mem)
+          (addr a2) ~bytes2:(bytes_of a2.a_mem)
+    in
+    let mhp a1 a2 =
+      a1.a_pc = a2.a_pc || regions_intersect (region_of a1.a_pc) (region_of a2.a_pc)
+    in
+    List.map
+      (fun a ->
+         let cls = ref Proven_safe and partner = ref None and note = ref "" in
+         let consider b =
+           if (a.a_mem.Instr.m_is_store || b.a_mem.Instr.m_is_store)
+              && mhp a b
+           then
+             match verdict_of a b with
+             | `Disjoint -> ()
+             | `Overlap ->
+               let proven =
+                 concrete && threads >= 2
+                 && certainly_executed cfg dom a
+                 && certainly_executed cfg dom b
+               in
+               if proven then begin
+                 cls := Proven_race;
+                 partner := Some b.a_pc;
+                 note := "overlapping addresses for distinct threads"
                end
-             in
-             List.iter dfs blk.Cfg.succs
-           end
-         end)
-    acc;
-  List.rev !findings
+               else if !cls <> Proven_race then begin
+                 cls := Unknown;
+                 partner := Some b.a_pc;
+                 note := "addresses can overlap across threads"
+               end
+             | `May ->
+               if !cls <> Proven_race then begin
+                 cls := Unknown;
+                 partner := Some b.a_pc;
+                 note := "address overlap not provably disjoint"
+               end
+         in
+         List.iter (fun b -> consider b) accs;
+         { s_pc = a.a_pc;
+           s_store = a.a_mem.Instr.m_is_store;
+           s_class = !cls;
+           s_partner = !partner;
+           s_note = !note })
+      accs
+  end
+
+let check ~kernel ?(concrete = false) instrs cfg states =
+  let sites = sites ~concrete instrs cfg states in
+  let seen = Hashtbl.create 16 in
+  (* Report once per pair, at the later access (matching the old
+     forward-scan convention: the second access is where the missing
+     BAR would go). *)
+  List.filter_map
+    (fun s ->
+       let partner = Option.value s.s_partner ~default:s.s_pc in
+       let lo = min s.s_pc partner and hi = max s.s_pc partner in
+       match s.s_class with
+       | Proven_safe -> None
+       | _ when Hashtbl.mem seen (lo, hi) -> None
+       | Proven_race ->
+         Hashtbl.add seen (lo, hi) ();
+         Some
+           (Finding.make ~kernel ~pc:hi Finding.Shared_race
+              (if concrete then Finding.Error else Finding.Warning)
+              (Printf.sprintf
+                 "provable shared-memory race with the access at pc %d: %s \
+                  and no BAR orders them"
+                 lo s.s_note))
+       | Unknown ->
+         Hashtbl.add seen (lo, hi) ();
+         Some
+           (Finding.make ~kernel ~pc:hi Finding.Shared_race
+              Finding.Warning
+              (Printf.sprintf
+                 "shared %s may conflict with the shared access at pc %d \
+                  with no BAR between them (%s)"
+                 (if s.s_store then "store" else "load")
+                 lo s.s_note)))
+    sites

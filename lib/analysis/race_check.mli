@@ -1,25 +1,61 @@
-(** Shared-memory race hints.
+(** Shared-memory race analysis: barrier-interval may-happen-in-parallel
+    plus affine disjointness proofs.
 
-    Flags pairs of shared-memory accesses, at least one a store, that
-    can execute with no [BAR] between them on some CFG path and whose
-    address expressions do not obviously refer to each thread's own
-    disjoint slot. Heuristic suppressions keep the common tiled-kernel
-    idioms quiet:
+    Two shared accesses by distinct threads of a block may happen in
+    parallel iff their backward barrier-free regions intersect — some
+    common program point reaches both with no [BAR] on the way (this
+    covers both arms of a diamond, loop-carried pairs, and an access
+    racing against itself in another thread). Each MHP pair with at
+    least one store is then decided by
+    {!Affine.cross_thread_overlap} on the {!Absdom} address forms:
 
-    - syntactically identical address operands (the write-your-slot /
-      read-your-slot pattern — same thread, same location);
-    - same base register with distinct immediate offsets whose access
-      ranges cannot overlap;
-    - both addresses warp-uniform {e and} ... at least one address must
-      be thread-variant for a cross-thread conflict to be plausible.
+    - [`Disjoint] on every pair: the site is {e proven safe} — e.g. the
+      write-your-slot tile stores of sgemm, whose per-thread addresses
+      provably never collide for distinct [tid]s.
+    - [`Overlap]: a witness pair of distinct threads collides. With a
+      concrete launch shape (>= 2 threads/block), unguarded accesses
+      whose blocks dominate every exit, that is a {e proven race}.
+    - otherwise the site is {e unknown} (data-dependent or unresolved
+      addressing) and reported as the old-style hint.
 
-    These are hints, never errors: within a warp the SIMT lockstep
-    order actually serializes the pair; across warps it is a real
-    race. Atomics are exempt by definition. *)
+    Read/read pairs are never reported: two loads cannot race. Pairs
+    of atomics are exempt by definition; an atomic against a plain
+    access is still decided by the address proof. *)
+
+type classification =
+  | Proven_safe
+  | Proven_race
+  | Unknown
+
+val classification_name : classification -> string
+
+type site = {
+  s_pc : int;
+  s_store : bool;
+  s_class : classification;
+  s_partner : int option;  (** PC of the access that decided the class *)
+  s_note : string;
+}
+
+val sites :
+  ?concrete:bool ->
+  Sass.Instr.t array ->
+  Sass.Cfg.t ->
+  Absdom.t array ->
+  site list
+(** Classification of every reachable shared-memory access.
+    [concrete] asserts the {!Absdom} states were computed from a real
+    launch shape, enabling [Proven_race] (an overlap witness under the
+    worst-case {!Affine.assumed_geom} need not exist for a smaller
+    launch, so static verification never claims a proven race). *)
 
 val check :
   kernel:string ->
+  ?concrete:bool ->
   Sass.Instr.t array ->
   Sass.Cfg.t ->
-  Uniformity.t ->
+  Absdom.t array ->
   Finding.t list
+(** Findings per conflicting pair: proven races are [Error] under a
+    concrete launch and [Warning] otherwise; unknowns are [Warning]
+    hints. Proven-safe sites are silent. *)

@@ -11,6 +11,8 @@ module D = struct
   let join a b =
     { regs = Regset.union a.regs b.regs; preds = a.preds lor b.preds }
 
+  let widen = join
+
   let pred_variant st = function
     | Pred.PT -> false
     | Pred.P i -> st.preds land (1 lsl i) <> 0

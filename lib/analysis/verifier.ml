@@ -1,18 +1,36 @@
 open Sass
 
-let verify (k : Program.kernel) =
+let verify_ctx ?ctx ?(concrete = false) ?heap_bytes (k : Program.kernel) =
   let instrs = k.Program.instrs in
+  let ctx =
+    match ctx with Some c -> c | None -> Absdom.static_for instrs
+  in
   let kernel = k.Program.name in
   let cfg = Cfg.build instrs in
   let live = Liveness.analyze instrs in
   let uni = Uniformity.analyze instrs cfg in
+  let states = Absdom.analyze ctx instrs cfg in
   let findings =
     Init_check.check ~kernel instrs cfg
     @ Barrier_check.check ~kernel instrs cfg uni
-    @ Race_check.check ~kernel instrs cfg uni
+    @ Race_check.check ~kernel ~concrete instrs cfg states
+    @ Oob_check.check ~kernel ~concrete ?heap_bytes
+        ~shared_bytes:k.Program.shared_bytes
+        ~frame_bytes:k.Program.frame_bytes instrs cfg states
     @ Dead_check.check ~kernel instrs cfg live
   in
   List.sort Finding.compare findings
+
+let verify k = verify_ctx k
+
+let race_sites ?ctx ?(concrete = false) (k : Program.kernel) =
+  let instrs = k.Program.instrs in
+  let ctx =
+    match ctx with Some c -> c | None -> Absdom.static_for instrs
+  in
+  let cfg = Cfg.build instrs in
+  let states = Absdom.analyze ctx instrs cfg in
+  Race_check.sites ~concrete instrs cfg states
 
 let summary findings =
   List.fold_left

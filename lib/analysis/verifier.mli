@@ -7,14 +7,37 @@
     deliberately broken kernels. *)
 
 val verify : Sass.Program.kernel -> Finding.t list
-(** All findings, sorted errors-first then by PC. *)
+(** All findings under the static context ({!Absdom.static_ctx}:
+    worst-case geometry, symbolic parameters), sorted errors-first
+    then by PC. *)
+
+val verify_ctx :
+  ?ctx:Absdom.ctx ->
+  ?concrete:bool ->
+  ?heap_bytes:int ->
+  Sass.Program.kernel ->
+  Finding.t list
+(** {!verify} under a caller-supplied abstract context. [concrete]
+    asserts the context reflects a real launch (geometry and resolved
+    parameters): race overlaps become proven races ([Error]) and
+    may-out-of-bounds warnings are enabled. [heap_bytes] bounds global
+    accesses against the device allocation watermark. *)
+
+val race_sites :
+  ?ctx:Absdom.ctx ->
+  ?concrete:bool ->
+  Sass.Program.kernel ->
+  Race_check.site list
+(** Per-access race classification (see {!Race_check.sites}), the
+    surface the [lint --prove-races] registry gate consumes. *)
 
 val summary : Finding.t list -> int * int * int
 (** [(errors, warnings, infos)]. *)
 
 val gate : Sass.Program.kernel -> (unit, string) result
 (** Fails on definite-bug findings ([Error] severity: uninitialized
-    reads, divergent barriers). Warnings never fail the gate — the
-    compiler must stay permissive about input-dependent hints. *)
+    reads, divergent barriers, provable out-of-bounds). Warnings never
+    fail the gate — the compiler must stay permissive about
+    input-dependent hints. *)
 
 val findings_json : Sass.Program.kernel -> Trace.Json.t

@@ -37,6 +37,8 @@ let host_touch t ~addr ~bytes ~write =
 
 let set_host_access_hook t f = t.d_host_access <- f
 
+let heap_used t = t.d_alloc
+
 let malloc t bytes =
   let aligned = (t.d_alloc + 255) land lnot 255 in
   if aligned + bytes > Memory.size t.d_global then raise Out_of_memory;

@@ -24,6 +24,11 @@ val malloc : t -> int -> int
 (** Bump allocation in global memory, 256-byte aligned.
     @raise Out_of_memory when the global heap is exhausted. *)
 
+val heap_used : t -> int
+(** Global-memory bytes handed out by {!malloc} so far (the bump
+    watermark); the extent static out-of-bounds checks bound global
+    accesses against. *)
+
 val memset : t -> addr:int -> len:int -> char -> unit
 
 val write_i32s : t -> addr:int -> int array -> unit

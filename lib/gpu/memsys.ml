@@ -160,6 +160,7 @@ let shared_access t ~stats addrs =
   let conflict =
     Hashtbl.fold (fun _ ws acc -> max acc (List.length ws)) per_bank 1
   in
+  stats.Stats.shared_accesses <- stats.Stats.shared_accesses + 1;
   stats.Stats.shared_conflicts <- stats.Stats.shared_conflicts + (conflict - 1);
   { transactions = conflict;
     latency = cfg.Config.lat_shared * conflict }

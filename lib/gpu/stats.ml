@@ -16,6 +16,7 @@ type t = {
   mutable gst_requested_bytes : int;
   mutable gst_transactions : int;
   mutable shared_conflicts : int;
+  mutable shared_accesses : int;
   mutable l1_hits : int;
   mutable l1_misses : int;
   mutable l2_hits : int;
@@ -45,6 +46,7 @@ let create () =
     gst_requested_bytes = 0;
     gst_transactions = 0;
     shared_conflicts = 0;
+    shared_accesses = 0;
     l1_hits = 0;
     l1_misses = 0;
     l2_hits = 0;
@@ -75,6 +77,7 @@ let to_assoc t =
     ("gst_requested_bytes", t.gst_requested_bytes);
     ("gst_transactions", t.gst_transactions);
     ("shared_conflicts", t.shared_conflicts);
+    ("shared_accesses", t.shared_accesses);
     ("l1_hits", t.l1_hits);
     ("l1_misses", t.l1_misses);
     ("l2_hits", t.l2_hits);
@@ -103,6 +106,7 @@ let reset t =
   t.gst_requested_bytes <- 0;
   t.gst_transactions <- 0;
   t.shared_conflicts <- 0;
+  t.shared_accesses <- 0;
   t.l1_hits <- 0;
   t.l1_misses <- 0;
   t.l2_hits <- 0;
@@ -131,6 +135,7 @@ let accumulate ~into t =
   into.gst_requested_bytes <- into.gst_requested_bytes + t.gst_requested_bytes;
   into.gst_transactions <- into.gst_transactions + t.gst_transactions;
   into.shared_conflicts <- into.shared_conflicts + t.shared_conflicts;
+  into.shared_accesses <- into.shared_accesses + t.shared_accesses;
   into.l1_hits <- into.l1_hits + t.l1_hits;
   into.l1_misses <- into.l1_misses + t.l1_misses;
   into.l2_hits <- into.l2_hits + t.l2_hits;

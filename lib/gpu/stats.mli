@@ -22,6 +22,10 @@ type t = {
   mutable gst_requested_bytes : int;  (** as above, for stores *)
   mutable gst_transactions : int;
   mutable shared_conflicts : int;  (** extra cycles lost to bank conflicts *)
+  mutable shared_accesses : int;
+      (** shared-space warp accesses routed through the bank model
+          (loads, stores, atomics); the denominator for the average
+          bank-conflict degree *)
   mutable l1_hits : int;
   mutable l1_misses : int;
   mutable l2_hits : int;

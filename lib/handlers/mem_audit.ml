@@ -1,0 +1,133 @@
+type site = {
+  s_kernel : string;
+  s_pc : int;
+  s_space : Sass.Opcode.space;
+  s_store : bool;
+  s_execs : int;
+  s_min : int;
+  s_max : int;
+  s_total : int;
+  s_partial : bool;
+}
+
+type record = {
+  r_space : Sass.Opcode.space;
+  r_store : bool;
+  mutable r_execs : int;
+  mutable r_min : int;
+  mutable r_max : int;
+  mutable r_total : int;
+  mutable r_partial : bool;
+}
+
+type t = {
+  line_bytes : int;
+  tbl : (string * int, record) Hashtbl.t;
+}
+
+let create ~line_bytes = { line_bytes; tbl = Hashtbl.create 64 }
+
+(* The machine's own counting rules, recomputed from lane addresses
+   (see [Gpu.Memsys.shared_access] / [coalesce]). *)
+let shared_degree addrs =
+  let per_bank = Hashtbl.create 32 in
+  List.iter
+    (fun addr ->
+       let word = addr / 4 in
+       let bank = word mod 32 in
+       let words =
+         match Hashtbl.find_opt per_bank bank with None -> [] | Some ws -> ws
+       in
+       if not (List.mem word words) then
+         Hashtbl.replace per_bank bank (word :: words))
+    addrs;
+  Hashtbl.fold (fun _ ws acc -> max acc (List.length ws)) per_bank 1
+
+let global_lines ~line_bytes ~width addrs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun addr ->
+       let first = addr / line_bytes
+       and last = (addr + width - 1) / line_bytes in
+       for l = first to last do
+         Hashtbl.replace tbl l ()
+       done)
+    addrs;
+  Hashtbl.length tbl
+
+let handler t =
+  Sassi.Handler.make ~name:"mem_audit" (fun ctx ->
+      let open Sassi in
+      let space = Params.Memory.space ctx in
+      match space with
+      | Sass.Opcode.Shared | Sass.Opcode.Global ->
+        let lanes =
+          List.filter
+            (fun lane -> Params.Before.will_execute ctx ~lane)
+            (Hctx.active_lanes ctx)
+        in
+        if lanes <> [] then begin
+          let launch = ctx.Hctx.launch in
+          let block_threads =
+            launch.Gpu.State.l_block_x * launch.Gpu.State.l_block_y
+          in
+          let full =
+            Gpu.State.initial_mask ~block_threads
+              ~warp_id:ctx.Hctx.warp.Gpu.State.w_id
+          in
+          let workset =
+            Intrinsics.ballot ctx (fun lane ->
+                Params.Before.will_execute ctx ~lane)
+          in
+          let addrs =
+            List.map (fun lane -> Params.Memory.address ctx ~lane) lanes
+          in
+          let cost =
+            match space with
+            | Sass.Opcode.Shared -> shared_degree addrs
+            | _ ->
+              global_lines ~line_bytes:t.line_bytes
+                ~width:(Params.Memory.width ctx) addrs
+          in
+          let key =
+            (ctx.Hctx.site.Select.s_kernel, ctx.Hctx.site.Select.s_old_pc)
+          in
+          let r =
+            match Hashtbl.find_opt t.tbl key with
+            | Some r -> r
+            | None ->
+              let r =
+                { r_space = space; r_store = Params.Memory.is_store ctx;
+                  r_execs = 0; r_min = max_int; r_max = 0; r_total = 0;
+                  r_partial = false }
+              in
+              Hashtbl.add t.tbl key r;
+              r
+          in
+          r.r_execs <- r.r_execs + 1;
+          if cost < r.r_min then r.r_min <- cost;
+          if cost > r.r_max then r.r_max <- cost;
+          r.r_total <- r.r_total + cost;
+          if workset <> full then r.r_partial <- true
+        end
+      | _ -> ())
+
+let pairs t =
+  [ (Sassi.Select.before [ Sassi.Select.Memory_ops ] [ Sassi.Select.Mem_info ],
+     handler t) ]
+
+let sites t =
+  Hashtbl.fold
+    (fun (kernel, pc) r acc ->
+       { s_kernel = kernel; s_pc = pc; s_space = r.r_space;
+         s_store = r.r_store; s_execs = r.r_execs;
+         s_min = (if r.r_min = max_int then 0 else r.r_min);
+         s_max = r.r_max; s_total = r.r_total; s_partial = r.r_partial }
+       :: acc)
+    t.tbl []
+  |> List.sort (fun a b ->
+      match String.compare a.s_kernel b.s_kernel with
+      | 0 -> Int.compare a.s_pc b.s_pc
+      | c -> c)
+
+let clear t = Hashtbl.reset t.tbl

@@ -1,0 +1,42 @@
+(** Per-site memory audit: the dynamic ground truth the static
+    predictors ({!Analysis.Mempredict}) are validated against.
+
+    A SASSI before-handler on memory ops that, for every warp access,
+    recomputes the simulator's own cost from the lane addresses —
+    bank-conflict degree for shared accesses, coalesced line count for
+    global accesses — and aggregates it per static site
+    [(kernel, original PC)]. It also records whether the site ever
+    fired with a partial warp (divergence or guard), which is what
+    disqualifies a site from exact static prediction.
+
+    Summing [degree - 1] over shared accesses must reproduce the
+    machine's [shared_conflicts] counter, and summing line counts over
+    global loads/stores must reproduce [gld_transactions] /
+    [gst_transactions] — the audit is redundant with the simulator by
+    construction, which is exactly what makes it a cross-check of the
+    static predictions at per-site granularity. *)
+
+type site = {
+  s_kernel : string;
+  s_pc : int;  (** PC in the uninstrumented kernel *)
+  s_space : Sass.Opcode.space;
+  s_store : bool;
+  s_execs : int;  (** warp accesses observed *)
+  s_min : int;  (** min per-access cost (degree or transactions) *)
+  s_max : int;
+  s_total : int;  (** summed cost over all accesses *)
+  s_partial : bool;  (** some access ran with a partial warp mask *)
+}
+
+type t
+
+val create : line_bytes:int -> t
+(** [line_bytes] must match the device's coalescing granularity
+    ([Gpu.Config.line_bytes]). *)
+
+val pairs : t -> (Sassi.Select.spec * Sassi.Handler.t) list
+
+val sites : t -> site list
+(** Sorted by kernel then PC. *)
+
+val clear : t -> unit

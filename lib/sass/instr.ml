@@ -66,6 +66,38 @@ let reads_gpr t = uses t <> []
 let is_cond_branch t =
   Opcode.is_branch t.op && not (Pred.is_always t.guard)
 
+type mem = {
+  m_space : Opcode.space;
+  m_width : Opcode.width;
+  m_base : src;
+  m_off : src;
+  m_is_store : bool;
+  m_is_load : bool;
+  m_is_atomic : bool;
+}
+
+let mem_access t =
+  let two = function
+    | base :: off :: _ -> Some (base, off)
+    | _ -> None
+  in
+  let build ~store ~load ~atomic space width =
+    match two t.srcs with
+    | Some (m_base, m_off) ->
+      Some
+        { m_space = space; m_width = width; m_base; m_off;
+          m_is_store = store; m_is_load = load; m_is_atomic = atomic }
+    | None -> None
+  in
+  match t.op with
+  | Opcode.LD (space, width) ->
+    build ~store:false ~load:true ~atomic:false space width
+  | Opcode.ST (space, width) ->
+    build ~store:true ~load:false ~atomic:false space width
+  | Opcode.ATOM (space, _, width) | Opcode.RED (space, _, width) ->
+    build ~store:true ~load:true ~atomic:true space width
+  | _ -> None
+
 let pp_src ppf = function
   | SReg r -> Reg.pp ppf r
   | SImm i -> Format.fprintf ppf "0x%x" (i land 0xffffffff)

@@ -73,6 +73,22 @@ val reads_gpr : t -> bool
 val is_cond_branch : t -> bool
 (** A [BRA] under a non-[PT] guard. *)
 
+(** Structured view of a memory operand, decoding the positional
+    [base; offset; ...] convention shared by [LD]/[ST]/[ATOM]/[RED]. *)
+type mem = {
+  m_space : Opcode.space;
+  m_width : Opcode.width;
+  m_base : src;
+  m_off : src;
+  m_is_store : bool;  (** writes memory ([ST]/[ATOM]/[RED]) *)
+  m_is_load : bool;  (** reads memory ([LD]/[TLD]/[ATOM]/[RED]) *)
+  m_is_atomic : bool;
+}
+
+val mem_access : t -> mem option
+(** [None] for non-memory instructions and [TLD] (texture addressing
+    is an element index into a bound buffer, not a byte address). *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string

@@ -50,6 +50,8 @@ module LiveDom = struct
   let equal = Analysis.Regset.equal
   let join = Analysis.Regset.union
 
+  let widen = join
+
   let transfer ~pc:_ (i : Instr.t) out =
     let open Analysis.Regset in
     let killed =
@@ -309,21 +311,333 @@ let test_shared_race_suppressed () =
 
 let test_shared_disjoint_tiles () =
   (* Two stores through the same index register into disjoint
-     immediate regions (the sgemm A-tile/B-tile pattern) are clean. *)
-  let fs =
-    findings_of
-      [| Instr.make (Opcode.S2R Opcode.Sr_tid_x) ~dsts:[ Reg.r 0 ];
-         Instr.make Opcode.SHL ~dsts:[ Reg.r 2 ]
-           ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 2 ];
-         Instr.make (Opcode.ST (Opcode.Shared, Opcode.W32))
-           ~srcs:
-             [ Instr.SImm 0; Instr.SReg (Reg.r 2); Instr.SReg (Reg.r 0) ];
-         Instr.make (Opcode.ST (Opcode.Shared, Opcode.W32))
-           ~srcs:
-             [ Instr.SImm 0x400; Instr.SReg (Reg.r 2); Instr.SReg (Reg.r 0) ];
-         Instr.make Opcode.EXIT |]
+     immediate regions (the sgemm A-tile/B-tile pattern). Under the
+     launch that matches the tiles (256 threads, 0x400 bytes apart at
+     stride 4) the affine prover shows every cross-thread pair
+     disjoint: all sites proven safe, no findings. *)
+  let instrs =
+    [| Instr.make (Opcode.S2R Opcode.Sr_tid_x) ~dsts:[ Reg.r 0 ];
+       Instr.make Opcode.SHL ~dsts:[ Reg.r 2 ]
+         ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 2 ];
+       Instr.make (Opcode.ST (Opcode.Shared, Opcode.W32))
+         ~srcs:
+           [ Instr.SImm 0; Instr.SReg (Reg.r 2); Instr.SReg (Reg.r 0) ];
+       Instr.make (Opcode.ST (Opcode.Shared, Opcode.W32))
+         ~srcs:
+           [ Instr.SImm 0x400; Instr.SReg (Reg.r 2); Instr.SReg (Reg.r 0) ];
+       Instr.make Opcode.EXIT |]
   in
-  check int "disjoint tiles clean" 0 (count_kind fs F.Shared_race)
+  let k = Program.make ~name:"tiles" ~shared_bytes:0x800 instrs in
+  let geom =
+    { Analysis.Affine.g_block_x = 256; g_block_y = 1; g_grid_x = 4;
+      g_grid_y = 1 }
+  in
+  let ctx = Analysis.Absdom.concrete_ctx geom in
+  let fs = Analysis.Verifier.verify_ctx ~ctx ~concrete:true k in
+  check int "disjoint tiles clean" 0 (count_kind fs F.Shared_race);
+  let sites = Analysis.Verifier.race_sites ~ctx ~concrete:true k in
+  check int "two classified sites" 2 (List.length sites);
+  check bool "all proven safe" true
+    (List.for_all
+       (fun s -> s.Analysis.Race_check.s_class = Analysis.Race_check.Proven_safe)
+       sites);
+  (* Statically (unknown launch width) the same pair is honestly
+     "unknown": threads 256 apart would collide in a wider block. *)
+  let fs_static = findings_of instrs in
+  check int "static verdict is a hint" 1
+    (count_kind fs_static F.Shared_race);
+  check bool "static hint is a warning, not an error" true
+    (List.for_all
+       (fun f ->
+          f.F.f_kind <> F.Shared_race || f.F.f_severity = F.Warning)
+       fs_static)
+
+(* A read/read pair is never a race, even when the addresses provably
+   overlap across threads (every thread reading slot 0 is the
+   canonical broadcast idiom). Pinned because the first version of
+   the checker reported these. *)
+let test_shared_read_read () =
+  let instrs =
+    [| Instr.make (Opcode.LD (Opcode.Shared, Opcode.W32))
+         ~dsts:[ Reg.r 1 ]
+         ~srcs:[ Instr.SImm 0; Instr.SImm 0 ];
+       Instr.make (Opcode.LD (Opcode.Shared, Opcode.W32))
+         ~dsts:[ Reg.r 2 ]
+         ~srcs:[ Instr.SImm 0; Instr.SImm 0 ];
+       Instr.make Opcode.EXIT |]
+  in
+  check int "read/read never races" 0
+    (count_kind (findings_of instrs) F.Shared_race);
+  let k = Program.make ~name:"readers" ~shared_bytes:16 instrs in
+  let geom =
+    { Analysis.Affine.g_block_x = 64; g_block_y = 1; g_grid_x = 1;
+      g_grid_y = 1 }
+  in
+  let sites =
+    Analysis.Verifier.race_sites
+      ~ctx:(Analysis.Absdom.concrete_ctx geom) ~concrete:true k
+  in
+  check bool "loads proven safe" true
+    (sites <> []
+     && List.for_all
+          (fun s ->
+             s.Analysis.Race_check.s_class = Analysis.Race_check.Proven_safe)
+          sites)
+
+(* --- Race proofs: the proven-safe / proven-race / unknown triptych --- *)
+
+let race_geom =
+  { Analysis.Affine.g_block_x = 64; g_block_y = 1; g_grid_x = 1; g_grid_y = 1 }
+
+(* One shared store per kernel; only the address expression differs. *)
+let triptych_kernel addr_instrs store_srcs =
+  Program.make ~name:"triptych" ~shared_bytes:0x400
+    (Array.append addr_instrs
+       [| Instr.make (Opcode.ST (Opcode.Shared, Opcode.W32))
+            ~srcs:store_srcs;
+          Instr.make Opcode.EXIT |])
+
+let race_classes k =
+  let ctx = Analysis.Absdom.concrete_ctx race_geom in
+  ( Analysis.Verifier.race_sites ~ctx ~concrete:true k,
+    Analysis.Verifier.verify_ctx ~ctx ~concrete:true k )
+
+let test_race_proven_safe () =
+  (* st.shared [4*tid] <- tid: disjoint slots, proven safe. *)
+  let k =
+    triptych_kernel
+      [| Instr.make (Opcode.S2R Opcode.Sr_tid_x) ~dsts:[ Reg.r 0 ];
+         Instr.make Opcode.SHL ~dsts:[ Reg.r 1 ]
+           ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 2 ] |]
+      [ Instr.SReg (Reg.r 1); Instr.SImm 0; Instr.SReg (Reg.r 0) ]
+  in
+  let sites, fs = race_classes k in
+  check int "one site" 1 (List.length sites);
+  check bool "proven safe" true
+    ((List.hd sites).Analysis.Race_check.s_class
+     = Analysis.Race_check.Proven_safe);
+  check int "no findings" 0 (count_kind fs F.Shared_race)
+
+let test_race_proven_race () =
+  (* st.shared [0] <- tid: every thread hits the same word, and the
+     store is unconditional — a proven write/write race, reported as
+     an error under the concrete launch. *)
+  let k =
+    triptych_kernel
+      [| Instr.make (Opcode.S2R Opcode.Sr_tid_x) ~dsts:[ Reg.r 0 ] |]
+      [ Instr.SImm 0; Instr.SImm 0; Instr.SReg (Reg.r 0) ]
+  in
+  let sites, fs = race_classes k in
+  check bool "proven race" true
+    (List.exists
+       (fun s ->
+          s.Analysis.Race_check.s_class = Analysis.Race_check.Proven_race)
+       sites);
+  check bool "reported as error" true
+    (List.exists
+       (fun f -> f.F.f_kind = F.Shared_race && f.F.f_severity = F.Error)
+       fs)
+
+let test_race_unknown () =
+  (* st.shared [loaded value]: the address is data-dependent, so the
+     checker must answer "unknown" — a warning, never an error. *)
+  let k =
+    triptych_kernel
+      [| Instr.make (Opcode.S2R Opcode.Sr_tid_x) ~dsts:[ Reg.r 0 ];
+         Instr.make (Opcode.LD (Opcode.Global, Opcode.W32))
+           ~dsts:[ Reg.r 1 ]
+           ~srcs:[ Instr.SImm 0; Instr.SImm 0 ] |]
+      [ Instr.SReg (Reg.r 1); Instr.SImm 0; Instr.SReg (Reg.r 0) ]
+  in
+  let sites, fs = race_classes k in
+  check bool "unknown" true
+    (List.exists
+       (fun s -> s.Analysis.Race_check.s_class = Analysis.Race_check.Unknown)
+       sites);
+  check bool "warning, not error" true
+    (List.for_all
+       (fun f -> f.F.f_kind <> F.Shared_race || f.F.f_severity = F.Warning)
+       fs);
+  check bool "some warning emitted" true (count_kind fs F.Shared_race > 0)
+
+(* --- Interval and affine domains --- *)
+
+let test_interval_ops () =
+  let open Analysis.Interval in
+  check bool "join" true (equal (join (point 1) (point 5)) (make 1 5));
+  check bool "widen keeps stable bounds" true
+    (equal (widen (make 0 4) (make 0 4)) (make 0 4));
+  check bool "widen jumps moving hi" true
+    ((widen (make 0 4) (make 0 8)).hi = max_int);
+  check bool "widen jumps moving lo" true
+    ((widen (make 0 4) (make (-1) 4)).lo = min_int);
+  check bool "saturating add" true ((add (above 0) (point 1)).hi = max_int);
+  check bool "disjoint" true (disjoint (make 0 3) (make 4 7));
+  check bool "not disjoint" false (disjoint (make 0 4) (make 4 7))
+
+let geom32 =
+  { Analysis.Affine.g_block_x = 32; g_block_y = 1; g_grid_x = 1; g_grid_y = 1 }
+
+let test_affine_ops () =
+  let open Analysis.Affine in
+  let a = mul_const 4 tid_x in
+  check int "mul_const scales the coefficient" 4 a.a_tx;
+  check int "add shifts the base" 8 (add a (const 8)).a_base;
+  (* join of two constants keeps their distance as the stride *)
+  let j = join ~geom:geom32 (const 0) (const 64) in
+  check int "join stride" 64 j.a_mod;
+  check bool "join residue" true
+    (Analysis.Interval.equal j.a_res (Analysis.Interval.make 0 64));
+  (* widening jumps the unstable bound but keeps the stride, which is
+     what keeps loop-carried tile addresses provable *)
+  let w = widen ~geom:geom32 j (join ~geom:geom32 j (const 128)) in
+  check bool "widened hi unbounded" true
+    (w.a_res.Analysis.Interval.hi = max_int);
+  check int "stride survives widening" 64 w.a_mod
+
+let test_affine_overlap () =
+  let open Analysis.Affine in
+  let stride4 = mul_const 4 tid_x in
+  check bool "stride-4 words disjoint" true
+    (cross_thread_overlap ~geom:geom32 stride4 ~bytes1:4 stride4 ~bytes2:4
+     = `Disjoint);
+  check bool "broadcast overlaps" true
+    (cross_thread_overlap ~geom:geom32 (const 0) ~bytes1:4 (const 0)
+       ~bytes2:4
+     = `Overlap);
+  let stride2 = mul_const 2 tid_x in
+  check bool "stride-2 word accesses collide" true
+    (cross_thread_overlap ~geom:geom32 stride2 ~bytes1:4 stride2 ~bytes2:4
+     = `Overlap);
+  check bool "data-dependent is may" true
+    (cross_thread_overlap ~geom:geom32 stride4 ~bytes1:4 (unknown ~var:true)
+       ~bytes2:4
+     = `May);
+  (* 128-byte-apart windows cannot collide inside a 32-thread block *)
+  check bool "offset tiles disjoint" true
+    (cross_thread_overlap ~geom:geom32 stride4 ~bytes1:4
+       (add stride4 (const 128)) ~bytes2:4
+     = `Disjoint)
+
+(* --- Absdom: transfer, join, and loop widening --- *)
+
+let absdom_states instrs =
+  let cfg = Cfg.build instrs in
+  ( Analysis.Absdom.analyze
+      (Analysis.Absdom.concrete_ctx geom32) instrs cfg,
+    cfg )
+
+let test_absdom_transfer () =
+  let instrs =
+    [| Instr.make (Opcode.S2R Opcode.Sr_tid_x) ~dsts:[ Reg.r 0 ];
+       Instr.make Opcode.SHL ~dsts:[ Reg.r 1 ]
+         ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 2 ];
+       Instr.make Opcode.IADD ~dsts:[ Reg.r 2 ]
+         ~srcs:[ Instr.SReg (Reg.r 1); Instr.SImm 0x40 ];
+       Instr.make Opcode.EXIT |]
+  in
+  let states, _ = absdom_states instrs in
+  let a = Analysis.Absdom.reg states.(3) (Reg.r 2) in
+  check int "tid coefficient through shl+add" 4 a.Analysis.Affine.a_tx;
+  check int "base through shl+add" 0x40 a.Analysis.Affine.a_base;
+  check bool "exact" true (Analysis.Affine.is_exact a)
+
+let test_absdom_join () =
+  (* The diamond writes 1 or 2 into R2; at the merge the value is the
+     strided interval [1,2], not top. *)
+  let states, _ = absdom_states (diamond_instrs ()) in
+  let a = Analysis.Absdom.reg states.(5) (Reg.r 2) in
+  check bool "merge is exactly [1,2]" true
+    (Analysis.Interval.equal
+       (Analysis.Affine.to_interval ~geom:geom32 a)
+       (Analysis.Interval.make 1 2));
+  check bool "thread-invariant" true (not a.Analysis.Affine.a_var)
+
+let test_absdom_widen () =
+  (* R1 steps by 64 per iteration: widening must terminate with an
+     unbounded residue that keeps the 64-byte stride. *)
+  let instrs =
+    [| Instr.make Opcode.MOV ~dsts:[ Reg.r 0 ] ~srcs:[ Instr.SImm 0 ];
+       Instr.make Opcode.MOV ~dsts:[ Reg.r 1 ] ~srcs:[ Instr.SImm 0 ];
+       Instr.make (Opcode.ISETP (Opcode.Lt, Opcode.Signed))
+         ~pdsts:[ Pred.p 0 ]
+         ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 8 ];
+       Instr.make Opcode.IADD ~dsts:[ Reg.r 1 ]
+         ~srcs:[ Instr.SReg (Reg.r 1); Instr.SImm 64 ];
+       Instr.make Opcode.IADD ~dsts:[ Reg.r 0 ]
+         ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 1 ];
+       Instr.make Opcode.BRA ~guard:(Pred.on (Pred.p 0)) ~target:2;
+       Instr.make Opcode.EXIT |]
+  in
+  let states, _ = absdom_states instrs in
+  let a = Analysis.Absdom.reg states.(6) (Reg.r 1) in
+  check bool "widened to unbounded" true
+    (a.Analysis.Affine.a_res.Analysis.Interval.hi = max_int);
+  check int "stride survives the loop" 64 a.Analysis.Affine.a_mod;
+  check bool "still thread-invariant" true (not a.Analysis.Affine.a_var)
+
+(* --- Mempredict: static bank/coalescing counts on hand-built kernels --- *)
+
+let test_mempredict () =
+  let instrs =
+    [| Instr.make (Opcode.S2R Opcode.Sr_tid_x) ~dsts:[ Reg.r 0 ];
+       Instr.make Opcode.SHL ~dsts:[ Reg.r 1 ]
+         ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 2 ];
+       (* 4*tid: one word per bank, degree 1 *)
+       Instr.make (Opcode.ST (Opcode.Shared, Opcode.W32))
+         ~srcs:[ Instr.SReg (Reg.r 1); Instr.SImm 0; Instr.SReg (Reg.r 0) ];
+       Instr.make Opcode.SHL ~dsts:[ Reg.r 2 ]
+         ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 3 ];
+       (* 8*tid: two words per bank, degree 2 *)
+       Instr.make (Opcode.ST (Opcode.Shared, Opcode.W32))
+         ~srcs:[ Instr.SReg (Reg.r 2); Instr.SImm 0; Instr.SReg (Reg.r 0) ];
+       (* broadcast: one word total, degree 1 *)
+       Instr.make (Opcode.LD (Opcode.Shared, Opcode.W32))
+         ~dsts:[ Reg.r 3 ]
+         ~srcs:[ Instr.SImm 0; Instr.SImm 0 ];
+       (* global 4*tid: 128 contiguous bytes = 4 lines of 32 *)
+       Instr.make (Opcode.LD (Opcode.Global, Opcode.W32))
+         ~dsts:[ Reg.r 4 ]
+         ~srcs:[ Instr.SReg (Reg.r 1); Instr.SImm 0 ];
+       (* guarded: correct counts but not exact *)
+       Instr.make (Opcode.ISETP (Opcode.Lt, Opcode.Signed))
+         ~pdsts:[ Pred.p 0 ]
+         ~srcs:[ Instr.SReg (Reg.r 0); Instr.SImm 16 ];
+       Instr.make (Opcode.ST (Opcode.Shared, Opcode.W32))
+         ~guard:(Pred.on (Pred.p 0))
+         ~srcs:[ Instr.SReg (Reg.r 1); Instr.SImm 0; Instr.SReg (Reg.r 0) ];
+       Instr.make Opcode.EXIT |]
+  in
+  let cfg = Cfg.build instrs in
+  let states =
+    Analysis.Absdom.analyze (Analysis.Absdom.concrete_ctx geom32) instrs cfg
+  in
+  let preds =
+    Analysis.Mempredict.predict ~geom:geom32 ~line_bytes:32 instrs cfg states
+  in
+  let at pc =
+    List.find (fun p -> p.Analysis.Mempredict.p_pc = pc) preds
+  in
+  check int "five predicted sites" 5 (List.length preds);
+  let p = at 2 in
+  check bool "stride-4 store conflict-free and exact" true
+    (p.Analysis.Mempredict.p_min = 1 && p.Analysis.Mempredict.p_max = 1
+     && p.Analysis.Mempredict.p_exact);
+  let p = at 4 in
+  check bool "stride-8 store degree 2" true
+    (p.Analysis.Mempredict.p_min = 2 && p.Analysis.Mempredict.p_max = 2
+     && p.Analysis.Mempredict.p_exact);
+  let p = at 5 in
+  check bool "broadcast degree 1" true
+    (p.Analysis.Mempredict.p_min = 1 && p.Analysis.Mempredict.p_exact);
+  let p = at 6 in
+  check bool "coalesced global = 4 lines" true
+    (p.Analysis.Mempredict.p_min = 4 && p.Analysis.Mempredict.p_max = 4
+     && p.Analysis.Mempredict.p_exact);
+  let p = at 8 in
+  check bool "guarded site is not exact" true
+    (not p.Analysis.Mempredict.p_exact
+     && p.Analysis.Mempredict.p_note = "guarded access (partial warp)")
 
 (* --- Checker: unreachable code and dead stores --- *)
 
@@ -520,7 +834,24 @@ let suite =
      [ Alcotest.test_case "neighbour read" `Quick test_shared_race;
        Alcotest.test_case "barrier suppresses" `Quick
          test_shared_race_suppressed;
-       Alcotest.test_case "disjoint tiles" `Quick test_shared_disjoint_tiles ]);
+       Alcotest.test_case "disjoint tiles" `Quick test_shared_disjoint_tiles;
+       Alcotest.test_case "read/read never races" `Quick
+         test_shared_read_read ]);
+    ("analysis.race-proofs",
+     [ Alcotest.test_case "proven safe" `Quick test_race_proven_safe;
+       Alcotest.test_case "proven race" `Quick test_race_proven_race;
+       Alcotest.test_case "unknown" `Quick test_race_unknown ]);
+    ("analysis.interval",
+     [ Alcotest.test_case "ops" `Quick test_interval_ops ]);
+    ("analysis.affine",
+     [ Alcotest.test_case "ops, join, widen" `Quick test_affine_ops;
+       Alcotest.test_case "overlap prover" `Quick test_affine_overlap ]);
+    ("analysis.absdom",
+     [ Alcotest.test_case "transfer" `Quick test_absdom_transfer;
+       Alcotest.test_case "diamond join" `Quick test_absdom_join;
+       Alcotest.test_case "loop widening" `Quick test_absdom_widen ]);
+    ("analysis.mempredict",
+     [ Alcotest.test_case "hand-built kernel" `Quick test_mempredict ]);
     ("analysis.dead",
      [ Alcotest.test_case "unreachable code" `Quick test_unreachable_code;
        Alcotest.test_case "dead store" `Quick test_dead_store ]);

@@ -44,6 +44,73 @@ let test_exit_2_parse_failure () =
   check Alcotest.int "missing file" 2
     (summary_exit "/nonexistent/sassi-trace.json")
 
+(* The same contract for `sassi_run lint`: 0 when clean, 1 on
+   findings or a race-baseline regression, 2 on usage/parse errors.
+   The regression leg round-trips the baseline format: write it, bump
+   a count, require exit 1, then waive the kernel and require 0. *)
+
+let lint_exit args =
+  Sys.command
+    (Filename.quote_command exe ~stdout:Filename.null ~stderr:Filename.null
+       ("lint" :: args))
+
+let test_lint_exit_0_clean () =
+  check Alcotest.int "clean workload" 0 (lint_exit [ "parboil/sgemm" ])
+
+let test_lint_exit_1_regression () =
+  let tmp = Filename.temp_file "sassi_cli_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+       check Alcotest.int "baseline write" 0
+         (lint_exit [ "parboil/sgemm"; "--write-race-baseline"; tmp ]);
+       (* Inflate every proven-safe count: the rerun now "lost" a
+          proven-safe site per kernel and must exit 1. *)
+       (match Trace.Json.parse_file tmp with
+        | Ok (Trace.Json.Obj fields) ->
+          let bump = function
+            | ("safe", Trace.Json.Int n) -> ("safe", Trace.Json.Int (n + 1))
+            | f -> f
+          in
+          let patched =
+            List.map
+              (function
+                | ("kernels", Trace.Json.Obj ks) ->
+                  ( "kernels",
+                    Trace.Json.Obj
+                      (List.map
+                         (function
+                           | key, Trace.Json.Obj o ->
+                             (key, Trace.Json.Obj (List.map bump o))
+                           | kv -> kv)
+                         ks) )
+                | kv -> kv)
+              fields
+          in
+          Trace.Json.write_file tmp (Trace.Json.Obj patched)
+        | _ -> Alcotest.fail "baseline did not parse back");
+       check Alcotest.int "regression detected" 1
+         (lint_exit [ "parboil/sgemm"; "--race-baseline"; tmp ]);
+       let waive = Filename.temp_file "sassi_cli_waive" ".txt" in
+       Fun.protect
+         ~finally:(fun () -> try Sys.remove waive with Sys_error _ -> ())
+         (fun () ->
+            let oc = open_out waive in
+            output_string oc "# deliberate, for the exit-code test\nsgemm\n";
+            close_out oc;
+            check Alcotest.int "waiver suppresses the regression" 0
+              (lint_exit
+                 [ "parboil/sgemm"; "--race-baseline"; tmp; "--race-waivers";
+                   waive ])))
+
+let test_lint_exit_2_usage () =
+  check Alcotest.int "unknown workload" 2 (lint_exit [ "no-such-workload" ]);
+  with_file "this is not JSON {" (fun path ->
+      check Alcotest.int "malformed baseline" 2
+        (lint_exit [ "parboil/sgemm"; "--race-baseline"; path ]));
+  check Alcotest.int "missing baseline file" 2
+    (lint_exit [ "parboil/sgemm"; "--race-baseline"; "/nonexistent/b.json" ])
+
 let suite =
   [ ("cli.trace-summary",
      [ Alcotest.test_case "exit 0 on loadable trace" `Quick
@@ -51,4 +118,11 @@ let suite =
        Alcotest.test_case "exit 1 on shape problem" `Quick
          test_exit_1_shape_problem;
        Alcotest.test_case "exit 2 on parse failure" `Quick
-         test_exit_2_parse_failure ]) ]
+         test_exit_2_parse_failure ]);
+    ("cli.lint",
+     [ Alcotest.test_case "exit 0 on clean workload" `Quick
+         test_lint_exit_0_clean;
+       Alcotest.test_case "exit 1 on baseline regression" `Slow
+         test_lint_exit_1_regression;
+       Alcotest.test_case "exit 2 on usage errors" `Quick
+         test_lint_exit_2_usage ]) ]
