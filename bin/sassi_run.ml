@@ -709,13 +709,23 @@ let capture_kernels w variant =
   let r = w.Workloads.Workload.run device ~variant in
   (List.rev !kernels, launches, r)
 
-(* Context for analyzing one captured kernel: concrete when a launch
-   was observed, the per-kernel static context otherwise. *)
+(* Context for analyzing one captured kernel: concrete when every
+   observed launch used a single geometry. A kernel relaunched with
+   differing geometries falls back to the static context — proving a
+   claim under the first geometry only would silently miss races and
+   OOB that appear under a later launch shape. *)
+type ctx_kind =
+  | Ctx_concrete of launch_info
+  | Ctx_static  (* never launched *)
+  | Ctx_multi  (* multiple geometries observed: static fallback *)
+
 let ctx_for launches kname (k : Sass.Program.kernel) =
   match Hashtbl.find_opt launches kname with
-  | Some li -> (Analysis.Absdom.concrete_ctx ~param:li.li_param li.li_geom,
-                Some li)
-  | None -> (Analysis.Absdom.static_for k.Sass.Program.instrs, None)
+  | Some li when not li.li_multi ->
+    (Analysis.Absdom.concrete_ctx ~param:li.li_param li.li_geom,
+     Ctx_concrete li)
+  | Some _ -> (Analysis.Absdom.static_for k.Sass.Program.instrs, Ctx_multi)
+  | None -> (Analysis.Absdom.static_for k.Sass.Program.instrs, Ctx_static)
 
 (* Per-kernel race classification counts: (sites, safe, race, unknown). *)
 let race_counts sites =
@@ -854,8 +864,10 @@ let lint name variant json prove_races mem_report baseline_file
                           (List.map Analysis.Finding.to_json findings) ) ]
                 in
                 if prove_races then begin
-                  let ctx, li = ctx_for launches kname k in
-                  let concrete = li <> None in
+                  let ctx, kind = ctx_for launches kname k in
+                  let concrete =
+                    match kind with Ctx_concrete _ -> true | _ -> false
+                  in
                   let sites =
                     Analysis.Verifier.race_sites ~ctx ~concrete k
                   in
@@ -868,7 +880,11 @@ let lint name variant json prove_races mem_report baseline_file
                       "  races: %d site(s): %d proven-safe, %d proven-race, \
                        %d unknown [%s]@."
                       n s r u
-                      (if concrete then "concrete launch" else "static");
+                      (match kind with
+                       | Ctx_concrete _ -> "concrete launch"
+                       | Ctx_multi ->
+                         "multiple geometries observed; static"
+                       | Ctx_static -> "static");
                     List.iter
                       (fun (site : Analysis.Race_check.site) ->
                          if site.Analysis.Race_check.s_class
@@ -892,18 +908,31 @@ let lint name variant json prove_races mem_report baseline_file
                           ("safe", Trace.Json.Int s);
                           ("race", Trace.Json.Int r);
                           ("unknown", Trace.Json.Int u);
-                          ("concrete", Trace.Json.Bool concrete) ] )
+                          ("concrete", Trace.Json.Bool concrete);
+                          ( "multi_geometry",
+                            Trace.Json.Bool
+                              (match kind with
+                               | Ctx_multi -> true
+                               | _ -> false) ) ] )
                     :: !fields
                 end;
                 if mem_report then begin
-                  let ctx, li = ctx_for launches kname k in
-                  match li with
-                  | None ->
+                  let ctx, kind = ctx_for launches kname k in
+                  match kind with
+                  | Ctx_static ->
                     if not json then
                       Format.printf
                         "  mem: kernel never launched; no geometry to \
                          predict against@."
-                  | Some li ->
+                  | Ctx_multi ->
+                    (* Predictions are per-geometry; against several
+                       observed shapes there is no single concrete
+                       answer to validate. *)
+                    if not json then
+                      Format.printf
+                        "  mem: multiple launch geometries observed; \
+                         skipping concrete predictions@."
+                  | Ctx_concrete li ->
                     let instrs = k.Sass.Program.instrs in
                     let cfg = Sass.Cfg.build instrs in
                     let states = Analysis.Absdom.analyze ctx instrs cfg in

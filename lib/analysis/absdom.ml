@@ -168,7 +168,16 @@ module D = struct
         | IMNMX _, [ a; b ] ->
           (* The result is one of the operands. *)
           [ Affine.join ~geom (ev a) (ev b) ]
-        | SEL, (a :: b :: _) -> [ Affine.join ~geom (ev a) (ev b) ]
+        | SEL, ((a :: b :: _) as srcs) ->
+          (* The selecting predicate picks per-thread which operand
+             is read, so its variance taints the result even when
+             both values are uniform; predicates are untracked here
+             (SPred evaluates to unknown), so a predicated SEL is
+             conservatively variant unless the operands agree. *)
+          let va = ev a and vb = ev b in
+          let j = Affine.join ~geom va vb in
+          [ (if Affine.equal va vb || not (var_of srcs) then j
+             else { j with Affine.a_var = true }) ]
         | IMOD Unsigned, [ a; b ] ->
           let va = ev a in
           (match Affine.is_const (ev b) with

@@ -312,19 +312,94 @@ let cross_thread_overlap ~geom a1 ~bytes1 a2 ~bytes2 =
              done
          end
          else begin
-           (* Unbounded residue: only the congruence class of
-              k + p*dx matters, which cycles with period g/gcd(p,g);
-              scanning one period's worth of dx on each side covers
-              every class (and keeps the (0,0) exclusion exact). *)
+           (* Residue unbounded on at least one side. When F is
+              unbounded on both sides the hit test depends only on
+              the congruence class of k + p*dx, which cycles with
+              period g/gcd(p,g), so one period's worth of dx covers
+              every class. With exactly one finite bound (the shape
+              loop widening produces) the window is also clipped by
+              the magnitude of k' = k + p*dx: dx then splits into a
+              boundary band, scanned exactly, and a deep region where
+              the finite bound is saturated away and the test is
+              again purely congruential. *)
            if g = 0 then may := true (* unreachable: g=0 => bounded *)
            else begin
              let period = g / gcd p g in
              if period > enum_budget then may := true
-             else
-               let b = min x (max 1 period) in
-               for dx = -b to b do
-                 check dx
-               done
+             else begin
+               let scan lo hi =
+                 let lo = max lo (-x) and hi = min hi x in
+                 if hi - lo > enum_budget then may := true
+                 else
+                   for dx = lo to hi do
+                     check dx
+                   done
+               in
+               (* One period of dx inside the deep region [lo, hi];
+                  if the excluded (0,0) pair fell in the scanned
+                  window, probe another member of its congruence
+                  class instead. *)
+               let scan_period lo hi =
+                 let lo = max lo (-x) and hi = min hi x in
+                 if lo <= hi then begin
+                   let hi' = min hi (lo + period - 1) in
+                   for dx = lo to hi' do
+                     check dx
+                   done;
+                   if dy = 0 && lo <= 0 && 0 <= hi' then begin
+                     if period <= hi then check period
+                     else if -period >= lo then check (-period)
+                   end
+                 end
+               in
+               (* dx ranges solving p*dx <= c / p*dx >= c, where the
+                  threshold c is saturating (sentinels mean the
+                  constraint is vacuous or unsatisfiable). *)
+               let dx_le c =
+                 if c = max_int then (-x, x)
+                 else if c = min_int then (1, 0)
+                 else if p > 0 then (-x, fdiv c p)
+                 else (cdiv c p, x)
+               in
+               let dx_ge c =
+                 if c = min_int then (-x, x)
+                 else if c = max_int then (1, 0)
+                 else if p > 0 then (cdiv c p, x)
+                 else (-x, fdiv c p)
+               in
+               let isect (a, b) (c, d) = (max a c, min b d) in
+               let ssub a b =
+                 if b = min_int then max_int
+                 else if b = max_int then min_int
+                 else Interval.sat_add a (-b)
+               in
+               let flo = f.Interval.lo and fhi = f.Interval.hi in
+               if flo = min_int && fhi = max_int then scan_period (-x) x
+               else if fhi = max_int then begin
+                 (* Hit window is [k' + flo, whi]: clipped while
+                    k' + flo > wlo, purely congruential once
+                    k' + flo <= wlo, empty past k' + flo > whi. *)
+                 let blo, bhi =
+                   isect
+                     (dx_ge (ssub (Interval.sat_add (ssub wlo flo) 1) k))
+                     (dx_le (ssub (ssub whi flo) k))
+                 in
+                 scan blo bhi;
+                 let dlo, dhi = dx_le (ssub (ssub wlo flo) k) in
+                 scan_period dlo dhi
+               end
+               else begin
+                 (* Mirror image: hit window is [wlo, k' + fhi]. *)
+                 let blo, bhi =
+                   isect
+                     (dx_ge (ssub (ssub wlo fhi) k))
+                     (dx_le (ssub (Interval.sat_add (ssub whi fhi) (-1)) k))
+                 in
+                 scan blo bhi;
+                 let dlo, dhi = dx_ge (ssub (ssub whi fhi) k) in
+                 scan_period dlo dhi
+               end
+             end
            end
          end
        done

@@ -517,6 +517,28 @@ let test_affine_overlap () =
   check bool "offset tiles disjoint" true
     (cross_thread_overlap ~geom:geom32 stride4 ~bytes1:4
        (add stride4 (const 128)) ~bytes2:4
+     = `Disjoint);
+  (* Half-bounded residues (what loop widening produces) make the hit
+     window magnitude-dependent: here threads 25 apart collide
+     (4*dx = -100 cancels a residue value of -100), far outside the
+     one-congruence-period band, so `Disjoint would be unsound. *)
+  let widened_lo =
+    add stride4 (mul_const 4 (of_interval (Analysis.Interval.below (-25))))
+  in
+  check bool "half-bounded residue collision is not disjoint" true
+    (cross_thread_overlap ~geom:geom32 stride4 ~bytes1:4 widened_lo
+       ~bytes2:4
+     <> `Disjoint);
+  (* ... but a stride that keeps the difference off the window stays
+     provably disjoint even with a half-bounded residue: the byte
+     distance is always congruent to 4 mod 8. *)
+  let stride8 = mul_const 8 tid_x in
+  let widened8 =
+    add stride8 (mul_const 8 (of_interval (Analysis.Interval.below 0)))
+  in
+  check bool "half-bounded but misaligned stays disjoint" true
+    (cross_thread_overlap ~geom:geom32 (add stride8 (const 4)) ~bytes1:4
+       widened8 ~bytes2:4
      = `Disjoint)
 
 (* --- Absdom: transfer, join, and loop widening --- *)
@@ -575,6 +597,26 @@ let test_absdom_widen () =
     (a.Analysis.Affine.a_res.Analysis.Interval.hi = max_int);
   check int "stride survives the loop" 64 a.Analysis.Affine.a_mod;
   check bool "still thread-invariant" true (not a.Analysis.Affine.a_var)
+
+let test_absdom_sel () =
+  (* The predicate picks per-thread which operand SEL reads, so a
+     select between two distinct uniform constants is still a
+     per-thread value (predicates are untracked, hence conservatively
+     variant)... *)
+  let sel a b =
+    [| Instr.make Opcode.SEL ~dsts:[ Reg.r 1 ]
+         ~srcs:[ Instr.SImm a; Instr.SImm b; Instr.SPred (Pred.p 0) ];
+       Instr.make Opcode.EXIT |]
+  in
+  let states, _ = absdom_states (sel 4 8) in
+  let a = Analysis.Absdom.reg states.(1) (Reg.r 1) in
+  check bool "predicated select of distinct constants is variant" true
+    a.Analysis.Affine.a_var;
+  (* ... while equal operands are immune to the predicate. *)
+  let states, _ = absdom_states (sel 4 4) in
+  let b = Analysis.Absdom.reg states.(1) (Reg.r 1) in
+  check bool "select of equal operands stays invariant" true
+    (not b.Analysis.Affine.a_var)
 
 (* --- Mempredict: static bank/coalescing counts on hand-built kernels --- *)
 
@@ -849,7 +891,9 @@ let suite =
     ("analysis.absdom",
      [ Alcotest.test_case "transfer" `Quick test_absdom_transfer;
        Alcotest.test_case "diamond join" `Quick test_absdom_join;
-       Alcotest.test_case "loop widening" `Quick test_absdom_widen ]);
+       Alcotest.test_case "loop widening" `Quick test_absdom_widen;
+       Alcotest.test_case "predicated select variance" `Quick
+         test_absdom_sel ]);
     ("analysis.mempredict",
      [ Alcotest.test_case "hand-built kernel" `Quick test_mempredict ]);
     ("analysis.dead",
