@@ -84,6 +84,28 @@ ci: fmt
 	  || { echo "ci: --jobs 2 campaign diverged from --jobs 1"; rm -rf $$tmp; exit 1; }; \
 	rm -rf $$tmp; \
 	echo "ci: parallel campaign determinism check passed"
+	@# Device-sharding determinism: a --device-domains 4 run must be
+	@# byte-identical to --device-domains 1 — stats JSON, output
+	@# digest and telemetry export all cmp clean. Covers a kernel
+	@# that shards (sgemm), one forced sequential by cross-block
+	@# atomics (histo) and one by the plain-store alias scan (lud).
+	@tmp=$$(mktemp -d); \
+	for w in parboil/sgemm parboil/histo rodinia/lud; do \
+	  slug=$$(echo $$w | tr / -); \
+	  dune exec bin/sassi_run.exe -- run $$w --stats-json \
+	    --telemetry-out $$tmp/tele.json --device-domains 1 \
+	    > $$tmp/$$slug-d1.out; \
+	  mv $$tmp/tele.json $$tmp/$$slug-d1.tele; \
+	  dune exec bin/sassi_run.exe -- run $$w --stats-json \
+	    --telemetry-out $$tmp/tele.json --device-domains 4 \
+	    > $$tmp/$$slug-d4.out; \
+	  cmp -s $$tmp/$$slug-d1.out $$tmp/$$slug-d4.out \
+	    || { echo "ci: $$w stats diverged across --device-domains"; rm -rf $$tmp; exit 1; }; \
+	  cmp -s $$tmp/$$slug-d1.tele $$tmp/tele.json \
+	    || { echo "ci: $$w telemetry diverged across --device-domains"; rm -rf $$tmp; exit 1; }; \
+	done; \
+	rm -rf $$tmp; \
+	echo "ci: device-sharding determinism check passed"
 	@# Host-trace gate: a traced --jobs 2 campaign must emit Chrome
 	@# trace_event JSON that parses (trace-summary exit 0), and its
 	@# manifest must diff clean against the untraced run — spans never

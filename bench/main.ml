@@ -22,7 +22,9 @@
      bechamel - wall-clock microbenchmarks, one Test.make per table
 
    Flags: --quick (reduced injection counts), --jobs N (domain-pool
-   width for the matrix experiments; 1 = sequential), --seed S. *)
+   width for the matrix experiments; 1 = sequential), --seed S,
+   --device-domains N (intra-device SM sharding width for the
+   `parallel` experiment's device part). *)
 
 (* The typed run configuration, threaded into every experiment: no
    more bare refs consulted ad hoc, and `--quick`/`--jobs`/`--seed`
@@ -31,6 +33,7 @@ type runcfg = {
   quick : bool;
   jobs : int;
   seed : int;
+  device_domains : int;  (* intra-device sharding width (parallel) *)
   pool : Par.Pool.t;  (* inline executor when jobs = 1 *)
 }
 
@@ -895,6 +898,30 @@ let parallel_campaign_apps =
   [ ("parboil/sgemm", "small"); ("parboil/spmv", "small");
     ("rodinia/nn", "default") ]
 
+(* Intra-device sharding rows for the `device` part: two shardable
+   kernels that spread SMs over domains, and histo, whose cross-block
+   atomics exercise the deterministic sequential fallback. *)
+let parallel_device_rows =
+  [ ("parboil/sgemm", "medium"); ("parboil/spmv", "large");
+    ("parboil/histo", "default") ]
+
+(* One run of [name] with the process-wide device-domain default set
+   to [d]; observes everything the sharding contract promises to keep
+   bit-identical (output digest, summary line, full stats) plus the
+   eligibility-fallback count. *)
+let device_observe name variant d =
+  Gpu.Device.set_default_domains d;
+  Fun.protect ~finally:(fun () -> Gpu.Device.set_default_domains 1)
+  @@ fun () ->
+  let w = wl name in
+  let device = Gpu.Device.create ~cfg () in
+  let r, dt = timed (fun () -> w.Workloads.Workload.run device ~variant) in
+  ( (r.Workloads.Workload.output_digest,
+     r.Workloads.Workload.stdout,
+     Gpu.Stats.to_assoc r.Workloads.Workload.stats),
+    Gpu.Device.sharding_fallbacks device,
+    dt )
+
 let parallel rc =
   section
     (Printf.sprintf
@@ -942,9 +969,35 @@ let parallel rc =
   let parts =
     [ run_part "runs" run_tasks; run_part "campaigns" campaign_tasks ]
   in
+  (* Device part: the same single run sequential vs sharded across
+     --device-domains OCaml domains. Across-run parallelism above
+     cannot shrink one heavy run; this is the knob that can. *)
+  let ddomains = max 2 rc.device_domains in
+  Printf.printf
+    "\nintra-device sharding (--device-domains %d, %d SMs):\n%!" ddomains
+    cfg.Gpu.Config.num_sms;
+  let device_rows =
+    List.map
+      (fun (name, variant) ->
+        let obs_seq, _, t_seq = device_observe name variant 1 in
+        let obs_par, fallbacks, t_par = device_observe name variant ddomains in
+        let identical = obs_seq = obs_par in
+        Printf.printf
+          "%-16s %-8s | seq %6.2fs  sharded %6.2fs  speedup %4.2fx  \
+           fallbacks %3d  %s\n%!"
+          name variant t_seq t_par
+          (t_seq /. max 1e-6 t_par)
+          fallbacks
+          (if identical then "bit-identical" else "MISMATCH");
+        (name, variant, t_seq, t_par, identical, fallbacks))
+      parallel_device_rows
+  in
+  let device_identical =
+    List.for_all (fun (_, _, _, _, i, _) -> i) device_rows
+  in
   let json =
     Trace.Json.Obj
-      [ ("schema", Trace.Json.Str "sassi-bench-parallel/1");
+      [ ("schema", Trace.Json.Str "sassi-bench-parallel/2");
         ("jobs", Trace.Json.Int rc.jobs);
         ("seed", Trace.Json.Int rc.seed);
         ("host_domains",
@@ -962,11 +1015,31 @@ let parallel rc =
                      ("speedup",
                       Trace.Json.Float (t_seq /. max 1e-6 t_par));
                      ("bit_identical", Trace.Json.Bool identical) ])
-              parts)) ]
+              parts));
+        ("device",
+         Trace.Json.Obj
+           [ ("device_domains", Trace.Json.Int ddomains);
+             ("num_sms", Trace.Json.Int cfg.Gpu.Config.num_sms);
+             ("bit_identical", Trace.Json.Bool device_identical);
+             ("rows",
+              Trace.Json.List
+                (List.map
+                   (fun (name, variant, t_seq, t_par, identical, fallbacks) ->
+                      Trace.Json.Obj
+                        [ ("name", Trace.Json.Str name);
+                          ("variant", Trace.Json.Str variant);
+                          ("t_seq_s", Trace.Json.Float t_seq);
+                          ("t_sharded_s", Trace.Json.Float t_par);
+                          ("speedup",
+                           Trace.Json.Float (t_seq /. max 1e-6 t_par));
+                          ("bit_identical", Trace.Json.Bool identical);
+                          ("fallbacks", Trace.Json.Int fallbacks) ])
+                   device_rows)) ]) ]
   in
   Trace.Json.write_file "BENCH_parallel.json" json;
   Printf.printf "\nwrote BENCH_parallel.json\n%!";
-  if not (List.for_all (fun (_, _, _, _, i) -> i) parts) then begin
+  if not (List.for_all (fun (_, _, _, _, i) -> i) parts && device_identical)
+  then begin
     Printf.eprintf "parallel: determinism violation (see MISMATCH rows)\n";
     exit 1
   end
@@ -1604,6 +1677,7 @@ let usage =
 
 let () =
   let quick = ref false and jobs = ref 1 and seed = ref 2025 in
+  let device_domains = ref 4 in
   let bad fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt in
   let rec parse acc = function
     | [] -> List.rev acc
@@ -1625,12 +1699,22 @@ let () =
           parse acc rest
         | None -> bad "bench: --seed expects an integer")
     | [ "--seed" ] -> bad "bench: --seed expects an argument"
+    | "--device-domains" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+          device_domains := n;
+          parse acc rest
+        | _ -> bad "bench: --device-domains expects a positive integer")
+    | [ "--device-domains" ] -> bad "bench: --device-domains expects an argument"
     | "--" :: rest -> parse acc rest
     | a :: rest -> parse (a :: acc) rest
   in
   let cmds = parse [] (List.tl (Array.to_list Sys.argv)) in
   let pool = Par.Pool.create ~domains:!jobs () in
-  let rc = { quick = !quick; jobs = !jobs; seed = !seed; pool } in
+  let rc =
+    { quick = !quick; jobs = !jobs; seed = !seed;
+      device_domains = !device_domains; pool }
+  in
   let t0 = Unix.gettimeofday () in
   (match cmds with
    | [] -> all rc

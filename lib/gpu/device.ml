@@ -7,7 +7,24 @@ type arg =
   | F32 of float
   | Ptr of int
 
-let create ?(cfg = Config.default) () =
+(* Process-wide default for [d_domains], consulted by [create]. Set
+   once by the CLI before any work runs: devices are created deep
+   inside campaign/serve tasks (possibly on worker domains), so a
+   global default is the only practical way to reach them all. *)
+let default_domains = Atomic.make 1
+
+let set_default_domains n =
+  if n < 1 then invalid_arg "Device.set_default_domains: must be >= 1";
+  Atomic.set default_domains n
+
+let create ?(cfg = Config.default) ?domains () =
+  let domains =
+    match domains with
+    | Some n ->
+      if n < 1 then invalid_arg "Device.create: domains must be >= 1";
+      n
+    | None -> Atomic.get default_domains
+  in
   { d_cfg = cfg;
     d_global = Memory.create ~space:Sass.Opcode.Global cfg.Config.global_mem_bytes;
     d_mem = Memsys.create cfg;
@@ -26,7 +43,17 @@ let create ?(cfg = Config.default) () =
     d_tracer = None;
     d_trace_base = 0;
     d_sampler = None;
-    d_telemetry = None }
+    d_telemetry = None;
+    d_domains = domains;
+    d_sharding_fallbacks = 0 }
+
+let set_domains t n =
+  if n < 1 then invalid_arg "Device.set_domains: must be >= 1";
+  t.d_domains <- n
+
+let domains t = t.d_domains
+
+let sharding_fallbacks t = t.d_sharding_fallbacks
 
 let config t = t.d_cfg
 
@@ -139,16 +166,20 @@ let set_telemetry t tm =
 
 let telemetry t = t.d_telemetry
 
+(* Callbacks are stored newest-first (O(1) registration; the old
+   append made registering n callbacks O(n^2)) and fired through
+   [List.rev], preserving subscription order — ids are handed out
+   monotonically, so reversed prepend order is sorted-id order. *)
 let on_launch t f =
   let id = t.d_cb_next in
   t.d_cb_next <- id + 1;
-  t.d_launch_cbs <- t.d_launch_cbs @ [ (id, f) ];
+  t.d_launch_cbs <- (id, f) :: t.d_launch_cbs;
   id
 
 let on_exit t f =
   let id = t.d_cb_next in
   t.d_cb_next <- id + 1;
-  t.d_exit_cbs <- t.d_exit_cbs @ [ (id, f) ];
+  t.d_exit_cbs <- (id, f) :: t.d_exit_cbs;
   id
 
 let unsubscribe t id =
@@ -229,9 +260,9 @@ let launch t ~kernel ~grid ~block ~args =
                grid;
                block }))
    | _ -> ());
-  List.iter (fun (_, f) -> f launch) t.d_launch_cbs;
+  List.iter (fun (_, f) -> f launch) (List.rev t.d_launch_cbs);
   Scheduler.run launch;
-  List.iter (fun (_, f) -> f launch) t.d_exit_cbs;
+  List.iter (fun (_, f) -> f launch) (List.rev t.d_exit_cbs);
   (match t.d_tracer with
    | Some c ->
      let cycles = launch.l_stats.Stats.cycles in

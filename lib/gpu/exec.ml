@@ -101,7 +101,7 @@ let texture_read launch ~width idx =
 (* One warp-level memory transaction record; the [None] branch is the
    whole cost when tracing is off. *)
 let trace_mem dev sm w ~space ~write ~width ~lanes (r : Memsys.result) =
-  match dev.d_tracer with
+  match sm.sm_tracer with
   | None -> ()
   | Some c ->
     if Trace.Collector.wants c Trace.Record.Mem then
@@ -132,7 +132,7 @@ let step sm w =
   let launch = w.w_block.b_launch in
   let dev = launch.l_device in
   let cfg = dev.d_cfg in
-  let stats = launch.l_stats in
+  let stats = sm.sm_stats in
   let pc = e.e_pc in
   let instrs = launch.l_kernel.Program.instrs in
   if pc < 0 || pc >= Array.length instrs then
@@ -149,11 +149,11 @@ let step sm w =
   in
   let nactive = Value.popc exec_mask in
   Stats.count_instr stats i.Instr.op ~active_lanes:nactive;
-  (match dev.d_tracer with
+  (match sm.sm_tracer with
    | Some _ ->
-     (* Stamp the context attached to L1/L2 probe records emitted
-        from inside the memory system. *)
-     Memsys.set_trace_ctx dev.d_mem
+     (* Stamp this SM's context attached to L1/L2 probe records
+        emitted from inside the memory system. *)
+     Memsys.set_trace_ctx dev.d_mem ~sm:sm.sm_id
        ~cycle:(dev.d_trace_base + sm.sm_cycle)
        ~warp:(warp_uid w)
    | None -> ());
@@ -338,7 +338,7 @@ let step sm w =
               (Memory.read w.w_block.b_shared ~width addr));
         if nactive > 0 then begin
           let addrs = fold_lanes exec_mask (fun a l -> eff_addr l :: a) [] in
-          let r = Memsys.shared_access dev.d_mem ~stats addrs in
+          let r = Memsys.shared_access dev.d_mem ~sm:sm.sm_id ~stats addrs in
           trace_mem dev sm w ~space:Trace.Record.Sp_shared ~write:false
             ~width ~lanes:nactive r;
           latency := r.Memsys.latency
@@ -427,7 +427,7 @@ let step sm w =
               (value_src lane 0));
         if nactive > 0 then begin
           let addrs = fold_lanes exec_mask (fun a l -> eff_addr l :: a) [] in
-          let r = Memsys.shared_access dev.d_mem ~stats addrs in
+          let r = Memsys.shared_access dev.d_mem ~sm:sm.sm_id ~stats addrs in
           trace_mem dev sm w ~space:Trace.Record.Sp_shared ~write:true
             ~width ~lanes:nactive r;
           latency := r.Memsys.latency
@@ -512,7 +512,7 @@ let step sm w =
              (mem_pairs width)
          | _ ->
            let addrs = fold_lanes exec_mask (fun a l -> eff_addr l :: a) [] in
-           Memsys.shared_access dev.d_mem ~stats addrs
+           Memsys.shared_access dev.d_mem ~sm:sm.sm_id ~stats addrs
        in
        let tr_space =
          match space with
@@ -599,7 +599,7 @@ let step sm w =
      in
      if Instr.is_cond_branch i then begin
        stats.Stats.branches <- stats.Stats.branches + 1;
-       (match dev.d_telemetry with
+       (match sm.sm_telemetry with
         | None -> ()
         | Some tm ->
           Telemetry.Hist.observe tm.tm_branch_lanes (popc_mask exec_mask));
@@ -610,7 +610,7 @@ let step sm w =
        else begin
          (* Divergence: split the warp. *)
          stats.Stats.divergent_branches <- stats.Stats.divergent_branches + 1;
-         (match dev.d_telemetry with
+         (match sm.sm_telemetry with
           | None -> ()
           | Some tm ->
             Telemetry.Hist.observe tm.tm_divergent_taken_lanes
@@ -668,7 +668,7 @@ let step sm w =
         scheduling is unchanged whether or not tracing is on. *)
      w.w_ready_at <- sm.sm_cycle;
      w.w_block.b_arrived <- w.w_block.b_arrived + 1;
-     (match dev.d_tracer with
+     (match sm.sm_tracer with
       | Some c when Trace.Collector.wants c Trace.Record.Warp ->
         Trace.Collector.emit c
           (Trace.Record.make
@@ -678,7 +678,7 @@ let step sm w =
                 { pc; arrived = w.w_block.b_arrived }))
       | _ -> ());
      release_barrier_if_ready w.w_block;
-     (match dev.d_telemetry with
+     (match sm.sm_telemetry with
       | Some tm when w.w_status = W_ready ->
         (* The barrier released: every warp of the block now ready was
            waiting since its own arrival stamp (0 for the releaser). *)
@@ -689,7 +689,7 @@ let step sm w =
                  (sm.sm_cycle - w'.w_ready_at))
           w.w_block.b_warps
       | _ -> ());
-     (match dev.d_tracer with
+     (match sm.sm_tracer with
       | Some c
         when w.w_status = W_ready
              && Trace.Collector.wants c Trace.Record.Warp ->
@@ -735,7 +735,7 @@ let step sm w =
      (match w.w_stack with
       | entry :: _ when entry == e -> e.e_pc <- np
       | _ -> ()));
-  (match dev.d_tracer with
+  (match sm.sm_tracer with
    | None -> ()
    | Some c ->
      if Trace.Collector.wants c Trace.Record.Warp then begin
@@ -763,7 +763,7 @@ let step sm w =
      a sample taken while the warp waits out [latency] can attribute
      the stall (memory vs. execution dependency). Single branch when
      no sampler is installed. *)
-  (match dev.d_sampler with
+  (match sm.sm_sampler with
    | None -> ()
    | Some _ ->
      w.w_stall_code <- (if Opcode.is_mem i.Instr.op then 1 else 0));

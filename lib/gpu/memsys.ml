@@ -1,22 +1,42 @@
-type t = {
-  cfg : Config.t;
-  l1s : Cache.t array;
-  l2 : Cache.t;
-  (* Activity-trace sink for L1/L2 probe events. The interpreter
-     stamps the context (cycle, warp) before issuing accesses; both
-     stay untouched while tracing is off. *)
-  mutable tr_sink : Trace.Collector.t option;
-  mutable tr_cycle : int;
-  mutable tr_warp : int;
-  (* Telemetry histograms for request latency and transactions per
-     coalesced access; [None] keeps both observation sites on their
-     single-branch fast path. *)
-  mutable tm_sink : tm_sink option;
+(* Per-SM observation slot: trace/telemetry context and sinks, plus
+   the shared-memory bank-conflict scratch. Keeping all of it per-SM
+   (instead of ambient on [t]) is what lets SMs run on separate
+   domains without clobbering each other's stamps, and what makes the
+   hot shared-access path allocation-free. *)
+type slot = {
+  mutable sl_sink : Trace.Collector.t option;
+  mutable sl_cycle : int;
+  mutable sl_warp : int;
+  mutable sl_tm : tm_sink option;
+  (* shared_access scratch: unique words seen this call (a warp has at
+     most 32 lanes) and per-bank unique-word counts. Both are reset by
+     replaying the unique-word list, so no 32-wide clear is needed
+     between calls and nothing is allocated. *)
+  sa_words : int array;
+  sa_bank_count : int array;
 }
 
 and tm_sink = {
   tm_latency : Telemetry.Hist.t;
   tm_transactions : Telemetry.Hist.t;
+}
+
+type t = {
+  cfg : Config.t;
+  l1s : Cache.t array;
+  (* Partitioned L2: the capacity is split into [num_sms] equal
+     slices and SM [i] only ever probes slice [i]. Applied in both
+     sequential and sharded modes so the two are bit-identical (see
+     DESIGN: the old shared-L2 sequential semantics, where SM0 fully
+     warms the cache before SM1 starts, was an artifact of the
+     sequential loop, not fidelity). *)
+  l2s : Cache.t array;
+  slots : slot array;
+  (* Device-level default sinks, mirrored into every slot; the
+     scheduler overrides slots with per-SM sinks while sharding and
+     restores these afterwards. *)
+  mutable tr_sink : Trace.Collector.t option;
+  mutable tm_sink : tm_sink option;
 }
 
 type result = {
@@ -31,42 +51,70 @@ let local_window = 1 lsl 40
 let texture_window = 1 lsl 41
 
 let create (cfg : Config.t) =
+  let num_sms = cfg.Config.num_sms in
   { cfg;
     l1s =
-      Array.init cfg.Config.num_sms (fun i ->
+      Array.init num_sms (fun i ->
           Cache.create
             ~name:(Printf.sprintf "L1[%d]" i)
             ~size_bytes:cfg.Config.l1_bytes ~assoc:cfg.Config.l1_assoc
             ~line_bytes:cfg.Config.line_bytes);
-    l2 =
-      Cache.create ~name:"L2" ~size_bytes:cfg.Config.l2_bytes
-        ~assoc:cfg.Config.l2_assoc ~line_bytes:cfg.Config.line_bytes;
+    l2s =
+      Array.init num_sms (fun i ->
+          Cache.create
+            ~name:(Printf.sprintf "L2[%d]" i)
+            ~size_bytes:(cfg.Config.l2_bytes / num_sms)
+            ~assoc:cfg.Config.l2_assoc ~line_bytes:cfg.Config.line_bytes);
+    slots =
+      Array.init num_sms (fun _ ->
+          { sl_sink = None;
+            sl_cycle = 0;
+            sl_warp = -1;
+            sl_tm = None;
+            sa_words = Array.make 32 0;
+            sa_bank_count = Array.make 32 0 });
     tr_sink = None;
-    tr_cycle = 0;
-    tr_warp = -1;
     tm_sink = None }
 
-let set_trace_sink t sink = t.tr_sink <- sink
+let set_trace_sink t sink =
+  t.tr_sink <- sink;
+  Array.iter (fun sl -> sl.sl_sink <- sink) t.slots
 
-let set_telemetry_sink t sink = t.tm_sink <- sink
+let set_telemetry_sink t sink =
+  t.tm_sink <- sink;
+  Array.iter (fun sl -> sl.sl_tm <- sink) t.slots
 
-let observe_access t (r : result) =
-  match t.tm_sink with
+let override_slot_sinks t ~sm ~trace ~telemetry =
+  let sl = t.slots.(sm) in
+  sl.sl_sink <- trace;
+  sl.sl_tm <- telemetry
+
+let restore_slot_sinks t =
+  Array.iter
+    (fun sl ->
+      sl.sl_sink <- t.tr_sink;
+      sl.sl_tm <- t.tm_sink)
+    t.slots
+
+let observe_access t ~sm (r : result) =
+  match t.slots.(sm).sl_tm with
   | None -> ()
   | Some tm ->
     Telemetry.Hist.observe tm.tm_latency r.latency;
     Telemetry.Hist.observe tm.tm_transactions r.transactions
 
-let set_trace_ctx t ~cycle ~warp =
-  t.tr_cycle <- cycle;
-  t.tr_warp <- warp
+let set_trace_ctx t ~sm ~cycle ~warp =
+  let sl = t.slots.(sm) in
+  sl.sl_cycle <- cycle;
+  sl.sl_warp <- warp
 
 let trace_probe t ~sm ~level ~hit =
-  match t.tr_sink with
+  let sl = t.slots.(sm) in
+  match sl.sl_sink with
   | None -> ()
   | Some c ->
     Trace.Collector.emit c
-      (Trace.Record.make ~cycle:t.tr_cycle ~sm ~warp:t.tr_warp
+      (Trace.Record.make ~cycle:sl.sl_cycle ~sm ~warp:sl.sl_warp
          (Trace.Record.Cache_access { level; hit }))
 
 let coalesce ~line_bytes pairs =
@@ -93,7 +141,7 @@ let line_latency t ~sm line_addr stats =
   | Cache.Miss ->
     stats.Stats.l1_misses <- stats.Stats.l1_misses + 1;
     trace_probe t ~sm ~level:Trace.Record.L1 ~hit:false;
-    (match Cache.access t.l2 line_addr with
+    (match Cache.access t.l2s.(sm) line_addr with
      | Cache.Hit ->
        stats.Stats.l2_hits <- stats.Stats.l2_hits + 1;
        trace_probe t ~sm ~level:Trace.Record.L2 ~hit:true;
@@ -116,7 +164,7 @@ let global_access t ~sm ~stats pairs =
   in
   (* Additional transactions beyond the first serialize at the L1. *)
   let r = { transactions = n; latency = worst + (max 0 (n - 1)) * 2 } in
-  observe_access t r;
+  observe_access t ~sm r;
   r
 
 (* Local-memory accesses at a uniform frame offset touch the
@@ -138,28 +186,39 @@ let contiguous_access t ~sm ~stats ~first_phys ~last_phys ~width =
     if lat > !worst then worst := lat
   done;
   let r = { transactions = n; latency = !worst + ((n - 1) * 2) } in
-  observe_access t r;
+  observe_access t ~sm r;
   r
 
-let shared_access t ~stats addrs =
+let shared_access t ~sm ~stats addrs =
   let cfg = t.cfg in
-  (* 32 banks, 4-byte wide; same-word accesses broadcast. *)
-  let per_bank = Hashtbl.create 32 in
+  let sl = t.slots.(sm) in
+  (* 32 banks, 4-byte wide; same-word accesses broadcast. The scratch
+     arrays live in the per-SM slot, so this path allocates nothing
+     and is safe under sharding. Bank counts are left at zero between
+     calls (the reset loop below), so no up-front clear is needed. *)
+  let n_words = ref 0 in
   List.iter
     (fun addr ->
        let word = addr / 4 in
-       let bank = word mod 32 in
-       let words =
-         match Hashtbl.find_opt per_bank bank with
-         | None -> []
-         | Some ws -> ws
-       in
-       if not (List.mem word words) then
-         Hashtbl.replace per_bank bank (word :: words))
+       let seen = ref false in
+       for i = 0 to !n_words - 1 do
+         if sl.sa_words.(i) = word then seen := true
+       done;
+       if not !seen then begin
+         sl.sa_words.(!n_words) <- word;
+         incr n_words;
+         let bank = word mod 32 in
+         sl.sa_bank_count.(bank) <- sl.sa_bank_count.(bank) + 1
+       end)
     addrs;
-  let conflict =
-    Hashtbl.fold (fun _ ws acc -> max acc (List.length ws)) per_bank 1
-  in
+  let conflict = ref 1 in
+  for i = 0 to !n_words - 1 do
+    let bank = sl.sa_words.(i) mod 32 in
+    if sl.sa_bank_count.(bank) > !conflict then
+      conflict := sl.sa_bank_count.(bank);
+    sl.sa_bank_count.(bank) <- 0
+  done;
+  let conflict = !conflict in
   stats.Stats.shared_accesses <- stats.Stats.shared_accesses + 1;
   stats.Stats.shared_conflicts <- stats.Stats.shared_conflicts + (conflict - 1);
   { transactions = conflict;
@@ -176,8 +235,11 @@ let atomic_access t ~sm ~stats pairs =
 
 let l1_stats t ~sm = (Cache.hits t.l1s.(sm), Cache.misses t.l1s.(sm))
 
-let l2_stats t = (Cache.hits t.l2, Cache.misses t.l2)
+let l2_stats t =
+  Array.fold_left
+    (fun (h, m) c -> (h + Cache.hits c, m + Cache.misses c))
+    (0, 0) t.l2s
 
 let invalidate t =
   Array.iter Cache.invalidate_all t.l1s;
-  Cache.invalidate_all t.l2
+  Array.iter Cache.invalidate_all t.l2s

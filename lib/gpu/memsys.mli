@@ -1,5 +1,8 @@
 (** The memory system timing model: a per-SM coalescer and L1, a
-    shared L2, and a DRAM latency term.
+    partitioned L2 (one equal slice per SM, probed only by its owner),
+    and a DRAM latency term. The partitioning removes the only
+    cross-SM shared cache state, which is what lets the scheduler run
+    SMs on separate domains with bit-identical statistics.
 
     Addresses arriving here are physical: callers place each address
     space in a disjoint window ({!global_window}, {!local_window},
@@ -40,9 +43,10 @@ val contiguous_access :
     equivalent to {!global_access} over that range but without
     materializing per-lane pairs. *)
 
-val shared_access : t -> stats:Stats.t -> int list -> result
+val shared_access : t -> sm:int -> stats:Stats.t -> int list -> result
 (** Shared-memory access with 32-bank conflict modeling; the input is
-    the per-lane byte addresses. Identical addresses broadcast. *)
+    the per-lane byte addresses. Identical addresses broadcast. Uses
+    per-SM scratch (allocation-free, shard-safe). *)
 
 val atomic_access :
   t -> sm:int -> stats:Stats.t -> (int * int) list -> result
@@ -53,6 +57,7 @@ val l1_stats : t -> sm:int -> int * int
 (** (hits, misses) of one SM's L1 since creation. *)
 
 val l2_stats : t -> int * int
+(** (hits, misses) summed over all L2 slices. *)
 
 val invalidate : t -> unit
 (** Drops all cache contents (between launches if desired). *)
@@ -60,13 +65,15 @@ val invalidate : t -> unit
 (** {1 Activity tracing} *)
 
 val set_trace_sink : t -> Trace.Collector.t option -> unit
-(** Install (or remove) the collector receiving L1/L2 probe records.
-    Pass [Some c] only when [c] wants the [Cache] category; the sink
-    emits unconditionally. *)
+(** Install (or remove) the device-default collector receiving L1/L2
+    probe records; mirrored into every per-SM slot. Pass [Some c] only
+    when [c] wants the [Cache] category; the sink emits
+    unconditionally. *)
 
-val set_trace_ctx : t -> cycle:int -> warp:int -> unit
-(** Stamp the context attached to subsequent probe records; called by
-    the interpreter before issuing accesses while tracing. *)
+val set_trace_ctx : t -> sm:int -> cycle:int -> warp:int -> unit
+(** Stamp the per-SM context attached to subsequent probe records from
+    that SM; called by the interpreter before issuing accesses while
+    tracing. *)
 
 (** {1 Telemetry} *)
 
@@ -78,7 +85,20 @@ type tm_sink = {
 }
 
 val set_telemetry_sink : t -> tm_sink option -> unit
-(** Install (or remove) histograms observing every global/local
-    coalesced access ({!global_access} and {!contiguous_access};
-    atomics observe their underlying access once). [None] keeps the
+(** Install (or remove) the device-default histograms observing every
+    global/local coalesced access ({!global_access} and
+    {!contiguous_access}; atomics observe their underlying access
+    once); mirrored into every per-SM slot. [None] keeps the
     observation sites on a single-branch fast path. *)
+
+(** {1 Per-SM sink overrides (device sharding)} *)
+
+val override_slot_sinks :
+  t -> sm:int -> trace:Trace.Collector.t option ->
+  telemetry:tm_sink option -> unit
+(** Point one SM's slot at private sinks for the duration of a sharded
+    launch; the scheduler merges the private buffers back in [sm_id]
+    order and then calls {!restore_slot_sinks}. *)
+
+val restore_slot_sinks : t -> unit
+(** Re-mirror the device-default sinks into every slot. *)

@@ -54,6 +54,14 @@ val accumulate : into:t -> t -> unit
 (** Adds all counters of the second argument into [into]; [cycles]
     also accumulates (total device time across launches). *)
 
+val merge : into:t -> t -> unit
+(** Reduce the second argument into [into] for an intra-launch
+    per-SM merge: [cycles] takes the max (SMs run concurrently; the
+    kernel time is the slowest SM), every other counter sums. Driven
+    by {!to_assoc} plus a name-indexed setter table, so a counter
+    present in the record but missing from either list raises
+    [Invalid_argument] instead of being silently dropped. *)
+
 val count_instr : t -> Sass.Opcode.t -> active_lanes:int -> unit
 (** Classify and count one issued warp instruction. *)
 
